@@ -1,0 +1,49 @@
+#ifndef AUTOGLOBE_BENCH_ABLATION_UTIL_H_
+#define AUTOGLOBE_BENCH_ABLATION_UTIL_H_
+
+// Shared driver for the ablation benches (DESIGN.md A1-A5): run the
+// paper landscape with one knob changed and report the quality
+// metrics that expose the trade-off.
+
+#include <cstdio>
+#include <functional>
+
+#include "autoglobe/capacity.h"
+#include "common/logging.h"
+
+namespace autoglobe::bench {
+
+inline RunMetrics RunWithConfig(
+    Scenario scenario, double user_scale,
+    const std::function<void(RunnerConfig*)>& tweak,
+    Duration duration = Duration::Hours(80),
+    Duration warmup = Duration::Hours(24)) {
+  Landscape landscape = MakePaperLandscape(scenario);
+  RunnerConfig config = MakeScenarioConfig(scenario, user_scale);
+  config.duration = duration;
+  config.metrics_warmup = warmup;
+  if (tweak) tweak(&config);
+  auto runner = SimulationRunner::Create(landscape, config);
+  AG_CHECK_OK(runner.status());
+  AG_CHECK_OK((*runner)->Run());
+  return (*runner)->metrics();
+}
+
+inline void PrintMetricsRow(const char* label, const RunMetrics& m) {
+  std::printf("%-14s %9.0f %9.2f%% %8.0f %9.1f %8lld %8lld %7lld\n",
+              label, m.overload_server_minutes,
+              m.overload_fraction * 100.0, m.max_overload_streak_minutes,
+              m.lost_work_wu, static_cast<long long>(m.actions_executed),
+              static_cast<long long>(m.triggers),
+              static_cast<long long>(m.alerts));
+}
+
+inline void PrintMetricsHeader(const char* knob) {
+  std::printf("%-14s %9s %10s %8s %9s %8s %8s %7s\n", knob, "ovl-min",
+              "ovl-frac", "streak", "lost-wu", "actions", "triggers",
+              "alerts");
+}
+
+}  // namespace autoglobe::bench
+
+#endif  // AUTOGLOBE_BENCH_ABLATION_UTIL_H_

@@ -1,0 +1,112 @@
+#ifndef AUTOGLOBE_BENCH_BENCH_UTIL_H_
+#define AUTOGLOBE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autoglobe/capacity.h"
+#include "autoglobe/runner.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe::bench {
+
+/// One sampled row of a scenario run: time plus per-server CPU loads.
+struct LoadRow {
+  SimTime at;
+  std::map<std::string, double> server_cpu;
+  double average = 0.0;
+};
+
+struct ScenarioRunResult {
+  std::vector<LoadRow> rows;
+  RunMetrics metrics;
+  std::vector<std::string> messages;
+  /// service -> (time, per-instance "SERVICE on SERVER" loads).
+  std::vector<std::map<std::string, double>> service_instance_rows;
+};
+
+/// Runs a paper scenario for the standard 80 hours at `user_scale`,
+/// sampling all server loads every `sample_every` and, when
+/// `trace_service` is non-empty, the per-instance loads of that
+/// service (for the Figure 15-17 reproductions).
+inline ScenarioRunResult RunScenario(Scenario scenario, double user_scale,
+                                     Duration sample_every,
+                                     const std::string& trace_service = "",
+                                     uint64_t seed = 42) {
+  Landscape landscape = MakePaperLandscape(scenario);
+  RunnerConfig config = MakeScenarioConfig(scenario, user_scale, seed);
+  auto runner = SimulationRunner::Create(landscape, config);
+  AG_CHECK_OK(runner.status());
+
+  ScenarioRunResult result;
+  int64_t sample_s = sample_every.seconds();
+  (*runner)->set_sample_hook([&](SimTime now,
+                                 const workload::DemandEngine& demand,
+                                 const infra::Cluster& cluster) {
+    if (now.seconds() % sample_s != 0) return;
+    LoadRow row;
+    row.at = now;
+    double total = 0.0;
+    for (const auto& [server, load] : demand.server_loads()) {
+      row.server_cpu[server] = load.cpu;
+      total += load.cpu;
+    }
+    row.average = row.server_cpu.empty()
+                      ? 0.0
+                      : total / static_cast<double>(row.server_cpu.size());
+    result.rows.push_back(std::move(row));
+    if (!trace_service.empty()) {
+      std::map<std::string, double> instances;
+      for (const infra::ServiceInstance* instance :
+           cluster.InstancesOf(trace_service)) {
+        instances[instance->service + " on " + instance->server] =
+            demand.InstanceLoad(instance->id);
+      }
+      result.service_instance_rows.push_back(std::move(instances));
+    }
+  });
+  AG_CHECK_OK((*runner)->Run());
+  result.metrics = (*runner)->metrics();
+  result.messages = (*runner)->messages();
+  return result;
+}
+
+/// Prints the per-server load series as a CSV-ish table (time in
+/// simulated d/hh:mm, loads in percent) followed by a summary — the
+/// data behind Figures 12-14.
+inline void PrintServerSeries(const ScenarioRunResult& result) {
+  if (result.rows.empty()) return;
+  std::printf("time");
+  for (const auto& [server, load] : result.rows.front().server_cpu) {
+    std::printf(",%s", server.c_str());
+  }
+  std::printf(",Average\n");
+  for (const LoadRow& row : result.rows) {
+    std::printf("%s", row.at.ToString().c_str());
+    for (const auto& [server, load] : row.server_cpu) {
+      std::printf(",%.0f", load * 100.0);
+    }
+    std::printf(",%.1f\n", row.average * 100.0);
+  }
+}
+
+inline void PrintRunSummary(const char* label,
+                            const ScenarioRunResult& result) {
+  const RunMetrics& m = result.metrics;
+  std::printf(
+      "# %s: avg load %.1f%%, overload %.0f server-min "
+      "(%.2f%% of samples, max streak %.0f min), lost work %.1f wu, "
+      "%lld triggers, %lld actions, %lld alerts\n",
+      label, m.average_cpu_load * 100.0, m.overload_server_minutes,
+      m.overload_fraction * 100.0, m.max_overload_streak_minutes,
+      m.lost_work_wu, static_cast<long long>(m.triggers),
+      static_cast<long long>(m.actions_executed),
+      static_cast<long long>(m.alerts));
+}
+
+}  // namespace autoglobe::bench
+
+#endif  // AUTOGLOBE_BENCH_BENCH_UTIL_H_

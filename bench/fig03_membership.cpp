@@ -1,0 +1,44 @@
+// Reproduces Figure 3: the linguistic variable cpuLoad with its three
+// trapezoid membership functions (low / medium / high), sampled over
+// the crisp range [0, 1]. The paper's reference readings —
+// mu_medium(0.6) = 0.5 and mu_high(0.6) = 0.2 — are checked and
+// printed explicitly.
+
+#include <cstdio>
+
+#include "fuzzy/linguistic.h"
+
+using autoglobe::fuzzy::LinguisticVariable;
+using autoglobe::fuzzy::TermGrade;
+
+int main() {
+  std::printf("# Figure 3: linguistic variable cpuLoad\n");
+  LinguisticVariable cpu_load = LinguisticVariable::StandardLoad("cpuLoad");
+
+  std::printf("cpuLoad");
+  for (const auto& term : cpu_load.terms()) {
+    std::printf(",mu_%s", term.name.c_str());
+  }
+  std::printf("\n");
+  for (int i = 0; i <= 50; ++i) {
+    double x = i / 50.0;
+    std::printf("%.2f", x);
+    for (const TermGrade& grade : cpu_load.Fuzzify(x)) {
+      std::printf(",%.3f", grade.grade);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n# Paper reference points (Figure 3 / Section 3):\n");
+  std::printf("# mu_medium(0.6) = %.2f (paper: 0.50)\n",
+              *cpu_load.Grade("medium", 0.6));
+  std::printf("# mu_high(0.6)   = %.2f (paper: 0.20)\n",
+              *cpu_load.Grade("high", 0.6));
+  std::printf("# mu_low(0.9)    = %.2f (paper: 0.00)\n",
+              *cpu_load.Grade("low", 0.9));
+  std::printf("# mu_medium(0.9) = %.2f (paper: 0.00)\n",
+              *cpu_load.Grade("medium", 0.9));
+  std::printf("# mu_high(0.9)   = %.2f (paper: 0.80)\n",
+              *cpu_load.Grade("high", 0.9));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 5 and the worked example of Section 3: the
+// max-min inference result for the output variable scaleUp given the
+// paper's sample rules and measurements (CPU load l = 0.9, a
+// performance index fuzzifying to low 0 / medium 0.6 / high 0.3).
+// Expected crisp results: scale-up applicable to 0.6, scale-out to
+// 0.3 — "the controller will favor the scale-up action".
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "fuzzy/inference.h"
+
+using namespace autoglobe::fuzzy;
+
+int main() {
+  RuleBase rb("paper-section3");
+  AG_CHECK_OK(rb.AddVariable(LinguisticVariable::StandardLoad("cpuLoad")));
+  LinguisticVariable perf("performanceIndex", 0.0, 10.0);
+  AG_CHECK_OK(perf.AddTerm(
+      "low", MembershipFunction::Trapezoid(0, 0, 2, 4).value()));
+  AG_CHECK_OK(
+      perf.AddTerm("medium", MembershipFunction::Triangle(3, 5, 7).value()));
+  AG_CHECK_OK(
+      perf.AddTerm("high", MembershipFunction::RampUp(5.2, 7.2).value()));
+  AG_CHECK_OK(rb.AddVariable(std::move(perf)));
+  AG_CHECK_OK(rb.AddVariable(LinguisticVariable::RampOutput("scaleUp")));
+  AG_CHECK_OK(rb.AddVariable(LinguisticVariable::RampOutput("scaleOut")));
+  AG_CHECK_OK(rb.AddRulesFromText(
+      "IF cpuLoad IS high AND (performanceIndex IS low OR "
+      "performanceIndex IS medium) THEN scaleUp IS applicable\n"
+      "IF cpuLoad IS high AND performanceIndex IS high "
+      "THEN scaleOut IS applicable\n"));
+
+  Inputs inputs = {{"cpuLoad", 0.9}, {"performanceIndex", 5.8}};
+  InferenceEngine engine(Defuzzifier::kLeftmostMax);
+  auto outputs = engine.Infer(rb, inputs);
+  AG_CHECK_OK(outputs.status());
+
+  std::printf("# Figure 5: max-min inference result for scaleUp\n");
+  std::printf("# inputs: cpuLoad=0.9 -> mu_high=0.8; performanceIndex -> "
+              "(low 0, medium 0.6, high 0.3)\n");
+  std::printf("applicability,mu_clipped\n");
+  const AggregatedSet& set = outputs->at("scaleUp").set;
+  std::vector<double> samples = set.Sample(50);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::printf("%.2f,%.3f\n", static_cast<double>(i) / 50.0, samples[i]);
+  }
+
+  std::printf("\n# Defuzzified crisp action applicabilities:\n");
+  std::printf("# scaleUp  = %.2f (paper: 0.60)\n",
+              outputs->at("scaleUp").crisp);
+  std::printf("# scaleOut = %.2f (paper: 0.30)\n",
+              outputs->at("scaleOut").crisp);
+  std::printf("# favored action: %s (paper: scale-up)\n",
+              outputs->at("scaleUp").crisp > outputs->at("scaleOut").crisp
+                  ? "scaleUp"
+                  : "scaleOut");
+  return 0;
+}

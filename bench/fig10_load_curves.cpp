@@ -1,0 +1,39 @@
+// Reproduces Figure 10: the daily load curves of an LES application
+// server (three-peak interactive office day) and a BW application
+// server (night batch window) over one simulated day. The printed
+// values are server CPU loads in percent, like the paper's y-axis.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace autoglobe;
+
+int main() {
+  std::printf("# Figure 10: load curves of LES and BW over one day\n");
+  // The static scenario at the Table 4 user counts shows the raw
+  // workload shape without controller interference.
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  RunnerConfig config = MakeScenarioConfig(Scenario::kStatic, 1.0);
+  config.duration = Duration::Hours(24);
+  auto runner = SimulationRunner::Create(landscape, config);
+  AG_CHECK_OK(runner.status());
+
+  std::printf("time,LES(Blade1),BW(Blade9)\n");
+  (*runner)->set_sample_hook(
+      [](SimTime now, const workload::DemandEngine& demand,
+         const infra::Cluster&) {
+        if (now.seconds() % Duration::Minutes(15).seconds() != 0) return;
+        std::printf("%s,%.1f,%.1f\n", now.ClockString().c_str(),
+                    demand.ServerCpuLoad("Blade1") * 100.0,
+                    demand.ServerCpuLoad("Blade9") * 100.0);
+      });
+  AG_CHECK_OK((*runner)->Run());
+
+  std::printf(
+      "\n# Expected shape (paper): LES ramps at 8:00 with 'three peaks, "
+      "one in the morning,\n# one before midday and one before the "
+      "employees leave'; BW processes heavy batch\n# jobs during the "
+      "night and is almost idle at day.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 12: CPU load of all servers in the static
+// scenario at +15 % users over 80 simulated hours. Expected shape:
+// "several servers become overloaded, i.e., have a CPU load of more
+// than 80% for a long time, at regular intervals".
+
+#include "scenario_figures.h"
+
+int main() {
+  return autoglobe::bench::RunServerLoadFigure(
+      "Figure 12", autoglobe::Scenario::kStatic);
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 13: CPU load of all servers in the constrained
+// mobility scenario at +15 % users. Expected shape: "the overload
+// situations are on average shorter than in the static scenario, but
+// due to the restrictions of the static user distribution, the
+// overload situations cannot be prevented completely".
+
+#include "scenario_figures.h"
+
+int main() {
+  return autoglobe::bench::RunServerLoadFigure(
+      "Figure 13", autoglobe::Scenario::kConstrainedMobility);
+}

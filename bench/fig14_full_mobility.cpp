@@ -1,0 +1,12 @@
+// Reproduces Figure 14: CPU load of all servers in the full mobility
+// scenario at +15 % users. Expected shape: "idle resources are
+// efficiently used ... the utilization of the hardware is
+// well-balanced" and overloads are essentially averted after the
+// watchTime-induced peaks at the beginning.
+
+#include "scenario_figures.h"
+
+int main() {
+  return autoglobe::bench::RunServerLoadFigure(
+      "Figure 14", autoglobe::Scenario::kFullMobility);
+}

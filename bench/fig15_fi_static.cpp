@@ -1,0 +1,11 @@
+// Reproduces Figure 15: the FI application servers' load curves in
+// the static scenario. "As services are static, the controller cannot
+// remedy the overload situations. Thus, the service instances running
+// on the less powerful blades become overloaded periodically."
+
+#include "scenario_figures.h"
+
+int main() {
+  return autoglobe::bench::RunFiFigure("Figure 15",
+                                       autoglobe::Scenario::kStatic);
+}

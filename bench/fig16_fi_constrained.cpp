@@ -1,0 +1,12 @@
+// Reproduces Figure 16: FI load curves plus controller actions in the
+// constrained mobility scenario. Expected behaviour: the controller
+// starts additional FI instances when the morning ramp overloads the
+// initial hosts; because users are sticky, "the load of Blade3 and
+// Blade5 only decreases slowly"; idle instances are stopped again.
+
+#include "scenario_figures.h"
+
+int main() {
+  return autoglobe::bench::RunFiFigure(
+      "Figure 16", autoglobe::Scenario::kConstrainedMobility);
+}

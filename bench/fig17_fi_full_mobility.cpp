@@ -1,0 +1,14 @@
+// Reproduces Figure 17: FI load curves plus controller actions in the
+// full mobility scenario. "Again, the controller adds and stops
+// instances as required. Additionally, service instances are moved
+// from heavy loaded servers to other servers. ... users are
+// dynamically redistributed, thus the effects of controller actions
+// are observable instantly and overload situation can be averted
+// completely."
+
+#include "scenario_figures.h"
+
+int main() {
+  return autoglobe::bench::RunFiFigure(
+      "Figure 17", autoglobe::Scenario::kFullMobility);
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks (google-benchmark) of the fuzzy machinery: rule
+// parsing, fuzzification, full inference over the default controller
+// rule bases, and defuzzification. The controller runs inference for
+// every service instance on every trigger, so these paths are the
+// hot loop of AutoGlobe.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "controller/rule_bases.h"
+#include "fuzzy/inference.h"
+#include "fuzzy/rule_parser.h"
+
+namespace {
+
+using namespace autoglobe;
+using fuzzy::AggregatedSet;
+using fuzzy::Defuzzifier;
+using fuzzy::InferenceEngine;
+using fuzzy::Inputs;
+using fuzzy::LinguisticVariable;
+using fuzzy::MembershipFunction;
+using fuzzy::RuleBase;
+
+constexpr const char* kSampleRule =
+    "IF cpuLoad IS high AND (performanceIndex IS low OR "
+    "performanceIndex IS medium) THEN scaleUp IS applicable";
+
+void BM_ParseRule(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rule = fuzzy::ParseRule(kSampleRule);
+    benchmark::DoNotOptimize(rule);
+  }
+}
+BENCHMARK(BM_ParseRule);
+
+void BM_Fuzzify(benchmark::State& state) {
+  LinguisticVariable var = LinguisticVariable::StandardLoad("cpuLoad");
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.001;
+    if (x > 1.0) x = 0.0;
+    auto grades = var.Fuzzify(x);
+    benchmark::DoNotOptimize(grades);
+  }
+}
+BENCHMARK(BM_Fuzzify);
+
+void BM_InferDefaultOverloadBase(benchmark::State& state) {
+  auto rb = controller::MakeDefaultActionRuleBase(
+      monitor::TriggerKind::kServiceOverloaded);
+  AG_CHECK_OK(rb.status());
+  InferenceEngine engine;
+  Inputs inputs = {{"cpuLoad", 0.85},          {"memLoad", 0.4},
+                   {"performanceIndex", 2.0},  {"instanceLoad", 0.9},
+                   {"serviceLoad", 0.8},       {"instancesOnServer", 2.0},
+                   {"instancesOfService", 3.0}};
+  for (auto _ : state) {
+    auto outputs = engine.Infer(*rb, inputs);
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rb->size()));
+}
+BENCHMARK(BM_InferDefaultOverloadBase);
+
+void BM_InferServerSelection(benchmark::State& state) {
+  auto rb =
+      controller::MakeDefaultServerRuleBase(infra::ActionType::kScaleOut);
+  AG_CHECK_OK(rb.status());
+  InferenceEngine engine;
+  Inputs inputs = {{"cpuLoad", 0.2},      {"memLoad", 0.4},
+                   {"instancesOnServer", 1.0},
+                   {"performanceIndex", 9.0},
+                   {"numberOfCpus", 4.0}, {"cpuClock", 2.8},
+                   {"cpuCache", 2.0},     {"memory", 12.0},
+                   {"swapSpace", 24.0},   {"tempSpace", 40.0}};
+  for (auto _ : state) {
+    auto score = engine.InferValue(*rb, inputs, "suitability");
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_InferServerSelection);
+
+void BM_Defuzzify(benchmark::State& state) {
+  Defuzzifier method = static_cast<Defuzzifier>(state.range(0));
+  AggregatedSet set(0.0, 1.0);
+  set.AddClipped(MembershipFunction::RampUp(0.0, 1.0).value(), 0.6);
+  set.AddClipped(MembershipFunction::Triangle(0.2, 0.5, 0.8).value(), 0.4);
+  for (auto _ : state) {
+    double crisp = set.Defuzzify(method);
+    benchmark::DoNotOptimize(crisp);
+  }
+  state.SetLabel(std::string(fuzzy::DefuzzifierName(method)));
+}
+BENCHMARK(BM_Defuzzify)->DenseRange(0, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

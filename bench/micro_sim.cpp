@@ -1,0 +1,68 @@
+// Microbenchmarks (google-benchmark) of the simulation substrate:
+// event-queue throughput, demand-engine ticks over the full paper
+// landscape, and whole simulated hours of each scenario — the numbers
+// that justify running 80-hour capacity sweeps in seconds.
+
+#include <benchmark/benchmark.h>
+
+#include "autoglobe/capacity.h"
+#include "common/logging.h"
+#include "sim/simulator.h"
+#include "workload/demand.h"
+
+namespace {
+
+using namespace autoglobe;
+
+void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    uint64_t sink = 0;
+    for (int64_t i = 0; i < batch; ++i) {
+      AG_CHECK_OK(simulator
+                      .ScheduleAt(SimTime::FromSeconds((i * 7919) % 100000),
+                                  "e", [&sink] { ++sink; })
+                      .status());
+    }
+    simulator.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch)->Arg(1000)->Arg(10000);
+
+void BM_DemandEngineTick(benchmark::State& state) {
+  infra::Cluster cluster;
+  workload::DemandEngine engine(&cluster, Rng(1));
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  AG_CHECK_OK(landscape.Build(&cluster, &engine));
+  int64_t minute = 0;
+  for (auto _ : state) {
+    engine.Tick(SimTime::Start() + Duration::Minutes(++minute));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DemandEngineTick);
+
+void BM_SimulatedHour(benchmark::State& state) {
+  Scenario scenario = static_cast<Scenario>(state.range(0));
+  Landscape landscape = MakePaperLandscape(scenario);
+  RunnerConfig config = MakeScenarioConfig(scenario, 1.15);
+  config.duration = Duration::Hours(100000);  // run manually below
+  auto runner = SimulationRunner::Create(landscape, config);
+  AG_CHECK_OK(runner.status());
+  int64_t hour = 0;
+  for (auto _ : state) {
+    ++hour;
+    AG_CHECK_OK(
+        (*runner)->RunUntil(SimTime::Start() + Duration::Hours(hour)));
+  }
+  state.SetLabel(std::string(ScenarioName(scenario)));
+  state.SetItemsProcessed(state.iterations() * 60);  // ticks
+}
+BENCHMARK(BM_SimulatedHour)->DenseRange(0, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

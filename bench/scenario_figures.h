@@ -1,0 +1,73 @@
+#ifndef AUTOGLOBE_BENCH_SCENARIO_FIGURES_H_
+#define AUTOGLOBE_BENCH_SCENARIO_FIGURES_H_
+
+// Shared driver for the Figure 12-14 reproductions: 80 simulated
+// hours of the paper landscape at +15 % users (the setting of §5.2:
+// "simulation results with the number of users increased by 15 %"),
+// printing the CPU load of all 19 servers plus the thick average
+// line.
+
+#include "bench_util.h"
+
+namespace autoglobe::bench {
+
+inline int RunServerLoadFigure(const char* figure, Scenario scenario) {
+  std::printf("# %s: CPU load of all servers (%s scenario, users +15%%)\n",
+              figure, std::string(ScenarioName(scenario)).c_str());
+  ScenarioRunResult result =
+      RunScenario(scenario, 1.15, Duration::Minutes(60));
+  PrintServerSeries(result);
+  PrintRunSummary(figure, result);
+  return 0;
+}
+
+/// Shared driver for the Figure 15-17 reproductions: the FI
+/// application servers' load curves plus the controller action log.
+inline int RunFiFigure(const char* figure, Scenario scenario) {
+  std::printf("# %s: CPU load of the FI instances (%s scenario, "
+              "users +15%%)\n",
+              figure, std::string(ScenarioName(scenario)).c_str());
+  ScenarioRunResult result =
+      RunScenario(scenario, 1.15, Duration::Minutes(30), "FI");
+
+  // Collect the union of instance labels over the run (instances come
+  // and go as the controller acts).
+  std::map<std::string, int> labels;
+  for (const auto& row : result.service_instance_rows) {
+    for (const auto& [label, load] : row) labels.emplace(label, 0);
+  }
+  std::printf("time");
+  for (const auto& [label, unused] : labels) {
+    std::printf(",%s", label.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    std::printf("%s", result.rows[i].at.ToString().c_str());
+    const auto& instances = result.service_instance_rows[i];
+    for (const auto& [label, unused] : labels) {
+      auto it = instances.find(label);
+      if (it == instances.end()) {
+        std::printf(",");
+      } else {
+        std::printf(",%.0f", it->second * 100.0);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n# Controller actions involving FI:\n");
+  int shown = 0;
+  for (const std::string& message : result.messages) {
+    if (message.find("EXEC") == std::string::npos) continue;
+    if (message.find("FI") == std::string::npos) continue;
+    std::printf("# %s\n", message.c_str());
+    ++shown;
+  }
+  if (shown == 0) std::printf("# (none — services are static)\n");
+  PrintRunSummary(figure, result);
+  return 0;
+}
+
+}  // namespace autoglobe::bench
+
+#endif  // AUTOGLOBE_BENCH_SCENARIO_FIGURES_H_

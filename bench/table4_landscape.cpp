@@ -1,0 +1,79 @@
+// Prints the landscape configuration tables of the paper: Table 4
+// (initial number of users and instances per service), the hardware
+// of Figure 11 with its initial allocation, and the per-scenario
+// constraint sets of Tables 5 and 6 — all generated from the same
+// declarative description the simulator runs on.
+
+#include <cstdio>
+#include <map>
+
+#include "autoglobe/landscape.h"
+#include "common/strings.h"
+
+using namespace autoglobe;
+
+namespace {
+
+void PrintTable4() {
+  std::printf("# Table 4: initial number of users and instances\n");
+  std::printf("%-10s %8s %10s\n", "Service", "Users", "Instances");
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  std::map<std::string, int> instances;
+  for (const auto& [service, server] : landscape.initial_allocation) {
+    ++instances[service];
+  }
+  for (const char* service : {"FI", "LES", "PP", "HR", "CRM", "BW"}) {
+    double users = 0;
+    for (const auto& demand : landscape.demand) {
+      if (demand.service == service) users = demand.base_users;
+    }
+    std::printf("%-10s %8.0f %10d\n", service, users, instances[service]);
+  }
+}
+
+void PrintFigure11() {
+  std::printf("\n# Figure 11: simulated hardware and initial allocation\n");
+  std::printf("%-12s %-18s %3s %5s %7s  %s\n", "Server", "Category", "PI",
+              "CPUs", "Mem(GB)", "Initial service");
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  std::map<std::string, std::string> allocation;
+  for (const auto& [service, server] : landscape.initial_allocation) {
+    allocation[server] = service;
+  }
+  for (const auto& server : landscape.servers) {
+    std::printf("%-12s %-18s %3.0f %5d %7.0f  %s\n", server.name.c_str(),
+                server.category.c_str(), server.performance_index,
+                server.num_cpus, server.memory_gb,
+                allocation[server.name].c_str());
+  }
+}
+
+void PrintConstraintTable(const char* title, Scenario scenario) {
+  std::printf("\n# %s\n", title);
+  std::printf("%-10s %-6s %6s %6s %6s  %s\n", "Service", "Excl", "MinPI",
+              "MinIn", "MaxIn", "Possible actions");
+  Landscape landscape = MakePaperLandscape(scenario);
+  for (const auto& service : landscape.services) {
+    std::vector<std::string> actions;
+    for (infra::ActionType action : service.allowed_actions) {
+      actions.emplace_back(infra::ActionTypeName(action));
+    }
+    std::printf("%-10s %-6s %6.0f %6d %6d  %s\n", service.name.c_str(),
+                service.exclusive ? "yes" : "no",
+                service.min_performance_index, service.min_instances,
+                service.max_instances,
+                actions.empty() ? "-" : Join(actions, ", ").c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintTable4();
+  PrintFigure11();
+  PrintConstraintTable("Table 5: services in the CM scenario",
+                       Scenario::kConstrainedMobility);
+  PrintConstraintTable("Table 6: services in the FM scenario",
+                       Scenario::kFullMobility);
+  return 0;
+}

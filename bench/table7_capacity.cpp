@@ -1,0 +1,63 @@
+// Reproduces Table 7, the paper's headline result: "the maximum
+// numbers of users that can be handled by the existing hardware in
+// the different scenarios relative to the number of users stated in
+// Table 4" — static 100 %, constrained mobility 115 %, full mobility
+// 135 %. The sweep follows the paper's protocol: 80-hour simulation
+// runs, increasing the number of users by 5 % until the system
+// becomes overloaded (sustained > 80 % CPU).
+
+#include <cstdio>
+
+#include "autoglobe/capacity.h"
+#include "common/logging.h"
+
+using namespace autoglobe;
+
+int main() {
+  std::printf("# Table 7: maximum possible, relative number of users\n\n");
+
+  CapacityOptions options;  // 80 h runs, +5 % steps, paper thresholds
+  struct RowSpec {
+    Scenario scenario;
+    int paper_percent;
+  };
+  const RowSpec rows[] = {
+      {Scenario::kStatic, 100},
+      {Scenario::kConstrainedMobility, 115},
+      {Scenario::kFullMobility, 135},
+  };
+
+  std::printf("%-22s %12s %12s\n", "Scenario", "Measured", "Paper");
+  double results[3] = {0, 0, 0};
+  int i = 0;
+  for (const RowSpec& row : rows) {
+    auto result = FindCapacity(row.scenario, options);
+    AG_CHECK_OK(result.status());
+    results[i++] = result->max_scale;
+    std::printf("%-22s %11.0f%% %11d%%\n",
+                std::string(ScenarioName(row.scenario)).c_str(),
+                result->max_scale * 100.0, row.paper_percent);
+  }
+
+  std::printf("\n# Sweep details (per 5%% step):\n");
+  for (const RowSpec& row : rows) {
+    auto result = FindCapacity(row.scenario, options);
+    AG_CHECK_OK(result.status());
+    for (const CapacityStep& step : result->steps) {
+      std::printf(
+          "# %-22s %3.0f%%: %s (overload %.0f server-min, %.2f%% of "
+          "samples, max streak %.0f min, %lld actions)\n",
+          std::string(ScenarioName(row.scenario)).c_str(),
+          step.scale * 100.0, step.passed ? "ok        " : "OVERLOADED",
+          step.metrics.overload_server_minutes,
+          step.metrics.overload_fraction * 100.0,
+          step.metrics.max_overload_streak_minutes,
+          static_cast<long long>(step.metrics.actions_executed));
+    }
+  }
+
+  bool ordering = results[0] < results[1] && results[1] < results[2];
+  std::printf("\n# Shape check: static < CM < FM ... %s\n",
+              ordering ? "HOLDS" : "VIOLATED");
+  return ordering ? 0 : 1;
+}

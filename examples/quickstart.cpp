@@ -1,0 +1,118 @@
+// Quickstart: build a small landscape in code, run AutoGlobe's
+// controller for one simulated day, and inspect what it did.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The walkthrough covers the whole public API surface a user needs:
+// server/service specs with constraints, demand model, scenario
+// wiring, the simulation runner, and the controller's action log.
+
+#include <cstdio>
+
+#include "autoglobe/console.h"
+#include "common/strings.h"
+#include "autoglobe/runner.h"
+
+using namespace autoglobe;
+
+int main() {
+  // --- 1. Describe the hardware: two small blades, one big server. --
+  Landscape landscape;
+  for (int i = 1; i <= 3; ++i) {
+    infra::ServerSpec blade;
+    blade.name = StrFormat("blade%d", i);
+    blade.category = "small-blade";
+    blade.performance_index = 1;
+    blade.num_cpus = 1;
+    blade.memory_gb = 2;
+    landscape.servers.push_back(blade);
+  }
+  infra::ServerSpec big;
+  big.name = "bigserver";
+  big.category = "big-iron";
+  big.performance_index = 4;
+  big.num_cpus = 4;
+  big.cpu_clock_ghz = 2.8;
+  big.memory_gb = 8;
+  landscape.servers.push_back(big);
+
+  // --- 2. Describe the services and their constraints. -------------
+  infra::ServiceSpec web;
+  web.name = "web";
+  web.role = infra::ServiceRole::kApplicationServer;
+  web.subsystem = "shop";
+  web.min_instances = 1;
+  web.max_instances = 4;
+  web.memory_footprint_gb = 1.0;
+  web.allowed_actions = {infra::ActionType::kScaleIn,
+                         infra::ActionType::kScaleOut,
+                         infra::ActionType::kScaleUp,
+                         infra::ActionType::kScaleDown,
+                         infra::ActionType::kMove};
+  landscape.services.push_back(web);
+
+  infra::ServiceSpec db;
+  db.name = "db";
+  db.role = infra::ServiceRole::kDatabase;
+  db.subsystem = "shop";
+  db.exclusive = false;
+  db.min_performance_index = 2;  // needs a beefy host
+  db.memory_footprint_gb = 4.0;
+  landscape.services.push_back(db);
+
+  // --- 3. Describe the workload: 300 office users, DB-backed. -------
+  workload::ServiceDemandSpec web_demand;
+  web_demand.service = "web";
+  web_demand.pattern = workload::LoadPattern::Interactive();
+  web_demand.base_users = 300;
+  landscape.demand.push_back(web_demand);
+
+  workload::ServiceDemandSpec db_demand;
+  db_demand.service = "db";
+  db_demand.pattern = workload::LoadPattern::Flat(0);
+  db_demand.base_load_wu = 0.05;
+  db_demand.shared_queue = true;
+  landscape.demand.push_back(db_demand);
+
+  landscape.subsystems.push_back(workload::SubsystemSpec{
+      "shop", {"web"}, /*central_instance=*/"", "db",
+      /*ci_factor=*/0.0, /*db_factor=*/0.3});
+
+  // --- 4. Initial allocation: one web instance, the database. -------
+  landscape.initial_allocation = {{"web", "blade1"}, {"db", "bigserver"}};
+
+  // --- 5. Run one day under the fuzzy controller. --------------------
+  RunnerConfig config;  // paper defaults: 70 % trigger, 10-min watch...
+  config.duration = Duration::Hours(24);
+  config.user_scale = 1.4;  // oversubscribed on purpose
+  config.distribution = workload::UserDistribution::kDynamicRedistribution;
+  auto runner = SimulationRunner::Create(landscape, config);
+  if (!runner.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 runner.status().ToString().c_str());
+    return 1;
+  }
+  if (Status status = (*runner)->Run(); !status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // --- 6. What happened? ---------------------------------------------
+  std::printf("controller log:\n");
+  for (const infra::ActionRecord& record : (*runner)->executor().log()) {
+    std::printf("  %s  %-30s %s\n", record.at.ToString().c_str(),
+                record.action.ToString().c_str(),
+                record.status.ok() ? "ok" : record.status.ToString().c_str());
+  }
+  const RunMetrics& metrics = (*runner)->metrics();
+  std::printf(
+      "\nsummary: %lld triggers, %lld actions, %.0f overloaded "
+      "server-minutes, avg load %.1f%%\n",
+      static_cast<long long>(metrics.triggers),
+      static_cast<long long>(metrics.actions_executed),
+      metrics.overload_server_minutes, metrics.average_cpu_load * 100);
+
+  std::printf("\nfinal state:\n%s", Console(runner->get()).Render().c_str());
+  return 0;
+}

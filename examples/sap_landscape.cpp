@@ -1,0 +1,60 @@
+// Runs the paper's full SAP landscape (Figure 9/11, Table 4) for one
+// simulated day per scenario and prints console snapshots — the
+// closest thing to watching the Figure 8 GUI over AutoGlobe's
+// shoulder.
+
+#include <cstdio>
+
+#include "autoglobe/capacity.h"
+#include "autoglobe/console.h"
+#include "autoglobe/landscape.h"
+#include "autoglobe/runner.h"
+
+using namespace autoglobe;
+
+namespace {
+
+void RunScenario(Scenario scenario) {
+  std::printf("\n################ scenario: %s ################\n",
+              std::string(ScenarioName(scenario)).c_str());
+  Landscape landscape = MakePaperLandscape(scenario);
+  RunnerConfig config = MakeScenarioConfig(scenario, /*user_scale=*/1.15);
+  config.duration = Duration::Hours(24);
+  auto runner = SimulationRunner::Create(landscape, config);
+  if (!runner.ok()) {
+    std::printf("failed to build runner: %s\n",
+                runner.status().ToString().c_str());
+    return;
+  }
+  Console console(runner->get());
+
+  // Snapshot at 10:00 (morning peak) and 23:30 (BW batch window).
+  for (Duration at : {Duration::Hours(10), Duration::Hours(23) +
+                                               Duration::Minutes(30)}) {
+    if (!(*runner)->RunUntil(SimTime::Start() + at).ok()) return;
+    std::printf("%s\n", console.Render().c_str());
+  }
+  auto status = (*runner)->Run();
+  if (!status.ok()) {
+    std::printf("run failed: %s\n", status.ToString().c_str());
+    return;
+  }
+  const RunMetrics& metrics = (*runner)->metrics();
+  std::printf(
+      "day summary: avg load %.1f%%, overload %.0f server-min "
+      "(max streak %.0f min), triggers %lld, actions %lld, alerts %lld\n",
+      metrics.average_cpu_load * 100.0, metrics.overload_server_minutes,
+      metrics.max_overload_streak_minutes,
+      static_cast<long long>(metrics.triggers),
+      static_cast<long long>(metrics.actions_executed),
+      static_cast<long long>(metrics.alerts));
+}
+
+}  // namespace
+
+int main() {
+  RunScenario(Scenario::kStatic);
+  RunScenario(Scenario::kConstrainedMobility);
+  RunScenario(Scenario::kFullMobility);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "autoglobe/capacity.h"
+
+namespace autoglobe {
+
+RunnerConfig MakeScenarioConfig(Scenario scenario, double user_scale,
+                                uint64_t seed) {
+  RunnerConfig config;
+  config.user_scale = user_scale;
+  config.seed = seed;
+  switch (scenario) {
+    case Scenario::kStatic:
+      config.controller_enabled = false;
+      config.distribution = workload::UserDistribution::kStickySessions;
+      break;
+    case Scenario::kConstrainedMobility:
+      config.controller_enabled = true;
+      // "After a scale-out, the system does not dynamically
+      // redistribute the users" (§5.1) — only fluctuation rebalances.
+      config.distribution = workload::UserDistribution::kStickySessions;
+      break;
+    case Scenario::kFullMobility:
+      config.controller_enabled = true;
+      // "if a new instance of a service is started, the users are
+      // equally redistributed across all instances" (§5.1).
+      config.distribution =
+          workload::UserDistribution::kDynamicRedistribution;
+      break;
+  }
+  return config;
+}
+
+bool Passes(const RunMetrics& metrics, const AcceptanceCriteria& criteria) {
+  return metrics.max_overload_streak_minutes <=
+             criteria.max_overload_streak_minutes &&
+         metrics.overload_fraction <= criteria.max_overload_fraction;
+}
+
+Result<CapacityResult> FindCapacity(Scenario scenario,
+                                    const CapacityOptions& options) {
+  CapacityResult result;
+  result.scenario = scenario;
+  for (double scale = options.start_scale;
+       scale <= options.max_scale + 1e-9; scale += options.step) {
+    Landscape landscape = MakePaperLandscape(scenario);
+    RunnerConfig config =
+        MakeScenarioConfig(scenario, scale, options.seed);
+    config.duration = options.run_duration;
+    config.metrics_warmup = options.warmup;
+    AG_ASSIGN_OR_RETURN(std::unique_ptr<SimulationRunner> runner,
+                        SimulationRunner::Create(landscape, config));
+    AG_RETURN_IF_ERROR(runner->Run());
+    CapacityStep step;
+    step.scale = scale;
+    step.metrics = runner->metrics();
+    step.passed = Passes(step.metrics, options.criteria);
+    result.steps.push_back(step);
+    if (!step.passed) break;  // "until the system becomes overloaded"
+    result.max_scale = scale;
+  }
+  return result;
+}
+
+}  // namespace autoglobe

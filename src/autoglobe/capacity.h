@@ -1,0 +1,67 @@
+#ifndef AUTOGLOBE_AUTOGLOBE_CAPACITY_H_
+#define AUTOGLOBE_AUTOGLOBE_CAPACITY_H_
+
+#include <vector>
+
+#include "autoglobe/runner.h"
+
+namespace autoglobe {
+
+/// Builds the RunnerConfig matching a paper scenario: the static
+/// scenario disables the controller; CM/FM differ in user
+/// distribution (§5.1). The landscape itself must be built with the
+/// same scenario so the constraint sets (Tables 5/6) line up.
+RunnerConfig MakeScenarioConfig(Scenario scenario, double user_scale,
+                                uint64_t seed = 42);
+
+/// When does a run count as "the system became overloaded"? The paper
+/// calls a server overloaded when it has "a CPU load of more than 80%
+/// for a long time" (§5.2); a run fails when any single overload
+/// streak is too long or too much aggregate time is spent overloaded.
+struct AcceptanceCriteria {
+  double max_overload_streak_minutes = 48.0;
+  double max_overload_fraction = 0.010;
+};
+
+/// Verdict for one user-scale step of the sweep.
+struct CapacityStep {
+  double scale = 1.0;
+  RunMetrics metrics;
+  bool passed = false;
+};
+
+/// Result of the capacity search for one scenario (one cell of
+/// Table 7).
+struct CapacityResult {
+  Scenario scenario = Scenario::kStatic;
+  /// Highest user scale the landscape sustains (1.0 = Table 4 users).
+  double max_scale = 0.0;
+  std::vector<CapacityStep> steps;
+};
+
+/// Options of the sweep: "We run different simulation series and
+/// always increase the number of users by 5% until the system becomes
+/// overloaded" (§5.1).
+struct CapacityOptions {
+  double start_scale = 1.0;
+  double step = 0.05;
+  double max_scale = 1.8;
+  Duration run_duration = Duration::Hours(80);
+  /// Excluded from the verdict (cold-start transients, see
+  /// RunnerConfig::metrics_warmup).
+  Duration warmup = Duration::Hours(24);
+  uint64_t seed = 42;
+  AcceptanceCriteria criteria;
+};
+
+/// Evaluates a finished run against the criteria.
+bool Passes(const RunMetrics& metrics, const AcceptanceCriteria& criteria);
+
+/// Runs the +5 % sweep for one scenario of the paper landscape and
+/// reports the maximum sustainable user scale (the Table 7 numbers).
+Result<CapacityResult> FindCapacity(Scenario scenario,
+                                    const CapacityOptions& options = {});
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_AUTOGLOBE_CAPACITY_H_

@@ -1,0 +1,123 @@
+#include "autoglobe/console.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe {
+
+Console::Console(const SimulationRunner* runner) : runner_(runner) {
+  AG_CHECK(runner_ != nullptr);
+}
+
+std::string Console::RenderServerView() const {
+  const infra::Cluster& cluster = runner_->cluster();
+  const workload::DemandEngine& demand = runner_->demand();
+  SimTime now = runner_->simulator().now();
+
+  std::string out = "=== Server View (" + now.ToString() + ") ===\n";
+  out += StrFormat("%-12s %-18s %4s %6s %6s %5s  %s\n", "Server",
+                   "Category", "PI", "CPU%", "MEM%", "Prot", "Instances");
+  // Grouped by category, as in the GUI's left-hand panel.
+  std::map<std::string, std::vector<const infra::ServerSpec*>> by_category;
+  for (const infra::ServerSpec* server : cluster.Servers()) {
+    by_category[server->category].push_back(server);
+  }
+  for (const auto& [category, servers] : by_category) {
+    for (const infra::ServerSpec* server : servers) {
+      std::string instances;
+      for (const infra::ServiceInstance* instance :
+           cluster.InstancesOn(server->name)) {
+        if (!instances.empty()) instances += ", ";
+        instances += instance->service;
+        if (instance->state != infra::InstanceState::kRunning) {
+          instances += StrFormat(
+              "(%.*s)",
+              static_cast<int>(
+                  infra::InstanceStateName(instance->state).size()),
+              infra::InstanceStateName(instance->state).data());
+        }
+      }
+      out += StrFormat(
+          "%-12s %-18s %4.0f %5.1f%% %5.1f%% %5s  %s\n",
+          server->name.c_str(), server->category.c_str(),
+          server->performance_index,
+          demand.ServerCpuLoad(server->name) * 100.0,
+          demand.ServerMemLoad(server->name) * 100.0,
+          cluster.IsServerProtected(server->name, now) ? "yes" : "no",
+          instances.c_str());
+    }
+  }
+  return out;
+}
+
+std::string Console::RenderServiceView() const {
+  const infra::Cluster& cluster = runner_->cluster();
+  const workload::DemandEngine& demand = runner_->demand();
+  SimTime now = runner_->simulator().now();
+
+  std::string out = "=== Service View (" + now.ToString() + ") ===\n";
+  out += StrFormat("%-8s %-17s %5s %7s %6s %5s %5s  %s\n", "Service",
+                   "Role", "Inst", "Users", "Load%", "Prio", "Prot",
+                   "Hosts");
+  for (const infra::ServiceSpec* service : cluster.Services()) {
+    std::string hosts;
+    for (const infra::ServiceInstance* instance :
+         cluster.InstancesOf(service->name)) {
+      if (!hosts.empty()) hosts += ", ";
+      hosts += instance->server;
+    }
+    out += StrFormat(
+        "%-8s %-17s %5d %7.0f %5.1f%% %5.2f %5s  %s\n",
+        service->name.c_str(),
+        std::string(infra::ServiceRoleName(service->role)).c_str(),
+        cluster.ActiveInstanceCount(service->name),
+        demand.ServiceUsers(service->name),
+        demand.ServiceLoad(service->name) * 100.0,
+        cluster.ServicePriority(service->name),
+        cluster.IsServiceProtected(service->name, now) ? "yes" : "no",
+        hosts.c_str());
+  }
+  return out;
+}
+
+std::string Console::RenderSlaView() const {
+  std::vector<const SlaStatus*> report = runner_->slas().Report();
+  if (report.empty()) return "";
+  std::string out = "=== SLA View ===\n";
+  out += StrFormat("%-8s %8s %9s %9s %9s %6s\n", "Service", "Target",
+                   "Rolling", "Viol.min", "Episodes", "State");
+  for (const SlaStatus* status : report) {
+    out += StrFormat("%-8s %7.1f%% %8.1f%% %9.0f %9lld %6s\n",
+                     status->spec.service.c_str(),
+                     status->spec.min_satisfaction * 100.0,
+                     status->current_satisfaction * 100.0,
+                     status->violation_minutes,
+                     static_cast<long long>(status->violation_episodes),
+                     status->in_violation ? "VIOL" : "ok");
+  }
+  return out;
+}
+
+std::string Console::RenderMessageView(size_t limit) const {
+  const std::vector<std::string>& messages = runner_->messages();
+  std::string out = "=== Message View ===\n";
+  size_t start = messages.size() > limit ? messages.size() - limit : 0;
+  for (size_t i = start; i < messages.size(); ++i) {
+    out += messages[i] + "\n";
+  }
+  if (messages.empty()) out += "(no messages)\n";
+  return out;
+}
+
+std::string Console::Render() const {
+  std::string out =
+      RenderServerView() + "\n" + RenderServiceView() + "\n";
+  std::string slas = RenderSlaView();
+  if (!slas.empty()) out += slas + "\n";
+  return out + RenderMessageView();
+}
+
+}  // namespace autoglobe

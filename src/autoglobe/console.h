@@ -1,0 +1,43 @@
+#ifndef AUTOGLOBE_AUTOGLOBE_CONSOLE_H_
+#define AUTOGLOBE_AUTOGLOBE_CONSOLE_H_
+
+#include <string>
+
+#include "autoglobe/runner.h"
+
+namespace autoglobe {
+
+/// Text rendition of the administrator controller console (paper
+/// Figure 8). The GUI's three views map to three renderers: the
+/// server view (controlled servers grouped by category with load and
+/// tenancy), the service view (instances, users, priorities), and the
+/// message view (action log and alerts).
+class Console {
+ public:
+  explicit Console(const SimulationRunner* runner);
+
+  /// Server table: name, category, PI, CPU/mem load, instance list,
+  /// protection flag.
+  std::string RenderServerView() const;
+
+  /// Service table: name, role, instances with states and hosts,
+  /// users, average load, priority, protection flag.
+  std::string RenderServiceView() const;
+
+  /// The most recent `limit` administrative messages.
+  std::string RenderMessageView(size_t limit = 20) const;
+
+  /// SLA table: service, target, rolling satisfaction, violation
+  /// totals. Empty string when no SLAs are configured.
+  std::string RenderSlaView() const;
+
+  /// All views concatenated (a full console refresh).
+  std::string Render() const;
+
+ private:
+  const SimulationRunner* runner_;
+};
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_AUTOGLOBE_CONSOLE_H_

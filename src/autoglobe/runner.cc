@@ -1,0 +1,321 @@
+#include "autoglobe/runner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe {
+
+using monitor::LoadMonitoringSystem;
+using monitor::Trigger;
+using monitor::TriggerKind;
+
+/// LoadView backed by the archive (watch-time means per §4.1) and the
+/// live demand engine; optionally replaces server/service loads with
+/// forecasts for the proactive-controller ablation.
+class SimulationRunner::View : public controller::LoadView {
+ public:
+  View(const SimulationRunner* runner) : runner_(runner) {}
+
+  double ServerCpuLoad(std::string_view server) const override {
+    return SubjectLoad(TriggerKind::kServerOverloaded, server,
+                       runner_->demand_->ServerCpuLoad(server));
+  }
+  double ServerMemLoad(std::string_view server) const override {
+    // Memory load changes stepwise with placements; the live value is
+    // the honest signal.
+    return runner_->demand_->ServerMemLoad(server);
+  }
+  double InstanceLoad(infra::InstanceId id) const override {
+    return runner_->demand_->InstanceLoad(id);
+  }
+  double ServiceLoad(std::string_view service) const override {
+    return SubjectLoad(TriggerKind::kServiceOverloaded, service,
+                       runner_->demand_->ServiceLoad(service));
+  }
+
+ private:
+  double SubjectLoad(TriggerKind kind, std::string_view name,
+                     double live) const {
+    std::string key = LoadMonitoringSystem::ArchiveKey(kind, name);
+    SimTime now = runner_->simulator_.now();
+    auto mean = runner_->archive_.Average(
+        key, runner_->config_.monitor.overload_watch_time, now);
+    double current = mean.ok() ? *mean : live;
+    if (runner_->config_.use_forecast && runner_->forecaster_ != nullptr) {
+      // Proactive mode reacts to *imminent* overloads: the controller
+      // sees whichever is worse, the trailing mean or the prediction —
+      // forecasting must never hide a live overload.
+      auto forecast = runner_->forecaster_->Forecast(key, now);
+      if (forecast.ok()) return std::max(current, *forecast);
+    }
+    return current;
+  }
+
+  const SimulationRunner* runner_;
+};
+
+SimulationRunner::SimulationRunner(RunnerConfig config)
+    : config_(config), failure_rng_(config.seed ^ 0xfa11fa11u) {}
+
+SimulationRunner::~SimulationRunner() = default;
+
+Result<std::unique_ptr<SimulationRunner>> SimulationRunner::Create(
+    const Landscape& landscape, RunnerConfig config) {
+  std::unique_ptr<SimulationRunner> runner(new SimulationRunner(config));
+  AG_RETURN_IF_ERROR(runner->Init(landscape));
+  return runner;
+}
+
+Status SimulationRunner::Init(const Landscape& landscape) {
+  demand_ = std::make_unique<workload::DemandEngine>(&cluster_,
+                                                     Rng(config_.seed));
+  AG_RETURN_IF_ERROR(landscape.Build(&cluster_, demand_.get()));
+  demand_->set_user_scale(config_.user_scale);
+  demand_->set_distribution(config_.distribution);
+  demand_->set_fluctuation_per_minute(config_.fluctuation_per_minute);
+  demand_->set_overload_threshold(config_.overload_threshold);
+
+  monitoring_ = std::make_unique<LoadMonitoringSystem>(&archive_,
+                                                       config_.monitor);
+  for (const infra::ServerSpec* server : cluster_.Servers()) {
+    AG_RETURN_IF_ERROR(monitoring_->RegisterSubject(
+        TriggerKind::kServerOverloaded, server->name,
+        server->performance_index));
+  }
+  for (const infra::ServiceSpec* service : cluster_.Services()) {
+    std::optional<Duration> watch_override;
+    if (service->watch_time_minutes > 0) {
+      watch_override = Duration::Minutes(service->watch_time_minutes);
+    }
+    AG_RETURN_IF_ERROR(monitoring_->RegisterSubject(
+        TriggerKind::kServiceOverloaded, service->name, 1.0,
+        watch_override));
+  }
+  monitoring_->set_trigger_callback(
+      [this](const Trigger& trigger) { OnTrigger(trigger); });
+
+  executor_ = std::make_unique<infra::ActionExecutor>(&cluster_,
+                                                      &simulator_,
+                                                      config_.executor);
+  executor_->AddListener([this](const infra::ActionRecord& record) {
+    if (record.status.ok()) {
+      ++metrics_.actions_executed;
+      messages_.push_back(StrFormat("%s  EXEC %s",
+                                    record.at.ToString().c_str(),
+                                    record.action.ToString().c_str()));
+    } else {
+      ++metrics_.actions_failed;
+    }
+  });
+
+  view_ = std::make_unique<View>(this);
+  forecaster_ = std::make_unique<forecast::LoadForecaster>(
+      &archive_, config_.forecast);
+  AG_ASSIGN_OR_RETURN(
+      controller::Controller controller,
+      controller::Controller::Create(&cluster_, executor_.get(),
+                                     view_.get(), config_.controller));
+  controller_ =
+      std::make_unique<controller::Controller>(std::move(controller));
+  controller_->set_alert_callback(
+      [this](const Trigger& trigger, const std::string& reason) {
+        ++metrics_.alerts;
+        messages_.push_back(StrFormat(
+            "%s  ALERT %s(%s): %s", trigger.at.ToString().c_str(),
+            std::string(monitor::TriggerKindName(trigger.kind)).c_str(),
+            trigger.subject.c_str(), reason.c_str()));
+      });
+
+  for (const SlaSpec& sla : config_.slas) {
+    AG_RETURN_IF_ERROR(cluster_.FindService(sla.service).status());
+    AG_RETURN_IF_ERROR(slas_.AddSla(sla));
+  }
+  if (!config_.reservations.empty()) {
+    for (const controller::Reservation& reservation :
+         config_.reservations) {
+      AG_RETURN_IF_ERROR(
+          cluster_.FindServer(reservation.server).status());
+      AG_RETURN_IF_ERROR(reservations_.Add(reservation).status());
+    }
+    controller_->set_reservations(&reservations_);
+  }
+
+  AG_RETURN_IF_ERROR(
+      simulator_.SchedulePeriodic(config_.tick, "tick", [this] { OnTick(); })
+          .status());
+  if (config_.metrics_warmup > Duration::Zero()) {
+    AG_RETURN_IF_ERROR(
+        simulator_
+            .ScheduleAfter(config_.metrics_warmup, "metrics-warmup-end",
+                           [this] {
+                             demand_->ResetQualityMetrics();
+                             metrics_.overload_server_minutes = 0.0;
+                             metrics_.max_overload_streak_minutes = 0.0;
+                             overload_streak_minutes_.clear();
+                             load_sum_ = 0.0;
+                             load_samples_ = 0;
+                           })
+            .status());
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+void SimulationRunner::OnTick() {
+  SimTime now = simulator_.now();
+  if (config_.instance_failures_per_hour > 0) InjectFailures();
+
+  demand_->Tick(now, config_.tick);
+
+  // Metrics and monitoring feeds. The overload verdict uses a
+  // smoothed load so that a single noisy sample does not count as an
+  // "overloaded" minute (the paper's criterion is sustained load).
+  double tick_minutes = config_.tick.seconds() / 60.0;
+  size_t window_ticks = static_cast<size_t>(std::max<int64_t>(
+      1, config_.overload_smoothing.seconds() / config_.tick.seconds()));
+  for (const auto& [server, load] : demand_->server_loads()) {
+    load_sum_ += load.cpu;
+    ++load_samples_;
+    std::deque<double>& window = load_window_[server];
+    double& window_sum = load_window_sum_[server];
+    window.push_back(load.cpu);
+    window_sum += load.cpu;
+    if (window.size() > window_ticks) {
+      window_sum -= window.front();
+      window.pop_front();
+    }
+    double smoothed = window_sum / static_cast<double>(window.size());
+    double& streak = overload_streak_minutes_[server];
+    if (smoothed > config_.overload_threshold) {
+      metrics_.overload_server_minutes += tick_minutes;
+      streak += tick_minutes;
+      metrics_.max_overload_streak_minutes =
+          std::max(metrics_.max_overload_streak_minutes, streak);
+    } else {
+      streak = 0.0;
+    }
+    AG_CHECK_OK(monitoring_->Observe(now, server, load.cpu,
+                                     DetectionLoad(TriggerKind::kServerOverloaded,
+                                                   server, load.cpu)));
+  }
+  for (const infra::ServiceSpec* service : cluster_.Services()) {
+    double service_load = demand_->ServiceLoad(service->name);
+    AG_CHECK_OK(monitoring_->Observe(
+        now, service->name,
+        service_load,
+        DetectionLoad(TriggerKind::kServiceOverloaded, service->name,
+                      service_load)));
+  }
+
+  // SLA monitoring and enforcement (QoS extension, §7).
+  for (const SlaSpec& sla : config_.slas) {
+    auto entered = slas_.Observe(
+        now, sla.service, demand_->ServiceSatisfaction(sla.service),
+        config_.tick);
+    if (!entered.ok() || !*entered) continue;
+    messages_.push_back(StrFormat("%s  SLA-VIOLATION %s (%.1f%% < %.1f%%)",
+                                  now.ToString().c_str(),
+                                  sla.service.c_str(),
+                                  (*slas_.StatusOf(sla.service))
+                                          ->current_satisfaction *
+                                      100.0,
+                                  sla.min_satisfaction * 100.0));
+    if (config_.enforce_slas && config_.controller_enabled) {
+      // The breach is confirmed harm; escalate without a watchTime and
+      // override the subject's own protection window.
+      Trigger trigger{TriggerKind::kServiceOverloaded, sla.service, now,
+                      demand_->ServiceLoad(sla.service)};
+      ++metrics_.triggers;
+      auto outcome = controller_->HandleTrigger(trigger, /*urgent=*/true);
+      if (!outcome.ok()) {
+        messages_.push_back(StrFormat(
+            "%s  ERROR handling SLA escalation: %s",
+            now.ToString().c_str(),
+            outcome.status().ToString().c_str()));
+      }
+    }
+  }
+
+  if (sample_hook_) sample_hook_(now, *demand_, cluster_);
+}
+
+std::optional<double> SimulationRunner::DetectionLoad(
+    TriggerKind kind, std::string_view name, double live) const {
+  if (!config_.use_forecast || forecaster_ == nullptr) return std::nullopt;
+  std::string key = LoadMonitoringSystem::ArchiveKey(kind, name);
+  auto forecast = forecaster_->Forecast(key, simulator_.now());
+  if (!forecast.ok()) return std::nullopt;
+  // Imminent overloads arm the watch early; live overloads always do.
+  return std::max(live, *forecast);
+}
+
+void SimulationRunner::OnTrigger(const Trigger& trigger) {
+  ++metrics_.triggers;
+  if (!config_.controller_enabled) return;
+  auto outcome = controller_->HandleTrigger(trigger);
+  if (!outcome.ok()) {
+    messages_.push_back(StrFormat("%s  ERROR handling trigger: %s",
+                                  trigger.at.ToString().c_str(),
+                                  outcome.status().ToString().c_str()));
+  }
+}
+
+void SimulationRunner::InjectFailures() {
+  double p_per_tick = config_.instance_failures_per_hour *
+                      (config_.tick.seconds() / 3600.0);
+  std::vector<infra::InstanceId> crashed;
+  for (const infra::ServerSpec* server : cluster_.Servers()) {
+    for (const infra::ServiceInstance* instance :
+         cluster_.InstancesOn(server->name)) {
+      if (instance->state != infra::InstanceState::kRunning) continue;
+      if (failure_rng_.Bernoulli(p_per_tick)) {
+        crashed.push_back(instance->id);
+      }
+    }
+  }
+  for (infra::InstanceId id : crashed) {
+    AG_CHECK_OK(cluster_.SetInstanceState(id, infra::InstanceState::kFailed));
+    ++metrics_.failures_injected;
+    messages_.push_back(StrFormat(
+        "%s  FAIL instance %llu", simulator_.now().ToString().c_str(),
+        static_cast<unsigned long long>(id)));
+    if (config_.controller_enabled) {
+      // Self-healing: "Failure situations like a program crash are
+      // remedied for example with a restart" (§2).
+      if (controller_->RemedyFailure(id, simulator_.now()).ok()) {
+        ++metrics_.failures_remedied;
+      }
+    }
+  }
+}
+
+Status SimulationRunner::Run() {
+  return RunUntil(SimTime::Start() + config_.duration);
+}
+
+Status SimulationRunner::RunUntil(SimTime end) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("runner not initialized");
+  }
+  simulator_.RunUntil(end);
+  // Fold engine-level metrics.
+  metrics_.lost_work_wu = demand_->TotalLostWork();
+  metrics_.sla_violation_minutes = slas_.TotalViolationMinutes();
+  metrics_.average_cpu_load =
+      load_samples_ > 0 ? load_sum_ / static_cast<double>(load_samples_)
+                        : 0.0;
+  int64_t server_count = static_cast<int64_t>(cluster_.Servers().size());
+  double total_minutes =
+      static_cast<double>(
+          (simulator_.now() - (SimTime::Start() + config_.metrics_warmup))
+              .seconds()) /
+      60.0;
+  double denom = static_cast<double>(server_count) * total_minutes;
+  metrics_.overload_fraction =
+      denom > 0 ? metrics_.overload_server_minutes / denom : 0.0;
+  return Status::OK();
+}
+
+}  // namespace autoglobe

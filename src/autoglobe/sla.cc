@@ -1,0 +1,102 @@
+#include "autoglobe/sla.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace autoglobe {
+
+Status SlaSpec::Validate() const {
+  if (service.empty()) {
+    return Status::InvalidArgument("SLA must name a service");
+  }
+  if (min_satisfaction <= 0.0 || min_satisfaction > 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "SLA for \"%s\": min_satisfaction must be in (0, 1]",
+        service.c_str()));
+  }
+  if (window <= Duration::Zero()) {
+    return Status::InvalidArgument(StrFormat(
+        "SLA for \"%s\": window must be positive", service.c_str()));
+  }
+  return Status::OK();
+}
+
+Status SlaTracker::AddSla(SlaSpec spec) {
+  AG_RETURN_IF_ERROR(spec.Validate());
+  if (slas_.count(spec.service) > 0) {
+    return Status::AlreadyExists(StrFormat(
+        "service \"%s\" already has an SLA", spec.service.c_str()));
+  }
+  State state;
+  state.status.spec = spec;
+  std::string key = spec.service;
+  slas_.emplace(std::move(key), std::move(state));
+  return Status::OK();
+}
+
+bool SlaTracker::Covers(std::string_view service) const {
+  return slas_.find(service) != slas_.end();
+}
+
+Result<bool> SlaTracker::Observe(SimTime now, std::string_view service,
+                                 double satisfaction, Duration tick) {
+  auto it = slas_.find(service);
+  if (it == slas_.end()) {
+    return Status::NotFound(StrFormat("no SLA for \"%.*s\"",
+                                      static_cast<int>(service.size()),
+                                      service.data()));
+  }
+  State& state = it->second;
+  satisfaction = std::clamp(satisfaction, 0.0, 1.0);
+  state.samples.emplace_back(now, satisfaction);
+  state.sample_sum += satisfaction;
+  SimTime horizon = now - state.status.spec.window;
+  while (!state.samples.empty() && state.samples.front().first <= horizon) {
+    state.sample_sum -= state.samples.front().second;
+    state.samples.pop_front();
+  }
+  double rolling =
+      state.samples.empty()
+          ? 1.0
+          : state.sample_sum / static_cast<double>(state.samples.size());
+  state.status.current_satisfaction = rolling;
+
+  bool was_violating = state.status.in_violation;
+  state.status.in_violation = rolling < state.status.spec.min_satisfaction;
+  if (state.status.in_violation) {
+    state.status.violation_minutes += tick.seconds() / 60.0;
+    if (!was_violating) ++state.status.violation_episodes;
+  }
+  return state.status.in_violation && !was_violating;
+}
+
+Result<const SlaStatus*> SlaTracker::StatusOf(
+    std::string_view service) const {
+  auto it = slas_.find(service);
+  if (it == slas_.end()) {
+    return Status::NotFound(StrFormat("no SLA for \"%.*s\"",
+                                      static_cast<int>(service.size()),
+                                      service.data()));
+  }
+  return &it->second.status;
+}
+
+std::vector<const SlaStatus*> SlaTracker::Report() const {
+  std::vector<const SlaStatus*> report;
+  report.reserve(slas_.size());
+  for (const auto& [service, state] : slas_) {
+    report.push_back(&state.status);
+  }
+  return report;
+}
+
+double SlaTracker::TotalViolationMinutes() const {
+  double total = 0.0;
+  for (const auto& [service, state] : slas_) {
+    total += state.status.violation_minutes;
+  }
+  return total;
+}
+
+}  // namespace autoglobe

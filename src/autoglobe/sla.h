@@ -1,0 +1,74 @@
+#ifndef AUTOGLOBE_AUTOGLOBE_SLA_H_
+#define AUTOGLOBE_AUTOGLOBE_SLA_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+
+namespace autoglobe {
+
+/// A service-level agreement on response quality (the paper's closing
+/// future-work item, §7: "we plan to enhance AutoGlobe towards QoS
+/// management ... The actions will then be used to enforce Service
+/// Level Agreements"). Quality is measured as the served/requested
+/// work ratio of the service; the SLA demands a minimum rolling
+/// average of it.
+struct SlaSpec {
+  std::string service;
+  /// Minimum acceptable rolling satisfaction (served/requested).
+  double min_satisfaction = 0.97;
+  /// Rolling-average window.
+  Duration window = Duration::Minutes(30);
+
+  Status Validate() const;
+};
+
+/// One row of the SLA report.
+struct SlaStatus {
+  SlaSpec spec;
+  double current_satisfaction = 1.0;  // rolling average
+  bool in_violation = false;
+  double violation_minutes = 0.0;  // cumulative
+  int64_t violation_episodes = 0;  // entered-violation count
+};
+
+/// Tracks rolling satisfaction per SLA-covered service and detects
+/// violations. The runner feeds one satisfaction sample per service
+/// per tick; entering a violation is the signal the controller uses
+/// to escalate (synthetic overload trigger + priority boost).
+class SlaTracker {
+ public:
+  SlaTracker() = default;
+
+  Status AddSla(SlaSpec spec);
+  bool Covers(std::string_view service) const;
+  size_t size() const { return slas_.size(); }
+
+  /// Feeds one satisfaction sample; returns true when this sample
+  /// *enters* a violation (rolling average crossed below the SLA).
+  Result<bool> Observe(SimTime now, std::string_view service,
+                       double satisfaction,
+                       Duration tick = Duration::Minutes(1));
+
+  Result<const SlaStatus*> StatusOf(std::string_view service) const;
+  std::vector<const SlaStatus*> Report() const;
+
+  /// Total violation minutes across all SLAs.
+  double TotalViolationMinutes() const;
+
+ private:
+  struct State {
+    SlaStatus status;
+    std::deque<std::pair<SimTime, double>> samples;  // within window
+    double sample_sum = 0.0;
+  };
+  std::map<std::string, State, std::less<>> slas_;
+};
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_AUTOGLOBE_SLA_H_

@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace autoglobe {
+
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+Logging::Sink g_sink;  // empty => stderr default
+
+void DefaultSink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%.*s] %s\n",
+               static_cast<int>(LogLevelName(level).size()),
+               LogLevelName(level).data(), message.c_str());
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+void Logging::SetMinLevel(LogLevel level) { g_min_level = level; }
+LogLevel Logging::min_level() { return g_min_level; }
+
+void Logging::SetSink(Sink sink) { g_sink = std::move(sink); }
+
+void Logging::Emit(LogLevel level, const std::string& message) {
+  if (level < g_min_level && level != LogLevel::kFatal) return;
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    DefaultSink(level, message);
+  }
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  if (level == LogLevel::kFatal) {
+    stream_ << file << ":" << line << ": ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  Logging::Emit(level_, stream_.str());
+  if (level_ == LogLevel::kFatal) {
+    std::fflush(nullptr);
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace autoglobe

@@ -1,0 +1,80 @@
+#ifndef AUTOGLOBE_COMMON_LOGGING_H_
+#define AUTOGLOBE_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace autoglobe {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+std::string_view LogLevelName(LogLevel level);
+
+/// Process-wide logging configuration. Messages below the minimum
+/// level are dropped; everything else goes to the installed sink
+/// (stderr by default). Not thread-safe by design: the simulator is
+/// single-threaded and tests install sinks up front.
+class Logging {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+
+  /// Installs a sink; passing nullptr restores the stderr default.
+  static void SetSink(Sink sink);
+
+  static void Emit(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream builder behind the AG_LOG macro; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace autoglobe
+
+#define AG_LOG(level)                                                \
+  ::autoglobe::internal::LogMessage(::autoglobe::LogLevel::k##level, \
+                                    __FILE__, __LINE__)              \
+      .stream()
+
+/// Invariant checks: abort with a message on violation. Used for
+/// programming errors only — recoverable conditions return Status.
+#define AG_CHECK(condition)                                           \
+  do {                                                                \
+    if (!(condition)) {                                               \
+      AG_LOG(Fatal) << "Check failed: " #condition;                   \
+    }                                                                 \
+  } while (false)
+
+#define AG_CHECK_OK(expr)                                             \
+  do {                                                                \
+    ::autoglobe::Status ag_check_status__ = (expr);                   \
+    if (!ag_check_status__.ok()) {                                    \
+      AG_LOG(Fatal) << "Check failed: " << ag_check_status__;         \
+    }                                                                 \
+  } while (false)
+
+#endif  // AUTOGLOBE_COMMON_LOGGING_H_

@@ -1,0 +1,80 @@
+#ifndef AUTOGLOBE_COMMON_RESULT_H_
+#define AUTOGLOBE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace autoglobe {
+
+/// Result<T> holds either a value of type T or a non-OK Status,
+/// mirroring absl::StatusOr / arrow::Result. Accessing the value of an
+/// errored Result aborts (the library is built without exceptions).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (like StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Constructing from an
+  /// OK status is a programming error and degrades to kInternal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "value() called on errored Result");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() called on errored Result");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() called on errored Result");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ is engaged.
+  std::optional<T> value_;
+};
+
+}  // namespace autoglobe
+
+/// Assigns the value of a Result expression to `lhs`, or propagates
+/// its error Status from the current function.
+#define AG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define AG_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define AG_ASSIGN_OR_RETURN_NAME(a, b) AG_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define AG_ASSIGN_OR_RETURN(lhs, expr) \
+  AG_ASSIGN_OR_RETURN_IMPL(            \
+      AG_ASSIGN_OR_RETURN_NAME(ag_result__, __LINE__), lhs, expr)
+
+#endif  // AUTOGLOBE_COMMON_RESULT_H_

@@ -1,0 +1,53 @@
+#ifndef AUTOGLOBE_COMMON_RNG_H_
+#define AUTOGLOBE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace autoglobe {
+
+/// Deterministic pseudo-random number generator (xoshiro256**,
+/// seeded via SplitMix64). Simulations must be reproducible given a
+/// seed, so all randomness in the library flows through this type —
+/// never through std::random_device or unseeded std engines.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (>= 0). Uses
+  /// Knuth's method for small means and a normal approximation above
+  /// mean 64 (adequate for workload noise).
+  int64_t Poisson(double mean);
+
+  /// Standard exponential scaled by `mean`.
+  double Exponential(double mean);
+
+  /// Normal variate via Box–Muller.
+  double Normal(double mean, double stddev);
+
+  /// Derives an independent child generator (for per-entity streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_COMMON_RNG_H_

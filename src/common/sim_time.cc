@@ -1,0 +1,35 @@
+#include "common/sim_time.h"
+
+#include "common/strings.h"
+
+namespace autoglobe {
+
+std::string Duration::ToString() const {
+  int64_t s = seconds_;
+  bool negative = s < 0;
+  if (negative) s = -s;
+  std::string out = negative ? "-" : "";
+  int64_t hours = s / 3600;
+  int64_t minutes = (s % 3600) / 60;
+  int64_t secs = s % 60;
+  if (hours > 0) out += StrFormat("%lldh ", static_cast<long long>(hours));
+  if (minutes > 0 || hours > 0) {
+    out += StrFormat("%lldm", static_cast<long long>(minutes));
+  }
+  if (hours == 0 && (secs > 0 || (minutes == 0))) {
+    if (minutes > 0) out += " ";
+    out += StrFormat("%llds", static_cast<long long>(secs));
+  }
+  return out;
+}
+
+std::string SimTime::ToString() const {
+  return StrFormat("d%lld %02d:%02d", static_cast<long long>(Day()),
+                   HourOfDay(), MinuteOfHour());
+}
+
+std::string SimTime::ClockString() const {
+  return StrFormat("%02d:%02d", HourOfDay(), MinuteOfHour());
+}
+
+}  // namespace autoglobe

@@ -1,0 +1,100 @@
+#ifndef AUTOGLOBE_COMMON_SIM_TIME_H_
+#define AUTOGLOBE_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace autoglobe {
+
+/// A span of simulated time with second resolution. Plain value type;
+/// arithmetic never saturates (simulations stay far from overflow).
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Seconds(int64_t s) { return Duration(s); }
+  static constexpr Duration Minutes(int64_t m) { return Duration(m * 60); }
+  static constexpr Duration Hours(int64_t h) { return Duration(h * 3600); }
+  static constexpr Duration Days(int64_t d) { return Duration(d * 86400); }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t seconds() const { return seconds_; }
+  constexpr double minutes() const { return seconds_ / 60.0; }
+  constexpr double hours() const { return seconds_ / 3600.0; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(seconds_ + o.seconds_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(seconds_ - o.seconds_);
+  }
+  constexpr Duration operator*(int64_t k) const {
+    return Duration(seconds_ * k);
+  }
+  constexpr Duration operator/(int64_t k) const {
+    return Duration(seconds_ / k);
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// e.g. "1h 30m", "45s".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t s) : seconds_(s) {}
+  int64_t seconds_ = 0;
+};
+
+/// A point in simulated time, measured from the start of the
+/// simulation (t = 0 is midnight of day 0 by convention, so the daily
+/// workload patterns align with the clock readings in the paper).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime FromSeconds(int64_t s) { return SimTime(s); }
+  static constexpr SimTime Start() { return SimTime(0); }
+
+  constexpr int64_t seconds() const { return seconds_; }
+
+  /// Seconds since the most recent simulated midnight, in [0, 86400).
+  constexpr int64_t SecondsIntoDay() const {
+    int64_t s = seconds_ % 86400;
+    return s < 0 ? s + 86400 : s;
+  }
+  /// Fraction of the day elapsed, in [0, 1).
+  constexpr double DayFraction() const { return SecondsIntoDay() / 86400.0; }
+  /// Completed simulated days.
+  constexpr int64_t Day() const {
+    return (seconds_ - SecondsIntoDay()) / 86400;
+  }
+  constexpr int HourOfDay() const {
+    return static_cast<int>(SecondsIntoDay() / 3600);
+  }
+  constexpr int MinuteOfHour() const {
+    return static_cast<int>((SecondsIntoDay() / 60) % 60);
+  }
+
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime(seconds_ + d.seconds());
+  }
+  constexpr SimTime operator-(Duration d) const {
+    return SimTime(seconds_ - d.seconds());
+  }
+  constexpr Duration operator-(SimTime o) const {
+    return Duration::Seconds(seconds_ - o.seconds_);
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  /// "d0 08:30" — day index and wall-clock time.
+  std::string ToString() const;
+  /// "08:30" — wall-clock time only.
+  std::string ClockString() const;
+
+ private:
+  explicit constexpr SimTime(int64_t s) : seconds_(s) {}
+  int64_t seconds_ = 0;
+};
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_COMMON_SIM_TIME_H_

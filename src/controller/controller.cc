@@ -1,0 +1,430 @@
+#include "controller/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "controller/rule_bases.h"
+
+namespace autoglobe::controller {
+
+using infra::Action;
+using infra::ActionType;
+using infra::InstanceId;
+using infra::ServiceInstance;
+using monitor::Trigger;
+using monitor::TriggerKind;
+
+Controller::Controller(infra::Cluster* cluster,
+                       infra::ActionExecutor* executor, const LoadView* view,
+                       ControllerConfig config)
+    : cluster_(cluster),
+      executor_(executor),
+      view_(view),
+      config_(config),
+      engine_(config.defuzzifier) {
+  AG_CHECK(cluster_ != nullptr);
+  AG_CHECK(executor_ != nullptr);
+  AG_CHECK(view_ != nullptr);
+}
+
+Result<Controller> Controller::Create(infra::Cluster* cluster,
+                                      infra::ActionExecutor* executor,
+                                      const LoadView* view,
+                                      ControllerConfig config) {
+  Controller controller(cluster, executor, view, config);
+  for (TriggerKind kind :
+       {TriggerKind::kServiceOverloaded, TriggerKind::kServiceIdle,
+        TriggerKind::kServerOverloaded, TriggerKind::kServerIdle}) {
+    AG_ASSIGN_OR_RETURN(fuzzy::RuleBase rb, MakeDefaultActionRuleBase(kind));
+    AG_RETURN_IF_ERROR(controller.SetActionRuleBase(kind, std::move(rb)));
+  }
+  for (ActionType action : infra::kAllActionTypes) {
+    if (!infra::ActionNeedsTargetServer(action)) continue;
+    AG_ASSIGN_OR_RETURN(fuzzy::RuleBase rb,
+                        MakeDefaultServerRuleBase(action));
+    AG_RETURN_IF_ERROR(
+        controller.SetServerRuleBase(action, std::move(rb)));
+  }
+  return controller;
+}
+
+Status Controller::SetActionRuleBase(TriggerKind kind, fuzzy::RuleBase rb) {
+  if (rb.rules().empty()) {
+    return Status::InvalidArgument("rule base has no rules");
+  }
+  action_bases_.insert_or_assign(kind, std::move(rb));
+  return Status::OK();
+}
+
+Status Controller::SetServiceActionRuleBase(std::string service,
+                                            TriggerKind kind,
+                                            fuzzy::RuleBase rb) {
+  AG_RETURN_IF_ERROR(cluster_->FindService(service).status());
+  if (rb.rules().empty()) {
+    return Status::InvalidArgument("rule base has no rules");
+  }
+  service_action_bases_.insert_or_assign({std::move(service), kind},
+                                         std::move(rb));
+  return Status::OK();
+}
+
+Status Controller::SetServerRuleBase(ActionType action, fuzzy::RuleBase rb) {
+  if (!infra::ActionNeedsTargetServer(action)) {
+    return Status::InvalidArgument(StrFormat(
+        "action %.*s takes no target server",
+        static_cast<int>(infra::ActionTypeName(action).size()),
+        infra::ActionTypeName(action).data()));
+  }
+  if (rb.rules().empty()) {
+    return Status::InvalidArgument("rule base has no rules");
+  }
+  server_bases_.insert_or_assign(action, std::move(rb));
+  return Status::OK();
+}
+
+const fuzzy::RuleBase* Controller::ActionBaseFor(std::string_view service,
+                                                 TriggerKind kind) const {
+  auto specific =
+      service_action_bases_.find({std::string(service), kind});
+  if (specific != service_action_bases_.end()) return &specific->second;
+  auto generic = action_bases_.find(kind);
+  return generic == action_bases_.end() ? nullptr : &generic->second;
+}
+
+Result<fuzzy::Inputs> Controller::ActionInputs(
+    const ServiceInstance& instance) const {
+  AG_ASSIGN_OR_RETURN(const infra::ServerSpec* server,
+                      cluster_->FindServer(instance.server));
+  fuzzy::Inputs inputs;
+  inputs["cpuLoad"] = view_->ServerCpuLoad(instance.server);
+  inputs["memLoad"] = view_->ServerMemLoad(instance.server);
+  inputs["performanceIndex"] = server->performance_index;
+  inputs["instanceLoad"] = view_->InstanceLoad(instance.id);
+  inputs["serviceLoad"] = view_->ServiceLoad(instance.service);
+  inputs["instancesOnServer"] =
+      static_cast<double>(cluster_->InstancesOn(instance.server).size());
+  inputs["instancesOfService"] =
+      static_cast<double>(cluster_->ActiveInstanceCount(instance.service));
+  return inputs;
+}
+
+Result<fuzzy::Inputs> Controller::ServerInputs(
+    const infra::ServerSpec& server, SimTime now,
+    std::string_view requesting_service) const {
+  fuzzy::Inputs inputs;
+  double cpu = view_->ServerCpuLoad(server.name);
+  if (reservations_ != nullptr && server.performance_index > 0) {
+    // Spoken-for capacity counts as load for placement decisions.
+    cpu += reservations_->ReservedCpu(server.name, now,
+                                      reservation_lookahead_,
+                                      requesting_service) /
+           server.performance_index;
+  }
+  inputs["cpuLoad"] = std::min(1.0, cpu);
+  inputs["memLoad"] = view_->ServerMemLoad(server.name);
+  inputs["instancesOnServer"] =
+      static_cast<double>(cluster_->InstancesOn(server.name).size());
+  inputs["performanceIndex"] = server.performance_index;
+  inputs["numberOfCpus"] = static_cast<double>(server.num_cpus);
+  inputs["cpuClock"] = server.cpu_clock_ghz;
+  inputs["cpuCache"] = server.cpu_cache_mb;
+  inputs["memory"] = server.memory_gb;
+  inputs["swapSpace"] = server.swap_gb;
+  inputs["tempSpace"] = server.temp_gb;
+  return inputs;
+}
+
+Status Controller::CollectActionsForInstance(
+    TriggerKind kind, const ServiceInstance& instance,
+    std::vector<ScoredAction>* out) const {
+  const fuzzy::RuleBase* base = ActionBaseFor(instance.service, kind);
+  if (base == nullptr) {
+    return Status::FailedPrecondition(StrFormat(
+        "no rule base installed for trigger %.*s",
+        static_cast<int>(monitor::TriggerKindName(kind).size()),
+        monitor::TriggerKindName(kind).data()));
+  }
+  AG_ASSIGN_OR_RETURN(const infra::ServiceSpec* spec,
+                      cluster_->FindService(instance.service));
+  AG_ASSIGN_OR_RETURN(fuzzy::Inputs inputs, ActionInputs(instance));
+  AG_ASSIGN_OR_RETURN(auto outputs, engine_.Infer(*base, inputs));
+  for (const auto& [variable, output] : outputs) {
+    auto type = infra::ParseActionType(variable);
+    if (!type.ok()) continue;  // non-action output variable
+    if (output.crisp <= 0.0) continue;
+    // "The fuzzy controller only considers actions that do not
+    //  violate any given constraint" (§4.1).
+    if (!spec->Allows(*type)) continue;
+    Action action;
+    action.type = *type;
+    action.service = instance.service;
+    action.source_server = instance.server;
+    if (infra::ActionNeedsInstance(*type)) action.instance = instance.id;
+    out->push_back(ScoredAction{std::move(action), output.crisp});
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ScoredAction>> Controller::RankActions(
+    const Trigger& trigger) const {
+  bool server_trigger = trigger.kind == TriggerKind::kServerOverloaded ||
+                        trigger.kind == TriggerKind::kServerIdle;
+  std::vector<const ServiceInstance*> instances;
+  if (server_trigger) {
+    AG_RETURN_IF_ERROR(cluster_->FindServer(trigger.subject).status());
+    // "If a server triggered the fuzzy controller, it takes the
+    //  information of all services running on the considered host
+    //  into account" (§4.1, Figure 7).
+    instances = cluster_->InstancesOn(trigger.subject);
+  } else {
+    AG_RETURN_IF_ERROR(cluster_->FindService(trigger.subject).status());
+    instances = cluster_->InstancesOf(trigger.subject);
+  }
+
+  std::vector<ScoredAction> actions;
+  for (const ServiceInstance* instance : instances) {
+    if (instance->state == infra::InstanceState::kFailed) continue;
+    if (server_trigger &&
+        cluster_->IsServiceProtected(instance->service, trigger.at)) {
+      continue;
+    }
+    AG_RETURN_IF_ERROR(
+        CollectActionsForInstance(trigger.kind, *instance, &actions));
+  }
+
+  // Deduplicate identical (type, service, instance) proposals from
+  // multiple evaluations, keeping the highest applicability, then sort
+  // descending and apply the administrator threshold (§4.1).
+  std::sort(actions.begin(), actions.end(),
+            [](const ScoredAction& a, const ScoredAction& b) {
+              if (a.applicability != b.applicability) {
+                return a.applicability > b.applicability;
+              }
+              if (a.action.service != b.action.service) {
+                return a.action.service < b.action.service;
+              }
+              return a.action.instance < b.action.instance;
+            });
+  std::vector<ScoredAction> deduped;
+  for (ScoredAction& scored : actions) {
+    if (scored.applicability < config_.min_applicability) continue;
+    bool duplicate = false;
+    for (const ScoredAction& kept : deduped) {
+      if (kept.action.type == scored.action.type &&
+          kept.action.service == scored.action.service &&
+          kept.action.instance == scored.action.instance) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) deduped.push_back(std::move(scored));
+  }
+  return deduped;
+}
+
+Status Controller::VerifyAction(const Action& action, SimTime now,
+                                bool urgent) const {
+  AG_ASSIGN_OR_RETURN(const infra::ServiceSpec* spec,
+                      cluster_->FindService(action.service));
+  if (!spec->Allows(action.type)) {
+    return Status::FailedPrecondition("action no longer allowed");
+  }
+  if (!urgent && cluster_->IsServiceProtected(action.service, now)) {
+    return Status::FailedPrecondition(StrFormat(
+        "service \"%s\" is in protection mode", action.service.c_str()));
+  }
+  switch (action.type) {
+    case ActionType::kScaleOut:
+    case ActionType::kStart:
+      // "if now the maximum number of instances of a service are
+      //  running, the controller cannot start another one" (§4.1).
+      if (cluster_->ActiveInstanceCount(action.service) >=
+          spec->max_instances) {
+        return Status::FailedPrecondition(
+            StrFormat("service \"%s\" is at its maximum instance count",
+                      action.service.c_str()));
+      }
+      return Status::OK();
+    case ActionType::kScaleIn:
+      if (cluster_->ActiveInstanceCount(action.service) <=
+          spec->min_instances) {
+        return Status::FailedPrecondition(
+            StrFormat("service \"%s\" is at its minimum instance count",
+                      action.service.c_str()));
+      }
+      return cluster_->FindInstance(action.instance).status();
+    case ActionType::kScaleUp:
+    case ActionType::kScaleDown:
+    case ActionType::kMove:
+      return cluster_->FindInstance(action.instance).status();
+    default:
+      return Status::OK();
+  }
+}
+
+Result<std::vector<ScoredServer>> Controller::RankServers(
+    const Action& action, SimTime now) const {
+  auto base_it = server_bases_.find(action.type);
+  if (base_it == server_bases_.end()) {
+    return Status::FailedPrecondition(StrFormat(
+        "no server-selection rule base for %.*s",
+        static_cast<int>(infra::ActionTypeName(action.type).size()),
+        infra::ActionTypeName(action.type).data()));
+  }
+
+  double source_pi = 0.0;
+  std::string source_server;
+  if (infra::ActionNeedsInstance(action.type)) {
+    AG_ASSIGN_OR_RETURN(const ServiceInstance* instance,
+                        cluster_->FindInstance(action.instance));
+    source_server = instance->server;
+    AG_ASSIGN_OR_RETURN(const infra::ServerSpec* source,
+                        cluster_->FindServer(source_server));
+    source_pi = source->performance_index;
+  }
+
+  // "First, a list of all possible servers is determined. Initially,
+  //  these are all servers on which an instance of the service can be
+  //  started and that are not in protection mode" (§4.2).
+  std::vector<ScoredServer> scored;
+  for (const infra::ServerSpec* server : cluster_->Servers()) {
+    if (server->name == source_server) continue;
+    if (cluster_->IsServerProtected(server->name, now)) continue;
+    infra::InstanceId exclude =
+        infra::ActionNeedsInstance(action.type) ? action.instance : 0;
+    if (!cluster_->CanPlace(action.service, server->name, exclude).ok()) {
+      continue;
+    }
+    if (action.type == ActionType::kScaleUp &&
+        server->performance_index <= source_pi) {
+      continue;
+    }
+    if (action.type == ActionType::kScaleDown &&
+        server->performance_index >= source_pi) {
+      continue;
+    }
+    if (reservations_ != nullptr) {
+      // Leave reserved memory untouched for the registered task.
+      AG_ASSIGN_OR_RETURN(const infra::ServiceSpec* spec,
+                          cluster_->FindService(action.service));
+      double reserved = reservations_->ReservedMemory(
+          server->name, now, reservation_lookahead_, action.service);
+      double free = server->memory_gb -
+                    cluster_->UsedMemoryGb(server->name) - reserved;
+      if (spec->memory_footprint_gb > free + 1e-9) continue;
+    }
+    AG_ASSIGN_OR_RETURN(fuzzy::Inputs inputs,
+                        ServerInputs(*server, now, action.service));
+    AG_ASSIGN_OR_RETURN(
+        double score,
+        engine_.InferValue(base_it->second, inputs, "suitability"));
+    if (score < config_.min_host_score) continue;
+    scored.push_back(ScoredServer{server->name, score});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredServer& a, const ScoredServer& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.server < b.server;
+            });
+  return scored;
+}
+
+Result<ControllerOutcome> Controller::HandleTrigger(const Trigger& trigger,
+                                                    bool urgent) {
+  ControllerOutcome outcome;
+  bool server_trigger = trigger.kind == TriggerKind::kServerOverloaded ||
+                        trigger.kind == TriggerKind::kServerIdle;
+  // Entities in protection mode are excluded from further actions
+  // (§4: "this protection mode prevents the system from oscillation").
+  // Urgent escalations (confirmed SLA breaches) override the subject's
+  // own protection.
+  if (!urgent &&
+      (server_trigger
+           ? cluster_->IsServerProtected(trigger.subject, trigger.at)
+           : cluster_->IsServiceProtected(trigger.subject, trigger.at))) {
+    outcome.skipped_protected = true;
+    return outcome;
+  }
+
+  AG_ASSIGN_OR_RETURN(outcome.considered, RankActions(trigger));
+
+  for (const ScoredAction& scored : outcome.considered) {
+    Action action = scored.action;
+    if (!VerifyAction(action, trigger.at, urgent).ok()) continue;
+    if (config_.mode == ControllerMode::kSemiAutomatic) {
+      // "In semi-automatic mode, the human administrator is contacted
+      //  to confirm the action before execution" (§4.3).
+      if (!approval_ || !approval_(action)) continue;
+    }
+    if (!infra::ActionNeedsTargetServer(action.type)) {
+      if (executor_->Execute(action).ok()) {
+        outcome.executed = action;
+        return outcome;
+      }
+      continue;  // "Another action?" path of Figure 6
+    }
+    AG_ASSIGN_OR_RETURN(std::vector<ScoredServer> hosts,
+                        RankServers(action, trigger.at));
+    for (const ScoredServer& host : hosts) {
+      action.target_server = host.server;
+      if (executor_->Execute(action).ok()) {
+        outcome.executed = action;
+        return outcome;
+      }
+      // "Another host?" path of Figure 6.
+    }
+  }
+
+  // "If there are no possible hosts and actions with a sufficient
+  //  applicability, the controller requests human interaction by
+  //  alerting the system administrator" (§4.3). Idle situations that
+  //  simply have no remedy (e.g. a pinned database with no allowed
+  //  actions) are not emergencies and raise no alert.
+  bool idle_trigger = trigger.kind == TriggerKind::kServiceIdle ||
+                      trigger.kind == TriggerKind::kServerIdle;
+  if (idle_trigger && outcome.considered.empty()) return outcome;
+  outcome.alerted = true;
+  if (alert_) {
+    alert_(trigger, outcome.considered.empty()
+                        ? "no applicable action"
+                        : "no action/host combination succeeded");
+  }
+  return outcome;
+}
+
+Status Controller::RemedyFailure(InstanceId id, SimTime now) {
+  AG_ASSIGN_OR_RETURN(const ServiceInstance* instance,
+                      cluster_->FindInstance(id));
+  if (instance->state != infra::InstanceState::kFailed) {
+    return Status::FailedPrecondition("instance has not failed");
+  }
+  std::string service = instance->service;
+  if (executor_->RestartInstance(id).ok()) return Status::OK();
+
+  // Restart failed (e.g. broken host): start a replacement elsewhere.
+  Action probe;
+  probe.type = ActionType::kMove;
+  probe.service = service;
+  probe.instance = id;
+  AG_ASSIGN_OR_RETURN(std::vector<ScoredServer> hosts,
+                      RankServers(probe, now));
+  AG_RETURN_IF_ERROR(
+      cluster_->RemoveInstance(id, /*enforce_min=*/false));
+  for (const ScoredServer& host : hosts) {
+    if (executor_->LaunchInstance(service, host.server).ok()) {
+      return Status::OK();
+    }
+  }
+  return Status::ResourceExhausted(StrFormat(
+      "no host available to replace failed instance of \"%s\"",
+      service.c_str()));
+}
+
+size_t Controller::TotalActionRules() const {
+  size_t total = 0;
+  for (const auto& [kind, base] : action_bases_) total += base.size();
+  return total;
+}
+
+}  // namespace autoglobe::controller

@@ -1,0 +1,196 @@
+#ifndef AUTOGLOBE_CONTROLLER_CONTROLLER_H_
+#define AUTOGLOBE_CONTROLLER_CONTROLLER_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzzy/inference.h"
+#include "infra/cluster.h"
+#include "controller/reservations.h"
+#include "infra/executor.h"
+#include "monitor/monitoring.h"
+
+namespace autoglobe::controller {
+
+/// Read-only view of the load situation, decoupling the controller
+/// from the workload engine. Server- and service-level values should
+/// be the arithmetic means over the subject's watchTime (paper §4.1:
+/// "All variables of the fuzzy controller regarding CPU or memory
+/// load are set to the arithmetic means of the load values during the
+/// service specific watchTime"); instance values may be current
+/// measurements.
+class LoadView {
+ public:
+  virtual ~LoadView() = default;
+  virtual double ServerCpuLoad(std::string_view server) const = 0;
+  virtual double ServerMemLoad(std::string_view server) const = 0;
+  virtual double InstanceLoad(infra::InstanceId id) const = 0;
+  virtual double ServiceLoad(std::string_view service) const = 0;
+};
+
+/// Controller operating mode (§4.3).
+enum class ControllerMode {
+  /// Actions are logged and then executed.
+  kAutomatic,
+  /// The human administrator is asked to confirm each action.
+  kSemiAutomatic,
+};
+
+/// Tunables of the decision process.
+struct ControllerConfig {
+  /// "Actions whose applicability value is lower than an
+  /// administrator-controlled minimum threshold are discarded."
+  double min_applicability = 0.30;
+  /// Hosts scoring below this are not considered.
+  double min_host_score = 0.15;
+  fuzzy::Defuzzifier defuzzifier = fuzzy::Defuzzifier::kLeftmostMax;
+  ControllerMode mode = ControllerMode::kAutomatic;
+};
+
+/// An action together with its defuzzified applicability (0..1).
+struct ScoredAction {
+  infra::Action action;
+  double applicability = 0.0;
+};
+
+/// A candidate target host with its suitability score.
+struct ScoredServer {
+  std::string server;
+  double score = 0.0;
+};
+
+/// Result of handling one trigger.
+struct ControllerOutcome {
+  /// The executed action, if any.
+  std::optional<infra::Action> executed;
+  /// All candidate actions that were considered (ranked).
+  std::vector<ScoredAction> considered;
+  /// True when no action/host combination worked and the
+  /// administrator was alerted.
+  bool alerted = false;
+  /// True when the subject was in protection mode and nothing ran.
+  bool skipped_protected = false;
+};
+
+/// The AutoGlobe fuzzy controller module (§4): an action-selection
+/// fuzzy controller reacting to exceptional situations, and a
+/// server-selection fuzzy controller choosing target hosts; wired
+/// together with constraint verification and the fallback loop of
+/// Figure 6 (next host, next action, alert administrator).
+class Controller {
+ public:
+  /// Returns true to approve an action (semi-automatic mode).
+  using ApprovalCallback = std::function<bool(const infra::Action&)>;
+  /// Invoked when the controller needs human interaction.
+  using AlertCallback = std::function<void(const monitor::Trigger&,
+                                           const std::string& reason)>;
+
+  /// Builds a controller with the default rule bases installed.
+  static Result<Controller> Create(infra::Cluster* cluster,
+                                   infra::ActionExecutor* executor,
+                                   const LoadView* view,
+                                   ControllerConfig config = {});
+
+  Controller(Controller&&) = default;
+  Controller& operator=(Controller&&) = default;
+
+  // --- Rule-base management (§4.1: "an administrator can add
+  // service-specific rule bases for mission critical services") ------
+  Status SetActionRuleBase(monitor::TriggerKind kind, fuzzy::RuleBase rb);
+  Status SetServiceActionRuleBase(std::string service,
+                                  monitor::TriggerKind kind,
+                                  fuzzy::RuleBase rb);
+  Status SetServerRuleBase(infra::ActionType action, fuzzy::RuleBase rb);
+
+  // --- Main entry point -------------------------------------------------
+  /// Runs the complete Figure 6 flow for a confirmed trigger. With
+  /// `urgent`, the subject's own protection window is overridden —
+  /// used by the QoS extension when an SLA breach is already
+  /// confirmed harm (target servers stay protected either way).
+  Result<ControllerOutcome> HandleTrigger(const monitor::Trigger& trigger,
+                                          bool urgent = false);
+
+  /// Self-healing (§2): restarts a failed instance; if the restart
+  /// fails, falls back to starting a replacement on another host.
+  Status RemedyFailure(infra::InstanceId id, SimTime now);
+
+  // --- Introspection (drives the controller console) --------------------
+  /// Ranks actions for a trigger without executing anything.
+  Result<std::vector<ScoredAction>> RankActions(
+      const monitor::Trigger& trigger) const;
+  /// Ranks candidate hosts for an action (excluding unsuitable and
+  /// protected servers).
+  Result<std::vector<ScoredServer>> RankServers(
+      const infra::Action& action, SimTime now) const;
+
+  /// Installs a reservation book (§7 future work): during server
+  /// selection, reserved CPU inflates a host's load picture and
+  /// reserved memory shrinks its placement headroom, for reservations
+  /// active now or starting within `lookahead`.
+  void set_reservations(const ReservationBook* reservations,
+                        Duration lookahead = Duration::Hours(1)) {
+    reservations_ = reservations;
+    reservation_lookahead_ = lookahead;
+  }
+
+  void set_config(const ControllerConfig& config) { config_ = config; }
+  const ControllerConfig& config() const { return config_; }
+  void set_approval_callback(ApprovalCallback cb) {
+    approval_ = std::move(cb);
+  }
+  void set_alert_callback(AlertCallback cb) { alert_ = std::move(cb); }
+
+  /// Total rule count across the four installed action bases.
+  size_t TotalActionRules() const;
+
+ private:
+  Controller(infra::Cluster* cluster, infra::ActionExecutor* executor,
+             const LoadView* view, ControllerConfig config);
+
+  /// Builds the Table 1 input vector for (service instance, host).
+  Result<fuzzy::Inputs> ActionInputs(const infra::ServiceInstance& instance)
+      const;
+  /// Builds the Table 3 input vector for a candidate host; reserved
+  /// CPU (if a reservation book is installed) inflates cpuLoad, except
+  /// for reservations benefitting `requesting_service`.
+  Result<fuzzy::Inputs> ServerInputs(
+      const infra::ServerSpec& server, SimTime now,
+      std::string_view requesting_service = "") const;
+
+  /// Evaluates the action rule base for one instance and appends
+  /// constraint-respecting scored actions.
+  Status CollectActionsForInstance(monitor::TriggerKind kind,
+                                   const infra::ServiceInstance& instance,
+                                   std::vector<ScoredAction>* out) const;
+
+  /// Re-verifies an action just before execution (§4.1: the selected
+  /// action "is verified once more"). `urgent` waives the protection
+  /// check for the triggering subject itself.
+  Status VerifyAction(const infra::Action& action, SimTime now,
+                      bool urgent) const;
+
+  const fuzzy::RuleBase* ActionBaseFor(std::string_view service,
+                                       monitor::TriggerKind kind) const;
+
+  infra::Cluster* cluster_;
+  infra::ActionExecutor* executor_;
+  const LoadView* view_;
+  ControllerConfig config_;
+  fuzzy::InferenceEngine engine_;
+  std::map<monitor::TriggerKind, fuzzy::RuleBase> action_bases_;
+  std::map<std::pair<std::string, monitor::TriggerKind>, fuzzy::RuleBase>
+      service_action_bases_;
+  std::map<infra::ActionType, fuzzy::RuleBase> server_bases_;
+  ApprovalCallback approval_;
+  AlertCallback alert_;
+  const ReservationBook* reservations_ = nullptr;
+  Duration reservation_lookahead_ = Duration::Hours(1);
+};
+
+}  // namespace autoglobe::controller
+
+#endif  // AUTOGLOBE_CONTROLLER_CONTROLLER_H_

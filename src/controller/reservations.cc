@@ -1,0 +1,185 @@
+#include "controller/reservations.h"
+
+#include "common/strings.h"
+
+namespace autoglobe::controller {
+
+Status Reservation::Validate() const {
+  if (task.empty()) {
+    return Status::InvalidArgument("reservation task must be named");
+  }
+  if (server.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("reservation \"%s\" names no server", task.c_str()));
+  }
+  if (cpu_wu < 0 || memory_gb < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "reservation \"%s\": requirements must be non-negative",
+        task.c_str()));
+  }
+  if (cpu_wu == 0 && memory_gb == 0) {
+    return Status::InvalidArgument(StrFormat(
+        "reservation \"%s\" reserves nothing", task.c_str()));
+  }
+  if (!daily && !(from < until)) {
+    return Status::InvalidArgument(StrFormat(
+        "reservation \"%s\": window must be non-empty", task.c_str()));
+  }
+  if (daily && from.SecondsIntoDay() == until.SecondsIntoDay()) {
+    return Status::InvalidArgument(StrFormat(
+        "reservation \"%s\": daily window must be non-empty",
+        task.c_str()));
+  }
+  return Status::OK();
+}
+
+bool Reservation::CoversOrImminent(SimTime now, Duration lookahead) const {
+  if (!daily) {
+    if (now >= until) return false;     // already over
+    return from <= now + lookahead;     // active or starting soon
+  }
+  // Daily window, possibly wrapping midnight. Active-or-imminent at t
+  // means some instant in [t, t+lookahead] falls inside the window.
+  int64_t start = from.SecondsIntoDay();
+  int64_t end = until.SecondsIntoDay();
+  auto inside = [start, end](int64_t s) {
+    return start < end ? (s >= start && s < end)
+                       : (s >= start || s < end);
+  };
+  int64_t step = 60;  // minute resolution is plenty for placement
+  for (int64_t offset = 0; offset <= lookahead.seconds();
+       offset += step) {
+    if (inside((now + Duration::Seconds(offset)).SecondsIntoDay())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<ReservationId> ReservationBook::Add(Reservation reservation) {
+  AG_RETURN_IF_ERROR(reservation.Validate());
+  reservation.id = next_id_++;
+  ReservationId id = reservation.id;
+  reservations_.emplace(id, std::move(reservation));
+  return id;
+}
+
+Status ReservationBook::Remove(ReservationId id) {
+  if (reservations_.erase(id) == 0) {
+    return Status::NotFound(StrFormat("no reservation %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return Status::OK();
+}
+
+std::vector<const Reservation*> ReservationBook::All() const {
+  std::vector<const Reservation*> out;
+  out.reserve(reservations_.size());
+  for (const auto& [id, reservation] : reservations_) {
+    out.push_back(&reservation);
+  }
+  return out;
+}
+
+std::vector<const Reservation*> ReservationBook::ActiveOn(
+    std::string_view server, SimTime now, Duration lookahead,
+    std::string_view requesting_service) const {
+  std::vector<const Reservation*> out;
+  for (const auto& [id, reservation] : reservations_) {
+    if (reservation.server != server) continue;
+    if (!requesting_service.empty() &&
+        reservation.for_service == requesting_service) {
+      continue;  // the beneficiary may use its own headroom
+    }
+    if (reservation.CoversOrImminent(now, lookahead)) {
+      out.push_back(&reservation);
+    }
+  }
+  return out;
+}
+
+double ReservationBook::ReservedCpu(
+    std::string_view server, SimTime now, Duration lookahead,
+    std::string_view requesting_service) const {
+  double total = 0.0;
+  for (const Reservation* r :
+       ActiveOn(server, now, lookahead, requesting_service)) {
+    total += r->cpu_wu;
+  }
+  return total;
+}
+
+double ReservationBook::ReservedMemory(
+    std::string_view server, SimTime now, Duration lookahead,
+    std::string_view requesting_service) const {
+  double total = 0.0;
+  for (const Reservation* r :
+       ActiveOn(server, now, lookahead, requesting_service)) {
+    total += r->memory_gb;
+  }
+  return total;
+}
+
+void ReservationBook::ExpireBefore(SimTime now) {
+  for (auto it = reservations_.begin(); it != reservations_.end();) {
+    if (!it->second.daily && it->second.until <= now) {
+      it = reservations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status ReservationBook::LoadXml(const xml::Element& element) {
+  for (const xml::Element* child : element.FindChildren("reservation")) {
+    Reservation reservation;
+    AG_ASSIGN_OR_RETURN(reservation.task, child->StringAttribute("task"));
+    AG_ASSIGN_OR_RETURN(reservation.server,
+                        child->StringAttribute("server"));
+    AG_ASSIGN_OR_RETURN(reservation.cpu_wu,
+                        child->DoubleAttributeOr("cpuWu", 0));
+    AG_ASSIGN_OR_RETURN(reservation.memory_gb,
+                        child->DoubleAttributeOr("memoryGb", 0));
+    AG_ASSIGN_OR_RETURN(long long from_minutes,
+                        child->IntAttribute("fromMinutes"));
+    AG_ASSIGN_OR_RETURN(long long until_minutes,
+                        child->IntAttribute("untilMinutes"));
+    AG_ASSIGN_OR_RETURN(reservation.daily,
+                        child->BoolAttributeOr("daily", false));
+    reservation.for_service =
+        std::string(child->AttributeOr("forService", ""));
+    reservation.from = SimTime::Start() + Duration::Minutes(from_minutes);
+    reservation.until = SimTime::Start() + Duration::Minutes(until_minutes);
+    AG_RETURN_IF_ERROR(Add(std::move(reservation)).status());
+  }
+  return Status::OK();
+}
+
+void ReservationBook::SaveXml(xml::Element* out) const {
+  for (const auto& [id, reservation] : reservations_) {
+    xml::Element* child = out->AddChild("reservation");
+    child->SetAttribute("task", reservation.task);
+    child->SetAttribute("server", reservation.server);
+    child->SetAttribute("cpuWu", StrFormat("%g", reservation.cpu_wu));
+    child->SetAttribute("memoryGb",
+                        StrFormat("%g", reservation.memory_gb));
+    child->SetAttribute(
+        "fromMinutes",
+        StrFormat("%lld", static_cast<long long>(
+                              (reservation.from - SimTime::Start())
+                                  .seconds() /
+                              60)));
+    child->SetAttribute(
+        "untilMinutes",
+        StrFormat("%lld", static_cast<long long>(
+                              (reservation.until - SimTime::Start())
+                                  .seconds() /
+                              60)));
+    if (reservation.daily) child->SetAttribute("daily", "true");
+    if (!reservation.for_service.empty()) {
+      child->SetAttribute("forService", reservation.for_service);
+    }
+  }
+}
+
+}  // namespace autoglobe::controller

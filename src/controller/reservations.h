@@ -1,0 +1,104 @@
+#ifndef AUTOGLOBE_CONTROLLER_RESERVATIONS_H_
+#define AUTOGLOBE_CONTROLLER_RESERVATIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "xmlcfg/xml.h"
+
+namespace autoglobe::controller {
+
+/// Identifier of a registered reservation.
+using ReservationId = uint64_t;
+
+/// An explicit resource reservation (the paper's first future-work
+/// item, §7: "an administrator can register mission-critical tasks
+/// along with their resource requirements"). During its window the
+/// reserved capacity on the named server is treated as spoken-for by
+/// the host-selection process, so the controller does not pile
+/// movable services onto a machine that a month-end batch run is
+/// about to need.
+struct Reservation {
+  ReservationId id = 0;
+  /// Human-readable task label, e.g. "month-end-close".
+  std::string task;
+  /// Server whose capacity is reserved.
+  std::string server;
+  /// Reserved CPU capacity in work units (fractions of PI).
+  double cpu_wu = 0.0;
+  /// Reserved memory in GB (blocks placements that would not leave
+  /// this much free).
+  double memory_gb = 0.0;
+  /// The service the capacity is reserved *for* (optional). Placements
+  /// of this service ignore the reservation — it must be able to use
+  /// its own headroom; everyone else keeps out.
+  std::string for_service;
+  SimTime from;
+  SimTime until;
+  /// Daily-recurring window: `from`/`until` are interpreted as
+  /// times-of-day (their day component is ignored) and the window
+  /// repeats every day — the natural shape for nightly batch runs.
+  /// Windows may wrap midnight (from 22:00 until 06:00).
+  bool daily = false;
+
+  Status Validate() const;
+  /// True when the reservation is active at `now` or starts within
+  /// `lookahead` of it.
+  bool CoversOrImminent(SimTime now, Duration lookahead) const;
+};
+
+/// Registry of reservations with per-server aggregation queries. The
+/// controller consults it during server selection: reserved CPU is
+/// added to the host's load picture and reserved memory shrinks its
+/// placement headroom.
+class ReservationBook {
+ public:
+  ReservationBook() = default;
+
+  /// Registers a reservation and returns its id.
+  Result<ReservationId> Add(Reservation reservation);
+  /// Cancels a reservation.
+  Status Remove(ReservationId id);
+
+  /// All reservations, ordered by id.
+  std::vector<const Reservation*> All() const;
+  /// Reservations touching `server` that are active at `now` or start
+  /// within `lookahead`. Reservations benefitting `requesting_service`
+  /// are excluded — their capacity is exactly what that service may
+  /// use.
+  std::vector<const Reservation*> ActiveOn(
+      std::string_view server, SimTime now, Duration lookahead,
+      std::string_view requesting_service = "") const;
+
+  /// Total reserved CPU (wu) on `server` as seen at `now` with the
+  /// given lookahead, from the perspective of `requesting_service`.
+  double ReservedCpu(std::string_view server, SimTime now,
+                     Duration lookahead,
+                     std::string_view requesting_service = "") const;
+  /// Total reserved memory (GB), analogous.
+  double ReservedMemory(std::string_view server, SimTime now,
+                        Duration lookahead,
+                        std::string_view requesting_service = "") const;
+
+  /// Drops reservations whose window ended before `now`.
+  void ExpireBefore(SimTime now);
+
+  size_t size() const { return reservations_.size(); }
+
+  /// Parses <reservation task=".." server=".." cpuWu=".." memoryGb=".."
+  /// fromMinutes=".." untilMinutes=".."/> children of `element`.
+  Status LoadXml(const xml::Element& element);
+  void SaveXml(xml::Element* out) const;
+
+ private:
+  std::map<ReservationId, Reservation> reservations_;
+  ReservationId next_id_ = 1;
+};
+
+}  // namespace autoglobe::controller
+
+#endif  // AUTOGLOBE_CONTROLLER_RESERVATIONS_H_

@@ -1,0 +1,289 @@
+#include "controller/rule_bases.h"
+
+#include "common/logging.h"
+
+namespace autoglobe::controller {
+
+using fuzzy::LinguisticVariable;
+using fuzzy::MembershipFunction;
+using fuzzy::RuleBase;
+
+namespace {
+
+LinguisticVariable CountVariable(std::string name, double knee,
+                                 double max_value) {
+  // few / some / many over [0, max]: "few" covers counts up to the
+  // knee, "many" saturates towards the maximum.
+  LinguisticVariable var(std::move(name), 0.0, max_value);
+  AG_CHECK_OK(var.AddTerm(
+      "few",
+      MembershipFunction::Trapezoid(0, 0, knee * 0.5, knee * 1.5).value()));
+  AG_CHECK_OK(var.AddTerm(
+      "some", MembershipFunction::Trapezoid(knee * 0.5, knee * 1.5,
+                                            knee * 2.5, knee * 3.5)
+                  .value()));
+  AG_CHECK_OK(var.AddTerm(
+      "many", MembershipFunction::Trapezoid(knee * 2.5, knee * 3.5,
+                                            max_value, max_value)
+                  .value()));
+  return var;
+}
+
+LinguisticVariable PerformanceIndexVariable() {
+  // Landscape hosts span PI 1 (standard blade) to PI 9 (four-way
+  // server); "low" captures standard blades, "high" the big irons.
+  LinguisticVariable var("performanceIndex", 0.0, 10.0);
+  AG_CHECK_OK(var.AddTerm(
+      "low", MembershipFunction::Trapezoid(0, 0, 1.5, 3).value()));
+  AG_CHECK_OK(var.AddTerm(
+      "medium", MembershipFunction::Trapezoid(1.5, 3, 4, 6).value()));
+  AG_CHECK_OK(var.AddTerm(
+      "high", MembershipFunction::Trapezoid(4, 6, 10, 10).value()));
+  return var;
+}
+
+}  // namespace
+
+RuleBase MakeActionSelectionVariables(std::string name) {
+  RuleBase rb(std::move(name));
+  AG_CHECK_OK(rb.AddVariable(LinguisticVariable::StandardLoad("cpuLoad")));
+  AG_CHECK_OK(rb.AddVariable(LinguisticVariable::StandardLoad("memLoad")));
+  AG_CHECK_OK(
+      rb.AddVariable(LinguisticVariable::StandardLoad("instanceLoad")));
+  AG_CHECK_OK(
+      rb.AddVariable(LinguisticVariable::StandardLoad("serviceLoad")));
+  AG_CHECK_OK(rb.AddVariable(PerformanceIndexVariable()));
+  AG_CHECK_OK(
+      rb.AddVariable(CountVariable("instancesOnServer", 1.5, 10.0)));
+  AG_CHECK_OK(
+      rb.AddVariable(CountVariable("instancesOfService", 2.0, 16.0)));
+  for (infra::ActionType action : infra::kAllActionTypes) {
+    AG_CHECK_OK(rb.AddVariable(LinguisticVariable::RampOutput(
+        std::string(infra::ActionTypeName(action)))));
+  }
+  return rb;
+}
+
+RuleBase MakeServerSelectionVariables(std::string name) {
+  RuleBase rb(std::move(name));
+  AG_CHECK_OK(rb.AddVariable(LinguisticVariable::StandardLoad("cpuLoad")));
+  AG_CHECK_OK(rb.AddVariable(LinguisticVariable::StandardLoad("memLoad")));
+  AG_CHECK_OK(
+      rb.AddVariable(CountVariable("instancesOnServer", 1.5, 10.0)));
+  AG_CHECK_OK(rb.AddVariable(PerformanceIndexVariable()));
+  AG_CHECK_OK(rb.AddVariable(CountVariable("numberOfCpus", 1.5, 8.0)));
+
+  LinguisticVariable clock("cpuClock", 0.0, 5.0);
+  AG_CHECK_OK(clock.AddTerm(
+      "slow", MembershipFunction::Trapezoid(0, 0, 1.0, 1.8).value()));
+  AG_CHECK_OK(clock.AddTerm(
+      "fast", MembershipFunction::Trapezoid(1.0, 1.8, 5, 5).value()));
+  AG_CHECK_OK(rb.AddVariable(std::move(clock)));
+
+  LinguisticVariable cache("cpuCache", 0.0, 16.0);
+  AG_CHECK_OK(cache.AddTerm(
+      "small", MembershipFunction::Trapezoid(0, 0, 1, 2).value()));
+  AG_CHECK_OK(cache.AddTerm(
+      "large", MembershipFunction::Trapezoid(1, 2, 16, 16).value()));
+  AG_CHECK_OK(rb.AddVariable(std::move(cache)));
+
+  LinguisticVariable memory("memory", 0.0, 16.0);
+  AG_CHECK_OK(memory.AddTerm(
+      "small", MembershipFunction::Trapezoid(0, 0, 2, 4).value()));
+  AG_CHECK_OK(memory.AddTerm(
+      "medium", MembershipFunction::Trapezoid(2, 4, 6, 8).value()));
+  AG_CHECK_OK(memory.AddTerm(
+      "large", MembershipFunction::Trapezoid(6, 10, 16, 16).value()));
+  AG_CHECK_OK(rb.AddVariable(std::move(memory)));
+
+  LinguisticVariable swap("swapSpace", 0.0, 32.0);
+  AG_CHECK_OK(swap.AddTerm(
+      "tight", MembershipFunction::Trapezoid(0, 0, 2, 4).value()));
+  AG_CHECK_OK(swap.AddTerm(
+      "ample", MembershipFunction::Trapezoid(2, 4, 32, 32).value()));
+  AG_CHECK_OK(rb.AddVariable(std::move(swap)));
+
+  LinguisticVariable temp("tempSpace", 0.0, 200.0);
+  AG_CHECK_OK(temp.AddTerm(
+      "tight", MembershipFunction::Trapezoid(0, 0, 5, 15).value()));
+  AG_CHECK_OK(temp.AddTerm(
+      "ample", MembershipFunction::Trapezoid(5, 15, 200, 200).value()));
+  AG_CHECK_OK(rb.AddVariable(std::move(temp)));
+
+  AG_CHECK_OK(rb.AddVariable(LinguisticVariable::RampOutput("suitability")));
+  return rb;
+}
+
+Result<fuzzy::RuleBase> MakeDefaultActionRuleBase(
+    monitor::TriggerKind kind) {
+  RuleBase rb = MakeActionSelectionVariables(
+      std::string(monitor::TriggerKindName(kind)));
+  const char* rules = nullptr;
+  switch (kind) {
+    case monitor::TriggerKind::kServiceOverloaded:
+      rules =
+          // Service-wide saturation is remedied by adding capacity:
+          // an additional instance relieves every existing one.
+          "IF serviceLoad IS high AND instancesOfService IS NOT many "
+          "   THEN scaleOut IS applicable WITH 0.95\n"
+          // The paper's two flagship rules (§3): scale-up when the
+          // host is weak, scale-out when the host is already strong.
+          "IF cpuLoad IS high AND (performanceIndex IS low OR "
+          "   performanceIndex IS medium) THEN scaleUp IS applicable "
+          "   WITH 0.85\n"
+          "IF cpuLoad IS high AND performanceIndex IS high "
+          "   THEN scaleOut IS applicable WITH 0.85\n"
+          // A single hot instance on a crowded host: move it away.
+          "IF instanceLoad IS high AND cpuLoad IS high AND "
+          "   serviceLoad IS NOT high AND instancesOnServer IS NOT few "
+          "   THEN move IS applicable WITH 0.8\n"
+          "IF instanceLoad IS high AND memLoad IS high "
+          "   THEN move IS applicable WITH 0.7\n"
+          // Contention with co-tenants: give the service more weight.
+          "IF instanceLoad IS high AND cpuLoad IS high AND "
+          "   instancesOnServer IS NOT few "
+          "   THEN increasePriority IS applicable WITH 0.6\n"
+          // Saturated service with instance budget left: scale out
+          // even on mid loads to get ahead of the morning ramp.
+          "IF serviceLoad IS medium AND instanceLoad IS high AND "
+          "   instancesOfService IS few THEN scaleOut IS applicable "
+          "   WITH 0.7\n";
+      break;
+    case monitor::TriggerKind::kServiceIdle:
+      rules =
+          // Surplus instances are stopped — but conservatively: the
+          // morning ramp needs a head start, and "if the controller
+          // does not stop too many instances, the load can be
+          // distributed across a sufficient number of instances, and
+          // overload situations can be avoided" (§5.2).
+          "IF serviceLoad IS low AND instancesOfService IS many "
+          "   THEN scaleIn IS applicable\n"
+          "IF serviceLoad IS low AND instanceLoad IS low AND "
+          "   instancesOfService IS some THEN scaleIn IS applicable "
+          "   WITH 0.25\n"
+          // A lone idle instance hogging a big server: move it down.
+          "IF serviceLoad IS low AND instancesOfService IS few AND "
+          "   performanceIndex IS high THEN scaleDown IS applicable\n"
+          "IF serviceLoad IS low AND instancesOfService IS few AND "
+          "   performanceIndex IS medium "
+          "   THEN scaleDown IS applicable WITH 0.7\n"
+          // Idle but cannot shrink: at least stop competing for CPU.
+          "IF serviceLoad IS low AND instancesOfService IS few "
+          "   THEN reducePriority IS applicable WITH 0.5\n";
+      break;
+    case monitor::TriggerKind::kServerOverloaded:
+      rules =
+          // Evaluated once per service on the overloaded host (§4.1,
+          // Figure 7): inputs describe that service + this host.
+          "IF cpuLoad IS high AND instanceLoad IS high AND "
+          "   instancesOfService IS NOT many "
+          "   THEN scaleOut IS applicable WITH 0.95\n"
+          "IF cpuLoad IS high AND instanceLoad IS high AND "
+          "   (performanceIndex IS low OR performanceIndex IS medium) "
+          "   THEN scaleUp IS applicable WITH 0.85\n"
+          "IF cpuLoad IS high AND instanceLoad IS high AND "
+          "   performanceIndex IS high THEN scaleOut IS applicable "
+          "   WITH 0.85\n"
+          // A crowded host with mid-loaded tenants: adding an
+          // instance of a tenant elsewhere drains this host too
+          // (fallback when no move target exists, Figure 6).
+          "IF cpuLoad IS high AND instanceLoad IS medium AND "
+          "   instancesOfService IS NOT many "
+          "   THEN scaleOut IS applicable WITH 0.75\n"
+          // Light co-tenants are cheap to evacuate.
+          "IF cpuLoad IS high AND instanceLoad IS medium AND "
+          "   serviceLoad IS NOT high AND instancesOnServer IS NOT few "
+          "   THEN move IS applicable WITH 0.8\n"
+          "IF cpuLoad IS high AND instanceLoad IS low AND "
+          "   instancesOnServer IS NOT few "
+          "   THEN move IS applicable WITH 0.7\n"
+          "IF memLoad IS high AND instancesOnServer IS NOT few "
+          "   THEN move IS applicable WITH 0.6\n"
+          // Starve background tenants before touching placement.
+          "IF cpuLoad IS high AND instanceLoad IS low AND "
+          "   serviceLoad IS low THEN reducePriority IS applicable "
+          "   WITH 0.5\n";
+      break;
+    case monitor::TriggerKind::kServerIdle:
+      rules =
+          // Consolidate: idle hosts give up their instances (again
+          // conservatively; see the serviceIdle base).
+          "IF cpuLoad IS low AND instanceLoad IS low AND "
+          "   instancesOfService IS many THEN scaleIn IS applicable\n"
+          "IF cpuLoad IS low AND instanceLoad IS low AND "
+          "   performanceIndex IS high THEN scaleDown IS applicable "
+          "   WITH 0.8\n"
+          "IF cpuLoad IS low AND instanceLoad IS medium "
+          "   THEN move IS applicable WITH 0.25\n";
+      break;
+  }
+  AG_RETURN_IF_ERROR(rb.AddRulesFromText(rules));
+  return rb;
+}
+
+Result<fuzzy::RuleBase> MakeDefaultServerRuleBase(
+    infra::ActionType action) {
+  RuleBase rb = MakeServerSelectionVariables(
+      std::string(infra::ActionTypeName(action)));
+  // Shared core: prefer unloaded hosts with headroom.
+  std::string rules =
+      "IF cpuLoad IS low AND memLoad IS low THEN suitability IS "
+      "applicable WITH 0.6\n"
+      "IF cpuLoad IS low AND memLoad IS medium THEN suitability IS "
+      "applicable WITH 0.5\n"
+      "IF cpuLoad IS medium AND memLoad IS low THEN suitability IS "
+      "applicable WITH 0.35\n"
+      "IF cpuLoad IS low AND instancesOnServer IS few THEN suitability "
+      "IS applicable WITH 0.55\n"
+      "IF memory IS large AND cpuLoad IS low THEN suitability IS "
+      "applicable WITH 0.5\n"
+      "IF swapSpace IS ample AND tempSpace IS ample AND cpuLoad IS low "
+      "THEN suitability IS applicable WITH 0.3\n";
+  switch (action) {
+    case infra::ActionType::kScaleUp:
+      // Target must be the big iron: powerful, many fast CPUs.
+      rules +=
+          "IF performanceIndex IS high AND cpuLoad IS low THEN "
+          "suitability IS applicable\n"
+          "IF performanceIndex IS high AND cpuLoad IS medium THEN "
+          "suitability IS applicable WITH 0.6\n"
+          "IF numberOfCpus IS many AND cpuClock IS fast AND cpuLoad IS "
+          "low THEN suitability IS applicable WITH 0.8\n"
+          "IF cpuCache IS large AND cpuLoad IS low THEN suitability IS "
+          "applicable WITH 0.4\n"
+          "IF performanceIndex IS low THEN suitability IS applicable "
+          "WITH 0.05\n";
+      break;
+    case infra::ActionType::kScaleDown:
+      // Free the big servers; small idle blades are perfect.
+      rules +=
+          "IF performanceIndex IS low AND cpuLoad IS low THEN "
+          "suitability IS applicable\n"
+          "IF performanceIndex IS medium AND cpuLoad IS low THEN "
+          "suitability IS applicable WITH 0.7\n"
+          "IF performanceIndex IS high THEN suitability IS applicable "
+          "WITH 0.05\n";
+      break;
+    case infra::ActionType::kScaleOut:
+    case infra::ActionType::kStart:
+      rules +=
+          "IF performanceIndex IS high AND cpuLoad IS low THEN "
+          "suitability IS applicable WITH 0.9\n"
+          "IF performanceIndex IS medium AND cpuLoad IS low THEN "
+          "suitability IS applicable WITH 0.8\n"
+          "IF performanceIndex IS high AND cpuLoad IS medium THEN "
+          "suitability IS applicable WITH 0.6\n";
+      break;
+    case infra::ActionType::kMove:
+      rules +=
+          "IF performanceIndex IS medium AND cpuLoad IS low THEN "
+          "suitability IS applicable WITH 0.8\n";
+      break;
+    default:
+      break;
+  }
+  AG_RETURN_IF_ERROR(rb.AddRulesFromText(rules));
+  return rb;
+}
+
+}  // namespace autoglobe::controller

@@ -1,0 +1,37 @@
+#ifndef AUTOGLOBE_CONTROLLER_RULE_BASES_H_
+#define AUTOGLOBE_CONTROLLER_RULE_BASES_H_
+
+#include "common/result.h"
+#include "fuzzy/inference.h"
+#include "infra/action.h"
+#include "monitor/monitoring.h"
+
+namespace autoglobe::controller {
+
+/// Builds the linguistic variables shared by all action-selection
+/// rule bases — exactly the inputs of Table 1 (cpuLoad, memLoad,
+/// performanceIndex, instanceLoad, serviceLoad, instancesOnServer,
+/// instancesOfService) plus one ramp output per action of Table 2.
+fuzzy::RuleBase MakeActionSelectionVariables(std::string name);
+
+/// Builds the linguistic variables of the server-selection controller
+/// — the inputs of Table 3 (cpuLoad, memLoad, instancesOnServer,
+/// performanceIndex, numberOfCpus, cpuClock, cpuCache, memory,
+/// swapSpace, tempSpace) and the "suitability" ramp output.
+fuzzy::RuleBase MakeServerSelectionVariables(std::string name);
+
+/// The default action-selection rule base for one trigger kind —
+/// the controller ships "dedicated rule bases for different
+/// exceptional situations" (§4.1). Together the four bases comprise
+/// about 40 rules, matching the deployed prototype (§7).
+Result<fuzzy::RuleBase> MakeDefaultActionRuleBase(
+    monitor::TriggerKind kind);
+
+/// The default server-selection rule base for one action type
+/// ("our controller is able to handle different rule bases for
+/// different actions", §4.2).
+Result<fuzzy::RuleBase> MakeDefaultServerRuleBase(infra::ActionType action);
+
+}  // namespace autoglobe::controller
+
+#endif  // AUTOGLOBE_CONTROLLER_RULE_BASES_H_

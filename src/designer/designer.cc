@@ -1,0 +1,497 @@
+#include "designer/designer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "infra/cluster.h"
+#include "workload/demand.h"
+
+namespace autoglobe::designer {
+
+namespace {
+
+using infra::Cluster;
+using infra::ServerSpec;
+using infra::ServiceSpec;
+
+// Half-hour sampling resolution: fine enough to see the stacked
+// Gaussian peaks of the interactive patterns.
+constexpr int kHours = 48;
+
+/// Working state of one candidate allocation: service -> host names.
+struct Assignment {
+  std::map<std::string, std::vector<std::string>> hosts_of;
+};
+
+/// Sum of performance indices of a service's hosts.
+double TotalPi(const Landscape& landscape, const Assignment& assignment,
+               const std::string& service) {
+  auto it = assignment.hosts_of.find(service);
+  if (it == assignment.hosts_of.end()) return 0.0;
+  double total = 0.0;
+  for (const std::string& host : it->second) {
+    for (const ServerSpec& server : landscape.servers) {
+      if (server.name == host) total += server.performance_index;
+    }
+  }
+  return total;
+}
+
+/// Distributes `demand` (wu) across hosts with capacities `capacity`
+/// and pre-existing fractional loads `other`, equalizing the total
+/// fractional load where possible (water-filling). This models the
+/// equilibrium of the slow user fluctuation: users re-login to the
+/// least-loaded instance until loads level out. Returns the
+/// fractional load each host ends up carrying for this service.
+std::vector<double> WaterFill(const std::vector<double>& capacity,
+                              const std::vector<double>& other,
+                              double demand) {
+  size_t n = capacity.size();
+  std::vector<double> share(n, 0.0);
+  if (n == 0 || demand <= 0) return share;
+  // Find the level L with sum_i c_i * max(0, L - o_i) = demand.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return other[a] < other[b]; });
+  double filled_capacity = 0.0;
+  double water = demand;
+  double level = other[order[0]];
+  for (size_t k = 0; k < n; ++k) {
+    size_t i = order[k];
+    double step = other[i] - level;
+    if (step > 0) {
+      double absorbed = filled_capacity * step;
+      if (absorbed >= water) {
+        level += water / filled_capacity;
+        water = 0;
+        break;
+      }
+      water -= absorbed;
+      level = other[i];
+    }
+    filled_capacity += capacity[i];
+  }
+  if (water > 0 && filled_capacity > 0) level += water / filled_capacity;
+  for (size_t i = 0; i < n; ++i) {
+    share[i] = std::max(0.0, level - other[i]);
+  }
+  return share;
+}
+
+/// Predicted per-server loads per half-hour slot.
+///
+/// Interactive users are *sticky*: they drift toward the least-loaded
+/// instance only slowly (~1 %/min), so the split a service shows at
+/// the 8:00 ramp is essentially its overnight equilibrium, not the
+/// split that would be optimal at 8:00. The predictor therefore
+/// simulates the day: per slot it computes each sticky service's
+/// fluctuation equilibrium (water-filling against the co-tenant load)
+/// and relaxes the user split toward it at the drift rate; batch and
+/// shared-queue tiers re-balance instantly. Two day cycles make the
+/// trajectory periodic; the second cycle is reported.
+std::vector<std::map<std::string, double>> PredictLoads(
+    const Landscape& landscape, const Assignment& assignment,
+    const std::map<std::string, std::vector<double>>& demand) {
+  std::map<std::string, double> pi_of;
+  for (const ServerSpec& server : landscape.servers) {
+    pi_of[server.name] = server.performance_index;
+  }
+  // Sticky services are those with interactive users.
+  std::map<std::string, bool> sticky;
+  for (const auto& spec : landscape.demand) {
+    sticky[spec.service] = spec.base_users > 0;
+  }
+  // Per-minute drift 1 % -> per-slot (30 min) relaxation factor.
+  const double alpha = 1.0 - std::pow(0.99, 30.0);
+
+  // State: per-service fraction of users per host (starts
+  // capacity-proportional).
+  std::map<std::string, std::vector<double>> user_fraction;
+  std::map<std::string, double> service_pi;
+  for (const auto& [service, hosts] : assignment.hosts_of) {
+    double total_pi = 0.0;
+    for (const std::string& host : hosts) total_pi += pi_of[host];
+    service_pi[service] = total_pi;
+    auto& fractions = user_fraction[service];
+    fractions.resize(hosts.size());
+    for (size_t i = 0; i < hosts.size(); ++i) {
+      fractions[i] = total_pi > 0 ? pi_of[hosts[i]] / total_pi : 0.0;
+    }
+  }
+
+  std::vector<std::map<std::string, double>> loads(kHours);
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (int h = 0; h < kHours; ++h) {
+      // Current totals from the current user split.
+      std::map<std::string, double> total;
+      for (const ServerSpec& server : landscape.servers) {
+        total[server.name] = 0.0;
+      }
+      for (const auto& [service, hosts] : assignment.hosts_of) {
+        auto demand_it = demand.find(service);
+        if (demand_it == demand.end() || hosts.empty()) continue;
+        const auto& fractions = user_fraction[service];
+        for (size_t i = 0; i < hosts.size(); ++i) {
+          double pi = pi_of[hosts[i]];
+          if (pi <= 0) continue;
+          total[hosts[i]] += demand_it->second[static_cast<size_t>(h)] *
+                             fractions[i] / pi;
+        }
+      }
+      if (cycle == 1) loads[static_cast<size_t>(h)] = total;
+
+      // Relax every sticky service toward its fluctuation
+      // equilibrium. Batch and derived tiers split strictly
+      // capacity-proportionally — exactly what the demand engine does
+      // (jobs are pulled by capacity, not by co-tenant load).
+      for (const auto& [service, hosts] : assignment.hosts_of) {
+        auto demand_it = demand.find(service);
+        if (demand_it == demand.end() || hosts.empty()) continue;
+        auto& fractions = user_fraction[service];
+        if (!sticky[service]) {
+          double total_pi = service_pi[service];
+          if (total_pi <= 0) continue;
+          for (size_t i = 0; i < hosts.size(); ++i) {
+            fractions[i] = pi_of[hosts[i]] / total_pi;
+          }
+          continue;
+        }
+        double d = demand_it->second[static_cast<size_t>(h)];
+        std::vector<double> capacity(hosts.size());
+        std::vector<double> other(hosts.size());
+        for (size_t i = 0; i < hosts.size(); ++i) {
+          capacity[i] = pi_of[hosts[i]];
+          double own = d * fractions[i] /
+                       (capacity[i] > 0 ? capacity[i] : 1.0);
+          other[i] = total[hosts[i]] - own;
+        }
+        std::vector<double> settled =
+            WaterFill(capacity, other, std::max(d, 1e-6));
+        double settled_total = 0.0;
+        std::vector<double> target(hosts.size());
+        for (size_t i = 0; i < hosts.size(); ++i) {
+          target[i] = settled[i] * capacity[i];
+          settled_total += target[i];
+        }
+        if (settled_total <= 0) continue;
+        for (size_t i = 0; i < hosts.size(); ++i) {
+          fractions[i] += alpha * (target[i] / settled_total - fractions[i]);
+        }
+      }
+    }
+  }
+  return loads;
+}
+
+struct Objective {
+  double peak = 0.0;    // worst per-server hourly load
+  double sum_sq = 0.0;  // tie-breaker: spread
+  bool operator<(const Objective& other) const {
+    if (peak != other.peak) return peak < other.peak;
+    return sum_sq < other.sum_sq;
+  }
+};
+
+Objective Evaluate(const Landscape& landscape, const Assignment& assignment,
+                   const std::map<std::string, std::vector<double>>& demand) {
+  Objective objective;
+  auto loads = PredictLoads(landscape, assignment, demand);
+  for (const auto& hour : loads) {
+    for (const auto& [server, load] : hour) {
+      objective.peak = std::max(objective.peak, load);
+      objective.sum_sq += load * load;
+    }
+  }
+  return objective;
+}
+
+/// Rebuilds a scratch cluster reflecting `assignment` (for constraint
+/// checks through the real allocator).
+Status Materialize(const Landscape& landscape,
+                   const Assignment& assignment, Cluster* cluster) {
+  for (const ServerSpec& server : landscape.servers) {
+    AG_RETURN_IF_ERROR(cluster->AddServer(server));
+  }
+  for (const ServiceSpec& service : landscape.services) {
+    AG_RETURN_IF_ERROR(cluster->AddService(service));
+  }
+  for (const auto& [service, hosts] : assignment.hosts_of) {
+    for (const std::string& host : hosts) {
+      AG_RETURN_IF_ERROR(
+          cluster->PlaceInstance(service, host, SimTime::Start()).status());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::map<std::string, std::vector<double>> PredictHourlyDemand(
+    const Landscape& landscape) {
+  std::map<std::string, std::vector<double>> demand;
+  // Application work from the declared patterns.
+  for (const auto& spec : landscape.demand) {
+    std::vector<double> hourly(kHours, 0.0);
+    for (int h = 0; h < kHours; ++h) {
+      // Half-hour slots, sampled at the slot midpoint.
+      SimTime at = SimTime::Start() + Duration::Minutes(30 * h + 15);
+      double activity = spec.pattern.Activity(at);
+      double work = spec.base_load_wu;
+      if (spec.batch) {
+        work += spec.batch_load_wu * activity;
+      } else if (spec.base_users > 0) {
+        work += spec.base_users * activity * spec.request_cost /
+                workload::kUsersPerPerformanceUnit;
+      }
+      hourly[static_cast<size_t>(h)] = work;
+    }
+    demand[spec.service] = std::move(hourly);
+  }
+  // Three-tier propagation onto central instances and databases.
+  for (const auto& subsystem : landscape.subsystems) {
+    std::vector<double> app_work(kHours, 0.0);
+    for (const std::string& app : subsystem.app_services) {
+      auto it = demand.find(app);
+      if (it == demand.end()) continue;
+      for (int h = 0; h < kHours; ++h) {
+        app_work[static_cast<size_t>(h)] +=
+            it->second[static_cast<size_t>(h)];
+      }
+    }
+    auto add_tier = [&](const std::string& service, double factor) {
+      if (service.empty() || factor <= 0) return;
+      auto it = demand.find(service);
+      if (it == demand.end()) return;
+      for (int h = 0; h < kHours; ++h) {
+        it->second[static_cast<size_t>(h)] +=
+            factor * app_work[static_cast<size_t>(h)];
+      }
+    };
+    add_tier(subsystem.central_instance, subsystem.ci_factor);
+    add_tier(subsystem.database, subsystem.db_factor);
+  }
+  return demand;
+}
+
+Result<DesignReport> DesignAllocation(const Landscape& input,
+                                      const DesignOptions& options) {
+  if (options.target_peak_load <= 0 || options.target_peak_load > 1) {
+    return Status::InvalidArgument("target_peak_load must be in (0, 1]");
+  }
+  DesignReport report;
+  report.landscape = input;
+  auto demand = PredictHourlyDemand(input);
+
+  auto peak_of = [&demand](const std::string& service) {
+    auto it = demand.find(service);
+    if (it == demand.end()) return 0.0;
+    return *std::max_element(it->second.begin(), it->second.end());
+  };
+
+  // Baseline: the input's own allocation (if any).
+  if (!input.initial_allocation.empty()) {
+    Assignment given;
+    for (const auto& [service, server] : input.initial_allocation) {
+      given.hosts_of[service].push_back(server);
+    }
+    report.input_peak_load = Evaluate(input, given, demand).peak;
+  }
+
+  // --- Greedy construction -------------------------------------------
+  // Exclusive and high-requirement services first (they have the
+  // fewest feasible hosts), then by peak demand.
+  std::vector<const ServiceSpec*> order;
+  for (const ServiceSpec& service : input.services) {
+    order.push_back(&service);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](const ServiceSpec* a, const ServiceSpec* b) {
+              if (a->exclusive != b->exclusive) return a->exclusive;
+              if (a->min_performance_index != b->min_performance_index) {
+                return a->min_performance_index >
+                       b->min_performance_index;
+              }
+              return peak_of(a->name) > peak_of(b->name);
+            });
+
+  Cluster scratch;
+  for (const ServerSpec& server : input.servers) {
+    AG_RETURN_IF_ERROR(scratch.AddServer(server));
+  }
+  for (const ServiceSpec& service : input.services) {
+    AG_RETURN_IF_ERROR(scratch.AddService(service));
+  }
+
+  Assignment assignment;
+  auto place_best = [&](const ServiceSpec& service) -> bool {
+    // Choose the feasible host minimizing the resulting objective.
+    const ServerSpec* best = nullptr;
+    Objective best_objective;
+    for (const ServerSpec& server : input.servers) {
+      if (!scratch.CanPlace(service.name, server.name).ok()) continue;
+      assignment.hosts_of[service.name].push_back(server.name);
+      Objective objective = Evaluate(input, assignment, demand);
+      assignment.hosts_of[service.name].pop_back();
+      if (best == nullptr || objective < best_objective) {
+        best = &server;
+        best_objective = objective;
+      }
+    }
+    if (best == nullptr) return false;
+    assignment.hosts_of[service.name].push_back(best->name);
+    AG_CHECK_OK(scratch.PlaceInstance(service.name, best->name,
+                                      SimTime::Start())
+                    .status());
+    return true;
+  };
+
+  // Phase 1: satisfy minimum instance counts (at least one each).
+  for (const ServiceSpec* service : order) {
+    int want = std::max(1, service->min_instances);
+    for (int i = 0; i < want; ++i) {
+      if (!place_best(*service)) {
+        return Status::ResourceExhausted(StrFormat(
+            "designer: no feasible host for required instance %d of "
+            "\"%s\"",
+            i + 1, service->name.c_str()));
+      }
+    }
+  }
+  // Phase 2: grow the most under-provisioned service until every
+  // service has enough aggregate capacity at its predicted peak.
+  for (;;) {
+    const ServiceSpec* worst = nullptr;
+    double worst_ratio = options.target_peak_load;
+    for (const ServiceSpec& service : input.services) {
+      double total_pi = TotalPi(input, assignment, service.name);
+      if (total_pi <= 0) continue;
+      if (static_cast<int>(assignment.hosts_of[service.name].size()) >=
+          service.max_instances) {
+        continue;
+      }
+      double ratio = peak_of(service.name) / total_pi;
+      if (ratio > worst_ratio) {
+        worst_ratio = ratio;
+        worst = &service;
+      }
+    }
+    if (worst == nullptr) break;
+    if (!place_best(*worst)) break;  // out of room; best effort
+  }
+  // Phase 3: objective-driven growth — an extra instance can relieve
+  // a bad co-location (e.g. splitting batch work away from a host a
+  // database needs at night) even when the service's own aggregate
+  // capacity already looked sufficient.
+  for (;;) {
+    Objective current_objective = Evaluate(input, assignment, demand);
+    if (current_objective.peak <= options.target_peak_load) break;
+    const ServiceSpec* best_service = nullptr;
+    Objective best_objective = current_objective;
+    for (const ServiceSpec& service : input.services) {
+      if (static_cast<int>(assignment.hosts_of[service.name].size()) >=
+          service.max_instances) {
+        continue;
+      }
+      // Probe: the best host for one more instance of this service.
+      for (const ServerSpec& server : input.servers) {
+        if (!scratch.CanPlace(service.name, server.name).ok()) continue;
+        assignment.hosts_of[service.name].push_back(server.name);
+        Objective objective = Evaluate(input, assignment, demand);
+        assignment.hosts_of[service.name].pop_back();
+        if (objective < best_objective) {
+          best_objective = objective;
+          best_service = &service;
+        }
+      }
+    }
+    if (best_service == nullptr) break;  // no addition helps
+    if (!place_best(*best_service)) break;
+  }
+
+  // --- Local search ----------------------------------------------------
+  Rng rng(options.seed);
+  Objective current = Evaluate(input, assignment, demand);
+  std::vector<std::string> service_names;
+  for (const auto& [service, hosts] : assignment.hosts_of) {
+    service_names.push_back(service);
+  }
+  for (int iteration = 0; iteration < options.local_search_iterations;
+       ++iteration) {
+    const std::string& service = service_names[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(service_names.size()) - 1))];
+    std::vector<std::string>& hosts = assignment.hosts_of[service];
+    if (hosts.empty()) continue;
+    size_t slot = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(hosts.size()) - 1));
+    const ServerSpec& candidate = input.servers[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(input.servers.size()) - 1))];
+    if (candidate.name == hosts[slot]) continue;
+    // Feasibility: rebuild is expensive; emulate by removing the
+    // instance from the scratch cluster and trying the new spot.
+    infra::InstanceId moving = 0;
+    for (const infra::ServiceInstance* instance :
+         scratch.InstancesOf(service)) {
+      if (instance->server == hosts[slot]) moving = instance->id;
+    }
+    if (moving == 0) continue;
+    if (!scratch.CanPlace(service, candidate.name, moving).ok()) continue;
+    std::string old_host = hosts[slot];
+    hosts[slot] = candidate.name;
+    Objective attempt = Evaluate(input, assignment, demand);
+    if (attempt < current) {
+      current = attempt;
+      AG_CHECK_OK(
+          scratch.MoveInstance(moving, candidate.name, SimTime::Start()));
+    } else {
+      hosts[slot] = old_host;
+    }
+  }
+
+  // --- Report -----------------------------------------------------------
+  report.designed_peak_load = current.peak;
+  report.hourly_loads = PredictLoads(input, assignment, demand);
+  double worst_stddev = 0.0;
+  for (const auto& hour : report.hourly_loads) {
+    double mean = 0.0;
+    for (const auto& [server, load] : hour) mean += load;
+    mean /= static_cast<double>(hour.size());
+    double var = 0.0;
+    for (const auto& [server, load] : hour) {
+      var += (load - mean) * (load - mean);
+    }
+    worst_stddev = std::max(
+        worst_stddev, std::sqrt(var / static_cast<double>(hour.size())));
+  }
+  report.designed_imbalance = worst_stddev;
+
+  report.landscape.initial_allocation.clear();
+  for (const auto& [service, hosts] : assignment.hosts_of) {
+    for (const std::string& host : hosts) {
+      report.landscape.initial_allocation.emplace_back(service, host);
+    }
+  }
+  // Deterministic order: by server, then service (stable across runs).
+  std::sort(report.landscape.initial_allocation.begin(),
+            report.landscape.initial_allocation.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+
+  // Final sanity: the allocation must materialize under the real
+  // constraint checks.
+  Cluster verify;
+  Assignment final_assignment;
+  for (const auto& [service, host] :
+       report.landscape.initial_allocation) {
+    final_assignment.hosts_of[service].push_back(host);
+  }
+  AG_RETURN_IF_ERROR(
+      Materialize(report.landscape, final_assignment, &verify));
+  return report;
+}
+
+}  // namespace autoglobe::designer

@@ -1,0 +1,65 @@
+#ifndef AUTOGLOBE_DESIGNER_DESIGNER_H_
+#define AUTOGLOBE_DESIGNER_DESIGNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autoglobe/landscape.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace autoglobe::designer {
+
+/// Options of the static allocation optimizer.
+struct DesignOptions {
+  /// Per-server load the design aims to stay under at the predicted
+  /// peaks (the paper dimensions installations to 60-80 % at main
+  /// activity; planning at 0.62 leaves the reserve for bursts and the
+  /// 3 % demand noise the prediction cannot see).
+  double target_peak_load = 0.62;
+  /// Local-search iterations after the greedy construction.
+  int local_search_iterations = 2000;
+  uint64_t seed = 1;
+};
+
+/// Result of a design run.
+struct DesignReport {
+  /// The input landscape with `initial_allocation` replaced by the
+  /// optimized pre-assignment (instance counts may differ from the
+  /// input's).
+  Landscape landscape;
+  /// Predicted maximum per-server load over the day, before/after.
+  double input_peak_load = 0.0;
+  double designed_peak_load = 0.0;
+  /// Predicted load imbalance (stddev over servers at the worst hour).
+  double designed_imbalance = 0.0;
+  /// Predicted per-server loads of the designed allocation, one entry
+  /// per half-hour slot (48), for inspection.
+  std::vector<std::map<std::string, double>> hourly_loads;
+};
+
+/// The landscape designer tool of the paper's future work (§7): "This
+/// tool calculates a statically optimized pre-assignment of all
+/// services to improve the dynamic optimization potential of the
+/// fuzzy controller."
+///
+/// The designer predicts each service's hourly demand from its
+/// declared workload model (including the three-tier propagation),
+/// chooses instance counts so every service has enough aggregate
+/// capacity at its peak, places instances greedily under the full
+/// constraint set (memory, exclusiveness, minimum performance index,
+/// one-instance-per-server), and then improves the placement with a
+/// local search that minimizes the worst predicted server load.
+Result<DesignReport> DesignAllocation(const Landscape& input,
+                                      const DesignOptions& options = {});
+
+/// Predicted hourly demand (work units) per service, derived from the
+/// landscape's demand specs and subsystem wiring — exposed for tests
+/// and for the capacity_planning tooling.
+std::map<std::string, std::vector<double>> PredictHourlyDemand(
+    const Landscape& landscape);
+
+}  // namespace autoglobe::designer
+
+#endif  // AUTOGLOBE_DESIGNER_DESIGNER_H_

@@ -1,0 +1,76 @@
+#include "forecast/forecaster.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe::forecast {
+
+LoadForecaster::LoadForecaster(const monitor::LoadArchive* archive,
+                               ForecastConfig config)
+    : archive_(archive), config_(config) {
+  AG_CHECK(archive_ != nullptr);
+}
+
+Result<double> LoadForecaster::HistoricValue(const std::string& key,
+                                             SimTime at) const {
+  // The aggregated series is bucketed; accept the bucket containing
+  // `at` or its immediate neighbours.
+  std::vector<monitor::LoadSample> aggregated = archive_->Aggregated(key);
+  if (aggregated.empty()) {
+    return Status::NotFound(StrFormat("no history for \"%s\"", key.c_str()));
+  }
+  int64_t bucket_s = archive_->aggregate_bucket().seconds();
+  const monitor::LoadSample* best = nullptr;
+  int64_t best_distance = 0;
+  for (const monitor::LoadSample& sample : aggregated) {
+    int64_t distance = std::abs(sample.at.seconds() - at.seconds());
+    if (best == nullptr || distance < best_distance) {
+      best = &sample;
+      best_distance = distance;
+    }
+  }
+  if (best == nullptr || best_distance > bucket_s) {
+    return Status::NotFound(StrFormat(
+        "no archived bucket near %s for \"%s\"", at.ToString().c_str(),
+        key.c_str()));
+  }
+  return best->value;
+}
+
+Result<double> LoadForecaster::Forecast(const std::string& key,
+                                        SimTime now) const {
+  return ForecastAt(key, now, config_.horizon);
+}
+
+Result<double> LoadForecaster::ForecastAt(const std::string& key,
+                                          SimTime now,
+                                          Duration horizon) const {
+  AG_ASSIGN_OR_RETURN(double latest, archive_->Latest(key));
+  SimTime target = now + horizon;
+
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  double weight = 1.0;
+  for (int day = 1; day <= config_.history_days; ++day) {
+    SimTime past = target - Duration::Days(day);
+    if (past < SimTime::Start()) break;
+    auto value = HistoricValue(key, past);
+    if (value.ok()) {
+      weighted_sum += weight * *value;
+      weight_total += weight;
+    }
+    weight *= config_.day_decay;
+  }
+  if (weight_total <= 0.0) {
+    // No daily history yet (first simulated day): fall back to the
+    // current measurement.
+    return latest;
+  }
+  double pattern = weighted_sum / weight_total;
+  return config_.pattern_weight * pattern +
+         (1.0 - config_.pattern_weight) * latest;
+}
+
+}  // namespace autoglobe::forecast

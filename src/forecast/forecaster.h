@@ -1,0 +1,60 @@
+#ifndef AUTOGLOBE_FORECAST_FORECASTER_H_
+#define AUTOGLOBE_FORECAST_FORECASTER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "monitor/load_archive.h"
+
+namespace autoglobe::forecast {
+
+/// Tunables of the pattern-based forecaster.
+struct ForecastConfig {
+  /// How far ahead the controller wants to look.
+  Duration horizon = Duration::Minutes(15);
+  /// How many previous days contribute to the daily pattern.
+  int history_days = 7;
+  /// Per-day decay of older days' weight (most recent day weighs 1).
+  double day_decay = 0.7;
+  /// Blend between the daily pattern (1.0) and the latest measurement
+  /// (0.0). The pattern dominates for services with periodic behavior.
+  double pattern_weight = 0.6;
+};
+
+/// Short-term load forecasting from the load archive (the paper's
+/// future-work item, §7: "predicting the future load of services
+/// based on historic data stored in the load archive using pattern
+/// matching"; elaborated in the authors' companion paper [8]).
+///
+/// The predictor exploits the strong daily periodicity of enterprise
+/// workloads: the forecast for time t+h is a recency-weighted mean of
+/// the archived loads at the same time of day on previous days,
+/// blended with the current measurement.
+class LoadForecaster {
+ public:
+  LoadForecaster(const monitor::LoadArchive* archive,
+                 ForecastConfig config = {});
+
+  /// Forecasts the subject's load at now + horizon. Falls back to the
+  /// latest raw measurement when no daily history exists yet.
+  /// NotFound when the subject has no samples at all.
+  Result<double> Forecast(const std::string& key, SimTime now) const;
+
+  /// Forecast with an explicit horizon (overrides the config).
+  Result<double> ForecastAt(const std::string& key, SimTime now,
+                            Duration horizon) const;
+
+  const ForecastConfig& config() const { return config_; }
+
+ private:
+  /// Archived aggregate value at `at` (nearest bucket), if any.
+  Result<double> HistoricValue(const std::string& key, SimTime at) const;
+
+  const monitor::LoadArchive* archive_;
+  ForecastConfig config_;
+};
+
+}  // namespace autoglobe::forecast
+
+#endif  // AUTOGLOBE_FORECAST_FORECASTER_H_

@@ -1,0 +1,249 @@
+#include "fuzzy/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "fuzzy/rule_parser.h"
+
+namespace autoglobe::fuzzy {
+
+std::string_view DefuzzifierName(Defuzzifier d) {
+  switch (d) {
+    case Defuzzifier::kLeftmostMax:
+      return "leftmost-max";
+    case Defuzzifier::kMeanOfMax:
+      return "mean-of-max";
+    case Defuzzifier::kCentroid:
+      return "centroid";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// AggregatedSet
+// ---------------------------------------------------------------------------
+
+void AggregatedSet::AddClipped(const MembershipFunction& membership,
+                               double clip) {
+  clip = std::clamp(clip, 0.0, 1.0);
+  if (clip <= 0.0) return;  // clipped to nothing; contributes no mass
+  parts_.push_back(Part{membership, clip});
+}
+
+double AggregatedSet::Eval(double x) const {
+  double grade = 0.0;
+  for (const Part& part : parts_) {
+    grade = std::max(grade, std::min(part.membership.Eval(x), part.clip));
+  }
+  return grade;
+}
+
+double AggregatedSet::Height() const {
+  double height = 0.0;
+  for (const Part& part : parts_) {
+    height = std::max(height, std::min(part.membership.MaxValue(), part.clip));
+  }
+  return height;
+}
+
+double AggregatedSet::Defuzzify(Defuzzifier method) const {
+  double height = Height();
+  if (parts_.empty() || height <= 0.0) return lo_;
+  switch (method) {
+    case Defuzzifier::kLeftmostMax: {
+      // Leftmost x where the union attains its height: the minimum
+      // over contributing parts of the part's leftmost point at the
+      // height level (paper §3: "the leftmost of all values at which
+      // the maximum truth value occurs").
+      double leftmost = hi_;
+      for (const Part& part : parts_) {
+        double part_height =
+            std::min(part.membership.MaxValue(), part.clip);
+        if (part_height + 1e-12 < height) continue;
+        double x = part.membership.LeftmostAtLevel(height, lo_);
+        leftmost = std::min(leftmost, std::clamp(x, lo_, hi_));
+      }
+      return leftmost;
+    }
+    case Defuzzifier::kMeanOfMax: {
+      // Numeric: average of sample points within 1e-9 of the height.
+      constexpr int kSamples = 2000;
+      double sum = 0.0;
+      int count = 0;
+      for (int i = 0; i <= kSamples; ++i) {
+        double x = lo_ + (hi_ - lo_) * i / kSamples;
+        if (Eval(x) >= height - 1e-9) {
+          sum += x;
+          ++count;
+        }
+      }
+      return count > 0 ? sum / count : lo_;
+    }
+    case Defuzzifier::kCentroid: {
+      constexpr int kSamples = 2000;
+      double num = 0.0;
+      double den = 0.0;
+      for (int i = 0; i <= kSamples; ++i) {
+        double x = lo_ + (hi_ - lo_) * i / kSamples;
+        double mu = Eval(x);
+        num += x * mu;
+        den += mu;
+      }
+      return den > 0.0 ? num / den : lo_;
+    }
+  }
+  return lo_;
+}
+
+std::vector<double> AggregatedSet::Sample(int n) const {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    samples.push_back(Eval(lo_ + (hi_ - lo_) * i / n));
+  }
+  return samples;
+}
+
+// ---------------------------------------------------------------------------
+// RuleBase
+// ---------------------------------------------------------------------------
+
+Status RuleBase::AddVariable(LinguisticVariable variable) {
+  if (HasVariable(variable.name())) {
+    return Status::AlreadyExists(StrFormat(
+        "rule base \"%s\" already defines variable \"%s\"", name_.c_str(),
+        variable.name().c_str()));
+  }
+  std::string key = variable.name();
+  variables_.emplace(std::move(key), std::move(variable));
+  return Status::OK();
+}
+
+bool RuleBase::HasVariable(std::string_view name) const {
+  return variables_.find(name) != variables_.end();
+}
+
+namespace {
+
+Status ValidateExpr(const Expr& expr,
+                    const std::map<std::string, LinguisticVariable,
+                                   std::less<>>& variables) {
+  switch (expr.kind()) {
+    case Expr::Kind::kAtom: {
+      const auto& atom = static_cast<const AtomExpr&>(expr);
+      auto it = variables.find(atom.variable());
+      if (it == variables.end()) {
+        return Status::NotFound(StrFormat(
+            "rule references undefined variable \"%s\"",
+            atom.variable().c_str()));
+      }
+      if (!it->second.HasTerm(atom.term())) {
+        return Status::NotFound(StrFormat(
+            "variable \"%s\" has no term \"%s\"", atom.variable().c_str(),
+            atom.term().c_str()));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      const auto& nary = static_cast<const NaryExpr&>(expr);
+      for (const auto& child : nary.children()) {
+        AG_RETURN_IF_ERROR(ValidateExpr(*child, variables));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kNot: {
+      const auto& negation = static_cast<const NotExpr&>(expr);
+      return ValidateExpr(negation.child(), variables);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace
+
+Status RuleBase::AddRule(Rule rule) {
+  AG_RETURN_IF_ERROR(ValidateExpr(rule.antecedent(), variables_));
+  const Consequent& consequent = rule.consequent();
+  auto it = variables_.find(consequent.variable);
+  if (it == variables_.end()) {
+    return Status::NotFound(StrFormat(
+        "rule consequent references undefined variable \"%s\"",
+        consequent.variable.c_str()));
+  }
+  if (!it->second.HasTerm(consequent.term)) {
+    return Status::NotFound(StrFormat(
+        "output variable \"%s\" has no term \"%s\"",
+        consequent.variable.c_str(), consequent.term.c_str()));
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Status RuleBase::AddRulesFromText(std::string_view text) {
+  AG_ASSIGN_OR_RETURN(std::vector<Rule> parsed, ParseRules(text));
+  for (Rule& rule : parsed) {
+    AG_RETURN_IF_ERROR(AddRule(std::move(rule)));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> RuleBase::OutputVariables() const {
+  std::vector<std::string> names;
+  for (const Rule& rule : rules_) {
+    const std::string& name = rule.consequent().variable;
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// InferenceEngine
+// ---------------------------------------------------------------------------
+
+Result<std::map<std::string, InferenceOutput>> InferenceEngine::Infer(
+    const RuleBase& rule_base, const Inputs& inputs) const {
+  std::map<std::string, InferenceOutput> outputs;
+  // One aggregated set per output variable written by any rule.
+  for (const Rule& rule : rule_base.rules()) {
+    const Consequent& consequent = rule.consequent();
+    auto var_it = rule_base.variables().find(consequent.variable);
+    AG_CHECK(var_it != rule_base.variables().end());
+    const LinguisticVariable& out_var = var_it->second;
+    auto [entry, inserted] = outputs.try_emplace(
+        consequent.variable,
+        InferenceOutput{out_var.min_value(),
+                        AggregatedSet(out_var.min_value(),
+                                      out_var.max_value())});
+    AG_ASSIGN_OR_RETURN(
+        double truth,
+        rule.EvaluateAntecedent(rule_base.variables(), inputs));
+    AG_ASSIGN_OR_RETURN(const MembershipFunction* mf,
+                        out_var.FindTerm(consequent.term));
+    entry->second.set.AddClipped(*mf, truth);
+  }
+  for (auto& [name, output] : outputs) {
+    output.crisp = output.set.Defuzzify(defuzzifier_);
+  }
+  return outputs;
+}
+
+Result<double> InferenceEngine::InferValue(
+    const RuleBase& rule_base, const Inputs& inputs,
+    std::string_view output_variable) const {
+  AG_ASSIGN_OR_RETURN(auto outputs, Infer(rule_base, inputs));
+  auto it = outputs.find(std::string(output_variable));
+  if (it == outputs.end()) {
+    return Status::NotFound(
+        StrFormat("no rule writes output variable \"%.*s\"",
+                  static_cast<int>(output_variable.size()),
+                  output_variable.data()));
+  }
+  return it->second.crisp;
+}
+
+}  // namespace autoglobe::fuzzy

@@ -1,0 +1,135 @@
+#ifndef AUTOGLOBE_FUZZY_INFERENCE_H_
+#define AUTOGLOBE_FUZZY_INFERENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzzy/linguistic.h"
+#include "fuzzy/rule.h"
+
+namespace autoglobe::fuzzy {
+
+/// How the aggregated output fuzzy set is reduced to a crisp value.
+/// The paper uses the leftmost maximum (§3); the alternatives are
+/// provided for the ablation study A4.
+enum class Defuzzifier {
+  kLeftmostMax,
+  kMeanOfMax,
+  kCentroid,
+};
+
+std::string_view DefuzzifierName(Defuzzifier d);
+
+/// The fuzzy union of clipped consequent sets for one output
+/// variable: mu(x) = max_i min(mu_term_i(x), clip_i). This is the
+/// max–min inference result of Figure 5.
+class AggregatedSet {
+ public:
+  struct Part {
+    MembershipFunction membership;
+    double clip = 0.0;
+  };
+
+  AggregatedSet(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+  void AddClipped(const MembershipFunction& membership, double clip);
+
+  bool empty() const { return parts_.empty(); }
+  const std::vector<Part>& parts() const { return parts_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Membership grade of the union at x.
+  double Eval(double x) const;
+
+  /// Height of the set (max grade over the domain).
+  double Height() const;
+
+  /// Crisp value per the chosen defuzzifier. An empty or all-zero set
+  /// defuzzifies to `lo` (nothing is applicable).
+  double Defuzzify(Defuzzifier method) const;
+
+  /// Samples the union at `n`+1 equidistant points (plot support).
+  std::vector<double> Sample(int n) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<Part> parts_;
+};
+
+/// Result of one inference run: a crisp value and the aggregated set
+/// per output variable.
+struct InferenceOutput {
+  double crisp = 0.0;
+  AggregatedSet set{0.0, 1.0};
+};
+
+/// A named rule base plus the linguistic variables it speaks about —
+/// the controller knowledge container (paper: "a rule base comprises
+/// dozens of rules").
+class RuleBase {
+ public:
+  explicit RuleBase(std::string name = "") : name_(std::move(name)) {}
+
+  RuleBase(RuleBase&&) = default;
+  RuleBase& operator=(RuleBase&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Registers a variable usable in antecedents and consequents.
+  Status AddVariable(LinguisticVariable variable);
+  bool HasVariable(std::string_view name) const;
+  const std::map<std::string, LinguisticVariable, std::less<>>& variables()
+      const {
+    return variables_;
+  }
+
+  /// Adds a rule. Fails when the rule references unknown variables or
+  /// terms (static validation, so controller startup catches typos).
+  Status AddRule(Rule rule);
+  /// Parses and adds all rules in `text`.
+  Status AddRulesFromText(std::string_view text);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  /// Names of output variables any rule writes to.
+  std::vector<std::string> OutputVariables() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, LinguisticVariable, std::less<>> variables_;
+  std::vector<Rule> rules_;
+};
+
+/// The fuzzy controller engine of Figure 4: fuzzification of crisp
+/// measurements, max–min rule evaluation, union aggregation per
+/// output variable, and defuzzification.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(Defuzzifier defuzzifier = Defuzzifier::kLeftmostMax)
+      : defuzzifier_(defuzzifier) {}
+
+  Defuzzifier defuzzifier() const { return defuzzifier_; }
+  void set_defuzzifier(Defuzzifier d) { defuzzifier_ = d; }
+
+  /// Runs the full cycle over `rule_base` with the crisp `inputs`.
+  /// Returns one InferenceOutput per output variable (variables no
+  /// rule fires for still appear, with crisp == domain minimum).
+  Result<std::map<std::string, InferenceOutput>> Infer(
+      const RuleBase& rule_base, const Inputs& inputs) const;
+
+  /// Convenience: crisp value of a single output variable.
+  Result<double> InferValue(const RuleBase& rule_base, const Inputs& inputs,
+                            std::string_view output_variable) const;
+
+ private:
+  Defuzzifier defuzzifier_;
+};
+
+}  // namespace autoglobe::fuzzy
+
+#endif  // AUTOGLOBE_FUZZY_INFERENCE_H_

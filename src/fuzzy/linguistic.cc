@@ -1,0 +1,79 @@
+#include "fuzzy/linguistic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe::fuzzy {
+
+Status LinguisticVariable::AddTerm(std::string term,
+                                   MembershipFunction membership) {
+  if (HasTerm(term)) {
+    return Status::AlreadyExists(StrFormat("variable \"%s\" already has term \"%s\"",
+                                           name_.c_str(), term.c_str()));
+  }
+  terms_.push_back(LinguisticTerm{std::move(term), membership});
+  return Status::OK();
+}
+
+bool LinguisticVariable::HasTerm(std::string_view term) const {
+  for (const LinguisticTerm& t : terms_) {
+    if (t.name == term) return true;
+  }
+  return false;
+}
+
+Result<const MembershipFunction*> LinguisticVariable::FindTerm(
+    std::string_view term) const {
+  for (const LinguisticTerm& t : terms_) {
+    if (t.name == term) return &t.membership;
+  }
+  return Status::NotFound(StrFormat("variable \"%s\" has no term \"%.*s\"",
+                                    name_.c_str(),
+                                    static_cast<int>(term.size()),
+                                    term.data()));
+}
+
+double LinguisticVariable::Clamp(double crisp) const {
+  return std::clamp(crisp, min_, max_);
+}
+
+Result<double> LinguisticVariable::Grade(std::string_view term,
+                                         double crisp) const {
+  AG_ASSIGN_OR_RETURN(const MembershipFunction* mf, FindTerm(term));
+  return mf->Eval(Clamp(crisp));
+}
+
+std::vector<TermGrade> LinguisticVariable::Fuzzify(double crisp) const {
+  double x = Clamp(crisp);
+  std::vector<TermGrade> grades;
+  grades.reserve(terms_.size());
+  for (const LinguisticTerm& t : terms_) {
+    grades.push_back(TermGrade{t.name, t.membership.Eval(x)});
+  }
+  return grades;
+}
+
+LinguisticVariable LinguisticVariable::StandardLoad(std::string name) {
+  // Breakpoints chosen to reproduce the paper's Figure 3 readings:
+  // mu_medium(0.6) = 0.5 and mu_high(0.6) = 0.2, mu_high(0.9) = 0.8.
+  LinguisticVariable var(std::move(name), 0.0, 1.0);
+  AG_CHECK_OK(var.AddTerm(
+      "low", MembershipFunction::Trapezoid(0.0, 0.0, 0.2, 0.4).value()));
+  AG_CHECK_OK(var.AddTerm(
+      "medium", MembershipFunction::Trapezoid(0.2, 0.4, 0.5, 0.7).value()));
+  AG_CHECK_OK(var.AddTerm(
+      "high", MembershipFunction::Trapezoid(0.5, 1.0, 1.0, 1.0).value()));
+  return var;
+}
+
+LinguisticVariable LinguisticVariable::RampOutput(std::string name,
+                                                  std::string term) {
+  LinguisticVariable var(std::move(name), 0.0, 1.0);
+  AG_CHECK_OK(
+      var.AddTerm(std::move(term), MembershipFunction::RampUp(0.0, 1.0).value()));
+  return var;
+}
+
+}  // namespace autoglobe::fuzzy

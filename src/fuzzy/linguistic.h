@@ -1,0 +1,74 @@
+#ifndef AUTOGLOBE_FUZZY_LINGUISTIC_H_
+#define AUTOGLOBE_FUZZY_LINGUISTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzzy/membership.h"
+
+namespace autoglobe::fuzzy {
+
+/// A linguistic term: a named fuzzy set, e.g. "low" over cpuLoad.
+struct LinguisticTerm {
+  std::string name;
+  MembershipFunction membership;
+};
+
+/// One grade produced by fuzzification.
+struct TermGrade {
+  std::string term;
+  double grade = 0.0;
+};
+
+/// A linguistic variable (paper §3, Figure 3): a name, a crisp value
+/// range, and a set of linguistic terms with membership functions.
+class LinguisticVariable {
+ public:
+  LinguisticVariable() = default;
+  LinguisticVariable(std::string name, double min_value, double max_value)
+      : name_(std::move(name)), min_(min_value), max_(max_value) {}
+
+  const std::string& name() const { return name_; }
+  double min_value() const { return min_; }
+  double max_value() const { return max_; }
+  const std::vector<LinguisticTerm>& terms() const { return terms_; }
+
+  /// Adds a term; rejects duplicates.
+  Status AddTerm(std::string term, MembershipFunction membership);
+
+  bool HasTerm(std::string_view term) const;
+  /// Membership function of a term; NotFound if absent.
+  Result<const MembershipFunction*> FindTerm(std::string_view term) const;
+
+  /// Clamps a crisp value into the variable's range.
+  double Clamp(double crisp) const;
+
+  /// Membership grade of `crisp` (clamped to the range) in `term`.
+  Result<double> Grade(std::string_view term, double crisp) const;
+
+  /// Grades of the (clamped) crisp value in all terms — the
+  /// fuzzification step of Figure 4.
+  std::vector<TermGrade> Fuzzify(double crisp) const;
+
+  /// Builds the standard three-term load variable of Figure 3:
+  /// low / medium / high trapezoids over [0, 1].
+  static LinguisticVariable StandardLoad(std::string name);
+
+  /// Builds a variable with a single term covering the whole range
+  /// with an identity ramp — the shape used for output variables such
+  /// as scaleUp IS applicable, whose leftmost-max defuzzification
+  /// equals the rule truth value (paper's Figure 5 example).
+  static LinguisticVariable RampOutput(std::string name,
+                                       std::string term = "applicable");
+
+ private:
+  std::string name_;
+  double min_ = 0.0;
+  double max_ = 1.0;
+  std::vector<LinguisticTerm> terms_;
+};
+
+}  // namespace autoglobe::fuzzy
+
+#endif  // AUTOGLOBE_FUZZY_LINGUISTIC_H_

@@ -1,0 +1,141 @@
+#include "fuzzy/membership.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace autoglobe::fuzzy {
+
+namespace {
+
+Status BadBreakpoints(const char* shape) {
+  return Status::InvalidArgument(
+      StrFormat("%s breakpoints must be non-decreasing and finite", shape));
+}
+
+bool Ordered(double a, double b) { return a <= b && std::isfinite(a) && std::isfinite(b); }
+
+/// Linear interpolation of the rising edge from (a,0) to (b,1).
+double RisingEdge(double x, double a, double b) {
+  if (x <= a) return 0.0;
+  if (x >= b) return 1.0;
+  return (x - a) / (b - a);
+}
+
+}  // namespace
+
+Result<MembershipFunction> MembershipFunction::Trapezoid(double a, double b,
+                                                         double c, double d) {
+  if (!Ordered(a, b) || !Ordered(b, c) || !Ordered(c, d)) {
+    return BadBreakpoints("trapezoid");
+  }
+  return MembershipFunction(Shape::kTrapezoid, {a, b, c, d});
+}
+
+Result<MembershipFunction> MembershipFunction::Triangle(double a, double b,
+                                                        double c) {
+  if (!Ordered(a, b) || !Ordered(b, c)) return BadBreakpoints("triangle");
+  return MembershipFunction(Shape::kTriangle, {a, b, c, 0});
+}
+
+Result<MembershipFunction> MembershipFunction::RampUp(double a, double b) {
+  if (!Ordered(a, b)) return BadBreakpoints("ramp-up");
+  return MembershipFunction(Shape::kRampUp, {a, b, 0, 0});
+}
+
+Result<MembershipFunction> MembershipFunction::RampDown(double a, double b) {
+  if (!Ordered(a, b)) return BadBreakpoints("ramp-down");
+  return MembershipFunction(Shape::kRampDown, {a, b, 0, 0});
+}
+
+MembershipFunction MembershipFunction::Constant(double value) {
+  value = std::clamp(value, 0.0, 1.0);
+  return MembershipFunction(Shape::kConstant, {value, 0, 0, 0});
+}
+
+MembershipFunction MembershipFunction::Singleton(double a) {
+  return MembershipFunction(Shape::kSingleton, {a, 0, 0, 0});
+}
+
+double MembershipFunction::Eval(double x) const {
+  const auto& p = params_;
+  switch (shape_) {
+    case Shape::kTrapezoid: {
+      if (x <= p[0] || x >= p[3]) {
+        // Degenerate vertical edges: a==b means the edge is a step.
+        if (x == p[0] && p[0] == p[1]) return 1.0;
+        if (x == p[3] && p[2] == p[3]) return 1.0;
+        return 0.0;
+      }
+      if (x < p[1]) return RisingEdge(x, p[0], p[1]);
+      if (x <= p[2]) return 1.0;
+      return 1.0 - RisingEdge(x, p[2], p[3]);
+    }
+    case Shape::kTriangle: {
+      if (x <= p[0] || x >= p[2]) {
+        if (x == p[0] && p[0] == p[1]) return 1.0;
+        if (x == p[2] && p[1] == p[2]) return 1.0;
+        return 0.0;
+      }
+      if (x <= p[1]) return RisingEdge(x, p[0], p[1]);
+      return 1.0 - RisingEdge(x, p[1], p[2]);
+    }
+    case Shape::kRampUp:
+      return RisingEdge(x, p[0], p[1]);
+    case Shape::kRampDown:
+      return 1.0 - RisingEdge(x, p[0], p[1]);
+    case Shape::kConstant:
+      return p[0];
+    case Shape::kSingleton:
+      return x == p[0] ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+double MembershipFunction::MaxValue() const {
+  return shape_ == Shape::kConstant ? params_[0] : 1.0;
+}
+
+double MembershipFunction::LeftmostAtLevel(double level, double lo) const {
+  const auto& p = params_;
+  switch (shape_) {
+    case Shape::kTrapezoid:
+    case Shape::kTriangle:
+    case Shape::kRampUp:
+      // Rising edge from (p[0],0) to (p[1],1): mu(x) == level at
+      // p[0] + level * (p[1]-p[0]).
+      if (p[0] == p[1]) return p[0];
+      return p[0] + level * (p[1] - p[0]);
+    case Shape::kRampDown:
+      // The plateau extends left indefinitely, so within the domain
+      // the leftmost point at any reachable level is the domain edge.
+      return lo;
+    case Shape::kConstant:
+      return lo;
+    case Shape::kSingleton:
+      return p[0];
+  }
+  return lo;
+}
+
+std::string MembershipFunction::ToString() const {
+  const auto& p = params_;
+  switch (shape_) {
+    case Shape::kTrapezoid:
+      return StrFormat("trapezoid(%g,%g,%g,%g)", p[0], p[1], p[2], p[3]);
+    case Shape::kTriangle:
+      return StrFormat("triangle(%g,%g,%g)", p[0], p[1], p[2]);
+    case Shape::kRampUp:
+      return StrFormat("ramp-up(%g,%g)", p[0], p[1]);
+    case Shape::kRampDown:
+      return StrFormat("ramp-down(%g,%g)", p[0], p[1]);
+    case Shape::kConstant:
+      return StrFormat("constant(%g)", p[0]);
+    case Shape::kSingleton:
+      return StrFormat("singleton(%g)", p[0]);
+  }
+  return "?";
+}
+
+}  // namespace autoglobe::fuzzy

@@ -1,0 +1,72 @@
+#ifndef AUTOGLOBE_FUZZY_MEMBERSHIP_H_
+#define AUTOGLOBE_FUZZY_MEMBERSHIP_H_
+
+#include <array>
+#include <string>
+
+#include "common/result.h"
+
+namespace autoglobe::fuzzy {
+
+/// A piecewise-linear membership function mu: R -> [0, 1], the
+/// building block of fuzzy sets (Zadeh). The paper uses trapezoid
+/// memberships (Figure 3); triangles and ramps are degenerate
+/// trapezoids and singletons are provided for crisp terms.
+///
+/// All factory functions validate their breakpoints and return a
+/// ParseError on violation (the XML loader funnels user input here).
+class MembershipFunction {
+ public:
+  enum class Shape {
+    kTrapezoid,  // 0 below a, rises a..b, 1 in b..c, falls c..d, 0 above
+    kTriangle,   // trapezoid with b == c
+    kRampUp,     // 0 below a, rises a..b, 1 above b
+    kRampDown,   // 1 below a, falls a..b, 0 above b
+    kConstant,   // constant value params[0] everywhere
+    kSingleton,  // 1 exactly at a, else 0
+  };
+
+  /// Default: constant 0 (empty fuzzy set).
+  MembershipFunction() : shape_(Shape::kConstant), params_{0, 0, 0, 0} {}
+
+  static Result<MembershipFunction> Trapezoid(double a, double b, double c,
+                                              double d);
+  static Result<MembershipFunction> Triangle(double a, double b, double c);
+  static Result<MembershipFunction> RampUp(double a, double b);
+  static Result<MembershipFunction> RampDown(double a, double b);
+  static MembershipFunction Constant(double value);
+  static MembershipFunction Singleton(double a);
+
+  Shape shape() const { return shape_; }
+  const std::array<double, 4>& params() const { return params_; }
+
+  /// Membership grade of x; always in [0, 1].
+  double Eval(double x) const;
+  double operator()(double x) const { return Eval(x); }
+
+  /// The supremum of the function (1 for all shapes except kConstant).
+  double MaxValue() const;
+
+  /// Smallest x with Eval(x) >= level, looking only at the rising
+  /// part / plateau (piecewise-linear analytic solution). Used by the
+  /// leftmost-maximum defuzzifier. `lo` bounds the search domain for
+  /// shapes that reach `level` at -infinity (e.g. kRampDown at its
+  /// full height). Requires 0 < level <= MaxValue().
+  double LeftmostAtLevel(double level, double lo) const;
+
+  /// Human-readable description, e.g. "trapezoid(0,0,0.3,0.5)".
+  std::string ToString() const;
+
+  bool operator==(const MembershipFunction&) const = default;
+
+ private:
+  MembershipFunction(Shape shape, std::array<double, 4> params)
+      : shape_(shape), params_(params) {}
+
+  Shape shape_;
+  std::array<double, 4> params_;
+};
+
+}  // namespace autoglobe::fuzzy
+
+#endif  // AUTOGLOBE_FUZZY_MEMBERSHIP_H_

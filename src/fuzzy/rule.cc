@@ -1,0 +1,122 @@
+#include "fuzzy/rule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace autoglobe::fuzzy {
+
+std::string_view HedgeName(Hedge hedge) {
+  switch (hedge) {
+    case Hedge::kNone:
+      return "";
+    case Hedge::kVery:
+      return "VERY";
+    case Hedge::kSomewhat:
+      return "SOMEWHAT";
+  }
+  return "?";
+}
+
+double ApplyHedge(Hedge hedge, double grade) {
+  switch (hedge) {
+    case Hedge::kNone:
+      return grade;
+    case Hedge::kVery:
+      return grade * grade;  // concentration
+    case Hedge::kSomewhat:
+      return std::sqrt(grade);  // dilation
+  }
+  return grade;
+}
+
+Result<double> AtomExpr::Evaluate(
+    const std::map<std::string, LinguisticVariable, std::less<>>& variables,
+    const Inputs& inputs) const {
+  auto var_it = variables.find(variable_);
+  if (var_it == variables.end()) {
+    return Status::NotFound(
+        StrFormat("undefined linguistic variable \"%s\"", variable_.c_str()));
+  }
+  auto input_it = inputs.find(variable_);
+  if (input_it == inputs.end()) {
+    return Status::InvalidArgument(
+        StrFormat("no measurement for input variable \"%s\"",
+                  variable_.c_str()));
+  }
+  AG_ASSIGN_OR_RETURN(double grade,
+                      var_it->second.Grade(term_, input_it->second));
+  grade = ApplyHedge(hedge_, grade);
+  return negated_ ? 1.0 - grade : grade;
+}
+
+std::string AtomExpr::ToString() const {
+  std::string out = variable_ + (negated_ ? " IS NOT " : " IS ");
+  if (hedge_ != Hedge::kNone) {
+    out += std::string(HedgeName(hedge_)) + " ";
+  }
+  return out + term_;
+}
+
+void AtomExpr::CollectVariables(std::vector<std::string>* out) const {
+  out->push_back(variable_);
+}
+
+Result<double> NaryExpr::Evaluate(
+    const std::map<std::string, LinguisticVariable, std::less<>>& variables,
+    const Inputs& inputs) const {
+  double acc = (kind_ == Kind::kAnd) ? 1.0 : 0.0;
+  for (const auto& child : children_) {
+    AG_ASSIGN_OR_RETURN(double value, child->Evaluate(variables, inputs));
+    acc = (kind_ == Kind::kAnd) ? std::min(acc, value) : std::max(acc, value);
+  }
+  return acc;
+}
+
+std::string NaryExpr::ToString() const {
+  std::string sep = (kind_ == Kind::kAnd) ? " AND " : " OR ";
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i != 0) out += sep;
+    out += children_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void NaryExpr::CollectVariables(std::vector<std::string>* out) const {
+  for (const auto& child : children_) child->CollectVariables(out);
+}
+
+Result<double> NotExpr::Evaluate(
+    const std::map<std::string, LinguisticVariable, std::less<>>& variables,
+    const Inputs& inputs) const {
+  AG_ASSIGN_OR_RETURN(double value, child_->Evaluate(variables, inputs));
+  return 1.0 - value;
+}
+
+std::string NotExpr::ToString() const {
+  return "NOT " + child_->ToString();
+}
+
+void NotExpr::CollectVariables(std::vector<std::string>* out) const {
+  child_->CollectVariables(out);
+}
+
+Result<double> Rule::EvaluateAntecedent(
+    const std::map<std::string, LinguisticVariable, std::less<>>& variables,
+    const Inputs& inputs) const {
+  AG_ASSIGN_OR_RETURN(double truth,
+                      antecedent_->Evaluate(variables, inputs));
+  return truth * weight_;
+}
+
+std::string Rule::ToString() const {
+  std::string out = "IF " + antecedent_->ToString() + " THEN " +
+                    consequent_.variable + " IS " + consequent_.term;
+  if (weight_ != 1.0) out += StrFormat(" WITH %g", weight_);
+  return out;
+}
+
+}  // namespace autoglobe::fuzzy

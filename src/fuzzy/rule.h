@@ -1,0 +1,162 @@
+#ifndef AUTOGLOBE_FUZZY_RULE_H_
+#define AUTOGLOBE_FUZZY_RULE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzzy/linguistic.h"
+
+namespace autoglobe::fuzzy {
+
+/// Crisp measurements keyed by input-variable name.
+using Inputs = std::map<std::string, double, std::less<>>;
+
+/// Antecedent expression tree of a fuzzy rule. Conjunction is
+/// evaluated with min, disjunction with max, and negation with
+/// 1 - x (standard Zadeh operators, per paper §3).
+class Expr {
+ public:
+  enum class Kind { kAtom, kAnd, kOr, kNot };
+
+  virtual ~Expr() = default;
+  virtual Kind kind() const = 0;
+
+  /// Degree of truth of the expression under the given crisp inputs.
+  /// Errors when a referenced variable or term is undefined or the
+  /// measurement is missing.
+  virtual Result<double> Evaluate(
+      const std::map<std::string, LinguisticVariable, std::less<>>& variables,
+      const Inputs& inputs) const = 0;
+
+  /// Parenthesized textual form, e.g.
+  /// "(cpuLoad IS high AND performanceIndex IS low)".
+  virtual std::string ToString() const = 0;
+
+  /// Collects all variable names referenced by the expression.
+  virtual void CollectVariables(std::vector<std::string>* out) const = 0;
+};
+
+/// Linguistic hedges modify a term's membership grade (Zadeh):
+/// VERY squares it (concentration), SOMEWHAT takes the square root
+/// (dilation). `cpuLoad IS VERY high` is stricter than plain `high`.
+enum class Hedge {
+  kNone,
+  kVery,
+  kSomewhat,
+};
+
+std::string_view HedgeName(Hedge hedge);
+
+/// Applies a hedge to a membership grade.
+double ApplyHedge(Hedge hedge, double grade);
+
+/// Leaf: `variable IS [NOT] [VERY|SOMEWHAT] term`.
+class AtomExpr final : public Expr {
+ public:
+  AtomExpr(std::string variable, std::string term, bool negated = false,
+           Hedge hedge = Hedge::kNone)
+      : variable_(std::move(variable)),
+        term_(std::move(term)),
+        negated_(negated),
+        hedge_(hedge) {}
+
+  Kind kind() const override { return Kind::kAtom; }
+  const std::string& variable() const { return variable_; }
+  const std::string& term() const { return term_; }
+  bool negated() const { return negated_; }
+  Hedge hedge() const { return hedge_; }
+
+  Result<double> Evaluate(
+      const std::map<std::string, LinguisticVariable, std::less<>>& variables,
+      const Inputs& inputs) const override;
+  std::string ToString() const override;
+  void CollectVariables(std::vector<std::string>* out) const override;
+
+ private:
+  std::string variable_;
+  std::string term_;
+  bool negated_;
+  Hedge hedge_;
+};
+
+/// Inner node: AND (min) / OR (max) over two or more children.
+class NaryExpr final : public Expr {
+ public:
+  NaryExpr(Kind kind, std::vector<std::unique_ptr<Expr>> children)
+      : kind_(kind), children_(std::move(children)) {}
+
+  Kind kind() const override { return kind_; }
+  const std::vector<std::unique_ptr<Expr>>& children() const {
+    return children_;
+  }
+
+  Result<double> Evaluate(
+      const std::map<std::string, LinguisticVariable, std::less<>>& variables,
+      const Inputs& inputs) const override;
+  std::string ToString() const override;
+  void CollectVariables(std::vector<std::string>* out) const override;
+
+ private:
+  Kind kind_;
+  std::vector<std::unique_ptr<Expr>> children_;
+};
+
+/// Negation: 1 - child.
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(std::unique_ptr<Expr> child) : child_(std::move(child)) {}
+
+  Kind kind() const override { return Kind::kNot; }
+  const Expr& child() const { return *child_; }
+
+  Result<double> Evaluate(
+      const std::map<std::string, LinguisticVariable, std::less<>>& variables,
+      const Inputs& inputs) const override;
+  std::string ToString() const override;
+  void CollectVariables(std::vector<std::string>* out) const override;
+
+ private:
+  std::unique_ptr<Expr> child_;
+};
+
+/// Consequent: `outputVariable IS term`, e.g. `scaleUp IS applicable`.
+struct Consequent {
+  std::string variable;
+  std::string term;
+};
+
+/// A complete fuzzy rule: IF <antecedent> THEN <consequent>
+/// [WITH <weight>]. The optional weight scales the antecedent truth
+/// before clipping (1.0 by default), letting administrators damp
+/// individual rules without rewriting them.
+class Rule {
+ public:
+  Rule(std::unique_ptr<Expr> antecedent, Consequent consequent,
+       double weight = 1.0)
+      : antecedent_(std::move(antecedent)),
+        consequent_(std::move(consequent)),
+        weight_(weight) {}
+
+  const Expr& antecedent() const { return *antecedent_; }
+  const Consequent& consequent() const { return consequent_; }
+  double weight() const { return weight_; }
+
+  /// Degree of truth of the antecedent (already weight-scaled).
+  Result<double> EvaluateAntecedent(
+      const std::map<std::string, LinguisticVariable, std::less<>>& variables,
+      const Inputs& inputs) const;
+
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<Expr> antecedent_;
+  Consequent consequent_;
+  double weight_;
+};
+
+}  // namespace autoglobe::fuzzy
+
+#endif  // AUTOGLOBE_FUZZY_RULE_H_

@@ -1,0 +1,271 @@
+#include "fuzzy/rule_parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace autoglobe::fuzzy {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' || (c == '/' && pos_ + 1 < input_.size() &&
+                       input_[pos_ + 1] == '/')) {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '(') {
+        tokens.push_back({TokenKind::kLParen, "(", 0, line_});
+        ++pos_;
+        continue;
+      }
+      if (c == ')') {
+        tokens.push_back({TokenKind::kRParen, ")", 0, line_});
+        ++pos_;
+        continue;
+      }
+      if (c == ';') {
+        tokens.push_back({TokenKind::kSemicolon, ";", 0, line_});
+        ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_' || input_[pos_] == '-')) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kIdent,
+                          std::string(input_.substr(start, pos_ - start)), 0,
+                          line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-') {
+        size_t start = pos_;
+        if (c == '-') ++pos_;
+        while (pos_ < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '.' || input_[pos_] == 'e' ||
+                input_[pos_] == 'E')) {
+          ++pos_;
+        }
+        std::string text(input_.substr(start, pos_ - start));
+        auto value = ParseDouble(text);
+        if (!value.ok()) {
+          return Status::ParseError(
+              StrFormat("rule parse error at line %d: bad number \"%s\"",
+                        line_, text.c_str()));
+        }
+        tokens.push_back({TokenKind::kNumber, text, *value, line_});
+        continue;
+      }
+      return Status::ParseError(StrFormat(
+          "rule parse error at line %d: unexpected character '%c'", line_,
+          c));
+    }
+    tokens.push_back({TokenKind::kEnd, "", 0, line_});
+    return tokens;
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool IsKeyword(const Token& token, std::string_view keyword) {
+  return token.kind == TokenKind::kIdent &&
+         EqualsIgnoreCase(token.text, keyword);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Rule>> ParseRuleList() {
+    std::vector<Rule> rules;
+    for (;;) {
+      while (Peek().kind == TokenKind::kSemicolon) ++pos_;
+      if (Peek().kind == TokenKind::kEnd) break;
+      auto rule = ParseOneRule();
+      if (!rule.ok()) return rule.status();
+      rules.push_back(std::move(rule).value());
+    }
+    return rules;
+  }
+
+  Result<Rule> ParseSingle() {
+    auto rule = ParseOneRule();
+    if (!rule.ok()) return rule.status();
+    while (Peek().kind == TokenKind::kSemicolon) ++pos_;
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing tokens after rule");
+    }
+    return rule;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(std::string_view what) const {
+    return Status::ParseError(StrFormat(
+        "rule parse error at line %d near \"%s\": %.*s", Peek().line,
+        Peek().text.c_str(), static_cast<int>(what.size()), what.data()));
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (IsKeyword(Peek(), keyword)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ConsumeIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected an identifier");
+    }
+    // Reject stray keywords used as identifiers to catch typos early.
+    for (std::string_view kw : {"IF", "THEN", "AND", "OR", "NOT", "IS",
+                                "WITH", "VERY", "SOMEWHAT"}) {
+      if (EqualsIgnoreCase(Peek().text, kw)) {
+        return Error("keyword used where an identifier was expected");
+      }
+    }
+    return Next().text;
+  }
+
+  Result<Rule> ParseOneRule() {
+    if (!ConsumeKeyword("IF")) return Error("expected IF");
+    auto antecedent = ParseOr();
+    if (!antecedent.ok()) return antecedent.status();
+    if (!ConsumeKeyword("THEN")) return Error("expected THEN");
+    AG_ASSIGN_OR_RETURN(std::string out_var, ConsumeIdent());
+    if (!ConsumeKeyword("IS")) return Error("expected IS in consequent");
+    AG_ASSIGN_OR_RETURN(std::string out_term, ConsumeIdent());
+    double weight = 1.0;
+    if (ConsumeKeyword("WITH")) {
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected a number after WITH");
+      }
+      weight = Next().number;
+      if (weight < 0.0 || weight > 1.0) {
+        return Error("rule weight must be in [0, 1]");
+      }
+    }
+    return Rule(std::move(antecedent).value(),
+                Consequent{std::move(out_var), std::move(out_term)}, weight);
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    AG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> first, ParseAnd());
+    if (!IsKeyword(Peek(), "OR")) return first;
+    std::vector<std::unique_ptr<Expr>> children;
+    children.push_back(std::move(first));
+    while (ConsumeKeyword("OR")) {
+      AG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    return std::unique_ptr<Expr>(
+        new NaryExpr(Expr::Kind::kOr, std::move(children)));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    AG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> first, ParseUnary());
+    if (!IsKeyword(Peek(), "AND")) return first;
+    std::vector<std::unique_ptr<Expr>> children;
+    children.push_back(std::move(first));
+    while (ConsumeKeyword("AND")) {
+      AG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParseUnary());
+      children.push_back(std::move(next));
+    }
+    return std::unique_ptr<Expr>(
+        new NaryExpr(Expr::Kind::kAnd, std::move(children)));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (ConsumeKeyword("NOT")) {
+      AG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseUnary());
+      return std::unique_ptr<Expr>(new NotExpr(std::move(child)));
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      ++pos_;
+      AG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
+      if (Peek().kind != TokenKind::kRParen) return Error("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAtom() {
+    AG_ASSIGN_OR_RETURN(std::string variable, ConsumeIdent());
+    if (!ConsumeKeyword("IS")) return Error("expected IS");
+    bool negated = ConsumeKeyword("NOT");
+    Hedge hedge = Hedge::kNone;
+    if (ConsumeKeyword("VERY")) {
+      hedge = Hedge::kVery;
+    } else if (ConsumeKeyword("SOMEWHAT")) {
+      hedge = Hedge::kSomewhat;
+    }
+    AG_ASSIGN_OR_RETURN(std::string term, ConsumeIdent());
+    return std::unique_ptr<Expr>(new AtomExpr(
+        std::move(variable), std::move(term), negated, hedge));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Rule> ParseRule(std::string_view text) {
+  Lexer lexer(text);
+  AG_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSingle();
+}
+
+Result<std::vector<Rule>> ParseRules(std::string_view text) {
+  Lexer lexer(text);
+  AG_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseRuleList();
+}
+
+}  // namespace autoglobe::fuzzy

@@ -1,0 +1,35 @@
+#ifndef AUTOGLOBE_FUZZY_RULE_PARSER_H_
+#define AUTOGLOBE_FUZZY_RULE_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzzy/rule.h"
+
+namespace autoglobe::fuzzy {
+
+/// Parses the textual rule language the paper's administrators use to
+/// express controller knowledge (§3):
+///
+///   IF cpuLoad IS high AND (performanceIndex IS low OR
+///      performanceIndex IS medium) THEN scaleUp IS applicable
+///
+/// Grammar (keywords case-insensitive, one rule per statement,
+/// statements separated by semicolons or simply by the next IF;
+/// '#' and '//' start line comments):
+///
+///   rule  := IF expr THEN ident IS ident [WITH number]
+///   expr  := and { OR and }
+///   and   := unary { AND unary }
+///   unary := NOT unary | '(' expr ')' | atom
+///   atom  := ident IS [NOT] ident
+Result<Rule> ParseRule(std::string_view text);
+
+/// Parses a whole rule-base source (possibly many rules).
+Result<std::vector<Rule>> ParseRules(std::string_view text);
+
+}  // namespace autoglobe::fuzzy
+
+#endif  // AUTOGLOBE_FUZZY_RULE_PARSER_H_

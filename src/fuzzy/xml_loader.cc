@@ -1,0 +1,160 @@
+#include "fuzzy/xml_loader.h"
+
+#include "common/strings.h"
+
+namespace autoglobe::fuzzy {
+
+namespace {
+
+Result<MembershipFunction> BuildMembership(std::string_view shape,
+                                           const std::vector<double>& p) {
+  auto require = [&](size_t n) -> Status {
+    if (p.size() != n) {
+      return Status::ParseError(StrFormat(
+          "shape \"%.*s\" expects %zu points, got %zu",
+          static_cast<int>(shape.size()), shape.data(), n, p.size()));
+    }
+    return Status::OK();
+  };
+  if (EqualsIgnoreCase(shape, "trapezoid")) {
+    AG_RETURN_IF_ERROR(require(4));
+    return MembershipFunction::Trapezoid(p[0], p[1], p[2], p[3]);
+  }
+  if (EqualsIgnoreCase(shape, "triangle")) {
+    AG_RETURN_IF_ERROR(require(3));
+    return MembershipFunction::Triangle(p[0], p[1], p[2]);
+  }
+  if (EqualsIgnoreCase(shape, "ramp-up") || EqualsIgnoreCase(shape, "rampup")) {
+    AG_RETURN_IF_ERROR(require(2));
+    return MembershipFunction::RampUp(p[0], p[1]);
+  }
+  if (EqualsIgnoreCase(shape, "ramp-down") ||
+      EqualsIgnoreCase(shape, "rampdown")) {
+    AG_RETURN_IF_ERROR(require(2));
+    return MembershipFunction::RampDown(p[0], p[1]);
+  }
+  if (EqualsIgnoreCase(shape, "singleton")) {
+    AG_RETURN_IF_ERROR(require(1));
+    return MembershipFunction::Singleton(p[0]);
+  }
+  if (EqualsIgnoreCase(shape, "constant")) {
+    AG_RETURN_IF_ERROR(require(1));
+    return MembershipFunction::Constant(p[0]);
+  }
+  return Status::ParseError(StrFormat("unknown membership shape \"%.*s\"",
+                                      static_cast<int>(shape.size()),
+                                      shape.data()));
+}
+
+std::string PointsString(const MembershipFunction& mf) {
+  const auto& p = mf.params();
+  switch (mf.shape()) {
+    case MembershipFunction::Shape::kTrapezoid:
+      return StrFormat("%g,%g,%g,%g", p[0], p[1], p[2], p[3]);
+    case MembershipFunction::Shape::kTriangle:
+      return StrFormat("%g,%g,%g", p[0], p[1], p[2]);
+    case MembershipFunction::Shape::kRampUp:
+    case MembershipFunction::Shape::kRampDown:
+      return StrFormat("%g,%g", p[0], p[1]);
+    case MembershipFunction::Shape::kConstant:
+    case MembershipFunction::Shape::kSingleton:
+      return StrFormat("%g", p[0]);
+  }
+  return "";
+}
+
+std::string_view ShapeName(MembershipFunction::Shape shape) {
+  switch (shape) {
+    case MembershipFunction::Shape::kTrapezoid:
+      return "trapezoid";
+    case MembershipFunction::Shape::kTriangle:
+      return "triangle";
+    case MembershipFunction::Shape::kRampUp:
+      return "ramp-up";
+    case MembershipFunction::Shape::kRampDown:
+      return "ramp-down";
+    case MembershipFunction::Shape::kConstant:
+      return "constant";
+    case MembershipFunction::Shape::kSingleton:
+      return "singleton";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<LinguisticVariable> LoadVariable(const xml::Element& element) {
+  AG_ASSIGN_OR_RETURN(std::string name, element.StringAttribute("name"));
+  AG_ASSIGN_OR_RETURN(double min_value, element.DoubleAttributeOr("min", 0.0));
+  AG_ASSIGN_OR_RETURN(double max_value, element.DoubleAttributeOr("max", 1.0));
+  if (!(min_value < max_value)) {
+    return Status::ParseError(StrFormat(
+        "variable \"%s\": min must be < max", name.c_str()));
+  }
+  LinguisticVariable variable(std::move(name), min_value, max_value);
+  for (const xml::Element* term : element.FindChildren("term")) {
+    AG_ASSIGN_OR_RETURN(std::string term_name, term->StringAttribute("name"));
+    AG_ASSIGN_OR_RETURN(std::string shape, term->StringAttribute("shape"));
+    AG_ASSIGN_OR_RETURN(std::string points_raw,
+                        term->StringAttribute("points"));
+    std::vector<double> points;
+    for (std::string_view piece : Split(points_raw, ',')) {
+      AG_ASSIGN_OR_RETURN(double value, ParseDouble(piece));
+      points.push_back(value);
+    }
+    AG_ASSIGN_OR_RETURN(MembershipFunction mf,
+                        BuildMembership(shape, points));
+    AG_RETURN_IF_ERROR(variable.AddTerm(std::move(term_name), mf));
+  }
+  if (variable.terms().empty()) {
+    return Status::ParseError(StrFormat(
+        "variable \"%s\" declares no terms", variable.name().c_str()));
+  }
+  return variable;
+}
+
+Result<RuleBase> LoadRuleBase(const xml::Element& element) {
+  AG_ASSIGN_OR_RETURN(std::string name, element.StringAttribute("name"));
+  RuleBase rule_base(std::move(name));
+  for (const xml::Element* var : element.FindChildren("variable")) {
+    AG_ASSIGN_OR_RETURN(LinguisticVariable variable, LoadVariable(*var));
+    AG_RETURN_IF_ERROR(rule_base.AddVariable(std::move(variable)));
+  }
+  for (const xml::Element* output : element.FindChildren("output")) {
+    AG_ASSIGN_OR_RETURN(std::string out_name,
+                        output->StringAttribute("name"));
+    std::string term(output->AttributeOr("term", "applicable"));
+    AG_RETURN_IF_ERROR(rule_base.AddVariable(
+        LinguisticVariable::RampOutput(std::move(out_name),
+                                       std::move(term))));
+  }
+  for (const xml::Element* rules : element.FindChildren("rules")) {
+    AG_RETURN_IF_ERROR(rule_base.AddRulesFromText(rules->text()));
+  }
+  return rule_base;
+}
+
+void SaveRuleBase(const RuleBase& rule_base, xml::Element* out) {
+  out->SetAttribute("name", rule_base.name());
+  for (const auto& [name, variable] : rule_base.variables()) {
+    xml::Element* var = out->AddChild("variable");
+    var->SetAttribute("name", name);
+    var->SetAttribute("min", StrFormat("%g", variable.min_value()));
+    var->SetAttribute("max", StrFormat("%g", variable.max_value()));
+    for (const LinguisticTerm& term : variable.terms()) {
+      xml::Element* term_el = var->AddChild("term");
+      term_el->SetAttribute("name", term.name);
+      term_el->SetAttribute("shape",
+                            std::string(ShapeName(term.membership.shape())));
+      term_el->SetAttribute("points", PointsString(term.membership));
+    }
+  }
+  xml::Element* rules = out->AddChild("rules");
+  std::string text = "\n";
+  for (const Rule& rule : rule_base.rules()) {
+    text += rule.ToString() + "\n";
+  }
+  rules->SetText(std::move(text));
+}
+
+}  // namespace autoglobe::fuzzy

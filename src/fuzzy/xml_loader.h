@@ -1,0 +1,38 @@
+#ifndef AUTOGLOBE_FUZZY_XML_LOADER_H_
+#define AUTOGLOBE_FUZZY_XML_LOADER_H_
+
+#include "common/result.h"
+#include "fuzzy/inference.h"
+#include "xmlcfg/xml.h"
+
+namespace autoglobe::fuzzy {
+
+/// Loads a rule base from the declarative XML description language
+/// (paper §1/§4: "the rules for the fuzzy controller can be
+/// specified" declaratively). Expected shape:
+///
+///   <ruleBase name="serviceOverloaded">
+///     <variable name="cpuLoad" min="0" max="1">
+///       <term name="low"    shape="trapezoid" points="0,0,0.2,0.4"/>
+///       <term name="medium" shape="trapezoid" points="0.2,0.4,0.5,0.7"/>
+///       <term name="high"   shape="trapezoid" points="0.5,1,1,1"/>
+///     </variable>
+///     <output name="scaleUp"/>            <!-- ramp "applicable" -->
+///     <rules>
+///       IF cpuLoad IS high THEN scaleUp IS applicable
+///     </rules>
+///   </ruleBase>
+///
+/// `shape` is one of trapezoid (4 points), triangle (3), ramp-up (2),
+/// ramp-down (2), singleton (1), constant (1).
+Result<RuleBase> LoadRuleBase(const xml::Element& element);
+
+/// Parses a single <variable> element.
+Result<LinguisticVariable> LoadVariable(const xml::Element& element);
+
+/// Serializes a rule base back into the XML description language.
+void SaveRuleBase(const RuleBase& rule_base, xml::Element* out);
+
+}  // namespace autoglobe::fuzzy
+
+#endif  // AUTOGLOBE_FUZZY_XML_LOADER_H_

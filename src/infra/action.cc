@@ -1,0 +1,88 @@
+#include "infra/action.h"
+
+#include "common/strings.h"
+
+namespace autoglobe::infra {
+
+std::string_view ActionTypeName(ActionType type) {
+  switch (type) {
+    case ActionType::kStart:
+      return "start";
+    case ActionType::kStop:
+      return "stop";
+    case ActionType::kScaleIn:
+      return "scaleIn";
+    case ActionType::kScaleOut:
+      return "scaleOut";
+    case ActionType::kScaleUp:
+      return "scaleUp";
+    case ActionType::kScaleDown:
+      return "scaleDown";
+    case ActionType::kMove:
+      return "move";
+    case ActionType::kIncreasePriority:
+      return "increasePriority";
+    case ActionType::kReducePriority:
+      return "reducePriority";
+  }
+  return "?";
+}
+
+Result<ActionType> ParseActionType(std::string_view name) {
+  for (ActionType type : kAllActionTypes) {
+    if (EqualsIgnoreCase(name, ActionTypeName(type))) return type;
+  }
+  // Accept the hyphenated spellings used in the paper's prose.
+  if (EqualsIgnoreCase(name, "scale-in")) return ActionType::kScaleIn;
+  if (EqualsIgnoreCase(name, "scale-out")) return ActionType::kScaleOut;
+  if (EqualsIgnoreCase(name, "scale-up")) return ActionType::kScaleUp;
+  if (EqualsIgnoreCase(name, "scale-down")) return ActionType::kScaleDown;
+  if (EqualsIgnoreCase(name, "increase-priority")) {
+    return ActionType::kIncreasePriority;
+  }
+  if (EqualsIgnoreCase(name, "reduce-priority")) {
+    return ActionType::kReducePriority;
+  }
+  return Status::ParseError(StrFormat("unknown action type \"%.*s\"",
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+}
+
+bool ActionNeedsTargetServer(ActionType type) {
+  switch (type) {
+    case ActionType::kStart:
+    case ActionType::kScaleOut:
+    case ActionType::kScaleUp:
+    case ActionType::kScaleDown:
+    case ActionType::kMove:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ActionNeedsInstance(ActionType type) {
+  switch (type) {
+    case ActionType::kScaleIn:
+    case ActionType::kScaleUp:
+    case ActionType::kScaleDown:
+    case ActionType::kMove:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Action::ToString() const {
+  std::string out(ActionTypeName(type));
+  out += " " + service;
+  if (ActionNeedsInstance(type) && !source_server.empty()) {
+    out += "@" + source_server;
+  }
+  if (ActionNeedsTargetServer(type) && !target_server.empty()) {
+    out += " -> " + target_server;
+  }
+  return out;
+}
+
+}  // namespace autoglobe::infra

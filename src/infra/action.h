@@ -1,0 +1,65 @@
+#ifndef AUTOGLOBE_INFRA_ACTION_H_
+#define AUTOGLOBE_INFRA_ACTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace autoglobe::infra {
+
+/// Unique identifier of a running service instance.
+using InstanceId = uint64_t;
+
+/// The controller's action vocabulary — exactly the output variables
+/// of Table 2.
+enum class ActionType {
+  kStart,             // start a service (its first instance)
+  kStop,              // stop a service entirely
+  kScaleIn,           // stop one service instance
+  kScaleOut,          // start an additional service instance
+  kScaleUp,           // move an instance to a more powerful host
+  kScaleDown,         // move an instance to a less powerful host
+  kMove,              // move an instance to an equivalent host
+  kIncreasePriority,  // raise the CPU share of a service
+  kReducePriority,    // lower the CPU share of a service
+};
+
+/// All action types, in Table 2 order.
+inline constexpr ActionType kAllActionTypes[] = {
+    ActionType::kStart,        ActionType::kStop,
+    ActionType::kScaleIn,      ActionType::kScaleOut,
+    ActionType::kScaleUp,      ActionType::kScaleDown,
+    ActionType::kMove,         ActionType::kIncreasePriority,
+    ActionType::kReducePriority,
+};
+
+/// Fuzzy output-variable name of an action, e.g. "scaleOut".
+std::string_view ActionTypeName(ActionType type);
+
+/// Inverse of ActionTypeName (case-insensitive).
+Result<ActionType> ParseActionType(std::string_view name);
+
+/// True for actions that need a target host chosen by the
+/// server-selection controller (paper §4.2: scale-out, scale-up,
+/// scale-down, move, start).
+bool ActionNeedsTargetServer(ActionType type);
+
+/// True for actions that operate on an existing instance.
+bool ActionNeedsInstance(ActionType type);
+
+/// A concrete administrative action the controller wants executed.
+struct Action {
+  ActionType type = ActionType::kMove;
+  std::string service;        // affected service
+  InstanceId instance = 0;    // affected instance (if ActionNeedsInstance)
+  std::string source_server;  // informational: where the instance runs
+  std::string target_server;  // chosen host (if ActionNeedsTargetServer)
+
+  /// e.g. "scaleOut FI -> Blade6" or "scaleIn FI@Blade5".
+  std::string ToString() const;
+};
+
+}  // namespace autoglobe::infra
+
+#endif  // AUTOGLOBE_INFRA_ACTION_H_

@@ -1,0 +1,315 @@
+#include "infra/cluster.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace autoglobe::infra {
+
+std::string_view InstanceStateName(InstanceState state) {
+  switch (state) {
+    case InstanceState::kStarting:
+      return "starting";
+    case InstanceState::kRunning:
+      return "running";
+    case InstanceState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+Status Cluster::AddServer(ServerSpec spec) {
+  AG_RETURN_IF_ERROR(spec.Validate());
+  if (servers_.count(spec.name) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("server \"%s\" already exists", spec.name.c_str()));
+  }
+  std::string key = spec.name;
+  servers_.emplace(std::move(key), std::move(spec));
+  return Status::OK();
+}
+
+Status Cluster::AddService(ServiceSpec spec) {
+  AG_RETURN_IF_ERROR(spec.Validate());
+  if (services_.count(spec.name) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("service \"%s\" already exists", spec.name.c_str()));
+  }
+  std::string key = spec.name;
+  services_.emplace(std::move(key), std::move(spec));
+  return Status::OK();
+}
+
+Result<const ServerSpec*> Cluster::FindServer(std::string_view name) const {
+  auto it = servers_.find(name);
+  if (it == servers_.end()) {
+    return Status::NotFound(StrFormat("unknown server \"%.*s\"",
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+  }
+  return &it->second;
+}
+
+Result<const ServiceSpec*> Cluster::FindService(std::string_view name) const {
+  auto it = services_.find(name);
+  if (it == services_.end()) {
+    return Status::NotFound(StrFormat("unknown service \"%.*s\"",
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+  }
+  return &it->second;
+}
+
+std::vector<const ServerSpec*> Cluster::Servers() const {
+  std::vector<const ServerSpec*> out;
+  out.reserve(servers_.size());
+  for (const auto& [name, spec] : servers_) out.push_back(&spec);
+  return out;
+}
+
+std::vector<const ServiceSpec*> Cluster::Services() const {
+  std::vector<const ServiceSpec*> out;
+  out.reserve(services_.size());
+  for (const auto& [name, spec] : services_) out.push_back(&spec);
+  return out;
+}
+
+Status Cluster::CanPlace(std::string_view service, std::string_view server,
+                         InstanceId exclude_instance) const {
+  AG_ASSIGN_OR_RETURN(const ServiceSpec* service_spec, FindService(service));
+  AG_ASSIGN_OR_RETURN(const ServerSpec* server_spec, FindServer(server));
+
+  if (server_spec->performance_index <
+      service_spec->min_performance_index) {
+    return Status::FailedPrecondition(StrFormat(
+        "server \"%s\" (PI %g) below minimum performance index %g of "
+        "service \"%s\"",
+        server_spec->name.c_str(), server_spec->performance_index,
+        service_spec->min_performance_index, service_spec->name.c_str()));
+  }
+  if (ActiveInstanceCount(service, exclude_instance) >=
+      service_spec->max_instances) {
+    return Status::FailedPrecondition(StrFormat(
+        "service \"%s\" already runs its maximum of %d instances",
+        service_spec->name.c_str(), service_spec->max_instances));
+  }
+
+  double used_memory = 0.0;
+  for (const auto& [id, instance] : instances_) {
+    if (id == exclude_instance) continue;
+    if (instance.server != server) continue;
+    if (instance.service == service) {
+      return Status::FailedPrecondition(StrFormat(
+          "service \"%s\" already has an instance on server \"%s\"",
+          service_spec->name.c_str(), server_spec->name.c_str()));
+    }
+    // Exclusiveness cuts both ways: an exclusive service tolerates no
+    // co-tenants, and no instance may join a host running one.
+    auto other = services_.find(instance.service);
+    if (other != services_.end() && other->second.exclusive) {
+      return Status::FailedPrecondition(StrFormat(
+          "server \"%s\" is exclusively reserved for service \"%s\"",
+          server_spec->name.c_str(), instance.service.c_str()));
+    }
+    if (service_spec->exclusive) {
+      return Status::FailedPrecondition(StrFormat(
+          "exclusive service \"%s\" cannot share server \"%s\" with "
+          "\"%s\"",
+          service_spec->name.c_str(), server_spec->name.c_str(),
+          instance.service.c_str()));
+    }
+    if (other != services_.end()) {
+      used_memory += other->second.memory_footprint_gb;
+    }
+  }
+  if (used_memory + service_spec->memory_footprint_gb >
+      server_spec->memory_gb + 1e-9) {
+    return Status::ResourceExhausted(StrFormat(
+        "server \"%s\": %.1f GB used + %.1f GB footprint exceeds %.1f GB",
+        server_spec->name.c_str(), used_memory,
+        service_spec->memory_footprint_gb, server_spec->memory_gb));
+  }
+  return Status::OK();
+}
+
+Result<InstanceId> Cluster::PlaceInstance(std::string_view service,
+                                          std::string_view server,
+                                          SimTime now,
+                                          InstanceState initial) {
+  AG_RETURN_IF_ERROR(CanPlace(service, server));
+  ServiceInstance instance;
+  instance.id = next_instance_id_++;
+  instance.service = std::string(service);
+  instance.server = std::string(server);
+  instance.state = initial;
+  instance.placed_at = now;
+  instance.virtual_ip = NextVirtualIp(service);
+  InstanceId id = instance.id;
+  instances_.emplace(id, std::move(instance));
+  return id;
+}
+
+Status Cluster::RemoveInstance(InstanceId id, bool enforce_min) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return Status::NotFound(StrFormat("no instance %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  if (enforce_min) {
+    AG_ASSIGN_OR_RETURN(const ServiceSpec* spec,
+                        FindService(it->second.service));
+    if (ActiveInstanceCount(it->second.service) <= spec->min_instances) {
+      return Status::FailedPrecondition(StrFormat(
+          "service \"%s\" must keep at least %d instance(s)",
+          spec->name.c_str(), spec->min_instances));
+    }
+  }
+  instances_.erase(it);
+  return Status::OK();
+}
+
+Status Cluster::MoveInstance(InstanceId id, std::string_view target_server,
+                             SimTime now) {
+  AG_ASSIGN_OR_RETURN(ServiceInstance* instance, FindMutableInstance(id));
+  if (instance->server == target_server) {
+    return Status::InvalidArgument(StrFormat(
+        "instance %s already runs on \"%.*s\"", instance->Name().c_str(),
+        static_cast<int>(target_server.size()), target_server.data()));
+  }
+  AG_RETURN_IF_ERROR(
+      CanPlace(instance->service, target_server, instance->id));
+  // Unbind the service IP from the old host's NIC, rebind on the new
+  // one (paper §2's service virtualization).
+  instance->server = std::string(target_server);
+  instance->placed_at = now;
+  return Status::OK();
+}
+
+Status Cluster::SetInstanceState(InstanceId id, InstanceState state) {
+  AG_ASSIGN_OR_RETURN(ServiceInstance* instance, FindMutableInstance(id));
+  instance->state = state;
+  return Status::OK();
+}
+
+Result<const ServiceInstance*> Cluster::FindInstance(InstanceId id) const {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return Status::NotFound(StrFormat("no instance %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return &it->second;
+}
+
+Result<ServiceInstance*> Cluster::FindMutableInstance(InstanceId id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return Status::NotFound(StrFormat("no instance %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return &it->second;
+}
+
+std::vector<const ServiceInstance*> Cluster::InstancesOn(
+    std::string_view server) const {
+  std::vector<const ServiceInstance*> out;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.server == server) out.push_back(&instance);
+  }
+  return out;
+}
+
+std::vector<const ServiceInstance*> Cluster::InstancesOf(
+    std::string_view service) const {
+  std::vector<const ServiceInstance*> out;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.service == service) out.push_back(&instance);
+  }
+  return out;
+}
+
+int Cluster::ActiveInstanceCount(std::string_view service,
+                                 InstanceId exclude_instance) const {
+  int count = 0;
+  for (const auto& [id, instance] : instances_) {
+    if (id == exclude_instance) continue;
+    if (instance.service == service &&
+        instance.state != InstanceState::kFailed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int Cluster::RunningInstanceCount(std::string_view service) const {
+  int count = 0;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.service == service &&
+        instance.state == InstanceState::kRunning) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double Cluster::UsedMemoryGb(std::string_view server) const {
+  double used = 0.0;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.server != server) continue;
+    auto spec = services_.find(instance.service);
+    if (spec != services_.end()) used += spec->second.memory_footprint_gb;
+  }
+  return used;
+}
+
+double Cluster::ServicePriority(std::string_view service) const {
+  auto it = priorities_.find(service);
+  return it == priorities_.end() ? 1.0 : it->second;
+}
+
+Status Cluster::AdjustServicePriority(std::string_view service,
+                                      double factor) {
+  AG_RETURN_IF_ERROR(FindService(service).status());
+  if (factor <= 0) {
+    return Status::InvalidArgument("priority factor must be positive");
+  }
+  double next = std::clamp(ServicePriority(service) * factor, 0.25, 4.0);
+  priorities_[std::string(service)] = next;
+  return Status::OK();
+}
+
+void Cluster::ProtectServer(std::string_view server, SimTime until) {
+  auto it = server_protection_.find(server);
+  if (it == server_protection_.end()) {
+    server_protection_.emplace(std::string(server), until);
+  } else {
+    it->second = std::max(it->second, until);
+  }
+}
+
+void Cluster::ProtectService(std::string_view service, SimTime until) {
+  auto it = service_protection_.find(service);
+  if (it == service_protection_.end()) {
+    service_protection_.emplace(std::string(service), until);
+  } else {
+    it->second = std::max(it->second, until);
+  }
+}
+
+bool Cluster::IsServerProtected(std::string_view server, SimTime now) const {
+  auto it = server_protection_.find(server);
+  return it != server_protection_.end() && now < it->second;
+}
+
+bool Cluster::IsServiceProtected(std::string_view service,
+                                 SimTime now) const {
+  auto it = service_protection_.find(service);
+  return it != service_protection_.end() && now < it->second;
+}
+
+std::string Cluster::NextVirtualIp(std::string_view service) {
+  (void)service;
+  int suffix = next_ip_suffix_++;
+  return StrFormat("10.42.%d.%d", suffix / 250, suffix % 250 + 1);
+}
+
+}  // namespace autoglobe::infra

@@ -1,0 +1,144 @@
+#ifndef AUTOGLOBE_INFRA_CLUSTER_H_
+#define AUTOGLOBE_INFRA_CLUSTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "infra/action.h"
+#include "infra/specs.h"
+
+namespace autoglobe::infra {
+
+/// Lifecycle state of a service instance. Starting instances already
+/// occupy memory but serve no users yet (the paper's start delay);
+/// failed instances hold their slot until the controller remedies the
+/// failure (e.g. by restart, §2 "failure situations ... are remedied
+/// for example with a restart").
+enum class InstanceState {
+  kStarting,
+  kRunning,
+  kFailed,
+};
+
+std::string_view InstanceStateName(InstanceState state);
+
+/// A running (or starting/failed) instance of a service on a server.
+struct ServiceInstance {
+  InstanceId id = 0;
+  std::string service;
+  std::string server;
+  InstanceState state = InstanceState::kStarting;
+  SimTime placed_at;
+  /// Virtualization per paper §2: every instance owns a service IP
+  /// bound to the NIC of its current host; moving rebinds it.
+  std::string virtual_ip;
+
+  std::string Name() const { return service + "@" + server; }
+};
+
+/// The pooled, virtualized hardware landscape: servers, service
+/// definitions, the instance allocation, per-service priorities, and
+/// the protection-mode bookkeeping of §4.
+///
+/// The cluster enforces the declarative constraints (Tables 5/6) on
+/// every placement: memory capacity, minimum performance index,
+/// exclusiveness, and instance-count bounds. At most one instance of
+/// a given service runs per server (matching the paper's landscape).
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- Topology -------------------------------------------------------
+  Status AddServer(ServerSpec spec);
+  Status AddService(ServiceSpec spec);
+
+  Result<const ServerSpec*> FindServer(std::string_view name) const;
+  Result<const ServiceSpec*> FindService(std::string_view name) const;
+  std::vector<const ServerSpec*> Servers() const;
+  std::vector<const ServiceSpec*> Services() const;
+
+  // --- Placement ------------------------------------------------------
+
+  /// Checks every constraint for placing a new instance of `service`
+  /// on `server` (memory, performance index, exclusiveness, max
+  /// instances, one-instance-per-server). `exclude_instance` names an
+  /// instance to disregard — used when relocating it, so the mover
+  /// does not count against its own service's limits.
+  Status CanPlace(std::string_view service, std::string_view server,
+                  InstanceId exclude_instance = 0) const;
+
+  /// Places a new instance; `initial` is kStarting for delayed starts.
+  Result<InstanceId> PlaceInstance(std::string_view service,
+                                   std::string_view server, SimTime now,
+                                   InstanceState initial =
+                                       InstanceState::kRunning);
+
+  /// Removes an instance. With `enforce_min`, refuses to drop the
+  /// service below its minInstances constraint.
+  Status RemoveInstance(InstanceId id, bool enforce_min = true);
+
+  /// Moves an instance to `target_server` (validating constraints and
+  /// rebinding the virtual IP). The instance keeps its id.
+  Status MoveInstance(InstanceId id, std::string_view target_server,
+                      SimTime now);
+
+  Status SetInstanceState(InstanceId id, InstanceState state);
+
+  Result<const ServiceInstance*> FindInstance(InstanceId id) const;
+
+  /// Instances currently hosted by `server` (any state).
+  std::vector<const ServiceInstance*> InstancesOn(
+      std::string_view server) const;
+  /// Instances of `service` (any state).
+  std::vector<const ServiceInstance*> InstancesOf(
+      std::string_view service) const;
+  /// Number of starting-or-running instances of `service`,
+  /// disregarding `exclude_instance` when non-zero.
+  int ActiveInstanceCount(std::string_view service,
+                          InstanceId exclude_instance = 0) const;
+  /// Number of running instances of `service`.
+  int RunningInstanceCount(std::string_view service) const;
+  /// Memory claimed on `server` by its instances, in GB.
+  double UsedMemoryGb(std::string_view server) const;
+
+  size_t total_instances() const { return instances_.size(); }
+
+  // --- Priorities -----------------------------------------------------
+
+  /// Relative CPU weight of a service (default 1.0); the proportional-
+  /// share CPU model of the workload engine consumes this. Clamped to
+  /// [0.25, 4].
+  double ServicePriority(std::string_view service) const;
+  Status AdjustServicePriority(std::string_view service, double factor);
+
+  // --- Protection mode (§4) --------------------------------------------
+
+  /// After a rearrangement, involved entities are excluded from
+  /// further actions for a protection period to prevent oscillation.
+  void ProtectServer(std::string_view server, SimTime until);
+  void ProtectService(std::string_view service, SimTime until);
+  bool IsServerProtected(std::string_view server, SimTime now) const;
+  bool IsServiceProtected(std::string_view service, SimTime now) const;
+
+ private:
+  Result<ServiceInstance*> FindMutableInstance(InstanceId id);
+  std::string NextVirtualIp(std::string_view service);
+
+  std::map<std::string, ServerSpec, std::less<>> servers_;
+  std::map<std::string, ServiceSpec, std::less<>> services_;
+  std::map<InstanceId, ServiceInstance> instances_;
+  std::map<std::string, double, std::less<>> priorities_;
+  std::map<std::string, SimTime, std::less<>> server_protection_;
+  std::map<std::string, SimTime, std::less<>> service_protection_;
+  InstanceId next_instance_id_ = 1;
+  int next_ip_suffix_ = 1;
+};
+
+}  // namespace autoglobe::infra
+
+#endif  // AUTOGLOBE_INFRA_CLUSTER_H_

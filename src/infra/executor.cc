@@ -1,0 +1,199 @@
+#include "infra/executor.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe::infra {
+
+ActionExecutor::ActionExecutor(Cluster* cluster, sim::Simulator* simulator,
+                               ExecutorConfig config)
+    : cluster_(cluster), simulator_(simulator), config_(config) {
+  AG_CHECK(cluster_ != nullptr);
+  AG_CHECK(simulator_ != nullptr);
+}
+
+Status ActionExecutor::Execute(const Action& action) {
+  if (failure_injector_) {
+    Status injected = failure_injector_(action);
+    if (!injected.ok()) return Record(action, std::move(injected));
+  }
+  return Record(action, ExecuteValidated(action));
+}
+
+Status ActionExecutor::ExecuteValidated(const Action& action) {
+  AG_ASSIGN_OR_RETURN(const ServiceSpec* spec,
+                      cluster_->FindService(action.service));
+  if (!spec->Allows(action.type)) {
+    return Status::FailedPrecondition(StrFormat(
+        "service \"%s\" does not support action %.*s",
+        spec->name.c_str(),
+        static_cast<int>(ActionTypeName(action.type).size()),
+        ActionTypeName(action.type).data()));
+  }
+  if (ActionNeedsTargetServer(action.type) && action.target_server.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "action %s requires a target server", action.ToString().c_str()));
+  }
+
+  switch (action.type) {
+    case ActionType::kStart:
+    case ActionType::kScaleOut: {
+      AG_RETURN_IF_ERROR(
+          StartInstanceOn(action.service, action.target_server));
+      Protect(action);
+      return Status::OK();
+    }
+    case ActionType::kStop: {
+      std::vector<InstanceId> ids;
+      for (const ServiceInstance* instance :
+           cluster_->InstancesOf(action.service)) {
+        ids.push_back(instance->id);
+      }
+      if (ids.empty()) {
+        return Status::FailedPrecondition(StrFormat(
+            "service \"%s\" has no instances to stop", spec->name.c_str()));
+      }
+      for (InstanceId id : ids) {
+        AG_RETURN_IF_ERROR(
+            cluster_->RemoveInstance(id, /*enforce_min=*/false));
+      }
+      Protect(action);
+      return Status::OK();
+    }
+    case ActionType::kScaleIn: {
+      AG_ASSIGN_OR_RETURN(const ServiceInstance* instance,
+                          cluster_->FindInstance(action.instance));
+      if (instance->service != action.service) {
+        return Status::InvalidArgument(StrFormat(
+            "instance %llu belongs to \"%s\", not \"%s\"",
+            static_cast<unsigned long long>(action.instance),
+            instance->service.c_str(), action.service.c_str()));
+      }
+      std::string server = instance->server;
+      AG_RETURN_IF_ERROR(
+          cluster_->RemoveInstance(action.instance, /*enforce_min=*/true));
+      Action protected_action = action;
+      protected_action.source_server = server;
+      Protect(protected_action);
+      return Status::OK();
+    }
+    case ActionType::kScaleUp:
+    case ActionType::kScaleDown:
+    case ActionType::kMove: {
+      AG_ASSIGN_OR_RETURN(const ServiceInstance* instance,
+                          cluster_->FindInstance(action.instance));
+      if (instance->service != action.service) {
+        return Status::InvalidArgument(StrFormat(
+            "instance %llu belongs to \"%s\", not \"%s\"",
+            static_cast<unsigned long long>(action.instance),
+            instance->service.c_str(), action.service.c_str()));
+      }
+      AG_ASSIGN_OR_RETURN(const ServerSpec* source,
+                          cluster_->FindServer(instance->server));
+      AG_ASSIGN_OR_RETURN(const ServerSpec* target,
+                          cluster_->FindServer(action.target_server));
+      if (action.type == ActionType::kScaleUp &&
+          target->performance_index <= source->performance_index) {
+        return Status::FailedPrecondition(StrFormat(
+            "scale-up requires a more powerful host (%s PI %g -> %s PI %g)",
+            source->name.c_str(), source->performance_index,
+            target->name.c_str(), target->performance_index));
+      }
+      if (action.type == ActionType::kScaleDown &&
+          target->performance_index >= source->performance_index) {
+        return Status::FailedPrecondition(StrFormat(
+            "scale-down requires a less powerful host (%s PI %g -> %s PI "
+            "%g)",
+            source->name.c_str(), source->performance_index,
+            target->name.c_str(), target->performance_index));
+      }
+      AG_RETURN_IF_ERROR(cluster_->MoveInstance(
+          action.instance, action.target_server, simulator_->now()));
+      // The instance is briefly unavailable while its state moves and
+      // the service IP is rebound.
+      AG_RETURN_IF_ERROR(cluster_->SetInstanceState(
+          action.instance, InstanceState::kStarting));
+      ScheduleRunning(action.instance, config_.move_downtime);
+      Protect(action);
+      return Status::OK();
+    }
+    case ActionType::kIncreasePriority: {
+      AG_RETURN_IF_ERROR(cluster_->AdjustServicePriority(
+          action.service, config_.priority_step));
+      Protect(action);
+      return Status::OK();
+    }
+    case ActionType::kReducePriority: {
+      AG_RETURN_IF_ERROR(cluster_->AdjustServicePriority(
+          action.service, 1.0 / config_.priority_step));
+      Protect(action);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled action type");
+}
+
+Status ActionExecutor::StartInstanceOn(std::string_view service,
+                                       std::string_view target_server) {
+  AG_ASSIGN_OR_RETURN(
+      InstanceId id,
+      cluster_->PlaceInstance(service, target_server, simulator_->now(),
+                              InstanceState::kStarting));
+  ScheduleRunning(id, config_.start_delay);
+  return Status::OK();
+}
+
+Status ActionExecutor::LaunchInstance(std::string_view service,
+                                      std::string_view target_server) {
+  return StartInstanceOn(service, target_server);
+}
+
+Status ActionExecutor::RestartInstance(InstanceId id) {
+  AG_ASSIGN_OR_RETURN(const ServiceInstance* instance,
+                      cluster_->FindInstance(id));
+  if (instance->state != InstanceState::kFailed) {
+    return Status::FailedPrecondition(StrFormat(
+        "instance %s is %.*s, not failed", instance->Name().c_str(),
+        static_cast<int>(InstanceStateName(instance->state).size()),
+        InstanceStateName(instance->state).data()));
+  }
+  AG_RETURN_IF_ERROR(
+      cluster_->SetInstanceState(id, InstanceState::kStarting));
+  ScheduleRunning(id, config_.start_delay);
+  return Status::OK();
+}
+
+void ActionExecutor::ScheduleRunning(InstanceId id, Duration delay) {
+  auto scheduled = simulator_->ScheduleAfter(
+      delay, StrFormat("instance-%llu-running",
+                       static_cast<unsigned long long>(id)),
+      [cluster = cluster_, id] {
+        // The instance may have been stopped in the meantime; that is
+        // fine — the state change simply no longer applies.
+        auto found = cluster->FindInstance(id);
+        if (found.ok() && (*found)->state == InstanceState::kStarting) {
+          AG_CHECK_OK(cluster->SetInstanceState(id, InstanceState::kRunning));
+        }
+      });
+  AG_CHECK_OK(scheduled.status());
+}
+
+void ActionExecutor::Protect(const Action& action) {
+  SimTime until = simulator_->now() + config_.protection_time;
+  cluster_->ProtectService(action.service, until);
+  if (!action.source_server.empty()) {
+    cluster_->ProtectServer(action.source_server, until);
+  }
+  if (!action.target_server.empty()) {
+    cluster_->ProtectServer(action.target_server, until);
+  }
+}
+
+Status ActionExecutor::Record(const Action& action, Status status) {
+  ActionRecord record{simulator_->now(), action, status};
+  log_.push_back(record);
+  for (const Listener& listener : listeners_) listener(record);
+  return status;
+}
+
+}  // namespace autoglobe::infra

@@ -1,0 +1,94 @@
+#ifndef AUTOGLOBE_INFRA_EXECUTOR_H_
+#define AUTOGLOBE_INFRA_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "infra/cluster.h"
+#include "sim/simulator.h"
+
+namespace autoglobe::infra {
+
+/// Latency and protection parameters of action execution.
+struct ExecutorConfig {
+  /// Boot time of a new instance: it occupies memory immediately but
+  /// serves users only after this delay.
+  Duration start_delay = Duration::Minutes(2);
+  /// Downtime of an instance while being moved between hosts.
+  Duration move_downtime = Duration::Minutes(1);
+  /// Protection period applied to involved services and servers after
+  /// a successful action (paper §5.1 uses 30 minutes).
+  Duration protection_time = Duration::Minutes(30);
+  /// Multiplicative step of the priority actions.
+  double priority_step = 1.25;
+};
+
+/// One entry of the executor's action log (the paper's controller
+/// logs actions before executing them, §4.3).
+struct ActionRecord {
+  SimTime at;
+  Action action;
+  Status status;
+};
+
+/// Executes controller actions against the cluster, modelling
+/// realistic latencies through the simulation kernel, applying
+/// protection mode, and logging every attempt. A failure injector
+/// lets tests exercise the fallback paths of Figure 6.
+class ActionExecutor {
+ public:
+  /// Returns non-OK to make the action fail artificially.
+  using FailureInjector = std::function<Status(const Action&)>;
+  /// Observes every executed (or failed) action.
+  using Listener = std::function<void(const ActionRecord&)>;
+
+  ActionExecutor(Cluster* cluster, sim::Simulator* simulator,
+                 ExecutorConfig config = {});
+
+  /// Validates the action against the service's declared capabilities
+  /// and the cluster constraints, then performs it. On success the
+  /// involved service and server(s) enter protection mode.
+  Status Execute(const Action& action);
+
+  /// Restarts a failed instance in place (self-healing path: "Failure
+  /// situations like a program crash are remedied ... with a restart").
+  Status RestartInstance(InstanceId id);
+
+  /// Places a new instance with the usual boot delay, bypassing the
+  /// service's declared action capabilities. Used for the initial
+  /// allocation and for failure remediation (replacing a crashed
+  /// instance is not a controller-policy scale-out).
+  Status LaunchInstance(std::string_view service,
+                        std::string_view target_server);
+
+  void set_failure_injector(FailureInjector injector) {
+    failure_injector_ = std::move(injector);
+  }
+  void AddListener(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  const std::vector<ActionRecord>& log() const { return log_; }
+  const ExecutorConfig& config() const { return config_; }
+
+ private:
+  Status ExecuteValidated(const Action& action);
+  Status StartInstanceOn(std::string_view service,
+                         std::string_view target_server);
+  void ScheduleRunning(InstanceId id, Duration delay);
+  void Protect(const Action& action);
+  Status Record(const Action& action, Status status);
+
+  Cluster* cluster_;
+  sim::Simulator* simulator_;
+  ExecutorConfig config_;
+  FailureInjector failure_injector_;
+  std::vector<Listener> listeners_;
+  std::vector<ActionRecord> log_;
+};
+
+}  // namespace autoglobe::infra
+
+#endif  // AUTOGLOBE_INFRA_EXECUTOR_H_

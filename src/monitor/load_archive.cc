@@ -1,0 +1,164 @@
+#include "monitor/load_archive.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace autoglobe::monitor {
+
+LoadArchive::LoadArchive(Duration raw_retention, Duration aggregate_bucket)
+    : raw_retention_(raw_retention), aggregate_bucket_(aggregate_bucket) {}
+
+Status LoadArchive::Append(const std::string& key, SimTime at,
+                           double value) {
+  Series& series = series_[key];
+  if (!series.raw.empty() && at < series.raw.back().at) {
+    return Status::InvalidArgument(StrFormat(
+        "out-of-order sample for \"%s\": %s < %s", key.c_str(),
+        at.ToString().c_str(), series.raw.back().at.ToString().c_str()));
+  }
+  LoadSample sample{at, value};
+  series.raw.push_back(sample);
+  FoldIntoAggregate(&series, sample);
+  // Evict raw samples beyond the retention window.
+  SimTime horizon = at - raw_retention_;
+  while (!series.raw.empty() && series.raw.front().at < horizon) {
+    series.raw.pop_front();
+  }
+  return Status::OK();
+}
+
+void LoadArchive::FoldIntoAggregate(Series* series,
+                                    const LoadSample& sample) {
+  int64_t bucket = sample.at.seconds() / aggregate_bucket_.seconds();
+  if (series->open_bucket >= 0 && bucket != series->open_bucket) {
+    // Close the previous bucket.
+    series->aggregated.push_back(LoadSample{
+        SimTime::FromSeconds(series->open_bucket *
+                             aggregate_bucket_.seconds()),
+        series->open_sum / static_cast<double>(series->open_count)});
+    series->open_sum = 0.0;
+    series->open_count = 0;
+  }
+  series->open_bucket = bucket;
+  series->open_sum += sample.value;
+  ++series->open_count;
+}
+
+Result<double> LoadArchive::Latest(const std::string& key) const {
+  auto it = series_.find(key);
+  if (it == series_.end() || it->second.raw.empty()) {
+    return Status::NotFound(
+        StrFormat("no samples for \"%s\"", key.c_str()));
+  }
+  return it->second.raw.back().value;
+}
+
+Result<double> LoadArchive::Average(const std::string& key, Duration window,
+                                    SimTime now) const {
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    return Status::NotFound(
+        StrFormat("no samples for \"%s\"", key.c_str()));
+  }
+  SimTime from = now - window;
+  double sum = 0.0;
+  int64_t count = 0;
+  for (auto sample = it->second.raw.rbegin();
+       sample != it->second.raw.rend(); ++sample) {
+    if (sample->at > now) continue;
+    if (sample->at <= from) break;
+    sum += sample->value;
+    ++count;
+  }
+  if (count == 0) {
+    return Status::NotFound(StrFormat(
+        "no samples for \"%s\" in the last %s", key.c_str(),
+        window.ToString().c_str()));
+  }
+  return sum / static_cast<double>(count);
+}
+
+std::vector<LoadSample> LoadArchive::RawBetween(const std::string& key,
+                                                SimTime from,
+                                                SimTime to) const {
+  std::vector<LoadSample> out;
+  auto it = series_.find(key);
+  if (it == series_.end()) return out;
+  for (const LoadSample& sample : it->second.raw) {
+    if (sample.at > from && sample.at <= to) out.push_back(sample);
+  }
+  return out;
+}
+
+std::vector<LoadSample> LoadArchive::Aggregated(const std::string& key) const {
+  auto it = series_.find(key);
+  if (it == series_.end()) return {};
+  std::vector<LoadSample> out = it->second.aggregated;
+  if (it->second.open_count > 0) {
+    out.push_back(LoadSample{
+        SimTime::FromSeconds(it->second.open_bucket *
+                             aggregate_bucket_.seconds()),
+        it->second.open_sum / static_cast<double>(it->second.open_count)});
+  }
+  return out;
+}
+
+std::vector<std::string> LoadArchive::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(series_.size());
+  for (const auto& [key, series] : series_) keys.push_back(key);
+  return keys;
+}
+
+Status LoadArchive::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot write \"%s\"", path.c_str()));
+  }
+  out << "# autoglobe-load-archive v1\n";
+  out << "retention " << raw_retention_.seconds() << " bucket "
+      << aggregate_bucket_.seconds() << "\n";
+  for (const auto& [key, series] : series_) {
+    for (const LoadSample& sample : Aggregated(key)) {
+      out << key << " " << sample.at.seconds() << " " << sample.value
+          << "\n";
+    }
+  }
+  return Status::OK();
+}
+
+Result<LoadArchive> LoadArchive::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot read \"%s\"", path.c_str()));
+  }
+  std::string header;
+  std::getline(in, header);
+  if (header != "# autoglobe-load-archive v1") {
+    return Status::ParseError(StrFormat(
+        "\"%s\" is not a load archive (bad header)", path.c_str()));
+  }
+  std::string keyword;
+  int64_t retention_s = 0;
+  int64_t bucket_s = 0;
+  std::string bucket_kw;
+  if (!(in >> keyword >> retention_s >> bucket_kw >> bucket_s) ||
+      keyword != "retention" || bucket_kw != "bucket" || retention_s <= 0 ||
+      bucket_s <= 0) {
+    return Status::ParseError("bad load archive parameter line");
+  }
+  LoadArchive archive(Duration::Seconds(retention_s),
+                      Duration::Seconds(bucket_s));
+  std::string key;
+  int64_t at = 0;
+  double value = 0.0;
+  while (in >> key >> at >> value) {
+    AG_RETURN_IF_ERROR(
+        archive.Append(key, SimTime::FromSeconds(at), value));
+  }
+  return archive;
+}
+
+}  // namespace autoglobe::monitor

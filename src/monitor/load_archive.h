@@ -1,0 +1,85 @@
+#ifndef AUTOGLOBE_MONITOR_LOAD_ARCHIVE_H_
+#define AUTOGLOBE_MONITOR_LOAD_ARCHIVE_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+
+namespace autoglobe::monitor {
+
+/// One archived measurement.
+struct LoadSample {
+  SimTime at;
+  double value = 0.0;
+};
+
+/// The load archive of the controller framework (paper §2): "stores a
+/// persistent aggregated view of historic load data. This data is
+/// used to calculate the average load of services during their
+/// watchTime and to initialize all resource variables of the fuzzy
+/// controller."
+///
+/// Raw samples are kept for a bounded retention window; beyond it
+/// they are folded into fixed-width aggregate buckets (mean values),
+/// which is what the load-forecasting extension consumes.
+class LoadArchive {
+ public:
+  explicit LoadArchive(Duration raw_retention = Duration::Hours(48),
+                       Duration aggregate_bucket = Duration::Minutes(15));
+
+  /// Appends a measurement for a subject key, e.g. "server/Blade3".
+  /// Samples must arrive in non-decreasing time order per key.
+  Status Append(const std::string& key, SimTime at, double value);
+
+  /// Most recent value; NotFound when the key has no samples.
+  Result<double> Latest(const std::string& key) const;
+
+  /// Mean of raw samples in (now - window, now]. NotFound when no
+  /// samples fall into the window.
+  Result<double> Average(const std::string& key, Duration window,
+                         SimTime now) const;
+
+  /// Raw samples with `from < at <= to`, oldest first.
+  std::vector<LoadSample> RawBetween(const std::string& key, SimTime from,
+                                     SimTime to) const;
+
+  /// Aggregated history (bucket means, oldest first) — includes
+  /// buckets already evicted from the raw window.
+  std::vector<LoadSample> Aggregated(const std::string& key) const;
+
+  /// All known subject keys.
+  std::vector<std::string> Keys() const;
+
+  /// Serializes the aggregated view ("persistent aggregated view of
+  /// historic load data") to / from a simple text format.
+  Status Save(const std::string& path) const;
+  static Result<LoadArchive> Load(const std::string& path);
+
+  Duration raw_retention() const { return raw_retention_; }
+  Duration aggregate_bucket() const { return aggregate_bucket_; }
+
+ private:
+  struct Series {
+    std::deque<LoadSample> raw;
+    // Completed aggregate buckets: bucket start time + mean.
+    std::vector<LoadSample> aggregated;
+    // Accumulator of the bucket currently being filled.
+    int64_t open_bucket = -1;  // bucket index, -1 = none
+    double open_sum = 0.0;
+    int64_t open_count = 0;
+  };
+
+  void FoldIntoAggregate(Series* series, const LoadSample& sample);
+
+  Duration raw_retention_;
+  Duration aggregate_bucket_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace autoglobe::monitor
+
+#endif  // AUTOGLOBE_MONITOR_LOAD_ARCHIVE_H_

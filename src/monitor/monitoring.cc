@@ -1,0 +1,139 @@
+#include "monitor/monitoring.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe::monitor {
+
+std::string_view TriggerKindName(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kServerOverloaded:
+      return "serverOverloaded";
+    case TriggerKind::kServerIdle:
+      return "serverIdle";
+    case TriggerKind::kServiceOverloaded:
+      return "serviceOverloaded";
+    case TriggerKind::kServiceIdle:
+      return "serviceIdle";
+  }
+  return "?";
+}
+
+LoadMonitoringSystem::LoadMonitoringSystem(LoadArchive* archive,
+                                           MonitorConfig config)
+    : archive_(archive), config_(config) {
+  AG_CHECK(archive_ != nullptr);
+}
+
+std::string LoadMonitoringSystem::ArchiveKey(TriggerKind overload_kind,
+                                             std::string_view name) {
+  bool is_server = overload_kind == TriggerKind::kServerOverloaded ||
+                   overload_kind == TriggerKind::kServerIdle;
+  return StrFormat("%s/%.*s", is_server ? "server" : "service",
+                   static_cast<int>(name.size()), name.data());
+}
+
+Status LoadMonitoringSystem::RegisterSubject(
+    TriggerKind overload_kind, std::string name, double idle_divisor,
+    std::optional<Duration> watch_override) {
+  if (overload_kind != TriggerKind::kServerOverloaded &&
+      overload_kind != TriggerKind::kServiceOverloaded) {
+    return Status::InvalidArgument(
+        "register subjects with their overload kind");
+  }
+  if (idle_divisor <= 0) {
+    return Status::InvalidArgument("idle divisor must be positive");
+  }
+  if (subjects_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("subject \"%s\" already registered", name.c_str()));
+  }
+  if (watch_override.has_value() && *watch_override <= Duration::Zero()) {
+    return Status::InvalidArgument("watchTime override must be positive");
+  }
+  SubjectState state;
+  state.overload_kind = overload_kind;
+  state.key = ArchiveKey(overload_kind, name);
+  state.idle_threshold = config_.idle_threshold_base / idle_divisor;
+  state.overload_watch =
+      watch_override.value_or(config_.overload_watch_time);
+  subjects_.emplace(std::move(name), std::move(state));
+  return Status::OK();
+}
+
+Result<Duration> LoadMonitoringSystem::WatchTime(
+    std::string_view name) const {
+  auto it = subjects_.find(name);
+  if (it == subjects_.end()) {
+    return Status::NotFound(StrFormat("unregistered subject \"%.*s\"",
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+  }
+  return it->second.overload_watch;
+}
+
+Status LoadMonitoringSystem::Observe(SimTime now, std::string_view name,
+                                     double load,
+                                     std::optional<double> detection_load) {
+  auto it = subjects_.find(name);
+  if (it == subjects_.end()) {
+    return Status::NotFound(StrFormat("unregistered subject \"%.*s\"",
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+  }
+  SubjectState& state = it->second;
+  AG_RETURN_IF_ERROR(archive_->Append(state.key, now, load));
+  if (detection_load.has_value()) load = *detection_load;
+
+  switch (state.phase) {
+    case Phase::kNormal:
+      // A threshold crossing arms the observation window; reaction is
+      // deferred so that "immediate reaction on these peaks" cannot
+      // destabilize the system (§2).
+      if (load > config_.overload_threshold) {
+        state.phase = Phase::kWatchingOverload;
+        state.watch_started = now;
+      } else if (load < state.idle_threshold) {
+        state.phase = Phase::kWatchingIdle;
+        state.watch_started = now;
+      }
+      return Status::OK();
+    case Phase::kWatchingOverload: {
+      Duration watch = state.overload_watch;
+      if (now - state.watch_started < watch) return Status::OK();
+      state.phase = Phase::kNormal;
+      AG_ASSIGN_OR_RETURN(double average,
+                          archive_->Average(state.key, watch, now));
+      if (average > config_.overload_threshold) {
+        ++triggers_fired_;
+        if (callback_) {
+          callback_(Trigger{state.overload_kind, std::string(name), now,
+                            average});
+        }
+      }
+      return Status::OK();
+    }
+    case Phase::kWatchingIdle: {
+      Duration watch = config_.idle_watch_time;
+      if (now - state.watch_started < watch) return Status::OK();
+      state.phase = Phase::kNormal;
+      AG_ASSIGN_OR_RETURN(double average,
+                          archive_->Average(state.key, watch, now));
+      if (average < state.idle_threshold) {
+        ++triggers_fired_;
+        if (callback_) {
+          TriggerKind idle_kind =
+              state.overload_kind == TriggerKind::kServerOverloaded
+                  ? TriggerKind::kServerIdle
+                  : TriggerKind::kServiceIdle;
+          callback_(
+              Trigger{idle_kind, std::string(name), now, average});
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad monitoring phase");
+}
+
+}  // namespace autoglobe::monitor

@@ -1,0 +1,119 @@
+#ifndef AUTOGLOBE_MONITOR_MONITORING_H_
+#define AUTOGLOBE_MONITOR_MONITORING_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "monitor/load_archive.h"
+
+namespace autoglobe::monitor {
+
+/// What kind of entity raised an exceptional situation (paper §4.1
+/// distinguishes four triggers with dedicated rule bases).
+enum class TriggerKind {
+  kServerOverloaded,
+  kServerIdle,
+  kServiceOverloaded,
+  kServiceIdle,
+};
+
+std::string_view TriggerKindName(TriggerKind kind);
+
+/// A confirmed exceptional situation handed to the fuzzy controller.
+struct Trigger {
+  TriggerKind kind;
+  std::string subject;  // server or service name
+  SimTime at;
+  /// Arithmetic mean of the load during the watch time — the value
+  /// the controller's load variables are initialized with (§4.1).
+  double average_load = 0.0;
+};
+
+/// Tunables of the detection pipeline (paper §2 / §5.1).
+struct MonitorConfig {
+  /// "we set the threshold value for a CPU overload to 70%".
+  double overload_threshold = 0.70;
+  /// "the controller monitors the load values ... for 10 minutes".
+  Duration overload_watch_time = Duration::Minutes(10);
+  /// "The threshold value for an idle situation ... is 12.5% divided
+  /// by the performance index of the server." The divisor is supplied
+  /// per subject at registration.
+  double idle_threshold_base = 0.125;
+  /// "An idle situation is recognized after a watchTime of 20 min."
+  Duration idle_watch_time = Duration::Minutes(20);
+};
+
+/// The load monitoring system of Figure 2: short peaks are common in
+/// real systems, so a threshold crossing only *arms* an observation
+/// window; the fuzzy controller is triggered when the average load
+/// over the watch time confirms a real overload (or idle) situation.
+///
+/// One instance supervises any number of subjects (servers and
+/// services); per-subject state machines are independent.
+class LoadMonitoringSystem {
+ public:
+  using TriggerCallback = std::function<void(const Trigger&)>;
+
+  LoadMonitoringSystem(LoadArchive* archive, MonitorConfig config);
+
+  /// Registers a subject. `idle_divisor` divides the idle threshold
+  /// base (the server's performance index; 1.0 for services).
+  /// `watch_override` replaces the global overload watchTime for this
+  /// subject (§4.1 speaks of "the service specific watchTime" — a
+  /// jittery service can be observed longer than a steady one).
+  Status RegisterSubject(TriggerKind overload_kind, std::string name,
+                         double idle_divisor = 1.0,
+                         std::optional<Duration> watch_override =
+                             std::nullopt);
+
+  /// The effective overload watchTime of a registered subject.
+  Result<Duration> WatchTime(std::string_view name) const;
+
+  /// Feeds one measurement; appends to the archive and advances the
+  /// detection state machine. Fires the callback on confirmation.
+  /// `detection_load` optionally drives the threshold logic with a
+  /// different signal than the archived measurement — the proactive
+  /// extension passes max(measured, forecast) so imminent overloads
+  /// arm the watch early while the archive keeps the true loads.
+  Status Observe(SimTime now, std::string_view name, double load,
+                 std::optional<double> detection_load = std::nullopt);
+
+  void set_trigger_callback(TriggerCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  const MonitorConfig& config() const { return config_; }
+
+  /// Archive key used for a subject ("server/x" or "service/x").
+  static std::string ArchiveKey(TriggerKind overload_kind,
+                                std::string_view name);
+
+  /// Number of confirmed triggers fired so far.
+  int64_t triggers_fired() const { return triggers_fired_; }
+
+ private:
+  enum class Phase { kNormal, kWatchingOverload, kWatchingIdle };
+
+  struct SubjectState {
+    TriggerKind overload_kind;  // kServerOverloaded or kServiceOverloaded
+    std::string key;            // archive key
+    double idle_threshold = 0.125;
+    Duration overload_watch = Duration::Zero();  // effective watchTime
+    Phase phase = Phase::kNormal;
+    SimTime watch_started;
+  };
+
+  LoadArchive* archive_;
+  MonitorConfig config_;
+  std::map<std::string, SubjectState, std::less<>> subjects_;
+  TriggerCallback callback_;
+  int64_t triggers_fired_ = 0;
+};
+
+}  // namespace autoglobe::monitor
+
+#endif  // AUTOGLOBE_MONITOR_MONITORING_H_

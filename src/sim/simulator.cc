@@ -1,0 +1,108 @@
+#include "sim/simulator.h"
+
+#include "common/result.h"
+#include "common/strings.h"
+
+namespace autoglobe::sim {
+
+Result<EventId> Simulator::ScheduleAt(SimTime at, std::string label,
+                                      Callback callback) {
+  if (at < now_) {
+    return Status::InvalidArgument(
+        StrFormat("cannot schedule event \"%s\" in the past (%s < %s)",
+                  label.c_str(), at.ToString().c_str(),
+                  now_.ToString().c_str()));
+  }
+  if (!callback) {
+    return Status::InvalidArgument("event callback must not be empty");
+  }
+  EventId id = next_id_++;
+  live_.insert(id);
+  queue_.push(Event{at, next_seq_++, id, std::move(label),
+                    std::move(callback), Duration::Zero()});
+  return id;
+}
+
+Result<EventId> Simulator::ScheduleAfter(Duration delay, std::string label,
+                                         Callback callback) {
+  if (delay < Duration::Zero()) {
+    return Status::InvalidArgument("delay must be non-negative");
+  }
+  return ScheduleAt(now_ + delay, std::move(label), std::move(callback));
+}
+
+Result<EventId> Simulator::SchedulePeriodic(Duration period,
+                                            std::string label,
+                                            Callback callback) {
+  if (period <= Duration::Zero()) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  if (!callback) {
+    return Status::InvalidArgument("event callback must not be empty");
+  }
+  EventId id = next_id_++;
+  live_.insert(id);
+  queue_.push(Event{now_ + period, next_seq_++, id, std::move(label),
+                    std::move(callback), period});
+  return id;
+}
+
+Status Simulator::Cancel(EventId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return Status::NotFound(StrFormat("no pending event %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  // Lazy cancellation: the queue entry is skipped when popped.
+  live_.erase(it);
+  cancelled_.insert(id);
+  return Status::OK();
+}
+
+size_t Simulator::pending_events() const { return live_.size(); }
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    auto cancel_it = cancelled_.find(event.id);
+    if (cancel_it != cancelled_.end()) {
+      cancelled_.erase(cancel_it);
+      continue;
+    }
+    now_ = event.at;
+    ++dispatched_;
+    if (event.period <= Duration::Zero()) live_.erase(event.id);
+    if (trace_hook_) trace_hook_(now_, event.label);
+    if (event.period > Duration::Zero()) {
+      // Re-arm the series before invoking, so the callback may cancel
+      // its own series by id.
+      queue_.push(Event{event.at + event.period, next_seq_++, event.id,
+                        event.label, event.callback, event.period});
+    }
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime end) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > end) break;
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    Step();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulator::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace autoglobe::sim

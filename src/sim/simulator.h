@@ -1,0 +1,106 @@
+#ifndef AUTOGLOBE_SIM_SIMULATOR_H_
+#define AUTOGLOBE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace autoglobe::sim {
+
+/// Identifier of a scheduled event; usable for cancellation.
+using EventId = uint64_t;
+
+/// Single-threaded discrete-event simulation kernel. Events fire in
+/// timestamp order; events with equal timestamps fire in scheduling
+/// (FIFO) order, which makes runs fully deterministic.
+///
+/// The paper's simulation environment runs "in 40-fold acceleration";
+/// a discrete-event kernel is the limit case of that idea — simulated
+/// time advances only when something happens.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  /// Trace hook invoked for every dispatched event.
+  using TraceHook = std::function<void(SimTime, const std::string& label)>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `at` (>= now). Events in
+  /// the past are rejected.
+  Result<EventId> ScheduleAt(SimTime at, std::string label,
+                             Callback callback);
+  /// Schedules `callback` after `delay` (>= 0).
+  Result<EventId> ScheduleAfter(Duration delay, std::string label,
+                                Callback callback);
+
+  /// Schedules `callback` every `period`, first firing at
+  /// `now + period` (or `first` if given). Returns a handle that
+  /// cancels the whole series.
+  Result<EventId> SchedulePeriodic(Duration period, std::string label,
+                                   Callback callback);
+
+  /// Cancels a pending event (or periodic series). NotFound when the
+  /// event already fired or never existed.
+  Status Cancel(EventId id);
+
+  /// Number of events still pending.
+  size_t pending_events() const;
+
+  /// Dispatches a single event; returns false when the queue is empty.
+  bool Step();
+
+  /// Runs until the queue drains or `end` is reached; the clock is
+  /// left at min(end, last event time). Events at exactly `end` fire.
+  void RunUntil(SimTime end);
+
+  /// Runs until the queue drains completely.
+  void RunAll();
+
+  /// Installs a trace hook (nullptr clears).
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  /// Total number of events dispatched so far.
+  uint64_t dispatched_events() const { return dispatched_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;  // tie-breaker for determinism
+    EventId id;
+    std::string label;
+    Callback callback;
+    // Period of a periodic series; zero for one-shot events.
+    Duration period = Duration::Zero();
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> live_;       // pending (not yet fired/cancelled)
+  std::unordered_set<EventId> cancelled_;  // cancelled but still queued
+  SimTime now_ = SimTime::Start();
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t dispatched_ = 0;
+  TraceHook trace_hook_;
+};
+
+}  // namespace autoglobe::sim
+
+#endif  // AUTOGLOBE_SIM_SIMULATOR_H_

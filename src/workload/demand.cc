@@ -1,0 +1,482 @@
+#include "workload/demand.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe::workload {
+
+using infra::InstanceId;
+using infra::ServiceInstance;
+
+DemandEngine::DemandEngine(infra::Cluster* cluster, Rng rng)
+    : cluster_(cluster), rng_(rng) {
+  AG_CHECK(cluster_ != nullptr);
+}
+
+Status DemandEngine::AddService(ServiceDemandSpec spec) {
+  AG_RETURN_IF_ERROR(cluster_->FindService(spec.service).status());
+  if (services_.count(spec.service) > 0) {
+    return Status::AlreadyExists(StrFormat(
+        "demand spec for \"%s\" already registered", spec.service.c_str()));
+  }
+  if (spec.base_users < 0 || spec.request_cost < 0 ||
+      spec.base_load_wu < 0 || spec.batch_load_wu < 0 ||
+      spec.noise_stddev < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "demand spec for \"%s\" has negative parameters",
+        spec.service.c_str()));
+  }
+  std::string key = spec.service;
+  services_.emplace(std::move(key), std::move(spec));
+  return Status::OK();
+}
+
+Status DemandEngine::AddSubsystem(SubsystemSpec spec) {
+  for (const std::string& app : spec.app_services) {
+    if (services_.count(app) == 0) {
+      return Status::NotFound(StrFormat(
+          "subsystem \"%s\": unknown app service \"%s\"",
+          spec.name.c_str(), app.c_str()));
+    }
+  }
+  if (!spec.central_instance.empty() &&
+      services_.count(spec.central_instance) == 0) {
+    return Status::NotFound(StrFormat(
+        "subsystem \"%s\": unknown central instance \"%s\"",
+        spec.name.c_str(), spec.central_instance.c_str()));
+  }
+  if (!spec.database.empty() && services_.count(spec.database) == 0) {
+    return Status::NotFound(StrFormat(
+        "subsystem \"%s\": unknown database \"%s\"", spec.name.c_str(),
+        spec.database.c_str()));
+  }
+  subsystems_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+double DemandEngine::HostCapacity(std::string_view server) const {
+  auto found = cluster_->FindServer(server);
+  return found.ok() ? (*found)->performance_index : 1.0;
+}
+
+infra::InstanceId DemandEngine::LeastLoadedInstance(
+    const std::vector<const ServiceInstance*>& instances) const {
+  InstanceId best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const ServiceInstance* instance : instances) {
+    if (instance->state != infra::InstanceState::kRunning) continue;
+    // Score by the host's CPU load from the previous tick; break ties
+    // toward emptier instances relative to host capacity.
+    double host_load = ServerCpuLoad(instance->server);
+    auto state = instance_state_.find(instance->id);
+    double users = state == instance_state_.end() ? 0.0 : state->second.users;
+    auto server = cluster_->FindServer(instance->server);
+    double capacity =
+        server.ok() ? (*server)->performance_index : 1.0;
+    double score = host_load + 0.001 * users / (capacity *
+                                                kUsersPerPerformanceUnit);
+    if (score < best_score) {
+      best_score = score;
+      best = instance->id;
+    }
+  }
+  return best;
+}
+
+void DemandEngine::SyncUsers() {
+  // Drop state of instances that no longer exist; pool their users.
+  std::map<std::string, double, std::less<>> orphaned_users;
+  for (auto it = instance_state_.begin(); it != instance_state_.end();) {
+    auto found = cluster_->FindInstance(it->first);
+    if (!found.ok()) {
+      // The instance is gone; its users must re-login elsewhere.
+      // (We cannot know the service from the id alone anymore, so the
+      // per-service target reconciliation below re-adds them.)
+      it = instance_state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (const auto& [name, spec] : services_) {
+    std::vector<const ServiceInstance*> instances =
+        cluster_->InstancesOf(name);
+    if (instances.empty()) continue;
+
+    // Ensure a state entry per live instance.
+    for (const ServiceInstance* instance : instances) {
+      instance_state_.try_emplace(instance->id);
+    }
+    if (spec.base_users <= 0) continue;  // batch / derived services
+
+    double target_total = spec.base_users * user_scale_;
+
+    if (distribution_ == UserDistribution::kDynamicRedistribution) {
+      // FM: users are redistributed across all serving instances
+      // whenever anything changes. The paper says "equally"; we weigh
+      // the shares by host capacity so that equal *load* results on
+      // the heterogeneous blades (an equal head-count split would
+      // systematically overload the PI-1 hosts).
+      std::vector<const ServiceInstance*> usable;
+      double weight_total = 0.0;
+      for (const ServiceInstance* instance : instances) {
+        if (instance->state != infra::InstanceState::kFailed) {
+          usable.push_back(instance);
+          weight_total += HostCapacity(instance->server);
+        }
+      }
+      if (usable.empty() || weight_total <= 0) continue;
+      for (const ServiceInstance* instance : instances) {
+        instance_state_[instance->id].users = 0.0;
+      }
+      for (const ServiceInstance* instance : usable) {
+        instance_state_[instance->id].users =
+            target_total * HostCapacity(instance->server) / weight_total;
+      }
+      continue;
+    }
+
+    // Sticky sessions: users stay where they are. Users of failed
+    // instances re-login at the least-loaded instance. Scale changes
+    // and users lost with removed instances reconcile against the
+    // target total: shortfalls log in at the least-loaded instance,
+    // excess logs off proportionally.
+    double current_total = 0.0;
+    for (const ServiceInstance* instance : instances) {
+      InstanceState& state = instance_state_[instance->id];
+      if (instance->state == infra::InstanceState::kFailed &&
+          state.users > 0) {
+        InstanceId refuge = LeastLoadedInstance(instances);
+        if (refuge != 0 && refuge != instance->id) {
+          instance_state_[refuge].users += state.users;
+          state.users = 0.0;
+        }
+      }
+      current_total += instance_state_[instance->id].users;
+    }
+    double diff = target_total - current_total;
+    if (diff > 1e-9) {
+      // Fresh logins spread across the least-loaded instances; in the
+      // aggregate that matches a capacity-proportional arrival split.
+      double weight_total = 0.0;
+      for (const ServiceInstance* instance : instances) {
+        if (instance->state == infra::InstanceState::kFailed) continue;
+        weight_total += HostCapacity(instance->server);
+      }
+      if (weight_total > 0) {
+        for (const ServiceInstance* instance : instances) {
+          if (instance->state == infra::InstanceState::kFailed) continue;
+          instance_state_[instance->id].users +=
+              diff * HostCapacity(instance->server) / weight_total;
+        }
+      } else {
+        instance_state_[instances.front()->id].users += diff;
+      }
+    } else if (diff < -1e-9 && current_total > 0) {
+      double keep = target_total / current_total;
+      for (const ServiceInstance* instance : instances) {
+        instance_state_[instance->id].users *= keep;
+      }
+    }
+  }
+}
+
+void DemandEngine::ApplyFluctuation(double dt_minutes) {
+  if (distribution_ != UserDistribution::kStickySessions) return;
+  if (fluctuation_per_minute_ <= 0) return;
+  double fraction = std::min(1.0, fluctuation_per_minute_ * dt_minutes);
+  for (const auto& [name, spec] : services_) {
+    if (spec.base_users <= 0) continue;
+    std::vector<const ServiceInstance*> instances =
+        cluster_->InstancesOf(name);
+    if (instances.size() < 2) continue;
+    InstanceId refuge = LeastLoadedInstance(instances);
+    if (refuge == 0) continue;
+    double moved = 0.0;
+    for (const ServiceInstance* instance : instances) {
+      if (instance->id == refuge) continue;
+      InstanceState& state = instance_state_[instance->id];
+      double leave = state.users * fraction;
+      state.users -= leave;
+      moved += leave;
+    }
+    instance_state_[refuge].users += moved;
+  }
+}
+
+void DemandEngine::Tick(SimTime now, Duration dt) {
+  double dt_minutes = std::max(1e-9, dt.seconds() / 60.0);
+  SyncUsers();
+  ApplyFluctuation(dt_minutes);
+
+  // --- Fresh demand per instance (wu per minute) -----------------------
+  std::map<std::string, double, std::less<>> app_work_by_service;
+  for (const auto& [name, spec] : services_) {
+    std::vector<const ServiceInstance*> instances =
+        cluster_->InstancesOf(name);
+    if (instances.empty()) continue;
+    double activity = spec.pattern.Activity(now);
+    double usable_capacity = 0.0;
+    for (const ServiceInstance* instance : instances) {
+      if (instance->state != infra::InstanceState::kFailed) {
+        usable_capacity += HostCapacity(instance->server);
+      }
+    }
+    double service_work = 0.0;
+    for (const ServiceInstance* instance : instances) {
+      InstanceState& state = instance_state_[instance->id];
+      double fresh = 0.0;
+      if (spec.batch) {
+        // Batch jobs are pulled from a shared queue, so instances on
+        // faster hosts process proportionally more of them.
+        if (usable_capacity > 0 &&
+            instance->state != infra::InstanceState::kFailed) {
+          fresh = spec.batch_load_wu * activity * user_scale_ *
+                  HostCapacity(instance->server) / usable_capacity;
+        }
+      } else if (spec.base_users > 0) {
+        fresh = state.users * activity * spec.request_cost /
+                kUsersPerPerformanceUnit;
+      }
+      if (fresh > 0 && spec.noise_stddev > 0) {
+        fresh *= std::max(0.0, rng_.Normal(1.0, spec.noise_stddev));
+      }
+      double queued = state.backlog_wu;
+      if (spec.shared_queue && usable_capacity > 0 &&
+          instance->state != infra::InstanceState::kFailed) {
+        auto queue_it = service_queue_wu_.find(name);
+        if (queue_it != service_queue_wu_.end()) {
+          queued = queue_it->second * HostCapacity(instance->server) /
+                   usable_capacity;
+        }
+      }
+      state.demand_wu = spec.base_load_wu + fresh + queued;
+      service_work += fresh;
+    }
+    app_work_by_service[name] = service_work;
+  }
+
+  // --- Propagate through central instances and databases ----------------
+  for (const SubsystemSpec& subsystem : subsystems_) {
+    double app_work = 0.0;
+    for (const std::string& app : subsystem.app_services) {
+      auto it = app_work_by_service.find(app);
+      if (it != app_work_by_service.end()) app_work += it->second;
+    }
+    auto distribute = [&](const std::string& service, double work) {
+      if (service.empty() || work <= 0) return;
+      std::vector<const ServiceInstance*> instances =
+          cluster_->InstancesOf(service);
+      double usable_capacity = 0.0;
+      for (const ServiceInstance* instance : instances) {
+        if (instance->state != infra::InstanceState::kFailed) {
+          usable_capacity += HostCapacity(instance->server);
+        }
+      }
+      if (usable_capacity <= 0) {
+        lost_work_wu_ += work * dt_minutes;  // nobody to serve the tier
+        return;
+      }
+      for (const ServiceInstance* instance : instances) {
+        if (instance->state == infra::InstanceState::kFailed) continue;
+        instance_state_[instance->id].demand_wu +=
+            work * HostCapacity(instance->server) / usable_capacity;
+      }
+    };
+    distribute(subsystem.central_instance, subsystem.ci_factor * app_work);
+    distribute(subsystem.database, subsystem.db_factor * app_work);
+  }
+
+  // --- Proportional-share CPU model per server --------------------------
+  server_loads_.clear();
+  std::map<std::string, double, std::less<>> shared_unserved;
+  for (const infra::ServerSpec* server : cluster_->Servers()) {
+    std::vector<const ServiceInstance*> instances =
+        cluster_->InstancesOn(server->name);
+    double capacity = server->performance_index;
+    double total_demand = 0.0;
+    for (const ServiceInstance* instance : instances) {
+      InstanceState& state = instance_state_[instance->id];
+      // Starting instances consume their base load only; their fresh
+      // work waits (and is re-queued as backlog below).
+      if (instance->state == infra::InstanceState::kRunning) {
+        total_demand += state.demand_wu;
+      }
+    }
+
+    double cpu = capacity > 0 ? total_demand / capacity : 1.0;
+    ServerLoad load;
+    load.cpu = std::min(1.0, cpu);
+    load.mem = std::min(
+        1.0, cluster_->UsedMemoryGb(server->name) / server->memory_gb);
+    server_loads_[server->name] = load;
+
+    // Serve demand: everything if it fits, otherwise a priority-
+    // weighted proportional share (water-filling, 3 rounds).
+    std::map<InstanceId, double> served;
+    if (total_demand <= capacity) {
+      for (const ServiceInstance* instance : instances) {
+        if (instance->state == infra::InstanceState::kRunning) {
+          served[instance->id] = instance_state_[instance->id].demand_wu;
+        }
+      }
+    } else {
+      double remaining = capacity;
+      std::vector<const ServiceInstance*> unsatisfied;
+      std::map<InstanceId, double> wanted;
+      for (const ServiceInstance* instance : instances) {
+        if (instance->state != infra::InstanceState::kRunning) continue;
+        unsatisfied.push_back(instance);
+        wanted[instance->id] = instance_state_[instance->id].demand_wu;
+        served[instance->id] = 0.0;
+      }
+      for (int round = 0; round < 3 && remaining > 1e-12 &&
+                          !unsatisfied.empty();
+           ++round) {
+        double total_weight = 0.0;
+        for (const ServiceInstance* instance : unsatisfied) {
+          total_weight += cluster_->ServicePriority(instance->service) *
+                          std::max(1e-9, wanted[instance->id]);
+        }
+        if (total_weight <= 0) break;
+        std::vector<const ServiceInstance*> still_unsatisfied;
+        double granted_total = 0.0;
+        for (const ServiceInstance* instance : unsatisfied) {
+          double weight = cluster_->ServicePriority(instance->service) *
+                          std::max(1e-9, wanted[instance->id]);
+          double grant = remaining * weight / total_weight;
+          double need = wanted[instance->id] - served[instance->id];
+          double take = std::min(grant, need);
+          served[instance->id] += take;
+          granted_total += take;
+          if (served[instance->id] + 1e-12 < wanted[instance->id]) {
+            still_unsatisfied.push_back(instance);
+          }
+        }
+        remaining -= granted_total;
+        unsatisfied.swap(still_unsatisfied);
+      }
+    }
+
+    // Update per-instance load and backlog.
+    for (const ServiceInstance* instance : instances) {
+      InstanceState& state = instance_state_[instance->id];
+      state.load = capacity > 0
+                       ? std::min(1.0, state.demand_wu / capacity)
+                       : 1.0;
+      double got = 0.0;
+      auto it = served.find(instance->id);
+      if (it != served.end()) got = it->second;
+      state.served_wu = got;
+      double unserved = std::max(0.0, state.demand_wu - got);
+      // Base (idle) load does not queue; only request work does.
+      auto spec_it = services_.find(instance->service);
+      if (spec_it != services_.end()) {
+        unserved = std::max(0.0, unserved - spec_it->second.base_load_wu);
+      }
+      // demand_wu already included the queued work, so the unserved
+      // remainder *is* the new queue content (converted rate -> work).
+      double new_backlog = unserved * dt_minutes;
+      state.backlog_wu = 0.0;
+      if (spec_it != services_.end() && spec_it->second.shared_queue) {
+        // Collected into the shared service queue below.
+        shared_unserved[instance->service] += new_backlog;
+        continue;
+      }
+      double cap = spec_it != services_.end()
+                       ? spec_it->second.backlog_cap_wu
+                       : 2.0;
+      if (new_backlog > cap) {
+        lost_work_wu_ += new_backlog - cap;
+        new_backlog = cap;
+      }
+      state.backlog_wu = new_backlog;
+    }
+
+    if (load.cpu > overload_threshold_) overload_minutes_ += dt_minutes;
+  }
+
+  // Commit shared queues (cap per service; overflow is lost work).
+  service_queue_wu_.clear();
+  for (auto& [service, queued] : shared_unserved) {
+    auto spec_it = services_.find(service);
+    double cap =
+        spec_it != services_.end() ? spec_it->second.backlog_cap_wu : 2.0;
+    if (queued > cap) {
+      lost_work_wu_ += queued - cap;
+      queued = cap;
+    }
+    if (queued > 0) service_queue_wu_[service] = queued;
+  }
+}
+
+double DemandEngine::ServerCpuLoad(std::string_view server) const {
+  auto it = server_loads_.find(server);
+  return it == server_loads_.end() ? 0.0 : it->second.cpu;
+}
+
+double DemandEngine::ServerMemLoad(std::string_view server) const {
+  auto it = server_loads_.find(server);
+  return it == server_loads_.end() ? 0.0 : it->second.mem;
+}
+
+double DemandEngine::InstanceLoad(infra::InstanceId id) const {
+  auto it = instance_state_.find(id);
+  return it == instance_state_.end() ? 0.0 : it->second.load;
+}
+
+double DemandEngine::ServiceSatisfaction(std::string_view service) const {
+  double requested = 0.0;
+  double served = 0.0;
+  for (const ServiceInstance* instance : cluster_->InstancesOf(service)) {
+    auto it = instance_state_.find(instance->id);
+    if (it == instance_state_.end()) continue;
+    requested += it->second.demand_wu;
+    served += std::min(it->second.served_wu, it->second.demand_wu);
+  }
+  if (requested <= 1e-12) return 1.0;
+  return std::clamp(served / requested, 0.0, 1.0);
+}
+
+double DemandEngine::ServiceLoad(std::string_view service) const {
+  std::vector<const ServiceInstance*> instances =
+      cluster_->InstancesOf(service);
+  if (instances.empty()) return 0.0;
+  double total = 0.0;
+  int count = 0;
+  for (const ServiceInstance* instance : instances) {
+    auto it = instance_state_.find(instance->id);
+    if (it == instance_state_.end()) continue;
+    total += it->second.load;
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+double DemandEngine::InstanceUsers(infra::InstanceId id) const {
+  auto it = instance_state_.find(id);
+  return it == instance_state_.end() ? 0.0 : it->second.users;
+}
+
+double DemandEngine::ServiceUsers(std::string_view service) const {
+  double total = 0.0;
+  for (const ServiceInstance* instance : cluster_->InstancesOf(service)) {
+    total += InstanceUsers(instance->id);
+  }
+  return total;
+}
+
+double DemandEngine::TotalBacklog() const {
+  double total = 0.0;
+  for (const auto& [id, state] : instance_state_) {
+    total += state.backlog_wu;
+  }
+  for (const auto& [service, queued] : service_queue_wu_) total += queued;
+  return total;
+}
+
+}  // namespace autoglobe::workload

@@ -1,0 +1,201 @@
+#ifndef AUTOGLOBE_WORKLOAD_DEMAND_H_
+#define AUTOGLOBE_WORKLOAD_DEMAND_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "infra/cluster.h"
+#include "workload/load_pattern.h"
+
+namespace autoglobe::workload {
+
+/// Work is measured in *work units* (wu): 1 wu is the work a
+/// performance-index-1 server completes per minute at 100 % CPU. The
+/// paper dimensions a standard blade to "handle at most 150 users of
+/// one service" (§5.1), so a fully active user of request cost 1.0
+/// consumes 1/150 wu per minute, and a server of performance index p
+/// delivers p wu per minute.
+inline constexpr double kUsersPerPerformanceUnit = 150.0;
+
+/// Demand model of one service (the paper's service-specific
+/// simulation parameters, §5.1: "the load caused by a single request
+/// depends on the specific service").
+struct ServiceDemandSpec {
+  std::string service;
+  LoadPattern pattern;
+  /// Connected users at 100 % scale (Table 4). Zero for batch and
+  /// derived (CI/DB) services.
+  double base_users = 0.0;
+  /// Relative app-server work per active user ("an FI request
+  /// produces lower load than a BW request").
+  double request_cost = 1.0;
+  /// Idle work per running instance ("every application server itself
+  /// induces a basic load").
+  double base_load_wu = 0.02;
+  /// Batch-style service (BW): demand scales with job size, not with
+  /// a user count.
+  bool batch = false;
+  /// Total batch work across all instances at activity 1.0, scale 1.0.
+  double batch_load_wu = 0.0;
+  /// Relative per-tick demand noise (creates the "short load peaks"
+  /// the watchTime mechanism must ride out).
+  double noise_stddev = 0.02;
+  /// Queue bound (wu). Interactive services keep this small — users
+  /// give up / postpone rather than queue indefinitely ("requests
+  /// will be delayed till next day"); batch and database tiers queue
+  /// generously. Overflow counts as lost work.
+  double backlog_cap_wu = 2.0;
+  /// Batch and derived tiers pull from one shared queue, so unserved
+  /// work migrates to whichever instance has spare capacity;
+  /// interactive sessions queue at their own instance.
+  bool shared_queue = false;
+};
+
+/// Three-tier request propagation (paper §5.1): before an application
+/// request reaches the database, the central instance's lock
+/// management is consulted — so CI and DB demand derive from the
+/// subsystem's application work.
+struct SubsystemSpec {
+  std::string name;              // e.g. "ERP"
+  std::vector<std::string> app_services;
+  std::string central_instance;  // service name, may be empty
+  std::string database;          // service name, may be empty
+  double ci_factor = 0.05;       // CI wu per app wu
+  double db_factor = 0.25;       // DB wu per app wu
+};
+
+/// How users attach to service instances (the key difference between
+/// the CM and FM scenarios, §5.1).
+enum class UserDistribution {
+  /// Users stay logged in to one instance for their whole session;
+  /// only the slow fluctuation re-balances (static / CM scenarios).
+  kStickySessions,
+  /// Users are equally redistributed across all instances whenever
+  /// the instance set changes (FM scenario).
+  kDynamicRedistribution,
+};
+
+/// Per-server load sample of one tick.
+struct ServerLoad {
+  double cpu = 0.0;  // [0, 1]; 1.0 means saturated
+  double mem = 0.0;  // [0, 1]
+};
+
+/// The flow-level workload engine: each tick it distributes users,
+/// derives per-instance work, propagates it through the three tiers,
+/// applies the proportional-share CPU model with service priorities,
+/// and records per-server and per-instance loads plus backlog.
+class DemandEngine {
+ public:
+  DemandEngine(infra::Cluster* cluster, Rng rng);
+
+  DemandEngine(const DemandEngine&) = delete;
+  DemandEngine& operator=(const DemandEngine&) = delete;
+
+  /// Registers the demand model of a service (which must exist in the
+  /// cluster).
+  Status AddService(ServiceDemandSpec spec);
+  /// Registers a subsystem; all referenced services must be known.
+  Status AddSubsystem(SubsystemSpec spec);
+
+  /// Global user multiplier (the evaluation's +5 % sweep knob).
+  void set_user_scale(double scale) { user_scale_ = scale; }
+  double user_scale() const { return user_scale_; }
+
+  void set_distribution(UserDistribution distribution) {
+    distribution_ = distribution;
+  }
+  UserDistribution distribution() const { return distribution_; }
+
+  /// Fraction of each instance's users that log off and reconnect to
+  /// the least-loaded instance per minute (paper §5.1: "users
+  /// infrequently log themselves off ... and reconnect to the
+  /// currently least-loaded server").
+  void set_fluctuation_per_minute(double fraction) {
+    fluctuation_per_minute_ = fraction;
+  }
+
+  /// Advances the model by `dt` ending at time `now`, recomputing all
+  /// loads.
+  void Tick(SimTime now, Duration dt = Duration::Minutes(1));
+
+  // --- Load views of the last tick -------------------------------------
+  double ServerCpuLoad(std::string_view server) const;
+  double ServerMemLoad(std::string_view server) const;
+  /// Fraction of the host's capacity the instance demands, in [0, 1].
+  double InstanceLoad(infra::InstanceId id) const;
+  /// Average load of all instances of a service (Table 1's
+  /// serviceLoad input).
+  double ServiceLoad(std::string_view service) const;
+  /// Fraction of the service's requested work that was actually served
+  /// in the last tick, in [0, 1] (1.0 when nothing was requested).
+  /// This is the response-quality proxy the QoS/SLA extension
+  /// monitors: it drops below 1 exactly when requests queue or drop.
+  double ServiceSatisfaction(std::string_view service) const;
+
+  // --- User bookkeeping -------------------------------------------------
+  double InstanceUsers(infra::InstanceId id) const;
+  double ServiceUsers(std::string_view service) const;
+
+  // --- Quality metrics ----------------------------------------------------
+  /// Work that missed its tick and waits in instance backlogs (wu).
+  double TotalBacklog() const;
+  /// Work dropped because backlogs overflowed — the paper's "requests
+  /// will be delayed till next day" (wu, cumulative).
+  double TotalLostWork() const { return lost_work_wu_; }
+  /// Cumulative server-minutes with CPU load above the overload
+  /// threshold (default 0.8 — the paper's "CPU load of more than 80%
+  /// for a long time" criterion).
+  double OverloadMinutes() const { return overload_minutes_; }
+  /// Clears the cumulative quality counters (overload minutes, lost
+  /// work). Used to exclude a warm-up period from run verdicts.
+  void ResetQualityMetrics() {
+    overload_minutes_ = 0.0;
+    lost_work_wu_ = 0.0;
+  }
+  void set_overload_threshold(double threshold) {
+    overload_threshold_ = threshold;
+  }
+
+  const std::map<std::string, ServerLoad, std::less<>>& server_loads() const {
+    return server_loads_;
+  }
+
+ private:
+  struct InstanceState {
+    double users = 0.0;
+    double backlog_wu = 0.0;
+    double demand_wu = 0.0;  // last tick, per minute
+    double served_wu = 0.0;  // last tick, per minute
+    double load = 0.0;       // demand / host capacity, clamped
+  };
+
+  void SyncUsers();
+  void ApplyFluctuation(double dt_minutes);
+  double HostCapacity(std::string_view server) const;
+  infra::InstanceId LeastLoadedInstance(
+      const std::vector<const infra::ServiceInstance*>& instances) const;
+
+  infra::Cluster* cluster_;
+  Rng rng_;
+  std::map<std::string, ServiceDemandSpec, std::less<>> services_;
+  std::vector<SubsystemSpec> subsystems_;
+  double user_scale_ = 1.0;
+  UserDistribution distribution_ = UserDistribution::kStickySessions;
+  double fluctuation_per_minute_ = 0.01;
+
+  std::map<infra::InstanceId, InstanceState> instance_state_;
+  std::map<std::string, double, std::less<>> service_queue_wu_;
+  std::map<std::string, ServerLoad, std::less<>> server_loads_;
+  double overload_threshold_ = 0.8;
+  double lost_work_wu_ = 0.0;
+  double overload_minutes_ = 0.0;
+};
+
+}  // namespace autoglobe::workload
+
+#endif  // AUTOGLOBE_WORKLOAD_DEMAND_H_

@@ -1,0 +1,473 @@
+#include "xmlcfg/xml.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace autoglobe::xml {
+
+// ---------------------------------------------------------------------------
+// Element
+// ---------------------------------------------------------------------------
+
+void Element::SetAttribute(std::string_view name, std::string value) {
+  for (Attribute& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back(Attribute{std::string(name), std::move(value)});
+}
+
+std::optional<std::string_view> Element::FindAttribute(
+    std::string_view name) const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == name) return std::string_view(attr.value);
+  }
+  return std::nullopt;
+}
+
+std::string_view Element::AttributeOr(std::string_view name,
+                                      std::string_view fallback) const {
+  auto found = FindAttribute(name);
+  return found ? *found : fallback;
+}
+
+Result<std::string> Element::StringAttribute(std::string_view name) const {
+  auto found = FindAttribute(name);
+  if (!found) {
+    return Status::NotFound(StrFormat("<%s> missing attribute \"%.*s\"",
+                                      name_.c_str(),
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+  }
+  return std::string(*found);
+}
+
+Result<double> Element::DoubleAttribute(std::string_view name) const {
+  AG_ASSIGN_OR_RETURN(std::string raw, StringAttribute(name));
+  return ParseDouble(raw);
+}
+
+Result<long long> Element::IntAttribute(std::string_view name) const {
+  AG_ASSIGN_OR_RETURN(std::string raw, StringAttribute(name));
+  return ParseInt(raw);
+}
+
+Result<bool> Element::BoolAttribute(std::string_view name) const {
+  AG_ASSIGN_OR_RETURN(std::string raw, StringAttribute(name));
+  return ParseBool(raw);
+}
+
+Result<double> Element::DoubleAttributeOr(std::string_view name,
+                                          double fallback) const {
+  auto found = FindAttribute(name);
+  if (!found) return fallback;
+  return ParseDouble(*found);
+}
+
+Result<long long> Element::IntAttributeOr(std::string_view name,
+                                          long long fallback) const {
+  auto found = FindAttribute(name);
+  if (!found) return fallback;
+  return ParseInt(*found);
+}
+
+Result<bool> Element::BoolAttributeOr(std::string_view name,
+                                      bool fallback) const {
+  auto found = FindAttribute(name);
+  if (!found) return fallback;
+  return ParseBool(*found);
+}
+
+Element* Element::AddChild(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return children_.back().get();
+}
+
+void Element::AdoptChild(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+}
+
+const Element* Element::FindChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::FindChildren(
+    std::string_view name) const {
+  std::vector<const Element*> matches;
+  for (const auto& child : children_) {
+    if (child->name() == name) matches.push_back(child.get());
+  }
+  return matches;
+}
+
+Result<const Element*> Element::RequireChild(std::string_view name) const {
+  const Element* child = FindChild(name);
+  if (child == nullptr) {
+    return Status::NotFound(StrFormat("<%s> missing child <%.*s>",
+                                      name_.c_str(),
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+  }
+  return child;
+}
+
+std::string Element::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const Attribute& attr : attributes_) {
+    out += " " + attr.name + "=\"" + Escape(attr.value) + "\"";
+  }
+  std::string_view trimmed_text = StripWhitespace(text_);
+  if (children_.empty() && trimmed_text.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (!trimmed_text.empty()) {
+    out += Escape(trimmed_text);
+  }
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& child : children_) {
+      out += child->ToString(indent + 1);
+    }
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<Element>> ParseDocument() {
+    SkipProlog();
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipMisc();
+    if (!AtEnd()) {
+      return Error("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Lookahead(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  Status Error(std::string_view what) const {
+    return Status::ParseError(StrFormat("XML parse error at line %d: %.*s",
+                                        line_, static_cast<int>(what.size()),
+                                        what.data()));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  bool SkipComment() {
+    if (!Lookahead("<!--")) return false;
+    Advance(4);
+    while (!AtEnd() && !Lookahead("-->")) Advance();
+    if (!AtEnd()) Advance(3);
+    return true;
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (!SkipComment()) break;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (Lookahead("<?xml")) {
+      while (!AtEnd() && !Lookahead("?>")) Advance();
+      if (!AtEnd()) Advance(2);
+    }
+    for (;;) {
+      SkipMisc();
+      if (Lookahead("<!DOCTYPE")) {
+        // Tolerated and skipped (no internal subset support).
+        while (!AtEnd() && Peek() != '>') Advance();
+        if (!AtEnd()) Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "amp") {
+        out += '&';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else if (!entity.empty() && entity[0] == '#') {
+        bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+        std::string digits(entity.substr(hex ? 2 : 1));
+        char* end = nullptr;
+        long code = std::strtol(digits.c_str(), &end, hex ? 16 : 10);
+        if (end != digits.c_str() + digits.size() || code <= 0 ||
+            code > 0x10FFFF) {
+          return Error("bad numeric character reference");
+        }
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (code >> 18));
+          out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+      } else {
+        return Error(StrFormat("unknown entity \"&%.*s;\"",
+                               static_cast<int>(entity.size()),
+                               entity.data()));
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<Attribute> ParseAttribute() {
+    AG_ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+    Advance();
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '<') return Error("'<' in attribute value");
+      Advance();
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    std::string_view raw = input_.substr(start, pos_ - start);
+    Advance();  // closing quote
+    AG_ASSIGN_OR_RETURN(std::string value, DecodeEntities(raw));
+    return Attribute{std::move(name), std::move(value)};
+  }
+
+  Result<std::unique_ptr<Element>> ParseElement() {
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    Advance();
+    AG_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto element = std::make_unique<Element>(std::move(name));
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '/') {
+        Advance();
+        if (AtEnd() || Peek() != '>') return Error("expected '/>'");
+        Advance();
+        return element;  // self-closing
+      }
+      if (Peek() == '>') {
+        Advance();
+        break;
+      }
+      AG_ASSIGN_OR_RETURN(Attribute attr, ParseAttribute());
+      if (element->FindAttribute(attr.name)) {
+        return Error(StrFormat("duplicate attribute \"%s\"",
+                               attr.name.c_str()));
+      }
+      element->SetAttribute(attr.name, std::move(attr.value));
+    }
+    // Content until matching end tag.
+    for (;;) {
+      if (AtEnd()) {
+        return Error(StrFormat("missing </%s>", element->name().c_str()));
+      }
+      if (Lookahead("<!--")) {
+        SkipComment();
+        continue;
+      }
+      if (Lookahead("<![CDATA[")) {
+        Advance(9);
+        size_t start = pos_;
+        while (!AtEnd() && !Lookahead("]]>")) Advance();
+        if (AtEnd()) return Error("unterminated CDATA section");
+        element->AppendText(input_.substr(start, pos_ - start));
+        Advance(3);
+        continue;
+      }
+      if (Lookahead("</")) {
+        Advance(2);
+        AG_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+        if (end_name != element->name()) {
+          return Error(StrFormat("mismatched end tag </%s>, expected </%s>",
+                                 end_name.c_str(), element->name().c_str()));
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') return Error("expected '>'");
+        Advance();
+        return element;
+      }
+      if (Peek() == '<') {
+        AG_ASSIGN_OR_RETURN(std::unique_ptr<Element> child, ParseElement());
+        element->AdoptChild(std::move(child));
+        continue;
+      }
+      // Character data.
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') Advance();
+      AG_ASSIGN_OR_RETURN(
+          std::string text,
+          DecodeEntities(input_.substr(start, pos_ - start)));
+      element->AppendText(text);
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Document
+// ---------------------------------------------------------------------------
+
+Result<Document> Document::Parse(std::string_view input) {
+  Parser parser(input);
+  auto root = parser.ParseDocument();
+  if (!root.ok()) return root.status();
+  Document doc;
+  doc.root_ = std::move(root).value();
+  return doc;
+}
+
+Result<Document> Document::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open \"%s\"", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+Element* Document::SetRoot(std::string name) {
+  root_ = std::make_unique<Element>(std::move(name));
+  return root_.get();
+}
+
+std::string Document::ToString() const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  if (root_) out += root_->ToString();
+  return out;
+}
+
+Status Document::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot write \"%s\"", path.c_str()));
+  }
+  out << ToString();
+  return Status::OK();
+}
+
+std::string Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace autoglobe::xml

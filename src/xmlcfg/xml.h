@@ -1,0 +1,120 @@
+#ifndef AUTOGLOBE_XMLCFG_XML_H_
+#define AUTOGLOBE_XMLCFG_XML_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace autoglobe::xml {
+
+/// A single attribute on an element. Order of attributes is preserved.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// Element of the AutoGlobe declarative description language — a
+/// deliberately small XML subset (elements, attributes, character
+/// data, comments, CDATA, the five predefined entities and numeric
+/// character references). Namespaces, DTDs, and processing
+/// instructions other than the XML declaration are out of scope.
+///
+/// Character data of an element is the concatenation of its direct
+/// text nodes (mixed content is flattened; config files never rely on
+/// text/element interleaving order).
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // --- Attributes ----------------------------------------------------
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  void SetAttribute(std::string_view name, std::string value);
+  /// Returns the attribute value or nullopt.
+  std::optional<std::string_view> FindAttribute(std::string_view name) const;
+  /// Returns the attribute value or `fallback`.
+  std::string_view AttributeOr(std::string_view name,
+                               std::string_view fallback) const;
+  /// Typed attribute accessors; error if missing or malformed.
+  Result<std::string> StringAttribute(std::string_view name) const;
+  Result<double> DoubleAttribute(std::string_view name) const;
+  Result<long long> IntAttribute(std::string_view name) const;
+  Result<bool> BoolAttribute(std::string_view name) const;
+  /// Typed accessors with defaults; error only when malformed.
+  Result<double> DoubleAttributeOr(std::string_view name,
+                                   double fallback) const;
+  Result<long long> IntAttributeOr(std::string_view name,
+                                   long long fallback) const;
+  Result<bool> BoolAttributeOr(std::string_view name, bool fallback) const;
+
+  // --- Text ----------------------------------------------------------
+  const std::string& text() const { return text_; }
+  void AppendText(std::string_view text) { text_.append(text); }
+  void SetText(std::string text) { text_ = std::move(text); }
+
+  // --- Children ------------------------------------------------------
+  const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+  /// Appends a new child element and returns it (owned by this).
+  Element* AddChild(std::string name);
+  /// Appends an already-built child element.
+  void AdoptChild(std::unique_ptr<Element> child);
+  /// First child with the given name, or nullptr.
+  const Element* FindChild(std::string_view name) const;
+  /// All children with the given name.
+  std::vector<const Element*> FindChildren(std::string_view name) const;
+  /// First child with the given name; NotFound error if absent.
+  Result<const Element*> RequireChild(std::string_view name) const;
+
+  /// Serializes this element (and subtree), indented by `indent`
+  /// levels of two spaces.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::string text_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// An XML document: optional declaration plus one root element.
+class Document {
+ public:
+  Document() = default;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// Parses a complete document from text.
+  static Result<Document> Parse(std::string_view input);
+  /// Reads and parses a file.
+  static Result<Document> LoadFile(const std::string& path);
+
+  const Element* root() const { return root_.get(); }
+  Element* mutable_root() { return root_.get(); }
+  /// Replaces the root element.
+  Element* SetRoot(std::string name);
+
+  /// Serializes with declaration and trailing newline.
+  std::string ToString() const;
+  Status SaveFile(const std::string& path) const;
+
+ private:
+  std::unique_ptr<Element> root_;
+};
+
+/// Escapes &, <, >, ", ' for use in attribute values / text.
+std::string Escape(std::string_view raw);
+
+}  // namespace autoglobe::xml
+
+#endif  // AUTOGLOBE_XMLCFG_XML_H_

@@ -1,0 +1,99 @@
+#include "autoglobe/capacity.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe {
+namespace {
+
+TEST(ScenarioConfigTest, MapsScenariosToControllerAndDistribution) {
+  RunnerConfig s = MakeScenarioConfig(Scenario::kStatic, 1.0);
+  EXPECT_FALSE(s.controller_enabled);
+  EXPECT_EQ(s.distribution, workload::UserDistribution::kStickySessions);
+
+  RunnerConfig cm = MakeScenarioConfig(Scenario::kConstrainedMobility, 1.1);
+  EXPECT_TRUE(cm.controller_enabled);
+  EXPECT_EQ(cm.distribution, workload::UserDistribution::kStickySessions);
+  EXPECT_DOUBLE_EQ(cm.user_scale, 1.1);
+
+  RunnerConfig fm = MakeScenarioConfig(Scenario::kFullMobility, 1.35);
+  EXPECT_TRUE(fm.controller_enabled);
+  EXPECT_EQ(fm.distribution,
+            workload::UserDistribution::kDynamicRedistribution);
+}
+
+TEST(ScenarioConfigTest, PaperParameterDefaults) {
+  RunnerConfig config = MakeScenarioConfig(Scenario::kFullMobility, 1.0);
+  // §5.1: 70 % overload threshold, 10-min watchTime, 30-min
+  // protection, idle 12.5 %/PI after 20 min.
+  EXPECT_DOUBLE_EQ(config.monitor.overload_threshold, 0.70);
+  EXPECT_EQ(config.monitor.overload_watch_time, Duration::Minutes(10));
+  EXPECT_DOUBLE_EQ(config.monitor.idle_threshold_base, 0.125);
+  EXPECT_EQ(config.monitor.idle_watch_time, Duration::Minutes(20));
+  EXPECT_EQ(config.executor.protection_time, Duration::Minutes(30));
+  EXPECT_EQ(config.duration, Duration::Hours(80));
+}
+
+TEST(CapacityTest, PassesAppliesBothCriteria) {
+  AcceptanceCriteria criteria;
+  criteria.max_overload_streak_minutes = 30;
+  criteria.max_overload_fraction = 0.01;
+  RunMetrics good;
+  good.max_overload_streak_minutes = 10;
+  good.overload_fraction = 0.005;
+  EXPECT_TRUE(Passes(good, criteria));
+  RunMetrics long_streak = good;
+  long_streak.max_overload_streak_minutes = 31;
+  EXPECT_FALSE(Passes(long_streak, criteria));
+  RunMetrics chronic = good;
+  chronic.overload_fraction = 0.02;
+  EXPECT_FALSE(Passes(chronic, criteria));
+}
+
+TEST(CapacityTest, SweepStopsAtFirstFailure) {
+  CapacityOptions options;
+  options.start_scale = 1.0;
+  options.step = 0.2;
+  options.max_scale = 2.0;
+  options.run_duration = Duration::Hours(30);
+  options.warmup = Duration::Hours(6);
+  auto result = FindCapacity(Scenario::kStatic, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Steps end with exactly one failing entry (or run to max_scale).
+  ASSERT_FALSE(result->steps.empty());
+  for (size_t i = 0; i + 1 < result->steps.size(); ++i) {
+    EXPECT_TRUE(result->steps[i].passed);
+  }
+  if (!result->steps.back().passed) {
+    EXPECT_NEAR(result->max_scale,
+                result->steps.back().scale - options.step, 1e-9);
+  }
+}
+
+// The headline reproduction (Table 7): the static landscape handles
+// exactly the dimensioned users, constrained mobility adds roughly
+// 15 %, full mobility roughly 35 %. Shortened runs (48 h) keep the
+// test fast; the bench reproduces the full 80 h protocol.
+TEST(CapacityTest, Table7OrderingHolds) {
+  CapacityOptions options;
+  options.run_duration = Duration::Hours(48);
+  auto static_result = FindCapacity(Scenario::kStatic, options);
+  auto cm_result = FindCapacity(Scenario::kConstrainedMobility, options);
+  auto fm_result = FindCapacity(Scenario::kFullMobility, options);
+  ASSERT_TRUE(static_result.ok()) << static_result.status();
+  ASSERT_TRUE(cm_result.ok()) << cm_result.status();
+  ASSERT_TRUE(fm_result.ok()) << fm_result.status();
+
+  // Row 1: the static landscape is sized for exactly 100 %.
+  EXPECT_NEAR(static_result->max_scale, 1.00, 1e-9);
+  // Shape: static < CM < FM, with meaningful margins.
+  EXPECT_GE(cm_result->max_scale, static_result->max_scale + 0.10 - 1e-9);
+  EXPECT_GE(fm_result->max_scale, cm_result->max_scale + 0.10 - 1e-9);
+  // Bands around the paper's 115 % / 135 %.
+  EXPECT_GE(cm_result->max_scale, 1.10 - 1e-9);
+  EXPECT_LE(cm_result->max_scale, 1.25 + 1e-9);
+  EXPECT_GE(fm_result->max_scale, 1.30 - 1e-9);
+  EXPECT_LE(fm_result->max_scale, 1.45 + 1e-9);
+}
+
+}  // namespace
+}  // namespace autoglobe

@@ -1,0 +1,103 @@
+#include "autoglobe/console.h"
+
+#include "autoglobe/capacity.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe {
+namespace {
+
+class ConsoleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+    RunnerConfig config =
+        MakeScenarioConfig(Scenario::kFullMobility, 1.25);
+    config.duration = Duration::Hours(12);
+    auto runner = SimulationRunner::Create(landscape, config);
+    ASSERT_TRUE(runner.ok()) << runner.status();
+    runner_ = std::move(*runner);
+    ASSERT_TRUE(runner_->Run().ok());
+    console_ = std::make_unique<Console>(runner_.get());
+  }
+
+  std::unique_ptr<SimulationRunner> runner_;
+  std::unique_ptr<Console> console_;
+};
+
+TEST_F(ConsoleTest, ServerViewListsAllServersGroupedByCategory) {
+  std::string view = console_->RenderServerView();
+  for (int i = 1; i <= 16; ++i) {
+    EXPECT_NE(view.find("Blade" + std::to_string(i)), std::string::npos);
+  }
+  EXPECT_NE(view.find("DBServer3"), std::string::npos);
+  // Grouping: BX300 block appears before the BL40p block.
+  EXPECT_LT(view.find("FSC-BX300"), view.find("HP-ProliantBL40p"));
+  EXPECT_NE(view.find("CPU%"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, ServiceViewShowsInstancesUsersAndHosts) {
+  std::string view = console_->RenderServiceView();
+  for (const char* service :
+       {"FI", "LES", "PP", "HR", "CRM", "BW", "CI-ERP", "DB-ERP"}) {
+    EXPECT_NE(view.find(service), std::string::npos) << service;
+  }
+  EXPECT_NE(view.find("applicationServer"), std::string::npos);
+  EXPECT_NE(view.find("database"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, MessageViewShowsRecentMessagesOnly) {
+  ASSERT_GT(runner_->messages().size(), 5u);
+  std::string view = console_->RenderMessageView(/*limit=*/3);
+  // Exactly the 3 most recent messages plus the header line.
+  int lines = 0;
+  for (char c : view) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(view.find(runner_->messages().back()), std::string::npos);
+}
+
+TEST_F(ConsoleTest, NoSlaViewWithoutSlas) {
+  EXPECT_TRUE(console_->RenderSlaView().empty());
+  EXPECT_EQ(console_->Render().find("SLA View"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, FullRenderContainsAllThreeViews) {
+  std::string view = console_->Render();
+  EXPECT_NE(view.find("=== Server View"), std::string::npos);
+  EXPECT_NE(view.find("=== Service View"), std::string::npos);
+  EXPECT_NE(view.find("=== Message View"), std::string::npos);
+}
+
+TEST(ConsoleSlaTest, SlaViewAppearsWhenConfigured) {
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  RunnerConfig config = MakeScenarioConfig(Scenario::kFullMobility, 1.0);
+  config.duration = Duration::Hours(2);
+  SlaSpec sla;
+  sla.service = "FI";
+  sla.min_satisfaction = 0.95;
+  config.slas.push_back(sla);
+  auto runner = SimulationRunner::Create(landscape, config);
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->Run().ok());
+  Console console(runner->get());
+  std::string view = console.RenderSlaView();
+  EXPECT_NE(view.find("=== SLA View"), std::string::npos);
+  EXPECT_NE(view.find("FI"), std::string::npos);
+  EXPECT_NE(console.Render().find("SLA View"), std::string::npos);
+}
+
+TEST(ConsoleEmptyTest, HandlesQuietRunner) {
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  RunnerConfig config = MakeScenarioConfig(Scenario::kStatic, 1.0);
+  config.duration = Duration::Hours(1);
+  auto runner = SimulationRunner::Create(landscape, config);
+  ASSERT_TRUE(runner.ok());
+  Console console(runner->get());
+  EXPECT_NE(console.RenderMessageView().find("(no messages)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace autoglobe

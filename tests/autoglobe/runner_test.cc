@@ -1,0 +1,176 @@
+#include "autoglobe/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "autoglobe/capacity.h"
+
+namespace autoglobe {
+namespace {
+
+std::unique_ptr<SimulationRunner> MakeRunner(Scenario scenario,
+                                             double scale,
+                                             Duration duration,
+                                             uint64_t seed = 42) {
+  Landscape landscape = MakePaperLandscape(scenario);
+  RunnerConfig config = MakeScenarioConfig(scenario, scale, seed);
+  config.duration = duration;
+  auto runner = SimulationRunner::Create(landscape, config);
+  EXPECT_TRUE(runner.ok()) << runner.status();
+  return runner.ok() ? std::move(*runner) : nullptr;
+}
+
+TEST(RunnerTest, BuildsThePaperLandscape) {
+  auto runner =
+      MakeRunner(Scenario::kStatic, 1.0, Duration::Hours(1));
+  ASSERT_NE(runner, nullptr);
+  EXPECT_EQ(runner->cluster().Servers().size(), 19u);
+  EXPECT_EQ(runner->cluster().total_instances(), 19u);
+}
+
+TEST(RunnerTest, LoadsFollowTheDailyPattern) {
+  auto runner = MakeRunner(Scenario::kStatic, 1.0, Duration::Hours(24));
+  ASSERT_NE(runner, nullptr);
+  // 04:00 — night: application servers idle, BW batch hot.
+  ASSERT_TRUE(
+      runner->RunUntil(SimTime::Start() + Duration::Hours(4)).ok());
+  double les_night = runner->demand().ServerCpuLoad("Blade1");
+  double bw_night = runner->demand().ServerCpuLoad("Blade9");
+  EXPECT_LT(les_night, 0.15);
+  EXPECT_GT(bw_night, 0.5);
+  // 09:30 — morning peak: LES hosts at 60-80 % (§5.1), BW quiet.
+  ASSERT_TRUE(runner
+                  ->RunUntil(SimTime::Start() + Duration::Hours(9) +
+                             Duration::Minutes(30))
+                  .ok());
+  double les_peak = runner->demand().ServerCpuLoad("Blade1");
+  EXPECT_GT(les_peak, 0.6);
+  EXPECT_LT(les_peak, 0.9);
+  EXPECT_LT(runner->demand().ServerCpuLoad("Blade9"), 0.3);
+}
+
+TEST(RunnerTest, StaticScenarioNeverActs) {
+  auto runner = MakeRunner(Scenario::kStatic, 1.2, Duration::Hours(24));
+  ASSERT_NE(runner, nullptr);
+  ASSERT_TRUE(runner->Run().ok());
+  EXPECT_EQ(runner->metrics().actions_executed, 0);
+  EXPECT_EQ(runner->metrics().actions_failed, 0);
+  // Triggers still fire (monitoring runs), they just go unanswered.
+  EXPECT_GT(runner->metrics().triggers, 0);
+}
+
+TEST(RunnerTest, ControllerActsUnderOverload) {
+  auto runner = MakeRunner(Scenario::kFullMobility, 1.25,
+                           Duration::Hours(24));
+  ASSERT_NE(runner, nullptr);
+  ASSERT_TRUE(runner->Run().ok());
+  EXPECT_GT(runner->metrics().actions_executed, 0);
+  EXPECT_FALSE(runner->messages().empty());
+}
+
+TEST(RunnerTest, ControllerReducesOverloadVersusStatic) {
+  auto run = [](Scenario scenario) {
+    auto runner = MakeRunner(scenario, 1.15, Duration::Hours(48));
+    EXPECT_TRUE(runner->Run().ok());
+    return runner->metrics();
+  };
+  RunMetrics static_run = run(Scenario::kStatic);
+  RunMetrics fm_run = run(Scenario::kFullMobility);
+  EXPECT_GT(static_run.overload_server_minutes, 100.0);
+  EXPECT_LT(fm_run.overload_server_minutes,
+            static_run.overload_server_minutes / 2);
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns) {
+  auto a = MakeRunner(Scenario::kFullMobility, 1.2, Duration::Hours(30));
+  auto b = MakeRunner(Scenario::kFullMobility, 1.2, Duration::Hours(30));
+  ASSERT_TRUE(a->Run().ok());
+  ASSERT_TRUE(b->Run().ok());
+  EXPECT_EQ(a->metrics().actions_executed, b->metrics().actions_executed);
+  EXPECT_EQ(a->metrics().triggers, b->metrics().triggers);
+  EXPECT_DOUBLE_EQ(a->metrics().overload_server_minutes,
+                   b->metrics().overload_server_minutes);
+  EXPECT_EQ(a->messages(), b->messages());
+}
+
+TEST(RunnerTest, SeedChangesTrajectoriesButNotSanity) {
+  auto a = MakeRunner(Scenario::kFullMobility, 1.2, Duration::Hours(24),
+                      /*seed=*/1);
+  auto b = MakeRunner(Scenario::kFullMobility, 1.2, Duration::Hours(24),
+                      /*seed=*/2);
+  ASSERT_TRUE(a->Run().ok());
+  ASSERT_TRUE(b->Run().ok());
+  EXPECT_GT(a->metrics().average_cpu_load, 0.05);
+  EXPECT_GT(b->metrics().average_cpu_load, 0.05);
+}
+
+TEST(RunnerTest, SampleHookFiresEveryTick) {
+  auto runner = MakeRunner(Scenario::kStatic, 1.0, Duration::Hours(2));
+  int samples = 0;
+  runner->set_sample_hook([&samples](SimTime, const workload::DemandEngine&,
+                                     const infra::Cluster&) { ++samples; });
+  ASSERT_TRUE(runner->Run().ok());
+  EXPECT_EQ(samples, 120);
+}
+
+TEST(RunnerTest, MetricsWarmupDiscardsColdStart) {
+  auto run = [](Duration warmup) {
+    Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+    RunnerConfig config = MakeScenarioConfig(Scenario::kStatic, 1.3);
+    config.duration = Duration::Hours(30);
+    config.metrics_warmup = warmup;
+    auto runner = SimulationRunner::Create(landscape, config);
+    EXPECT_TRUE(runner.ok());
+    EXPECT_TRUE((*runner)->Run().ok());
+    return (*runner)->metrics();
+  };
+  RunMetrics full = run(Duration::Zero());
+  RunMetrics tail = run(Duration::Hours(26));
+  // At 130 % users the whole day overloads; discarding the first 26
+  // hours must strictly reduce the counted overload time, and what
+  // remains is at most the 4-hour tail across all 19 servers.
+  EXPECT_GT(full.overload_server_minutes, tail.overload_server_minutes);
+  EXPECT_LE(tail.overload_server_minutes, 4 * 60.0 * 19);
+  EXPECT_GT(full.overload_server_minutes,
+            tail.overload_server_minutes + 500.0);
+}
+
+TEST(RunnerTest, ArchiveAccumulatesHistory) {
+  auto runner = MakeRunner(Scenario::kStatic, 1.0, Duration::Hours(3));
+  ASSERT_TRUE(runner->Run().ok());
+  EXPECT_GE(runner->archive().Keys().size(), 19u + 12u);
+  auto latest = runner->archive().Latest("server/Blade1");
+  EXPECT_TRUE(latest.ok());
+}
+
+TEST(RunnerTest, FailureInjectionIsRemediated) {
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  RunnerConfig config = MakeScenarioConfig(Scenario::kFullMobility, 1.0);
+  config.duration = Duration::Hours(48);
+  config.instance_failures_per_hour = 0.01;  // ~9 crashes over the run
+  auto runner = SimulationRunner::Create(landscape, config);
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->Run().ok());
+  const RunMetrics& metrics = (*runner)->metrics();
+  EXPECT_GT(metrics.failures_injected, 0);
+  // Self-healing: essentially all crashes recover.
+  EXPECT_GE(metrics.failures_remedied, metrics.failures_injected * 9 / 10);
+  // The landscape is intact at the end (no service extinct).
+  for (const auto* service : (*runner)->cluster().Services()) {
+    EXPECT_GE((*runner)->cluster().ActiveInstanceCount(service->name), 1)
+        << service->name;
+  }
+}
+
+TEST(RunnerTest, ForecastModeRuns) {
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  RunnerConfig config = MakeScenarioConfig(Scenario::kFullMobility, 1.2);
+  config.duration = Duration::Hours(48);
+  config.use_forecast = true;
+  auto runner = SimulationRunner::Create(landscape, config);
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->Run().ok());
+  EXPECT_GT((*runner)->metrics().actions_executed, 0);
+}
+
+}  // namespace
+}  // namespace autoglobe

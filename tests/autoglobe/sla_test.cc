@@ -1,0 +1,140 @@
+#include "autoglobe/sla.h"
+
+#include <gtest/gtest.h>
+
+#include "autoglobe/capacity.h"
+
+namespace autoglobe {
+namespace {
+
+SimTime Min(int m) { return SimTime::Start() + Duration::Minutes(m); }
+
+SlaSpec MakeSla(const std::string& service, double min_satisfaction = 0.9,
+                int window_minutes = 10) {
+  SlaSpec spec;
+  spec.service = service;
+  spec.min_satisfaction = min_satisfaction;
+  spec.window = Duration::Minutes(window_minutes);
+  return spec;
+}
+
+TEST(SlaSpecTest, Validation) {
+  EXPECT_TRUE(MakeSla("FI").Validate().ok());
+  EXPECT_FALSE(MakeSla("").Validate().ok());
+  EXPECT_FALSE(MakeSla("FI", 0.0).Validate().ok());
+  EXPECT_FALSE(MakeSla("FI", 1.5).Validate().ok());
+  EXPECT_FALSE(MakeSla("FI", 0.9, 0).Validate().ok());
+}
+
+TEST(SlaTrackerTest, AddAndCover) {
+  SlaTracker tracker;
+  ASSERT_TRUE(tracker.AddSla(MakeSla("FI")).ok());
+  EXPECT_TRUE(tracker.Covers("FI"));
+  EXPECT_FALSE(tracker.Covers("LES"));
+  EXPECT_FALSE(tracker.AddSla(MakeSla("FI")).ok());  // duplicate
+  EXPECT_FALSE(tracker.Observe(Min(0), "LES", 1.0).ok());
+  EXPECT_FALSE(tracker.StatusOf("LES").ok());
+  EXPECT_EQ(tracker.size(), 1u);
+}
+
+TEST(SlaTrackerTest, RollingAverageDetectsViolation) {
+  SlaTracker tracker;
+  ASSERT_TRUE(tracker.AddSla(MakeSla("FI", 0.9, 10)).ok());
+  // Ten perfect minutes: no violation.
+  for (int m = 0; m < 10; ++m) {
+    auto entered = tracker.Observe(Min(m), "FI", 1.0);
+    ASSERT_TRUE(entered.ok());
+    EXPECT_FALSE(*entered);
+  }
+  // Quality collapses; the rolling average crosses 0.9 after a few
+  // bad samples, and `entered` fires exactly once.
+  int entered_count = 0;
+  for (int m = 10; m < 20; ++m) {
+    auto entered = tracker.Observe(Min(m), "FI", 0.5);
+    ASSERT_TRUE(entered.ok());
+    if (*entered) ++entered_count;
+  }
+  EXPECT_EQ(entered_count, 1);
+  auto status = tracker.StatusOf("FI");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE((*status)->in_violation);
+  EXPECT_GT((*status)->violation_minutes, 0.0);
+  EXPECT_EQ((*status)->violation_episodes, 1);
+  EXPECT_LT((*status)->current_satisfaction, 0.9);
+}
+
+TEST(SlaTrackerTest, RecoversWhenQualityReturns) {
+  SlaTracker tracker;
+  ASSERT_TRUE(tracker.AddSla(MakeSla("FI", 0.9, 5)).ok());
+  for (int m = 0; m < 10; ++m) {
+    ASSERT_TRUE(tracker.Observe(Min(m), "FI", 0.2).ok());
+  }
+  ASSERT_TRUE((*tracker.StatusOf("FI"))->in_violation);
+  for (int m = 10; m < 20; ++m) {
+    ASSERT_TRUE(tracker.Observe(Min(m), "FI", 1.0).ok());
+  }
+  auto status = tracker.StatusOf("FI");
+  EXPECT_FALSE((*status)->in_violation);
+  // A second dip counts as a second episode.
+  for (int m = 20; m < 30; ++m) {
+    ASSERT_TRUE(tracker.Observe(Min(m), "FI", 0.2).ok());
+  }
+  EXPECT_EQ((*tracker.StatusOf("FI"))->violation_episodes, 2);
+}
+
+TEST(SlaTrackerTest, ReportAndTotals) {
+  SlaTracker tracker;
+  ASSERT_TRUE(tracker.AddSla(MakeSla("FI")).ok());
+  ASSERT_TRUE(tracker.AddSla(MakeSla("LES")).ok());
+  for (int m = 0; m < 20; ++m) {
+    ASSERT_TRUE(tracker.Observe(Min(m), "FI", 0.1).ok());
+    ASSERT_TRUE(tracker.Observe(Min(m), "LES", 1.0).ok());
+  }
+  auto report = tracker.Report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_GT(tracker.TotalViolationMinutes(), 0.0);
+  EXPECT_DOUBLE_EQ((*tracker.StatusOf("LES"))->violation_minutes, 0.0);
+}
+
+TEST(SlaRunnerTest, UnknownSlaServiceRejectedAtSetup) {
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  RunnerConfig config = MakeScenarioConfig(Scenario::kFullMobility, 1.0);
+  config.slas.push_back(MakeSla("NOPE"));
+  EXPECT_FALSE(SimulationRunner::Create(landscape, config).ok());
+}
+
+TEST(SlaRunnerTest, HealthyRunHasNoViolations) {
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  RunnerConfig config = MakeScenarioConfig(Scenario::kFullMobility, 1.0);
+  config.duration = Duration::Hours(24);
+  config.slas.push_back(MakeSla("FI", 0.9, 30));
+  auto runner = SimulationRunner::Create(landscape, config);
+  ASSERT_TRUE(runner.ok()) << runner.status();
+  ASSERT_TRUE((*runner)->Run().ok());
+  EXPECT_DOUBLE_EQ((*runner)->metrics().sla_violation_minutes, 0.0);
+  EXPECT_FALSE((*runner)->slas().StatusOf("FI").value()->in_violation);
+}
+
+TEST(SlaRunnerTest, EnforcementEscalatesAndShortensViolations) {
+  // Load the landscape to 125 % — within the controller's capacity,
+  // where SLA escalation (urgent triggers without watchTime) can act
+  // on quality dips the 70 %/10-min pipeline would ride out.
+  auto run = [](bool enforce) {
+    Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+    RunnerConfig config =
+        MakeScenarioConfig(Scenario::kFullMobility, 1.25);
+    config.slas.push_back(MakeSla("FI", 0.97, 20));
+    config.enforce_slas = enforce;
+    auto runner = SimulationRunner::Create(landscape, config);
+    EXPECT_TRUE(runner.ok());
+    EXPECT_TRUE((*runner)->Run().ok());
+    return (*runner)->metrics().sla_violation_minutes;
+  };
+  double tracked_only = run(false);
+  double enforced = run(true);
+  EXPECT_GT(tracked_only, 0.0);  // dips happen at this load
+  EXPECT_LT(enforced, tracked_only);
+}
+
+}  // namespace
+}  // namespace autoglobe

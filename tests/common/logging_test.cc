@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace autoglobe {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logging::SetMinLevel(LogLevel::kDebug);
+    Logging::SetSink([this](LogLevel level, const std::string& message) {
+      captured_.push_back({level, message});
+    });
+  }
+  void TearDown() override {
+    Logging::SetSink(nullptr);
+    Logging::SetMinLevel(LogLevel::kInfo);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, EmitsToSink) {
+  AG_LOG(Info) << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, MinLevelFilters) {
+  Logging::SetMinLevel(LogLevel::kWarning);
+  AG_LOG(Debug) << "dropped";
+  AG_LOG(Info) << "dropped too";
+  AG_LOG(Warning) << "kept";
+  AG_LOG(Error) << "kept too";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "kept");
+  EXPECT_EQ(captured_[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_EQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_EQ(LogLevelName(LogLevel::kFatal), "FATAL");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ AG_CHECK(1 == 2); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace autoglobe

@@ -1,0 +1,71 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace autoglobe {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusDegradesToInternal) {
+  Result<int> result = Status::OK();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(err.value_or(7), 7);
+  Result<int> ok = 3;
+  EXPECT_EQ(ok.value_or(7), 3);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(5);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIt(int x) {
+  AG_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesAndAssigns) {
+  Result<int> good = DoubleIt(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = DoubleIt(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace autoglobe

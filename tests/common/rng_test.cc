@@ -1,0 +1,116 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace autoglobe {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+    int64_t n = rng.UniformInt(3, 8);
+    EXPECT_GE(n, 3);
+    EXPECT_LE(n, 8);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRateCloseToP) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(17);
+  for (double mean : {0.5, 3.0, 20.0, 100.0}) {
+    double sum = 0;
+    constexpr int kTrials = 20000;
+    for (int i = 0; i < kTrials; ++i) sum += static_cast<double>(rng.Poisson(mean));
+    EXPECT_NEAR(sum / kTrials, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(19);
+  double sum = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / kTrials, 4.0, 0.15);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(23);
+  double sum = 0;
+  double sum_sq = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kTrials;
+  double var = sum_sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continuation.
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent.Next() != child.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+}  // namespace
+}  // namespace autoglobe

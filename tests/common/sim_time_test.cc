@@ -1,0 +1,74 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe {
+namespace {
+
+TEST(DurationTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Duration::Seconds(90).seconds(), 90);
+  EXPECT_EQ(Duration::Minutes(2).seconds(), 120);
+  EXPECT_EQ(Duration::Hours(1).seconds(), 3600);
+  EXPECT_EQ(Duration::Days(1).seconds(), 86400);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(90).minutes(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::Minutes(90).hours(), 1.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration d = Duration::Minutes(10) + Duration::Seconds(30);
+  EXPECT_EQ(d.seconds(), 630);
+  EXPECT_EQ((d - Duration::Seconds(30)).seconds(), 600);
+  EXPECT_EQ((Duration::Minutes(5) * 3).seconds(), 900);
+  EXPECT_EQ((Duration::Minutes(5) / 5).seconds(), 60);
+}
+
+TEST(DurationTest, Comparison) {
+  EXPECT_LT(Duration::Minutes(1), Duration::Minutes(2));
+  EXPECT_EQ(Duration::Minutes(1), Duration::Seconds(60));
+  EXPECT_GT(Duration::Hours(1), Duration::Minutes(59));
+}
+
+TEST(DurationTest, ToString) {
+  EXPECT_EQ(Duration::Seconds(45).ToString(), "45s");
+  EXPECT_EQ(Duration::Minutes(10).ToString(), "10m");
+  EXPECT_EQ(Duration::Hours(2).ToString(), "2h 0m");
+  EXPECT_EQ((Duration::Hours(1) + Duration::Minutes(30)).ToString(),
+            "1h 30m");
+  EXPECT_EQ(Duration::Zero().ToString(), "0s");
+}
+
+TEST(SimTimeTest, DayClockDecomposition) {
+  SimTime t = SimTime::Start() + Duration::Hours(8) + Duration::Minutes(30);
+  EXPECT_EQ(t.Day(), 0);
+  EXPECT_EQ(t.HourOfDay(), 8);
+  EXPECT_EQ(t.MinuteOfHour(), 30);
+  EXPECT_EQ(t.ClockString(), "08:30");
+  EXPECT_EQ(t.ToString(), "d0 08:30");
+
+  SimTime day2 = t + Duration::Days(2);
+  EXPECT_EQ(day2.Day(), 2);
+  EXPECT_EQ(day2.ClockString(), "08:30");
+}
+
+TEST(SimTimeTest, DayFraction) {
+  EXPECT_DOUBLE_EQ(SimTime::Start().DayFraction(), 0.0);
+  SimTime noon = SimTime::Start() + Duration::Hours(12);
+  EXPECT_DOUBLE_EQ(noon.DayFraction(), 0.5);
+  // Day fraction is periodic across days.
+  EXPECT_DOUBLE_EQ((noon + Duration::Days(3)).DayFraction(), 0.5);
+}
+
+TEST(SimTimeTest, DifferenceYieldsDuration) {
+  SimTime a = SimTime::FromSeconds(100);
+  SimTime b = SimTime::FromSeconds(400);
+  EXPECT_EQ((b - a).seconds(), 300);
+  EXPECT_EQ((a - Duration::Seconds(50)).seconds(), 50);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::FromSeconds(1), SimTime::FromSeconds(2));
+  EXPECT_EQ(SimTime::Start(), SimTime::FromSeconds(0));
+}
+
+}  // namespace
+}  // namespace autoglobe

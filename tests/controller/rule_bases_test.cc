@@ -1,0 +1,214 @@
+#include "controller/rule_bases.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::controller {
+namespace {
+
+using fuzzy::InferenceEngine;
+using fuzzy::Inputs;
+using infra::ActionType;
+using monitor::TriggerKind;
+
+constexpr TriggerKind kAllTriggers[] = {
+    TriggerKind::kServiceOverloaded, TriggerKind::kServiceIdle,
+    TriggerKind::kServerOverloaded, TriggerKind::kServerIdle};
+
+Inputs BaseInputs() {
+  return Inputs{{"cpuLoad", 0.5},          {"memLoad", 0.3},
+                {"performanceIndex", 2.0}, {"instanceLoad", 0.5},
+                {"serviceLoad", 0.5},      {"instancesOnServer", 1.0},
+                {"instancesOfService", 3.0}};
+}
+
+TEST(RuleBasesTest, ActionVariablesCoverTables1And2) {
+  fuzzy::RuleBase rb = MakeActionSelectionVariables("probe");
+  // Table 1 inputs.
+  for (const char* name :
+       {"cpuLoad", "memLoad", "performanceIndex", "instanceLoad",
+        "serviceLoad", "instancesOnServer", "instancesOfService"}) {
+    EXPECT_TRUE(rb.HasVariable(name)) << name;
+  }
+  // Table 2 outputs.
+  for (ActionType action : infra::kAllActionTypes) {
+    EXPECT_TRUE(rb.HasVariable(infra::ActionTypeName(action)))
+        << infra::ActionTypeName(action);
+  }
+}
+
+TEST(RuleBasesTest, ServerVariablesCoverTable3) {
+  fuzzy::RuleBase rb = MakeServerSelectionVariables("probe");
+  for (const char* name :
+       {"cpuLoad", "memLoad", "instancesOnServer", "performanceIndex",
+        "numberOfCpus", "cpuClock", "cpuCache", "memory", "swapSpace",
+        "tempSpace"}) {
+    EXPECT_TRUE(rb.HasVariable(name)) << name;
+  }
+  EXPECT_TRUE(rb.HasVariable("suitability"));
+}
+
+TEST(RuleBasesTest, AllFourTriggerBasesBuildAndValidate) {
+  size_t total_rules = 0;
+  for (TriggerKind kind : kAllTriggers) {
+    auto rb = MakeDefaultActionRuleBase(kind);
+    ASSERT_TRUE(rb.ok()) << monitor::TriggerKindName(kind) << ": "
+                         << rb.status();
+    EXPECT_GE(rb->size(), 3u);
+    total_rules += rb->size();
+  }
+  // Together with the server-selection bases the controller ships
+  // "about 40 rules" (paper §3/§7).
+  for (ActionType action : infra::kAllActionTypes) {
+    if (!infra::ActionNeedsTargetServer(action)) continue;
+    auto rb = MakeDefaultServerRuleBase(action);
+    ASSERT_TRUE(rb.ok()) << rb.status();
+    total_rules += rb->size();
+  }
+  EXPECT_GE(total_rules, 40u);
+}
+
+TEST(RuleBasesTest, PaperFlagshipRulesBehave) {
+  // "it is reasonable to move a service to a more powerful host
+  //  (scale-up) if the host running the service has a high load and a
+  //  low or medium performance index. [scale-out] if the host running
+  //  the service is highly loaded despite it being very powerful."
+  auto rb = MakeDefaultActionRuleBase(TriggerKind::kServiceOverloaded);
+  ASSERT_TRUE(rb.ok());
+  InferenceEngine engine;
+
+  Inputs weak_host = BaseInputs();
+  weak_host["cpuLoad"] = 0.95;
+  weak_host["instanceLoad"] = 0.95;
+  weak_host["serviceLoad"] = 0.6;  // not the whole service
+  weak_host["performanceIndex"] = 1.0;
+  auto scale_up = engine.InferValue(*rb, weak_host, "scaleUp");
+  ASSERT_TRUE(scale_up.ok());
+  EXPECT_GT(*scale_up, 0.5);
+
+  Inputs strong_host = weak_host;
+  strong_host["performanceIndex"] = 9.0;
+  auto up_on_strong = engine.InferValue(*rb, strong_host, "scaleUp");
+  auto out_on_strong = engine.InferValue(*rb, strong_host, "scaleOut");
+  ASSERT_TRUE(up_on_strong.ok());
+  ASSERT_TRUE(out_on_strong.ok());
+  EXPECT_LT(*up_on_strong, 0.1);
+  EXPECT_GT(*out_on_strong, *up_on_strong);
+}
+
+TEST(RuleBasesTest, ServiceWideSaturationPrefersScaleOut) {
+  auto rb = MakeDefaultActionRuleBase(TriggerKind::kServiceOverloaded);
+  ASSERT_TRUE(rb.ok());
+  InferenceEngine engine;
+  Inputs hot = BaseInputs();
+  hot["serviceLoad"] = 0.95;
+  hot["instanceLoad"] = 0.95;
+  hot["cpuLoad"] = 0.95;
+  hot["instancesOfService"] = 2.0;
+  auto outputs = engine.Infer(*rb, hot);
+  ASSERT_TRUE(outputs.ok());
+  double scale_out = outputs->at("scaleOut").crisp;
+  for (const auto& [variable, output] : *outputs) {
+    if (variable == "scaleOut") continue;
+    EXPECT_GE(scale_out, output.crisp) << variable;
+  }
+}
+
+TEST(RuleBasesTest, IdleBaseProposesScaleInOnlyWithInstancesToSpare) {
+  auto rb = MakeDefaultActionRuleBase(TriggerKind::kServiceIdle);
+  ASSERT_TRUE(rb.ok());
+  InferenceEngine engine;
+  Inputs idle = BaseInputs();
+  idle["serviceLoad"] = 0.02;
+  idle["instanceLoad"] = 0.02;
+  idle["cpuLoad"] = 0.05;
+
+  idle["instancesOfService"] = 8.0;  // many
+  auto with_many = engine.InferValue(*rb, idle, "scaleIn");
+  ASSERT_TRUE(with_many.ok());
+  EXPECT_GT(*with_many, 0.6);
+
+  idle["instancesOfService"] = 2.0;  // few/some boundary
+  auto with_few = engine.InferValue(*rb, idle, "scaleIn");
+  ASSERT_TRUE(with_few.ok());
+  EXPECT_LT(*with_few, 0.3);  // below the controller threshold
+}
+
+TEST(RuleBasesTest, IdleOnBigIronSuggestsScaleDown) {
+  auto rb = MakeDefaultActionRuleBase(TriggerKind::kServiceIdle);
+  ASSERT_TRUE(rb.ok());
+  InferenceEngine engine;
+  Inputs idle = BaseInputs();
+  idle["serviceLoad"] = 0.02;
+  idle["instanceLoad"] = 0.02;
+  idle["cpuLoad"] = 0.05;
+  idle["instancesOfService"] = 1.0;
+  idle["performanceIndex"] = 9.0;
+  auto scale_down = engine.InferValue(*rb, idle, "scaleDown");
+  ASSERT_TRUE(scale_down.ok());
+  EXPECT_GT(*scale_down, 0.5);
+  idle["performanceIndex"] = 1.0;
+  EXPECT_LT(*engine.InferValue(*rb, idle, "scaleDown"), 0.1);
+}
+
+TEST(RuleBasesTest, ScaleUpServerBasePrefersBigIron) {
+  auto rb = MakeDefaultServerRuleBase(ActionType::kScaleUp);
+  ASSERT_TRUE(rb.ok());
+  InferenceEngine engine;
+  Inputs idle_small{{"cpuLoad", 0.05},    {"memLoad", 0.3},
+                    {"instancesOnServer", 1.0},
+                    {"performanceIndex", 1.0},
+                    {"numberOfCpus", 1.0}, {"cpuClock", 0.9},
+                    {"cpuCache", 0.25},    {"memory", 2.0},
+                    {"swapSpace", 4.0},    {"tempSpace", 40.0}};
+  Inputs idle_big = idle_small;
+  idle_big["performanceIndex"] = 9.0;
+  idle_big["numberOfCpus"] = 4.0;
+  idle_big["cpuClock"] = 2.8;
+  idle_big["cpuCache"] = 2.0;
+  idle_big["memory"] = 12.0;
+  auto small = engine.InferValue(*rb, idle_small, "suitability");
+  auto big = engine.InferValue(*rb, idle_big, "suitability");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(*big, *small);
+  EXPECT_GT(*big, 0.8);
+}
+
+TEST(RuleBasesTest, ScaleDownServerBasePrefersSmallHosts) {
+  auto rb = MakeDefaultServerRuleBase(ActionType::kScaleDown);
+  ASSERT_TRUE(rb.ok());
+  InferenceEngine engine;
+  Inputs host{{"cpuLoad", 0.05},    {"memLoad", 0.3},
+              {"instancesOnServer", 1.0},
+              {"performanceIndex", 1.0},
+              {"numberOfCpus", 1.0}, {"cpuClock", 0.9},
+              {"cpuCache", 0.25},    {"memory", 2.0},
+              {"swapSpace", 4.0},    {"tempSpace", 40.0}};
+  auto small = engine.InferValue(*rb, host, "suitability");
+  host["performanceIndex"] = 9.0;
+  auto big = engine.InferValue(*rb, host, "suitability");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(*small, *big);
+}
+
+TEST(RuleBasesTest, LoadedHostsScorePoorlyForEveryAction) {
+  for (ActionType action : infra::kAllActionTypes) {
+    if (!infra::ActionNeedsTargetServer(action)) continue;
+    auto rb = MakeDefaultServerRuleBase(action);
+    ASSERT_TRUE(rb.ok());
+    InferenceEngine engine;
+    Inputs slammed{{"cpuLoad", 0.97},    {"memLoad", 0.95},
+                   {"instancesOnServer", 6.0},
+                   {"performanceIndex", 2.0},
+                   {"numberOfCpus", 2.0}, {"cpuClock", 0.9},
+                   {"cpuCache", 0.25},    {"memory", 4.0},
+                   {"swapSpace", 8.0},    {"tempSpace", 40.0}};
+    auto score = engine.InferValue(*rb, slammed, "suitability");
+    ASSERT_TRUE(score.ok());
+    EXPECT_LT(*score, 0.15) << infra::ActionTypeName(action);
+  }
+}
+
+}  // namespace
+}  // namespace autoglobe::controller

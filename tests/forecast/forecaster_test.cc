@@ -1,0 +1,141 @@
+#include "forecast/forecaster.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::forecast {
+namespace {
+
+using monitor::LoadArchive;
+
+/// Synthetic daily load: low at night, a single midday bump.
+double DailyLoad(SimTime t) {
+  double h = t.DayFraction() * 24.0;
+  double d = (h - 12.0) / 3.0;
+  return 0.1 + 0.7 * std::exp(-0.5 * d * d);
+}
+
+/// Fills the archive with `days` days of the daily pattern at 5-min
+/// resolution.
+void FillArchive(LoadArchive* archive, const std::string& key, int days) {
+  for (int64_t s = 0; s <= days * 86400; s += 300) {
+    SimTime t = SimTime::FromSeconds(s);
+    ASSERT_TRUE(archive->Append(key, t, DailyLoad(t)).ok());
+  }
+}
+
+TEST(ForecasterTest, NoHistoryAtAllIsAnError) {
+  LoadArchive archive;
+  LoadForecaster forecaster(&archive);
+  EXPECT_FALSE(forecaster.Forecast("server/x", SimTime::Start()).ok());
+}
+
+TEST(ForecasterTest, FirstDayFallsBackToLatestMeasurement) {
+  LoadArchive archive;
+  ASSERT_TRUE(archive.Append("k", SimTime::FromSeconds(600), 0.42).ok());
+  LoadForecaster forecaster(&archive);
+  auto forecast = forecaster.Forecast("k", SimTime::FromSeconds(600));
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_DOUBLE_EQ(*forecast, 0.42);
+}
+
+TEST(ForecasterTest, PredictsTheDailyPatternAhead) {
+  LoadArchive archive;
+  FillArchive(&archive, "k", 5);
+  // Continue appending through day 5 until 10:00 so "latest" matches
+  // the forecasting instant.
+  SimTime now = SimTime::Start() + Duration::Days(5) + Duration::Hours(10);
+  for (int64_t s = 5 * 86400 + 300; s <= now.seconds(); s += 300) {
+    SimTime t = SimTime::FromSeconds(s);
+    ASSERT_TRUE(archive.Append("k", t, DailyLoad(t)).ok());
+  }
+  ForecastConfig config;
+  config.horizon = Duration::Hours(2);
+  LoadForecaster forecaster(&archive, config);
+  // At 10:00 on day 5, the 2-hour-ahead forecast must anticipate the
+  // midday bump even though the current load is still moderate.
+  auto forecast = forecaster.Forecast("k", now);
+  ASSERT_TRUE(forecast.ok()) << forecast.status();
+  double actual_at_noon = DailyLoad(now + Duration::Hours(2));
+  double current = DailyLoad(now);
+  EXPECT_GT(*forecast, current + 0.05);  // sees the rise coming
+  EXPECT_NEAR(*forecast, config.pattern_weight * actual_at_noon +
+                             (1 - config.pattern_weight) * current,
+              0.08);
+}
+
+TEST(ForecasterTest, ForecastBeatsNaiveLastValueOnPeriodicLoad) {
+  LoadArchive archive;
+  FillArchive(&archive, "k", 5);
+  ForecastConfig config;
+  config.horizon = Duration::Hours(1);
+  LoadForecaster forecaster(&archive, config);
+  double forecast_err = 0;
+  double naive_err = 0;
+  int samples = 0;
+  // Walk through day 5, appending measurements as simulated time
+  // passes and forecasting one hour ahead at every step.
+  for (int minute = 5; minute < 24 * 60; minute += 30) {
+    SimTime now =
+        SimTime::Start() + Duration::Days(5) + Duration::Minutes(minute);
+    for (int64_t s = archive.RawBetween("k", now - Duration::Hours(1),
+                                        now)
+                         .empty()
+                     ? now.seconds() - 3600
+                     : now.seconds();
+         s <= now.seconds(); s += 300) {
+      SimTime t = SimTime::FromSeconds(s);
+      if (t <= now) {
+        (void)archive.Append("k", t, DailyLoad(t));
+      }
+    }
+    auto forecast = forecaster.Forecast("k", now);
+    if (!forecast.ok()) continue;
+    double truth = DailyLoad(now + config.horizon);
+    forecast_err += std::abs(*forecast - truth);
+    naive_err += std::abs(DailyLoad(now) - truth);
+    ++samples;
+  }
+  ASSERT_GT(samples, 20);
+  EXPECT_LT(forecast_err, naive_err);
+}
+
+TEST(ForecasterTest, ExplicitHorizonOverridesConfig) {
+  LoadArchive archive;
+  FillArchive(&archive, "k", 3);
+  LoadForecaster forecaster(&archive);
+  SimTime now = SimTime::Start() + Duration::Days(3) + Duration::Hours(8);
+  auto near = forecaster.ForecastAt("k", now, Duration::Minutes(15));
+  auto far = forecaster.ForecastAt("k", now, Duration::Hours(4));
+  ASSERT_TRUE(near.ok());
+  ASSERT_TRUE(far.ok());
+  // 8:00 + 4h = noon bump; the far horizon sees a higher load.
+  EXPECT_GT(*far, *near);
+}
+
+TEST(ForecasterTest, RecentDaysWeighMore) {
+  LoadArchive archive;
+  // Day 0: constant 0.2. Day 1: constant 0.8. Forecasting on day 2,
+  // yesterday (0.8) must dominate the pattern component.
+  for (int64_t s = 0; s < 86400; s += 300) {
+    ASSERT_TRUE(archive.Append("k", SimTime::FromSeconds(s), 0.2).ok());
+  }
+  for (int64_t s = 86400; s < 2 * 86400; s += 300) {
+    ASSERT_TRUE(archive.Append("k", SimTime::FromSeconds(s), 0.8).ok());
+  }
+  ASSERT_TRUE(
+      archive.Append("k", SimTime::FromSeconds(2 * 86400), 0.8).ok());
+  ForecastConfig config;
+  config.pattern_weight = 1.0;  // isolate the pattern component
+  LoadForecaster forecaster(&archive, config);
+  auto forecast =
+      forecaster.Forecast("k", SimTime::FromSeconds(2 * 86400));
+  ASSERT_TRUE(forecast.ok());
+  // Weighted mean of 0.8 (weight 1) and 0.2 (weight 0.7): ~0.55.
+  EXPECT_GT(*forecast, 0.5);
+  EXPECT_LT(*forecast, 0.8);
+}
+
+}  // namespace
+}  // namespace autoglobe::forecast

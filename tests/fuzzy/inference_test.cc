@@ -1,0 +1,239 @@
+#include "fuzzy/inference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fuzzy/rule_parser.h"
+
+namespace autoglobe::fuzzy {
+namespace {
+
+RuleBase MakeLoadRuleBase() {
+  RuleBase rb("test");
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::StandardLoad("cpuLoad")).ok());
+  EXPECT_TRUE(
+      rb.AddVariable(LinguisticVariable::StandardLoad("memLoad")).ok());
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::RampOutput("scaleOut")).ok());
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::RampOutput("scaleIn")).ok());
+  return rb;
+}
+
+TEST(RuleBaseTest, AddRulesFromTextValidates) {
+  RuleBase rb = MakeLoadRuleBase();
+  EXPECT_TRUE(rb.AddRulesFromText(
+                    "IF cpuLoad IS high THEN scaleOut IS applicable\n"
+                    "IF cpuLoad IS low AND memLoad IS low "
+                    "THEN scaleIn IS applicable\n")
+                  .ok());
+  EXPECT_EQ(rb.size(), 2u);
+  auto outputs = rb.OutputVariables();
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[0], "scaleOut");
+  EXPECT_EQ(outputs[1], "scaleIn");
+}
+
+TEST(RuleBaseTest, UnknownVariableRejected) {
+  RuleBase rb = MakeLoadRuleBase();
+  Status s = rb.AddRulesFromText(
+      "IF gpuLoad IS high THEN scaleOut IS applicable");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(RuleBaseTest, UnknownTermRejected) {
+  RuleBase rb = MakeLoadRuleBase();
+  EXPECT_FALSE(rb.AddRulesFromText(
+                     "IF cpuLoad IS enormous THEN scaleOut IS applicable")
+                   .ok());
+  EXPECT_FALSE(rb.AddRulesFromText(
+                     "IF cpuLoad IS high THEN scaleOut IS mandatory")
+                   .ok());
+  EXPECT_FALSE(rb.AddRulesFromText(
+                     "IF cpuLoad IS high THEN explode IS applicable")
+                   .ok());
+}
+
+TEST(RuleBaseTest, DuplicateVariableRejected) {
+  RuleBase rb = MakeLoadRuleBase();
+  EXPECT_FALSE(
+      rb.AddVariable(LinguisticVariable::StandardLoad("cpuLoad")).ok());
+}
+
+TEST(InferenceTest, SingleRuleTruthBecomesCrispValue) {
+  RuleBase rb = MakeLoadRuleBase();
+  ASSERT_TRUE(
+      rb.AddRulesFromText("IF cpuLoad IS high THEN scaleOut IS applicable")
+          .ok());
+  InferenceEngine engine;
+  // mu_high(0.9) = 0.8 on the standard variable; the ramp output under
+  // leftmost-max returns exactly the clip height.
+  auto value = engine.InferValue(rb, {{"cpuLoad", 0.9}}, "scaleOut");
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_NEAR(*value, 0.8, 1e-9);
+}
+
+TEST(InferenceTest, MissingInputIsError) {
+  RuleBase rb = MakeLoadRuleBase();
+  ASSERT_TRUE(
+      rb.AddRulesFromText("IF cpuLoad IS high THEN scaleOut IS applicable")
+          .ok());
+  InferenceEngine engine;
+  auto result = engine.Infer(rb, {{"memLoad", 0.5}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InferenceTest, AndUsesMinOrUsesMax) {
+  RuleBase rb = MakeLoadRuleBase();
+  ASSERT_TRUE(rb.AddRulesFromText(
+                    "IF cpuLoad IS high AND memLoad IS high "
+                    "THEN scaleOut IS applicable\n"
+                    "IF cpuLoad IS high OR memLoad IS high "
+                    "THEN scaleIn IS applicable\n")
+                  .ok());
+  InferenceEngine engine;
+  // mu_high(0.9) = 0.8, mu_high(0.6) = 0.2.
+  Inputs inputs = {{"cpuLoad", 0.9}, {"memLoad", 0.6}};
+  EXPECT_NEAR(*engine.InferValue(rb, inputs, "scaleOut"), 0.2, 1e-9);
+  EXPECT_NEAR(*engine.InferValue(rb, inputs, "scaleIn"), 0.8, 1e-9);
+}
+
+TEST(InferenceTest, HedgesConcentrateAndDilate) {
+  RuleBase rb = MakeLoadRuleBase();
+  ASSERT_TRUE(rb.AddRulesFromText(
+                    "IF cpuLoad IS VERY high THEN scaleOut IS applicable\n"
+                    "IF cpuLoad IS SOMEWHAT high THEN scaleIn IS "
+                    "applicable\n")
+                  .ok());
+  InferenceEngine engine;
+  // mu_high(0.9) = 0.8: VERY squares it (0.64), SOMEWHAT takes the
+  // square root (~0.894).
+  EXPECT_NEAR(*engine.InferValue(rb, {{"cpuLoad", 0.9}}, "scaleOut"),
+              0.64, 1e-9);
+  EXPECT_NEAR(*engine.InferValue(rb, {{"cpuLoad", 0.9}}, "scaleIn"),
+              std::sqrt(0.8), 1e-9);
+}
+
+TEST(InferenceTest, NegationUsesComplement) {
+  RuleBase rb = MakeLoadRuleBase();
+  ASSERT_TRUE(rb.AddRulesFromText(
+                    "IF cpuLoad IS NOT high THEN scaleIn IS applicable")
+                  .ok());
+  InferenceEngine engine;
+  EXPECT_NEAR(*engine.InferValue(rb, {{"cpuLoad", 0.9}}, "scaleIn"), 0.2,
+              1e-9);
+}
+
+TEST(InferenceTest, MultipleRulesAggregateWithUnion) {
+  RuleBase rb = MakeLoadRuleBase();
+  ASSERT_TRUE(rb.AddRulesFromText(
+                    "IF cpuLoad IS high THEN scaleOut IS applicable\n"
+                    "IF memLoad IS high THEN scaleOut IS applicable\n")
+                  .ok());
+  InferenceEngine engine;
+  // Union of two clipped ramps: height = max of clips = 0.8.
+  auto value = engine.InferValue(
+      rb, {{"cpuLoad", 0.9}, {"memLoad", 0.6}}, "scaleOut");
+  ASSERT_TRUE(value.ok());
+  EXPECT_NEAR(*value, 0.8, 1e-9);
+}
+
+TEST(InferenceTest, RuleWeightScalesTruth) {
+  RuleBase rb = MakeLoadRuleBase();
+  ASSERT_TRUE(rb.AddRulesFromText(
+                    "IF cpuLoad IS high THEN scaleOut IS applicable WITH 0.5")
+                  .ok());
+  InferenceEngine engine;
+  EXPECT_NEAR(*engine.InferValue(rb, {{"cpuLoad", 0.9}}, "scaleOut"),
+              0.8 * 0.5, 1e-9);
+}
+
+TEST(InferenceTest, NoFiringRuleDefuzzifiesToDomainMin) {
+  RuleBase rb = MakeLoadRuleBase();
+  ASSERT_TRUE(
+      rb.AddRulesFromText("IF cpuLoad IS high THEN scaleOut IS applicable")
+          .ok());
+  InferenceEngine engine;
+  auto outputs = engine.Infer(rb, {{"cpuLoad", 0.1}});
+  ASSERT_TRUE(outputs.ok());
+  const InferenceOutput& out = outputs->at("scaleOut");
+  EXPECT_DOUBLE_EQ(out.crisp, 0.0);
+  EXPECT_DOUBLE_EQ(out.set.Height(), 0.0);
+}
+
+TEST(InferenceTest, UnknownOutputVariableRequested) {
+  RuleBase rb = MakeLoadRuleBase();
+  ASSERT_TRUE(
+      rb.AddRulesFromText("IF cpuLoad IS high THEN scaleOut IS applicable")
+          .ok());
+  InferenceEngine engine;
+  EXPECT_FALSE(engine.InferValue(rb, {{"cpuLoad", 0.9}}, "scaleIn").ok());
+}
+
+TEST(AggregatedSetTest, EvalIsMaxOfClippedParts) {
+  AggregatedSet set(0.0, 1.0);
+  set.AddClipped(MembershipFunction::RampUp(0.0, 1.0).value(), 0.6);
+  set.AddClipped(MembershipFunction::RampDown(0.0, 1.0).value(), 0.3);
+  EXPECT_NEAR(set.Eval(0.0), 0.3, 1e-12);   // down ramp clipped at 0.3
+  EXPECT_NEAR(set.Eval(0.5), 0.5, 1e-12);   // up ramp at 0.5
+  EXPECT_NEAR(set.Eval(0.9), 0.6, 1e-12);   // up ramp clipped at 0.6
+  EXPECT_NEAR(set.Height(), 0.6, 1e-12);
+}
+
+TEST(AggregatedSetTest, ZeroClipContributesNothing) {
+  AggregatedSet set(0.0, 1.0);
+  set.AddClipped(MembershipFunction::RampUp(0.0, 1.0).value(), 0.0);
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.Defuzzify(Defuzzifier::kLeftmostMax), 0.0);
+}
+
+TEST(AggregatedSetTest, DefuzzifierComparison) {
+  // A single symmetric triangle clipped at 1: centroid and mean-of-max
+  // both sit at the apex, leftmost-max too.
+  AggregatedSet set(0.0, 1.0);
+  set.AddClipped(MembershipFunction::Triangle(0.2, 0.5, 0.8).value(), 1.0);
+  EXPECT_NEAR(set.Defuzzify(Defuzzifier::kLeftmostMax), 0.5, 1e-9);
+  EXPECT_NEAR(set.Defuzzify(Defuzzifier::kMeanOfMax), 0.5, 1e-3);
+  EXPECT_NEAR(set.Defuzzify(Defuzzifier::kCentroid), 0.5, 1e-3);
+}
+
+TEST(AggregatedSetTest, LeftmostMaxPicksLeftmostPlateauPoint) {
+  // Clipping a triangle at 0.5 creates a plateau from x=0.35 to 0.65;
+  // the paper's method takes the leftmost point of that plateau.
+  AggregatedSet set(0.0, 1.0);
+  set.AddClipped(MembershipFunction::Triangle(0.2, 0.5, 0.8).value(), 0.5);
+  EXPECT_NEAR(set.Defuzzify(Defuzzifier::kLeftmostMax), 0.35, 1e-9);
+  EXPECT_NEAR(set.Defuzzify(Defuzzifier::kMeanOfMax), 0.5, 1e-3);
+}
+
+TEST(AggregatedSetTest, SampleProducesCurve) {
+  AggregatedSet set(0.0, 1.0);
+  set.AddClipped(MembershipFunction::RampUp(0.0, 1.0).value(), 0.6);
+  std::vector<double> samples = set.Sample(10);
+  ASSERT_EQ(samples.size(), 11u);
+  EXPECT_NEAR(samples[0], 0.0, 1e-12);
+  EXPECT_NEAR(samples[5], 0.5, 1e-12);
+  EXPECT_NEAR(samples[10], 0.6, 1e-12);
+}
+
+// Property: for an identity-ramp output, leftmost-max defuzzification
+// equals the maximum rule truth for any combination of clip levels.
+class RampDefuzzProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RampDefuzzProperty, CrispEqualsMaxClip) {
+  double clip_a = (GetParam() % 10) / 10.0;
+  double clip_b = (GetParam() / 10) / 10.0;
+  AggregatedSet set(0.0, 1.0);
+  auto ramp = MembershipFunction::RampUp(0.0, 1.0).value();
+  set.AddClipped(ramp, clip_a);
+  set.AddClipped(ramp, clip_b);
+  double expected = std::max(clip_a, clip_b);
+  EXPECT_NEAR(set.Defuzzify(Defuzzifier::kLeftmostMax), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClipGrid, RampDefuzzProperty,
+                         ::testing::Range(0, 100, 7));
+
+}  // namespace
+}  // namespace autoglobe::fuzzy

@@ -1,0 +1,92 @@
+#include "fuzzy/linguistic.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::fuzzy {
+namespace {
+
+LinguisticVariable MakeCpuLoad() {
+  return LinguisticVariable::StandardLoad("cpuLoad");
+}
+
+TEST(LinguisticTest, StandardLoadMatchesFigure3) {
+  LinguisticVariable var = MakeCpuLoad();
+  EXPECT_EQ(var.name(), "cpuLoad");
+  ASSERT_EQ(var.terms().size(), 3u);
+  // The paper reads mu_medium(0.6) = 0.5 and mu_high(0.6) = 0.2 off
+  // Figure 3.
+  EXPECT_DOUBLE_EQ(*var.Grade("medium", 0.6), 0.5);
+  EXPECT_NEAR(*var.Grade("high", 0.6), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(*var.Grade("low", 0.6), 0.0);
+  // Section 3's example: l = 0.9 gives low 0, medium 0, high 0.8.
+  EXPECT_DOUBLE_EQ(*var.Grade("low", 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(*var.Grade("medium", 0.9), 0.0);
+  EXPECT_NEAR(*var.Grade("high", 0.9), 0.8, 1e-12);
+}
+
+TEST(LinguisticTest, FuzzifyReturnsAllTerms) {
+  LinguisticVariable var = MakeCpuLoad();
+  std::vector<TermGrade> grades = var.Fuzzify(0.6);
+  ASSERT_EQ(grades.size(), 3u);
+  EXPECT_EQ(grades[0].term, "low");
+  EXPECT_EQ(grades[1].term, "medium");
+  EXPECT_EQ(grades[2].term, "high");
+  EXPECT_DOUBLE_EQ(grades[1].grade, 0.5);
+}
+
+TEST(LinguisticTest, ClampsOutOfRangeMeasurements) {
+  LinguisticVariable var = MakeCpuLoad();
+  // A measurement glitch of 1.3 (130 % load) clamps to 1.0.
+  EXPECT_DOUBLE_EQ(*var.Grade("high", 1.3), 1.0);
+  EXPECT_DOUBLE_EQ(*var.Grade("low", -0.2), 1.0);
+}
+
+TEST(LinguisticTest, UnknownTermIsError) {
+  LinguisticVariable var = MakeCpuLoad();
+  auto grade = var.Grade("extreme", 0.5);
+  EXPECT_FALSE(grade.ok());
+  EXPECT_EQ(grade.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(var.FindTerm("extreme").ok());
+  EXPECT_TRUE(var.FindTerm("high").ok());
+}
+
+TEST(LinguisticTest, DuplicateTermRejected) {
+  LinguisticVariable var("x", 0, 1);
+  EXPECT_TRUE(var.AddTerm("low", MembershipFunction::Constant(1)).ok());
+  auto dup = var.AddTerm("low", MembershipFunction::Constant(0));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(LinguisticTest, RampOutputDefuzzifiesToTruth) {
+  LinguisticVariable out = LinguisticVariable::RampOutput("scaleUp");
+  ASSERT_EQ(out.terms().size(), 1u);
+  EXPECT_EQ(out.terms()[0].name, "applicable");
+  // Identity ramp over [0,1].
+  EXPECT_DOUBLE_EQ(*out.Grade("applicable", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(*out.Grade("applicable", 1.0), 1.0);
+}
+
+TEST(LinguisticTest, HasTerm) {
+  LinguisticVariable var = MakeCpuLoad();
+  EXPECT_TRUE(var.HasTerm("medium"));
+  EXPECT_FALSE(var.HasTerm("Medium"));  // term names are case-sensitive
+}
+
+// Property: fuzzification of StandardLoad covers the domain — at
+// every point at least one term has positive membership.
+class StandardLoadCoverageTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StandardLoadCoverageTest, SomeTermAlwaysFires) {
+  LinguisticVariable var = MakeCpuLoad();
+  double x = GetParam() / 100.0;
+  double total = 0.0;
+  for (const TermGrade& grade : var.Fuzzify(x)) total += grade.grade;
+  EXPECT_GT(total, 0.0) << "no term covers x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(UnitGrid, StandardLoadCoverageTest,
+                         ::testing::Range(0, 101, 5));
+
+}  // namespace
+}  // namespace autoglobe::fuzzy

@@ -1,0 +1,140 @@
+#include "fuzzy/membership.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::fuzzy {
+namespace {
+
+TEST(MembershipTest, TrapezoidShape) {
+  auto mf = MembershipFunction::Trapezoid(0.2, 0.4, 0.6, 0.8);
+  ASSERT_TRUE(mf.ok());
+  EXPECT_DOUBLE_EQ(mf->Eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.2), 0.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.3), 0.5);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.4), 1.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.6), 1.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.7), 0.5);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.8), 0.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(1.0), 0.0);
+}
+
+TEST(MembershipTest, TrapezoidWithVerticalLeftEdge) {
+  // Figure 3's "low" has a == b: full membership from the left edge.
+  auto mf = MembershipFunction::Trapezoid(0.0, 0.0, 0.2, 0.4);
+  ASSERT_TRUE(mf.ok());
+  EXPECT_DOUBLE_EQ(mf->Eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.3), 0.5);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.4), 0.0);
+}
+
+TEST(MembershipTest, TriangleShape) {
+  auto mf = MembershipFunction::Triangle(0.0, 0.5, 1.0);
+  ASSERT_TRUE(mf.ok());
+  EXPECT_DOUBLE_EQ(mf->Eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(mf->Eval(0.75), 0.5);
+  EXPECT_DOUBLE_EQ(mf->Eval(1.0), 0.0);
+}
+
+TEST(MembershipTest, Ramps) {
+  auto up = MembershipFunction::RampUp(0.2, 0.6);
+  ASSERT_TRUE(up.ok());
+  EXPECT_DOUBLE_EQ(up->Eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(up->Eval(0.4), 0.5);
+  EXPECT_DOUBLE_EQ(up->Eval(1.0), 1.0);
+
+  auto down = MembershipFunction::RampDown(0.2, 0.6);
+  ASSERT_TRUE(down.ok());
+  EXPECT_DOUBLE_EQ(down->Eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(down->Eval(0.4), 0.5);
+  EXPECT_DOUBLE_EQ(down->Eval(1.0), 0.0);
+}
+
+TEST(MembershipTest, ConstantAndSingleton) {
+  auto constant = MembershipFunction::Constant(0.7);
+  EXPECT_DOUBLE_EQ(constant.Eval(-5), 0.7);
+  EXPECT_DOUBLE_EQ(constant.Eval(5), 0.7);
+  EXPECT_DOUBLE_EQ(constant.MaxValue(), 0.7);
+  // Constant clamps into [0,1].
+  EXPECT_DOUBLE_EQ(MembershipFunction::Constant(3.0).Eval(0), 1.0);
+
+  auto singleton = MembershipFunction::Singleton(0.5);
+  EXPECT_DOUBLE_EQ(singleton.Eval(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(singleton.Eval(0.500001), 0.0);
+}
+
+TEST(MembershipTest, DefaultIsEmptySet) {
+  MembershipFunction mf;
+  EXPECT_DOUBLE_EQ(mf.Eval(0.3), 0.0);
+  EXPECT_DOUBLE_EQ(mf.MaxValue(), 0.0);
+}
+
+TEST(MembershipTest, InvalidBreakpointsRejected) {
+  EXPECT_FALSE(MembershipFunction::Trapezoid(0.5, 0.4, 0.6, 0.8).ok());
+  EXPECT_FALSE(MembershipFunction::Trapezoid(0.1, 0.2, 0.9, 0.8).ok());
+  EXPECT_FALSE(MembershipFunction::Triangle(0.5, 0.4, 0.6).ok());
+  EXPECT_FALSE(MembershipFunction::RampUp(0.6, 0.5).ok());
+  EXPECT_FALSE(MembershipFunction::RampDown(0.6, 0.5).ok());
+}
+
+TEST(MembershipTest, LeftmostAtLevelRisingShapes) {
+  auto trap = MembershipFunction::Trapezoid(0.2, 0.4, 0.6, 0.8).value();
+  EXPECT_DOUBLE_EQ(trap.LeftmostAtLevel(0.5, 0.0), 0.3);
+  EXPECT_DOUBLE_EQ(trap.LeftmostAtLevel(1.0, 0.0), 0.4);
+
+  auto ramp = MembershipFunction::RampUp(0.0, 1.0).value();
+  // Identity ramp: leftmost point at level alpha is alpha itself —
+  // the property that makes leftmost-max defuzzification return the
+  // rule truth value (paper Figure 5).
+  EXPECT_DOUBLE_EQ(ramp.LeftmostAtLevel(0.6, 0.0), 0.6);
+  EXPECT_DOUBLE_EQ(ramp.LeftmostAtLevel(0.3, 0.0), 0.3);
+}
+
+TEST(MembershipTest, LeftmostAtLevelEdgeShapes) {
+  auto down = MembershipFunction::RampDown(0.2, 0.6).value();
+  EXPECT_DOUBLE_EQ(down.LeftmostAtLevel(0.5, 0.0), 0.0);
+  auto singleton = MembershipFunction::Singleton(0.4);
+  EXPECT_DOUBLE_EQ(singleton.LeftmostAtLevel(1.0, 0.0), 0.4);
+  // Vertical rising edge (a == b).
+  auto step = MembershipFunction::Trapezoid(0.3, 0.3, 1.0, 1.0).value();
+  EXPECT_DOUBLE_EQ(step.LeftmostAtLevel(0.5, 0.0), 0.3);
+}
+
+TEST(MembershipTest, ToStringDescribesShape) {
+  EXPECT_EQ(MembershipFunction::Trapezoid(0, 0, 0.2, 0.4)->ToString(),
+            "trapezoid(0,0,0.2,0.4)");
+  EXPECT_EQ(MembershipFunction::RampUp(0, 1)->ToString(), "ramp-up(0,1)");
+}
+
+// Property sweep: every shape stays within [0, 1] across the domain.
+class MembershipRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MembershipRangeTest, GradesAlwaysInUnitInterval) {
+  int index = GetParam();
+  MembershipFunction mf;
+  switch (index) {
+    case 0: mf = MembershipFunction::Trapezoid(0.1, 0.3, 0.5, 0.9).value(); break;
+    case 1: mf = MembershipFunction::Triangle(0.0, 0.4, 0.5).value(); break;
+    case 2: mf = MembershipFunction::RampUp(0.3, 0.31).value(); break;
+    case 3: mf = MembershipFunction::RampDown(0.0, 1.0).value(); break;
+    case 4: mf = MembershipFunction::Constant(0.42); break;
+    case 5: mf = MembershipFunction::Singleton(0.77); break;
+    case 6: mf = MembershipFunction::Trapezoid(0.5, 0.5, 0.5, 0.5).value(); break;
+    default: FAIL();
+  }
+  for (int i = -100; i <= 200; ++i) {
+    double x = i / 100.0;
+    double mu = mf.Eval(x);
+    EXPECT_GE(mu, 0.0) << mf.ToString() << " at " << x;
+    EXPECT_LE(mu, 1.0) << mf.ToString() << " at " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, MembershipRangeTest,
+                         ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace autoglobe::fuzzy

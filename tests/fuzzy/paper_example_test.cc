@@ -1,0 +1,109 @@
+// End-to-end reproduction of the worked fuzzy-controller example in
+// paper §3 (Figures 3 and 5): a host with CPU load l = 0.9 and a
+// performance index fuzzifying to (low 0, medium 0.6, high 0.3) must
+// yield scale-up applicability 0.6 and scale-out applicability 0.3,
+// so the controller favors scale-up.
+
+#include <gtest/gtest.h>
+
+#include "fuzzy/inference.h"
+#include "fuzzy/rule_parser.h"
+
+namespace autoglobe::fuzzy {
+namespace {
+
+RuleBase MakePaperRuleBase() {
+  RuleBase rb("paper-example");
+
+  // cpuLoad exactly as Figure 3.
+  EXPECT_TRUE(
+      rb.AddVariable(LinguisticVariable::StandardLoad("cpuLoad")).ok());
+
+  // performanceIndex shaped so that i = 5.8 fuzzifies to the grades
+  // assumed in the paper's example: low 0, medium 0.6, high 0.3.
+  LinguisticVariable perf("performanceIndex", 0.0, 10.0);
+  EXPECT_TRUE(perf.AddTerm(
+      "low", MembershipFunction::Trapezoid(0, 0, 2, 4).value()).ok());
+  EXPECT_TRUE(perf.AddTerm(
+      "medium", MembershipFunction::Triangle(3, 5, 7).value()).ok());
+  EXPECT_TRUE(perf.AddTerm(
+      "high", MembershipFunction::RampUp(5.2, 7.2).value()).ok());
+  EXPECT_TRUE(rb.AddVariable(std::move(perf)).ok());
+
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::RampOutput("scaleUp")).ok());
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::RampOutput("scaleOut")).ok());
+
+  // The two sample rules of §3, verbatim.
+  EXPECT_TRUE(rb.AddRulesFromText(
+                    "IF cpuLoad IS high AND (performanceIndex IS low OR "
+                    "performanceIndex IS medium) "
+                    "THEN scaleUp IS applicable\n"
+                    "IF cpuLoad IS high AND performanceIndex IS high "
+                    "THEN scaleOut IS applicable\n")
+                  .ok());
+  return rb;
+}
+
+constexpr double kCpuLoad = 0.9;
+constexpr double kPerfIndex = 5.8;
+
+TEST(PaperExampleTest, FuzzificationMatchesSection3) {
+  RuleBase rb = MakePaperRuleBase();
+  const LinguisticVariable& cpu = rb.variables().at("cpuLoad");
+  EXPECT_DOUBLE_EQ(*cpu.Grade("low", kCpuLoad), 0.0);
+  EXPECT_DOUBLE_EQ(*cpu.Grade("medium", kCpuLoad), 0.0);
+  EXPECT_NEAR(*cpu.Grade("high", kCpuLoad), 0.8, 1e-12);
+
+  const LinguisticVariable& perf = rb.variables().at("performanceIndex");
+  EXPECT_DOUBLE_EQ(*perf.Grade("low", kPerfIndex), 0.0);
+  EXPECT_NEAR(*perf.Grade("medium", kPerfIndex), 0.6, 1e-12);
+  EXPECT_NEAR(*perf.Grade("high", kPerfIndex), 0.3, 1e-12);
+}
+
+TEST(PaperExampleTest, AntecedentTruthValues) {
+  RuleBase rb = MakePaperRuleBase();
+  Inputs inputs = {{"cpuLoad", kCpuLoad}, {"performanceIndex", kPerfIndex}};
+  // Rule 1: min(0.8, max(0, 0.6)) = 0.6.
+  auto truth1 = rb.rules()[0].EvaluateAntecedent(rb.variables(), inputs);
+  ASSERT_TRUE(truth1.ok());
+  EXPECT_NEAR(*truth1, 0.6, 1e-12);
+  // Rule 2: min(0.8, 0.3) = 0.3.
+  auto truth2 = rb.rules()[1].EvaluateAntecedent(rb.variables(), inputs);
+  ASSERT_TRUE(truth2.ok());
+  EXPECT_NEAR(*truth2, 0.3, 1e-12);
+}
+
+TEST(PaperExampleTest, DefuzzifiedActionsMatchFigure5) {
+  RuleBase rb = MakePaperRuleBase();
+  InferenceEngine engine(Defuzzifier::kLeftmostMax);
+  Inputs inputs = {{"cpuLoad", kCpuLoad}, {"performanceIndex", kPerfIndex}};
+  auto outputs = engine.Infer(rb, inputs);
+  ASSERT_TRUE(outputs.ok()) << outputs.status();
+
+  // "the crisp value for the action scale-up is 0.6, i.e., the action
+  //  is applicable to a degree of 0.6 ... the action scale-out is
+  //  applicable to a degree of 0.3."
+  EXPECT_NEAR(outputs->at("scaleUp").crisp, 0.6, 1e-9);
+  EXPECT_NEAR(outputs->at("scaleOut").crisp, 0.3, 1e-9);
+
+  // "Therefore, the controller will favor the scale-up action."
+  EXPECT_GT(outputs->at("scaleUp").crisp, outputs->at("scaleOut").crisp);
+}
+
+TEST(PaperExampleTest, ClippedSetMatchesFigure5Shape) {
+  RuleBase rb = MakePaperRuleBase();
+  InferenceEngine engine;
+  Inputs inputs = {{"cpuLoad", kCpuLoad}, {"performanceIndex", kPerfIndex}};
+  auto outputs = engine.Infer(rb, inputs);
+  ASSERT_TRUE(outputs.ok());
+
+  const AggregatedSet& scale_up = outputs->at("scaleUp").set;
+  // The identity ramp clipped at 0.6: linear up to x=0.6, flat after.
+  EXPECT_NEAR(scale_up.Eval(0.3), 0.3, 1e-12);
+  EXPECT_NEAR(scale_up.Eval(0.6), 0.6, 1e-12);
+  EXPECT_NEAR(scale_up.Eval(0.9), 0.6, 1e-12);
+  EXPECT_NEAR(scale_up.Height(), 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace autoglobe::fuzzy

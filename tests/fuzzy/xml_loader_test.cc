@@ -1,0 +1,136 @@
+#include "fuzzy/xml_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "fuzzy/inference.h"
+#include "xmlcfg/xml.h"
+
+namespace autoglobe::fuzzy {
+namespace {
+
+constexpr const char* kRuleBaseXml = R"(
+<ruleBase name="serviceOverloaded">
+  <variable name="cpuLoad" min="0" max="1">
+    <term name="low"    shape="trapezoid" points="0,0,0.2,0.4"/>
+    <term name="medium" shape="trapezoid" points="0.2,0.4,0.5,0.7"/>
+    <term name="high"   shape="trapezoid" points="0.5,1,1,1"/>
+  </variable>
+  <variable name="performanceIndex" min="0" max="10">
+    <term name="low"    shape="trapezoid" points="0,0,2,4"/>
+    <term name="medium" shape="triangle"  points="3,5,7"/>
+    <term name="high"   shape="ramp-up"   points="5.2,7.2"/>
+  </variable>
+  <output name="scaleUp"/>
+  <output name="scaleOut"/>
+  <rules>
+    IF cpuLoad IS high AND (performanceIndex IS low OR
+       performanceIndex IS medium) THEN scaleUp IS applicable
+    IF cpuLoad IS high AND performanceIndex IS high
+       THEN scaleOut IS applicable
+  </rules>
+</ruleBase>
+)";
+
+TEST(XmlLoaderTest, LoadsFullRuleBase) {
+  auto doc = xml::Document::Parse(kRuleBaseXml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto rb = LoadRuleBase(*doc->root());
+  ASSERT_TRUE(rb.ok()) << rb.status();
+  EXPECT_EQ(rb->name(), "serviceOverloaded");
+  EXPECT_EQ(rb->size(), 2u);
+  EXPECT_EQ(rb->variables().size(), 4u);
+
+  // The loaded base behaves exactly like the paper example.
+  InferenceEngine engine;
+  Inputs inputs = {{"cpuLoad", 0.9}, {"performanceIndex", 5.8}};
+  EXPECT_NEAR(*engine.InferValue(*rb, inputs, "scaleUp"), 0.6, 1e-9);
+  EXPECT_NEAR(*engine.InferValue(*rb, inputs, "scaleOut"), 0.3, 1e-9);
+}
+
+TEST(XmlLoaderTest, VariableShapes) {
+  auto doc = xml::Document::Parse(R"(
+    <variable name="v" min="0" max="1">
+      <term name="a" shape="triangle"  points="0,0.5,1"/>
+      <term name="b" shape="ramp-down" points="0.3,0.9"/>
+      <term name="c" shape="singleton" points="0.5"/>
+      <term name="d" shape="constant"  points="0.25"/>
+    </variable>)");
+  ASSERT_TRUE(doc.ok());
+  auto var = LoadVariable(*doc->root());
+  ASSERT_TRUE(var.ok()) << var.status();
+  EXPECT_EQ(var->terms().size(), 4u);
+  EXPECT_DOUBLE_EQ(*var->Grade("a", 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(*var->Grade("b", 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(*var->Grade("c", 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(*var->Grade("d", 0.1), 0.25);
+}
+
+TEST(XmlLoaderTest, RejectsBadInput) {
+  struct Case {
+    const char* xml;
+  } cases[] = {
+      // Missing name.
+      {"<variable min=\"0\" max=\"1\"><term name=\"a\" shape=\"constant\" "
+       "points=\"1\"/></variable>"},
+      // min >= max.
+      {"<variable name=\"v\" min=\"1\" max=\"1\"><term name=\"a\" "
+       "shape=\"constant\" points=\"1\"/></variable>"},
+      // No terms.
+      {"<variable name=\"v\" min=\"0\" max=\"1\"/>"},
+      // Unknown shape.
+      {"<variable name=\"v\"><term name=\"a\" shape=\"sigmoid\" "
+       "points=\"1\"/></variable>"},
+      // Wrong point count.
+      {"<variable name=\"v\"><term name=\"a\" shape=\"triangle\" "
+       "points=\"1,2\"/></variable>"},
+      // Malformed point.
+      {"<variable name=\"v\"><term name=\"a\" shape=\"constant\" "
+       "points=\"abc\"/></variable>"},
+  };
+  for (const Case& c : cases) {
+    auto doc = xml::Document::Parse(c.xml);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    EXPECT_FALSE(LoadVariable(*doc->root()).ok()) << c.xml;
+  }
+}
+
+TEST(XmlLoaderTest, RuleBaseRequiresName) {
+  auto doc = xml::Document::Parse("<ruleBase/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(LoadRuleBase(*doc->root()).ok());
+}
+
+TEST(XmlLoaderTest, BadRuleTextSurfacesParseError) {
+  auto doc = xml::Document::Parse(
+      "<ruleBase name=\"x\"><output name=\"o\"/>"
+      "<rules>THIS IS NOT A RULE</rules></ruleBase>");
+  ASSERT_TRUE(doc.ok());
+  auto rb = LoadRuleBase(*doc->root());
+  EXPECT_FALSE(rb.ok());
+}
+
+TEST(XmlLoaderTest, SaveRoundTrips) {
+  auto doc = xml::Document::Parse(kRuleBaseXml);
+  ASSERT_TRUE(doc.ok());
+  auto rb = LoadRuleBase(*doc->root());
+  ASSERT_TRUE(rb.ok()) << rb.status();
+
+  xml::Document out;
+  SaveRuleBase(*rb, out.SetRoot("ruleBase"));
+  auto reparsed = xml::Document::Parse(out.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  auto rb2 = LoadRuleBase(*reparsed->root());
+  ASSERT_TRUE(rb2.ok()) << rb2.status();
+  EXPECT_EQ(rb2->name(), rb->name());
+  EXPECT_EQ(rb2->size(), rb->size());
+  EXPECT_EQ(rb2->variables().size(), rb->variables().size());
+
+  // Behavioural equality on the paper's example inputs.
+  InferenceEngine engine;
+  Inputs inputs = {{"cpuLoad", 0.9}, {"performanceIndex", 5.8}};
+  EXPECT_NEAR(*engine.InferValue(*rb2, inputs, "scaleUp"),
+              *engine.InferValue(*rb, inputs, "scaleUp"), 1e-12);
+}
+
+}  // namespace
+}  // namespace autoglobe::fuzzy

@@ -1,0 +1,135 @@
+#include "monitor/load_archive.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::monitor {
+namespace {
+
+SimTime Min(int m) { return SimTime::Start() + Duration::Minutes(m); }
+
+TEST(LoadArchiveTest, AppendAndLatest) {
+  LoadArchive archive;
+  EXPECT_FALSE(archive.Latest("server/x").ok());
+  ASSERT_TRUE(archive.Append("server/x", Min(1), 0.5).ok());
+  ASSERT_TRUE(archive.Append("server/x", Min(2), 0.7).ok());
+  EXPECT_DOUBLE_EQ(*archive.Latest("server/x"), 0.7);
+}
+
+TEST(LoadArchiveTest, RejectsOutOfOrderSamples) {
+  LoadArchive archive;
+  ASSERT_TRUE(archive.Append("k", Min(5), 0.5).ok());
+  EXPECT_FALSE(archive.Append("k", Min(4), 0.5).ok());
+  // Equal timestamps are tolerated.
+  EXPECT_TRUE(archive.Append("k", Min(5), 0.6).ok());
+}
+
+TEST(LoadArchiveTest, AverageOverWindow) {
+  LoadArchive archive;
+  for (int m = 1; m <= 20; ++m) {
+    ASSERT_TRUE(archive.Append("k", Min(m), m <= 10 ? 0.2 : 0.8).ok());
+  }
+  // Last 10 minutes: all 0.8 (the watchTime average of §2).
+  EXPECT_NEAR(*archive.Average("k", Duration::Minutes(10), Min(20)), 0.8,
+              1e-12);
+  // Last 20 minutes: half/half.
+  EXPECT_NEAR(*archive.Average("k", Duration::Minutes(20), Min(20)), 0.5,
+              1e-12);
+  // Empty window errors.
+  EXPECT_FALSE(
+      archive.Average("k", Duration::Minutes(5), Min(100)).ok());
+  EXPECT_FALSE(archive.Average("ghost", Duration::Minutes(5), Min(5)).ok());
+}
+
+TEST(LoadArchiveTest, RawBetweenIsHalfOpen) {
+  LoadArchive archive;
+  for (int m = 1; m <= 5; ++m) {
+    ASSERT_TRUE(archive.Append("k", Min(m), m).ok());
+  }
+  auto samples = archive.RawBetween("k", Min(1), Min(4));
+  ASSERT_EQ(samples.size(), 3u);  // (1, 4]: minutes 2, 3, 4
+  EXPECT_DOUBLE_EQ(samples.front().value, 2);
+  EXPECT_DOUBLE_EQ(samples.back().value, 4);
+  EXPECT_TRUE(archive.RawBetween("ghost", Min(0), Min(10)).empty());
+}
+
+TEST(LoadArchiveTest, RawRetentionEvicts) {
+  LoadArchive archive(Duration::Hours(1), Duration::Minutes(15));
+  ASSERT_TRUE(archive.Append("k", Min(0), 1.0).ok());
+  ASSERT_TRUE(archive.Append("k", Min(90), 2.0).ok());
+  // The 0-minute sample fell out of the 1-hour raw window.
+  EXPECT_TRUE(archive.RawBetween("k", Min(0) - Duration::Minutes(1), Min(30))
+                  .empty());
+  EXPECT_DOUBLE_EQ(*archive.Latest("k"), 2.0);
+}
+
+TEST(LoadArchiveTest, AggregationFoldsBuckets) {
+  LoadArchive archive(Duration::Hours(48), Duration::Minutes(15));
+  // Two full buckets of constant values plus one open bucket.
+  for (int m = 0; m < 15; ++m) {
+    ASSERT_TRUE(archive.Append("k", Min(m), 0.2).ok());
+  }
+  for (int m = 15; m < 30; ++m) {
+    ASSERT_TRUE(archive.Append("k", Min(m), 0.6).ok());
+  }
+  ASSERT_TRUE(archive.Append("k", Min(30), 1.0).ok());
+  auto aggregated = archive.Aggregated("k");
+  ASSERT_EQ(aggregated.size(), 3u);
+  EXPECT_NEAR(aggregated[0].value, 0.2, 1e-12);
+  EXPECT_EQ(aggregated[0].at, Min(0));
+  EXPECT_NEAR(aggregated[1].value, 0.6, 1e-12);
+  EXPECT_EQ(aggregated[1].at, Min(15));
+  EXPECT_NEAR(aggregated[2].value, 1.0, 1e-12);
+}
+
+TEST(LoadArchiveTest, AggregatesSurviveRawEviction) {
+  // "The load archive stores a persistent aggregated view of historic
+  //  load data" — aggregates outlive the raw retention window.
+  LoadArchive archive(Duration::Hours(1), Duration::Minutes(15));
+  for (int m = 0; m <= 48 * 60; m += 5) {
+    ASSERT_TRUE(archive.Append("k", Min(m), 0.5).ok());
+  }
+  auto aggregated = archive.Aggregated("k");
+  EXPECT_GT(aggregated.size(), 150u);  // ~4 buckets/hour * 48 h
+  EXPECT_EQ(aggregated.front().at, Min(0));
+}
+
+TEST(LoadArchiveTest, KeysLists) {
+  LoadArchive archive;
+  ASSERT_TRUE(archive.Append("server/a", Min(1), 1).ok());
+  ASSERT_TRUE(archive.Append("service/b", Min(1), 1).ok());
+  auto keys = archive.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "server/a");
+  EXPECT_EQ(keys[1], "service/b");
+}
+
+TEST(LoadArchiveTest, SaveAndLoadRoundTrip) {
+  LoadArchive archive(Duration::Hours(48), Duration::Minutes(15));
+  for (int m = 0; m < 60; ++m) {
+    ASSERT_TRUE(archive.Append("server/x", Min(m), 0.25).ok());
+    ASSERT_TRUE(archive.Append("service/y", Min(m), 0.75).ok());
+  }
+  std::string path = testing::TempDir() + "/ag_archive_test.txt";
+  ASSERT_TRUE(archive.Save(path).ok());
+  auto loaded = LoadArchive::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->Keys().size(), 2u);
+  auto aggregated = loaded->Aggregated("server/x");
+  ASSERT_FALSE(aggregated.empty());
+  EXPECT_NEAR(aggregated[0].value, 0.25, 1e-9);
+  EXPECT_FALSE(LoadArchive::Load("/nonexistent/nope").ok());
+}
+
+TEST(LoadArchiveTest, LoadRejectsGarbage) {
+  std::string path = testing::TempDir() + "/ag_archive_garbage.txt";
+  {
+    std::ofstream out(path);
+    out << "not an archive\n";
+  }
+  EXPECT_FALSE(LoadArchive::Load(path).ok());
+}
+
+}  // namespace
+}  // namespace autoglobe::monitor

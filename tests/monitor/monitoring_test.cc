@@ -1,0 +1,184 @@
+#include "monitor/monitoring.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::monitor {
+namespace {
+
+SimTime Min(int m) { return SimTime::Start() + Duration::Minutes(m); }
+
+class MonitoringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MonitorConfig config;  // paper defaults: 0.70 / 10 min / 0.125 / 20 min
+    lms_ = std::make_unique<LoadMonitoringSystem>(&archive_, config);
+    ASSERT_TRUE(lms_->RegisterSubject(TriggerKind::kServerOverloaded,
+                                      "Blade1", /*idle_divisor=*/1.0)
+                    .ok());
+    lms_->set_trigger_callback(
+        [this](const Trigger& trigger) { triggers_.push_back(trigger); });
+  }
+
+  // Feeds one sample per minute starting at `start`.
+  void Feed(int start_minute, std::initializer_list<double> loads) {
+    int m = start_minute;
+    for (double load : loads) {
+      ASSERT_TRUE(lms_->Observe(Min(m++), "Blade1", load).ok());
+    }
+  }
+  void FeedConstant(int start_minute, int count, double load) {
+    for (int i = 0; i < count; ++i) {
+      ASSERT_TRUE(
+          lms_->Observe(Min(start_minute + i), "Blade1", load).ok());
+    }
+  }
+
+  LoadArchive archive_;
+  std::unique_ptr<LoadMonitoringSystem> lms_;
+  std::vector<Trigger> triggers_;
+};
+
+TEST_F(MonitoringTest, RegistrationValidation) {
+  EXPECT_FALSE(
+      lms_->RegisterSubject(TriggerKind::kServerIdle, "X", 1.0).ok());
+  EXPECT_FALSE(lms_->RegisterSubject(TriggerKind::kServerOverloaded,
+                                     "Blade1", 1.0)
+                   .ok());  // duplicate
+  EXPECT_FALSE(
+      lms_->RegisterSubject(TriggerKind::kServerOverloaded, "Y", 0.0).ok());
+  EXPECT_FALSE(lms_->Observe(Min(0), "unregistered", 0.5).ok());
+}
+
+TEST_F(MonitoringTest, SteadyNormalLoadNeverTriggers) {
+  FeedConstant(0, 120, 0.5);
+  EXPECT_TRUE(triggers_.empty());
+}
+
+TEST_F(MonitoringTest, SustainedOverloadConfirmedAfterWatchTime) {
+  FeedConstant(0, 5, 0.5);   // normal
+  FeedConstant(5, 12, 0.85);  // above 0.70 threshold
+  ASSERT_EQ(triggers_.size(), 1u);
+  EXPECT_EQ(triggers_[0].kind, TriggerKind::kServerOverloaded);
+  EXPECT_EQ(triggers_[0].subject, "Blade1");
+  // Confirmed exactly after the 10-minute watch time.
+  EXPECT_EQ(triggers_[0].at, Min(15));
+  // "set to the arithmetic means of the load values during the
+  //  service specific watchTime" (§4.1).
+  EXPECT_NEAR(triggers_[0].average_load, 0.85, 1e-12);
+}
+
+TEST_F(MonitoringTest, ShortPeakIsRiddenOut) {
+  // "In real systems short load peaks are quite common. Immediate
+  //  reaction on these peaks could lead to an unsettled and instable
+  //  system" (§2). A 3-minute burst must not trigger.
+  FeedConstant(0, 5, 0.5);
+  FeedConstant(5, 3, 0.95);  // arms the watch
+  FeedConstant(8, 20, 0.4);  // burst over; average sinks below 0.70
+  EXPECT_TRUE(triggers_.empty());
+}
+
+TEST_F(MonitoringTest, AverageDecidesNotTheArmingSample) {
+  // Mixed loads during the watch: average 0.72 > 0.70 -> confirmed.
+  FeedConstant(0, 2, 0.5);
+  Feed(2, {0.9, 0.72, 0.70, 0.74, 0.71, 0.73, 0.70, 0.71, 0.75, 0.74,
+           0.72});
+  ASSERT_EQ(triggers_.size(), 1u);
+  EXPECT_GT(triggers_[0].average_load, 0.70);
+}
+
+TEST_F(MonitoringTest, RetriggersWhileOverloadPersists) {
+  FeedConstant(0, 40, 0.9);
+  // Watch confirms roughly every watchTime + 1 re-arm minute.
+  EXPECT_GE(triggers_.size(), 2u);
+  EXPECT_LE(triggers_.size(), 4u);
+}
+
+TEST_F(MonitoringTest, IdleDetectionUsesScaledThresholdAndLongerWatch) {
+  ASSERT_TRUE(lms_->RegisterSubject(TriggerKind::kServerOverloaded,
+                                    "Big", /*idle_divisor=*/9.0)
+                  .ok());
+  // "The threshold value for an idle situation ... is 12.5% divided
+  //  by the performance index": 12.5 % / 9 = 1.39 %.
+  for (int m = 0; m < 25; ++m) {
+    ASSERT_TRUE(lms_->Observe(Min(m), "Big", 0.05).ok());  // 5 % > 1.39 %
+  }
+  EXPECT_TRUE(triggers_.empty());
+  for (int m = 25; m < 47; ++m) {
+    ASSERT_TRUE(lms_->Observe(Min(m), "Big", 0.005).ok());
+  }
+  ASSERT_EQ(triggers_.size(), 1u);
+  EXPECT_EQ(triggers_[0].kind, TriggerKind::kServerIdle);
+  EXPECT_EQ(triggers_[0].subject, "Big");
+  // Idle watch time is 20 minutes (paper §5.1).
+  EXPECT_EQ(triggers_[0].at, Min(25 + 20));
+}
+
+TEST_F(MonitoringTest, ServiceSubjectsRaiseServiceTriggers) {
+  ASSERT_TRUE(lms_->RegisterSubject(TriggerKind::kServiceOverloaded, "FI",
+                                    1.0)
+                  .ok());
+  for (int m = 0; m < 12; ++m) {
+    ASSERT_TRUE(lms_->Observe(Min(m), "FI", 0.9).ok());
+  }
+  ASSERT_EQ(triggers_.size(), 1u);
+  EXPECT_EQ(triggers_[0].kind, TriggerKind::kServiceOverloaded);
+  // The overload watch armed at minute 11 must first resolve (no
+  // confirmation), then the idle watch arms at minute 22 and confirms
+  // 20 minutes later.
+  for (int m = 12; m < 45; ++m) {
+    ASSERT_TRUE(lms_->Observe(Min(m), "FI", 0.01).ok());
+  }
+  ASSERT_EQ(triggers_.size(), 2u);
+  EXPECT_EQ(triggers_[1].kind, TriggerKind::kServiceIdle);
+  EXPECT_EQ(triggers_[1].at, Min(42));
+}
+
+TEST_F(MonitoringTest, SamplesLandInTheArchive) {
+  FeedConstant(0, 5, 0.5);
+  std::string key =
+      LoadMonitoringSystem::ArchiveKey(TriggerKind::kServerOverloaded,
+                                       "Blade1");
+  EXPECT_EQ(key, "server/Blade1");
+  EXPECT_DOUBLE_EQ(*archive_.Latest(key), 0.5);
+}
+
+TEST_F(MonitoringTest, TriggerKindNames) {
+  EXPECT_EQ(TriggerKindName(TriggerKind::kServerOverloaded),
+            "serverOverloaded");
+  EXPECT_EQ(TriggerKindName(TriggerKind::kServerIdle), "serverIdle");
+  EXPECT_EQ(TriggerKindName(TriggerKind::kServiceOverloaded),
+            "serviceOverloaded");
+  EXPECT_EQ(TriggerKindName(TriggerKind::kServiceIdle), "serviceIdle");
+}
+
+TEST_F(MonitoringTest, CountsFiredTriggers) {
+  EXPECT_EQ(lms_->triggers_fired(), 0);
+  FeedConstant(0, 15, 0.9);
+  EXPECT_EQ(lms_->triggers_fired(),
+            static_cast<int64_t>(triggers_.size()));
+  EXPECT_GE(lms_->triggers_fired(), 1);
+}
+
+// Property sweep: a constant load strictly between the idle and
+// overload thresholds never triggers, for any duration.
+class QuietBandProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuietBandProperty, NoTriggerInsideTheBand) {
+  LoadArchive archive;
+  LoadMonitoringSystem lms(&archive, MonitorConfig{});
+  ASSERT_TRUE(
+      lms.RegisterSubject(TriggerKind::kServerOverloaded, "s", 1.0).ok());
+  int fired = 0;
+  lms.set_trigger_callback([&fired](const Trigger&) { ++fired; });
+  for (int m = 0; m < 200; ++m) {
+    ASSERT_TRUE(lms.Observe(Min(m), "s", GetParam()).ok());
+  }
+  EXPECT_EQ(fired, 0) << "load " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Band, QuietBandProperty,
+                         ::testing::Values(0.13, 0.2, 0.35, 0.5, 0.65,
+                                           0.699));
+
+}  // namespace
+}  // namespace autoglobe::monitor

@@ -1,0 +1,141 @@
+#include "workload/load_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::workload {
+namespace {
+
+SimTime At(int hour, int minute = 0) {
+  return SimTime::Start() + Duration::Hours(hour) +
+         Duration::Minutes(minute);
+}
+
+TEST(LoadPatternTest, FlatIsConstantAndClamped) {
+  LoadPattern flat = LoadPattern::Flat(0.4);
+  EXPECT_DOUBLE_EQ(flat.Activity(At(0)), 0.4);
+  EXPECT_DOUBLE_EQ(flat.Activity(At(13, 37)), 0.4);
+  EXPECT_DOUBLE_EQ(LoadPattern::Flat(2.0).Activity(At(5)), 1.0);
+  EXPECT_DOUBLE_EQ(LoadPattern::Flat(-1.0).Activity(At(5)), 0.0);
+}
+
+TEST(LoadPatternTest, InteractiveShapeMatchesFigure10) {
+  LoadPattern pattern = LoadPattern::Interactive();
+  // Night: almost nothing.
+  EXPECT_LT(pattern.Activity(At(3)), 0.05);
+  // "At eight o'clock, when the employees start to work, the number
+  //  of requests ... increases."
+  EXPECT_GT(pattern.Activity(At(9)), 5 * pattern.Activity(At(7)));
+  // The three peaks (morning, before midday, before leaving) rise
+  // above the plateau and the lunch dip.
+  double morning = pattern.Activity(At(9, 30));
+  double midday = pattern.Activity(At(11, 30));
+  double evening = pattern.Activity(At(16, 0));
+  double lunch = pattern.Activity(At(12, 45));
+  double mid_afternoon = pattern.Activity(At(14, 30));
+  EXPECT_GT(morning, lunch);
+  EXPECT_GT(midday, lunch);
+  EXPECT_GT(evening, lunch);
+  EXPECT_GT(morning, mid_afternoon);
+  // Evening wind-down.
+  EXPECT_LT(pattern.Activity(At(20)), 0.1);
+  // Peak activity calibrated to keep servers at 60-80 % (§5.1).
+  EXPECT_GT(morning, 0.70);
+  EXPECT_LT(morning, 0.80);
+}
+
+TEST(LoadPatternTest, InteractiveIsDailyPeriodic) {
+  LoadPattern pattern = LoadPattern::Interactive();
+  for (int hour : {3, 9, 12, 16, 22}) {
+    EXPECT_DOUBLE_EQ(pattern.Activity(At(hour)),
+                     pattern.Activity(At(hour) + Duration::Days(2)));
+  }
+}
+
+TEST(LoadPatternTest, NightBatchShapeMatchesFigure10) {
+  LoadPattern pattern = LoadPattern::NightBatch();
+  // "During the night, several heavy-load batch jobs are processed."
+  EXPECT_GT(pattern.Activity(At(1)), 0.9);
+  EXPECT_GT(pattern.Activity(At(23, 30)), 0.9);
+  // "During the day, only few user requests have to be processed."
+  EXPECT_NEAR(pattern.Activity(At(12)), 0.12, 1e-9);
+  // Ramps at the window edges.
+  double ramping_in = pattern.Activity(At(22, 30));
+  EXPECT_GT(ramping_in, 0.12);
+  EXPECT_LT(ramping_in, 1.0);
+  double winding_down = pattern.Activity(At(5, 30));
+  EXPECT_GT(winding_down, 0.12);
+  EXPECT_LT(winding_down, 1.0);
+}
+
+TEST(LoadPatternTest, InteractiveAndBatchAreAntiCorrelated) {
+  // BW works while the interactive users sleep — the controller's
+  // opportunity to reuse hardware across the day (Figure 10).
+  LoadPattern office = LoadPattern::Interactive();
+  LoadPattern batch = LoadPattern::NightBatch();
+  EXPECT_GT(office.Activity(At(10)), batch.Activity(At(10)));
+  EXPECT_GT(batch.Activity(At(2)), office.Activity(At(2)));
+}
+
+TEST(LoadPatternTest, HourlyPointsInterpolate) {
+  std::vector<double> points(24, 0.0);
+  points[6] = 0.6;
+  points[7] = 1.0;
+  auto pattern = LoadPattern::FromHourlyPoints(points);
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  EXPECT_DOUBLE_EQ(pattern->Activity(At(6)), 0.6);
+  EXPECT_DOUBLE_EQ(pattern->Activity(At(6, 30)), 0.8);
+  EXPECT_DOUBLE_EQ(pattern->Activity(At(7)), 1.0);
+  // Wraps midnight (23:30 interpolates towards hour 0).
+  points.assign(24, 0.0);
+  points[23] = 1.0;
+  auto wrap = LoadPattern::FromHourlyPoints(points);
+  ASSERT_TRUE(wrap.ok());
+  EXPECT_DOUBLE_EQ(wrap->Activity(At(23, 30)), 0.5);
+}
+
+TEST(LoadPatternTest, HourlyPointsValidated) {
+  EXPECT_FALSE(LoadPattern::FromHourlyPoints({0.5, 0.5}).ok());
+  std::vector<double> bad(24, 0.5);
+  bad[3] = 1.5;
+  EXPECT_FALSE(LoadPattern::FromHourlyPoints(bad).ok());
+}
+
+TEST(LoadPatternTest, FromName) {
+  EXPECT_EQ(LoadPattern::FromName("interactive")->name(), "interactive");
+  // Parameterized interactive pattern round-trips through its name.
+  auto shifted = LoadPattern::FromName("interactive:9.25");
+  ASSERT_TRUE(shifted.ok()) << shifted.status();
+  EXPECT_EQ(shifted->name(), "interactive:9.25");
+  SimTime at_peak = SimTime::Start() + Duration::Hours(9) +
+                    Duration::Minutes(15);
+  EXPECT_GT(shifted->Activity(at_peak),
+            LoadPattern::FromName("interactive:11")->Activity(at_peak));
+  EXPECT_FALSE(LoadPattern::FromName("interactive:25").ok());
+  EXPECT_FALSE(LoadPattern::FromName("interactive:x").ok());
+  EXPECT_EQ(LoadPattern::FromName("nightBatch")->name(), "nightBatch");
+  EXPECT_DOUBLE_EQ(LoadPattern::FromName("flat:0.3")->Activity(At(4)), 0.3);
+  EXPECT_FALSE(LoadPattern::FromName("flat:7").ok());
+  EXPECT_FALSE(LoadPattern::FromName("sawtooth").ok());
+}
+
+// Property: every built-in pattern stays within [0, 1] at all times.
+class PatternRangeProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PatternRangeProperty, ActivityInUnitInterval) {
+  auto pattern = LoadPattern::FromName(GetParam());
+  ASSERT_TRUE(pattern.ok());
+  for (int minute = 0; minute < 24 * 60; minute += 7) {
+    double activity =
+        pattern->Activity(SimTime::Start() + Duration::Minutes(minute));
+    EXPECT_GE(activity, 0.0) << GetParam() << " at minute " << minute;
+    EXPECT_LE(activity, 1.0) << GetParam() << " at minute " << minute;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BuiltIns, PatternRangeProperty,
+                         ::testing::Values("interactive", "nightBatch",
+                                           "flat:0.5", "flat:1"));
+
+}  // namespace
+}  // namespace autoglobe::workload

@@ -1,0 +1,221 @@
+#include "xmlcfg/xml.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::xml {
+namespace {
+
+TEST(XmlParseTest, MinimalDocument) {
+  auto doc = Document::Parse("<root/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->name(), "root");
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(XmlParseTest, DeclarationAndComments) {
+  auto doc = Document::Parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- top comment -->\n"
+      "<landscape>\n"
+      "  <!-- inner comment -->\n"
+      "  <server name=\"Blade1\"/>\n"
+      "</landscape>\n"
+      "<!-- trailing comment -->");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->name(), "landscape");
+  ASSERT_EQ(doc->root()->children().size(), 1u);
+  EXPECT_EQ(doc->root()->children()[0]->name(), "server");
+}
+
+TEST(XmlParseTest, AttributesWithBothQuoteKinds) {
+  auto doc = Document::Parse(R"(<s a="1" b='two' c="with 'inner'"/>)");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->AttributeOr("a", ""), "1");
+  EXPECT_EQ(doc->root()->AttributeOr("b", ""), "two");
+  EXPECT_EQ(doc->root()->AttributeOr("c", ""), "with 'inner'");
+  EXPECT_FALSE(doc->root()->FindAttribute("missing").has_value());
+}
+
+TEST(XmlParseTest, TypedAttributes) {
+  auto doc = Document::Parse(
+      R"(<server performanceIndex="9" memoryGb="12.5" exclusive="true"/>)");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const Element* root = doc->root();
+  EXPECT_EQ(*root->IntAttribute("performanceIndex"), 9);
+  EXPECT_DOUBLE_EQ(*root->DoubleAttribute("memoryGb"), 12.5);
+  EXPECT_TRUE(*root->BoolAttribute("exclusive"));
+  EXPECT_EQ(*root->IntAttributeOr("cpus", 1), 1);
+  EXPECT_FALSE(root->IntAttribute("absent").ok());
+  EXPECT_FALSE(root->DoubleAttribute("exclusive").ok());
+}
+
+TEST(XmlParseTest, NestedElementsAndText) {
+  auto doc = Document::Parse(
+      "<service name=\"FI\"><rules>IF a IS b THEN c IS d</rules>"
+      "<constraint minInstances=\"2\"/></service>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const Element* rules = doc->root()->FindChild("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->text(), "IF a IS b THEN c IS d");
+  ASSERT_TRUE(doc->root()->RequireChild("constraint").ok());
+  EXPECT_FALSE(doc->root()->RequireChild("nonexistent").ok());
+}
+
+TEST(XmlParseTest, FindChildrenFiltersByName) {
+  auto doc = Document::Parse(
+      "<pool><server/><server/><service/><server/></pool>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->FindChildren("server").size(), 3u);
+  EXPECT_EQ(doc->root()->FindChildren("service").size(), 1u);
+  EXPECT_TRUE(doc->root()->FindChildren("blade").empty());
+}
+
+TEST(XmlParseTest, EntityDecoding) {
+  auto doc = Document::Parse(
+      "<t attr=\"a&lt;b &amp; c&gt;d\">&quot;x&apos; &#65;&#x42;</t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->AttributeOr("attr", ""), "a<b & c>d");
+  EXPECT_EQ(doc->root()->text(), "\"x' AB");
+}
+
+TEST(XmlParseTest, CdataIsLiteral) {
+  auto doc = Document::Parse("<t><![CDATA[a < b && c]]></t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->text(), "a < b && c");
+}
+
+TEST(XmlParseTest, MixedTextConcatenates) {
+  auto doc = Document::Parse("<t>one<b/>two</t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->text(), "onetwo");
+  EXPECT_EQ(doc->root()->children().size(), 1u);
+}
+
+TEST(XmlParseTest, ErrorMismatchedTags) {
+  auto doc = Document::Parse("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlParseTest, ErrorUnterminated) {
+  EXPECT_FALSE(Document::Parse("<a>").ok());
+  EXPECT_FALSE(Document::Parse("<a attr=\"x>").ok());
+  EXPECT_FALSE(Document::Parse("<a").ok());
+}
+
+TEST(XmlParseTest, ErrorDuplicateAttribute) {
+  EXPECT_FALSE(Document::Parse("<a x=\"1\" x=\"2\"/>").ok());
+}
+
+TEST(XmlParseTest, ErrorTrailingContent) {
+  EXPECT_FALSE(Document::Parse("<a/><b/>").ok());
+}
+
+TEST(XmlParseTest, ErrorUnknownEntity) {
+  EXPECT_FALSE(Document::Parse("<a>&bogus;</a>").ok());
+}
+
+TEST(XmlParseTest, ErrorMessagesCarryLineNumbers) {
+  auto doc = Document::Parse("<a>\n\n<b></c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status();
+}
+
+TEST(XmlWriteTest, RoundTrip) {
+  Document doc;
+  Element* root = doc.SetRoot("landscape");
+  Element* server = root->AddChild("server");
+  server->SetAttribute("name", "Blade1");
+  server->SetAttribute("memory", "2");
+  Element* rules = root->AddChild("rules");
+  rules->SetText("IF cpuLoad IS high THEN scaleUp IS applicable");
+
+  auto reparsed = Document::Parse(doc.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->root()->name(), "landscape");
+  const Element* server2 = reparsed->root()->FindChild("server");
+  ASSERT_NE(server2, nullptr);
+  EXPECT_EQ(server2->AttributeOr("name", ""), "Blade1");
+  EXPECT_EQ(reparsed->root()->FindChild("rules")->text(),
+            "IF cpuLoad IS high THEN scaleUp IS applicable");
+}
+
+TEST(XmlWriteTest, EscapingRoundTrips) {
+  Document doc;
+  Element* root = doc.SetRoot("t");
+  root->SetAttribute("a", "x<y&\"z'");
+  root->SetText("body <&> text");
+  auto reparsed = Document::Parse(doc.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->root()->AttributeOr("a", ""), "x<y&\"z'");
+  EXPECT_EQ(reparsed->root()->text(), "body <&> text");
+}
+
+TEST(XmlWriteTest, SetAttributeOverwrites) {
+  Element element("e");
+  element.SetAttribute("k", "1");
+  element.SetAttribute("k", "2");
+  EXPECT_EQ(element.attributes().size(), 1u);
+  EXPECT_EQ(element.AttributeOr("k", ""), "2");
+}
+
+TEST(XmlFileTest, SaveAndLoad) {
+  Document doc;
+  doc.SetRoot("cfg")->SetAttribute("v", "1");
+  std::string path = testing::TempDir() + "/ag_xml_test.xml";
+  ASSERT_TRUE(doc.SaveFile(path).ok());
+  auto loaded = Document::LoadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->root()->AttributeOr("v", ""), "1");
+  EXPECT_FALSE(Document::LoadFile("/nonexistent/nope.xml").ok());
+}
+
+// Robustness property: random single-byte mutations of a valid
+// document must never crash the parser — every input yields either a
+// parsed document or a clean ParseError.
+class XmlMutationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlMutationProperty, MutatedInputNeverCrashes) {
+  const std::string base =
+      "<?xml version=\"1.0\"?><landscape><servers>"
+      "<server name=\"Blade1\" performanceIndex=\"1\" memoryGb=\"2\"/>"
+      "</servers><rules>IF a IS b THEN c IS d &amp; more</rules>"
+      "<!-- comment --><data><![CDATA[x < y]]></data></landscape>";
+  uint64_t state = static_cast<uint64_t>(GetParam()) * 0x9e3779b9u + 17;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = base;
+    // Between one and four byte mutations: overwrite, delete, insert.
+    int edits = 1 + static_cast<int>(next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = next() % mutated.size();
+      switch (next() % 3) {
+        case 0:
+          mutated[pos] = static_cast<char>(next() % 94 + 33);
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(next() % 94 + 33));
+      }
+      if (mutated.empty()) break;
+    }
+    auto doc = Document::Parse(mutated);
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.status().code(), StatusCode::kParseError) << mutated;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlMutationProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace autoglobe::xml

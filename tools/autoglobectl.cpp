@@ -1,0 +1,280 @@
+// autoglobectl — command-line front end to the AutoGlobe library.
+//
+//   autoglobectl export <out.xml> [--scenario fm]
+//       Write the paper's SAP landscape (Figure 9/11, Tables 4-6) as
+//       an XML description file.
+//   autoglobectl validate <landscape.xml>
+//       Parse a landscape description and materialize it under the
+//       full constraint checks.
+//   autoglobectl run <landscape.xml|paper> [--scenario fm]
+//       [--scale 1.0] [--hours 80] [--seed 42] [--forecast]
+//       [--static] [--verbose]
+//       Simulate the landscape under the fuzzy controller and print
+//       the run summary plus final console snapshot.
+//   autoglobectl capacity <landscape.xml|paper> [--scenario fm]
+//       [--step 0.05] [--hours 80]
+//       Sweep the user scale until the system becomes overloaded
+//       (the Table 7 protocol).
+//   autoglobectl design <landscape.xml|paper> [--out designed.xml]
+//       Compute a statically optimized pre-assignment (the §7
+//       landscape-designer tool) and optionally write it back out.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "autoglobe/capacity.h"
+#include "autoglobe/console.h"
+#include "common/strings.h"
+#include "designer/designer.h"
+
+using namespace autoglobe;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool Has(const std::string& flag) const {
+    return options.count(flag) > 0;
+  }
+  std::string Get(const std::string& flag,
+                  const std::string& fallback) const {
+    auto it = options.find(flag);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      // Boolean flags vs valued flags: a following non-flag token that
+      // the flag expects becomes its value.
+      bool takes_value = key == "scenario" || key == "scale" ||
+                         key == "hours" || key == "seed" ||
+                         key == "step" || key == "out";
+      if (takes_value && i + 1 < argc) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "true";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<Landscape> LoadLandscape(const std::string& source,
+                                Scenario scenario) {
+  if (source == "paper") return MakePaperLandscape(scenario);
+  AG_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::LoadFile(source));
+  return Landscape::FromXml(*doc.root());
+}
+
+Result<Scenario> ScenarioArg(const Args& args) {
+  return ParseScenario(args.Get("scenario", "fm"));
+}
+
+int CmdExport(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: autoglobectl export <out.xml> "
+                         "[--scenario fm]\n");
+    return 1;
+  }
+  auto scenario = ScenarioArg(args);
+  if (!scenario.ok()) return Fail(scenario.status());
+  Landscape landscape = MakePaperLandscape(*scenario);
+  xml::Document doc;
+  landscape.ToXml(doc.SetRoot("landscape"));
+  if (Status s = doc.SaveFile(args.positional[0]); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %s (%zu servers, %zu services, scenario %s)\n",
+              args.positional[0].c_str(), landscape.servers.size(),
+              landscape.services.size(),
+              std::string(ScenarioName(*scenario)).c_str());
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: autoglobectl validate <landscape.xml>\n");
+    return 1;
+  }
+  auto scenario = ScenarioArg(args);
+  if (!scenario.ok()) return Fail(scenario.status());
+  auto landscape = LoadLandscape(args.positional[0], *scenario);
+  if (!landscape.ok()) return Fail(landscape.status());
+  infra::Cluster cluster;
+  workload::DemandEngine engine(&cluster, Rng(1));
+  if (Status s = landscape->Build(&cluster, &engine); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("%s: OK (%zu servers, %zu services, %zu placed "
+              "instances)\n",
+              args.positional[0].c_str(), cluster.Servers().size(),
+              cluster.Services().size(), cluster.total_instances());
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: autoglobectl run <landscape.xml|paper> "
+                 "[--scenario fm] [--scale 1.0] [--hours 80] "
+                 "[--seed 42] [--forecast] [--static] [--verbose]\n");
+    return 1;
+  }
+  auto scenario = ScenarioArg(args);
+  if (!scenario.ok()) return Fail(scenario.status());
+  auto landscape = LoadLandscape(args.positional[0], *scenario);
+  if (!landscape.ok()) return Fail(landscape.status());
+
+  auto scale = ParseDouble(args.Get("scale", "1.0"));
+  auto hours = ParseInt(args.Get("hours", "80"));
+  auto seed = ParseInt(args.Get("seed", "42"));
+  if (!scale.ok()) return Fail(scale.status());
+  if (!hours.ok()) return Fail(hours.status());
+  if (!seed.ok()) return Fail(seed.status());
+
+  RunnerConfig config = MakeScenarioConfig(
+      *scenario, *scale, static_cast<uint64_t>(*seed));
+  config.duration = Duration::Hours(*hours);
+  config.use_forecast = args.Has("forecast");
+  if (args.Has("static")) config.controller_enabled = false;
+
+  auto runner = SimulationRunner::Create(*landscape, config);
+  if (!runner.ok()) return Fail(runner.status());
+  if (Status s = (*runner)->Run(); !s.ok()) return Fail(s);
+
+  if (args.Has("verbose")) {
+    for (const std::string& message : (*runner)->messages()) {
+      std::printf("%s\n", message.c_str());
+    }
+    std::printf("\n");
+  }
+  const RunMetrics& m = (*runner)->metrics();
+  std::printf(
+      "ran %lld h at %.0f%% users (%s, %s): avg load %.1f%%, overload "
+      "%.0f server-min (max streak %.0f min), %lld triggers, %lld "
+      "actions, %lld alerts\n",
+      static_cast<long long>(*hours), *scale * 100,
+      std::string(ScenarioName(*scenario)).c_str(),
+      config.controller_enabled
+          ? (config.use_forecast ? "proactive controller" : "controller")
+          : "no controller",
+      m.average_cpu_load * 100, m.overload_server_minutes,
+      m.max_overload_streak_minutes, static_cast<long long>(m.triggers),
+      static_cast<long long>(m.actions_executed),
+      static_cast<long long>(m.alerts));
+  std::printf("\n%s", Console(runner->get()).Render().c_str());
+  return 0;
+}
+
+int CmdCapacity(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: autoglobectl capacity <landscape.xml|paper> "
+                 "[--scenario fm] [--step 0.05] [--hours 80]\n");
+    return 1;
+  }
+  auto scenario = ScenarioArg(args);
+  if (!scenario.ok()) return Fail(scenario.status());
+  auto step = ParseDouble(args.Get("step", "0.05"));
+  auto hours = ParseInt(args.Get("hours", "80"));
+  if (!step.ok()) return Fail(step.status());
+  if (!hours.ok()) return Fail(hours.status());
+
+  // For non-paper landscapes the sweep runs in-place (FindCapacity is
+  // paper-landscape bound); replicate its loop here.
+  auto landscape = LoadLandscape(args.positional[0], *scenario);
+  if (!landscape.ok()) return Fail(landscape.status());
+  CapacityOptions options;
+  options.step = *step;
+  options.run_duration = Duration::Hours(*hours);
+  double max_scale = 0.0;
+  for (double scale = options.start_scale;
+       scale <= options.max_scale + 1e-9; scale += options.step) {
+    RunnerConfig config = MakeScenarioConfig(*scenario, scale);
+    config.duration = options.run_duration;
+    config.metrics_warmup = options.warmup;
+    auto runner = SimulationRunner::Create(*landscape, config);
+    if (!runner.ok()) return Fail(runner.status());
+    if (Status s = (*runner)->Run(); !s.ok()) return Fail(s);
+    bool passed = Passes((*runner)->metrics(), options.criteria);
+    std::printf("%4.0f%%: %s (overload %.0f server-min, streak %.0f "
+                "min)\n",
+                scale * 100, passed ? "ok" : "OVERLOADED",
+                (*runner)->metrics().overload_server_minutes,
+                (*runner)->metrics().max_overload_streak_minutes);
+    if (!passed) break;
+    max_scale = scale;
+  }
+  std::printf("maximum sustainable user scale: %.0f%%\n",
+              max_scale * 100);
+  return 0;
+}
+
+int CmdDesign(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: autoglobectl design <landscape.xml|paper> "
+                 "[--scenario static] [--out designed.xml]\n");
+    return 1;
+  }
+  Args adjusted = args;
+  if (!args.Has("scenario")) adjusted.options["scenario"] = "static";
+  auto scenario = ScenarioArg(adjusted);
+  if (!scenario.ok()) return Fail(scenario.status());
+  auto landscape = LoadLandscape(args.positional[0], *scenario);
+  if (!landscape.ok()) return Fail(landscape.status());
+  auto report = designer::DesignAllocation(*landscape);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("predicted peak load: input %.2f -> designed %.2f "
+              "(imbalance %.2f)\n",
+              report->input_peak_load, report->designed_peak_load,
+              report->designed_imbalance);
+  for (const auto& [service, server] :
+       report->landscape.initial_allocation) {
+    std::printf("  %-10s -> %s\n", service.c_str(), server.c_str());
+  }
+  if (args.Has("out")) {
+    xml::Document doc;
+    report->landscape.ToXml(doc.SetRoot("landscape"));
+    if (Status s = doc.SaveFile(args.Get("out", "")); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s\n", args.Get("out", "").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: autoglobectl <export|validate|run|capacity|"
+                 "design> ...\n");
+    return 1;
+  }
+  Args args = ParseArgs(argc, argv);
+  std::string command = argv[1];
+  if (command == "export") return CmdExport(args);
+  if (command == "validate") return CmdValidate(args);
+  if (command == "run") return CmdRun(args);
+  if (command == "capacity") return CmdCapacity(args);
+  if (command == "design") return CmdDesign(args);
+  std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
+  return 1;
+}
