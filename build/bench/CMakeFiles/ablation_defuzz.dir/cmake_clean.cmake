@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_defuzz.dir/ablation_defuzz.cpp.o"
+  "CMakeFiles/ablation_defuzz.dir/ablation_defuzz.cpp.o.d"
+  "ablation_defuzz"
+  "ablation_defuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

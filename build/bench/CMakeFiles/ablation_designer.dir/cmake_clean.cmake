@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_designer.dir/ablation_designer.cpp.o"
+  "CMakeFiles/ablation_designer.dir/ablation_designer.cpp.o.d"
+  "ablation_designer"
+  "ablation_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

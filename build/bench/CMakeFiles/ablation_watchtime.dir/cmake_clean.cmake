@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_watchtime.dir/ablation_watchtime.cpp.o"
+  "CMakeFiles/ablation_watchtime.dir/ablation_watchtime.cpp.o.d"
+  "ablation_watchtime"
+  "ablation_watchtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_watchtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

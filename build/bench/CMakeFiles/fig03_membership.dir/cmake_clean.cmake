@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_membership.dir/fig03_membership.cpp.o"
+  "CMakeFiles/fig03_membership.dir/fig03_membership.cpp.o.d"
+  "fig03_membership"
+  "fig03_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

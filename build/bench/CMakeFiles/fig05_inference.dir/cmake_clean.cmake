@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_inference.dir/fig05_inference.cpp.o"
+  "CMakeFiles/fig05_inference.dir/fig05_inference.cpp.o.d"
+  "fig05_inference"
+  "fig05_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

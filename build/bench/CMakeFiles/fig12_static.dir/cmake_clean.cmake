@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_static.dir/fig12_static.cpp.o"
+  "CMakeFiles/fig12_static.dir/fig12_static.cpp.o.d"
+  "fig12_static"
+  "fig12_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

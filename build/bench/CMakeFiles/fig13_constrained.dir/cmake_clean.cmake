@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_constrained.dir/fig13_constrained.cpp.o"
+  "CMakeFiles/fig13_constrained.dir/fig13_constrained.cpp.o.d"
+  "fig13_constrained"
+  "fig13_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_full_mobility.dir/fig14_full_mobility.cpp.o"
+  "CMakeFiles/fig14_full_mobility.dir/fig14_full_mobility.cpp.o.d"
+  "fig14_full_mobility"
+  "fig14_full_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_full_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_fi_static.dir/fig15_fi_static.cpp.o"
+  "CMakeFiles/fig15_fi_static.dir/fig15_fi_static.cpp.o.d"
+  "fig15_fi_static"
+  "fig15_fi_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_fi_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

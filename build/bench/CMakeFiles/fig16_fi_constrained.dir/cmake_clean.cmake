@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_fi_constrained.dir/fig16_fi_constrained.cpp.o"
+  "CMakeFiles/fig16_fi_constrained.dir/fig16_fi_constrained.cpp.o.d"
+  "fig16_fi_constrained"
+  "fig16_fi_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_fi_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_fi_full_mobility.dir/fig17_fi_full_mobility.cpp.o"
+  "CMakeFiles/fig17_fi_full_mobility.dir/fig17_fi_full_mobility.cpp.o.d"
+  "fig17_fi_full_mobility"
+  "fig17_fi_full_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_fi_full_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

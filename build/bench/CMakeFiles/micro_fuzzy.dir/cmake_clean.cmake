@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fuzzy.dir/micro_fuzzy.cpp.o"
+  "CMakeFiles/micro_fuzzy.dir/micro_fuzzy.cpp.o.d"
+  "micro_fuzzy"
+  "micro_fuzzy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

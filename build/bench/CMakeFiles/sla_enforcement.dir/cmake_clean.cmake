@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_enforcement.dir/sla_enforcement.cpp.o"
+  "CMakeFiles/sla_enforcement.dir/sla_enforcement.cpp.o.d"
+  "sla_enforcement"
+  "sla_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_landscape.dir/table4_landscape.cpp.o"
+  "CMakeFiles/table4_landscape.dir/table4_landscape.cpp.o.d"
+  "table4_landscape"
+  "table4_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

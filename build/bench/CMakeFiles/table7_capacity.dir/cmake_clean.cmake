@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_capacity.dir/table7_capacity.cpp.o"
+  "CMakeFiles/table7_capacity.dir/table7_capacity.cpp.o.d"
+  "table7_capacity"
+  "table7_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

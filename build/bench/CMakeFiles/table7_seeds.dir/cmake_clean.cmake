@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_seeds.dir/table7_seeds.cpp.o"
+  "CMakeFiles/table7_seeds.dir/table7_seeds.cpp.o.d"
+  "table7_seeds"
+  "table7_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

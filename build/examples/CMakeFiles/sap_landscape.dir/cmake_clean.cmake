@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sap_landscape.dir/sap_landscape.cpp.o"
+  "CMakeFiles/sap_landscape.dir/sap_landscape.cpp.o.d"
+  "sap_landscape"
+  "sap_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sap_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoglobe/capacity.cc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/capacity.cc.o" "gcc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/capacity.cc.o.d"
+  "/root/repo/src/autoglobe/console.cc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/console.cc.o" "gcc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/console.cc.o.d"
+  "/root/repo/src/autoglobe/landscape.cc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/landscape.cc.o" "gcc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/landscape.cc.o.d"
+  "/root/repo/src/autoglobe/runner.cc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/runner.cc.o" "gcc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/runner.cc.o.d"
+  "/root/repo/src/autoglobe/sla.cc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/sla.cc.o" "gcc" "src/autoglobe/CMakeFiles/ag_autoglobe.dir/sla.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlcfg/CMakeFiles/ag_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzzy/CMakeFiles/ag_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/ag_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ag_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/ag_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/ag_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/ag_forecast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_autoglobe.dir/capacity.cc.o"
+  "CMakeFiles/ag_autoglobe.dir/capacity.cc.o.d"
+  "CMakeFiles/ag_autoglobe.dir/console.cc.o"
+  "CMakeFiles/ag_autoglobe.dir/console.cc.o.d"
+  "CMakeFiles/ag_autoglobe.dir/landscape.cc.o"
+  "CMakeFiles/ag_autoglobe.dir/landscape.cc.o.d"
+  "CMakeFiles/ag_autoglobe.dir/runner.cc.o"
+  "CMakeFiles/ag_autoglobe.dir/runner.cc.o.d"
+  "CMakeFiles/ag_autoglobe.dir/sla.cc.o"
+  "CMakeFiles/ag_autoglobe.dir/sla.cc.o.d"
+  "libag_autoglobe.a"
+  "libag_autoglobe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_autoglobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

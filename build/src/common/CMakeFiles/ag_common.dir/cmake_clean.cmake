@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_common.dir/logging.cc.o"
+  "CMakeFiles/ag_common.dir/logging.cc.o.d"
+  "CMakeFiles/ag_common.dir/rng.cc.o"
+  "CMakeFiles/ag_common.dir/rng.cc.o.d"
+  "CMakeFiles/ag_common.dir/sim_time.cc.o"
+  "CMakeFiles/ag_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/ag_common.dir/status.cc.o"
+  "CMakeFiles/ag_common.dir/status.cc.o.d"
+  "CMakeFiles/ag_common.dir/strings.cc.o"
+  "CMakeFiles/ag_common.dir/strings.cc.o.d"
+  "libag_common.a"
+  "libag_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/controller.cc" "src/controller/CMakeFiles/ag_controller.dir/controller.cc.o" "gcc" "src/controller/CMakeFiles/ag_controller.dir/controller.cc.o.d"
+  "/root/repo/src/controller/reservations.cc" "src/controller/CMakeFiles/ag_controller.dir/reservations.cc.o" "gcc" "src/controller/CMakeFiles/ag_controller.dir/reservations.cc.o.d"
+  "/root/repo/src/controller/rule_bases.cc" "src/controller/CMakeFiles/ag_controller.dir/rule_bases.cc.o" "gcc" "src/controller/CMakeFiles/ag_controller.dir/rule_bases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzzy/CMakeFiles/ag_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/ag_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/ag_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlcfg/CMakeFiles/ag_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ag_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

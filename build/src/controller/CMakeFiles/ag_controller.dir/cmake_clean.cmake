@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_controller.dir/controller.cc.o"
+  "CMakeFiles/ag_controller.dir/controller.cc.o.d"
+  "CMakeFiles/ag_controller.dir/reservations.cc.o"
+  "CMakeFiles/ag_controller.dir/reservations.cc.o.d"
+  "CMakeFiles/ag_controller.dir/rule_bases.cc.o"
+  "CMakeFiles/ag_controller.dir/rule_bases.cc.o.d"
+  "libag_controller.a"
+  "libag_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

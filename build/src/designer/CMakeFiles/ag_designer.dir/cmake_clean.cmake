@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_designer.dir/designer.cc.o"
+  "CMakeFiles/ag_designer.dir/designer.cc.o.d"
+  "libag_designer.a"
+  "libag_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

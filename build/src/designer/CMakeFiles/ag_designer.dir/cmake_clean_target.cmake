@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libag_designer.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_forecast.dir/forecaster.cc.o"
+  "CMakeFiles/ag_forecast.dir/forecaster.cc.o.d"
+  "libag_forecast.a"
+  "libag_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

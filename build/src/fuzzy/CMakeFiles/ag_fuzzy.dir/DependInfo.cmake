@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzzy/inference.cc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/inference.cc.o" "gcc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/inference.cc.o.d"
+  "/root/repo/src/fuzzy/linguistic.cc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/linguistic.cc.o" "gcc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/linguistic.cc.o.d"
+  "/root/repo/src/fuzzy/membership.cc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/membership.cc.o" "gcc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/membership.cc.o.d"
+  "/root/repo/src/fuzzy/rule.cc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/rule.cc.o" "gcc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/rule.cc.o.d"
+  "/root/repo/src/fuzzy/rule_parser.cc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/rule_parser.cc.o" "gcc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/rule_parser.cc.o.d"
+  "/root/repo/src/fuzzy/xml_loader.cc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/xml_loader.cc.o" "gcc" "src/fuzzy/CMakeFiles/ag_fuzzy.dir/xml_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlcfg/CMakeFiles/ag_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

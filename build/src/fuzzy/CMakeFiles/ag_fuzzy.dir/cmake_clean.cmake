@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_fuzzy.dir/inference.cc.o"
+  "CMakeFiles/ag_fuzzy.dir/inference.cc.o.d"
+  "CMakeFiles/ag_fuzzy.dir/linguistic.cc.o"
+  "CMakeFiles/ag_fuzzy.dir/linguistic.cc.o.d"
+  "CMakeFiles/ag_fuzzy.dir/membership.cc.o"
+  "CMakeFiles/ag_fuzzy.dir/membership.cc.o.d"
+  "CMakeFiles/ag_fuzzy.dir/rule.cc.o"
+  "CMakeFiles/ag_fuzzy.dir/rule.cc.o.d"
+  "CMakeFiles/ag_fuzzy.dir/rule_parser.cc.o"
+  "CMakeFiles/ag_fuzzy.dir/rule_parser.cc.o.d"
+  "CMakeFiles/ag_fuzzy.dir/xml_loader.cc.o"
+  "CMakeFiles/ag_fuzzy.dir/xml_loader.cc.o.d"
+  "libag_fuzzy.a"
+  "libag_fuzzy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_infra.dir/action.cc.o"
+  "CMakeFiles/ag_infra.dir/action.cc.o.d"
+  "CMakeFiles/ag_infra.dir/cluster.cc.o"
+  "CMakeFiles/ag_infra.dir/cluster.cc.o.d"
+  "CMakeFiles/ag_infra.dir/executor.cc.o"
+  "CMakeFiles/ag_infra.dir/executor.cc.o.d"
+  "CMakeFiles/ag_infra.dir/specs.cc.o"
+  "CMakeFiles/ag_infra.dir/specs.cc.o.d"
+  "libag_infra.a"
+  "libag_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_monitor.dir/load_archive.cc.o"
+  "CMakeFiles/ag_monitor.dir/load_archive.cc.o.d"
+  "CMakeFiles/ag_monitor.dir/monitoring.cc.o"
+  "CMakeFiles/ag_monitor.dir/monitoring.cc.o.d"
+  "libag_monitor.a"
+  "libag_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_sim.dir/simulator.cc.o"
+  "CMakeFiles/ag_sim.dir/simulator.cc.o.d"
+  "libag_sim.a"
+  "libag_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

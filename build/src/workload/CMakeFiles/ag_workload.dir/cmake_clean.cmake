@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_workload.dir/demand.cc.o"
+  "CMakeFiles/ag_workload.dir/demand.cc.o.d"
+  "CMakeFiles/ag_workload.dir/load_pattern.cc.o"
+  "CMakeFiles/ag_workload.dir/load_pattern.cc.o.d"
+  "libag_workload.a"
+  "libag_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_xml.dir/xml.cc.o"
+  "CMakeFiles/ag_xml.dir/xml.cc.o.d"
+  "libag_xml.a"
+  "libag_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

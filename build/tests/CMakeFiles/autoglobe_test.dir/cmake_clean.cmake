@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoglobe_test.dir/autoglobe/capacity_test.cc.o"
+  "CMakeFiles/autoglobe_test.dir/autoglobe/capacity_test.cc.o.d"
+  "CMakeFiles/autoglobe_test.dir/autoglobe/console_test.cc.o"
+  "CMakeFiles/autoglobe_test.dir/autoglobe/console_test.cc.o.d"
+  "CMakeFiles/autoglobe_test.dir/autoglobe/landscape_test.cc.o"
+  "CMakeFiles/autoglobe_test.dir/autoglobe/landscape_test.cc.o.d"
+  "CMakeFiles/autoglobe_test.dir/autoglobe/runner_test.cc.o"
+  "CMakeFiles/autoglobe_test.dir/autoglobe/runner_test.cc.o.d"
+  "CMakeFiles/autoglobe_test.dir/autoglobe/sla_test.cc.o"
+  "CMakeFiles/autoglobe_test.dir/autoglobe/sla_test.cc.o.d"
+  "autoglobe_test"
+  "autoglobe_test.pdb"
+  "autoglobe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoglobe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

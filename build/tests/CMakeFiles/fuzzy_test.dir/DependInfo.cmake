@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzzy/inference_test.cc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/inference_test.cc.o" "gcc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/inference_test.cc.o.d"
+  "/root/repo/tests/fuzzy/linguistic_test.cc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/linguistic_test.cc.o" "gcc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/linguistic_test.cc.o.d"
+  "/root/repo/tests/fuzzy/membership_test.cc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/membership_test.cc.o" "gcc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/membership_test.cc.o.d"
+  "/root/repo/tests/fuzzy/paper_example_test.cc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/paper_example_test.cc.o.d"
+  "/root/repo/tests/fuzzy/rule_parser_test.cc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/rule_parser_test.cc.o" "gcc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/rule_parser_test.cc.o.d"
+  "/root/repo/tests/fuzzy/xml_loader_test.cc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/xml_loader_test.cc.o" "gcc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy/xml_loader_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuzzy/CMakeFiles/ag_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlcfg/CMakeFiles/ag_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

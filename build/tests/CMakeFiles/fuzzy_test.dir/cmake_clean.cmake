@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_test.dir/fuzzy/inference_test.cc.o"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/inference_test.cc.o.d"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/linguistic_test.cc.o"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/linguistic_test.cc.o.d"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/membership_test.cc.o"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/membership_test.cc.o.d"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/paper_example_test.cc.o"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/paper_example_test.cc.o.d"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/rule_parser_test.cc.o"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/rule_parser_test.cc.o.d"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/xml_loader_test.cc.o"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/xml_loader_test.cc.o.d"
+  "fuzzy_test"
+  "fuzzy_test.pdb"
+  "fuzzy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

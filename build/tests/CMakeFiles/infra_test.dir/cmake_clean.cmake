@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_test.dir/infra/action_test.cc.o"
+  "CMakeFiles/infra_test.dir/infra/action_test.cc.o.d"
+  "CMakeFiles/infra_test.dir/infra/cluster_test.cc.o"
+  "CMakeFiles/infra_test.dir/infra/cluster_test.cc.o.d"
+  "CMakeFiles/infra_test.dir/infra/executor_test.cc.o"
+  "CMakeFiles/infra_test.dir/infra/executor_test.cc.o.d"
+  "CMakeFiles/infra_test.dir/infra/specs_test.cc.o"
+  "CMakeFiles/infra_test.dir/infra/specs_test.cc.o.d"
+  "infra_test"
+  "infra_test.pdb"
+  "infra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlcfg_test.dir/xmlcfg/xml_test.cc.o"
+  "CMakeFiles/xmlcfg_test.dir/xmlcfg/xml_test.cc.o.d"
+  "xmlcfg_test"
+  "xmlcfg_test.pdb"
+  "xmlcfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlcfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

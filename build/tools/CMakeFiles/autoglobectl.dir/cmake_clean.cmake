@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoglobectl.dir/autoglobectl.cpp.o"
+  "CMakeFiles/autoglobectl.dir/autoglobectl.cpp.o.d"
+  "autoglobectl"
+  "autoglobectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoglobectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(autoglobectl_validate_fm "/root/repo/build/tools/autoglobectl" "validate" "/root/repo/data/paper_landscape_fm.xml")
+set_tests_properties(autoglobectl_validate_fm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(autoglobectl_validate_cm "/root/repo/build/tools/autoglobectl" "validate" "/root/repo/data/paper_landscape_cm.xml")
+set_tests_properties(autoglobectl_validate_cm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(autoglobectl_validate_static "/root/repo/build/tools/autoglobectl" "validate" "/root/repo/data/paper_landscape_static.xml")
+set_tests_properties(autoglobectl_validate_static PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(autoglobectl_run_smoke "/root/repo/build/tools/autoglobectl" "run" "paper" "--scale" "1.1" "--hours" "6")
+set_tests_properties(autoglobectl_run_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(autoglobectl_design_smoke "/root/repo/build/tools/autoglobectl" "design" "paper" "--scenario" "static")
+set_tests_properties(autoglobectl_design_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(autoglobectl_export_roundtrip "/root/repo/build/tools/autoglobectl" "export" "/root/repo/build/tools/exported.xml")
+set_tests_properties(autoglobectl_export_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(autoglobectl_rejects_unknown "/root/repo/build/tools/autoglobectl" "frobnicate")
+set_tests_properties(autoglobectl_rejects_unknown PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
