@@ -1,12 +1,17 @@
 // Microbenchmarks (google-benchmark) of the simulation substrate:
 // event-queue throughput, demand-engine ticks over the full paper
-// landscape, and whole simulated hours of each scenario — the numbers
-// that justify running 80-hour capacity sweeps in seconds.
+// landscape, whole simulated hours of each scenario, and the
+// thread-pool run engine — the numbers that justify running 80-hour
+// capacity sweeps in seconds. Results are also written to
+// BENCH_micro.json so future PRs have a perf trajectory to compare
+// against.
 
 #include <benchmark/benchmark.h>
 
 #include "autoglobe/capacity.h"
+#include "bench_util.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "sim/simulator.h"
 #include "workload/demand.h"
 
@@ -14,6 +19,9 @@ namespace {
 
 using namespace autoglobe;
 
+// The hot path of the kernel: schedule + dispatch with a static
+// label. After the EventLabel/flat-liveness overhaul this path does
+// no per-event label allocation and no hash-set probes.
 void BM_EventQueueScheduleDispatch(benchmark::State& state) {
   const int64_t batch = state.range(0);
   for (auto _ : state) {
@@ -31,6 +39,24 @@ void BM_EventQueueScheduleDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueueScheduleDispatch)->Arg(1000)->Arg(10000);
+
+// Periodic series re-arm: one tick event driven for `batch` periods.
+// Re-arming copies a shared_ptr refcount, not the std::function.
+void BM_EventQueuePeriodicRearm(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    uint64_t sink = 0;
+    AG_CHECK_OK(simulator
+                    .SchedulePeriodic(Duration::Minutes(1), "tick",
+                                      [&sink] { ++sink; })
+                    .status());
+    simulator.RunUntil(SimTime::Start() + Duration::Minutes(batch));
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePeriodicRearm)->Arg(10000);
 
 void BM_DemandEngineTick(benchmark::State& state) {
   infra::Cluster cluster;
@@ -63,6 +89,83 @@ void BM_SimulatedHour(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedHour)->DenseRange(0, 2);
 
+// Pure pool dispatch overhead: trivial tasks, so the time is the
+// submit/latch machinery itself.
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  std::vector<uint64_t> sinks(1024, 0);
+  for (auto _ : state) {
+    pool.ParallelFor(sinks.size(), [&sinks](size_t i) { ++sinks[i]; });
+  }
+  benchmark::DoNotOptimize(sinks.data());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(sinks.size()));
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(4);
+
+// The speedup the run engine exists for, measured on the real product
+// path: a short capacity sweep, sequential (parallelism 1) versus one
+// worker per hardware thread (parallelism 0). Items are sweep steps.
+void BM_CapacitySweepShort(benchmark::State& state) {
+  CapacityOptions options;
+  options.start_scale = 1.0;
+  options.step = 0.25;
+  options.max_scale = 1.5;
+  options.run_duration = Duration::Hours(2);
+  options.warmup = Duration::Zero();
+  options.parallelism = static_cast<int>(state.range(0));
+  size_t steps = 0;
+  for (auto _ : state) {
+    auto result = FindCapacity(Scenario::kConstrainedMobility, options);
+    AG_CHECK_OK(result.status());
+    steps += result->steps.size();
+    benchmark::DoNotOptimize(result->max_scale);
+  }
+  state.SetLabel(options.parallelism == 1 ? "sequential"
+                                          : "hardware-parallel");
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_CapacitySweepShort)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Console reporting plus capture into bench::BenchRecord rows, so
+/// the run also leaves BENCH_micro.json behind.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      record.wall_seconds =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        record.items_per_second = static_cast<double>(items->second);
+      }
+      record.extra["iterations"] = static_cast<double>(run.iterations);
+      records_.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<bench::BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<bench::BenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  autoglobe::bench::WriteBenchJson("BENCH_micro.json", reporter.records());
+  return 0;
+}

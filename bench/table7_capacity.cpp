@@ -5,18 +5,40 @@
 // 135 %. The sweep follows the paper's protocol: 80-hour simulation
 // runs, increasing the number of users by 5 % until the system
 // becomes overloaded (sustained > 80 % CPU).
+//
+// The sweeps of all three scenarios fan out over one worker pool
+// (FindCapacityAll); results are bit-identical to the sequential
+// sweep at any thread count. Usage: table7_capacity [parallelism]
+// (default 0 = one worker per hardware thread; pass 1 to measure the
+// sequential baseline).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "autoglobe/capacity.h"
+#include "bench_util.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 using namespace autoglobe;
 
-int main() {
-  std::printf("# Table 7: maximum possible, relative number of users\n\n");
-
+int main(int argc, char** argv) {
   CapacityOptions options;  // 80 h runs, +5 % steps, paper thresholds
+  options.parallelism = argc > 1 ? std::atoi(argv[1]) : 0;
+  size_t workers =
+      options.parallelism == 0
+          ? ThreadPool::DefaultThreadCount()
+          : static_cast<size_t>(std::max(1, options.parallelism));
+
+  std::printf("# Table 7: maximum possible, relative number of users\n");
+  std::printf("# sweep parallelism: %zu worker(s)\n\n", workers);
+
+  bench::WallTimer timer;
+  auto all = FindCapacityAll(options);
+  AG_CHECK_OK(all.status());
+  double wall_seconds = timer.Seconds();
+
   struct RowSpec {
     Scenario scenario;
     int paper_percent;
@@ -27,27 +49,25 @@ int main() {
       {Scenario::kFullMobility, 135},
   };
 
+  // One sweep per scenario, computed exactly once: the summary table
+  // and the per-step details below reuse the same results.
   std::printf("%-22s %12s %12s\n", "Scenario", "Measured", "Paper");
-  double results[3] = {0, 0, 0};
-  int i = 0;
-  for (const RowSpec& row : rows) {
-    auto result = FindCapacity(row.scenario, options);
-    AG_CHECK_OK(result.status());
-    results[i++] = result->max_scale;
+  size_t steps_total = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    const CapacityResult& result = (*all)[i];
+    steps_total += result.steps.size();
     std::printf("%-22s %11.0f%% %11d%%\n",
-                std::string(ScenarioName(row.scenario)).c_str(),
-                result->max_scale * 100.0, row.paper_percent);
+                std::string(ScenarioName(rows[i].scenario)).c_str(),
+                result.max_scale * 100.0, rows[i].paper_percent);
   }
 
   std::printf("\n# Sweep details (per 5%% step):\n");
-  for (const RowSpec& row : rows) {
-    auto result = FindCapacity(row.scenario, options);
-    AG_CHECK_OK(result.status());
-    for (const CapacityStep& step : result->steps) {
+  for (size_t i = 0; i < 3; ++i) {
+    for (const CapacityStep& step : (*all)[i].steps) {
       std::printf(
           "# %-22s %3.0f%%: %s (overload %.0f server-min, %.2f%% of "
           "samples, max streak %.0f min, %lld actions)\n",
-          std::string(ScenarioName(row.scenario)).c_str(),
+          std::string(ScenarioName(rows[i].scenario)).c_str(),
           step.scale * 100.0, step.passed ? "ok        " : "OVERLOADED",
           step.metrics.overload_server_minutes,
           step.metrics.overload_fraction * 100.0,
@@ -56,7 +76,21 @@ int main() {
     }
   }
 
-  bool ordering = results[0] < results[1] && results[1] < results[2];
+  std::printf("\n# wall-clock: %.2f s for %zu sweep steps (%.2f steps/s)\n",
+              wall_seconds, steps_total,
+              wall_seconds > 0 ? steps_total / wall_seconds : 0.0);
+  bench::WriteBenchJson(
+      "BENCH_capacity.json",
+      {{"table7_capacity/sweep_all_scenarios", wall_seconds,
+        wall_seconds > 0 ? steps_total / wall_seconds : 0.0,
+        {{"parallelism", static_cast<double>(workers)},
+         {"steps", static_cast<double>(steps_total)},
+         {"static_max_scale", (*all)[0].max_scale},
+         {"cm_max_scale", (*all)[1].max_scale},
+         {"fm_max_scale", (*all)[2].max_scale}}}});
+
+  bool ordering = (*all)[0].max_scale < (*all)[1].max_scale &&
+                  (*all)[1].max_scale < (*all)[2].max_scale;
   std::printf("\n# Shape check: static < CM < FM ... %s\n",
               ordering ? "HOLDS" : "VIOLATED");
   return ordering ? 0 : 1;

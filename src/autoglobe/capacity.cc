@@ -1,5 +1,12 @@
 #include "autoglobe/capacity.h"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <optional>
+
+#include "common/thread_pool.h"
+
 namespace autoglobe {
 
 RunnerConfig MakeScenarioConfig(Scenario scenario, double user_scale,
@@ -35,29 +42,190 @@ bool Passes(const RunMetrics& metrics, const AcceptanceCriteria& criteria) {
          metrics.overload_fraction <= criteria.max_overload_fraction;
 }
 
-Result<CapacityResult> FindCapacity(Scenario scenario,
-                                    const CapacityOptions& options) {
-  CapacityResult result;
-  result.scenario = scenario;
+std::vector<double> SweepScales(const CapacityOptions& options) {
+  std::vector<double> scales;
   for (double scale = options.start_scale;
        scale <= options.max_scale + 1e-9; scale += options.step) {
-    Landscape landscape = MakePaperLandscape(scenario);
-    RunnerConfig config =
-        MakeScenarioConfig(scenario, scale, options.seed);
-    config.duration = options.run_duration;
-    config.metrics_warmup = options.warmup;
-    AG_ASSIGN_OR_RETURN(std::unique_ptr<SimulationRunner> runner,
-                        SimulationRunner::Create(landscape, config));
-    AG_RETURN_IF_ERROR(runner->Run());
-    CapacityStep step;
-    step.scale = scale;
-    step.metrics = runner->metrics();
-    step.passed = Passes(step.metrics, options.criteria);
-    result.steps.push_back(step);
-    if (!step.passed) break;  // "until the system becomes overloaded"
-    result.max_scale = scale;
+    scales.push_back(scale);
+  }
+  return scales;
+}
+
+uint64_t StepSeed(const CapacityOptions& options, size_t index) {
+  return options.seed + options.seed_stride * static_cast<uint64_t>(index);
+}
+
+namespace {
+
+/// One fully independent sweep step: fresh landscape, fresh runner,
+/// seed a pure function of the step index — execution order can never
+/// leak into the result.
+Result<CapacityStep> RunStep(Scenario scenario, double scale,
+                             const CapacityOptions& options,
+                             uint64_t seed) {
+  Landscape landscape = MakePaperLandscape(scenario);
+  RunnerConfig config = MakeScenarioConfig(scenario, scale, seed);
+  config.duration = options.run_duration;
+  config.metrics_warmup = options.warmup;
+  AG_ASSIGN_OR_RETURN(std::unique_ptr<SimulationRunner> runner,
+                      SimulationRunner::Create(landscape, config));
+  AG_RETURN_IF_ERROR(runner->Run());
+  CapacityStep step;
+  step.scale = scale;
+  step.metrics = runner->metrics();
+  step.passed = Passes(step.metrics, options.criteria);
+  return step;
+}
+
+size_t ResolveWorkers(const CapacityOptions& options) {
+  if (options.parallelism == 0) return ThreadPool::DefaultThreadCount();
+  return static_cast<size_t>(std::max(1, options.parallelism));
+}
+
+/// Shared early-stop bound for one scenario's speculative sweep: the
+/// lowest step index known to have failed. Steps beyond the bound are
+/// skipped — they can never appear in the truncated result — so the
+/// speculative waste is limited to the handful of steps already in
+/// flight when the failure surfaces, instead of the whole scale range.
+class FailureBound {
+ public:
+  bool Beyond(size_t index) const {
+    return index > bound_.load(std::memory_order_acquire);
+  }
+  void RecordFailure(size_t index) {
+    size_t current = bound_.load(std::memory_order_acquire);
+    while (index < current &&
+           !bound_.compare_exchange_weak(current, index,
+                                         std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<size_t> bound_{std::numeric_limits<size_t>::max()};
+};
+
+/// Runs step `index` unless the bound says it cannot matter; records
+/// failures (and errors, which also end a sequential sweep) in the
+/// bound so later steps stop being computed.
+std::optional<Result<CapacityStep>> RunStepSpeculative(
+    Scenario scenario, const std::vector<double>& scales, size_t index,
+    const CapacityOptions& options, FailureBound* bound) {
+  if (bound->Beyond(index)) return std::nullopt;  // skipped
+  Result<CapacityStep> outcome =
+      RunStep(scenario, scales[index], options, StepSeed(options, index));
+  if (!outcome.ok() || !outcome->passed) bound->RecordFailure(index);
+  return outcome;
+}
+
+/// Applies the sequential sweep semantics — "until the system becomes
+/// overloaded" — to speculatively computed steps: keep steps up to
+/// and including the first failure, drop the rest.
+Result<CapacityResult> Assemble(
+    Scenario scenario,
+    std::vector<std::optional<Result<CapacityStep>>> outcomes) {
+  CapacityResult result;
+  result.scenario = scenario;
+  for (std::optional<Result<CapacityStep>>& outcome : outcomes) {
+    if (!outcome.has_value()) {
+      return Status::Internal("sweep step was not computed");
+    }
+    AG_RETURN_IF_ERROR(outcome->status());
+    result.steps.push_back(**outcome);
+    if (!(*outcome)->passed) break;
+    result.max_scale = (*outcome)->scale;
   }
   return result;
+}
+
+Result<CapacityResult> FindCapacitySequential(
+    Scenario scenario, const CapacityOptions& options,
+    const std::vector<double>& scales) {
+  CapacityResult result;
+  result.scenario = scenario;
+  for (size_t i = 0; i < scales.size(); ++i) {
+    AG_ASSIGN_OR_RETURN(
+        CapacityStep step,
+        RunStep(scenario, scales[i], options, StepSeed(options, i)));
+    result.steps.push_back(step);
+    if (!step.passed) break;  // "until the system becomes overloaded"
+    result.max_scale = step.scale;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<CapacityResult> FindCapacity(Scenario scenario,
+                                    const CapacityOptions& options) {
+  std::vector<double> scales = SweepScales(options);
+  size_t workers = ResolveWorkers(options);
+  if (workers <= 1 || scales.size() <= 1) {
+    // Sequential keeps the early exit: steps past the first failure
+    // are never run at all.
+    return FindCapacitySequential(scenario, options, scales);
+  }
+  ThreadPool pool(std::min(workers, scales.size()));
+  FailureBound bound;
+  auto outcomes = pool.ParallelMap(
+      scales.size(),
+      [&](size_t i) -> std::optional<Result<CapacityStep>> {
+        return RunStepSpeculative(scenario, scales, i, options, &bound);
+      });
+  return Assemble(scenario, std::move(outcomes));
+}
+
+Result<std::vector<CapacityResult>> FindCapacityAll(
+    const CapacityOptions& options) {
+  const Scenario scenarios[] = {Scenario::kStatic,
+                                Scenario::kConstrainedMobility,
+                                Scenario::kFullMobility};
+  std::vector<double> scales = SweepScales(options);
+  size_t workers = ResolveWorkers(options);
+  std::vector<CapacityResult> results;
+
+  if (workers <= 1) {
+    for (Scenario scenario : scenarios) {
+      AG_ASSIGN_OR_RETURN(
+          CapacityResult result,
+          FindCapacitySequential(scenario, options, scales));
+      results.push_back(std::move(result));
+    }
+    return results;
+  }
+
+  // Flatten every (scenario, step) pair into one task list so the
+  // pool stays busy across scenario boundaries. Step-major order
+  // (all scenarios' step i before any step i+1) surfaces each
+  // scenario's first failure as early as possible, which keeps the
+  // speculative waste per scenario down to roughly the worker count.
+  struct Task {
+    size_t scenario;
+    size_t step;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(std::size(scenarios) * scales.size());
+  for (size_t i = 0; i < scales.size(); ++i) {
+    for (size_t s = 0; s < std::size(scenarios); ++s) tasks.push_back({s, i});
+  }
+  std::vector<std::vector<std::optional<Result<CapacityStep>>>> outcomes(
+      std::size(scenarios));
+  for (auto& per_scenario : outcomes) per_scenario.resize(scales.size());
+  std::vector<FailureBound> bounds(std::size(scenarios));
+
+  ThreadPool pool(std::min(workers, tasks.size()));
+  pool.ParallelFor(tasks.size(), [&](size_t t) {
+    const Task& task = tasks[t];
+    outcomes[task.scenario][task.step] =
+        RunStepSpeculative(scenarios[task.scenario], scales, task.step,
+                           options, &bounds[task.scenario]);
+  });
+
+  for (size_t s = 0; s < std::size(scenarios); ++s) {
+    AG_ASSIGN_OR_RETURN(CapacityResult result,
+                        Assemble(scenarios[s], std::move(outcomes[s])));
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace autoglobe

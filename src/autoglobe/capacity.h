@@ -51,16 +51,47 @@ struct CapacityOptions {
   /// RunnerConfig::metrics_warmup).
   Duration warmup = Duration::Hours(24);
   uint64_t seed = 42;
+  /// Per-step seed derivation: step i runs with seed
+  /// `seed + seed_stride * i`. The default 0 gives every step the
+  /// same noise streams (common random numbers — the classic
+  /// variance-reduction choice for sweeps, and the paper protocol);
+  /// a non-zero stride decorrelates the steps. Either way the seed of
+  /// a step depends only on its index, never on execution order, so
+  /// sweep results are bit-identical at any parallelism.
+  uint64_t seed_stride = 0;
+  /// Worker threads for the sweep. 1 = sequential (steps stop at the
+  /// first failure); N > 1 runs steps speculatively on N workers and
+  /// truncates afterwards — same result, less wall-clock. 0 = one
+  /// worker per hardware thread.
+  int parallelism = 1;
   AcceptanceCriteria criteria;
 };
 
 /// Evaluates a finished run against the criteria.
 bool Passes(const RunMetrics& metrics, const AcceptanceCriteria& criteria);
 
+/// The user scales a sweep visits, in order (start, start+step, ...,
+/// up to max_scale inclusive).
+std::vector<double> SweepScales(const CapacityOptions& options);
+
+/// Seed of sweep step `index` (see CapacityOptions::seed_stride).
+uint64_t StepSeed(const CapacityOptions& options, size_t index);
+
 /// Runs the +5 % sweep for one scenario of the paper landscape and
 /// reports the maximum sustainable user scale (the Table 7 numbers).
+/// With options.parallelism != 1 the steps run concurrently; each
+/// SimulationRunner stays single-threaded and results are
+/// bit-identical to the sequential sweep.
 Result<CapacityResult> FindCapacity(Scenario scenario,
                                     const CapacityOptions& options = {});
+
+/// Fans out the sweeps of all three paper scenarios (the whole of
+/// Table 7) over one worker pool: every (scenario, step) pair is an
+/// independent task, so the pool stays busy even while one scenario
+/// waits for its slowest step. Results are ordered static, CM, FM and
+/// bit-identical to three sequential FindCapacity calls.
+Result<std::vector<CapacityResult>> FindCapacityAll(
+    const CapacityOptions& options = {});
 
 }  // namespace autoglobe
 

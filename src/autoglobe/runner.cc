@@ -83,6 +83,16 @@ Status SimulationRunner::Init(const Landscape& landscape) {
     AG_RETURN_IF_ERROR(monitoring_->RegisterSubject(
         TriggerKind::kServerOverloaded, server->name,
         server->performance_index));
+    server_names_.push_back(server->name);
+  }
+  // Dense per-server stats, index order = sorted name order (matches
+  // the iteration order of demand_->server_loads()).
+  std::sort(server_names_.begin(), server_names_.end());
+  window_ticks_ = static_cast<size_t>(std::max<int64_t>(
+      1, config_.overload_smoothing.seconds() / config_.tick.seconds()));
+  server_stats_.resize(server_names_.size());
+  for (ServerStat& stat : server_stats_) {
+    stat.window.assign(window_ticks_, 0.0);
   }
   for (const infra::ServiceSpec* service : cluster_.Services()) {
     std::optional<Duration> watch_override;
@@ -153,7 +163,9 @@ Status SimulationRunner::Init(const Landscape& landscape) {
                              demand_->ResetQualityMetrics();
                              metrics_.overload_server_minutes = 0.0;
                              metrics_.max_overload_streak_minutes = 0.0;
-                             overload_streak_minutes_.clear();
+                             for (ServerStat& stat : server_stats_) {
+                               stat.streak_minutes = 0.0;
+                             }
                              load_sum_ = 0.0;
                              load_samples_ = 0;
                            })
@@ -161,6 +173,22 @@ Status SimulationRunner::Init(const Landscape& landscape) {
   }
   initialized_ = true;
   return Status::OK();
+}
+
+size_t SimulationRunner::ServerIndex(std::string_view server) {
+  auto it = std::lower_bound(server_names_.begin(), server_names_.end(),
+                             server);
+  if (it == server_names_.end() || *it != server) {
+    // Unknown server (the cluster's server set is fixed at Init, so
+    // this is defensive): grow the dense tables.
+    it = server_names_.insert(it, std::string(server));
+    ServerStat stat;
+    stat.window.assign(window_ticks_, 0.0);
+    server_stats_.insert(
+        server_stats_.begin() + (it - server_names_.begin()),
+        std::move(stat));
+  }
+  return static_cast<size_t>(it - server_names_.begin());
 }
 
 void SimulationRunner::OnTick() {
@@ -173,28 +201,37 @@ void SimulationRunner::OnTick() {
   // smoothed load so that a single noisy sample does not count as an
   // "overloaded" minute (the paper's criterion is sustained load).
   double tick_minutes = config_.tick.seconds() / 60.0;
-  size_t window_ticks = static_cast<size_t>(std::max<int64_t>(
-      1, config_.overload_smoothing.seconds() / config_.tick.seconds()));
+  size_t position = 0;
   for (const auto& [server, load] : demand_->server_loads()) {
+    size_t index = (position < server_names_.size() &&
+                    server_names_[position] == server)
+                       ? position
+                       : ServerIndex(server);
+    ++position;
+    ServerStat& stat = server_stats_[index];
     load_sum_ += load.cpu;
     ++load_samples_;
-    std::deque<double>& window = load_window_[server];
-    double& window_sum = load_window_sum_[server];
-    window.push_back(load.cpu);
-    window_sum += load.cpu;
-    if (window.size() > window_ticks) {
-      window_sum -= window.front();
-      window.pop_front();
+    // Trailing window as a ring buffer; the add-then-evict order of
+    // operations matches the previous deque implementation so the
+    // floating-point results are bit-identical.
+    stat.window_sum += load.cpu;
+    if (stat.count == window_ticks_) {
+      stat.window_sum -= stat.window[stat.head];
+      stat.window[stat.head] = load.cpu;
+      stat.head = (stat.head + 1) % window_ticks_;
+    } else {
+      stat.window[(stat.head + stat.count) % window_ticks_] = load.cpu;
+      ++stat.count;
     }
-    double smoothed = window_sum / static_cast<double>(window.size());
-    double& streak = overload_streak_minutes_[server];
+    double smoothed =
+        stat.window_sum / static_cast<double>(stat.count);
     if (smoothed > config_.overload_threshold) {
       metrics_.overload_server_minutes += tick_minutes;
-      streak += tick_minutes;
-      metrics_.max_overload_streak_minutes =
-          std::max(metrics_.max_overload_streak_minutes, streak);
+      stat.streak_minutes += tick_minutes;
+      metrics_.max_overload_streak_minutes = std::max(
+          metrics_.max_overload_streak_minutes, stat.streak_minutes);
     } else {
-      streak = 0.0;
+      stat.streak_minutes = 0.0;
     }
     AG_CHECK_OK(monitoring_->Observe(now, server, load.cpu,
                                      DetectionLoad(TriggerKind::kServerOverloaded,

@@ -2,11 +2,10 @@
 #define AUTOGLOBE_AUTOGLOBE_RUNNER_H_
 
 #include <functional>
-#include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "autoglobe/landscape.h"
@@ -179,10 +178,28 @@ class SimulationRunner {
   SampleHook sample_hook_;
   RunMetrics metrics_;
   std::vector<std::string> messages_;
-  std::map<std::string, double, std::less<>> overload_streak_minutes_;
-  // Trailing load samples per server for the smoothed verdict.
-  std::map<std::string, std::deque<double>, std::less<>> load_window_;
-  std::map<std::string, double, std::less<>> load_window_sum_;
+
+  /// Per-server hot-path state for the smoothed overload verdict:
+  /// overload streak plus a trailing-window ring buffer of load
+  /// samples. Stored densely, indexed by the stable server index
+  /// resolved once at Init — the per-tick loop does no string-keyed
+  /// map lookups.
+  struct ServerStat {
+    double streak_minutes = 0.0;
+    double window_sum = 0.0;
+    std::vector<double> window;  // ring buffer of window_ticks_ samples
+    size_t head = 0;             // index of the oldest sample
+    size_t count = 0;            // samples currently in the window
+  };
+  /// Maps a server name to its dense index. The names are sorted, so
+  /// iteration over DemandEngine::server_loads() (an ordered map)
+  /// visits servers in exactly this order — the per-tick loop resolves
+  /// indices positionally and only falls back to binary search if the
+  /// server set ever diverges.
+  size_t ServerIndex(std::string_view server);
+  std::vector<std::string> server_names_;  // sorted
+  std::vector<ServerStat> server_stats_;   // parallel to server_names_
+  size_t window_ticks_ = 1;
   double load_sum_ = 0.0;
   int64_t load_samples_ = 0;
   bool initialized_ = false;

@@ -1,0 +1,112 @@
+#ifndef AUTOGLOBE_COMMON_THREAD_POOL_H_
+#define AUTOGLOBE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace autoglobe {
+
+/// Single-use countdown latch: Wait() returns once CountDown() has
+/// been called `count` times. (std::latch equivalent, kept local so
+/// the pool has no dependency surface beyond <thread>.)
+class Latch {
+ public:
+  explicit Latch(size_t count) : remaining_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+/// Fixed-size worker pool for running independent simulation runs
+/// concurrently. The pool itself imposes no ordering; deterministic
+/// result ordering comes from ParallelMap/ParallelFor writing each
+/// result into its index slot, so callers see results in submission
+/// order regardless of which worker finished first.
+///
+/// Tasks must not throw (the codebase is Status-based and built
+/// without exception plumbing in the workers).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t threads);
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency may
+  /// report 0 on exotic platforms).
+  static size_t DefaultThreadCount();
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs fn(0) .. fn(n-1) on the pool and blocks until all are done.
+  /// Indices are dispatched in order, so with thread_count() == 1 the
+  /// execution order is exactly sequential.
+  template <typename Fn>
+  void ParallelFor(size_t n, Fn&& fn) {
+    if (n == 0) return;
+    Latch latch(n);
+    for (size_t i = 0; i < n; ++i) {
+      Submit([&fn, &latch, i] {
+        fn(i);
+        latch.CountDown();
+      });
+    }
+    latch.Wait();
+  }
+
+  /// ParallelFor that collects fn(i) into slot i of the returned
+  /// vector — deterministic ordering independent of thread count.
+  /// The result type must be default-constructible (wrap in
+  /// std::optional otherwise).
+  template <typename Fn>
+  auto ParallelMap(size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(size_t{0}))> {
+    std::vector<decltype(fn(size_t{0}))> results(n);
+    ParallelFor(n, [&results, &fn](size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stop
+  std::condition_variable idle_cv_;   // Wait(): everything finished
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_COMMON_THREAD_POOL_H_

@@ -1,38 +1,95 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <mutex>
+#include <unordered_set>
+
 #include "common/result.h"
 #include "common/strings.h"
 
 namespace autoglobe::sim {
 
-Result<EventId> Simulator::ScheduleAt(SimTime at, std::string label,
+namespace {
+
+struct LabelHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct LabelEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+/// Process-wide label intern table. Elements of an unordered_set are
+/// node-stable, so views into them stay valid forever; the table is
+/// leaked deliberately (labels may be traced during static teardown).
+std::string_view InternLabel(std::string_view label) {
+  static std::mutex mutex;
+  static auto* table = new std::unordered_set<std::string, LabelHash, LabelEq>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = table->find(label);
+  if (it == table->end()) it = table->emplace(label).first;
+  return *it;
+}
+
+}  // namespace
+
+EventLabel::EventLabel(const std::string& dynamic)
+    : label_(InternLabel(dynamic)) {}
+EventLabel::EventLabel(std::string_view dynamic)
+    : label_(InternLabel(dynamic)) {}
+
+EventId Simulator::AllocateId() {
+  EventId id = next_id_++;
+  if (state_.size() <= id) state_.resize(id + 1, EventState::kDone);
+  return id;
+}
+
+void Simulator::Push(Event event) {
+  heap_.push_back(std::move(event));
+  std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
+}
+
+Simulator::Event Simulator::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
+}
+
+Result<EventId> Simulator::ScheduleAt(SimTime at, EventLabel label,
                                       Callback callback) {
   if (at < now_) {
     return Status::InvalidArgument(
-        StrFormat("cannot schedule event \"%s\" in the past (%s < %s)",
-                  label.c_str(), at.ToString().c_str(),
-                  now_.ToString().c_str()));
+        StrFormat("cannot schedule event \"%.*s\" in the past (%s < %s)",
+                  static_cast<int>(label.view().size()), label.view().data(),
+                  at.ToString().c_str(), now_.ToString().c_str()));
   }
   if (!callback) {
     return Status::InvalidArgument("event callback must not be empty");
   }
-  EventId id = next_id_++;
-  live_.insert(id);
-  queue_.push(Event{at, next_seq_++, id, std::move(label),
-                    std::move(callback), Duration::Zero()});
+  EventId id = AllocateId();
+  StateOf(id) = EventState::kLive;
+  ++live_count_;
+  Push(Event{at, next_seq_++, id, label, std::move(callback), nullptr,
+             Duration::Zero()});
   return id;
 }
 
-Result<EventId> Simulator::ScheduleAfter(Duration delay, std::string label,
+Result<EventId> Simulator::ScheduleAfter(Duration delay, EventLabel label,
                                          Callback callback) {
   if (delay < Duration::Zero()) {
     return Status::InvalidArgument("delay must be non-negative");
   }
-  return ScheduleAt(now_ + delay, std::move(label), std::move(callback));
+  return ScheduleAt(now_ + delay, label, std::move(callback));
 }
 
 Result<EventId> Simulator::SchedulePeriodic(Duration period,
-                                            std::string label,
+                                            EventLabel label,
                                             Callback callback) {
   if (period <= Duration::Zero()) {
     return Status::InvalidArgument("period must be positive");
@@ -40,61 +97,62 @@ Result<EventId> Simulator::SchedulePeriodic(Duration period,
   if (!callback) {
     return Status::InvalidArgument("event callback must not be empty");
   }
-  EventId id = next_id_++;
-  live_.insert(id);
-  queue_.push(Event{now_ + period, next_seq_++, id, std::move(label),
-                    std::move(callback), period});
+  EventId id = AllocateId();
+  StateOf(id) = EventState::kLive;
+  ++live_count_;
+  Push(Event{now_ + period, next_seq_++, id, label, nullptr,
+             std::make_shared<Callback>(std::move(callback)), period});
   return id;
 }
 
 Status Simulator::Cancel(EventId id) {
-  auto it = live_.find(id);
-  if (it == live_.end()) {
+  if (id >= state_.size() || StateOf(id) != EventState::kLive) {
     return Status::NotFound(StrFormat("no pending event %llu",
                                       static_cast<unsigned long long>(id)));
   }
-  // Lazy cancellation: the queue entry is skipped when popped.
-  live_.erase(it);
-  cancelled_.insert(id);
+  // Lazy cancellation: the queue entry is skipped (and never
+  // re-armed, for periodic series) when popped.
+  StateOf(id) = EventState::kCancelled;
+  --live_count_;
   return Status::OK();
 }
 
-size_t Simulator::pending_events() const { return live_.size(); }
-
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    auto cancel_it = cancelled_.find(event.id);
-    if (cancel_it != cancelled_.end()) {
-      cancelled_.erase(cancel_it);
+  while (!heap_.empty()) {
+    Event event = PopTop();
+    if (StateOf(event.id) == EventState::kCancelled) {
+      StateOf(event.id) = EventState::kDone;
       continue;
     }
     now_ = event.at;
     ++dispatched_;
-    if (event.period <= Duration::Zero()) live_.erase(event.id);
-    if (trace_hook_) trace_hook_(now_, event.label);
-    if (event.period > Duration::Zero()) {
+    if (event.period <= Duration::Zero()) {
+      StateOf(event.id) = EventState::kDone;
+      --live_count_;
+      if (trace_hook_) trace_hook_(now_, event.label.view());
+      event.once();
+    } else {
+      if (trace_hook_) trace_hook_(now_, event.label.view());
       // Re-arm the series before invoking, so the callback may cancel
-      // its own series by id.
-      queue_.push(Event{event.at + event.period, next_seq_++, event.id,
-                        event.label, event.callback, event.period});
+      // its own series by id. The callback is shared, not copied.
+      Push(Event{event.at + event.period, next_seq_++, event.id,
+                 event.label, nullptr, event.series, event.period});
+      (*event.series)();
     }
-    event.callback();
     return true;
   }
   return false;
 }
 
 void Simulator::RunUntil(SimTime end) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.at > end) break;
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    if (StateOf(top.id) == EventState::kCancelled) {
+      StateOf(top.id) = EventState::kDone;
+      PopTop();
       continue;
     }
+    if (top.at > end) break;
     Step();
   }
   if (now_ < end) now_ = end;

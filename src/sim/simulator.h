@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <string>
-#include <unordered_set>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -17,9 +17,34 @@ namespace autoglobe::sim {
 /// Identifier of a scheduled event; usable for cancellation.
 using EventId = uint64_t;
 
+/// Cheap event label. The overwhelmingly common case — a string
+/// literal like "tick" — is stored as a borrowed pointer: no heap
+/// allocation per event, copies are trivial. Dynamic labels (e.g. the
+/// executor's per-instance labels) are interned once per distinct
+/// string in a process-wide table and then behave like literals.
+class EventLabel {
+ public:
+  /// Borrowing constructor: `literal` must have static storage
+  /// duration (a string literal). Zero cost.
+  EventLabel(const char* literal) : label_(literal) {}  // NOLINT
+  /// Interning constructors for dynamically built labels.
+  EventLabel(const std::string& dynamic);  // NOLINT
+  EventLabel(std::string_view dynamic);    // NOLINT
+
+  std::string_view view() const { return label_; }
+
+ private:
+  std::string_view label_;
+};
+
 /// Single-threaded discrete-event simulation kernel. Events fire in
 /// timestamp order; events with equal timestamps fire in scheduling
 /// (FIFO) order, which makes runs fully deterministic.
+///
+/// Thread model: one Simulator is confined to one thread; parallelism
+/// lives *across* simulators (see common/thread_pool.h), never inside
+/// one. The label intern table is the only shared state and is
+/// internally synchronized.
 ///
 /// The paper's simulation environment runs "in 40-fold acceleration";
 /// a discrete-event kernel is the limit case of that idea — simulated
@@ -28,7 +53,7 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
   /// Trace hook invoked for every dispatched event.
-  using TraceHook = std::function<void(SimTime, const std::string& label)>;
+  using TraceHook = std::function<void(SimTime, std::string_view label)>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -38,16 +63,15 @@ class Simulator {
 
   /// Schedules `callback` at absolute time `at` (>= now). Events in
   /// the past are rejected.
-  Result<EventId> ScheduleAt(SimTime at, std::string label,
+  Result<EventId> ScheduleAt(SimTime at, EventLabel label,
                              Callback callback);
   /// Schedules `callback` after `delay` (>= 0).
-  Result<EventId> ScheduleAfter(Duration delay, std::string label,
+  Result<EventId> ScheduleAfter(Duration delay, EventLabel label,
                                 Callback callback);
 
   /// Schedules `callback` every `period`, first firing at
-  /// `now + period` (or `first` if given). Returns a handle that
-  /// cancels the whole series.
-  Result<EventId> SchedulePeriodic(Duration period, std::string label,
+  /// `now + period`. Returns a handle that cancels the whole series.
+  Result<EventId> SchedulePeriodic(Duration period, EventLabel label,
                                    Callback callback);
 
   /// Cancels a pending event (or periodic series). NotFound when the
@@ -55,7 +79,7 @@ class Simulator {
   Status Cancel(EventId id);
 
   /// Number of events still pending.
-  size_t pending_events() const;
+  size_t pending_events() const { return live_count_; }
 
   /// Dispatches a single event; returns false when the queue is empty.
   bool Step();
@@ -74,12 +98,23 @@ class Simulator {
   uint64_t dispatched_events() const { return dispatched_; }
 
  private:
+  // Liveness is a flat per-id byte array instead of hash sets: ids are
+  // dense (monotonically allocated from 1), so state lookup is one
+  // indexed load on the dispatch path. One byte per event ever
+  // scheduled is the trade — an 80-hour paper run allocates a few
+  // hundred kB, far cheaper than two hash probes per event.
+  enum class EventState : uint8_t { kDone = 0, kLive, kCancelled };
+
   struct Event {
     SimTime at;
     uint64_t seq;  // tie-breaker for determinism
     EventId id;
-    std::string label;
-    Callback callback;
+    EventLabel label;
+    /// One-shot payload; moved out at dispatch (never copied).
+    Callback once;
+    /// Periodic payload, shared by every occurrence: re-arming copies
+    /// a refcount, not the std::function.
+    std::shared_ptr<Callback> series;
     // Period of a periodic series; zero for one-shot events.
     Duration period = Duration::Zero();
   };
@@ -91,9 +126,17 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<EventId> live_;       // pending (not yet fired/cancelled)
-  std::unordered_set<EventId> cancelled_;  // cancelled but still queued
+  EventId AllocateId();
+  EventState& StateOf(EventId id) { return state_[id]; }
+  void Push(Event event);
+  Event PopTop();
+
+  // Binary min-heap managed with std::push_heap/pop_heap so events
+  // are *moved* in and out — a priority_queue would copy the label
+  // and std::function on every top()/re-heapify.
+  std::vector<Event> heap_;
+  std::vector<EventState> state_;  // indexed by EventId
+  size_t live_count_ = 0;
   SimTime now_ = SimTime::Start();
   uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

@@ -69,6 +69,107 @@ TEST(CapacityTest, SweepStopsAtFirstFailure) {
   }
 }
 
+// Bit-identical equality of every RunMetrics field — EXPECT_EQ on
+// doubles is exact, which is the point: parallel sweeps must not
+// perturb results at all.
+void ExpectSameMetrics(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.overload_server_minutes, b.overload_server_minutes);
+  EXPECT_EQ(a.max_overload_streak_minutes, b.max_overload_streak_minutes);
+  EXPECT_EQ(a.overload_fraction, b.overload_fraction);
+  EXPECT_EQ(a.lost_work_wu, b.lost_work_wu);
+  EXPECT_EQ(a.average_cpu_load, b.average_cpu_load);
+  EXPECT_EQ(a.triggers, b.triggers);
+  EXPECT_EQ(a.actions_executed, b.actions_executed);
+  EXPECT_EQ(a.actions_failed, b.actions_failed);
+  EXPECT_EQ(a.alerts, b.alerts);
+  EXPECT_EQ(a.failures_injected, b.failures_injected);
+  EXPECT_EQ(a.failures_remedied, b.failures_remedied);
+  EXPECT_EQ(a.sla_violation_minutes, b.sla_violation_minutes);
+}
+
+void ExpectSameResult(const CapacityResult& a, const CapacityResult& b) {
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.max_scale, b.max_scale);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].scale, b.steps[i].scale);
+    EXPECT_EQ(a.steps[i].passed, b.steps[i].passed);
+    ExpectSameMetrics(a.steps[i].metrics, b.steps[i].metrics);
+  }
+}
+
+CapacityOptions ShortSweepOptions() {
+  CapacityOptions options;
+  options.start_scale = 1.0;
+  options.step = 0.25;
+  options.max_scale = 1.5;
+  options.run_duration = Duration::Hours(8);
+  options.warmup = Duration::Hours(2);
+  // Non-zero stride so per-step seed derivation is exercised too.
+  options.seed_stride = 7;
+  return options;
+}
+
+TEST(CapacityTest, SweepScalesCoverStartToMaxInclusive) {
+  CapacityOptions options;
+  options.start_scale = 1.0;
+  options.step = 0.05;
+  options.max_scale = 1.2;
+  std::vector<double> scales = SweepScales(options);
+  ASSERT_EQ(scales.size(), 5u);
+  EXPECT_NEAR(scales.front(), 1.0, 1e-12);
+  EXPECT_NEAR(scales.back(), 1.2, 1e-9);
+}
+
+TEST(CapacityTest, StepSeedIsAPureFunctionOfIndex) {
+  CapacityOptions options;
+  options.seed = 42;
+  EXPECT_EQ(StepSeed(options, 0), 42u);
+  EXPECT_EQ(StepSeed(options, 3), 42u);  // stride 0: common random numbers
+  options.seed_stride = 1000;
+  EXPECT_EQ(StepSeed(options, 0), 42u);
+  EXPECT_EQ(StepSeed(options, 3), 3042u);
+}
+
+// The determinism contract of the tentpole: a parallel sweep must be
+// bit-identical to the sequential one at any thread count.
+TEST(CapacityTest, ParallelSweepMatchesSequentialBitIdentically) {
+  CapacityOptions sequential_options = ShortSweepOptions();
+  sequential_options.parallelism = 1;
+  auto sequential =
+      FindCapacity(Scenario::kConstrainedMobility, sequential_options);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+
+  for (int parallelism : {2, 4}) {
+    CapacityOptions parallel_options = ShortSweepOptions();
+    parallel_options.parallelism = parallelism;
+    auto parallel =
+        FindCapacity(Scenario::kConstrainedMobility, parallel_options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectSameResult(*sequential, *parallel);
+  }
+}
+
+TEST(CapacityTest, FindCapacityAllMatchesPerScenarioSweeps) {
+  CapacityOptions options = ShortSweepOptions();
+  options.run_duration = Duration::Hours(6);
+  options.parallelism = 4;
+  auto all = FindCapacityAll(options);
+  ASSERT_TRUE(all.ok()) << all.status();
+  ASSERT_EQ(all->size(), 3u);
+
+  const Scenario scenarios[] = {Scenario::kStatic,
+                                Scenario::kConstrainedMobility,
+                                Scenario::kFullMobility};
+  options.parallelism = 1;
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*all)[i].scenario, scenarios[i]);
+    auto single = FindCapacity(scenarios[i], options);
+    ASSERT_TRUE(single.ok()) << single.status();
+    ExpectSameResult(*single, (*all)[i]);
+  }
+}
+
 // The headline reproduction (Table 7): the static landscape handles
 // exactly the dimensioned users, constrained mobility adds roughly
 // 15 %, full mobility roughly 35 %. Shortened runs (48 h) keep the

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace autoglobe {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ++ran; });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ++ran; });
+    }
+  }  // ~ThreadPool joins after the queue is empty
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(257);
+  pool.ParallelFor(visits.size(),
+                   [&visits](size_t i) { ++visits[i]; });
+  for (const std::atomic<int>& count : visits) {
+    EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithZeroItemsReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  auto results = pool.ParallelMap(
+      100, [](size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(results.size(), 100u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapOrderIndependentOfThreadCount) {
+  auto work = [](size_t i) { return std::to_string(i * 31); };
+  ThreadPool sequential(1);
+  ThreadPool parallel(8);
+  EXPECT_EQ(sequential.ParallelMap(64, work), parallel.ParallelMap(64, work));
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossParallelForCalls) {
+  ThreadPool pool(3);
+  long total = 0;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<int> values(50, 0);
+    pool.ParallelFor(values.size(), [&values](size_t i) {
+      values[i] = static_cast<int>(i) + 1;
+    });
+    total += std::accumulate(values.begin(), values.end(), 0L);
+  }
+  EXPECT_EQ(total, 5L * (50 * 51 / 2));
+}
+
+TEST(ThreadPoolTest, WorkersRunConcurrently) {
+  // All four tasks block until all four have started: this only
+  // terminates if four workers really run at the same time (threads
+  // block, so this holds even on a single-core host).
+  constexpr size_t kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  Latch all_started(kWorkers);
+  pool.ParallelFor(kWorkers, [&all_started](size_t) {
+    all_started.CountDown();
+    all_started.Wait();
+  });
+}
+
+}  // namespace
+}  // namespace autoglobe

@@ -148,12 +148,46 @@ TEST(SimulatorTest, RunUntilLeavesLaterEventsPending) {
 TEST(SimulatorTest, TraceHookObservesDispatches) {
   Simulator simulator;
   std::vector<std::string> labels;
-  simulator.set_trace_hook(
-      [&](SimTime, const std::string& label) { labels.push_back(label); });
+  simulator.set_trace_hook([&](SimTime, std::string_view label) {
+    labels.emplace_back(label);
+  });
   ASSERT_TRUE(simulator.ScheduleAt(SimTime::FromSeconds(1), "one", [] {}).ok());
   ASSERT_TRUE(simulator.ScheduleAt(SimTime::FromSeconds(2), "two", [] {}).ok());
   simulator.RunAll();
   EXPECT_EQ(labels, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(SimulatorTest, DynamicLabelsOutliveTheirSourceString) {
+  Simulator simulator;
+  std::vector<std::string> labels;
+  simulator.set_trace_hook([&](SimTime, std::string_view label) {
+    labels.emplace_back(label);
+  });
+  {
+    // Build the label dynamically and let the source string die long
+    // before dispatch — the interned copy must survive.
+    std::string dynamic = "instance-" + std::to_string(17) + "-running";
+    ASSERT_TRUE(
+        simulator.ScheduleAt(SimTime::FromSeconds(5), dynamic, [] {}).ok());
+    dynamic.assign(100, 'x');  // clobber the original buffer
+  }
+  simulator.RunAll();
+  EXPECT_EQ(labels, (std::vector<std::string>{"instance-17-running"}));
+}
+
+TEST(SimulatorTest, CancelledPeriodicSeriesStopsWithoutRearming) {
+  Simulator simulator;
+  int count = 0;
+  auto id = simulator.SchedulePeriodic(Duration::Minutes(1), "tick",
+                                       [&] { ++count; });
+  ASSERT_TRUE(id.ok());
+  simulator.RunUntil(SimTime::Start() + Duration::Minutes(3));
+  ASSERT_TRUE(simulator.Cancel(*id).ok());
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  uint64_t dispatched = simulator.dispatched_events();
+  simulator.RunUntil(SimTime::Start() + Duration::Hours(2));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(simulator.dispatched_events(), dispatched);
 }
 
 TEST(SimulatorTest, EventsScheduledDuringRunAreDispatched) {
