@@ -51,7 +51,7 @@ inline void WriteBenchJson(const std::string& path,
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& record = records[i];
     std::fprintf(file,
-                 "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                 "    {\"name\": \"%s\", \"wall_seconds\": %.9f, "
                  "\"items_per_second\": %.3f",
                  record.name.c_str(), record.wall_seconds,
                  record.items_per_second);

@@ -9,7 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autoglobe/capacity.h"
-#include "bench_util.h"
+#include "benchmark_json.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "sim/simulator.h"
@@ -131,41 +131,9 @@ BENCHMARK(BM_CapacitySweepShort)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-/// Console reporting plus capture into bench::BenchRecord rows, so
-/// the run also leaves BENCH_micro.json behind.
-class CapturingReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& reports) override {
-    for (const Run& run : reports) {
-      bench::BenchRecord record;
-      record.name = run.benchmark_name();
-      record.wall_seconds =
-          run.iterations > 0
-              ? run.real_accumulated_time / static_cast<double>(run.iterations)
-              : 0.0;
-      auto items = run.counters.find("items_per_second");
-      if (items != run.counters.end()) {
-        record.items_per_second = static_cast<double>(items->second);
-      }
-      record.extra["iterations"] = static_cast<double>(run.iterations);
-      records_.push_back(std::move(record));
-    }
-    ConsoleReporter::ReportRuns(reports);
-  }
-
-  const std::vector<bench::BenchRecord>& records() const { return records_; }
-
- private:
-  std::vector<bench::BenchRecord> records_;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  CapturingReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  autoglobe::bench::WriteBenchJson("BENCH_micro.json", reporter.records());
-  return 0;
+  return autoglobe::bench::RunBenchmarksAndWriteJson(argc, argv,
+                                                     "BENCH_micro.json");
 }

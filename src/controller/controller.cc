@@ -1,6 +1,7 @@
 #include "controller/controller.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -15,17 +16,87 @@ using infra::ServiceInstance;
 using monitor::Trigger;
 using monitor::TriggerKind;
 
+namespace {
+
+/// The controller's measurement catalogue: every crisp value it can
+/// feed a rule base. Resolved once per compiled input slot, so the
+/// hot path dispatches on a byte instead of a string.
+enum Measurement : uint8_t {
+  kCpuLoad,
+  kMemLoad,
+  kPerformanceIndex,
+  kInstanceLoad,
+  kServiceLoad,
+  kInstancesOnServer,
+  kInstancesOfService,
+  kNumberOfCpus,
+  kCpuClock,
+  kCpuCache,
+  kMemory,
+  kSwapSpace,
+  kTempSpace,
+  kUnknownMeasurement,
+};
+
+uint8_t ResolveMeasurement(std::string_view name) {
+  if (name == "cpuLoad") return kCpuLoad;
+  if (name == "memLoad") return kMemLoad;
+  if (name == "performanceIndex") return kPerformanceIndex;
+  if (name == "instanceLoad") return kInstanceLoad;
+  if (name == "serviceLoad") return kServiceLoad;
+  if (name == "instancesOnServer") return kInstancesOnServer;
+  if (name == "instancesOfService") return kInstancesOfService;
+  if (name == "numberOfCpus") return kNumberOfCpus;
+  if (name == "cpuClock") return kCpuClock;
+  if (name == "cpuCache") return kCpuCache;
+  if (name == "memory") return kMemory;
+  if (name == "swapSpace") return kSwapSpace;
+  if (name == "tempSpace") return kTempSpace;
+  return kUnknownMeasurement;
+}
+
+Status NoMeasurement(const std::string& name) {
+  return Status::InvalidArgument(
+      StrFormat("no measurement for input variable \"%s\"", name.c_str()));
+}
+
+}  // namespace
+
 Controller::Controller(infra::Cluster* cluster,
                        infra::ActionExecutor* executor, const LoadView* view,
                        ControllerConfig config)
     : cluster_(cluster),
       executor_(executor),
       view_(view),
-      config_(config),
-      engine_(config.defuzzifier) {
+      config_(config) {
   AG_CHECK(cluster_ != nullptr);
   AG_CHECK(executor_ != nullptr);
   AG_CHECK(view_ != nullptr);
+}
+
+Result<Controller::CompiledBase> Controller::CompileBase(
+    const fuzzy::RuleBase& rb) {
+  CompiledBase base;
+  AG_ASSIGN_OR_RETURN(base.compiled, fuzzy::CompiledRuleBase::Compile(rb));
+  const auto& names = base.compiled.inputs().names();
+  base.sources.reserve(names.size());
+  for (const std::string& name : names) {
+    base.sources.push_back(ResolveMeasurement(name));
+  }
+  // Iterating outputs in variable-name order mirrors the interpreted
+  // engine's std::map, keeping scored-action order (and thus sweep
+  // results) bit-identical.
+  base.ordered_outputs.resize(base.compiled.num_outputs());
+  std::iota(base.ordered_outputs.begin(), base.ordered_outputs.end(), 0);
+  const auto& output_names = base.compiled.output_names();
+  std::sort(base.ordered_outputs.begin(), base.ordered_outputs.end(),
+            [&output_names](int a, int b) {
+              return output_names[static_cast<size_t>(a)] <
+                     output_names[static_cast<size_t>(b)];
+            });
+  base.slots.resize(names.size());
+  base.scratch = base.compiled.MakeScratch();
+  return base;
 }
 
 Result<Controller> Controller::Create(infra::Cluster* cluster,
@@ -53,6 +124,8 @@ Status Controller::SetActionRuleBase(TriggerKind kind, fuzzy::RuleBase rb) {
   if (rb.rules().empty()) {
     return Status::InvalidArgument("rule base has no rules");
   }
+  AG_ASSIGN_OR_RETURN(CompiledBase compiled, CompileBase(rb));
+  compiled_action_bases_.insert_or_assign(kind, std::move(compiled));
   action_bases_.insert_or_assign(kind, std::move(rb));
   return Status::OK();
 }
@@ -64,6 +137,9 @@ Status Controller::SetServiceActionRuleBase(std::string service,
   if (rb.rules().empty()) {
     return Status::InvalidArgument("rule base has no rules");
   }
+  AG_ASSIGN_OR_RETURN(CompiledBase compiled, CompileBase(rb));
+  compiled_service_action_bases_.insert_or_assign({service, kind},
+                                                  std::move(compiled));
   service_action_bases_.insert_or_assign({std::move(service), kind},
                                          std::move(rb));
   return Status::OK();
@@ -79,66 +155,125 @@ Status Controller::SetServerRuleBase(ActionType action, fuzzy::RuleBase rb) {
   if (rb.rules().empty()) {
     return Status::InvalidArgument("rule base has no rules");
   }
+  AG_ASSIGN_OR_RETURN(CompiledBase compiled, CompileBase(rb));
+  compiled_server_bases_.insert_or_assign(action, std::move(compiled));
   server_bases_.insert_or_assign(action, std::move(rb));
   return Status::OK();
 }
 
-const fuzzy::RuleBase* Controller::ActionBaseFor(std::string_view service,
-                                                 TriggerKind kind) const {
+const Controller::CompiledBase* Controller::CompiledActionBaseFor(
+    std::string_view service, TriggerKind kind) const {
   auto specific =
-      service_action_bases_.find({std::string(service), kind});
-  if (specific != service_action_bases_.end()) return &specific->second;
-  auto generic = action_bases_.find(kind);
-  return generic == action_bases_.end() ? nullptr : &generic->second;
+      compiled_service_action_bases_.find(std::make_pair(service, kind));
+  if (specific != compiled_service_action_bases_.end()) {
+    return &specific->second;
+  }
+  auto generic = compiled_action_bases_.find(kind);
+  return generic == compiled_action_bases_.end() ? nullptr
+                                                 : &generic->second;
 }
 
-Result<fuzzy::Inputs> Controller::ActionInputs(
-    const ServiceInstance& instance) const {
+Status Controller::FillActionSlots(const ServiceInstance& instance,
+                                   const CompiledBase& base) const {
   AG_ASSIGN_OR_RETURN(const infra::ServerSpec* server,
                       cluster_->FindServer(instance.server));
-  fuzzy::Inputs inputs;
-  inputs["cpuLoad"] = view_->ServerCpuLoad(instance.server);
-  inputs["memLoad"] = view_->ServerMemLoad(instance.server);
-  inputs["performanceIndex"] = server->performance_index;
-  inputs["instanceLoad"] = view_->InstanceLoad(instance.id);
-  inputs["serviceLoad"] = view_->ServiceLoad(instance.service);
-  inputs["instancesOnServer"] =
-      static_cast<double>(cluster_->InstancesOn(instance.server).size());
-  inputs["instancesOfService"] =
-      static_cast<double>(cluster_->ActiveInstanceCount(instance.service));
-  return inputs;
+  const auto& names = base.compiled.inputs().names();
+  for (size_t i = 0; i < names.size(); ++i) {
+    double value = 0.0;
+    switch (base.sources[i]) {
+      case kCpuLoad:
+        value = view_->ServerCpuLoad(instance.server);
+        break;
+      case kMemLoad:
+        value = view_->ServerMemLoad(instance.server);
+        break;
+      case kPerformanceIndex:
+        value = server->performance_index;
+        break;
+      case kInstanceLoad:
+        value = view_->InstanceLoad(instance.id);
+        break;
+      case kServiceLoad:
+        value = view_->ServiceLoad(instance.service);
+        break;
+      case kInstancesOnServer:
+        value =
+            static_cast<double>(cluster_->InstancesOn(instance.server).size());
+        break;
+      case kInstancesOfService:
+        value = static_cast<double>(
+            cluster_->ActiveInstanceCount(instance.service));
+        break;
+      default:
+        // Table 3 server measurements make no sense for an instance
+        // subject — same error the interpreted engine raised when the
+        // name was absent from its Inputs map.
+        return NoMeasurement(names[i]);
+    }
+    base.slots[i] = value;
+  }
+  return Status::OK();
 }
 
-Result<fuzzy::Inputs> Controller::ServerInputs(
-    const infra::ServerSpec& server, SimTime now,
-    std::string_view requesting_service) const {
-  fuzzy::Inputs inputs;
-  double cpu = view_->ServerCpuLoad(server.name);
-  if (reservations_ != nullptr && server.performance_index > 0) {
-    // Spoken-for capacity counts as load for placement decisions.
-    cpu += reservations_->ReservedCpu(server.name, now,
-                                      reservation_lookahead_,
-                                      requesting_service) /
-           server.performance_index;
+Status Controller::FillServerSlots(const infra::ServerSpec& server,
+                                   SimTime now,
+                                   std::string_view requesting_service,
+                                   const CompiledBase& base) const {
+  const auto& names = base.compiled.inputs().names();
+  for (size_t i = 0; i < names.size(); ++i) {
+    double value = 0.0;
+    switch (base.sources[i]) {
+      case kCpuLoad: {
+        double cpu = view_->ServerCpuLoad(server.name);
+        if (reservations_ != nullptr && server.performance_index > 0) {
+          // Spoken-for capacity counts as load for placement decisions.
+          cpu += reservations_->ReservedCpu(server.name, now,
+                                            reservation_lookahead_,
+                                            requesting_service) /
+                 server.performance_index;
+        }
+        value = std::min(1.0, cpu);
+        break;
+      }
+      case kMemLoad:
+        value = view_->ServerMemLoad(server.name);
+        break;
+      case kInstancesOnServer:
+        value = static_cast<double>(cluster_->InstancesOn(server.name).size());
+        break;
+      case kPerformanceIndex:
+        value = server.performance_index;
+        break;
+      case kNumberOfCpus:
+        value = static_cast<double>(server.num_cpus);
+        break;
+      case kCpuClock:
+        value = server.cpu_clock_ghz;
+        break;
+      case kCpuCache:
+        value = server.cpu_cache_mb;
+        break;
+      case kMemory:
+        value = server.memory_gb;
+        break;
+      case kSwapSpace:
+        value = server.swap_gb;
+        break;
+      case kTempSpace:
+        value = server.temp_gb;
+        break;
+      default:
+        return NoMeasurement(names[i]);
+    }
+    base.slots[i] = value;
   }
-  inputs["cpuLoad"] = std::min(1.0, cpu);
-  inputs["memLoad"] = view_->ServerMemLoad(server.name);
-  inputs["instancesOnServer"] =
-      static_cast<double>(cluster_->InstancesOn(server.name).size());
-  inputs["performanceIndex"] = server.performance_index;
-  inputs["numberOfCpus"] = static_cast<double>(server.num_cpus);
-  inputs["cpuClock"] = server.cpu_clock_ghz;
-  inputs["cpuCache"] = server.cpu_cache_mb;
-  inputs["memory"] = server.memory_gb;
-  inputs["swapSpace"] = server.swap_gb;
-  inputs["tempSpace"] = server.temp_gb;
-  return inputs;
+  return Status::OK();
 }
 
 Status Controller::CollectActionsForInstance(
     TriggerKind kind, const ServiceInstance& instance,
     std::vector<ScoredAction>* out) const {
-  const fuzzy::RuleBase* base = ActionBaseFor(instance.service, kind);
+  const CompiledBase* base = CompiledActionBaseFor(instance.service, kind);
   if (base == nullptr) {
     return Status::FailedPrecondition(StrFormat(
         "no rule base installed for trigger %.*s",
@@ -147,12 +282,15 @@ Status Controller::CollectActionsForInstance(
   }
   AG_ASSIGN_OR_RETURN(const infra::ServiceSpec* spec,
                       cluster_->FindService(instance.service));
-  AG_ASSIGN_OR_RETURN(fuzzy::Inputs inputs, ActionInputs(instance));
-  AG_ASSIGN_OR_RETURN(auto outputs, engine_.Infer(*base, inputs));
-  for (const auto& [variable, output] : outputs) {
-    auto type = infra::ParseActionType(variable);
+  AG_RETURN_IF_ERROR(FillActionSlots(instance, *base));
+  base->compiled.Evaluate(base->slots.data(), config_.defuzzifier,
+                          &base->scratch);
+  const auto& output_names = base->compiled.output_names();
+  for (int slot : base->ordered_outputs) {
+    auto type = infra::ParseActionType(output_names[static_cast<size_t>(slot)]);
     if (!type.ok()) continue;  // non-action output variable
-    if (output.crisp <= 0.0) continue;
+    double crisp = base->scratch.crisp[static_cast<size_t>(slot)];
+    if (crisp <= 0.0) continue;
     // "The fuzzy controller only considers actions that do not
     //  violate any given constraint" (§4.1).
     if (!spec->Allows(*type)) continue;
@@ -161,7 +299,7 @@ Status Controller::CollectActionsForInstance(
     action.service = instance.service;
     action.source_server = instance.server;
     if (infra::ActionNeedsInstance(*type)) action.instance = instance.id;
-    out->push_back(ScoredAction{std::move(action), output.crisp});
+    out->push_back(ScoredAction{std::move(action), crisp});
   }
   return Status::OK();
 }
@@ -265,12 +403,18 @@ Status Controller::VerifyAction(const Action& action, SimTime now,
 
 Result<std::vector<ScoredServer>> Controller::RankServers(
     const Action& action, SimTime now) const {
-  auto base_it = server_bases_.find(action.type);
-  if (base_it == server_bases_.end()) {
+  auto base_it = compiled_server_bases_.find(action.type);
+  if (base_it == compiled_server_bases_.end()) {
     return Status::FailedPrecondition(StrFormat(
         "no server-selection rule base for %.*s",
         static_cast<int>(infra::ActionTypeName(action.type).size()),
         infra::ActionTypeName(action.type).data()));
+  }
+  const CompiledBase& base = base_it->second;
+  int suitability_slot = base.compiled.OutputSlot("suitability");
+  if (suitability_slot < 0) {
+    return Status::NotFound(
+        "no rule writes output variable \"suitability\"");
   }
 
   double source_pi = 0.0;
@@ -314,11 +458,12 @@ Result<std::vector<ScoredServer>> Controller::RankServers(
                     cluster_->UsedMemoryGb(server->name) - reserved;
       if (spec->memory_footprint_gb > free + 1e-9) continue;
     }
-    AG_ASSIGN_OR_RETURN(fuzzy::Inputs inputs,
-                        ServerInputs(*server, now, action.service));
-    AG_ASSIGN_OR_RETURN(
-        double score,
-        engine_.InferValue(base_it->second, inputs, "suitability"));
+    AG_RETURN_IF_ERROR(
+        FillServerSlots(*server, now, action.service, base));
+    base.compiled.Evaluate(base.slots.data(), config_.defuzzifier,
+                           &base.scratch);
+    double score =
+        base.scratch.crisp[static_cast<size_t>(suitability_slot)];
     if (score < config_.min_host_score) continue;
     scored.push_back(ScoredServer{server->name, score});
   }

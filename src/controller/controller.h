@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "fuzzy/compiled.h"
 #include "fuzzy/inference.h"
 #include "infra/cluster.h"
 #include "controller/reservations.h"
@@ -151,15 +152,49 @@ class Controller {
   Controller(infra::Cluster* cluster, infra::ActionExecutor* executor,
              const LoadView* view, ControllerConfig config);
 
-  /// Builds the Table 1 input vector for (service instance, host).
-  Result<fuzzy::Inputs> ActionInputs(const infra::ServiceInstance& instance)
-      const;
-  /// Builds the Table 3 input vector for a candidate host; reserved
-  /// CPU (if a reservation book is installed) inflates cpuLoad, except
-  /// for reservations benefitting `requesting_service`.
-  Result<fuzzy::Inputs> ServerInputs(
-      const infra::ServerSpec& server, SimTime now,
-      std::string_view requesting_service = "") const;
+  /// A rule base compiled for the hot path, together with its cached
+  /// input layout resolution (which controller measurement feeds each
+  /// slot), the output slots in deterministic name order, and the
+  /// reusable evaluation buffers. The buffers are mutable scratch:
+  /// RankActions/RankServers stay logically const but a single
+  /// Controller must not run inference concurrently from two threads
+  /// (the PR 1 parallel sweeps use one controller per simulation).
+  struct CompiledBase {
+    fuzzy::CompiledRuleBase compiled;
+    /// Per input slot: a Measurement id (see controller.cc).
+    std::vector<uint8_t> sources;
+    /// Output slots sorted by variable name, mirroring the iteration
+    /// order of the interpreted engine's output map.
+    std::vector<int> ordered_outputs;
+    mutable std::vector<double> slots;
+    mutable fuzzy::CompiledRuleBase::Scratch scratch;
+  };
+
+  /// Transparent ordering for (service, trigger-kind) keys so hot
+  /// lookups can probe with a string_view without allocating.
+  struct ServiceKindLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    }
+  };
+
+  /// Compiles `rb` and resolves its input layout against the
+  /// controller measurement catalogue.
+  static Result<CompiledBase> CompileBase(const fuzzy::RuleBase& rb);
+
+  /// Fills the compiled layout's input slots for (instance, host) —
+  /// the Table 1 measurements — computing only what the rules read.
+  Status FillActionSlots(const infra::ServiceInstance& instance,
+                         const CompiledBase& base) const;
+  /// Same for a candidate host (Table 3); reserved CPU (if a
+  /// reservation book is installed) inflates cpuLoad, except for
+  /// reservations benefitting `requesting_service`.
+  Status FillServerSlots(const infra::ServerSpec& server, SimTime now,
+                         std::string_view requesting_service,
+                         const CompiledBase& base) const;
 
   /// Evaluates the action rule base for one instance and appends
   /// constraint-respecting scored actions.
@@ -173,18 +208,26 @@ class Controller {
   Status VerifyAction(const infra::Action& action, SimTime now,
                       bool urgent) const;
 
-  const fuzzy::RuleBase* ActionBaseFor(std::string_view service,
-                                       monitor::TriggerKind kind) const;
+  const CompiledBase* CompiledActionBaseFor(std::string_view service,
+                                            monitor::TriggerKind kind) const;
 
   infra::Cluster* cluster_;
   infra::ActionExecutor* executor_;
   const LoadView* view_;
   ControllerConfig config_;
-  fuzzy::InferenceEngine engine_;
+  // The interpreted rule bases stay installed as the reference
+  // implementation (and for introspection); every inference call goes
+  // through the compiled twins below, kept in sync by Set*RuleBase.
   std::map<monitor::TriggerKind, fuzzy::RuleBase> action_bases_;
-  std::map<std::pair<std::string, monitor::TriggerKind>, fuzzy::RuleBase>
+  std::map<std::pair<std::string, monitor::TriggerKind>, fuzzy::RuleBase,
+           ServiceKindLess>
       service_action_bases_;
   std::map<infra::ActionType, fuzzy::RuleBase> server_bases_;
+  std::map<monitor::TriggerKind, CompiledBase> compiled_action_bases_;
+  std::map<std::pair<std::string, monitor::TriggerKind>, CompiledBase,
+           ServiceKindLess>
+      compiled_service_action_bases_;
+  std::map<infra::ActionType, CompiledBase> compiled_server_bases_;
   ApprovalCallback approval_;
   AlertCallback alert_;
   const ReservationBook* reservations_ = nullptr;

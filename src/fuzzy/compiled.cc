@@ -1,0 +1,267 @@
+#include "fuzzy/compiled.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace autoglobe::fuzzy {
+
+// ---------------------------------------------------------------------------
+// InputLayout
+// ---------------------------------------------------------------------------
+
+int InputLayout::AddName(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  int slot = static_cast<int>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), slot);
+  return slot;
+}
+
+Status InputLayout::Gather(const Inputs& inputs, double* slots) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    auto it = inputs.find(names_[i]);
+    if (it == inputs.end()) {
+      return Status::InvalidArgument(
+          StrFormat("no measurement for input variable \"%s\"",
+                    names_[i].c_str()));
+    }
+    slots[i] = it->second;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+Status CompiledRuleBase::FlattenExpr(const Expr& expr, const RuleBase& base,
+                                     int* depth, int* max_depth) {
+  switch (expr.kind()) {
+    case Expr::Kind::kAtom: {
+      const auto& atom = static_cast<const AtomExpr&>(expr);
+      auto var_it = base.variables().find(atom.variable());
+      if (var_it == base.variables().end()) {
+        return Status::NotFound(
+            StrFormat("rule references undefined variable \"%s\"",
+                      atom.variable().c_str()));
+      }
+      const LinguisticVariable& var = var_it->second;
+      AG_ASSIGN_OR_RETURN(const MembershipFunction* mf,
+                          var.FindTerm(atom.term()));
+      int slot = inputs_.AddName(atom.variable());
+      if (static_cast<size_t>(slot) == input_ranges_.size()) {
+        input_ranges_.push_back(Range{var.min_value(), var.max_value()});
+      }
+      atoms_.push_back(Atom{slot, atom.negated(), atom.hedge(), *mf});
+      ops_.push_back(Op{Op::Kind::kAtom,
+                        static_cast<uint32_t>(atoms_.size() - 1)});
+      ++*depth;
+      *max_depth = std::max(*max_depth, *depth);
+      return Status::OK();
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      const auto& nary = static_cast<const NaryExpr&>(expr);
+      for (const auto& child : nary.children()) {
+        AG_RETURN_IF_ERROR(FlattenExpr(*child, base, depth, max_depth));
+      }
+      uint32_t arity = static_cast<uint32_t>(nary.children().size());
+      ops_.push_back(Op{expr.kind() == Expr::Kind::kAnd ? Op::Kind::kAnd
+                                                        : Op::Kind::kOr,
+                        arity});
+      *depth -= static_cast<int>(arity) - 1;
+      return Status::OK();
+    }
+    case Expr::Kind::kNot: {
+      const auto& negation = static_cast<const NotExpr&>(expr);
+      AG_RETURN_IF_ERROR(
+          FlattenExpr(negation.child(), base, depth, max_depth));
+      ops_.push_back(Op{Op::Kind::kNot, 0});
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<CompiledRuleBase> CompiledRuleBase::Compile(const RuleBase& base) {
+  CompiledRuleBase compiled;
+  compiled.name_ = base.name();
+
+  // Per-rule drafts in source order; reordered by output slot below.
+  struct Draft {
+    CompiledRule rule;
+    int output_slot = 0;
+  };
+  std::vector<Draft> drafts;
+  drafts.reserve(base.rules().size());
+  int max_depth = 1;
+
+  for (const Rule& rule : base.rules()) {
+    Draft draft;
+    draft.rule.op_begin = static_cast<uint32_t>(compiled.ops_.size());
+    int depth = 0;
+    AG_RETURN_IF_ERROR(compiled.FlattenExpr(rule.antecedent(), base, &depth,
+                                            &max_depth));
+    draft.rule.op_end = static_cast<uint32_t>(compiled.ops_.size());
+    draft.rule.weight = rule.weight();
+
+    const Consequent& consequent = rule.consequent();
+    auto var_it = base.variables().find(consequent.variable);
+    if (var_it == base.variables().end()) {
+      return Status::NotFound(
+          StrFormat("rule consequent references undefined variable \"%s\"",
+                    consequent.variable.c_str()));
+    }
+    const LinguisticVariable& out_var = var_it->second;
+    AG_ASSIGN_OR_RETURN(const MembershipFunction* mf,
+                        out_var.FindTerm(consequent.term));
+    draft.rule.consequent = *mf;
+
+    auto slot_it = compiled.output_index_.find(consequent.variable);
+    if (slot_it == compiled.output_index_.end()) {
+      draft.output_slot = static_cast<int>(compiled.outputs_.size());
+      compiled.outputs_.push_back(
+          Output{out_var.min_value(), out_var.max_value(), 0, 0});
+      compiled.output_names_.push_back(consequent.variable);
+      compiled.output_index_.emplace(consequent.variable,
+                                     draft.output_slot);
+    } else {
+      draft.output_slot = slot_it->second;
+    }
+    drafts.push_back(std::move(draft));
+  }
+  compiled.max_stack_ = static_cast<size_t>(std::max(max_depth, 1));
+
+  // Group rules by output slot (stable: source order within a slot),
+  // so each output's union parts are one contiguous range.
+  std::vector<size_t> order(drafts.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return drafts[a].output_slot < drafts[b].output_slot;
+  });
+  compiled.rules_.reserve(drafts.size());
+  int current_slot = -1;
+  for (size_t index : order) {
+    int slot = drafts[index].output_slot;
+    Output& output = compiled.outputs_[static_cast<size_t>(slot)];
+    if (slot != current_slot) {
+      output.rule_begin = static_cast<uint32_t>(compiled.rules_.size());
+      current_slot = slot;
+    }
+    compiled.rules_.push_back(drafts[index].rule);
+    output.rule_end = static_cast<uint32_t>(compiled.rules_.size());
+  }
+  return compiled;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+CompiledRuleBase::Scratch CompiledRuleBase::MakeScratch() const {
+  Scratch scratch;
+  scratch.clamped.resize(inputs_.size());
+  scratch.stack.resize(max_stack_);
+  scratch.truth.resize(rules_.size());
+  scratch.parts.reserve(rules_.size());
+  scratch.crisp.resize(outputs_.size());
+  // Generous reservations so the analytic defuzzifier reaches its
+  // steady-state capacity before the first hot call.
+  size_t breaks = 8 * rules_.size() + 8;
+  scratch.defuzz.breaks.reserve(breaks);
+  scratch.defuzz.crossings.reserve(breaks);
+  scratch.defuzz.points.reserve(breaks);
+  return scratch;
+}
+
+void CompiledRuleBase::Evaluate(const double* input_slots, Defuzzifier method,
+                                Scratch* scratch) const {
+  // Fuzzification clamp, once per input slot (the interpreted engine
+  // clamps per atom; same value, fewer branches).
+  for (size_t i = 0; i < input_ranges_.size(); ++i) {
+    scratch->clamped[i] = std::clamp(input_slots[i], input_ranges_[i].lo,
+                                     input_ranges_[i].hi);
+  }
+
+  // Postfix antecedents: same min/max/1-x folds as the Expr tree, on
+  // a flat op array with a preallocated value stack.
+  const double* clamped = scratch->clamped.data();
+  double* stack = scratch->stack.data();
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    const CompiledRule& rule = rules_[r];
+    double* sp = stack;
+    for (uint32_t o = rule.op_begin; o < rule.op_end; ++o) {
+      const Op& op = ops_[o];
+      switch (op.kind) {
+        case Op::Kind::kAtom: {
+          const Atom& atom = atoms_[op.arg];
+          double grade = atom.membership.Eval(clamped[atom.slot]);
+          grade = ApplyHedge(atom.hedge, grade);
+          *sp++ = atom.negated ? 1.0 - grade : grade;
+          break;
+        }
+        case Op::Kind::kAnd: {
+          int arity = static_cast<int>(op.arg);
+          double acc = sp[-arity];
+          for (int c = 1; c < arity; ++c) {
+            acc = std::min(acc, sp[c - arity]);
+          }
+          sp -= arity;
+          *sp++ = acc;
+          break;
+        }
+        case Op::Kind::kOr: {
+          int arity = static_cast<int>(op.arg);
+          double acc = sp[-arity];
+          for (int c = 1; c < arity; ++c) {
+            acc = std::max(acc, sp[c - arity]);
+          }
+          sp -= arity;
+          *sp++ = acc;
+          break;
+        }
+        case Op::Kind::kNot:
+          sp[-1] = 1.0 - sp[-1];
+          break;
+      }
+    }
+    scratch->truth[r] = sp[-1] * rule.weight;
+  }
+
+  // Union aggregation + analytic defuzzification per output slot.
+  for (size_t s = 0; s < outputs_.size(); ++s) {
+    const Output& output = outputs_[s];
+    scratch->parts.clear();
+    for (uint32_t r = output.rule_begin; r < output.rule_end; ++r) {
+      double clip = std::clamp(scratch->truth[r], 0.0, 1.0);
+      if (clip <= 0.0) continue;
+      scratch->parts.push_back(
+          AggregatedSet::Part{rules_[r].consequent, clip});
+    }
+    scratch->crisp[s] =
+        DefuzzifyUnion(scratch->parts.data(), scratch->parts.size(),
+                       output.lo, output.hi, method, &scratch->defuzz);
+  }
+}
+
+Result<double> CompiledRuleBase::EvaluateValue(
+    const Inputs& inputs, Defuzzifier method,
+    std::string_view output_variable) const {
+  int slot = OutputSlot(output_variable);
+  if (slot < 0) {
+    return Status::NotFound(
+        StrFormat("no rule writes output variable \"%.*s\"",
+                  static_cast<int>(output_variable.size()),
+                  output_variable.data()));
+  }
+  std::vector<double> slots(inputs_.size());
+  AG_RETURN_IF_ERROR(inputs_.Gather(inputs, slots.data()));
+  Scratch scratch = MakeScratch();
+  Evaluate(slots.data(), method, &scratch);
+  return scratch.crisp[static_cast<size_t>(slot)];
+}
+
+}  // namespace autoglobe::fuzzy

@@ -1,0 +1,161 @@
+#ifndef AUTOGLOBE_FUZZY_COMPILED_H_
+#define AUTOGLOBE_FUZZY_COMPILED_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzzy/inference.h"
+
+namespace autoglobe::fuzzy {
+
+/// Dense name -> slot mapping for the crisp inputs of one compiled
+/// rule base (every variable referenced by any antecedent, in
+/// first-seen order). Built once at compile time so the per-call path
+/// never touches a string.
+class InputLayout {
+ public:
+  /// Slot of `name`, or -1 when no antecedent references it.
+  int SlotOf(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Fills `slots` (size() entries) from named measurements. Errors
+  /// on a missing measurement exactly like the interpreted engine
+  /// (the layout holds only variables some rule reads).
+  Status Gather(const Inputs& inputs, double* slots) const;
+
+ private:
+  friend class CompiledRuleBase;
+
+  /// Interns `name`, returning its (possibly new) slot.
+  int AddName(std::string_view name);
+
+  std::vector<std::string> names_;
+  std::map<std::string, int, std::less<>> index_;
+};
+
+/// A RuleBase lowered to a flat, allocation-free representation:
+/// every variable and term name is resolved once at compile time into
+/// dense slot indices, each antecedent becomes a postfix op array
+/// (no virtual dispatch, no per-call Status), and each rule's
+/// consequent membership function is pre-bound by value. The result
+/// is self-contained — the source RuleBase may be destroyed.
+///
+/// Evaluate() is const and touches only the caller-owned Scratch, so
+/// one CompiledRuleBase may be shared by concurrent threads as long
+/// as each thread brings its own Scratch (MakeScratch()).
+///
+/// Crisp results are bit-identical to InferenceEngine::Infer over the
+/// same rule base: the antecedent folds apply min/max/1-x in the same
+/// order and both paths defuzzify through DefuzzifyUnion.
+class CompiledRuleBase {
+ public:
+  /// Caller-owned reusable buffers. After the first Evaluate() call
+  /// every vector has reached its steady-state capacity and the hot
+  /// path performs zero heap allocations.
+  struct Scratch {
+    std::vector<double> clamped;          // inputs clamped per slot
+    std::vector<double> stack;            // postfix evaluation stack
+    std::vector<double> truth;            // weighted truth per rule
+    std::vector<AggregatedSet::Part> parts;  // clipped union, one output
+    std::vector<double> crisp;            // result per output slot
+    DefuzzScratch defuzz;
+  };
+
+  /// Resolves every name of `base` once. Fails (NotFound) on a rule
+  /// referencing an undefined variable or term — RuleBase::AddRule
+  /// already rejects those, so compiling a well-formed base cannot
+  /// fail.
+  static Result<CompiledRuleBase> Compile(const RuleBase& base);
+
+  const std::string& name() const { return name_; }
+  const InputLayout& inputs() const { return inputs_; }
+
+  size_t num_rules() const { return rules_.size(); }
+  size_t num_outputs() const { return outputs_.size(); }
+  /// Output variable names, one per slot, in first-seen rule order
+  /// (matches RuleBase::OutputVariables()).
+  const std::vector<std::string>& output_names() const {
+    return output_names_;
+  }
+  /// Slot of an output variable, or -1 when no rule writes it.
+  int OutputSlot(std::string_view name) const {
+    auto it = output_index_.find(name);
+    return it == output_index_.end() ? -1 : it->second;
+  }
+  double output_lo(int slot) const { return outputs_[slot].lo; }
+  double output_hi(int slot) const { return outputs_[slot].hi; }
+
+  /// A Scratch pre-sized for this rule base.
+  Scratch MakeScratch() const;
+
+  /// Full inference over a dense input vector laid out per inputs():
+  /// fuzzify + postfix antecedents + union aggregation + analytic
+  /// defuzzification. Writes one crisp value per output slot into
+  /// scratch->crisp. Allocation-free once scratch is warm; safe to
+  /// call concurrently with distinct scratches.
+  void Evaluate(const double* input_slots, Defuzzifier method,
+                Scratch* scratch) const;
+
+  /// Convenience wrapper for tests and tools (allocates): gathers
+  /// named inputs, evaluates, and returns one output's crisp value.
+  Result<double> EvaluateValue(const Inputs& inputs, Defuzzifier method,
+                               std::string_view output_variable) const;
+
+ private:
+  struct Atom {
+    int slot = 0;
+    bool negated = false;
+    Hedge hedge = Hedge::kNone;
+    MembershipFunction membership;
+  };
+  struct Op {
+    enum class Kind : uint8_t { kAtom, kAnd, kOr, kNot };
+    Kind kind = Kind::kAtom;
+    // Atom index for kAtom; child count for kAnd/kOr; unused for kNot.
+    uint32_t arg = 0;
+  };
+  struct CompiledRule {
+    uint32_t op_begin = 0;
+    uint32_t op_end = 0;
+    double weight = 1.0;
+    MembershipFunction consequent;
+  };
+  struct Output {
+    double lo = 0.0;
+    double hi = 1.0;
+    // Contiguous range in rules_ (grouped by output, rule order
+    // within) — the parts of this output's clipped union.
+    uint32_t rule_begin = 0;
+    uint32_t rule_end = 0;
+  };
+  struct Range {
+    double lo = 0.0;
+    double hi = 1.0;
+  };
+
+  Status FlattenExpr(const Expr& expr, const RuleBase& base, int* depth,
+                     int* max_depth);
+
+  std::string name_;
+  InputLayout inputs_;
+  std::vector<Range> input_ranges_;  // clamp range per input slot
+  std::vector<Atom> atoms_;
+  std::vector<Op> ops_;
+  std::vector<CompiledRule> rules_;
+  std::vector<Output> outputs_;
+  std::vector<std::string> output_names_;
+  std::map<std::string, int, std::less<>> output_index_;
+  size_t max_stack_ = 1;
+};
+
+}  // namespace autoglobe::fuzzy
+
+#endif  // AUTOGLOBE_FUZZY_COMPILED_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -49,61 +50,175 @@ double AggregatedSet::Height() const {
 }
 
 double AggregatedSet::Defuzzify(Defuzzifier method) const {
-  double height = Height();
-  if (parts_.empty() || height <= 0.0) return lo_;
-  switch (method) {
-    case Defuzzifier::kLeftmostMax: {
-      // Leftmost x where the union attains its height: the minimum
-      // over contributing parts of the part's leftmost point at the
-      // height level (paper §3: "the leftmost of all values at which
-      // the maximum truth value occurs").
-      double leftmost = hi_;
-      for (const Part& part : parts_) {
-        double part_height =
-            std::min(part.membership.MaxValue(), part.clip);
-        if (part_height + 1e-12 < height) continue;
-        double x = part.membership.LeftmostAtLevel(height, lo_);
-        leftmost = std::min(leftmost, std::clamp(x, lo_, hi_));
-      }
-      return leftmost;
-    }
-    case Defuzzifier::kMeanOfMax: {
-      // Numeric: average of sample points within 1e-9 of the height.
-      constexpr int kSamples = 2000;
-      double sum = 0.0;
-      int count = 0;
-      for (int i = 0; i <= kSamples; ++i) {
-        double x = lo_ + (hi_ - lo_) * i / kSamples;
-        if (Eval(x) >= height - 1e-9) {
-          sum += x;
-          ++count;
-        }
-      }
-      return count > 0 ? sum / count : lo_;
-    }
-    case Defuzzifier::kCentroid: {
-      constexpr int kSamples = 2000;
-      double num = 0.0;
-      double den = 0.0;
-      for (int i = 0; i <= kSamples; ++i) {
-        double x = lo_ + (hi_ - lo_) * i / kSamples;
-        double mu = Eval(x);
-        num += x * mu;
-        den += mu;
-      }
-      return den > 0.0 ? num / den : lo_;
-    }
-  }
-  return lo_;
+  // The scratch keeps its capacity across calls; thread_local keeps
+  // concurrent simulations (the PR 1 thread pool) independent.
+  static thread_local DefuzzScratch scratch;
+  return DefuzzifyUnion(parts_.data(), parts_.size(), lo_, hi_, method,
+                        &scratch);
 }
 
 std::vector<double> AggregatedSet::Sample(int n) const {
+  if (n <= 0) return {Eval(lo_)};
   std::vector<double> samples;
   samples.reserve(static_cast<size_t>(n) + 1);
   for (int i = 0; i <= n; ++i) {
     samples.push_back(Eval(lo_ + (hi_ - lo_) * i / n));
   }
   return samples;
+}
+
+// ---------------------------------------------------------------------------
+// Analytic defuzzification
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Part = AggregatedSet::Part;
+
+double ClippedEval(const Part& part, double x) {
+  return std::min(part.membership.Eval(x), part.clip);
+}
+
+double UnionEval(const Part* parts, size_t count, double x) {
+  double grade = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    grade = std::max(grade, ClippedEval(parts[i], x));
+  }
+  return grade;
+}
+
+void SortUnique(std::vector<double>* xs) {
+  std::sort(xs->begin(), xs->end());
+  xs->erase(std::unique(xs->begin(), xs->end()), xs->end());
+}
+
+}  // namespace
+
+double DefuzzifyUnion(const Part* parts, size_t count, double lo, double hi,
+                      Defuzzifier method, DefuzzScratch* scratch) {
+  double height = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    height = std::max(height,
+                      std::min(parts[i].membership.MaxValue(), parts[i].clip));
+  }
+  if (count == 0 || height <= 0.0) return lo;
+
+  if (method == Defuzzifier::kLeftmostMax) {
+    // Leftmost x where the union attains its height: the minimum
+    // over contributing parts of the part's leftmost point at the
+    // height level (paper §3: "the leftmost of all values at which
+    // the maximum truth value occurs").
+    double leftmost = hi;
+    for (size_t i = 0; i < count; ++i) {
+      const Part& part = parts[i];
+      double part_height = std::min(part.membership.MaxValue(), part.clip);
+      if (part_height + 1e-12 < height) continue;
+      double x = part.membership.LeftmostAtLevel(height, lo);
+      leftmost = std::min(leftmost, std::clamp(x, lo, hi));
+    }
+    return leftmost;
+  }
+
+  // Segment-wise sweep: between two consecutive breakpoints every
+  // clipped part is linear, and once the pairwise intersections are
+  // added the union itself is linear on each segment.
+  std::vector<double>& breaks = scratch->breaks;
+  breaks.clear();
+  breaks.push_back(lo);
+  breaks.push_back(hi);
+  for (size_t i = 0; i < count; ++i) {
+    parts[i].membership.AppendLevelBreakpoints(parts[i].clip, lo, hi,
+                                               &breaks);
+  }
+  SortUnique(&breaks);
+
+  std::vector<double>& crossings = scratch->crossings;
+  crossings.clear();
+  if (count >= 2) {
+    for (size_t s = 0; s + 1 < breaks.size(); ++s) {
+      double x0 = breaks[s];
+      double x1 = breaks[s + 1];
+      double w = x1 - x0;
+      if (w <= 1e-15) continue;
+      // Each part is linear on (x0, x1); probing at the third points
+      // recovers the line without touching the endpoint values, which
+      // may be jump discontinuities (singletons, degenerate edges).
+      double q1 = x0 + w / 3.0;
+      double q2 = x0 + 2.0 * w / 3.0;
+      for (size_t i = 0; i < count; ++i) {
+        for (size_t j = i + 1; j < count; ++j) {
+          double d1 = ClippedEval(parts[i], q1) - ClippedEval(parts[j], q1);
+          double d2 = ClippedEval(parts[i], q2) - ClippedEval(parts[j], q2);
+          double slope = (d2 - d1) / (q2 - q1);
+          if (slope == 0.0) continue;
+          double x = q1 - d1 / slope;
+          if (x > x0 + 1e-15 && x < x1 - 1e-15) crossings.push_back(x);
+        }
+      }
+    }
+    breaks.insert(breaks.end(), crossings.begin(), crossings.end());
+    SortUnique(&breaks);
+  }
+
+  if (method == Defuzzifier::kCentroid) {
+    // Exact area and first moment of the piecewise-linear union:
+    // for a linear segment from (x0, y0) to (x1, y1),
+    //   integral mu dx      = (y0 + y1) / 2 * w
+    //   integral x * mu dx  = w / 6 * (x0 (2 y0 + y1) + x1 (y0 + 2 y1)).
+    double area = 0.0;
+    double moment = 0.0;
+    for (size_t s = 0; s + 1 < breaks.size(); ++s) {
+      double x0 = breaks[s];
+      double x1 = breaks[s + 1];
+      double w = x1 - x0;
+      if (w <= 1e-15) continue;
+      double q1 = x0 + w / 3.0;
+      double q2 = x0 + 2.0 * w / 3.0;
+      double v1 = UnionEval(parts, count, q1);
+      double v2 = UnionEval(parts, count, q2);
+      double slope = (v2 - v1) / (q2 - q1);
+      double y0 = v1 + slope * (x0 - q1);
+      double y1 = v1 + slope * (x1 - q1);
+      area += 0.5 * (y0 + y1) * w;
+      moment += w / 6.0 * (x0 * (2.0 * y0 + y1) + x1 * (y0 + 2.0 * y1));
+    }
+    return area > 0.0 ? moment / area : lo;
+  }
+
+  // Mean of max: average over the region where the union attains its
+  // height. Plateaus contribute interval mass; if the height is only
+  // reached at isolated points (peaks, singleton spikes — always
+  // breakpoints of the sweep), their mean is used instead.
+  constexpr double kTol = 1e-9;
+  double plateau_len = 0.0;
+  double plateau_moment = 0.0;
+  for (size_t s = 0; s + 1 < breaks.size(); ++s) {
+    double x0 = breaks[s];
+    double x1 = breaks[s + 1];
+    double w = x1 - x0;
+    if (w <= 1e-15) continue;
+    double q1 = x0 + w / 3.0;
+    double q2 = x0 + 2.0 * w / 3.0;
+    double v1 = UnionEval(parts, count, q1);
+    double v2 = UnionEval(parts, count, q2);
+    double slope = (v2 - v1) / (q2 - q1);
+    double y0 = v1 + slope * (x0 - q1);
+    double y1 = v1 + slope * (x1 - q1);
+    if (y0 >= height - kTol && y1 >= height - kTol) {
+      plateau_len += w;
+      plateau_moment += 0.5 * (x0 + x1) * w;
+    }
+  }
+  if (plateau_len > 0.0) return plateau_moment / plateau_len;
+  std::vector<double>& points = scratch->points;
+  points.clear();
+  for (double x : breaks) {
+    if (UnionEval(parts, count, x) >= height - kTol) points.push_back(x);
+  }
+  if (points.empty()) return lo;
+  double sum = 0.0;
+  for (double x : points) sum += x;
+  return sum / static_cast<double>(points.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -191,12 +306,13 @@ Status RuleBase::AddRulesFromText(std::string_view text) {
 }
 
 std::vector<std::string> RuleBase::OutputVariables() const {
+  // First-seen order, deduplicated via a transparent set so the scan
+  // stays O(n log n) instead of O(n^2) over the rule count.
   std::vector<std::string> names;
+  std::set<std::string_view, std::less<>> seen;
   for (const Rule& rule : rules_) {
     const std::string& name = rule.consequent().variable;
-    if (std::find(names.begin(), names.end(), name) == names.end()) {
-      names.push_back(name);
-    }
+    if (seen.insert(name).second) names.push_back(name);
   }
   return names;
 }
@@ -205,9 +321,10 @@ std::vector<std::string> RuleBase::OutputVariables() const {
 // InferenceEngine
 // ---------------------------------------------------------------------------
 
-Result<std::map<std::string, InferenceOutput>> InferenceEngine::Infer(
-    const RuleBase& rule_base, const Inputs& inputs) const {
-  std::map<std::string, InferenceOutput> outputs;
+Result<std::map<std::string, InferenceOutput, std::less<>>>
+InferenceEngine::Infer(const RuleBase& rule_base,
+                       const Inputs& inputs) const {
+  std::map<std::string, InferenceOutput, std::less<>> outputs;
   // One aggregated set per output variable written by any rule.
   for (const Rule& rule : rule_base.rules()) {
     const Consequent& consequent = rule.consequent();
@@ -236,7 +353,9 @@ Result<double> InferenceEngine::InferValue(
     const RuleBase& rule_base, const Inputs& inputs,
     std::string_view output_variable) const {
   AG_ASSIGN_OR_RETURN(auto outputs, Infer(rule_base, inputs));
-  auto it = outputs.find(std::string(output_variable));
+  // Transparent comparator: look up the string_view directly instead
+  // of materializing a temporary std::string.
+  auto it = outputs.find(output_variable);
   if (it == outputs.end()) {
     return Status::NotFound(
         StrFormat("no rule writes output variable \"%.*s\"",

@@ -52,6 +52,7 @@ class AggregatedSet {
   double Defuzzify(Defuzzifier method) const;
 
   /// Samples the union at `n`+1 equidistant points (plot support).
+  /// A non-positive `n` degenerates to the single sample at `lo`.
   std::vector<double> Sample(int n) const;
 
  private:
@@ -59,6 +60,29 @@ class AggregatedSet {
   double hi_;
   std::vector<Part> parts_;
 };
+
+/// Reusable temporaries of the analytic defuzzifier, so the compiled
+/// hot path stays allocation-free once the buffers have grown to
+/// their steady-state capacity.
+struct DefuzzScratch {
+  std::vector<double> breaks;
+  std::vector<double> crossings;
+  std::vector<double> points;
+};
+
+/// Exact segment-wise defuzzification of the clipped union
+/// mu(x) = max_i min(mu_i(x), clip_i) over [lo, hi]. All membership
+/// functions are piecewise linear, so the union is piecewise linear
+/// between the parts' breakpoints, their clip crossings, and the
+/// pairwise intersections of their segments; centroid and mean-of-max
+/// integrate those segments analytically instead of sampling
+/// (kCentroid of a zero-area set — isolated singleton spikes only —
+/// falls back to `lo`, like an empty set). Used by both
+/// AggregatedSet::Defuzzify and CompiledRuleBase::Evaluate, which
+/// therefore agree bit-for-bit.
+double DefuzzifyUnion(const AggregatedSet::Part* parts, size_t count,
+                      double lo, double hi, Defuzzifier method,
+                      DefuzzScratch* scratch);
 
 /// Result of one inference run: a crisp value and the aggregated set
 /// per output variable.
@@ -119,7 +143,7 @@ class InferenceEngine {
   /// Runs the full cycle over `rule_base` with the crisp `inputs`.
   /// Returns one InferenceOutput per output variable (variables no
   /// rule fires for still appear, with crisp == domain minimum).
-  Result<std::map<std::string, InferenceOutput>> Infer(
+  Result<std::map<std::string, InferenceOutput, std::less<>>> Infer(
       const RuleBase& rule_base, const Inputs& inputs) const;
 
   /// Convenience: crisp value of a single output variable.

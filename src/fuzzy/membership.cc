@@ -119,6 +119,47 @@ double MembershipFunction::LeftmostAtLevel(double level, double lo) const {
   return lo;
 }
 
+void MembershipFunction::AppendLevelBreakpoints(
+    double clip, double lo, double hi, std::vector<double>* out) const {
+  const auto& p = params_;
+  auto push = [&](double x) {
+    if (x >= lo && x <= hi) out->push_back(x);
+  };
+  clip = std::clamp(clip, 0.0, 1.0);
+  switch (shape_) {
+    case Shape::kTrapezoid:
+      push(p[0]);
+      push(p[1]);
+      push(p[2]);
+      push(p[3]);
+      if (p[0] < p[1]) push(p[0] + clip * (p[1] - p[0]));
+      if (p[2] < p[3]) push(p[3] - clip * (p[3] - p[2]));
+      return;
+    case Shape::kTriangle:
+      push(p[0]);
+      push(p[1]);
+      push(p[2]);
+      if (p[0] < p[1]) push(p[0] + clip * (p[1] - p[0]));
+      if (p[1] < p[2]) push(p[2] - clip * (p[2] - p[1]));
+      return;
+    case Shape::kRampUp:
+      push(p[0]);
+      push(p[1]);
+      if (p[0] < p[1]) push(p[0] + clip * (p[1] - p[0]));
+      return;
+    case Shape::kRampDown:
+      push(p[0]);
+      push(p[1]);
+      if (p[0] < p[1]) push(p[0] + (1.0 - clip) * (p[1] - p[0]));
+      return;
+    case Shape::kConstant:
+      return;
+    case Shape::kSingleton:
+      push(p[0]);
+      return;
+  }
+}
+
 std::string MembershipFunction::ToString() const {
   const auto& p = params_;
   switch (shape_) {

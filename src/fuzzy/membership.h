@@ -3,6 +3,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 
@@ -53,6 +54,14 @@ class MembershipFunction {
   /// shapes that reach `level` at -infinity (e.g. kRampDown at its
   /// full height). Requires 0 < level <= MaxValue().
   double LeftmostAtLevel(double level, double lo) const;
+
+  /// Appends every x in [lo, hi] where min(Eval(x), clip) changes
+  /// slope: the shape's own breakpoints plus the points where its
+  /// rising/falling edges cross the clip level. Between consecutive
+  /// appended points (and the domain bounds) the clipped function is
+  /// linear — the support of the exact segment-wise defuzzifiers.
+  void AppendLevelBreakpoints(double clip, double lo, double hi,
+                              std::vector<double>* out) const;
 
   /// Human-readable description, e.g. "trapezoid(0,0,0.3,0.5)".
   std::string ToString() const;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fuzzy/compiled.h"
+
 namespace autoglobe::controller {
 namespace {
 
@@ -207,6 +209,71 @@ TEST(RuleBasesTest, LoadedHostsScorePoorlyForEveryAction) {
     auto score = engine.InferValue(*rb, slammed, "suitability");
     ASSERT_TRUE(score.ok());
     EXPECT_LT(*score, 0.15) << infra::ActionTypeName(action);
+  }
+}
+
+// The controller runs every default base through the compiled kernel;
+// pin the compiled results to the interpreted reference across a grid
+// of load situations and all three defuzzifiers.
+TEST(RuleBasesTest, CompiledMatchesInterpretedOnDefaultActionBases) {
+  for (TriggerKind kind : kAllTriggers) {
+    auto rb = MakeDefaultActionRuleBase(kind);
+    ASSERT_TRUE(rb.ok());
+    auto compiled = fuzzy::CompiledRuleBase::Compile(*rb);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    for (double cpu : {0.05, 0.5, 0.95}) {
+      for (double instances : {1.0, 3.0}) {
+        Inputs inputs = BaseInputs();
+        inputs["cpuLoad"] = cpu;
+        inputs["serviceLoad"] = cpu;
+        inputs["instancesOfService"] = instances;
+        for (fuzzy::Defuzzifier method :
+             {fuzzy::Defuzzifier::kLeftmostMax,
+              fuzzy::Defuzzifier::kMeanOfMax,
+              fuzzy::Defuzzifier::kCentroid}) {
+          InferenceEngine engine(method);
+          for (const std::string& output : rb->OutputVariables()) {
+            auto want = engine.InferValue(*rb, inputs, output);
+            ASSERT_TRUE(want.ok()) << want.status();
+            auto got = compiled->EvaluateValue(inputs, method, output);
+            ASSERT_TRUE(got.ok()) << got.status();
+            EXPECT_NEAR(*got, *want, 1e-12)
+                << monitor::TriggerKindName(kind) << " " << output;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RuleBasesTest, CompiledMatchesInterpretedOnDefaultServerBases) {
+  for (ActionType action : infra::kAllActionTypes) {
+    if (!infra::ActionNeedsTargetServer(action)) continue;
+    auto rb = MakeDefaultServerRuleBase(action);
+    ASSERT_TRUE(rb.ok());
+    auto compiled = fuzzy::CompiledRuleBase::Compile(*rb);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    for (double cpu : {0.05, 0.4, 0.97}) {
+      for (double pi : {1.0, 4.0}) {
+        Inputs inputs{{"cpuLoad", cpu},      {"memLoad", cpu},
+                      {"instancesOnServer", 2.0},
+                      {"performanceIndex", pi},
+                      {"numberOfCpus", 4.0}, {"cpuClock", 2.0},
+                      {"cpuCache", 1.0},     {"memory", 16.0},
+                      {"swapSpace", 16.0},   {"tempSpace", 100.0}};
+        for (fuzzy::Defuzzifier method :
+             {fuzzy::Defuzzifier::kLeftmostMax,
+              fuzzy::Defuzzifier::kMeanOfMax,
+              fuzzy::Defuzzifier::kCentroid}) {
+          InferenceEngine engine(method);
+          auto want = engine.InferValue(*rb, inputs, "suitability");
+          ASSERT_TRUE(want.ok()) << want.status();
+          auto got = compiled->EvaluateValue(inputs, method, "suitability");
+          ASSERT_TRUE(got.ok()) << got.status();
+          EXPECT_NEAR(*got, *want, 1e-12) << infra::ActionTypeName(action);
+        }
+      }
+    }
   }
 }
 

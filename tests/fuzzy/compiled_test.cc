@@ -1,0 +1,330 @@
+#include "fuzzy/compiled.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzzy/inference.h"
+
+namespace autoglobe::fuzzy {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Randomized rule-base construction for the parity fuzz test
+// ---------------------------------------------------------------------------
+
+MembershipFunction RandomShape(Rng& rng) {
+  // Four strictly increasing breakpoints with comfortable gaps, so
+  // every factory precondition holds.
+  double a = rng.Uniform(0.0, 0.3);
+  double b = a + rng.Uniform(0.05, 0.25);
+  double c = b + rng.Uniform(0.05, 0.25);
+  double d = c + rng.Uniform(0.05, 0.25);
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      return MembershipFunction::Trapezoid(a, b, c, d).value();
+    case 1:
+      return MembershipFunction::Triangle(a, b, c).value();
+    case 2:
+      return MembershipFunction::RampUp(a, b).value();
+    default:
+      return MembershipFunction::RampDown(a, b).value();
+  }
+}
+
+LinguisticVariable RandomInputVariable(std::string name, Rng& rng) {
+  LinguisticVariable var(std::move(name), 0.0, 1.0);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_TRUE(var.AddTerm("t" + std::to_string(t), RandomShape(rng)).ok());
+  }
+  return var;
+}
+
+std::unique_ptr<Expr> RandomExpr(Rng& rng,
+                                 const std::vector<std::string>& vars,
+                                 int depth) {
+  int pick = depth >= 2 ? 0 : static_cast<int>(rng.UniformInt(0, 3));
+  if (pick == 0) {
+    const std::string& var =
+        vars[static_cast<size_t>(rng.UniformInt(0, vars.size() - 1))];
+    std::string term = "t" + std::to_string(rng.UniformInt(0, 2));
+    bool negated = rng.Bernoulli(0.25);
+    Hedge hedge = Hedge::kNone;
+    if (rng.Bernoulli(0.3)) {
+      hedge = rng.Bernoulli(0.5) ? Hedge::kVery : Hedge::kSomewhat;
+    }
+    return std::make_unique<AtomExpr>(var, std::move(term), negated, hedge);
+  }
+  if (pick == 3) {
+    return std::make_unique<NotExpr>(RandomExpr(rng, vars, depth + 1));
+  }
+  std::vector<std::unique_ptr<Expr>> children;
+  int arity = static_cast<int>(rng.UniformInt(2, 3));
+  children.reserve(static_cast<size_t>(arity));
+  for (int c = 0; c < arity; ++c) {
+    children.push_back(RandomExpr(rng, vars, depth + 1));
+  }
+  return std::make_unique<NaryExpr>(
+      pick == 1 ? Expr::Kind::kAnd : Expr::Kind::kOr, std::move(children));
+}
+
+RuleBase RandomRuleBase(Rng& rng) {
+  RuleBase rb("fuzz");
+  int num_inputs = static_cast<int>(rng.UniformInt(2, 4));
+  std::vector<std::string> inputs;
+  for (int i = 0; i < num_inputs; ++i) {
+    std::string name = "in" + std::to_string(i);
+    EXPECT_TRUE(rb.AddVariable(RandomInputVariable(name, rng)).ok());
+    inputs.push_back(std::move(name));
+  }
+  // One identity-ramp output (the paper's shape) and one with curvy
+  // terms so centroid/mean-of-max exercise non-trivial unions.
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::RampOutput("out0")).ok());
+  LinguisticVariable out1("out1", 0.0, 1.0);
+  EXPECT_TRUE(
+      out1.AddTerm("t0", MembershipFunction::Trapezoid(0.0, 0.2, 0.5, 0.9)
+                             .value())
+          .ok());
+  EXPECT_TRUE(
+      out1.AddTerm("t1", MembershipFunction::Triangle(0.3, 0.6, 1.0).value())
+          .ok());
+  EXPECT_TRUE(
+      out1.AddTerm("t2", MembershipFunction::RampUp(0.1, 0.8).value()).ok());
+  EXPECT_TRUE(rb.AddVariable(std::move(out1)).ok());
+
+  int num_rules = static_cast<int>(rng.UniformInt(2, 6));
+  for (int r = 0; r < num_rules; ++r) {
+    Consequent consequent;
+    if (rng.Bernoulli(0.5)) {
+      consequent = {"out0", "applicable"};
+    } else {
+      consequent = {"out1", "t" + std::to_string(rng.UniformInt(0, 2))};
+    }
+    double weight = rng.Bernoulli(0.5) ? 1.0 : rng.Uniform(0.2, 1.0);
+    EXPECT_TRUE(rb.AddRule(Rule(RandomExpr(rng, inputs, 0),
+                                std::move(consequent), weight))
+                    .ok());
+  }
+  return rb;
+}
+
+// ---------------------------------------------------------------------------
+// Parity fuzz: compiled == interpreted for every defuzzifier
+// ---------------------------------------------------------------------------
+
+TEST(CompiledParityFuzz, MatchesInterpretedWithinTinyTolerance) {
+  Rng rng(0xC0FFEE);
+  for (int base_i = 0; base_i < 40; ++base_i) {
+    RuleBase rb = RandomRuleBase(rng);
+    auto compiled = CompiledRuleBase::Compile(rb);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    for (int input_i = 0; input_i < 5; ++input_i) {
+      Inputs inputs;
+      for (const auto& [name, var] : rb.variables()) {
+        // Occasionally out of range, to cover the fuzzification clamp.
+        inputs[name] = rng.Uniform(-0.2, 1.2);
+      }
+      for (Defuzzifier method :
+           {Defuzzifier::kLeftmostMax, Defuzzifier::kMeanOfMax,
+            Defuzzifier::kCentroid}) {
+        InferenceEngine engine(method);
+        for (const std::string& output : rb.OutputVariables()) {
+          auto want = engine.InferValue(rb, inputs, output);
+          ASSERT_TRUE(want.ok()) << want.status();
+          auto got = compiled->EvaluateValue(inputs, method, output);
+          ASSERT_TRUE(got.ok()) << got.status();
+          EXPECT_NEAR(*got, *want, 1e-12)
+              << "base " << base_i << " input " << input_i << " output "
+              << output << " method "
+              << DefuzzifierName(method);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analytic defuzzification vs a fine-grained sampled reference
+// ---------------------------------------------------------------------------
+
+double SampledCentroid(const AggregatedSet& set, int n) {
+  double lo = set.lo(), hi = set.hi();
+  double area = 0.0, moment = 0.0;
+  double step = (hi - lo) / n;
+  for (int i = 0; i <= n; ++i) {
+    double x = lo + step * i;
+    double w = (i == 0 || i == n) ? 0.5 : 1.0;  // trapezoid weights
+    double mu = set.Eval(x);
+    area += w * mu;
+    moment += w * mu * x;
+  }
+  return area > 0 ? moment / area : lo;
+}
+
+double SampledMeanOfMax(const AggregatedSet& set, int n) {
+  double lo = set.lo(), hi = set.hi();
+  double step = (hi - lo) / n;
+  double height = 0.0;
+  for (int i = 0; i <= n; ++i) height = std::max(height, set.Eval(lo + step * i));
+  if (height <= 0.0) return lo;
+  double sum = 0.0;
+  int count = 0;
+  for (int i = 0; i <= n; ++i) {
+    double x = lo + step * i;
+    if (set.Eval(x) >= height - 1e-9) {
+      sum += x;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : lo;
+}
+
+TEST(AnalyticDefuzzTest, CentroidAgreesWithDenseSampling) {
+  Rng rng(0xBEEF);
+  for (int i = 0; i < 25; ++i) {
+    AggregatedSet set(0.0, 1.0);
+    int parts = static_cast<int>(rng.UniformInt(1, 4));
+    for (int p = 0; p < parts; ++p) {
+      set.AddClipped(RandomShape(rng), rng.Uniform(0.05, 1.0));
+    }
+    double analytic = set.Defuzzify(Defuzzifier::kCentroid);
+    double sampled = SampledCentroid(set, 200000);
+    EXPECT_NEAR(analytic, sampled, 1e-4) << "case " << i;
+  }
+}
+
+TEST(AnalyticDefuzzTest, MeanOfMaxAgreesWithDenseSampling) {
+  Rng rng(0xFEED);
+  for (int i = 0; i < 25; ++i) {
+    AggregatedSet set(0.0, 1.0);
+    int parts = static_cast<int>(rng.UniformInt(1, 4));
+    for (int p = 0; p < parts; ++p) {
+      set.AddClipped(RandomShape(rng), rng.Uniform(0.05, 1.0));
+    }
+    double analytic = set.Defuzzify(Defuzzifier::kMeanOfMax);
+    double sampled = SampledMeanOfMax(set, 200000);
+    EXPECT_NEAR(analytic, sampled, 1e-4) << "case " << i;
+  }
+}
+
+TEST(AnalyticDefuzzTest, IsolatedSingletonPeakMeanOfMax) {
+  // A singleton above a low plateau: the maximum is a single isolated
+  // point, which sampling can only approximate but the analytic sweep
+  // hits exactly.
+  AggregatedSet set(0.0, 1.0);
+  set.AddClipped(MembershipFunction::Singleton(0.7), 0.9);
+  set.AddClipped(MembershipFunction::Constant(1.0), 0.2);
+  EXPECT_NEAR(set.Defuzzify(Defuzzifier::kMeanOfMax), 0.7, 1e-12);
+  EXPECT_NEAR(set.Defuzzify(Defuzzifier::kLeftmostMax), 0.7, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled API edges
+// ---------------------------------------------------------------------------
+
+RuleBase SmallBase() {
+  RuleBase rb("small");
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::StandardLoad("cpuLoad")).ok());
+  EXPECT_TRUE(
+      rb.AddVariable(LinguisticVariable::StandardLoad("memLoad")).ok());
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::RampOutput("scaleOut")).ok());
+  EXPECT_TRUE(rb.AddRulesFromText(
+                    "IF cpuLoad IS high AND memLoad IS NOT low "
+                    "THEN scaleOut IS applicable")
+                  .ok());
+  return rb;
+}
+
+TEST(CompiledRuleBaseTest, LayoutCoversOnlyReferencedInputs) {
+  RuleBase rb = SmallBase();
+  auto compiled = CompiledRuleBase::Compile(rb);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->inputs().size(), 2u);
+  EXPECT_EQ(compiled->inputs().SlotOf("cpuLoad"), 0);
+  EXPECT_EQ(compiled->inputs().SlotOf("memLoad"), 1);
+  EXPECT_EQ(compiled->inputs().SlotOf("scaleOut"), -1);
+  EXPECT_EQ(compiled->num_outputs(), 1u);
+  EXPECT_EQ(compiled->OutputSlot("scaleOut"), 0);
+  EXPECT_EQ(compiled->OutputSlot("scaleIn"), -1);
+}
+
+TEST(CompiledRuleBaseTest, GatherMissingMeasurementIsInvalidArgument) {
+  RuleBase rb = SmallBase();
+  auto compiled = CompiledRuleBase::Compile(rb);
+  ASSERT_TRUE(compiled.ok());
+  auto result = compiled->EvaluateValue({{"cpuLoad", 0.9}},
+                                        Defuzzifier::kLeftmostMax, "scaleOut");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompiledRuleBaseTest, UnknownOutputVariableIsNotFound) {
+  RuleBase rb = SmallBase();
+  auto compiled = CompiledRuleBase::Compile(rb);
+  ASSERT_TRUE(compiled.ok());
+  auto result =
+      compiled->EvaluateValue({{"cpuLoad", 0.9}, {"memLoad", 0.5}},
+                              Defuzzifier::kLeftmostMax, "scaleIn");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CompiledRuleBaseTest, SteadyStateEvaluateNeverReallocatesScratch) {
+  Rng rng(0xABCD);
+  RuleBase rb = RandomRuleBase(rng);
+  auto compiled = CompiledRuleBase::Compile(rb);
+  ASSERT_TRUE(compiled.ok());
+  CompiledRuleBase::Scratch scratch = compiled->MakeScratch();
+  std::vector<double> slots(compiled->inputs().size());
+
+  // Warm up once, then verify no buffer ever moves again — the
+  // allocation-free contract observable without a malloc hook.
+  for (size_t i = 0; i < slots.size(); ++i) slots[i] = rng.NextDouble();
+  compiled->Evaluate(slots.data(), Defuzzifier::kCentroid, &scratch);
+  const double* crisp_data = scratch.crisp.data();
+  const double* truth_data = scratch.truth.data();
+  const AggregatedSet::Part* parts_data = scratch.parts.data();
+  const size_t parts_cap = scratch.parts.capacity();
+  const double* breaks_data = scratch.defuzz.breaks.data();
+  const size_t breaks_cap = scratch.defuzz.breaks.capacity();
+
+  for (int iter = 0; iter < 200; ++iter) {
+    for (size_t i = 0; i < slots.size(); ++i) {
+      slots[i] = rng.Uniform(-0.2, 1.2);
+    }
+    for (Defuzzifier method :
+         {Defuzzifier::kLeftmostMax, Defuzzifier::kMeanOfMax,
+          Defuzzifier::kCentroid}) {
+      compiled->Evaluate(slots.data(), method, &scratch);
+    }
+    EXPECT_EQ(scratch.crisp.data(), crisp_data);
+    EXPECT_EQ(scratch.truth.data(), truth_data);
+    EXPECT_EQ(scratch.parts.data(), parts_data);
+    EXPECT_EQ(scratch.parts.capacity(), parts_cap);
+    EXPECT_EQ(scratch.defuzz.breaks.data(), breaks_data);
+    EXPECT_EQ(scratch.defuzz.breaks.capacity(), breaks_cap);
+  }
+}
+
+TEST(CompiledRuleBaseTest, OutlivesItsSourceRuleBase) {
+  // Compile() copies every resolved membership function, so the
+  // compiled form stays valid after the RuleBase is destroyed.
+  Result<CompiledRuleBase> compiled = [] {
+    RuleBase rb = SmallBase();
+    return CompiledRuleBase::Compile(rb);
+  }();
+  ASSERT_TRUE(compiled.ok());
+  auto value =
+      compiled->EvaluateValue({{"cpuLoad", 0.9}, {"memLoad", 0.5}},
+                              Defuzzifier::kLeftmostMax, "scaleOut");
+  ASSERT_TRUE(value.ok());
+  // mu_high(0.9) = 0.8, mu_low(0.5) = 0 -> NOT low = 1; min = 0.8.
+  EXPECT_NEAR(*value, 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace autoglobe::fuzzy

@@ -217,6 +217,16 @@ TEST(AggregatedSetTest, SampleProducesCurve) {
   EXPECT_NEAR(samples[10], 0.6, 1e-12);
 }
 
+TEST(AggregatedSetTest, NonPositiveSampleCountDegeneratesToSingleSample) {
+  AggregatedSet set(0.25, 1.0);
+  set.AddClipped(MembershipFunction::RampDown(0.0, 1.0).value(), 0.6);
+  for (int n : {0, -5}) {
+    std::vector<double> samples = set.Sample(n);
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_DOUBLE_EQ(samples[0], set.Eval(0.25));
+  }
+}
+
 // Property: for an identity-ramp output, leftmost-max defuzzification
 // equals the maximum rule truth for any combination of clip levels.
 class RampDefuzzProperty : public ::testing::TestWithParam<int> {};
