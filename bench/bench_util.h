@@ -1,7 +1,6 @@
 #ifndef AUTOGLOBE_BENCH_BENCH_UTIL_H_
 #define AUTOGLOBE_BENCH_BENCH_UTIL_H_
 
-#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -9,61 +8,15 @@
 
 #include "autoglobe/capacity.h"
 #include "autoglobe/runner.h"
+#include "bench_report.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace autoglobe::bench {
 
-/// Wall-clock stopwatch for bench harnesses.
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double Seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-/// One machine-readable measurement of a bench harness.
-struct BenchRecord {
-  std::string name;
-  double wall_seconds = 0.0;
-  double items_per_second = 0.0;
-  /// Free-form numeric dimensions (thread count, step count, ...).
-  std::map<std::string, double> extra;
-};
-
-/// Writes records as a stable JSON document (one `records` array) so
-/// future PRs can diff perf trajectories, e.g. BENCH_micro.json /
-/// BENCH_capacity.json next to the binary.
-inline void WriteBenchJson(const std::string& path,
-                           const std::vector<BenchRecord>& records) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(file, "{\n  \"records\": [\n");
-  for (size_t i = 0; i < records.size(); ++i) {
-    const BenchRecord& record = records[i];
-    std::fprintf(file,
-                 "    {\"name\": \"%s\", \"wall_seconds\": %.9f, "
-                 "\"items_per_second\": %.3f",
-                 record.name.c_str(), record.wall_seconds,
-                 record.items_per_second);
-    for (const auto& [key, value] : record.extra) {
-      std::fprintf(file, ", \"%s\": %.6f", key.c_str(), value);
-    }
-    std::fprintf(file, "}%s\n", i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(file, "  ]\n}\n");
-  std::fclose(file);
-  std::printf("# wrote %s (%zu records)\n", path.c_str(), records.size());
-}
+// WallTimer, BenchRecord and WriteBenchJson moved to bench_report.h
+// (the schema shared with the google-benchmark reporter); this header
+// keeps the simulation-level scenario helpers.
 
 /// One sampled row of a scenario run: time plus per-server CPU loads.
 struct LoadRow {

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "bench_report.h"
 
 namespace autoglobe::bench {
 

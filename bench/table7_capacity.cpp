@@ -17,9 +17,10 @@
 #include <cstdlib>
 
 #include "autoglobe/capacity.h"
-#include "bench_util.h"
+#include "bench_report.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 using namespace autoglobe;
 
@@ -79,15 +80,38 @@ int main(int argc, char** argv) {
   std::printf("\n# wall-clock: %.2f s for %zu sweep steps (%.2f steps/s)\n",
               wall_seconds, steps_total,
               wall_seconds > 0 ? steps_total / wall_seconds : 0.0);
-  bench::WriteBenchJson(
-      "BENCH_capacity.json",
-      {{"table7_capacity/sweep_all_scenarios", wall_seconds,
-        wall_seconds > 0 ? steps_total / wall_seconds : 0.0,
-        {{"parallelism", static_cast<double>(workers)},
-         {"steps", static_cast<double>(steps_total)},
-         {"static_max_scale", (*all)[0].max_scale},
-         {"cm_max_scale", (*all)[1].max_scale},
-         {"fm_max_scale", (*all)[2].max_scale}}}});
+
+  // Registry-backed metrics: each sweep step ran with its own
+  // MetricsRegistry (one per worker-thread simulation); merge the
+  // snapshots into one aggregate view of the whole sweep.
+  std::vector<obs::MetricsSnapshot> snapshots;
+  snapshots.reserve(steps_total);
+  for (size_t i = 0; i < 3; ++i) {
+    for (const CapacityStep& step : (*all)[i].steps) {
+      snapshots.push_back(step.observed);
+    }
+  }
+  obs::MetricsSnapshot merged = obs::MetricsSnapshot::Merge(snapshots);
+  if (merged.WriteJson("BENCH_capacity_metrics.json").ok()) {
+    std::printf("# wrote BENCH_capacity_metrics.json (%zu step "
+                "registries merged)\n",
+                snapshots.size());
+  }
+
+  bench::BenchRecord record;
+  record.name = "table7_capacity/sweep_all_scenarios";
+  record.wall_seconds = wall_seconds;
+  record.items_per_second =
+      wall_seconds > 0 ? steps_total / wall_seconds : 0.0;
+  record.extra = {{"parallelism", static_cast<double>(workers)},
+                  {"steps", static_cast<double>(steps_total)},
+                  {"static_max_scale", (*all)[0].max_scale},
+                  {"cm_max_scale", (*all)[1].max_scale},
+                  {"fm_max_scale", (*all)[2].max_scale}};
+  for (const auto& [name, value] : merged.counters) {
+    record.extra["total_" + name] = static_cast<double>(value);
+  }
+  bench::WriteBenchJson("BENCH_capacity.json", {record});
 
   bool ordering = (*all)[0].max_scale < (*all)[1].max_scale &&
                   (*all)[1].max_scale < (*all)[2].max_scale;

@@ -27,6 +27,10 @@ struct AcceptanceCriteria {
 struct CapacityStep {
   double scale = 1.0;
   RunMetrics metrics;
+  /// The step's runner registry at completion; Merge these across a
+  /// sweep (each worker-thread run owns its own registry) for an
+  /// aggregate view.
+  obs::MetricsSnapshot observed;
   bool passed = false;
 };
 

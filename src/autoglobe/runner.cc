@@ -69,6 +69,29 @@ Result<std::unique_ptr<SimulationRunner>> SimulationRunner::Create(
 }
 
 Status SimulationRunner::Init(const Landscape& landscape) {
+  // Observability first: the registry is always on (inert-handle cost
+  // only), tracing/audit are created on demand and handed to every
+  // component below as it is built.
+  triggers_counter_ = registry_.AddCounter("triggers_fired");
+  actions_executed_counter_ = registry_.AddCounter("actions_executed");
+  actions_failed_counter_ = registry_.AddCounter("actions_failed");
+  alerts_counter_ = registry_.AddCounter("alerts");
+  failures_injected_counter_ = registry_.AddCounter("failures_injected");
+  failures_remedied_counter_ = registry_.AddCounter("failures_remedied");
+  sla_violations_counter_ = registry_.AddCounter("sla_violations_entered");
+  server_cpu_load_ = registry_.AddHistogram(
+      "server_cpu_load",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  if (config_.observability.enable_tracing) {
+    trace_ = std::make_unique<obs::TraceBuffer>(
+        config_.observability.trace_capacity);
+    simulator_.set_trace_buffer(trace_.get());
+  }
+  if (config_.observability.enable_audit) {
+    audit_ = std::make_unique<obs::AuditLog>(
+        config_.observability.audit_capacity);
+  }
+
   demand_ = std::make_unique<workload::DemandEngine>(&cluster_,
                                                      Rng(config_.seed));
   AG_RETURN_IF_ERROR(landscape.Build(&cluster_, demand_.get()));
@@ -105,18 +128,22 @@ Status SimulationRunner::Init(const Landscape& landscape) {
   }
   monitoring_->set_trigger_callback(
       [this](const Trigger& trigger) { OnTrigger(trigger); });
+  monitoring_->set_trace_buffer(trace_.get());
 
   executor_ = std::make_unique<infra::ActionExecutor>(&cluster_,
                                                       &simulator_,
                                                       config_.executor);
+  executor_->set_trace_buffer(trace_.get());
   executor_->AddListener([this](const infra::ActionRecord& record) {
     if (record.status.ok()) {
       ++metrics_.actions_executed;
+      actions_executed_counter_.Increment();
       messages_.push_back(StrFormat("%s  EXEC %s",
                                     record.at.ToString().c_str(),
                                     record.action.ToString().c_str()));
     } else {
       ++metrics_.actions_failed;
+      actions_failed_counter_.Increment();
     }
   });
 
@@ -129,9 +156,21 @@ Status SimulationRunner::Init(const Landscape& landscape) {
                                      view_.get(), config_.controller));
   controller_ =
       std::make_unique<controller::Controller>(std::move(controller));
+  controller_->set_audit_log(audit_.get());
   controller_->set_alert_callback(
       [this](const Trigger& trigger, const std::string& reason) {
         ++metrics_.alerts;
+        alerts_counter_.Increment();
+        if (trace_ != nullptr) {
+          trace_->Record(trigger.at, obs::TraceEventKind::kAlert,
+                         "administrator-alert",
+                         StrFormat("%s(%s): %s",
+                                   std::string(monitor::TriggerKindName(
+                                                   trigger.kind))
+                                       .c_str(),
+                                   trigger.subject.c_str(),
+                                   reason.c_str()));
+        }
         messages_.push_back(StrFormat(
             "%s  ALERT %s(%s): %s", trigger.at.ToString().c_str(),
             std::string(monitor::TriggerKindName(trigger.kind)).c_str(),
@@ -211,6 +250,7 @@ void SimulationRunner::OnTick() {
     ServerStat& stat = server_stats_[index];
     load_sum_ += load.cpu;
     ++load_samples_;
+    server_cpu_load_.Observe(load.cpu);
     // Trailing window as a ring buffer; the add-then-evict order of
     // operations matches the previous deque implementation so the
     // floating-point results are bit-identical.
@@ -252,12 +292,19 @@ void SimulationRunner::OnTick() {
         now, sla.service, demand_->ServiceSatisfaction(sla.service),
         config_.tick);
     if (!entered.ok() || !*entered) continue;
+    double satisfaction =
+        (*slas_.StatusOf(sla.service))->current_satisfaction;
+    sla_violations_counter_.Increment();
+    if (trace_ != nullptr) {
+      trace_->Record(now, obs::TraceEventKind::kSlaViolation, sla.service,
+                     StrFormat("satisfaction %.1f%% < %.1f%%",
+                               satisfaction * 100.0,
+                               sla.min_satisfaction * 100.0));
+    }
     messages_.push_back(StrFormat("%s  SLA-VIOLATION %s (%.1f%% < %.1f%%)",
                                   now.ToString().c_str(),
                                   sla.service.c_str(),
-                                  (*slas_.StatusOf(sla.service))
-                                          ->current_satisfaction *
-                                      100.0,
+                                  satisfaction * 100.0,
                                   sla.min_satisfaction * 100.0));
     if (config_.enforce_slas && config_.controller_enabled) {
       // The breach is confirmed harm; escalate without a watchTime and
@@ -265,6 +312,7 @@ void SimulationRunner::OnTick() {
       Trigger trigger{TriggerKind::kServiceOverloaded, sla.service, now,
                       demand_->ServiceLoad(sla.service)};
       ++metrics_.triggers;
+      triggers_counter_.Increment();
       auto outcome = controller_->HandleTrigger(trigger, /*urgent=*/true);
       if (!outcome.ok()) {
         messages_.push_back(StrFormat(
@@ -290,12 +338,34 @@ std::optional<double> SimulationRunner::DetectionLoad(
 
 void SimulationRunner::OnTrigger(const Trigger& trigger) {
   ++metrics_.triggers;
+  triggers_counter_.Increment();
   if (!config_.controller_enabled) return;
   auto outcome = controller_->HandleTrigger(trigger);
   if (!outcome.ok()) {
     messages_.push_back(StrFormat("%s  ERROR handling trigger: %s",
                                   trigger.at.ToString().c_str(),
                                   outcome.status().ToString().c_str()));
+    return;
+  }
+  if (trace_ != nullptr) {
+    std::string detail;
+    if (outcome->executed.has_value()) {
+      detail = StrFormat("executed %s",
+                         outcome->executed->ToString().c_str());
+    } else if (outcome->skipped_protected) {
+      detail = "skipped (subject protected)";
+    } else if (outcome->alerted) {
+      detail = "alerted";
+    } else {
+      detail = "no action";
+    }
+    trace_->Record(trigger.at, obs::TraceEventKind::kDecision,
+                   "controller-decision",
+                   StrFormat("%s(%s): %s",
+                             std::string(monitor::TriggerKindName(
+                                             trigger.kind))
+                                 .c_str(),
+                             trigger.subject.c_str(), detail.c_str()));
   }
 }
 
@@ -315,6 +385,12 @@ void SimulationRunner::InjectFailures() {
   for (infra::InstanceId id : crashed) {
     AG_CHECK_OK(cluster_.SetInstanceState(id, infra::InstanceState::kFailed));
     ++metrics_.failures_injected;
+    failures_injected_counter_.Increment();
+    if (trace_ != nullptr) {
+      trace_->Record(simulator_.now(),
+                     obs::TraceEventKind::kInstanceLifecycle,
+                     "instance-failed", {}, static_cast<int64_t>(id));
+    }
     messages_.push_back(StrFormat(
         "%s  FAIL instance %llu", simulator_.now().ToString().c_str(),
         static_cast<unsigned long long>(id)));
@@ -323,6 +399,7 @@ void SimulationRunner::InjectFailures() {
       // remedied for example with a restart" (§2).
       if (controller_->RemedyFailure(id, simulator_.now()).ok()) {
         ++metrics_.failures_remedied;
+        failures_remedied_counter_.Increment();
       }
     }
   }

@@ -18,6 +18,10 @@
 #include "infra/executor.h"
 #include "monitor/load_archive.h"
 #include "monitor/monitoring.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "workload/demand.h"
 
@@ -77,6 +81,11 @@ struct RunnerConfig {
   /// escalates to the controller (synthetic overload trigger — the
   /// breach is confirmed harm, no watchTime needed); off = track only.
   bool enforce_slas = true;
+
+  /// Structured tracing and the controller decision audit trail (both
+  /// off by default; the metrics registry is always on — its disabled
+  /// cost is a handful of relaxed atomic adds per tick).
+  obs::ObservabilityConfig observability;
 };
 
 /// Aggregate quality metrics of a run.
@@ -147,6 +156,17 @@ class SimulationRunner {
   /// SLA report (empty when no SLAs are configured).
   const SlaTracker& slas() const { return slas_; }
 
+  /// Always-on metrics registry (counters mirroring RunMetrics plus a
+  /// server CPU-load histogram); snapshot it for BENCH_* sidecars or
+  /// merge snapshots across the FindCapacityAll worker pool.
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  /// Trace buffer / audit log, or nullptr when the corresponding
+  /// ObservabilityConfig switch is off.
+  obs::TraceBuffer* trace_buffer() { return trace_.get(); }
+  const obs::TraceBuffer* trace_buffer() const { return trace_.get(); }
+  obs::AuditLog* audit_log() { return audit_.get(); }
+  const obs::AuditLog* audit_log() const { return audit_.get(); }
+
  private:
   explicit SimulationRunner(RunnerConfig config);
 
@@ -178,6 +198,21 @@ class SimulationRunner {
   SampleHook sample_hook_;
   RunMetrics metrics_;
   std::vector<std::string> messages_;
+
+  /// Observability: the registry lives here (one per runner, so the
+  /// parallel capacity sweeps each own one and merge snapshots);
+  /// trace/audit are heap-allocated only when enabled.
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
+  std::unique_ptr<obs::AuditLog> audit_;
+  obs::Counter triggers_counter_;
+  obs::Counter actions_executed_counter_;
+  obs::Counter actions_failed_counter_;
+  obs::Counter alerts_counter_;
+  obs::Counter failures_injected_counter_;
+  obs::Counter failures_remedied_counter_;
+  obs::Counter sla_violations_counter_;
+  obs::Histogram server_cpu_load_;
 
   /// Per-server hot-path state for the smoothed overload verdict:
   /// overload streak plus a trailing-window ring buffer of load

@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/status.h"
 
@@ -9,8 +11,15 @@ namespace autoglobe {
 
 namespace {
 
-LogLevel g_min_level = LogLevel::kInfo;
-Logging::Sink g_sink;  // empty => stderr default
+// Thread-safety: the parallel capacity sweeps log from worker
+// threads. The level filter is a relaxed atomic (a data race on a
+// plain int would be UB even if benign in practice); the sink is
+// swapped and invoked under a mutex so a sink installed by one thread
+// is never torn or destroyed mid-call by another. The lock is only
+// taken for messages that pass the level filter.
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_sink_mutex;
+Logging::Sink g_sink;  // empty => stderr default; guarded by g_sink_mutex
 
 void DefaultSink(LogLevel level, const std::string& message) {
   std::fprintf(stderr, "[%.*s] %s\n",
@@ -36,13 +45,22 @@ std::string_view LogLevelName(LogLevel level) {
   return "?";
 }
 
-void Logging::SetMinLevel(LogLevel level) { g_min_level = level; }
-LogLevel Logging::min_level() { return g_min_level; }
+void Logging::SetMinLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+LogLevel Logging::min_level() {
+  return static_cast<LogLevel>(
+      g_min_level.load(std::memory_order_relaxed));
+}
 
-void Logging::SetSink(Sink sink) { g_sink = std::move(sink); }
+void Logging::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
 
 void Logging::Emit(LogLevel level, const std::string& message) {
-  if (level < g_min_level && level != LogLevel::kFatal) return;
+  if (level < min_level() && level != LogLevel::kFatal) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, message);
   } else {

@@ -19,8 +19,11 @@ std::string_view LogLevelName(LogLevel level);
 
 /// Process-wide logging configuration. Messages below the minimum
 /// level are dropped; everything else goes to the installed sink
-/// (stderr by default). Not thread-safe by design: the simulator is
-/// single-threaded and tests install sinks up front.
+/// (stderr by default). Thread-safe: the level filter is atomic and
+/// sink installation/invocation are serialized, so the parallel
+/// capacity-sweep workers may log concurrently. A sink that passes
+/// the filter runs under the internal mutex — keep sinks quick and
+/// never log from inside one.
 class Logging {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;

@@ -94,9 +94,40 @@ Result<Controller::CompiledBase> Controller::CompileBase(
               return output_names[static_cast<size_t>(a)] <
                      output_names[static_cast<size_t>(b)];
             });
+  // Rendered rule text in compiled (output-grouped) order, so the
+  // audit trail can pair each Scratch::truth entry with its rule.
+  base.rule_texts.reserve(base.compiled.num_rules());
+  for (uint32_t src : base.compiled.source_indices()) {
+    base.rule_texts.push_back(rb.rules()[src].ToString());
+  }
   base.slots.resize(names.size());
   base.scratch = base.compiled.MakeScratch();
   return base;
+}
+
+obs::InferenceRecord Controller::MakeInferenceRecord(const CompiledBase& base,
+                                                     std::string subject) {
+  obs::InferenceRecord record;
+  record.rule_base = base.compiled.name();
+  record.subject = std::move(subject);
+  const auto& names = base.compiled.inputs().names();
+  record.inputs.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    record.inputs.push_back(obs::NamedValue{names[i], base.slots[i]});
+  }
+  record.rules.reserve(base.rule_texts.size());
+  for (size_t r = 0; r < base.rule_texts.size(); ++r) {
+    record.rules.push_back(
+        obs::RuleActivation{base.rule_texts[r], base.scratch.truth[r]});
+  }
+  const auto& output_names = base.compiled.output_names();
+  record.outputs.reserve(output_names.size());
+  for (int slot : base.ordered_outputs) {
+    record.outputs.push_back(
+        obs::NamedValue{output_names[static_cast<size_t>(slot)],
+                        base.scratch.crisp[static_cast<size_t>(slot)]});
+  }
+  return record;
 }
 
 Result<Controller> Controller::Create(infra::Cluster* cluster,
@@ -272,7 +303,7 @@ Status Controller::FillServerSlots(const infra::ServerSpec& server,
 
 Status Controller::CollectActionsForInstance(
     TriggerKind kind, const ServiceInstance& instance,
-    std::vector<ScoredAction>* out) const {
+    std::vector<ScoredAction>* out, obs::DecisionAudit* audit) const {
   const CompiledBase* base = CompiledActionBaseFor(instance.service, kind);
   if (base == nullptr) {
     return Status::FailedPrecondition(StrFormat(
@@ -285,6 +316,10 @@ Status Controller::CollectActionsForInstance(
   AG_RETURN_IF_ERROR(FillActionSlots(instance, *base));
   base->compiled.Evaluate(base->slots.data(), config_.defuzzifier,
                           &base->scratch);
+  if (audit != nullptr) {
+    audit->action_inference.push_back(
+        MakeInferenceRecord(*base, instance.Name()));
+  }
   const auto& output_names = base->compiled.output_names();
   for (int slot : base->ordered_outputs) {
     auto type = infra::ParseActionType(output_names[static_cast<size_t>(slot)]);
@@ -306,6 +341,11 @@ Status Controller::CollectActionsForInstance(
 
 Result<std::vector<ScoredAction>> Controller::RankActions(
     const Trigger& trigger) const {
+  return RankActionsImpl(trigger, nullptr);
+}
+
+Result<std::vector<ScoredAction>> Controller::RankActionsImpl(
+    const Trigger& trigger, obs::DecisionAudit* audit) const {
   bool server_trigger = trigger.kind == TriggerKind::kServerOverloaded ||
                         trigger.kind == TriggerKind::kServerIdle;
   std::vector<const ServiceInstance*> instances;
@@ -328,7 +368,7 @@ Result<std::vector<ScoredAction>> Controller::RankActions(
       continue;
     }
     AG_RETURN_IF_ERROR(
-        CollectActionsForInstance(trigger.kind, *instance, &actions));
+        CollectActionsForInstance(trigger.kind, *instance, &actions, audit));
   }
 
   // Deduplicate identical (type, service, instance) proposals from
@@ -357,6 +397,13 @@ Result<std::vector<ScoredAction>> Controller::RankActions(
       }
     }
     if (!duplicate) deduped.push_back(std::move(scored));
+  }
+  if (audit != nullptr) {
+    audit->ranked_actions.reserve(deduped.size());
+    for (const ScoredAction& scored : deduped) {
+      audit->ranked_actions.push_back(
+          obs::NamedValue{scored.action.ToString(), scored.applicability});
+    }
   }
   return deduped;
 }
@@ -403,6 +450,12 @@ Status Controller::VerifyAction(const Action& action, SimTime now,
 
 Result<std::vector<ScoredServer>> Controller::RankServers(
     const Action& action, SimTime now) const {
+  return RankServersImpl(action, now, nullptr);
+}
+
+Result<std::vector<ScoredServer>> Controller::RankServersImpl(
+    const Action& action, SimTime now,
+    obs::HostSelectionAudit* audit) const {
   auto base_it = compiled_server_bases_.find(action.type);
   if (base_it == compiled_server_bases_.end()) {
     return Status::FailedPrecondition(StrFormat(
@@ -431,21 +484,39 @@ Result<std::vector<ScoredServer>> Controller::RankServers(
   // "First, a list of all possible servers is determined. Initially,
   //  these are all servers on which an instance of the service can be
   //  started and that are not in protection mode" (§4.2).
+  auto reject = [audit](const std::string& server, std::string reason) {
+    if (audit != nullptr) {
+      audit->rejections.push_back(
+          obs::CandidateRejection{server, std::move(reason)});
+    }
+  };
   std::vector<ScoredServer> scored;
   for (const infra::ServerSpec* server : cluster_->Servers()) {
     if (server->name == source_server) continue;
-    if (cluster_->IsServerProtected(server->name, now)) continue;
+    if (cluster_->IsServerProtected(server->name, now)) {
+      reject(server->name, "server is in protection mode");
+      continue;
+    }
     infra::InstanceId exclude =
         infra::ActionNeedsInstance(action.type) ? action.instance : 0;
-    if (!cluster_->CanPlace(action.service, server->name, exclude).ok()) {
+    Status can_place =
+        cluster_->CanPlace(action.service, server->name, exclude);
+    if (!can_place.ok()) {
+      reject(server->name, can_place.message());
       continue;
     }
     if (action.type == ActionType::kScaleUp &&
         server->performance_index <= source_pi) {
+      reject(server->name,
+             StrFormat("performance index %.2f not above source %.2f",
+                       server->performance_index, source_pi));
       continue;
     }
     if (action.type == ActionType::kScaleDown &&
         server->performance_index >= source_pi) {
+      reject(server->name,
+             StrFormat("performance index %.2f not below source %.2f",
+                       server->performance_index, source_pi));
       continue;
     }
     if (reservations_ != nullptr) {
@@ -456,15 +527,30 @@ Result<std::vector<ScoredServer>> Controller::RankServers(
           server->name, now, reservation_lookahead_, action.service);
       double free = server->memory_gb -
                     cluster_->UsedMemoryGb(server->name) - reserved;
-      if (spec->memory_footprint_gb > free + 1e-9) continue;
+      if (spec->memory_footprint_gb > free + 1e-9) {
+        reject(server->name,
+               StrFormat("insufficient unreserved memory (%.1f GB free, "
+                         "%.1f GB reserved)",
+                         free, reserved));
+        continue;
+      }
     }
     AG_RETURN_IF_ERROR(
         FillServerSlots(*server, now, action.service, base));
     base.compiled.Evaluate(base.slots.data(), config_.defuzzifier,
                            &base.scratch);
+    if (audit != nullptr) {
+      audit->evaluations.push_back(
+          MakeInferenceRecord(base, server->name));
+    }
     double score =
         base.scratch.crisp[static_cast<size_t>(suitability_slot)];
-    if (score < config_.min_host_score) continue;
+    if (score < config_.min_host_score) {
+      reject(server->name,
+             StrFormat("suitability %.4f below minimum %.4f", score,
+                       config_.min_host_score));
+      continue;
+    }
     scored.push_back(ScoredServer{server->name, score});
   }
   std::sort(scored.begin(), scored.end(),
@@ -472,12 +558,39 @@ Result<std::vector<ScoredServer>> Controller::RankServers(
               if (a.score != b.score) return a.score > b.score;
               return a.server < b.server;
             });
+  if (audit != nullptr) {
+    audit->ranked.reserve(scored.size());
+    for (const ScoredServer& host : scored) {
+      audit->ranked.push_back(obs::NamedValue{host.server, host.score});
+    }
+  }
   return scored;
 }
 
 Result<ControllerOutcome> Controller::HandleTrigger(const Trigger& trigger,
                                                     bool urgent) {
   ControllerOutcome outcome;
+  // The decision audit trail (when installed) mirrors the Figure 6
+  // flow: every rejection below records its reason, and `finish`
+  // stamps the verdict before each return.
+  obs::DecisionAudit audit;
+  const bool auditing = audit_ != nullptr;
+  if (auditing) {
+    audit.at = trigger.at;
+    audit.trigger_kind = std::string(monitor::TriggerKindName(trigger.kind));
+    audit.subject = trigger.subject;
+    audit.average_load = trigger.average_load;
+    audit.urgent = urgent;
+  }
+  auto finish = [&](std::string verdict) {
+    if (!auditing) return;
+    audit.verdict = std::move(verdict);
+    audit.executed = outcome.executed.has_value();
+    audit.alerted = outcome.alerted;
+    audit.skipped_protected = outcome.skipped_protected;
+    audit_->Add(std::move(audit));
+  };
+
   bool server_trigger = trigger.kind == TriggerKind::kServerOverloaded ||
                         trigger.kind == TriggerKind::kServerIdle;
   // Entities in protection mode are excluded from further actions
@@ -489,35 +602,78 @@ Result<ControllerOutcome> Controller::HandleTrigger(const Trigger& trigger,
            ? cluster_->IsServerProtected(trigger.subject, trigger.at)
            : cluster_->IsServiceProtected(trigger.subject, trigger.at))) {
     outcome.skipped_protected = true;
+    finish("skipped: subject in protection mode");
     return outcome;
   }
 
-  AG_ASSIGN_OR_RETURN(outcome.considered, RankActions(trigger));
+  AG_ASSIGN_OR_RETURN(outcome.considered,
+                      RankActionsImpl(trigger, auditing ? &audit : nullptr));
 
   for (const ScoredAction& scored : outcome.considered) {
     Action action = scored.action;
-    if (!VerifyAction(action, trigger.at, urgent).ok()) continue;
+    Status verified = VerifyAction(action, trigger.at, urgent);
+    if (!verified.ok()) {
+      if (auditing) {
+        audit.action_rejections.push_back(obs::CandidateRejection{
+            action.ToString(),
+            StrFormat("verification failed: %s",
+                      verified.message().c_str())});
+      }
+      continue;
+    }
     if (config_.mode == ControllerMode::kSemiAutomatic) {
       // "In semi-automatic mode, the human administrator is contacted
       //  to confirm the action before execution" (§4.3).
-      if (!approval_ || !approval_(action)) continue;
+      if (!approval_ || !approval_(action)) {
+        if (auditing) {
+          audit.action_rejections.push_back(obs::CandidateRejection{
+              action.ToString(),
+              "administrator declined (semi-automatic mode)"});
+        }
+        continue;
+      }
     }
     if (!infra::ActionNeedsTargetServer(action.type)) {
-      if (executor_->Execute(action).ok()) {
+      Status executed = executor_->Execute(action);
+      if (executed.ok()) {
         outcome.executed = action;
+        finish(StrFormat("executed %s", action.ToString().c_str()));
         return outcome;
+      }
+      if (auditing) {
+        audit.action_rejections.push_back(obs::CandidateRejection{
+            action.ToString(),
+            StrFormat("execution failed: %s",
+                      executed.message().c_str())});
       }
       continue;  // "Another action?" path of Figure 6
     }
+    obs::HostSelectionAudit* selection = nullptr;
+    if (auditing) {
+      audit.host_selections.emplace_back();
+      selection = &audit.host_selections.back();
+      selection->action = action.ToString();
+    }
     AG_ASSIGN_OR_RETURN(std::vector<ScoredServer> hosts,
-                        RankServers(action, trigger.at));
+                        RankServersImpl(action, trigger.at, selection));
     for (const ScoredServer& host : hosts) {
       action.target_server = host.server;
-      if (executor_->Execute(action).ok()) {
+      Status executed = executor_->Execute(action);
+      if (executed.ok()) {
         outcome.executed = action;
+        finish(StrFormat("executed %s", action.ToString().c_str()));
         return outcome;
       }
+      if (selection != nullptr) {
+        selection->rejections.push_back(obs::CandidateRejection{
+            host.server, StrFormat("execution failed: %s",
+                                   executed.message().c_str())});
+      }
       // "Another host?" path of Figure 6.
+    }
+    if (auditing && hosts.empty()) {
+      audit.action_rejections.push_back(obs::CandidateRejection{
+          action.ToString(), "no suitable target host"});
     }
   }
 
@@ -528,13 +684,16 @@ Result<ControllerOutcome> Controller::HandleTrigger(const Trigger& trigger,
   //  actions) are not emergencies and raise no alert.
   bool idle_trigger = trigger.kind == TriggerKind::kServiceIdle ||
                       trigger.kind == TriggerKind::kServerIdle;
-  if (idle_trigger && outcome.considered.empty()) return outcome;
-  outcome.alerted = true;
-  if (alert_) {
-    alert_(trigger, outcome.considered.empty()
-                        ? "no applicable action"
-                        : "no action/host combination succeeded");
+  if (idle_trigger && outcome.considered.empty()) {
+    finish("no action taken (idle, no remedy)");
+    return outcome;
   }
+  outcome.alerted = true;
+  const char* reason = outcome.considered.empty()
+                           ? "no applicable action"
+                           : "no action/host combination succeeded";
+  if (alert_) alert_(trigger, reason);
+  finish(StrFormat("alerted: %s", reason));
   return outcome;
 }
 

@@ -14,6 +14,7 @@
 #include "controller/reservations.h"
 #include "infra/executor.h"
 #include "monitor/monitoring.h"
+#include "obs/audit.h"
 
 namespace autoglobe::controller {
 
@@ -138,6 +139,14 @@ class Controller {
     reservation_lookahead_ = lookahead;
   }
 
+  /// Installs a decision audit trail (nullptr clears): every
+  /// HandleTrigger run records the fuzzified inputs, per-rule
+  /// activation degrees from the compiled inference kernel, ranked
+  /// actions/hosts, constraint rejections, and the final verdict.
+  /// With no log installed the decision path pays only null checks.
+  void set_audit_log(obs::AuditLog* log) { audit_ = log; }
+  const obs::AuditLog* audit_log() const { return audit_; }
+
   void set_config(const ControllerConfig& config) { config_ = config; }
   const ControllerConfig& config() const { return config_; }
   void set_approval_callback(ApprovalCallback cb) {
@@ -166,6 +175,9 @@ class Controller {
     /// Output slots sorted by variable name, mirroring the iteration
     /// order of the interpreted engine's output map.
     std::vector<int> ordered_outputs;
+    /// Rendered rule text per *compiled* rule (the audit trail pairs
+    /// these with Scratch::truth activation degrees).
+    std::vector<std::string> rule_texts;
     mutable std::vector<double> slots;
     mutable fuzzy::CompiledRuleBase::Scratch scratch;
   };
@@ -197,10 +209,25 @@ class Controller {
                          const CompiledBase& base) const;
 
   /// Evaluates the action rule base for one instance and appends
-  /// constraint-respecting scored actions.
+  /// constraint-respecting scored actions. With `audit` set, the
+  /// evaluation's inputs, rule activations and outputs are recorded.
   Status CollectActionsForInstance(monitor::TriggerKind kind,
                                    const infra::ServiceInstance& instance,
-                                   std::vector<ScoredAction>* out) const;
+                                   std::vector<ScoredAction>* out,
+                                   obs::DecisionAudit* audit) const;
+
+  /// Audit-aware bodies of the public RankActions/RankServers (which
+  /// pass a null audit sink).
+  Result<std::vector<ScoredAction>> RankActionsImpl(
+      const monitor::Trigger& trigger, obs::DecisionAudit* audit) const;
+  Result<std::vector<ScoredServer>> RankServersImpl(
+      const infra::Action& action, SimTime now,
+      obs::HostSelectionAudit* audit) const;
+
+  /// Copies the just-evaluated state of `base` (inputs, per-rule
+  /// activation degrees, crisp outputs) into an InferenceRecord.
+  static obs::InferenceRecord MakeInferenceRecord(const CompiledBase& base,
+                                                  std::string subject);
 
   /// Re-verifies an action just before execution (§4.1: the selected
   /// action "is verified once more"). `urgent` waives the protection
@@ -230,6 +257,7 @@ class Controller {
   std::map<infra::ActionType, CompiledBase> compiled_server_bases_;
   ApprovalCallback approval_;
   AlertCallback alert_;
+  obs::AuditLog* audit_ = nullptr;
   const ReservationBook* reservations_ = nullptr;
   Duration reservation_lookahead_ = Duration::Hours(1);
 };

@@ -143,6 +143,7 @@ Result<CompiledRuleBase> CompiledRuleBase::Compile(const RuleBase& base) {
     return drafts[a].output_slot < drafts[b].output_slot;
   });
   compiled.rules_.reserve(drafts.size());
+  compiled.source_indices_.reserve(drafts.size());
   int current_slot = -1;
   for (size_t index : order) {
     int slot = drafts[index].output_slot;
@@ -152,6 +153,7 @@ Result<CompiledRuleBase> CompiledRuleBase::Compile(const RuleBase& base) {
       current_slot = slot;
     }
     compiled.rules_.push_back(drafts[index].rule);
+    compiled.source_indices_.push_back(static_cast<uint32_t>(index));
     output.rule_end = static_cast<uint32_t>(compiled.rules_.size());
   }
   return compiled;

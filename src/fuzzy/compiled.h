@@ -63,7 +63,10 @@ class CompiledRuleBase {
   struct Scratch {
     std::vector<double> clamped;          // inputs clamped per slot
     std::vector<double> stack;            // postfix evaluation stack
-    std::vector<double> truth;            // weighted truth per rule
+    /// Weighted antecedent truth per compiled rule — the activation
+    /// degrees the decision audit trail records; map a compiled index
+    /// back to the source rule via source_indices().
+    std::vector<double> truth;
     std::vector<AggregatedSet::Part> parts;  // clipped union, one output
     std::vector<double> crisp;            // result per output slot
     DefuzzScratch defuzz;
@@ -80,6 +83,13 @@ class CompiledRuleBase {
 
   size_t num_rules() const { return rules_.size(); }
   size_t num_outputs() const { return outputs_.size(); }
+  /// For each compiled rule (rules are grouped by output slot, source
+  /// order within a slot): the index of the originating rule in the
+  /// source RuleBase::rules(). Lets observability attach rule text to
+  /// the activation degrees in Scratch::truth.
+  const std::vector<uint32_t>& source_indices() const {
+    return source_indices_;
+  }
   /// Output variable names, one per slot, in first-seen rule order
   /// (matches RuleBase::OutputVariables()).
   const std::vector<std::string>& output_names() const {
@@ -150,6 +160,7 @@ class CompiledRuleBase {
   std::vector<Atom> atoms_;
   std::vector<Op> ops_;
   std::vector<CompiledRule> rules_;
+  std::vector<uint32_t> source_indices_;  // parallel to rules_
   std::vector<Output> outputs_;
   std::vector<std::string> output_names_;
   std::map<std::string, int, std::less<>> output_index_;

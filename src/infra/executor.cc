@@ -167,12 +167,18 @@ void ActionExecutor::ScheduleRunning(InstanceId id, Duration delay) {
   auto scheduled = simulator_->ScheduleAfter(
       delay, StrFormat("instance-%llu-running",
                        static_cast<unsigned long long>(id)),
-      [cluster = cluster_, id] {
+      [cluster = cluster_, simulator = simulator_, trace = trace_, id] {
         // The instance may have been stopped in the meantime; that is
         // fine — the state change simply no longer applies.
         auto found = cluster->FindInstance(id);
         if (found.ok() && (*found)->state == InstanceState::kStarting) {
           AG_CHECK_OK(cluster->SetInstanceState(id, InstanceState::kRunning));
+          if (trace != nullptr) {
+            trace->Record(simulator->now(),
+                          obs::TraceEventKind::kInstanceLifecycle,
+                          "instance-running", (*found)->Name(),
+                          static_cast<int64_t>(id));
+          }
         }
       });
   AG_CHECK_OK(scheduled.status());
@@ -192,6 +198,16 @@ void ActionExecutor::Protect(const Action& action) {
 Status ActionExecutor::Record(const Action& action, Status status) {
   ActionRecord record{simulator_->now(), action, status};
   log_.push_back(record);
+  if (trace_ != nullptr) {
+    if (status.ok()) {
+      trace_->Record(record.at, obs::TraceEventKind::kActionExecuted,
+                     ActionTypeName(action.type), action.ToString());
+    } else {
+      trace_->Record(record.at, obs::TraceEventKind::kActionFailed,
+                     ActionTypeName(action.type),
+                     action.ToString() + ": " + status.ToString());
+    }
+  }
   for (const Listener& listener : listeners_) listener(record);
   return status;
 }

@@ -66,6 +66,10 @@ class ActionExecutor {
   void set_failure_injector(FailureInjector injector) {
     failure_injector_ = std::move(injector);
   }
+  /// Structured tracing sink (nullptr clears): successful actions are
+  /// recorded as kActionExecuted, rejected ones as kActionFailed, and
+  /// instance starting->running transitions as kInstanceLifecycle.
+  void set_trace_buffer(obs::TraceBuffer* trace) { trace_ = trace; }
   void AddListener(Listener listener) {
     listeners_.push_back(std::move(listener));
   }
@@ -87,6 +91,7 @@ class ActionExecutor {
   FailureInjector failure_injector_;
   std::vector<Listener> listeners_;
   std::vector<ActionRecord> log_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace autoglobe::infra

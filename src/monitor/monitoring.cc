@@ -105,11 +105,8 @@ Status LoadMonitoringSystem::Observe(SimTime now, std::string_view name,
       AG_ASSIGN_OR_RETURN(double average,
                           archive_->Average(state.key, watch, now));
       if (average > config_.overload_threshold) {
-        ++triggers_fired_;
-        if (callback_) {
-          callback_(Trigger{state.overload_kind, std::string(name), now,
-                            average});
-        }
+        Confirm(Trigger{state.overload_kind, std::string(name), now,
+                        average});
       }
       return Status::OK();
     }
@@ -120,20 +117,27 @@ Status LoadMonitoringSystem::Observe(SimTime now, std::string_view name,
       AG_ASSIGN_OR_RETURN(double average,
                           archive_->Average(state.key, watch, now));
       if (average < state.idle_threshold) {
-        ++triggers_fired_;
-        if (callback_) {
-          TriggerKind idle_kind =
-              state.overload_kind == TriggerKind::kServerOverloaded
-                  ? TriggerKind::kServerIdle
-                  : TriggerKind::kServiceIdle;
-          callback_(
-              Trigger{idle_kind, std::string(name), now, average});
-        }
+        TriggerKind idle_kind =
+            state.overload_kind == TriggerKind::kServerOverloaded
+                ? TriggerKind::kServerIdle
+                : TriggerKind::kServiceIdle;
+        Confirm(Trigger{idle_kind, std::string(name), now, average});
       }
       return Status::OK();
     }
   }
   return Status::Internal("bad monitoring phase");
+}
+
+void LoadMonitoringSystem::Confirm(Trigger trigger) {
+  ++triggers_fired_;
+  if (trace_ != nullptr) {
+    trace_->Record(trigger.at, obs::TraceEventKind::kTriggerConfirmed,
+                   TriggerKindName(trigger.kind),
+                   StrFormat("%s avg=%.4f", trigger.subject.c_str(),
+                             trigger.average_load));
+  }
+  if (callback_) callback_(std::move(trigger));
 }
 
 }  // namespace autoglobe::monitor

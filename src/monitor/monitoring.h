@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "monitor/load_archive.h"
+#include "obs/trace.h"
 
 namespace autoglobe::monitor {
 
@@ -86,6 +87,11 @@ class LoadMonitoringSystem {
     callback_ = std::move(callback);
   }
 
+  /// Structured tracing sink (nullptr clears): every confirmed
+  /// trigger is recorded as a kTriggerConfirmed event before the
+  /// callback runs.
+  void set_trace_buffer(obs::TraceBuffer* trace) { trace_ = trace; }
+
   const MonitorConfig& config() const { return config_; }
 
   /// Archive key used for a subject ("server/x" or "service/x").
@@ -109,8 +115,12 @@ class LoadMonitoringSystem {
 
   LoadArchive* archive_;
   MonitorConfig config_;
+  /// Traces and fires a confirmed trigger.
+  void Confirm(Trigger trigger);
+
   std::map<std::string, SubjectState, std::less<>> subjects_;
   TriggerCallback callback_;
+  obs::TraceBuffer* trace_ = nullptr;
   int64_t triggers_fired_ = 0;
 };
 

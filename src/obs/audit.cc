@@ -1,0 +1,132 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace autoglobe::obs {
+
+AuditLog::AuditLog(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void AuditLog::Add(DecisionAudit record) {
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+  ++total_;
+}
+
+void AuditLog::Clear() {
+  records_.clear();
+  total_ = 0;
+}
+
+namespace {
+
+void AppendInference(const InferenceRecord& record, std::string* out) {
+  *out += StrFormat("  evaluation of \"%s\" for %s\n",
+                    record.rule_base.c_str(), record.subject.c_str());
+  *out += "    fuzzified inputs:";
+  for (const NamedValue& input : record.inputs) {
+    *out += StrFormat(" %s=%.4g", input.name.c_str(), input.value);
+  }
+  *out += "\n";
+  // Fired rules first, strongest activation on top; silent rules are
+  // listed afterwards so the report shows the whole base.
+  std::vector<const RuleActivation*> rules;
+  rules.reserve(record.rules.size());
+  for (const RuleActivation& rule : record.rules) rules.push_back(&rule);
+  std::stable_sort(rules.begin(), rules.end(),
+                   [](const RuleActivation* a, const RuleActivation* b) {
+                     return a->activation > b->activation;
+                   });
+  size_t fired = 0;
+  for (const RuleActivation* rule : rules) {
+    if (rule->activation > 0.0) ++fired;
+  }
+  *out += StrFormat("    fired rules (%zu of %zu):\n", fired,
+                    record.rules.size());
+  for (const RuleActivation* rule : rules) {
+    if (rule->activation <= 0.0) break;
+    *out += StrFormat("      [%.4f] %s\n", rule->activation,
+                      rule->rule.c_str());
+  }
+  *out += "    outputs:";
+  for (const NamedValue& output : record.outputs) {
+    *out += StrFormat(" %s=%.4f", output.name.c_str(), output.value);
+  }
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string RenderExplain(const DecisionAudit& audit) {
+  std::string out = StrFormat(
+      "decision at %s: trigger %s(%s), average load %.4f%s\n",
+      audit.at.ToString().c_str(), audit.trigger_kind.c_str(),
+      audit.subject.c_str(), audit.average_load,
+      audit.urgent ? " [urgent]" : "");
+  if (audit.skipped_protected) {
+    out += StrFormat("verdict: %s\n", audit.verdict.c_str());
+    return out;
+  }
+  out += StrFormat("action selection (%zu evaluation%s):\n",
+                   audit.action_inference.size(),
+                   audit.action_inference.size() == 1 ? "" : "s");
+  for (const InferenceRecord& record : audit.action_inference) {
+    AppendInference(record, &out);
+  }
+  out += "ranked actions:\n";
+  if (audit.ranked_actions.empty()) {
+    out += "  (none above the applicability threshold)\n";
+  }
+  for (size_t i = 0; i < audit.ranked_actions.size(); ++i) {
+    out += StrFormat("  %zu. [%.4f] %s\n", i + 1,
+                     audit.ranked_actions[i].value,
+                     audit.ranked_actions[i].name.c_str());
+  }
+  for (const CandidateRejection& rejection : audit.action_rejections) {
+    out += StrFormat("  rejected %s: %s\n", rejection.candidate.c_str(),
+                     rejection.reason.c_str());
+  }
+  for (const HostSelectionAudit& selection : audit.host_selections) {
+    out += StrFormat("host selection for %s:\n", selection.action.c_str());
+    for (const InferenceRecord& record : selection.evaluations) {
+      AppendInference(record, &out);
+    }
+    out += "  ranked hosts:\n";
+    if (selection.ranked.empty()) {
+      out += "    (no suitable host)\n";
+    }
+    for (size_t i = 0; i < selection.ranked.size(); ++i) {
+      out += StrFormat("    %zu. [%.4f] %s\n", i + 1,
+                       selection.ranked[i].value,
+                       selection.ranked[i].name.c_str());
+    }
+    for (const CandidateRejection& rejection : selection.rejections) {
+      out += StrFormat("    rejected %s: %s\n",
+                       rejection.candidate.c_str(),
+                       rejection.reason.c_str());
+    }
+  }
+  out += StrFormat("verdict: %s\n", audit.verdict.c_str());
+  return out;
+}
+
+std::string RenderDecisionList(const AuditLog& log) {
+  std::string out;
+  size_t index = 0;
+  for (const DecisionAudit& audit : log.records()) {
+    out += StrFormat("[%zu] %s %s(%s) load %.3f -> %s\n", index++,
+                     audit.at.ToString().c_str(),
+                     audit.trigger_kind.c_str(), audit.subject.c_str(),
+                     audit.average_load, audit.verdict.c_str());
+  }
+  if (log.total_recorded() > log.records().size()) {
+    out += StrFormat("(%llu earlier decision(s) evicted)\n",
+                     static_cast<unsigned long long>(
+                         log.total_recorded() - log.records().size()));
+  }
+  return out;
+}
+
+}  // namespace autoglobe::obs

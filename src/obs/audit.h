@@ -1,0 +1,122 @@
+#ifndef AUTOGLOBE_OBS_AUDIT_H_
+#define AUTOGLOBE_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace autoglobe::obs {
+
+/// The controller decision audit trail: everything the fuzzy
+/// controller saw and concluded while handling one trigger, recorded
+/// as plain names and numbers so the record outlives the cluster
+/// state it described. The paper's controller console (Figure 8)
+/// shows decisions as they happen; the audit trail answers the
+/// follow-up question — *why* did the controller act — after the
+/// fact.
+
+/// A crisp named value (fuzzified input or defuzzified output).
+struct NamedValue {
+  std::string name;
+  double value = 0.0;
+};
+
+/// One rule of a rule base with its activation degree (the weighted
+/// antecedent truth the inference kernel computed for this
+/// evaluation).
+struct RuleActivation {
+  std::string rule;  // rendered rule text
+  double activation = 0.0;
+};
+
+/// One complete rule-base evaluation: the subject it ran for, the
+/// crisp inputs fed to the fuzzifier, every rule's activation degree,
+/// and the defuzzified outputs.
+struct InferenceRecord {
+  std::string rule_base;
+  std::string subject;  // instance ("service@server") or candidate host
+  std::vector<NamedValue> inputs;
+  std::vector<RuleActivation> rules;
+  std::vector<NamedValue> outputs;
+};
+
+/// A candidate (action or host) the controller refused, with the
+/// constraint or verification failure that disqualified it.
+struct CandidateRejection {
+  std::string candidate;
+  std::string reason;
+};
+
+/// The server-selection half of one action attempt (§4.2): which
+/// hosts were scored, which were rejected outright, and the final
+/// ranking.
+struct HostSelectionAudit {
+  std::string action;
+  std::vector<InferenceRecord> evaluations;
+  std::vector<CandidateRejection> rejections;
+  /// Host -> suitability, descending (ties by name).
+  std::vector<NamedValue> ranked;
+};
+
+/// The full record of one HandleTrigger run (the Figure 6 flow).
+struct DecisionAudit {
+  SimTime at;
+  std::string trigger_kind;
+  std::string subject;
+  double average_load = 0.0;
+  bool urgent = false;
+
+  /// Action rule-base evaluations, one per considered instance.
+  std::vector<InferenceRecord> action_inference;
+  /// Action -> applicability after thresholding/dedup, descending.
+  std::vector<NamedValue> ranked_actions;
+  /// Actions that ranked but were vetoed (re-verification, approval
+  /// denial, execution failure).
+  std::vector<CandidateRejection> action_rejections;
+  /// One entry per action that reached server selection.
+  std::vector<HostSelectionAudit> host_selections;
+
+  /// "executed <action> on <host>", "alerted: <reason>", or
+  /// "skipped: subject in protection mode".
+  std::string verdict;
+  bool executed = false;
+  bool alerted = false;
+  bool skipped_protected = false;
+};
+
+/// Bounded chronological log of decisions; oldest records are evicted
+/// beyond the capacity. Single-threaded like the simulation it
+/// observes.
+class AuditLog {
+ public:
+  explicit AuditLog(size_t capacity = 256);
+
+  void Add(DecisionAudit record);
+
+  const std::deque<DecisionAudit>& records() const { return records_; }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const { return total_; }
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::deque<DecisionAudit> records_;
+  uint64_t total_ = 0;
+};
+
+/// Renders one decision as the human-readable "explain" report:
+/// trigger header, fuzzified inputs, fired rules sorted by activation
+/// degree, ranked actions and hosts, every rejection with its reason,
+/// and the verdict.
+std::string RenderExplain(const DecisionAudit& audit);
+
+/// One summary line per decision ("[3] 0d/07:42 serviceOverloaded(OS)
+/// -> executed scaleOut ..."), for picking a decision to explain.
+std::string RenderDecisionList(const AuditLog& log);
+
+}  // namespace autoglobe::obs
+
+#endif  // AUTOGLOBE_OBS_AUDIT_H_

@@ -1,0 +1,105 @@
+#ifndef AUTOGLOBE_OBS_TRACE_H_
+#define AUTOGLOBE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace autoglobe::obs {
+
+/// Typed taxonomy of everything worth tracing, replacing the old bare
+/// `std::function<void(SimTime, string_view)>` hook. One enum value
+/// per subsystem event class keeps filtering and the Chrome-trace
+/// category mapping trivial.
+enum class TraceEventKind : uint8_t {
+  /// Simulation kernel dispatched an event (name = event label,
+  /// value = event id).
+  kEventDispatch,
+  /// Monitoring confirmed a trigger after its watchTime (name =
+  /// trigger kind, detail = subject).
+  kTriggerConfirmed,
+  /// Executor performed an action (detail = action description).
+  kActionExecuted,
+  /// Executor rejected or failed an action (detail = action + error).
+  kActionFailed,
+  /// Instance lifecycle transition (detail = "service@server state",
+  /// value = instance id).
+  kInstanceLifecycle,
+  /// Controller finished handling a trigger (detail = verdict).
+  kDecision,
+  /// Controller alerted the administrator (detail = reason).
+  kAlert,
+  /// SLA entered violation (detail = service).
+  kSlaViolation,
+  /// Free-form marker from tools and tests.
+  kMarker,
+};
+
+std::string_view TraceEventKindName(TraceEventKind kind);
+/// Chrome-trace category ("sim", "monitor", "executor", "controller",
+/// "sla", "app") for a kind.
+std::string_view TraceEventCategory(TraceEventKind kind);
+
+/// One structured trace record. `name` is stored as a borrowed view:
+/// it must outlive the buffer (string literals and the simulator's
+/// interned event labels qualify); anything dynamic belongs in
+/// `detail`, which is owned.
+struct TraceEvent {
+  SimTime at;
+  TraceEventKind kind = TraceEventKind::kMarker;
+  std::string_view name;
+  std::string detail;
+  int64_t value = 0;
+};
+
+/// Bounded ring buffer of trace events: constant memory for runs of
+/// any length, overwrite-oldest semantics, drop accounting. Like the
+/// Simulator it is confined to one thread — parallel sweeps give each
+/// simulation its own buffer.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity);
+
+  void Record(SimTime at, TraceEventKind kind, std::string_view name,
+              std::string detail = {}, int64_t value = 0);
+
+  size_t capacity() const { return slots_.size(); }
+  /// Events currently held (<= capacity).
+  size_t size() const;
+  /// Events ever recorded.
+  uint64_t total_recorded() const { return total_; }
+  /// Events overwritten because the buffer was full.
+  uint64_t dropped() const { return total_ - size(); }
+
+  /// Chronological copy (oldest first) of the retained events.
+  std::vector<TraceEvent> Events() const;
+
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> slots_;
+  size_t next_ = 0;    // slot the next record goes into
+  uint64_t total_ = 0;
+};
+
+/// Exports one event per line as a JSON object — the grep-friendly
+/// format for scripted triage.
+Status ExportJsonl(const TraceBuffer& buffer, const std::string& path);
+
+/// Exports the Chrome `trace_event` JSON format: load the file in
+/// chrome://tracing or https://ui.perfetto.dev to scrub through a
+/// run. Simulated seconds are mapped to trace microseconds, each
+/// category gets its own track (tid), and dispatch events carry the
+/// event id as an argument.
+Status ExportChromeTrace(const TraceBuffer& buffer, const std::string& path);
+
+/// Escapes `\`, `"` and control characters for embedding in JSON.
+std::string JsonEscape(std::string_view raw);
+
+}  // namespace autoglobe::obs
+
+#endif  // AUTOGLOBE_OBS_TRACE_H_

@@ -129,10 +129,18 @@ bool Simulator::Step() {
     if (event.period <= Duration::Zero()) {
       StateOf(event.id) = EventState::kDone;
       --live_count_;
-      if (trace_hook_) trace_hook_(now_, event.label.view());
+      if (trace_ != nullptr) {
+        trace_->Record(now_, obs::TraceEventKind::kEventDispatch,
+                       event.label.view(), {},
+                       static_cast<int64_t>(event.id));
+      }
       event.once();
     } else {
-      if (trace_hook_) trace_hook_(now_, event.label.view());
+      if (trace_ != nullptr) {
+        trace_->Record(now_, obs::TraceEventKind::kEventDispatch,
+                       event.label.view(), {},
+                       static_cast<int64_t>(event.id));
+      }
       // Re-arm the series before invoking, so the callback may cancel
       // its own series by id. The callback is shared, not copied.
       Push(Event{event.at + event.period, next_seq_++, event.id,

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace autoglobe::sim {
 
@@ -52,8 +53,6 @@ class EventLabel {
 class Simulator {
  public:
   using Callback = std::function<void()>;
-  /// Trace hook invoked for every dispatched event.
-  using TraceHook = std::function<void(SimTime, std::string_view label)>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -91,8 +90,12 @@ class Simulator {
   /// Runs until the queue drains completely.
   void RunAll();
 
-  /// Installs a trace hook (nullptr clears).
-  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+  /// Installs a structured trace sink (nullptr clears): every
+  /// dispatched event is recorded as a kEventDispatch trace event
+  /// carrying the label and event id. The buffer must outlive the
+  /// simulator; with no buffer installed the dispatch path pays one
+  /// predictable branch.
+  void set_trace_buffer(obs::TraceBuffer* buffer) { trace_ = buffer; }
 
   /// Total number of events dispatched so far.
   uint64_t dispatched_events() const { return dispatched_; }
@@ -141,7 +144,7 @@ class Simulator {
   uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   uint64_t dispatched_ = 0;
-  TraceHook trace_hook_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace autoglobe::sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "autoglobe/capacity.h"
+#include "obs/trace.h"
 
 namespace autoglobe {
 namespace {
@@ -159,6 +160,84 @@ TEST(RunnerTest, FailureInjectionIsRemediated) {
     EXPECT_GE((*runner)->cluster().ActiveInstanceCount(service->name), 1)
         << service->name;
   }
+}
+
+TEST(RunnerTest, ObservabilityDisabledByDefault) {
+  auto runner = MakeRunner(Scenario::kStatic, 1.0, Duration::Hours(1));
+  ASSERT_NE(runner, nullptr);
+  EXPECT_EQ(runner->trace_buffer(), nullptr);
+  EXPECT_EQ(runner->audit_log(), nullptr);
+  // The metrics registry always exists; without a run its counters
+  // stay at zero.
+  for (const auto& [name, value] :
+       runner->metrics_registry().Snapshot().counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
+}
+
+TEST(RunnerTest, ObservabilityCapturesAWholeRun) {
+  Landscape landscape =
+      MakePaperLandscape(Scenario::kConstrainedMobility);
+  RunnerConfig config =
+      MakeScenarioConfig(Scenario::kConstrainedMobility, 1.2);
+  config.duration = Duration::Hours(8);
+  config.observability.enable_tracing = true;
+  config.observability.enable_audit = true;
+  config.observability.audit_capacity = 1 << 12;
+  auto created = SimulationRunner::Create(landscape, config);
+  ASSERT_TRUE(created.ok()) << created.status();
+  SimulationRunner& runner = **created;
+  ASSERT_TRUE(runner.Run().ok());
+
+  // Tracing: the kernel, the monitor and the controller all left
+  // typed events behind.
+  ASSERT_NE(runner.trace_buffer(), nullptr);
+  const obs::TraceBuffer& trace = *runner.trace_buffer();
+  EXPECT_GT(trace.total_recorded(), 0u);
+  bool saw_dispatch = false;
+  bool saw_trigger = false;
+  bool saw_decision = false;
+  for (const obs::TraceEvent& event : trace.Events()) {
+    saw_dispatch |= event.kind == obs::TraceEventKind::kEventDispatch;
+    saw_trigger |= event.kind == obs::TraceEventKind::kTriggerConfirmed;
+    saw_decision |= event.kind == obs::TraceEventKind::kDecision;
+  }
+  EXPECT_TRUE(saw_dispatch);
+  EXPECT_TRUE(saw_trigger);
+  EXPECT_TRUE(saw_decision);
+
+  // The Chrome-trace exporter accepts the buffer as-is.
+  std::string path = ::testing::TempDir() + "runner_obs_test_trace.json";
+  ASSERT_TRUE(obs::ExportChromeTrace(trace, path).ok());
+
+  // Metrics: the registry agrees with the runner's own counters.
+  obs::MetricsSnapshot snapshot = runner.metrics_registry().Snapshot();
+  uint64_t triggers = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "triggers_fired") triggers = value;
+  }
+  EXPECT_EQ(triggers,
+            static_cast<uint64_t>(runner.metrics().triggers));
+  ASSERT_FALSE(snapshot.histograms.empty());
+  EXPECT_GT(snapshot.histograms[0].count, 0u);
+
+  // Audit: at least one confirmed serviceOverloaded trigger got a
+  // full decision record whose explain report names fired rules.
+  ASSERT_NE(runner.audit_log(), nullptr);
+  const obs::AuditLog& audit = *runner.audit_log();
+  ASSERT_FALSE(audit.records().empty());
+  const obs::DecisionAudit* overload = nullptr;
+  for (const obs::DecisionAudit& record : audit.records()) {
+    if (record.trigger_kind == "serviceOverloaded" &&
+        !record.action_inference.empty()) {
+      overload = &record;
+      break;
+    }
+  }
+  ASSERT_NE(overload, nullptr);
+  std::string report = obs::RenderExplain(*overload);
+  EXPECT_NE(report.find("fired rules ("), std::string::npos);
+  EXPECT_NE(report.find("verdict: "), std::string::npos);
 }
 
 TEST(RunnerTest, ForecastModeRuns) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fuzzy/compiled.h"
+#include "obs/audit.h"
 #include "sim/simulator.h"
 
 namespace autoglobe::controller {
@@ -417,6 +419,118 @@ TEST_F(ControllerTest, RemedyFailureRejectsHealthyInstance) {
   InstanceId id = Place("app", "small1");
   EXPECT_FALSE(controller_->RemedyFailure(id, simulator_.now()).ok());
   EXPECT_FALSE(controller_->RemedyFailure(9999, simulator_.now()).ok());
+}
+
+TEST_F(ControllerTest, DecisionAuditMatchesCompiledInference) {
+  obs::AuditLog audit_log(8);
+  controller_->set_audit_log(&audit_log);
+  Place("app", "small1");
+  MakeServiceHot("app");
+  auto outcome = controller_->HandleTrigger(ServiceOverload("app"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_TRUE(outcome->executed.has_value());
+
+  ASSERT_EQ(audit_log.records().size(), 1u);
+  const obs::DecisionAudit& audit = audit_log.records().front();
+  EXPECT_EQ(audit.trigger_kind, "serviceOverloaded");
+  EXPECT_EQ(audit.subject, "app");
+  EXPECT_TRUE(audit.executed);
+  EXPECT_EQ(audit.verdict,
+            "executed " + outcome->executed->ToString());
+
+  // One action-rule-base evaluation for the single hot instance.
+  ASSERT_EQ(audit.action_inference.size(), 1u);
+  const obs::InferenceRecord& record = audit.action_inference.front();
+  EXPECT_EQ(record.subject, "app@small1");
+
+  // Replay the identical inference through an independently compiled
+  // copy of the default rule base: the recorded activation degrees
+  // must be exactly what the inference kernel computes.
+  auto rb = MakeDefaultActionRuleBase(TriggerKind::kServiceOverloaded);
+  ASSERT_TRUE(rb.ok()) << rb.status();
+  auto compiled = fuzzy::CompiledRuleBase::Compile(*rb);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  ASSERT_EQ(record.rules.size(), compiled->num_rules());
+  ASSERT_EQ(record.inputs.size(), compiled->inputs().size());
+
+  std::vector<double> slots(compiled->inputs().size(), 0.0);
+  for (const obs::NamedValue& input : record.inputs) {
+    int slot = compiled->inputs().SlotOf(input.name);
+    ASSERT_GE(slot, 0) << input.name;
+    slots[static_cast<size_t>(slot)] = input.value;
+  }
+  fuzzy::CompiledRuleBase::Scratch scratch = compiled->MakeScratch();
+  compiled->Evaluate(slots.data(), fuzzy::Defuzzifier::kLeftmostMax,
+                     &scratch);
+
+  const std::vector<uint32_t>& source = compiled->source_indices();
+  bool any_fired = false;
+  for (size_t r = 0; r < compiled->num_rules(); ++r) {
+    EXPECT_DOUBLE_EQ(record.rules[r].activation, scratch.truth[r]) << r;
+    EXPECT_EQ(record.rules[r].rule, rb->rules()[source[r]].ToString());
+    any_fired = any_fired || record.rules[r].activation > 0.0;
+  }
+  EXPECT_TRUE(any_fired);
+  for (const obs::NamedValue& output : record.outputs) {
+    int slot = compiled->OutputSlot(output.name);
+    ASSERT_GE(slot, 0) << output.name;
+    EXPECT_DOUBLE_EQ(output.value,
+                     scratch.crisp[static_cast<size_t>(slot)]);
+  }
+
+  // Ranked actions mirror the outcome, and the executed action's host
+  // selection recorded the chosen target on top.
+  ASSERT_FALSE(audit.ranked_actions.empty());
+  EXPECT_EQ(audit.ranked_actions.front().name,
+            outcome->considered.front().action.ToString());
+  ASSERT_FALSE(audit.host_selections.empty());
+  ASSERT_FALSE(audit.host_selections.front().ranked.empty());
+  EXPECT_EQ(audit.host_selections.front().ranked.front().name,
+            outcome->executed->target_server);
+  EXPECT_FALSE(audit.host_selections.front().evaluations.empty());
+}
+
+TEST_F(ControllerTest, DecisionAuditRecordsProtectionSkip) {
+  obs::AuditLog audit_log(8);
+  controller_->set_audit_log(&audit_log);
+  Place("app", "small1");
+  MakeServiceHot("app");
+  cluster_.ProtectService("app",
+                          simulator_.now() + Duration::Minutes(30));
+  ASSERT_TRUE(controller_->HandleTrigger(ServiceOverload("app")).ok());
+
+  ASSERT_EQ(audit_log.records().size(), 1u);
+  const obs::DecisionAudit& audit = audit_log.records().front();
+  EXPECT_TRUE(audit.skipped_protected);
+  EXPECT_EQ(audit.verdict, "skipped: subject in protection mode");
+  EXPECT_TRUE(audit.action_inference.empty());
+}
+
+TEST_F(ControllerTest, DecisionAuditRecordsVerificationRejections) {
+  obs::AuditLog audit_log(8);
+  controller_->set_audit_log(&audit_log);
+  // Saturate max_instances so every scaleOut proposal fails
+  // verification and the rejection reasons land in the audit trail.
+  Place("app", "small1");
+  Place("app", "small2");
+  Place("app", "small3");
+  Place("app", "mid");
+  MakeServiceHot("app");
+  auto outcome = controller_->HandleTrigger(ServiceOverload("app"));
+  ASSERT_TRUE(outcome.ok());
+
+  ASSERT_EQ(audit_log.records().size(), 1u);
+  const obs::DecisionAudit& audit = audit_log.records().front();
+  bool saw_verification_failure = false;
+  for (const obs::CandidateRejection& rejection :
+       audit.action_rejections) {
+    if (rejection.reason.find("verification failed") !=
+        std::string::npos) {
+      saw_verification_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_verification_failure);
+  EXPECT_FALSE(audit.verdict.empty());
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+#include "obs/audit.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::obs {
+namespace {
+
+DecisionAudit MakeDecision(int64_t at_seconds, const std::string& subject) {
+  DecisionAudit audit;
+  audit.at = SimTime::FromSeconds(at_seconds);
+  audit.trigger_kind = "serviceOverloaded";
+  audit.subject = subject;
+  audit.average_load = 0.9;
+  audit.verdict = "no action taken (idle, no remedy)";
+  return audit;
+}
+
+TEST(AuditLogTest, EvictsOldestBeyondCapacity) {
+  AuditLog log(2);
+  log.Add(MakeDecision(0, "A"));
+  log.Add(MakeDecision(60, "B"));
+  log.Add(MakeDecision(120, "C"));
+
+  EXPECT_EQ(log.capacity(), 2u);
+  EXPECT_EQ(log.total_recorded(), 3u);
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].subject, "B");
+  EXPECT_EQ(log.records()[1].subject, "C");
+}
+
+TEST(AuditLogTest, CapacityClampsToAtLeastOne) {
+  AuditLog log(0);
+  EXPECT_EQ(log.capacity(), 1u);
+  log.Add(MakeDecision(0, "A"));
+  log.Add(MakeDecision(60, "B"));
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].subject, "B");
+}
+
+TEST(AuditLogTest, ClearResetsState) {
+  AuditLog log(4);
+  log.Add(MakeDecision(0, "A"));
+  log.Clear();
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.total_recorded(), 0u);
+}
+
+TEST(RenderDecisionListTest, OneLinePerDecisionPlusEvictionNote) {
+  AuditLog log(2);
+  log.Add(MakeDecision(0, "A"));
+  DecisionAudit executed = MakeDecision(462 * 60, "BW");
+  executed.verdict = "executed scaleOut BW -> DBServer2";
+  log.Add(executed);
+  log.Add(MakeDecision(120, "C"));
+
+  std::string list = RenderDecisionList(log);
+  EXPECT_EQ(list,
+            "[0] d0 07:42 serviceOverloaded(BW) load 0.900 -> "
+            "executed scaleOut BW -> DBServer2\n"
+            "[1] d0 00:02 serviceOverloaded(C) load 0.900 -> "
+            "no action taken (idle, no remedy)\n"
+            "(1 earlier decision(s) evicted)\n");
+}
+
+TEST(RenderDecisionListTest, NoEvictionNoteWhenNothingEvicted) {
+  AuditLog log(4);
+  log.Add(MakeDecision(0, "A"));
+  std::string list = RenderDecisionList(log);
+  EXPECT_EQ(list.find("evicted"), std::string::npos);
+}
+
+TEST(RenderExplainTest, ProtectedSubjectShortCircuits) {
+  DecisionAudit audit = MakeDecision(0, "OS");
+  audit.skipped_protected = true;
+  audit.verdict = "skipped: subject in protection mode";
+
+  std::string report = RenderExplain(audit);
+  EXPECT_EQ(report,
+            "decision at d0 00:00: trigger serviceOverloaded(OS), "
+            "average load 0.9000\n"
+            "verdict: skipped: subject in protection mode\n");
+}
+
+TEST(RenderExplainTest, FullReportSortsFiredRulesByActivation) {
+  DecisionAudit audit = MakeDecision(60, "BW");
+  audit.urgent = true;
+
+  InferenceRecord inference;
+  inference.rule_base = "serviceOverloaded";
+  inference.subject = "BW@DBServer1";
+  inference.inputs = {{"cpuLoad", 0.92}, {"instancesOfService", 1.0}};
+  inference.rules = {{"ruleWeak", 0.2}, {"ruleStrong", 0.9},
+                     {"ruleSilent", 0.0}};
+  inference.outputs = {{"scaleOut", 0.85}};
+  audit.action_inference.push_back(inference);
+
+  audit.ranked_actions = {{"scaleOut BW", 0.85}, {"scaleUp BW", 0.4}};
+  audit.action_rejections = {{"scaleUp BW", "verification failed: stale"}};
+
+  HostSelectionAudit selection;
+  selection.action = "scaleOut BW";
+  selection.rejections = {{"small1", "server is in protection mode"}};
+  selection.ranked = {{"DBServer2", 0.71}};
+  audit.host_selections.push_back(selection);
+
+  audit.verdict = "executed scaleOut BW -> DBServer2";
+  audit.executed = true;
+
+  std::string report = RenderExplain(audit);
+  EXPECT_NE(report.find("decision at d0 00:01: trigger "
+                        "serviceOverloaded(BW), average load 0.9000 "
+                        "[urgent]\n"),
+            std::string::npos);
+  EXPECT_NE(report.find("action selection (1 evaluation):\n"
+                        "  evaluation of \"serviceOverloaded\" for "
+                        "BW@DBServer1\n"
+                        "    fuzzified inputs: cpuLoad=0.92 "
+                        "instancesOfService=1\n"),
+            std::string::npos);
+  // Strongest activation first; the silent rule is not listed.
+  EXPECT_NE(report.find("    fired rules (2 of 3):\n"
+                        "      [0.9000] ruleStrong\n"
+                        "      [0.2000] ruleWeak\n"
+                        "    outputs: scaleOut=0.8500\n"),
+            std::string::npos);
+  EXPECT_NE(report.find("ranked actions:\n"
+                        "  1. [0.8500] scaleOut BW\n"
+                        "  2. [0.4000] scaleUp BW\n"
+                        "  rejected scaleUp BW: verification failed: "
+                        "stale\n"),
+            std::string::npos);
+  EXPECT_NE(report.find("host selection for scaleOut BW:\n"
+                        "  ranked hosts:\n"
+                        "    1. [0.7100] DBServer2\n"
+                        "    rejected small1: server is in protection "
+                        "mode\n"),
+            std::string::npos);
+  EXPECT_NE(report.find("verdict: executed scaleOut BW -> DBServer2\n"),
+            std::string::npos);
+}
+
+TEST(RenderExplainTest, EmptyRankingsRenderPlaceholders) {
+  DecisionAudit audit = MakeDecision(0, "OS");
+  audit.verdict = "no action taken (idle, no remedy)";
+  HostSelectionAudit selection;
+  selection.action = "move OS";
+  audit.host_selections.push_back(selection);
+
+  std::string report = RenderExplain(audit);
+  EXPECT_NE(report.find("action selection (0 evaluations):\n"),
+            std::string::npos);
+  EXPECT_NE(report.find("ranked actions:\n"
+                        "  (none above the applicability threshold)\n"),
+            std::string::npos);
+  EXPECT_NE(report.find("  ranked hosts:\n    (no suitable host)\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace autoglobe::obs

@@ -1,0 +1,184 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TraceEventKindTest, NamesAndCategories) {
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kEventDispatch),
+            "event_dispatch");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kTriggerConfirmed),
+            "trigger_confirmed");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kDecision), "decision");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kMarker), "marker");
+
+  EXPECT_EQ(TraceEventCategory(TraceEventKind::kEventDispatch), "sim");
+  EXPECT_EQ(TraceEventCategory(TraceEventKind::kTriggerConfirmed),
+            "monitor");
+  EXPECT_EQ(TraceEventCategory(TraceEventKind::kActionExecuted),
+            "executor");
+  EXPECT_EQ(TraceEventCategory(TraceEventKind::kActionFailed), "executor");
+  EXPECT_EQ(TraceEventCategory(TraceEventKind::kInstanceLifecycle),
+            "executor");
+  EXPECT_EQ(TraceEventCategory(TraceEventKind::kDecision), "controller");
+  EXPECT_EQ(TraceEventCategory(TraceEventKind::kAlert), "controller");
+  EXPECT_EQ(TraceEventCategory(TraceEventKind::kSlaViolation), "sla");
+  EXPECT_EQ(TraceEventCategory(TraceEventKind::kMarker), "app");
+}
+
+TEST(TraceBufferTest, RecordsChronologicallyBelowCapacity) {
+  TraceBuffer buffer(8);
+  buffer.Record(SimTime::FromSeconds(10), TraceEventKind::kMarker, "a");
+  buffer.Record(SimTime::FromSeconds(20), TraceEventKind::kMarker, "b",
+                "detail-b", 42);
+  buffer.Record(SimTime::FromSeconds(30), TraceEventKind::kDecision, "c");
+
+  EXPECT_EQ(buffer.capacity(), 8u);
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.total_recorded(), 3u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+
+  std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[1].detail, "detail-b");
+  EXPECT_EQ(events[1].value, 42);
+  EXPECT_EQ(events[2].at.seconds(), 30);
+  EXPECT_EQ(events[2].kind, TraceEventKind::kDecision);
+}
+
+TEST(TraceBufferTest, OverwritesOldestWhenFull) {
+  TraceBuffer buffer(4);
+  for (int i = 0; i < 10; ++i) {
+    buffer.Record(SimTime::FromSeconds(i), TraceEventKind::kMarker, "e",
+                  std::to_string(i), i);
+  }
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.total_recorded(), 10u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+
+  // The four most recent survive, oldest first.
+  std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].value, 6 + i);
+    EXPECT_EQ(events[i].detail, std::to_string(6 + i));
+  }
+}
+
+TEST(TraceBufferTest, WraparoundAtExactCapacityMultiple) {
+  TraceBuffer buffer(3);
+  for (int i = 0; i < 6; ++i) {
+    buffer.Record(SimTime::FromSeconds(i), TraceEventKind::kMarker, "e",
+                  {}, i);
+  }
+  // next_ is back at slot 0: the retained window is values 3..5.
+  std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].value, 3);
+  EXPECT_EQ(events[2].value, 5);
+  EXPECT_EQ(buffer.dropped(), 3u);
+}
+
+TEST(TraceBufferTest, CapacityClampsToAtLeastOne) {
+  TraceBuffer buffer(0);
+  EXPECT_EQ(buffer.capacity(), 1u);
+  buffer.Record(SimTime::Start(), TraceEventKind::kMarker, "only");
+  buffer.Record(SimTime::Start(), TraceEventKind::kMarker, "kept");
+  ASSERT_EQ(buffer.Events().size(), 1u);
+  EXPECT_EQ(buffer.Events()[0].name, "kept");
+}
+
+TEST(TraceBufferTest, ClearResetsState) {
+  TraceBuffer buffer(2);
+  buffer.Record(SimTime::Start(), TraceEventKind::kMarker, "x");
+  buffer.Record(SimTime::Start(), TraceEventKind::kMarker, "y");
+  buffer.Record(SimTime::Start(), TraceEventKind::kMarker, "z");
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.total_recorded(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_TRUE(buffer.Events().empty());
+}
+
+TEST(JsonEscapeTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape("cr\rhere"), "cr\\rhere");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(TraceExportTest, JsonlGolden) {
+  TraceBuffer buffer(4);
+  buffer.Record(SimTime::FromSeconds(60), TraceEventKind::kMarker, "boot",
+                "a\"b", 7);
+  buffer.Record(SimTime::FromSeconds(120),
+                TraceEventKind::kTriggerConfirmed, "serviceOverloaded",
+                "OS", -1);
+
+  std::string path = ::testing::TempDir() + "obs_trace_test.jsonl";
+  ASSERT_TRUE(ExportJsonl(buffer, path).ok());
+  EXPECT_EQ(ReadFile(path),
+            "{\"t\": 60, \"kind\": \"marker\", \"name\": \"boot\", "
+            "\"detail\": \"a\\\"b\", \"value\": 7}\n"
+            "{\"t\": 120, \"kind\": \"trigger_confirmed\", "
+            "\"name\": \"serviceOverloaded\", \"detail\": \"OS\", "
+            "\"value\": -1}\n");
+}
+
+TEST(TraceExportTest, ChromeTraceGolden) {
+  TraceBuffer buffer(4);
+  buffer.Record(SimTime::FromSeconds(60), TraceEventKind::kDecision,
+                "decide", "d", 2);
+
+  std::string path = ::testing::TempDir() + "obs_trace_test_chrome.json";
+  ASSERT_TRUE(ExportChromeTrace(buffer, path).ok());
+  EXPECT_EQ(
+      ReadFile(path),
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"args\": {\"name\": \"autoglobe simulation\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"tid\": 1, \"args\": {\"name\": \"sim\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"tid\": 2, \"args\": {\"name\": \"monitor\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"tid\": 3, \"args\": {\"name\": \"executor\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"tid\": 4, \"args\": {\"name\": \"controller\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"tid\": 5, \"args\": {\"name\": \"sla\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"tid\": 6, \"args\": {\"name\": \"app\"}},\n"
+      "{\"name\": \"decide\", \"cat\": \"controller\", \"ph\": \"i\", "
+      "\"s\": \"t\", \"ts\": 60000, \"pid\": 1, \"tid\": 4, "
+      "\"args\": {\"detail\": \"d\", \"value\": 2, \"sim_time\": "
+      "\"d0 00:01\"}}\n"
+      "]}\n");
+}
+
+TEST(TraceExportTest, UnwritablePathReturnsError) {
+  TraceBuffer buffer(2);
+  EXPECT_FALSE(ExportJsonl(buffer, "/nonexistent-dir/x.jsonl").ok());
+  EXPECT_FALSE(
+      ExportChromeTrace(buffer, "/nonexistent-dir/x.json").ok());
+}
+
+}  // namespace
+}  // namespace autoglobe::obs

@@ -145,24 +145,25 @@ TEST(SimulatorTest, RunUntilLeavesLaterEventsPending) {
   EXPECT_TRUE(fired_late);
 }
 
-TEST(SimulatorTest, TraceHookObservesDispatches) {
+TEST(SimulatorTest, TraceBufferObservesDispatches) {
   Simulator simulator;
-  std::vector<std::string> labels;
-  simulator.set_trace_hook([&](SimTime, std::string_view label) {
-    labels.emplace_back(label);
-  });
+  obs::TraceBuffer trace(16);
+  simulator.set_trace_buffer(&trace);
   ASSERT_TRUE(simulator.ScheduleAt(SimTime::FromSeconds(1), "one", [] {}).ok());
   ASSERT_TRUE(simulator.ScheduleAt(SimTime::FromSeconds(2), "two", [] {}).ok());
   simulator.RunAll();
-  EXPECT_EQ(labels, (std::vector<std::string>{"one", "two"}));
+  std::vector<obs::TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "one");
+  EXPECT_EQ(events[0].kind, obs::TraceEventKind::kEventDispatch);
+  EXPECT_EQ(events[0].at, SimTime::FromSeconds(1));
+  EXPECT_EQ(events[1].name, "two");
 }
 
 TEST(SimulatorTest, DynamicLabelsOutliveTheirSourceString) {
   Simulator simulator;
-  std::vector<std::string> labels;
-  simulator.set_trace_hook([&](SimTime, std::string_view label) {
-    labels.emplace_back(label);
-  });
+  obs::TraceBuffer trace(16);
+  simulator.set_trace_buffer(&trace);
   {
     // Build the label dynamically and let the source string die long
     // before dispatch — the interned copy must survive.
@@ -172,7 +173,9 @@ TEST(SimulatorTest, DynamicLabelsOutliveTheirSourceString) {
     dynamic.assign(100, 'x');  // clobber the original buffer
   }
   simulator.RunAll();
-  EXPECT_EQ(labels, (std::vector<std::string>{"instance-17-running"}));
+  std::vector<obs::TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "instance-17-running");
 }
 
 TEST(SimulatorTest, CancelledPeriodicSeriesStopsWithoutRearming) {

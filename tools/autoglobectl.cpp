@@ -8,9 +8,20 @@
 //       full constraint checks.
 //   autoglobectl run <landscape.xml|paper> [--scenario fm]
 //       [--scale 1.0] [--hours 80] [--seed 42] [--forecast]
-//       [--static] [--verbose]
+//       [--static] [--verbose] [--trace-out run.trace.json]
+//       [--metrics-out run.metrics.json]
 //       Simulate the landscape under the fuzzy controller and print
-//       the run summary plus final console snapshot.
+//       the run summary plus final console snapshot. --trace-out
+//       records structured trace events and writes them in the Chrome
+//       trace_event format (open in chrome://tracing or Perfetto);
+//       --metrics-out dumps the run's metrics registry as JSON.
+//   autoglobectl explain <landscape.xml|paper> [--scenario fm]
+//       [--scale 1.0] [--hours 80] [--seed 42] [--decision N]
+//       Re-run with the controller decision audit trail enabled, list
+//       every recorded decision, and print the full "explain" report
+//       (fuzzified inputs, fired rules with activation degrees, ranked
+//       actions/hosts, rejections, verdict) for decision N (default:
+//       the last one).
 //   autoglobectl capacity <landscape.xml|paper> [--scenario fm]
 //       [--step 0.05] [--hours 80]
 //       Sweep the user scale until the system becomes overloaded
@@ -56,7 +67,9 @@ Args ParseArgs(int argc, char** argv) {
       // the flag expects becomes its value.
       bool takes_value = key == "scenario" || key == "scale" ||
                          key == "hours" || key == "seed" ||
-                         key == "step" || key == "out";
+                         key == "step" || key == "out" ||
+                         key == "trace-out" || key == "metrics-out" ||
+                         key == "decision";
       if (takes_value && i + 1 < argc) {
         args.options[key] = argv[++i];
       } else {
@@ -152,11 +165,30 @@ int CmdRun(const Args& args) {
   config.duration = Duration::Hours(*hours);
   config.use_forecast = args.Has("forecast");
   if (args.Has("static")) config.controller_enabled = false;
+  if (args.Has("trace-out")) config.observability.enable_tracing = true;
 
   auto runner = SimulationRunner::Create(*landscape, config);
   if (!runner.ok()) return Fail(runner.status());
   if (Status s = (*runner)->Run(); !s.ok()) return Fail(s);
 
+  if (args.Has("trace-out")) {
+    const std::string path = args.Get("trace-out", "");
+    const obs::TraceBuffer* trace = (*runner)->trace_buffer();
+    if (Status s = obs::ExportChromeTrace(*trace, path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s (%zu trace events held, %llu recorded, %llu "
+                "dropped)\n",
+                path.c_str(), trace->size(),
+                static_cast<unsigned long long>(trace->total_recorded()),
+                static_cast<unsigned long long>(trace->dropped()));
+  }
+  if (args.Has("metrics-out")) {
+    const std::string path = args.Get("metrics-out", "");
+    obs::MetricsSnapshot snapshot = (*runner)->metrics_registry().Snapshot();
+    if (Status s = snapshot.WriteJson(path); !s.ok()) return Fail(s);
+    std::printf("wrote %s\n", path.c_str());
+  }
   if (args.Has("verbose")) {
     for (const std::string& message : (*runner)->messages()) {
       std::printf("%s\n", message.c_str());
@@ -178,6 +210,63 @@ int CmdRun(const Args& args) {
       static_cast<long long>(m.actions_executed),
       static_cast<long long>(m.alerts));
   std::printf("\n%s", Console(runner->get()).Render().c_str());
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: autoglobectl explain <landscape.xml|paper> "
+                 "[--scenario fm] [--scale 1.0] [--hours 80] "
+                 "[--seed 42] [--decision N]\n");
+    return 1;
+  }
+  auto scenario = ScenarioArg(args);
+  if (!scenario.ok()) return Fail(scenario.status());
+  auto landscape = LoadLandscape(args.positional[0], *scenario);
+  if (!landscape.ok()) return Fail(landscape.status());
+  auto scale = ParseDouble(args.Get("scale", "1.0"));
+  auto hours = ParseInt(args.Get("hours", "80"));
+  auto seed = ParseInt(args.Get("seed", "42"));
+  if (!scale.ok()) return Fail(scale.status());
+  if (!hours.ok()) return Fail(hours.status());
+  if (!seed.ok()) return Fail(seed.status());
+
+  RunnerConfig config = MakeScenarioConfig(
+      *scenario, *scale, static_cast<uint64_t>(*seed));
+  config.duration = Duration::Hours(*hours);
+  config.observability.enable_audit = true;
+  // Interactive forensics wants the whole run, not the default
+  // bounded window.
+  config.observability.audit_capacity = 1 << 16;
+
+  auto runner = SimulationRunner::Create(*landscape, config);
+  if (!runner.ok()) return Fail(runner.status());
+  if (Status s = (*runner)->Run(); !s.ok()) return Fail(s);
+
+  const obs::AuditLog& log = *(*runner)->audit_log();
+  if (log.records().empty()) {
+    std::printf("no controller decisions recorded (the run fired no "
+                "confirmed triggers)\n");
+    return 0;
+  }
+  std::printf("%s\n", obs::RenderDecisionList(log).c_str());
+
+  size_t index = log.records().size() - 1;
+  if (args.Has("decision")) {
+    auto chosen = ParseInt(args.Get("decision", "0"));
+    if (!chosen.ok()) return Fail(chosen.status());
+    if (*chosen < 0 ||
+        static_cast<size_t>(*chosen) >= log.records().size()) {
+      std::fprintf(stderr,
+                   "error: --decision %lld out of range (0..%zu)\n",
+                   static_cast<long long>(*chosen),
+                   log.records().size() - 1);
+      return 1;
+    }
+    index = static_cast<size_t>(*chosen);
+  }
+  std::printf("%s", obs::RenderExplain(log.records()[index]).c_str());
   return 0;
 }
 
@@ -264,8 +353,8 @@ int CmdDesign(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: autoglobectl <export|validate|run|capacity|"
-                 "design> ...\n");
+                 "usage: autoglobectl <export|validate|run|explain|"
+                 "capacity|design> ...\n");
     return 1;
   }
   Args args = ParseArgs(argc, argv);
@@ -273,6 +362,7 @@ int main(int argc, char** argv) {
   if (command == "export") return CmdExport(args);
   if (command == "validate") return CmdValidate(args);
   if (command == "run") return CmdRun(args);
+  if (command == "explain") return CmdExplain(args);
   if (command == "capacity") return CmdCapacity(args);
   if (command == "design") return CmdDesign(args);
   std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
