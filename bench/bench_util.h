@@ -55,9 +55,12 @@ inline ScenarioRunResult RunScenario(Scenario scenario, double user_scale,
     LoadRow row;
     row.at = now;
     double total = 0.0;
-    for (const auto& [server, load] : demand.server_loads()) {
-      row.server_cpu[server] = load.cpu;
-      total += load.cpu;
+    const infra::LandscapeIndex& index = cluster.Index();
+    for (size_t s = 0; s < index.num_servers(); ++s) {
+      infra::DenseId id = static_cast<infra::DenseId>(s);
+      double cpu = demand.ServerCpuLoadById(id);
+      row.server_cpu[index.ServerName(id)] = cpu;
+      total += cpu;
     }
     row.average = row.server_cpu.empty()
                       ? 0.0

@@ -8,12 +8,37 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "autoglobe/capacity.h"
 #include "benchmark_json.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "sim/simulator.h"
 #include "workload/demand.h"
+
+// Counts every global allocation in this binary so BM_DemandTick can
+// assert "zero heap allocations per steady-state Tick" as a measured
+// counter instead of a claim (same pattern as micro_fuzzy).
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+// The replaced operator new allocates with malloc, so releasing with
+// free is the matched pair here; GCC cannot see that and warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -70,6 +95,38 @@ void BM_DemandEngineTick(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DemandEngineTick);
+
+// The dense-id data-plane contract: after one warm-up tick compiles
+// the plane (spec/edge tables, SoA arrays, pre-sized scratch), every
+// steady-state Tick over the full paper landscape — fresh demand,
+// subsystem propagation, per-server water-filling, satisfaction
+// bookkeeping — runs without touching the heap. allocs_per_tick must
+// report 0 in both user-distribution modes.
+void BM_DemandTick(benchmark::State& state) {
+  workload::UserDistribution mode =
+      static_cast<workload::UserDistribution>(state.range(0));
+  infra::Cluster cluster;
+  workload::DemandEngine engine(&cluster, Rng(1));
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  AG_CHECK_OK(landscape.Build(&cluster, &engine));
+  engine.set_distribution(mode);
+  int64_t minute = 0;
+  engine.Tick(SimTime::Start() + Duration::Minutes(++minute));  // warm up
+  uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    engine.Tick(SimTime::Start() + Duration::Minutes(++minute));
+  }
+  uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_tick"] = state.iterations() > 0
+      ? static_cast<double>(allocs) / static_cast<double>(state.iterations())
+      : 0.0;
+  state.SetLabel(mode == workload::UserDistribution::kStickySessions
+                     ? "sticky"
+                     : "dynamic");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DemandTick)->DenseRange(0, 1);
 
 void BM_SimulatedHour(benchmark::State& state) {
   Scenario scenario = static_cast<Scenario>(state.range(0));

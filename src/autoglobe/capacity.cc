@@ -44,8 +44,19 @@ bool Passes(const RunMetrics& metrics, const AcceptanceCriteria& criteria) {
 
 std::vector<double> SweepScales(const CapacityOptions& options) {
   std::vector<double> scales;
-  for (double scale = options.start_scale;
-       scale <= options.max_scale + 1e-9; scale += options.step) {
+  if (options.step <= 0) {
+    // A non-positive step would never pass max_scale; degrade to the
+    // single start step instead of looping forever.
+    scales.push_back(options.start_scale);
+    return scales;
+  }
+  // Each scale is derived from the step index, not accumulated: a
+  // running `scale += step` drifts by one ulp every few steps, and a
+  // long sweep can accumulate enough error to emit a step beyond
+  // max_scale (or skip the final one).
+  for (size_t i = 0;; ++i) {
+    double scale = options.start_scale + static_cast<double>(i) * options.step;
+    if (scale > options.max_scale + 1e-9) break;
     scales.push_back(scale);
   }
   return scales;

@@ -108,8 +108,8 @@ Status SimulationRunner::Init(const Landscape& landscape) {
         server->performance_index));
     server_names_.push_back(server->name);
   }
-  // Dense per-server stats, index order = sorted name order (matches
-  // the iteration order of demand_->server_loads()).
+  // Dense per-server stats, index order = sorted name order (the
+  // cluster index's dense server ids).
   std::sort(server_names_.begin(), server_names_.end());
   window_ticks_ = static_cast<size_t>(std::max<int64_t>(
       1, config_.overload_smoothing.seconds() / config_.tick.seconds()));
@@ -125,6 +125,26 @@ Status SimulationRunner::Init(const Landscape& landscape) {
     AG_RETURN_IF_ERROR(monitoring_->RegisterSubject(
         TriggerKind::kServiceOverloaded, service->name, 1.0,
         watch_override));
+    service_names_.push_back(service->name);
+  }
+  // Services() is already name-sorted; the sort keeps the invariant
+  // (dense service ids == rank in sorted order) explicit.
+  std::sort(service_names_.begin(), service_names_.end());
+  // Resolve monitoring subject ids and archive keys once; the
+  // per-tick loops below run purely on dense indices.
+  for (const std::string& server : server_names_) {
+    AG_ASSIGN_OR_RETURN(monitor::SubjectId id,
+                        monitoring_->SubjectIdOf(server));
+    server_subjects_.push_back(id);
+    server_keys_.push_back(LoadMonitoringSystem::ArchiveKey(
+        TriggerKind::kServerOverloaded, server));
+  }
+  for (const std::string& service : service_names_) {
+    AG_ASSIGN_OR_RETURN(monitor::SubjectId id,
+                        monitoring_->SubjectIdOf(service));
+    service_subjects_.push_back(id);
+    service_keys_.push_back(LoadMonitoringSystem::ArchiveKey(
+        TriggerKind::kServiceOverloaded, service));
   }
   monitoring_->set_trigger_callback(
       [this](const Trigger& trigger) { OnTrigger(trigger); });
@@ -214,22 +234,6 @@ Status SimulationRunner::Init(const Landscape& landscape) {
   return Status::OK();
 }
 
-size_t SimulationRunner::ServerIndex(std::string_view server) {
-  auto it = std::lower_bound(server_names_.begin(), server_names_.end(),
-                             server);
-  if (it == server_names_.end() || *it != server) {
-    // Unknown server (the cluster's server set is fixed at Init, so
-    // this is defensive): grow the dense tables.
-    it = server_names_.insert(it, std::string(server));
-    ServerStat stat;
-    stat.window.assign(window_ticks_, 0.0);
-    server_stats_.insert(
-        server_stats_.begin() + (it - server_names_.begin()),
-        std::move(stat));
-  }
-  return static_cast<size_t>(it - server_names_.begin());
-}
-
 void SimulationRunner::OnTick() {
   SimTime now = simulator_.now();
   if (config_.instance_failures_per_hour > 0) InjectFailures();
@@ -240,27 +244,29 @@ void SimulationRunner::OnTick() {
   // smoothed load so that a single noisy sample does not count as an
   // "overloaded" minute (the paper's criterion is sustained load).
   double tick_minutes = config_.tick.seconds() / 60.0;
-  size_t position = 0;
-  for (const auto& [server, load] : demand_->server_loads()) {
-    size_t index = (position < server_names_.size() &&
-                    server_names_[position] == server)
-                       ? position
-                       : ServerIndex(server);
-    ++position;
-    ServerStat& stat = server_stats_[index];
-    load_sum_ += load.cpu;
+  // The dense server ids enumerate sorted names — the exact layout of
+  // server_names_/server_stats_ resolved at Init. Names come from the
+  // runner's own snapshot (not the landscape index) because a trigger
+  // fired inside Observe can mutate topology and rebuild the index
+  // mid-loop; the server/service *sets* are fixed after Init, so the
+  // dense ids themselves stay stable.
+  for (size_t position = 0; position < server_names_.size(); ++position) {
+    infra::DenseId server_id = static_cast<infra::DenseId>(position);
+    double cpu = demand_->ServerCpuLoadById(server_id);
+    ServerStat& stat = server_stats_[position];
+    load_sum_ += cpu;
     ++load_samples_;
-    server_cpu_load_.Observe(load.cpu);
+    server_cpu_load_.Observe(cpu);
     // Trailing window as a ring buffer; the add-then-evict order of
     // operations matches the previous deque implementation so the
     // floating-point results are bit-identical.
-    stat.window_sum += load.cpu;
+    stat.window_sum += cpu;
     if (stat.count == window_ticks_) {
       stat.window_sum -= stat.window[stat.head];
-      stat.window[stat.head] = load.cpu;
+      stat.window[stat.head] = cpu;
       stat.head = (stat.head + 1) % window_ticks_;
     } else {
-      stat.window[(stat.head + stat.count) % window_ticks_] = load.cpu;
+      stat.window[(stat.head + stat.count) % window_ticks_] = cpu;
       ++stat.count;
     }
     double smoothed =
@@ -273,17 +279,16 @@ void SimulationRunner::OnTick() {
     } else {
       stat.streak_minutes = 0.0;
     }
-    AG_CHECK_OK(monitoring_->Observe(now, server, load.cpu,
-                                     DetectionLoad(TriggerKind::kServerOverloaded,
-                                                   server, load.cpu)));
+    AG_CHECK_OK(monitoring_->ObserveById(
+        now, server_subjects_[position], cpu,
+        DetectionLoad(server_keys_[position], cpu)));
   }
-  for (const infra::ServiceSpec* service : cluster_.Services()) {
-    double service_load = demand_->ServiceLoad(service->name);
-    AG_CHECK_OK(monitoring_->Observe(
-        now, service->name,
-        service_load,
-        DetectionLoad(TriggerKind::kServiceOverloaded, service->name,
-                      service_load)));
+  for (size_t position = 0; position < service_names_.size(); ++position) {
+    infra::DenseId service_id = static_cast<infra::DenseId>(position);
+    double service_load = demand_->ServiceLoadById(service_id);
+    AG_CHECK_OK(monitoring_->ObserveById(
+        now, service_subjects_[position], service_load,
+        DetectionLoad(service_keys_[position], service_load)));
   }
 
   // SLA monitoring and enforcement (QoS extension, §7).
@@ -327,9 +332,8 @@ void SimulationRunner::OnTick() {
 }
 
 std::optional<double> SimulationRunner::DetectionLoad(
-    TriggerKind kind, std::string_view name, double live) const {
+    const std::string& key, double live) const {
   if (!config_.use_forecast || forecaster_ == nullptr) return std::nullopt;
-  std::string key = LoadMonitoringSystem::ArchiveKey(kind, name);
   auto forecast = forecaster_->Forecast(key, simulator_.now());
   if (!forecast.ok()) return std::nullopt;
   // Imminent overloads arm the watch early; live overloads always do.

@@ -172,8 +172,8 @@ class SimulationRunner {
 
   Status Init(const Landscape& landscape);
   void OnTick();
-  std::optional<double> DetectionLoad(monitor::TriggerKind kind,
-                                      std::string_view name,
+  /// `key` is the subject's archive key, prebuilt at Init.
+  std::optional<double> DetectionLoad(const std::string& key,
                                       double live) const;
   void OnTrigger(const monitor::Trigger& trigger);
   void InjectFailures();
@@ -226,14 +226,22 @@ class SimulationRunner {
     size_t head = 0;             // index of the oldest sample
     size_t count = 0;            // samples currently in the window
   };
-  /// Maps a server name to its dense index. The names are sorted, so
-  /// iteration over DemandEngine::server_loads() (an ordered map)
-  /// visits servers in exactly this order — the per-tick loop resolves
-  /// indices positionally and only falls back to binary search if the
-  /// server set ever diverges.
-  size_t ServerIndex(std::string_view server);
-  std::vector<std::string> server_names_;  // sorted
-  std::vector<ServerStat> server_stats_;   // parallel to server_names_
+  /// Sorted server/service name snapshots taken at Init. Their ranks
+  /// are exactly the cluster index's dense ids (both enumerate names
+  /// in sorted order over a set that is fixed after Init), so the
+  /// per-tick loop pairs `server_names_[i]` with the engine's
+  /// `...ById(i)` views — no string-keyed lookups, and no references
+  /// into index storage that a mid-loop topology change could move.
+  std::vector<std::string> server_names_;   // sorted
+  std::vector<std::string> service_names_;  // sorted
+  std::vector<ServerStat> server_stats_;    // parallel to server_names_
+  /// Monitoring subject ids and archive keys, resolved once at Init
+  /// (parallel to server_names_ / service_names_): the per-tick
+  /// Observe and forecast lookups do no string formatting or lookups.
+  std::vector<monitor::SubjectId> server_subjects_;
+  std::vector<monitor::SubjectId> service_subjects_;
+  std::vector<std::string> server_keys_;
+  std::vector<std::string> service_keys_;
   size_t window_ticks_ = 1;
   double load_sum_ = 0.0;
   int64_t load_samples_ = 0;

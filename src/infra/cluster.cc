@@ -26,6 +26,7 @@ Status Cluster::AddServer(ServerSpec spec) {
   }
   std::string key = spec.name;
   servers_.emplace(std::move(key), std::move(spec));
+  BumpTopology();
   return Status::OK();
 }
 
@@ -37,6 +38,7 @@ Status Cluster::AddService(ServiceSpec spec) {
   }
   std::string key = spec.name;
   services_.emplace(std::move(key), std::move(spec));
+  BumpTopology();
   return Status::OK();
 }
 
@@ -146,6 +148,7 @@ Result<InstanceId> Cluster::PlaceInstance(std::string_view service,
   instance.virtual_ip = NextVirtualIp(service);
   InstanceId id = instance.id;
   instances_.emplace(id, std::move(instance));
+  BumpTopology();
   return id;
 }
 
@@ -165,6 +168,7 @@ Status Cluster::RemoveInstance(InstanceId id, bool enforce_min) {
     }
   }
   instances_.erase(it);
+  BumpTopology();
   return Status::OK();
 }
 
@@ -182,6 +186,7 @@ Status Cluster::MoveInstance(InstanceId id, std::string_view target_server,
   // one (paper §2's service virtualization).
   instance->server = std::string(target_server);
   instance->placed_at = now;
+  BumpTopology();
   return Status::OK();
 }
 
@@ -274,6 +279,12 @@ Status Cluster::AdjustServicePriority(std::string_view service,
   }
   double next = std::clamp(ServicePriority(service) * factor, 0.25, 4.0);
   priorities_[std::string(service)] = next;
+  // Keep the dense view live without forcing a rebuild: priorities
+  // change during runs (the adjustPriority action), topology does not.
+  if (index_epoch_ == topology_epoch_) {
+    DenseId id = index_.ServiceIdOf(service);
+    if (id != kNoDenseId) index_.SetPriority(id, next);
+  }
   return Status::OK();
 }
 
@@ -304,6 +315,14 @@ bool Cluster::IsServiceProtected(std::string_view service,
                                  SimTime now) const {
   auto it = service_protection_.find(service);
   return it != service_protection_.end() && now < it->second;
+}
+
+const LandscapeIndex& Cluster::Index() const {
+  if (index_epoch_ != topology_epoch_) {
+    index_.Rebuild(*this);
+    index_epoch_ = topology_epoch_;
+  }
+  return index_;
 }
 
 std::string Cluster::NextVirtualIp(std::string_view service) {

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "infra/action.h"
+#include "infra/ids.h"
 #include "infra/specs.h"
 
 namespace autoglobe::infra {
@@ -108,6 +109,22 @@ class Cluster {
 
   size_t total_instances() const { return instances_.size(); }
 
+  // --- Dense-id data plane --------------------------------------------
+
+  /// The interned landscape view: dense server/service/instance ids,
+  /// cached per-server and per-service instance spans, flat arrays of
+  /// the per-tick facts. Rebuilt lazily when the topology epoch moved;
+  /// between topology changes every call is a cheap cache hit, so hot
+  /// loops can call this per tick. Spans and dense ids obtained from
+  /// the returned index stay valid until the next topology change.
+  const LandscapeIndex& Index() const;
+
+  /// Monotone counter, bumped by every topology mutation (server /
+  /// service added, instance placed / removed / moved). Instance state
+  /// flips and priority adjustments do NOT bump it — index consumers
+  /// see those through live pointers and write-through updates.
+  uint64_t topology_epoch() const { return topology_epoch_; }
+
   // --- Priorities -----------------------------------------------------
 
   /// Relative CPU weight of a service (default 1.0); the proportional-
@@ -126,8 +143,11 @@ class Cluster {
   bool IsServiceProtected(std::string_view service, SimTime now) const;
 
  private:
+  friend class LandscapeIndex;
+
   Result<ServiceInstance*> FindMutableInstance(InstanceId id);
   std::string NextVirtualIp(std::string_view service);
+  void BumpTopology() { ++topology_epoch_; }
 
   std::map<std::string, ServerSpec, std::less<>> servers_;
   std::map<std::string, ServiceSpec, std::less<>> services_;
@@ -137,6 +157,12 @@ class Cluster {
   std::map<std::string, SimTime, std::less<>> service_protection_;
   InstanceId next_instance_id_ = 1;
   int next_ip_suffix_ = 1;
+
+  uint64_t topology_epoch_ = 1;
+  /// Lazily rebuilt dense view (mutable: rebuilding on first access
+  /// after a topology change does not alter observable state).
+  mutable LandscapeIndex index_;
+  mutable uint64_t index_epoch_ = 0;
 };
 
 }  // namespace autoglobe::infra

@@ -1,0 +1,104 @@
+#include "infra/ids.h"
+
+#include <algorithm>
+
+#include "infra/cluster.h"
+#include "infra/specs.h"
+
+namespace autoglobe::infra {
+
+namespace {
+
+DenseId RankOf(const std::vector<std::string>& sorted_names,
+               std::string_view name) {
+  auto it = std::lower_bound(sorted_names.begin(), sorted_names.end(), name);
+  if (it == sorted_names.end() || *it != name) return kNoDenseId;
+  return static_cast<DenseId>(it - sorted_names.begin());
+}
+
+}  // namespace
+
+DenseId LandscapeIndex::ServerIdOf(std::string_view name) const {
+  return RankOf(server_names_, name);
+}
+
+DenseId LandscapeIndex::ServiceIdOf(std::string_view name) const {
+  return RankOf(service_names_, name);
+}
+
+void LandscapeIndex::Rebuild(const Cluster& cluster) {
+  server_names_.clear();
+  servers_.clear();
+  performance_.clear();
+  memory_gb_.clear();
+  for (const auto& [name, spec] : cluster.servers_) {
+    server_names_.push_back(name);  // map order == sorted order
+    servers_.push_back(&spec);
+    performance_.push_back(spec.performance_index);
+    memory_gb_.push_back(spec.memory_gb);
+  }
+
+  service_names_.clear();
+  services_.clear();
+  priorities_.clear();
+  for (const auto& [name, spec] : cluster.services_) {
+    service_names_.push_back(name);
+    services_.push_back(&spec);
+    priorities_.push_back(cluster.ServicePriority(name));
+  }
+
+  instances_.clear();
+  instances_.reserve(cluster.instances_.size());
+  instance_id_bound_ = 0;
+  for (const auto& [id, instance] : cluster.instances_) {
+    InstanceRef ref;
+    ref.instance = &instance;
+    ref.id = id;
+    ref.service = ServiceIdOf(instance.service);
+    ref.server = ServerIdOf(instance.server);
+    instances_.push_back(ref);
+    instance_id_bound_ = std::max(instance_id_bound_, id + 1);
+  }
+
+  // CSR bucket lists via counting sort: a forward pass over the
+  // id-ordered instance array fills every bucket in id order — the
+  // exact iteration order of the string-keyed InstancesOn/Of.
+  auto build_csr = [this](size_t buckets, auto key,
+                          std::vector<InstanceRef>* flat,
+                          std::vector<int32_t>* offsets) {
+    offsets->assign(buckets + 1, 0);
+    for (const InstanceRef& ref : instances_) {
+      if (key(ref) >= 0) ++(*offsets)[static_cast<size_t>(key(ref)) + 1];
+    }
+    for (size_t i = 1; i <= buckets; ++i) (*offsets)[i] += (*offsets)[i - 1];
+    flat->assign(instances_.size(), InstanceRef{});
+    std::vector<int32_t> cursor(offsets->begin(), offsets->end() - 1);
+    for (const InstanceRef& ref : instances_) {
+      if (key(ref) < 0) continue;
+      (*flat)[static_cast<size_t>(cursor[static_cast<size_t>(key(ref))]++)] =
+          ref;
+    }
+  };
+  build_csr(num_servers(), [](const InstanceRef& r) { return r.server; },
+            &by_server_, &server_offsets_);
+  build_csr(num_services(), [](const InstanceRef& r) { return r.service; },
+            &by_service_, &service_offsets_);
+
+  max_instances_per_server_ = 0;
+  used_memory_gb_.assign(num_servers(), 0.0);
+  for (size_t s = 0; s < num_servers(); ++s) {
+    std::span<const InstanceRef> hosted =
+        InstancesOnServer(static_cast<DenseId>(s));
+    max_instances_per_server_ =
+        std::max(max_instances_per_server_, hosted.size());
+    // Id-order accumulation, matching Cluster::UsedMemoryGb exactly.
+    for (const InstanceRef& ref : hosted) {
+      if (ref.service >= 0) {
+        used_memory_gb_[s] +=
+            Service(ref.service).memory_footprint_gb;
+      }
+    }
+  }
+}
+
+}  // namespace autoglobe::infra

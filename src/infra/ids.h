@@ -1,0 +1,150 @@
+#ifndef AUTOGLOBE_INFRA_IDS_H_
+#define AUTOGLOBE_INFRA_IDS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "infra/action.h"
+
+namespace autoglobe::infra {
+
+struct ServerSpec;
+struct ServiceSpec;
+struct ServiceInstance;
+class Cluster;
+
+/// Dense id of a server or service: its rank in sorted-name order
+/// over the cluster's current topology. Dense ids are stable between
+/// topology changes (AddServer/AddService/Place/Remove/Move), which
+/// in practice means they are fixed for a whole simulation run — the
+/// landscape's server and service sets are set up once.
+using DenseId = int32_t;
+inline constexpr DenseId kNoDenseId = -1;
+
+/// One live instance as seen by the dense data plane. The pointer
+/// targets the cluster's map node (stable across unrelated inserts
+/// and erases), so `instance->state` is always the live state — state
+/// flips do not invalidate an index.
+struct InstanceRef {
+  const ServiceInstance* instance = nullptr;
+  InstanceId id = 0;
+  DenseId service = kNoDenseId;
+  DenseId server = kNoDenseId;
+};
+
+/// The interned landscape: every server, service, and instance
+/// resolved to dense integer ids, with the per-server / per-service
+/// instance lists precomputed as contiguous spans (CSR layout) and
+/// the per-tick facts (performance index, memory, priorities, used
+/// memory) gathered into flat arrays.
+///
+/// Rebuilt by Cluster::Index() whenever the topology epoch moved;
+/// between topology changes every accessor is an array read. All
+/// instance lists preserve InstanceId order — the same iteration
+/// order as the cluster's ordered instance map — and server/service
+/// ids enumerate names in sorted order, so code that walks the index
+/// visits entities exactly as the string-keyed API would.
+class LandscapeIndex {
+ public:
+  LandscapeIndex() = default;
+
+  size_t num_servers() const { return server_names_.size(); }
+  size_t num_services() const { return service_names_.size(); }
+  size_t num_instances() const { return instances_.size(); }
+
+  /// Exclusive upper bound of live InstanceIds (0 when empty); size
+  /// per-instance state arrays with this to index them by raw id.
+  InstanceId instance_id_bound() const { return instance_id_bound_; }
+
+  /// kNoDenseId when the name is unknown.
+  DenseId ServerIdOf(std::string_view name) const;
+  DenseId ServiceIdOf(std::string_view name) const;
+
+  const std::string& ServerName(DenseId id) const {
+    return server_names_[static_cast<size_t>(id)];
+  }
+  const std::string& ServiceName(DenseId id) const {
+    return service_names_[static_cast<size_t>(id)];
+  }
+  const ServerSpec& Server(DenseId id) const {
+    return *servers_[static_cast<size_t>(id)];
+  }
+  const ServiceSpec& Service(DenseId id) const {
+    return *services_[static_cast<size_t>(id)];
+  }
+
+  double ServerPerformance(DenseId id) const {
+    return performance_[static_cast<size_t>(id)];
+  }
+  double ServerMemoryGb(DenseId id) const {
+    return memory_gb_[static_cast<size_t>(id)];
+  }
+  /// Memory claimed by the instances hosted on the server, in GB.
+  /// Placement-dependent, so it is part of the cached topology view.
+  double ServerUsedMemoryGb(DenseId id) const {
+    return used_memory_gb_[static_cast<size_t>(id)];
+  }
+  /// Live CPU weight of the service — kept in sync by the cluster on
+  /// AdjustServicePriority without a rebuild.
+  double ServicePriority(DenseId id) const {
+    return priorities_[static_cast<size_t>(id)];
+  }
+
+  /// All live instances, InstanceId ascending.
+  std::span<const InstanceRef> Instances() const { return instances_; }
+  /// Instances hosted on / belonging to an entity (any state),
+  /// InstanceId ascending. Valid until the next topology change.
+  std::span<const InstanceRef> InstancesOnServer(DenseId id) const {
+    size_t i = static_cast<size_t>(id);
+    return std::span<const InstanceRef>(by_server_)
+        .subspan(static_cast<size_t>(server_offsets_[i]),
+                 static_cast<size_t>(server_offsets_[i + 1] -
+                                     server_offsets_[i]));
+  }
+  std::span<const InstanceRef> InstancesOfService(DenseId id) const {
+    size_t i = static_cast<size_t>(id);
+    return std::span<const InstanceRef>(by_service_)
+        .subspan(static_cast<size_t>(service_offsets_[i]),
+                 static_cast<size_t>(service_offsets_[i + 1] -
+                                     service_offsets_[i]));
+  }
+
+  /// The largest instance count any single server currently hosts —
+  /// the capacity bound scratch buffers for per-server loops need.
+  size_t max_instances_per_server() const {
+    return max_instances_per_server_;
+  }
+
+ private:
+  friend class Cluster;
+
+  /// Re-interns the whole landscape from the cluster's maps.
+  void Rebuild(const Cluster& cluster);
+  void SetPriority(DenseId id, double priority) {
+    priorities_[static_cast<size_t>(id)] = priority;
+  }
+
+  std::vector<std::string> server_names_;   // sorted
+  std::vector<std::string> service_names_;  // sorted
+  std::vector<const ServerSpec*> servers_;
+  std::vector<const ServiceSpec*> services_;
+  std::vector<double> performance_;
+  std::vector<double> memory_gb_;
+  std::vector<double> used_memory_gb_;
+  std::vector<double> priorities_;
+  std::vector<InstanceRef> instances_;
+  // CSR: bucket lists are contiguous slices of one flat array.
+  std::vector<InstanceRef> by_server_;
+  std::vector<int32_t> server_offsets_;
+  std::vector<InstanceRef> by_service_;
+  std::vector<int32_t> service_offsets_;
+  InstanceId instance_id_bound_ = 0;
+  size_t max_instances_per_server_ = 0;
+};
+
+}  // namespace autoglobe::infra
+
+#endif  // AUTOGLOBE_INFRA_IDS_H_

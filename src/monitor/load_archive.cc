@@ -1,5 +1,6 @@
 #include "monitor/load_archive.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -7,15 +8,46 @@
 
 namespace autoglobe::monitor {
 
+namespace {
+
+/// First sample strictly after `t` in a time-ordered series (the
+/// deque's random-access iterators make this a true binary search).
+template <typename It>
+It FirstAfter(It begin, It end, SimTime t) {
+  return std::upper_bound(
+      begin, end, t,
+      [](SimTime lhs, const LoadSample& sample) { return lhs < sample.at; });
+}
+
+}  // namespace
+
 LoadArchive::LoadArchive(Duration raw_retention, Duration aggregate_bucket)
     : raw_retention_(raw_retention), aggregate_bucket_(aggregate_bucket) {}
 
-Status LoadArchive::Append(const std::string& key, SimTime at,
-                           double value) {
-  Series& series = series_[key];
+LoadArchive::Handle LoadArchive::Acquire(std::string_view key) {
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(key), Series{}).first;
+    it->second.key = it->first;
+  }
+  return Handle(&it->second);
+}
+
+const LoadArchive::Series* LoadArchive::FindSeries(
+    std::string_view key) const {
+  auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+Status LoadArchive::Append(std::string_view key, SimTime at, double value) {
+  return Append(Acquire(key), at, value);
+}
+
+Status LoadArchive::Append(Handle handle, SimTime at, double value) {
+  Series& series = *handle.series_;
   if (!series.raw.empty() && at < series.raw.back().at) {
     return Status::InvalidArgument(StrFormat(
-        "out-of-order sample for \"%s\": %s < %s", key.c_str(),
+        "out-of-order sample for \"%s\": %s < %s", series.key.c_str(),
         at.ToString().c_str(), series.raw.back().at.ToString().c_str()));
   }
   LoadSample sample{at, value};
@@ -46,63 +78,88 @@ void LoadArchive::FoldIntoAggregate(Series* series,
   ++series->open_count;
 }
 
-Result<double> LoadArchive::Latest(const std::string& key) const {
-  auto it = series_.find(key);
-  if (it == series_.end() || it->second.raw.empty()) {
+Result<double> LoadArchive::Latest(std::string_view key) const {
+  const Series* series = FindSeries(key);
+  if (series == nullptr || series->raw.empty()) {
     return Status::NotFound(
-        StrFormat("no samples for \"%s\"", key.c_str()));
+        StrFormat("no samples for \"%.*s\"", static_cast<int>(key.size()),
+                  key.data()));
   }
-  return it->second.raw.back().value;
+  return series->raw.back().value;
 }
 
-Result<double> LoadArchive::Average(const std::string& key, Duration window,
+Result<double> LoadArchive::Latest(Handle handle) const {
+  if (handle.series_->raw.empty()) {
+    return Status::NotFound(StrFormat("no samples for \"%s\"",
+                                      handle.series_->key.c_str()));
+  }
+  return handle.series_->raw.back().value;
+}
+
+Result<double> LoadArchive::Average(std::string_view key, Duration window,
                                     SimTime now) const {
-  auto it = series_.find(key);
-  if (it == series_.end()) {
+  const Series* series = FindSeries(key);
+  if (series == nullptr) {
     return Status::NotFound(
-        StrFormat("no samples for \"%s\"", key.c_str()));
+        StrFormat("no samples for \"%.*s\"", static_cast<int>(key.size()),
+                  key.data()));
   }
+  // Bit-compatibility shim: Handle(Series*) needs a mutable pointer,
+  // but Average never writes through it.
+  return Average(Handle(const_cast<Series*>(series)), window, now);
+}
+
+Result<double> LoadArchive::Average(Handle handle, Duration window,
+                                    SimTime now) const {
+  const Series& series = *handle.series_;
   SimTime from = now - window;
-  double sum = 0.0;
-  int64_t count = 0;
-  for (auto sample = it->second.raw.rbegin();
-       sample != it->second.raw.rend(); ++sample) {
-    if (sample->at > now) continue;
-    if (sample->at <= from) break;
-    sum += sample->value;
-    ++count;
-  }
-  if (count == 0) {
+  // The raw deque is time-ordered, so the (from, now] window is a
+  // contiguous range found by binary search instead of a linear scan.
+  auto lo = FirstAfter(series.raw.begin(), series.raw.end(), from);
+  auto hi = FirstAfter(lo, series.raw.end(), now);
+  if (lo == hi) {
     return Status::NotFound(StrFormat(
-        "no samples for \"%s\" in the last %s", key.c_str(),
+        "no samples for \"%s\" in the last %s", series.key.c_str(),
         window.ToString().c_str()));
   }
-  return sum / static_cast<double>(count);
+  // Newest-first accumulation, matching the original reverse scan so
+  // the floating-point sum is bit-identical.
+  double sum = 0.0;
+  for (auto it = hi; it != lo;) {
+    --it;
+    sum += it->value;
+  }
+  return sum / static_cast<double>(hi - lo);
 }
 
-std::vector<LoadSample> LoadArchive::RawBetween(const std::string& key,
+std::vector<LoadSample> LoadArchive::RawBetween(std::string_view key,
                                                 SimTime from,
                                                 SimTime to) const {
   std::vector<LoadSample> out;
-  auto it = series_.find(key);
-  if (it == series_.end()) return out;
-  for (const LoadSample& sample : it->second.raw) {
-    if (sample.at > from && sample.at <= to) out.push_back(sample);
+  const Series* series = FindSeries(key);
+  if (series == nullptr) return out;
+  auto lo = FirstAfter(series->raw.begin(), series->raw.end(), from);
+  auto hi = FirstAfter(lo, series->raw.end(), to);
+  out.assign(lo, hi);
+  return out;
+}
+
+std::vector<LoadSample> LoadArchive::AggregatedOf(
+    const Series& series) const {
+  std::vector<LoadSample> out = series.aggregated;
+  if (series.open_count > 0) {
+    out.push_back(LoadSample{
+        SimTime::FromSeconds(series.open_bucket *
+                             aggregate_bucket_.seconds()),
+        series.open_sum / static_cast<double>(series.open_count)});
   }
   return out;
 }
 
-std::vector<LoadSample> LoadArchive::Aggregated(const std::string& key) const {
-  auto it = series_.find(key);
-  if (it == series_.end()) return {};
-  std::vector<LoadSample> out = it->second.aggregated;
-  if (it->second.open_count > 0) {
-    out.push_back(LoadSample{
-        SimTime::FromSeconds(it->second.open_bucket *
-                             aggregate_bucket_.seconds()),
-        it->second.open_sum / static_cast<double>(it->second.open_count)});
-  }
-  return out;
+std::vector<LoadSample> LoadArchive::Aggregated(std::string_view key) const {
+  const Series* series = FindSeries(key);
+  if (series == nullptr) return {};
+  return AggregatedOf(*series);
 }
 
 std::vector<std::string> LoadArchive::Keys() const {
@@ -121,7 +178,7 @@ Status LoadArchive::Save(const std::string& path) const {
   out << "retention " << raw_retention_.seconds() << " bucket "
       << aggregate_bucket_.seconds() << "\n";
   for (const auto& [key, series] : series_) {
-    for (const LoadSample& sample : Aggregated(key)) {
+    for (const LoadSample& sample : AggregatedOf(series)) {
       out << key << " " << sample.at.seconds() << " " << sample.value
           << "\n";
     }

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -26,30 +27,68 @@ struct LoadSample {
 /// Raw samples are kept for a bounded retention window; beyond it
 /// they are folded into fixed-width aggregate buckets (mean values),
 /// which is what the load-forecasting extension consumes.
+///
+/// All name-based entry points take `std::string_view` and resolve it
+/// with heterogeneous lookup — no temporary std::string per call. Hot
+/// callers (the monitoring system feeds every subject once per tick)
+/// should resolve the key once via Acquire() and use the returned
+/// Handle: a handle call skips the string comparison entirely.
 class LoadArchive {
  public:
   explicit LoadArchive(Duration raw_retention = Duration::Hours(48),
                        Duration aggregate_bucket = Duration::Minutes(15));
 
+ private:
+  struct Series {
+    std::string key;  // for error messages
+    std::deque<LoadSample> raw;
+    // Completed aggregate buckets: bucket start time + mean.
+    std::vector<LoadSample> aggregated;
+    // Accumulator of the bucket currently being filled.
+    int64_t open_bucket = -1;  // bucket index, -1 = none
+    double open_sum = 0.0;
+    int64_t open_count = 0;
+  };
+
+ public:
+  /// Stable reference to one subject's series, resolved once. Valid
+  /// for the archive's lifetime (map nodes never move).
+  class Handle {
+   public:
+    Handle() = default;
+    explicit operator bool() const { return series_ != nullptr; }
+
+   private:
+    friend class LoadArchive;
+    explicit Handle(Series* series) : series_(series) {}
+    Series* series_ = nullptr;
+  };
+
+  /// Resolves (creating if needed) the series for a subject key.
+  Handle Acquire(std::string_view key);
+
   /// Appends a measurement for a subject key, e.g. "server/Blade3".
   /// Samples must arrive in non-decreasing time order per key.
-  Status Append(const std::string& key, SimTime at, double value);
+  Status Append(std::string_view key, SimTime at, double value);
+  Status Append(Handle handle, SimTime at, double value);
 
   /// Most recent value; NotFound when the key has no samples.
-  Result<double> Latest(const std::string& key) const;
+  Result<double> Latest(std::string_view key) const;
+  Result<double> Latest(Handle handle) const;
 
   /// Mean of raw samples in (now - window, now]. NotFound when no
   /// samples fall into the window.
-  Result<double> Average(const std::string& key, Duration window,
+  Result<double> Average(std::string_view key, Duration window,
                          SimTime now) const;
+  Result<double> Average(Handle handle, Duration window, SimTime now) const;
 
   /// Raw samples with `from < at <= to`, oldest first.
-  std::vector<LoadSample> RawBetween(const std::string& key, SimTime from,
+  std::vector<LoadSample> RawBetween(std::string_view key, SimTime from,
                                      SimTime to) const;
 
   /// Aggregated history (bucket means, oldest first) — includes
   /// buckets already evicted from the raw window.
-  std::vector<LoadSample> Aggregated(const std::string& key) const;
+  std::vector<LoadSample> Aggregated(std::string_view key) const;
 
   /// All known subject keys.
   std::vector<std::string> Keys() const;
@@ -63,21 +102,13 @@ class LoadArchive {
   Duration aggregate_bucket() const { return aggregate_bucket_; }
 
  private:
-  struct Series {
-    std::deque<LoadSample> raw;
-    // Completed aggregate buckets: bucket start time + mean.
-    std::vector<LoadSample> aggregated;
-    // Accumulator of the bucket currently being filled.
-    int64_t open_bucket = -1;  // bucket index, -1 = none
-    double open_sum = 0.0;
-    int64_t open_count = 0;
-  };
-
   void FoldIntoAggregate(Series* series, const LoadSample& sample);
+  const Series* FindSeries(std::string_view key) const;
+  std::vector<LoadSample> AggregatedOf(const Series& series) const;
 
   Duration raw_retention_;
   Duration aggregate_bucket_;
-  std::map<std::string, Series> series_;
+  std::map<std::string, Series, std::less<>> series_;
 };
 
 }  // namespace autoglobe::monitor

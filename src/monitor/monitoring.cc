@@ -44,7 +44,7 @@ Status LoadMonitoringSystem::RegisterSubject(
   if (idle_divisor <= 0) {
     return Status::InvalidArgument("idle divisor must be positive");
   }
-  if (subjects_.count(name) > 0) {
+  if (subject_ids_.count(name) > 0) {
     return Status::AlreadyExists(
         StrFormat("subject \"%s\" already registered", name.c_str()));
   }
@@ -53,36 +53,51 @@ Status LoadMonitoringSystem::RegisterSubject(
   }
   SubjectState state;
   state.overload_kind = overload_kind;
+  state.name = name;
   state.key = ArchiveKey(overload_kind, name);
   state.idle_threshold = config_.idle_threshold_base / idle_divisor;
   state.overload_watch =
       watch_override.value_or(config_.overload_watch_time);
-  subjects_.emplace(std::move(name), std::move(state));
+  SubjectId id = static_cast<SubjectId>(subjects_.size());
+  subjects_.push_back(std::move(state));
+  subject_ids_.emplace(std::move(name), id);
   return Status::OK();
 }
 
-Result<Duration> LoadMonitoringSystem::WatchTime(
+Result<SubjectId> LoadMonitoringSystem::SubjectIdOf(
     std::string_view name) const {
-  auto it = subjects_.find(name);
-  if (it == subjects_.end()) {
+  auto it = subject_ids_.find(name);
+  if (it == subject_ids_.end()) {
     return Status::NotFound(StrFormat("unregistered subject \"%.*s\"",
                                       static_cast<int>(name.size()),
                                       name.data()));
   }
-  return it->second.overload_watch;
+  return it->second;
+}
+
+Result<Duration> LoadMonitoringSystem::WatchTime(
+    std::string_view name) const {
+  AG_ASSIGN_OR_RETURN(SubjectId id, SubjectIdOf(name));
+  return subjects_[static_cast<size_t>(id)].overload_watch;
 }
 
 Status LoadMonitoringSystem::Observe(SimTime now, std::string_view name,
                                      double load,
                                      std::optional<double> detection_load) {
-  auto it = subjects_.find(name);
-  if (it == subjects_.end()) {
-    return Status::NotFound(StrFormat("unregistered subject \"%.*s\"",
-                                      static_cast<int>(name.size()),
-                                      name.data()));
+  AG_ASSIGN_OR_RETURN(SubjectId id, SubjectIdOf(name));
+  return ObserveById(now, id, load, detection_load);
+}
+
+Status LoadMonitoringSystem::ObserveById(
+    SimTime now, SubjectId subject, double load,
+    std::optional<double> detection_load) {
+  if (subject < 0 || static_cast<size_t>(subject) >= subjects_.size()) {
+    return Status::NotFound(
+        StrFormat("unregistered subject id %d", subject));
   }
-  SubjectState& state = it->second;
-  AG_RETURN_IF_ERROR(archive_->Append(state.key, now, load));
+  SubjectState& state = subjects_[static_cast<size_t>(subject)];
+  if (!state.series) state.series = archive_->Acquire(state.key);
+  AG_RETURN_IF_ERROR(archive_->Append(state.series, now, load));
   if (detection_load.has_value()) load = *detection_load;
 
   switch (state.phase) {
@@ -103,10 +118,9 @@ Status LoadMonitoringSystem::Observe(SimTime now, std::string_view name,
       if (now - state.watch_started < watch) return Status::OK();
       state.phase = Phase::kNormal;
       AG_ASSIGN_OR_RETURN(double average,
-                          archive_->Average(state.key, watch, now));
+                          archive_->Average(state.series, watch, now));
       if (average > config_.overload_threshold) {
-        Confirm(Trigger{state.overload_kind, std::string(name), now,
-                        average});
+        Confirm(Trigger{state.overload_kind, state.name, now, average});
       }
       return Status::OK();
     }
@@ -115,13 +129,13 @@ Status LoadMonitoringSystem::Observe(SimTime now, std::string_view name,
       if (now - state.watch_started < watch) return Status::OK();
       state.phase = Phase::kNormal;
       AG_ASSIGN_OR_RETURN(double average,
-                          archive_->Average(state.key, watch, now));
+                          archive_->Average(state.series, watch, now));
       if (average < state.idle_threshold) {
         TriggerKind idle_kind =
             state.overload_kind == TriggerKind::kServerOverloaded
                 ? TriggerKind::kServerIdle
                 : TriggerKind::kServiceIdle;
-        Confirm(Trigger{idle_kind, std::string(name), now, average});
+        Confirm(Trigger{idle_kind, state.name, now, average});
       }
       return Status::OK();
     }

@@ -1,10 +1,12 @@
 #ifndef AUTOGLOBE_MONITOR_MONITORING_H_
 #define AUTOGLOBE_MONITOR_MONITORING_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/sim_time.h"
@@ -48,13 +50,20 @@ struct MonitorConfig {
   Duration idle_watch_time = Duration::Minutes(20);
 };
 
+/// Dense id of a registered monitoring subject: its registration
+/// rank. Stable for the system's lifetime.
+using SubjectId = int32_t;
+
 /// The load monitoring system of Figure 2: short peaks are common in
 /// real systems, so a threshold crossing only *arms* an observation
 /// window; the fuzzy controller is triggered when the average load
 /// over the watch time confirms a real overload (or idle) situation.
 ///
 /// One instance supervises any number of subjects (servers and
-/// services); per-subject state machines are independent.
+/// services); per-subject state machines are independent. Subjects
+/// live in a dense array: callers on the per-tick hot path resolve a
+/// SubjectId once (SubjectIdOf) and feed ObserveById — no string
+/// lookup, and the archive series handle is cached per subject.
 class LoadMonitoringSystem {
  public:
   using TriggerCallback = std::function<void(const Trigger&)>;
@@ -71,6 +80,9 @@ class LoadMonitoringSystem {
                          std::optional<Duration> watch_override =
                              std::nullopt);
 
+  /// Dense id of a registered subject; NotFound if unknown.
+  Result<SubjectId> SubjectIdOf(std::string_view name) const;
+
   /// The effective overload watchTime of a registered subject.
   Result<Duration> WatchTime(std::string_view name) const;
 
@@ -82,6 +94,9 @@ class LoadMonitoringSystem {
   /// arm the watch early while the archive keeps the true loads.
   Status Observe(SimTime now, std::string_view name, double load,
                  std::optional<double> detection_load = std::nullopt);
+  /// Hot-path twin keyed by SubjectId (no string lookup).
+  Status ObserveById(SimTime now, SubjectId subject, double load,
+                     std::optional<double> detection_load = std::nullopt);
 
   void set_trigger_callback(TriggerCallback callback) {
     callback_ = std::move(callback);
@@ -106,7 +121,12 @@ class LoadMonitoringSystem {
 
   struct SubjectState {
     TriggerKind overload_kind;  // kServerOverloaded or kServiceOverloaded
+    std::string name;           // subject name (trigger subject)
     std::string key;            // archive key
+    /// Archive series, resolved on first observation (lazily, so the
+    /// archive's key set still reflects only subjects that actually
+    /// reported data).
+    LoadArchive::Handle series;
     double idle_threshold = 0.125;
     Duration overload_watch = Duration::Zero();  // effective watchTime
     Phase phase = Phase::kNormal;
@@ -118,7 +138,9 @@ class LoadMonitoringSystem {
   /// Traces and fires a confirmed trigger.
   void Confirm(Trigger trigger);
 
-  std::map<std::string, SubjectState, std::less<>> subjects_;
+  /// Dense subject storage + name resolution done once per caller.
+  std::vector<SubjectState> subjects_;
+  std::map<std::string, SubjectId, std::less<>> subject_ids_;
   TriggerCallback callback_;
   obs::TraceBuffer* trace_ = nullptr;
   int64_t triggers_fired_ = 0;

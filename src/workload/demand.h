@@ -1,7 +1,8 @@
 #ifndef AUTOGLOBE_WORKLOAD_DEMAND_H_
 #define AUTOGLOBE_WORKLOAD_DEMAND_H_
 
-#include <map>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "infra/cluster.h"
+#include "infra/ids.h"
 #include "workload/load_pattern.h"
 
 namespace autoglobe::workload {
@@ -89,6 +91,17 @@ struct ServerLoad {
 /// derives per-instance work, propagates it through the three tiers,
 /// applies the proportional-share CPU model with service priorities,
 /// and records per-server and per-instance loads plus backlog.
+///
+/// The engine runs on the cluster's dense-id data plane: every
+/// server, service, and instance resolves to an integer id at setup
+/// time (infra::LandscapeIndex), all per-entity state lives in flat
+/// SoA arrays, subsystem propagation is compiled into a flat edge
+/// list, and the per-tick temporaries come from a pre-sized scratch —
+/// the steady-state Tick performs zero heap allocations. Topology
+/// changes (instance start/stop/move) re-sync the data plane on the
+/// next Tick; results are bit-identical to the string-keyed engine
+/// because every loop preserves its iteration order (services in
+/// name order, instances in InstanceId order, servers in name order).
 class DemandEngine {
  public:
   DemandEngine(infra::Cluster* cluster, Rng rng);
@@ -120,7 +133,8 @@ class DemandEngine {
   }
 
   /// Advances the model by `dt` ending at time `now`, recomputing all
-  /// loads.
+  /// loads. Allocation-free unless the topology changed since the
+  /// previous tick.
   void Tick(SimTime now, Duration dt = Duration::Minutes(1));
 
   // --- Load views of the last tick -------------------------------------
@@ -136,6 +150,24 @@ class DemandEngine {
   /// This is the response-quality proxy the QoS/SLA extension
   /// monitors: it drops below 1 exactly when requests queue or drop.
   double ServiceSatisfaction(std::string_view service) const;
+
+  // --- Dense-id load views ----------------------------------------------
+  // Hot-path twins of the name-based views, keyed by the cluster
+  // index's dense ids; no hashing, no string compares. Server ids
+  // refer to the engine's last-tick layout (the server set is fixed
+  // after setup); service ids are the cluster index's current ids.
+  double ServerCpuLoadById(infra::DenseId server) const {
+    size_t i = static_cast<size_t>(server);
+    return i < server_cpu_.size() ? server_cpu_[i] : 0.0;
+  }
+  double ServerMemLoadById(infra::DenseId server) const {
+    size_t i = static_cast<size_t>(server);
+    return i < server_mem_.size() ? server_mem_[i] : 0.0;
+  }
+  double ServiceLoadById(infra::DenseId service) const;
+  double ServiceSatisfactionById(infra::DenseId service) const;
+  /// Number of servers in the last-tick load arrays.
+  size_t num_server_loads() const { return server_cpu_.size(); }
 
   // --- User bookkeeping -------------------------------------------------
   double InstanceUsers(infra::InstanceId id) const;
@@ -161,36 +193,82 @@ class DemandEngine {
     overload_threshold_ = threshold;
   }
 
-  const std::map<std::string, ServerLoad, std::less<>>& server_loads() const {
-    return server_loads_;
-  }
-
  private:
-  struct InstanceState {
-    double users = 0.0;
-    double backlog_wu = 0.0;
-    double demand_wu = 0.0;  // last tick, per minute
-    double served_wu = 0.0;  // last tick, per minute
-    double load = 0.0;       // demand / host capacity, clamped
+  /// Subsystem propagation lowered to registered-spec slots: summing
+  /// the app tier and fanning work out to the CI / DB tiers touches
+  /// no names at tick time.
+  struct SubsystemEdges {
+    std::vector<int32_t> app_specs;  // spec slots, declared order
+    int32_t ci_spec = -1;
+    int32_t db_spec = -1;
+    double ci_factor = 0.0;
+    double db_factor = 0.0;
   };
 
-  void SyncUsers();
-  void ApplyFluctuation(double dt_minutes);
-  double HostCapacity(std::string_view server) const;
+  /// Pre-sized per-tick temporaries; reused across ticks so the
+  /// steady-state Tick never touches the heap.
+  struct Scratch {
+    std::vector<double> app_work;         // per spec slot
+    std::vector<double> shared_unserved;  // per spec slot
+    std::vector<double> serve;            // per InstanceId
+    std::vector<uint32_t> unsatisfied;        // positions in a server span
+    std::vector<uint32_t> still_unsatisfied;  // (capacity pre-reserved)
+  };
+
+  /// Registered spec slot for a service name, or -1. Slots enumerate
+  /// specs in sorted-name order.
+  int32_t SpecSlotOf(std::string_view service) const;
+  /// Engine-side dense server slot for a name (last-built layout).
+  int32_t ServerSlotOf(std::string_view server) const;
+
+  /// Re-syncs the engine's dense arrays with the cluster topology;
+  /// no-op (two integer compares) when nothing changed.
+  const infra::LandscapeIndex& EnsureDataPlane();
+
+  void SyncUsers(const infra::LandscapeIndex& index);
+  void ApplyFluctuation(const infra::LandscapeIndex& index,
+                        double dt_minutes);
   infra::InstanceId LeastLoadedInstance(
-      const std::vector<const infra::ServiceInstance*>& instances) const;
+      const infra::LandscapeIndex& index,
+      std::span<const infra::InstanceRef> instances) const;
 
   infra::Cluster* cluster_;
   Rng rng_;
-  std::map<std::string, ServiceDemandSpec, std::less<>> services_;
+
+  // Registered demand specs, sorted by service name (slot == rank).
+  std::vector<ServiceDemandSpec> specs_;
+  std::vector<infra::DenseId> spec_service_id_;  // slot -> cluster id
+  std::vector<int32_t> spec_of_service_;         // cluster id -> slot | -1
   std::vector<SubsystemSpec> subsystems_;
+  std::vector<SubsystemEdges> edges_;
+
   double user_scale_ = 1.0;
   UserDistribution distribution_ = UserDistribution::kStickySessions;
   double fluctuation_per_minute_ = 0.01;
 
-  std::map<infra::InstanceId, InstanceState> instance_state_;
-  std::map<std::string, double, std::less<>> service_queue_wu_;
-  std::map<std::string, ServerLoad, std::less<>> server_loads_;
+  // SoA per-instance state, indexed by raw InstanceId. `tracked_`
+  // mirrors the old map's "has a state entry": a removed instance
+  // keeps its values until the next data-plane sync, exactly like the
+  // map entry used to linger until the next Tick erased it.
+  std::vector<double> users_;
+  std::vector<double> backlog_wu_;
+  std::vector<double> demand_wu_;  // last tick, per minute
+  std::vector<double> served_wu_;  // last tick, per minute
+  std::vector<double> inst_load_;  // demand / host capacity, clamped
+  std::vector<uint8_t> tracked_;
+
+  // Last-tick per-server loads; layout = sorted server names.
+  std::vector<std::string> server_names_;
+  std::vector<double> server_cpu_;
+  std::vector<double> server_mem_;
+
+  // Shared service queues (wu), per spec slot; persists across ticks.
+  std::vector<double> queue_wu_;
+
+  Scratch scratch_;
+  uint64_t plane_epoch_ = 0;  // cluster epoch the arrays match
+  bool plane_dirty_ = true;   // engine-side registrations changed
+
   double overload_threshold_ = 0.8;
   double lost_work_wu_ = 0.0;
   double overload_minutes_ = 0.0;

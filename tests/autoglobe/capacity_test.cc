@@ -121,6 +121,25 @@ TEST(CapacityTest, SweepScalesCoverStartToMaxInclusive) {
   EXPECT_NEAR(scales.back(), 1.2, 1e-9);
 }
 
+TEST(CapacityTest, SweepScalesDoNotDriftOverLongSweeps) {
+  // Regression: the old `scale += step` accumulation drifted after
+  // ~100 additions of an inexact step, occasionally dropping (or
+  // duplicating) the final scale. The multiply form keeps every scale
+  // exact-as-computed from the index.
+  CapacityOptions options;
+  options.start_scale = 1.0;
+  options.step = 0.01;
+  options.max_scale = 2.0;
+  std::vector<double> scales = SweepScales(options);
+  ASSERT_EQ(scales.size(), 101u);
+  EXPECT_DOUBLE_EQ(scales.front(), 1.0);
+  EXPECT_DOUBLE_EQ(scales.back(), 2.0);
+  for (size_t i = 0; i < scales.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scales[i], 1.0 + static_cast<double>(i) * 0.01)
+        << "index " << i;
+  }
+}
+
 TEST(CapacityTest, StepSeedIsAPureFunctionOfIndex) {
   CapacityOptions options;
   options.seed = 42;

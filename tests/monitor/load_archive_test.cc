@@ -42,6 +42,28 @@ TEST(LoadArchiveTest, AverageOverWindow) {
   EXPECT_FALSE(archive.Average("ghost", Duration::Minutes(5), Min(5)).ok());
 }
 
+TEST(LoadArchiveTest, HandleBypassesKeyLookup) {
+  LoadArchive archive;
+  LoadArchive::Handle handle = archive.Acquire("server/x");
+  ASSERT_TRUE(handle);
+  // Acquire is idempotent: the same key resolves to the same series.
+  ASSERT_TRUE(archive.Append(handle, Min(1), 0.4).ok());
+  ASSERT_TRUE(archive.Append(archive.Acquire("server/x"), Min(2), 0.6).ok());
+  EXPECT_DOUBLE_EQ(*archive.Latest(handle), 0.6);
+  EXPECT_DOUBLE_EQ(*archive.Latest("server/x"), 0.6);
+  EXPECT_NEAR(*archive.Average(handle, Duration::Minutes(10), Min(2)), 0.5,
+              1e-12);
+  // Handle and name lookups agree bit-for-bit.
+  EXPECT_EQ(*archive.Average(handle, Duration::Minutes(10), Min(2)),
+            *archive.Average("server/x", Duration::Minutes(10), Min(2)));
+  // Error paths keep reporting the series key.
+  LoadArchive::Handle empty = archive.Acquire("server/empty");
+  auto missing = archive.Latest(empty);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("server/empty"),
+            std::string::npos);
+}
+
 TEST(LoadArchiveTest, RawBetweenIsHalfOpen) {
   LoadArchive archive;
   for (int m = 1; m <= 5; ++m) {

@@ -49,6 +49,25 @@ TEST_F(MonitoringTest, RegistrationValidation) {
   EXPECT_FALSE(lms_->Observe(Min(0), "unregistered", 0.5).ok());
 }
 
+TEST_F(MonitoringTest, SubjectIdObserveMatchesNameObserve) {
+  auto id = lms_->SubjectIdOf("Blade1");
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(lms_->SubjectIdOf("ghost").ok());
+  EXPECT_FALSE(lms_->ObserveById(Min(0), SubjectId{99}, 0.5).ok());
+  EXPECT_FALSE(lms_->ObserveById(Min(0), SubjectId{-1}, 0.5).ok());
+  // The id-keyed hot path drives the same state machine: a sustained
+  // overload fed purely through ObserveById confirms a trigger with
+  // the subject's *name*.
+  for (int m = 0; m <= 11; ++m) {
+    ASSERT_TRUE(lms_->ObserveById(Min(m), *id, 0.9).ok());
+  }
+  ASSERT_EQ(triggers_.size(), 1u);
+  EXPECT_EQ(triggers_[0].kind, TriggerKind::kServerOverloaded);
+  EXPECT_EQ(triggers_[0].subject, "Blade1");
+  // Samples land in the archive under the usual key.
+  EXPECT_DOUBLE_EQ(*archive_.Latest("server/Blade1"), 0.9);
+}
+
 TEST_F(MonitoringTest, SteadyNormalLoadNeverTriggers) {
   FeedConstant(0, 120, 0.5);
   EXPECT_TRUE(triggers_.empty());

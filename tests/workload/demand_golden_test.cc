@@ -1,0 +1,101 @@
+// Bit-for-bit parity test for the dense-id demand-engine data plane:
+// replays a short paper-landscape run (both user-distribution modes,
+// with an instance started, promoted, and removed mid-run) and checks
+// every per-tick ServerCpuLoad / ServiceLoad / ServiceSatisfaction
+// value against traces captured from the string-keyed reference
+// implementation. Any change to iteration order, accumulation order,
+// or RNG draw order in the engine shows up here as a flipped bit.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autoglobe/landscape.h"
+#include "common/rng.h"
+#include "infra/cluster.h"
+#include "workload/demand.h"
+
+namespace autoglobe {
+namespace {
+
+#include "demand_golden_data.inc"
+
+constexpr int kTicks = 48;
+constexpr size_t kServers = 19;
+constexpr size_t kServices = 12;
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+void RunAgainstGolden(workload::UserDistribution mode,
+                      const uint64_t (&golden)[kTicks][43]) {
+  infra::Cluster cluster;
+  workload::DemandEngine engine(&cluster, Rng(1234));
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  ASSERT_TRUE(landscape.Build(&cluster, &engine).ok());
+  engine.set_user_scale(1.1);
+  engine.set_distribution(mode);
+
+  std::vector<std::string> servers;
+  for (const infra::ServerSpec* s : cluster.Servers())
+    servers.push_back(s->name);
+  std::vector<std::string> services;
+  for (const infra::ServiceSpec* s : cluster.Services())
+    services.push_back(s->name);
+  ASSERT_EQ(servers.size(), kServers);
+  ASSERT_EQ(services.size(), kServices);
+
+  infra::InstanceId extra = 0;
+  for (int minute = 1; minute <= kTicks; ++minute) {
+    // Mid-run topology changes exercise the data-plane resync: a CRM
+    // instance starts (kStarting) at minute 12, is promoted to
+    // kRunning at minute 20, and removed at minute 36.
+    if (minute == 12) {
+      auto id = cluster.PlaceInstance(
+          "CRM", "Blade9", SimTime::Start() + Duration::Minutes(12),
+          infra::InstanceState::kStarting);
+      ASSERT_TRUE(id.ok());
+      extra = *id;
+    } else if (minute == 20) {
+      ASSERT_TRUE(
+          cluster.SetInstanceState(extra, infra::InstanceState::kRunning)
+              .ok());
+    } else if (minute == 36) {
+      ASSERT_TRUE(
+          cluster.RemoveInstance(extra, /*enforce_min=*/false).ok());
+    }
+    engine.Tick(SimTime::Start() + Duration::Minutes(minute));
+
+    const uint64_t* row = golden[minute - 1];
+    for (size_t s = 0; s < servers.size(); ++s) {
+      EXPECT_EQ(Bits(engine.ServerCpuLoad(servers[s])), row[s])
+          << "minute " << minute << " server " << servers[s];
+    }
+    const uint64_t* svc_row = row + kServers;
+    for (size_t s = 0; s < services.size(); ++s) {
+      EXPECT_EQ(Bits(engine.ServiceLoad(services[s])), svc_row[2 * s])
+          << "minute " << minute << " service load " << services[s];
+      EXPECT_EQ(Bits(engine.ServiceSatisfaction(services[s])),
+                svc_row[2 * s + 1])
+          << "minute " << minute << " satisfaction " << services[s];
+    }
+  }
+}
+
+TEST(DemandGoldenTest, StickySessionsTraceIsBitIdentical) {
+  RunAgainstGolden(workload::UserDistribution::kStickySessions,
+                   kGoldenSticky);
+}
+
+TEST(DemandGoldenTest, DynamicRedistributionTraceIsBitIdentical) {
+  RunAgainstGolden(workload::UserDistribution::kDynamicRedistribution,
+                   kGoldenDynamic);
+}
+
+}  // namespace
+}  // namespace autoglobe
