@@ -79,6 +79,12 @@ Status SimulationRunner::Init(const Landscape& landscape) {
   failures_injected_counter_ = registry_.AddCounter("failures_injected");
   failures_remedied_counter_ = registry_.AddCounter("failures_remedied");
   sla_violations_counter_ = registry_.AddCounter("sla_violations_entered");
+  executor_actions_failed_counter_ =
+      registry_.AddCounter("executor_actions_failed_total");
+  executor_retries_counter_ = registry_.AddCounter("executor_retries_total");
+  recoveries_counter_ = registry_.AddCounter("recoveries_total");
+  recovery_abandoned_counter_ =
+      registry_.AddCounter("recovery_abandoned_total");
   server_cpu_load_ = registry_.AddHistogram(
       "server_cpu_load",
       {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
@@ -154,6 +160,9 @@ Status SimulationRunner::Init(const Landscape& landscape) {
                                                       &simulator_,
                                                       config_.executor);
   executor_->set_trace_buffer(trace_.get());
+  executor_->set_audit_log(audit_.get());
+  executor_->set_metrics(executor_actions_failed_counter_,
+                         executor_retries_counter_);
   executor_->AddListener([this](const infra::ActionRecord& record) {
     if (record.status.ok()) {
       ++metrics_.actions_executed;
@@ -209,6 +218,54 @@ Status SimulationRunner::Init(const Landscape& landscape) {
       AG_RETURN_IF_ERROR(reservations_.Add(reservation).status());
     }
     controller_->set_reservations(&reservations_);
+  }
+
+  if (config_.fault_plan.has_value()) {
+    // Fault subsystem: injector (breaks things), heartbeat detection
+    // (notices), recovery manager (heals), availability tracker
+    // (keeps score). All of it event-driven, so fault runs stay
+    // bit-identical at any parallelism.
+    availability_ =
+        std::make_unique<faults::AvailabilityTracker>(config_.availability);
+    fault_injector_ = std::make_unique<faults::FaultInjector>(
+        &cluster_, &simulator_, config_.seed);
+    fault_injector_->set_trace_buffer(trace_.get());
+    fault_injector_->set_availability_tracker(availability_.get());
+    AG_RETURN_IF_ERROR(fault_injector_->Arm(*config_.fault_plan));
+    executor_->set_failure_injector([this](const infra::Action& action) {
+      return fault_injector_->CheckAction(action);
+    });
+
+    recovery_ = std::make_unique<faults::RecoveryManager>(
+        &cluster_, &simulator_, executor_.get(), controller_.get(),
+        config_.recovery);
+    recovery_->set_trace_buffer(trace_.get());
+    recovery_->set_audit_log(audit_.get());
+    recovery_->set_availability_tracker(availability_.get());
+    recovery_->set_metrics(recoveries_counter_,
+                           recovery_abandoned_counter_);
+    recovery_->set_alert_callback(
+        [this](SimTime at, const std::string& reason) {
+          ++metrics_.alerts;
+          alerts_counter_.Increment();
+          messages_.push_back(StrFormat("%s  ALERT recovery: %s",
+                                        at.ToString().c_str(),
+                                        reason.c_str()));
+        });
+    controller_->set_host_filter([this](const std::string& server) {
+      return recovery_->FilterHost(server);
+    });
+
+    // Heartbeat watches: servers first (stable registration order =
+    // sorted names), then the initial instances via the same
+    // reconciliation that keeps watches epoch-synced during the run.
+    for (const std::string& server : server_names_) {
+      server_hb_keys_.push_back("s/" + server);
+      AG_RETURN_IF_ERROR(monitoring_->WatchHeartbeat(
+          TriggerKind::kServerFailed, server_hb_keys_.back(), server,
+          SimTime::Start()));
+    }
+    ReconcileInstanceWatches(SimTime::Start());
   }
 
   AG_RETURN_IF_ERROR(
@@ -291,6 +348,10 @@ void SimulationRunner::OnTick() {
         DetectionLoad(service_keys_[position], service_load)));
   }
 
+  // Heartbeats + failure detection (fault subsystem only). Fed after
+  // the load observes so detections fire on a fully updated picture.
+  if (fault_injector_ != nullptr) FeedHeartbeats(now);
+
   // SLA monitoring and enforcement (QoS extension, §7).
   for (const SlaSpec& sla : config_.slas) {
     auto entered = slas_.Observe(
@@ -343,6 +404,24 @@ std::optional<double> SimulationRunner::DetectionLoad(
 void SimulationRunner::OnTrigger(const Trigger& trigger) {
   ++metrics_.triggers;
   triggers_counter_.Increment();
+  if (trigger.kind == TriggerKind::kInstanceFailed ||
+      trigger.kind == TriggerKind::kServerFailed) {
+    // Failure triggers bypass the fuzzy action selection: recovery is
+    // procedural (restart, relocate, evacuate), not a policy
+    // trade-off. The self-healing path works even with the load
+    // controller disabled — availability is not negotiable.
+    if (recovery_ == nullptr) return;
+    messages_.push_back(StrFormat(
+        "%s  DETECT %s(%s)", trigger.at.ToString().c_str(),
+        std::string(monitor::TriggerKindName(trigger.kind)).c_str(),
+        trigger.subject.c_str()));
+    if (trigger.kind == TriggerKind::kInstanceFailed) {
+      recovery_->OnInstanceFailed(trigger.instance, trigger.at);
+    } else {
+      recovery_->OnServerFailed(trigger.subject, trigger.at);
+    }
+    return;
+  }
   if (!config_.controller_enabled) return;
   auto outcome = controller_->HandleTrigger(trigger);
   if (!outcome.ok()) {
@@ -407,6 +486,74 @@ void SimulationRunner::InjectFailures() {
       }
     }
   }
+}
+
+void SimulationRunner::ReconcileInstanceWatches(SimTime now) {
+  if (watched_epoch_ == cluster_.topology_epoch()) return;
+  watched_epoch_ = cluster_.topology_epoch();
+  // Current instance set, in deterministic (sorted service, ascending
+  // id) order.
+  std::map<infra::InstanceId, const infra::ServiceInstance*> current;
+  for (const std::string& service : service_names_) {
+    for (const infra::ServiceInstance* instance :
+         cluster_.InstancesOf(service)) {
+      current[instance->id] = instance;
+    }
+  }
+  // Drop watches whose instance is gone (removed / relocated away) —
+  // the monitor must never raise a trigger for a dead subject.
+  for (auto it = watched_instances_.begin();
+       it != watched_instances_.end();) {
+    if (current.find(it->first) == current.end()) {
+      AG_CHECK_OK(monitoring_->UnwatchHeartbeat(it->second));
+      it = watched_instances_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Watch newly placed instances.
+  for (const auto& [id, instance] : current) {
+    if (watched_instances_.find(id) != watched_instances_.end()) continue;
+    std::string key =
+        StrFormat("i/%llu", static_cast<unsigned long long>(id));
+    AG_CHECK_OK(monitoring_->WatchHeartbeat(TriggerKind::kInstanceFailed,
+                                            key, instance->service, now,
+                                            id));
+    watched_instances_[id] = std::move(key);
+  }
+}
+
+void SimulationRunner::FeedHeartbeats(SimTime now) {
+  ReconcileInstanceWatches(now);
+  // Server heartbeats: a down server is silent; a server in a
+  // monitor-dropout window is healthy but silent (the false-positive
+  // path detection must survive).
+  for (size_t position = 0; position < server_names_.size(); ++position) {
+    const std::string& server = server_names_[position];
+    if (cluster_.IsServerUp(server) &&
+        fault_injector_->IsReporting(server, now)) {
+      AG_CHECK_OK(
+          monitoring_->RecordHeartbeat(server_hb_keys_[position], now));
+    }
+  }
+  // Instance heartbeats: an instance reports while its process lives
+  // (starting or running) and its host's monitoring path is up.
+  for (const auto& [id, key] : watched_instances_) {
+    auto instance = cluster_.FindInstance(id);
+    if (!instance.ok()) continue;  // removed this very tick
+    if ((*instance)->state == infra::InstanceState::kFailed) continue;
+    const std::string& server = (*instance)->server;
+    if (cluster_.IsServerUp(server) &&
+        fault_injector_->IsReporting(server, now)) {
+      AG_CHECK_OK(monitoring_->RecordHeartbeat(key, now));
+    }
+  }
+  monitoring_->CheckHeartbeats(now);
+}
+
+faults::AvailabilityReport SimulationRunner::availability_report() const {
+  if (availability_ == nullptr) return faults::AvailabilityReport{};
+  return availability_->Report(simulator_.now());
 }
 
 Status SimulationRunner::Run() {

@@ -2,6 +2,7 @@
 #define AUTOGLOBE_AUTOGLOBE_RUNNER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -13,6 +14,10 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "controller/controller.h"
+#include "faults/availability.h"
+#include "faults/injector.h"
+#include "faults/plan.h"
+#include "faults/recovery.h"
 #include "forecast/forecaster.h"
 #include "infra/cluster.h"
 #include "infra/executor.h"
@@ -64,8 +69,20 @@ struct RunnerConfig {
   Duration overload_smoothing = Duration::Minutes(15);
 
   /// Mean instance crashes per instance-hour (failure injection; 0
-  /// disables).
+  /// disables). This is the legacy Bernoulli-per-tick model with
+  /// immediate remediation; the richer crash model below supersedes
+  /// it for availability studies but both may run together.
   double instance_failures_per_hour = 0.0;
+
+  /// Fault-injection & self-healing (the availability scenario). With
+  /// a plan set, the FaultInjector arms it at Init, heartbeat-based
+  /// failure detection is enabled in the monitor, and the
+  /// RecoveryManager heals detected failures (restart with backoff,
+  /// relocation, evacuation). Unset = all of it off, and the run is
+  /// byte-identical to a build without the fault subsystem.
+  std::optional<faults::FaultPlan> fault_plan;
+  faults::RecoveryConfig recovery;
+  faults::AvailabilityConfig availability;
 
   /// Quality metrics collected before this offset are discarded — the
   /// paper attributes the "remaining short overload peaks at the
@@ -167,6 +184,16 @@ class SimulationRunner {
   obs::AuditLog* audit_log() { return audit_.get(); }
   const obs::AuditLog* audit_log() const { return audit_.get(); }
 
+  /// Fault subsystem handles, or nullptr when no fault plan is set.
+  faults::FaultInjector* fault_injector() { return fault_injector_.get(); }
+  faults::RecoveryManager* recovery_manager() { return recovery_.get(); }
+  const faults::AvailabilityTracker* availability_tracker() const {
+    return availability_.get();
+  }
+  /// Availability scorecard as of the current simulated time (empty
+  /// report when the fault subsystem is off).
+  faults::AvailabilityReport availability_report() const;
+
  private:
   explicit SimulationRunner(RunnerConfig config);
 
@@ -177,6 +204,13 @@ class SimulationRunner {
                                       double live) const;
   void OnTrigger(const monitor::Trigger& trigger);
   void InjectFailures();
+  /// Heartbeat-watch reconciliation against the topology epoch: new
+  /// instances get a watch, removed instances are unwatched, so the
+  /// monitor never holds a live reference to a dead subject.
+  void ReconcileInstanceWatches(SimTime now);
+  /// Records this tick's heartbeats (honoring server health and
+  /// monitor-dropout windows) and runs failure detection.
+  void FeedHeartbeats(SimTime now);
 
   /// LoadView implementation: watch-time means from the archive (or
   /// forecasts when configured), live instance loads from the engine.
@@ -193,6 +227,16 @@ class SimulationRunner {
   std::unique_ptr<forecast::LoadForecaster> forecaster_;
   std::unique_ptr<controller::Controller> controller_;
   Rng failure_rng_;
+  /// Fault subsystem (all nullptr when config_.fault_plan is unset).
+  std::unique_ptr<faults::AvailabilityTracker> availability_;
+  std::unique_ptr<faults::FaultInjector> fault_injector_;
+  std::unique_ptr<faults::RecoveryManager> recovery_;
+  /// Instance heartbeat watches currently held (id -> monitor key),
+  /// valid for topology epoch watched_epoch_.
+  std::map<infra::InstanceId, std::string> watched_instances_;
+  uint64_t watched_epoch_ = 0;
+  /// Server heartbeat keys ("s/<name>"), parallel to server_names_.
+  std::vector<std::string> server_hb_keys_;
   controller::ReservationBook reservations_;
   SlaTracker slas_;
   SampleHook sample_hook_;
@@ -212,6 +256,10 @@ class SimulationRunner {
   obs::Counter failures_injected_counter_;
   obs::Counter failures_remedied_counter_;
   obs::Counter sla_violations_counter_;
+  obs::Counter executor_actions_failed_counter_;
+  obs::Counter executor_retries_counter_;
+  obs::Counter recoveries_counter_;
+  obs::Counter recovery_abandoned_counter_;
   obs::Histogram server_cpu_load_;
 
   /// Per-server hot-path state for the smoothed overload verdict:

@@ -24,6 +24,10 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kIoError,
+  /// A transient failure: the operation may succeed if retried (used
+  /// by the fault-injection subsystem for injected action failures
+  /// and unreachable hosts).
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code
@@ -75,6 +79,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -453,6 +453,21 @@ Result<std::vector<ScoredServer>> Controller::RankServers(
   return RankServersImpl(action, now, nullptr);
 }
 
+Result<std::vector<ScoredServer>> Controller::RankServers(
+    const Action& action, SimTime now,
+    obs::HostSelectionAudit* audit) const {
+  if (audit != nullptr) audit->action = action.ToString();
+  Result<std::vector<ScoredServer>> ranked =
+      RankServersImpl(action, now, audit);
+  if (ranked.ok() && audit != nullptr) {
+    audit->ranked.reserve(ranked->size());
+    for (const ScoredServer& host : *ranked) {
+      audit->ranked.push_back(obs::NamedValue{host.server, host.score});
+    }
+  }
+  return ranked;
+}
+
 Result<std::vector<ScoredServer>> Controller::RankServersImpl(
     const Action& action, SimTime now,
     obs::HostSelectionAudit* audit) const {
@@ -496,6 +511,13 @@ Result<std::vector<ScoredServer>> Controller::RankServersImpl(
     if (cluster_->IsServerProtected(server->name, now)) {
       reject(server->name, "server is in protection mode");
       continue;
+    }
+    if (host_filter_) {
+      Status allowed = host_filter_(server->name);
+      if (!allowed.ok()) {
+        reject(server->name, allowed.message());
+        continue;
+      }
     }
     infra::InstanceId exclude =
         infra::ActionNeedsInstance(action.type) ? action.instance : 0;

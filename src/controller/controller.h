@@ -128,6 +128,21 @@ class Controller {
   /// protected servers).
   Result<std::vector<ScoredServer>> RankServers(
       const infra::Action& action, SimTime now) const;
+  /// Audited overload: fills `audit` with evaluations, rejections and
+  /// the final ranking — lets recovery relocations leave the same
+  /// trail as policy decisions.
+  Result<std::vector<ScoredServer>> RankServers(
+      const infra::Action& action, SimTime now,
+      obs::HostSelectionAudit* audit) const;
+
+  /// Extra veto over candidate hosts during server selection: return
+  /// non-OK (the message becomes the audit rejection reason) to
+  /// exclude a server. The recovery manager installs its blacklist of
+  /// hosts with repeated placement failures here.
+  using HostFilter = std::function<Status(const std::string& server)>;
+  void set_host_filter(HostFilter filter) {
+    host_filter_ = std::move(filter);
+  }
 
   /// Installs a reservation book (§7 future work): during server
   /// selection, reserved CPU inflates a host's load picture and
@@ -257,6 +272,7 @@ class Controller {
   std::map<infra::ActionType, CompiledBase> compiled_server_bases_;
   ApprovalCallback approval_;
   AlertCallback alert_;
+  HostFilter host_filter_;
   obs::AuditLog* audit_ = nullptr;
   const ReservationBook* reservations_ = nullptr;
   Duration reservation_lookahead_ = Duration::Hours(1);

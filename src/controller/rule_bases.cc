@@ -216,6 +216,17 @@ Result<fuzzy::RuleBase> MakeDefaultActionRuleBase(
           "IF cpuLoad IS low AND instanceLoad IS medium "
           "   THEN move IS applicable WITH 0.25\n";
       break;
+    case monitor::TriggerKind::kInstanceFailed:
+    case monitor::TriggerKind::kServerFailed:
+      // Failure triggers bypass fuzzy action selection entirely: the
+      // remedy (restart, relocate, evacuate) is procedural, not a
+      // policy trade-off (Figure 6 covers load situations only).
+      break;
+  }
+  if (rules == nullptr) {
+    return Status::InvalidArgument(
+        "trigger kind " + std::string(monitor::TriggerKindName(kind)) +
+        " has no action rule base");
   }
   AG_RETURN_IF_ERROR(rb.AddRulesFromText(rules));
   return rb;

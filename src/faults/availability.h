@@ -1,0 +1,104 @@
+#ifndef AUTOGLOBE_FAULTS_AVAILABILITY_H_
+#define AUTOGLOBE_FAULTS_AVAILABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "faults/plan.h"
+
+namespace autoglobe::faults {
+
+/// Knobs of the availability accounting.
+struct AvailabilityConfig {
+  /// Recovery-time objective: an episode closed within this span of
+  /// its injection counts as objective-satisfied (the availability
+  /// analogue of the paper's QoS goals, §7).
+  Duration recovery_objective = Duration::Minutes(15);
+};
+
+/// The availability scorecard of one fault-injected run.
+struct AvailabilityReport {
+  // Injection counts by class.
+  int64_t faults_injected = 0;
+  int64_t instance_crashes = 0;
+  int64_t server_failures = 0;
+  int64_t action_failure_windows = 0;
+  int64_t monitor_dropouts = 0;
+
+  // Episode accounting (one episode per instance that went down).
+  int64_t episodes = 0;
+  int64_t detected = 0;
+  int64_t recovered = 0;
+  int64_t abandoned = 0;  // recovery gave up (alerted administrator)
+  int64_t open = 0;       // still down at the end of the run
+
+  /// Mean time from injection to heartbeat detection, minutes.
+  double mttd_minutes_mean = 0.0;
+  /// Mean / max time from injection to serving again, minutes
+  /// (recovered episodes only).
+  double mttr_minutes_mean = 0.0;
+  double mttr_minutes_max = 0.0;
+  /// Instance-minutes of lost capacity: for every episode, injection
+  /// until recovery (or the end of the run).
+  double unavailability_instance_minutes = 0.0;
+  /// Fraction of episodes recovered within the recovery objective.
+  double objective_satisfaction = 1.0;
+};
+
+/// Renders the report as a human-readable block for stdout / logs.
+std::string RenderAvailabilityReport(const AvailabilityReport& report);
+
+/// Collects fault + recovery milestones during a run and folds them
+/// into an AvailabilityReport. Episodes are keyed by a token — the id
+/// of the originally failed instance — carried through the whole
+/// recovery chain, so MTTR measures injection-to-service, not just
+/// the final restart step.
+class AvailabilityTracker {
+ public:
+  explicit AvailabilityTracker(AvailabilityConfig config = {});
+
+  void OnFaultInjected(FaultKind kind, SimTime at);
+  /// Opens an episode: instance `token` of `service` stopped serving.
+  void OnInstanceDown(uint64_t token, std::string service, SimTime at);
+  /// The monitor confirmed the failure (first detection only).
+  void OnFailureDetected(uint64_t token, SimTime at);
+  /// The episode's instance (restarted or replaced) serves again.
+  void OnRecovered(uint64_t token, SimTime at);
+  /// Recovery gave up on this episode (administrator alerted).
+  void OnAbandoned(uint64_t token, SimTime at);
+
+  /// True while an episode for `token` is open.
+  bool IsOpen(uint64_t token) const;
+
+  AvailabilityReport Report(SimTime end) const;
+
+  const AvailabilityConfig& config() const { return config_; }
+
+ private:
+  struct Episode {
+    std::string service;
+    SimTime down_at;
+    SimTime detected_at;
+    SimTime closed_at;
+    bool detected = false;
+    bool recovered = false;
+    bool abandoned = false;
+  };
+
+  AvailabilityConfig config_;
+  /// Open episodes keyed by token; std::map for deterministic report
+  /// iteration. Closing moves an episode to `closed_`, so a token that
+  /// fails again later opens a fresh episode instead of overwriting
+  /// the finished one.
+  std::map<uint64_t, Episode> open_;
+  /// Closed episodes in closing order (deterministic per run).
+  std::vector<Episode> closed_;
+  int64_t injected_by_kind_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace autoglobe::faults
+
+#endif  // AUTOGLOBE_FAULTS_AVAILABILITY_H_

@@ -1,0 +1,95 @@
+#ifndef AUTOGLOBE_FAULTS_INJECTOR_H_
+#define AUTOGLOBE_FAULTS_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "faults/availability.h"
+#include "faults/plan.h"
+#include "infra/action.h"
+#include "infra/cluster.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace autoglobe::faults {
+
+/// Counts of faults that actually took effect (an instance-crash
+/// event whose service has no running instance fizzles and is counted
+/// separately).
+struct InjectorStats {
+  int64_t instances_crashed = 0;
+  int64_t servers_failed = 0;
+  int64_t servers_repaired = 0;
+  int64_t action_windows_opened = 0;
+  int64_t dropouts_opened = 0;
+  int64_t fizzled = 0;
+};
+
+/// Turns a FaultPlan into simulator events and executes them against
+/// the cluster. Everything it does is driven by the (single-threaded,
+/// deterministic) event kernel and its own forked RNG stream, so a
+/// given plan + seed produces bit-identical failures at any
+/// parallelism.
+///
+/// The injector breaks things; detection (monitor heartbeats) and
+/// repair (RecoveryManager) are deliberately separate — exactly like
+/// the controlled system, the controller only ever sees symptoms.
+class FaultInjector {
+ public:
+  /// `seed` feeds victim selection for instance crashes (which running
+  /// instance of the subject service dies).
+  FaultInjector(infra::Cluster* cluster, sim::Simulator* simulator,
+                uint64_t seed);
+
+  /// Schedules every fault of `plan` as simulator events. Call once,
+  /// before the run starts. Validates the plan.
+  Status Arm(const FaultPlan& plan);
+
+  /// Executor failure hook: rejects every administrative action with
+  /// Unavailable while an action-failure window is open. Install via
+  /// executor->set_failure_injector (composing with any existing
+  /// injector is the caller's business).
+  Status CheckAction(const infra::Action& action) const;
+
+  /// False while `server` sits in a monitor-dropout window (or is
+  /// down): its heartbeats — and those of its instances — must not be
+  /// recorded.
+  bool IsReporting(std::string_view server, SimTime now) const;
+
+  void set_trace_buffer(obs::TraceBuffer* trace) { trace_ = trace; }
+  void set_availability_tracker(AvailabilityTracker* tracker) {
+    tracker_ = tracker;
+  }
+
+  const InjectorStats& stats() const { return stats_; }
+
+ private:
+  void Execute(const FaultEvent& event);
+  void CrashInstance(const FaultEvent& event);
+  void FailServer(const FaultEvent& event);
+  void RepairServer(const std::string& server);
+  void Trace(std::string_view name, std::string detail,
+             int64_t value = 0);
+
+  infra::Cluster* cluster_;
+  sim::Simulator* simulator_;
+  Rng victim_rng_;
+  InjectorStats stats_;
+
+  /// End of the currently open action-failure window (overlapping
+  /// windows merge to the farthest end).
+  SimTime action_fail_until_;
+  /// Per-server end of the monitor-dropout window.
+  std::map<std::string, SimTime, std::less<>> dropout_until_;
+
+  obs::TraceBuffer* trace_ = nullptr;
+  AvailabilityTracker* tracker_ = nullptr;
+};
+
+}  // namespace autoglobe::faults
+
+#endif  // AUTOGLOBE_FAULTS_INJECTOR_H_

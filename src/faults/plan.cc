@@ -1,0 +1,232 @@
+#include "faults/plan.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace autoglobe::faults {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kInstanceCrash:
+      return "instanceCrash";
+    case FaultKind::kServerFailure:
+      return "serverFailure";
+    case FaultKind::kActionFailure:
+      return "actionFailure";
+    case FaultKind::kMonitorDropout:
+      return "monitorDropout";
+  }
+  return "?";
+}
+
+Result<FaultKind> ParseFaultKind(std::string_view name) {
+  for (FaultKind kind :
+       {FaultKind::kInstanceCrash, FaultKind::kServerFailure,
+        FaultKind::kActionFailure, FaultKind::kMonitorDropout}) {
+    if (name == FaultKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument(StrFormat("unknown fault kind \"%.*s\"",
+                                           static_cast<int>(name.size()),
+                                           name.data()));
+}
+
+Status FaultPlan::Validate() const {
+  SimTime previous = SimTime::Start();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.at < SimTime::Start()) {
+      return Status::InvalidArgument(
+          StrFormat("fault %zu: negative time", i));
+    }
+    if (i > 0 && event.at < previous) {
+      return Status::InvalidArgument(StrFormat(
+          "fault %zu at %s precedes its predecessor (call SortByTime)",
+          i, event.at.ToString().c_str()));
+    }
+    previous = event.at;
+    if (event.duration < Duration::Zero()) {
+      return Status::InvalidArgument(
+          StrFormat("fault %zu: negative duration", i));
+    }
+    switch (event.kind) {
+      case FaultKind::kServerFailure:
+      case FaultKind::kMonitorDropout:
+        if (event.subject.empty()) {
+          return Status::InvalidArgument(StrFormat(
+              "fault %zu (%s): subject server required", i,
+              std::string(FaultKindName(event.kind)).c_str()));
+        }
+        break;
+      case FaultKind::kActionFailure:
+        if (event.duration <= Duration::Zero()) {
+          return Status::InvalidArgument(StrFormat(
+              "fault %zu (actionFailure): positive duration required",
+              i));
+        }
+        break;
+      case FaultKind::kInstanceCrash:
+        break;  // subject (service) is optional: empty = any instance
+    }
+    if (event.kind == FaultKind::kMonitorDropout &&
+        event.duration <= Duration::Zero()) {
+      return Status::InvalidArgument(StrFormat(
+          "fault %zu (monitorDropout): positive duration required", i));
+    }
+  }
+  return Status::OK();
+}
+
+void FaultPlan::SortByTime() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+Result<FaultPlan> FaultPlan::FromXml(const xml::Element& root) {
+  if (root.name() != "faultPlan") {
+    return Status::InvalidArgument(StrFormat(
+        "expected <faultPlan>, got <%s>", root.name().c_str()));
+  }
+  FaultPlan plan;
+  for (const xml::Element* child : root.FindChildren("fault")) {
+    FaultEvent event;
+    AG_ASSIGN_OR_RETURN(long long at, child->IntAttribute("atSeconds"));
+    event.at = SimTime::FromSeconds(at);
+    AG_ASSIGN_OR_RETURN(std::string kind_name,
+                        child->StringAttribute("kind"));
+    AG_ASSIGN_OR_RETURN(event.kind, ParseFaultKind(kind_name));
+    event.subject = std::string(child->AttributeOr("subject", ""));
+    AG_ASSIGN_OR_RETURN(long long duration,
+                        child->IntAttributeOr("durationSeconds", 0));
+    event.duration = Duration::Seconds(duration);
+    plan.events.push_back(std::move(event));
+  }
+  plan.SortByTime();
+  AG_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view text) {
+  AG_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(text));
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("empty fault plan document");
+  }
+  return FromXml(*doc.root());
+}
+
+Result<FaultPlan> FaultPlan::LoadFile(const std::string& path) {
+  AG_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::LoadFile(path));
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("\"%s\": empty fault plan document", path.c_str()));
+  }
+  return FromXml(*doc.root());
+}
+
+std::string FaultPlan::ToXml() const {
+  xml::Document doc;
+  xml::Element* root = doc.SetRoot("faultPlan");
+  for (const FaultEvent& event : events) {
+    xml::Element* child = root->AddChild("fault");
+    child->SetAttribute("atSeconds",
+                        StrFormat("%lld", static_cast<long long>(
+                                              event.at.seconds())));
+    child->SetAttribute("kind", std::string(FaultKindName(event.kind)));
+    if (!event.subject.empty()) {
+      child->SetAttribute("subject", event.subject);
+    }
+    if (event.duration > Duration::Zero()) {
+      child->SetAttribute(
+          "durationSeconds",
+          StrFormat("%lld",
+                    static_cast<long long>(event.duration.seconds())));
+    }
+  }
+  return doc.ToString();
+}
+
+namespace {
+
+/// Draws Poisson-process arrival times over [0, horizon) and appends
+/// one event per arrival. `rate_per_hour` uses simulated hours.
+template <typename MakeEvent>
+void DrawArrivals(double rate_per_hour, Duration horizon, Rng* rng,
+                  MakeEvent make_event) {
+  if (rate_per_hour <= 0.0) return;
+  double mean_gap_seconds = 3600.0 / rate_per_hour;
+  double t = rng->Exponential(mean_gap_seconds);
+  while (t < static_cast<double>(horizon.seconds())) {
+    make_event(SimTime::FromSeconds(static_cast<int64_t>(t)));
+    t += rng->Exponential(mean_gap_seconds);
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Generate(const RandomFaultSpec& spec,
+                              Duration horizon, uint64_t seed,
+                              const std::vector<std::string>& servers,
+                              const std::vector<std::string>& services) {
+  FaultPlan plan;
+  // One independent stream per fault class, forked in a fixed order,
+  // so changing one rate never perturbs the other classes' schedules.
+  Rng root(seed ^ 0xfa017ab1e5eed000ULL);
+  Rng crash_rng = root.Fork();
+  Rng server_rng = root.Fork();
+  Rng action_rng = root.Fork();
+  Rng dropout_rng = root.Fork();
+
+  DrawArrivals(spec.instance_crashes_per_hour, horizon, &crash_rng,
+               [&](SimTime at) {
+                 FaultEvent event;
+                 event.at = at;
+                 event.kind = FaultKind::kInstanceCrash;
+                 if (!services.empty()) {
+                   event.subject = services[static_cast<size_t>(
+                       crash_rng.UniformInt(0,
+                                            static_cast<int64_t>(
+                                                services.size()) -
+                                                1))];
+                 }
+                 plan.events.push_back(std::move(event));
+               });
+  DrawArrivals(spec.server_failures_per_day / 24.0, horizon, &server_rng,
+               [&](SimTime at) {
+                 if (servers.empty()) return;
+                 FaultEvent event;
+                 event.at = at;
+                 event.kind = FaultKind::kServerFailure;
+                 event.subject = servers[static_cast<size_t>(
+                     server_rng.UniformInt(
+                         0, static_cast<int64_t>(servers.size()) - 1))];
+                 event.duration = spec.server_recovery;
+                 plan.events.push_back(std::move(event));
+               });
+  DrawArrivals(spec.action_failure_windows_per_day / 24.0, horizon,
+               &action_rng, [&](SimTime at) {
+                 FaultEvent event;
+                 event.at = at;
+                 event.kind = FaultKind::kActionFailure;
+                 event.duration = spec.action_failure_duration;
+                 plan.events.push_back(std::move(event));
+               });
+  DrawArrivals(spec.monitor_dropouts_per_day / 24.0, horizon,
+               &dropout_rng, [&](SimTime at) {
+                 if (servers.empty()) return;
+                 FaultEvent event;
+                 event.at = at;
+                 event.kind = FaultKind::kMonitorDropout;
+                 event.subject = servers[static_cast<size_t>(
+                     dropout_rng.UniformInt(
+                         0, static_cast<int64_t>(servers.size()) - 1))];
+                 event.duration = spec.monitor_dropout_duration;
+                 plan.events.push_back(std::move(event));
+               });
+  plan.SortByTime();
+  return plan;
+}
+
+}  // namespace autoglobe::faults

@@ -1,0 +1,102 @@
+#ifndef AUTOGLOBE_FAULTS_PLAN_H_
+#define AUTOGLOBE_FAULTS_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "xmlcfg/xml.h"
+
+namespace autoglobe::faults {
+
+/// The crash model of the fault subsystem: what can break in the
+/// controlled landscape. The paper treats failures as one more
+/// exceptional situation the controller remedies autonomically (§2);
+/// this taxonomy makes them injectable and reproducible.
+enum class FaultKind {
+  /// One instance of a service crashes (process dies; memory slot
+  /// stays claimed until recovery removes or restarts it).
+  kInstanceCrash,
+  /// A whole server fails: it accepts no placements and every hosted
+  /// instance crashes with it. Recovers after `duration` when
+  /// non-zero, else stays down for the rest of the run.
+  kServerFailure,
+  /// Administrative actions fail transiently (Unavailable) for
+  /// `duration` — the "action timed out / management network blip"
+  /// model the executor's bounded retry is built for.
+  kActionFailure,
+  /// A healthy server (and its instances) stops reporting heartbeats
+  /// for `duration`: the false-positive path — detection fires and
+  /// recovery must still leave the cluster consistent.
+  kMonitorDropout,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+Result<FaultKind> ParseFaultKind(std::string_view name);
+
+/// One scheduled fault.
+struct FaultEvent {
+  SimTime at;
+  FaultKind kind = FaultKind::kInstanceCrash;
+  /// kInstanceCrash: the service whose instance crashes (empty = any
+  /// instance in the landscape). kServerFailure / kMonitorDropout:
+  /// the server. kActionFailure: unused.
+  std::string subject;
+  /// See FaultKind; zero means "not applicable" / "permanent".
+  Duration duration = Duration::Zero();
+};
+
+/// Rates for Generate(): independent Poisson processes per fault
+/// class over the run horizon.
+struct RandomFaultSpec {
+  /// Instance crashes per hour across the whole landscape.
+  double instance_crashes_per_hour = 0.0;
+  /// Whole-server failures per day across the landscape.
+  double server_failures_per_day = 0.0;
+  /// Downtime of a failed server before it is repaired (zero =
+  /// permanent loss).
+  Duration server_recovery = Duration::Hours(2);
+  /// Transient action-failure windows per day.
+  double action_failure_windows_per_day = 0.0;
+  Duration action_failure_duration = Duration::Minutes(5);
+  /// Monitor dropout windows per day.
+  double monitor_dropouts_per_day = 0.0;
+  Duration monitor_dropout_duration = Duration::Minutes(5);
+};
+
+/// A deterministic, serializable schedule of faults. The plan is data
+/// only — the FaultInjector turns it into simulator events, so a run
+/// with a given plan and seed is bit-identical at any parallelism.
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // ascending by time
+
+  /// Sorted by time (ties keep plan order), kind-specific fields
+  /// present, no negative times or durations.
+  Status Validate() const;
+  /// Stable sort by time, keeping the authored order of simultaneous
+  /// faults.
+  void SortByTime();
+
+  /// XML round-trip:
+  ///   <faultPlan>
+  ///     <fault atSeconds="7200" kind="serverFailure" subject="Blade3"
+  ///            durationSeconds="3600"/>
+  ///   </faultPlan>
+  static Result<FaultPlan> FromXml(const xml::Element& root);
+  static Result<FaultPlan> Parse(std::string_view text);
+  static Result<FaultPlan> LoadFile(const std::string& path);
+  std::string ToXml() const;
+
+  /// Draws a schedule from independent Poisson processes (exponential
+  /// inter-arrival times), choosing subjects uniformly from the given
+  /// name lists. Same spec + seed + names => same plan, always.
+  static FaultPlan Generate(const RandomFaultSpec& spec, Duration horizon,
+                            uint64_t seed,
+                            const std::vector<std::string>& servers,
+                            const std::vector<std::string>& services);
+};
+
+}  // namespace autoglobe::faults
+
+#endif  // AUTOGLOBE_FAULTS_PLAN_H_

@@ -76,11 +76,37 @@ std::vector<const ServiceSpec*> Cluster::Services() const {
   return out;
 }
 
+Status Cluster::SetServerUp(std::string_view server, bool up) {
+  AG_RETURN_IF_ERROR(FindServer(server).status());
+  if (up) {
+    auto it = server_down_.find(server);
+    if (it != server_down_.end()) server_down_.erase(it);
+  } else {
+    server_down_[std::string(server)] = true;
+  }
+  return Status::OK();
+}
+
+bool Cluster::IsServerUp(std::string_view server) const {
+  return server_down_.find(server) == server_down_.end();
+}
+
+std::vector<std::string> Cluster::DownServers() const {
+  std::vector<std::string> out;
+  out.reserve(server_down_.size());
+  for (const auto& [name, down] : server_down_) out.push_back(name);
+  return out;
+}
+
 Status Cluster::CanPlace(std::string_view service, std::string_view server,
                          InstanceId exclude_instance) const {
   AG_ASSIGN_OR_RETURN(const ServiceSpec* service_spec, FindService(service));
   AG_ASSIGN_OR_RETURN(const ServerSpec* server_spec, FindServer(server));
 
+  if (!IsServerUp(server)) {
+    return Status::Unavailable(StrFormat(
+        "server \"%s\" is down", server_spec->name.c_str()));
+  }
   if (server_spec->performance_index <
       service_spec->min_performance_index) {
     return Status::FailedPrecondition(StrFormat(
@@ -329,6 +355,73 @@ std::string Cluster::NextVirtualIp(std::string_view service) {
   (void)service;
   int suffix = next_ip_suffix_++;
   return StrFormat("10.42.%d.%d", suffix / 250, suffix % 250 + 1);
+}
+
+Status VerifyClusterInvariants(const Cluster& cluster, bool enforce_min) {
+  for (const ServerSpec* server : cluster.Servers()) {
+    double used = 0.0;
+    std::vector<std::string_view> hosted;
+    bool has_exclusive = false;
+    std::string exclusive_service;
+    std::vector<const ServiceInstance*> instances =
+        cluster.InstancesOn(server->name);
+    for (const ServiceInstance* instance : instances) {
+      AG_ASSIGN_OR_RETURN(const ServiceSpec* spec,
+                          cluster.FindService(instance->service));
+      used += spec->memory_footprint_gb;
+      for (std::string_view other : hosted) {
+        if (other == instance->service) {
+          return Status::Internal(StrFormat(
+              "server \"%s\" hosts two instances of service \"%s\"",
+              server->name.c_str(), instance->service.c_str()));
+        }
+      }
+      hosted.push_back(instance->service);
+      if (spec->exclusive) {
+        has_exclusive = true;
+        exclusive_service = spec->name;
+      }
+      if (server->performance_index < spec->min_performance_index) {
+        return Status::Internal(StrFormat(
+            "instance %s on server with PI %g below service minimum %g",
+            instance->Name().c_str(), server->performance_index,
+            spec->min_performance_index));
+      }
+      if (!cluster.IsServerUp(server->name) &&
+          instance->state != InstanceState::kFailed) {
+        return Status::Internal(StrFormat(
+            "%s instance %s still placed on down server \"%s\"",
+            std::string(InstanceStateName(instance->state)).c_str(),
+            instance->Name().c_str(), server->name.c_str()));
+      }
+    }
+    if (has_exclusive && instances.size() > 1) {
+      return Status::Internal(StrFormat(
+          "exclusive service \"%s\" shares server \"%s\" with %zu "
+          "co-tenant(s)",
+          exclusive_service.c_str(), server->name.c_str(),
+          instances.size() - 1));
+    }
+    if (used > server->memory_gb + 1e-9) {
+      return Status::Internal(StrFormat(
+          "server \"%s\": %.1f GB of instances exceeds %.1f GB capacity",
+          server->name.c_str(), used, server->memory_gb));
+    }
+  }
+  for (const ServiceSpec* service : cluster.Services()) {
+    int active = cluster.ActiveInstanceCount(service->name);
+    if (active > service->max_instances) {
+      return Status::Internal(StrFormat(
+          "service \"%s\": %d active instances exceed maxInstances %d",
+          service->name.c_str(), active, service->max_instances));
+    }
+    if (enforce_min && active < service->min_instances) {
+      return Status::Internal(StrFormat(
+          "service \"%s\": %d active instances below minInstances %d",
+          service->name.c_str(), active, service->min_instances));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace autoglobe::infra

@@ -63,6 +63,21 @@ class Cluster {
   std::vector<const ServerSpec*> Servers() const;
   std::vector<const ServiceSpec*> Services() const;
 
+  // --- Server health --------------------------------------------------
+
+  /// Marks a server failed (`up = false`) or repaired. A down server
+  /// accepts no placements (CanPlace / MoveInstance reject it) until
+  /// it is marked up again. Like instance-state flips, health changes
+  /// do NOT bump the topology epoch — the dense index carries no
+  /// health facts; consumers must ask IsServerUp.
+  Status SetServerUp(std::string_view server, bool up);
+  /// True unless the server was explicitly marked down. Unknown names
+  /// report true (health is a property of registered servers; lookups
+  /// validate names separately).
+  bool IsServerUp(std::string_view server) const;
+  /// Names of servers currently marked down, sorted.
+  std::vector<std::string> DownServers() const;
+
   // --- Placement ------------------------------------------------------
 
   /// Checks every constraint for placing a new instance of `service`
@@ -151,6 +166,8 @@ class Cluster {
 
   std::map<std::string, ServerSpec, std::less<>> servers_;
   std::map<std::string, ServiceSpec, std::less<>> services_;
+  /// Servers currently failed (absent = up).
+  std::map<std::string, bool, std::less<>> server_down_;
   std::map<InstanceId, ServiceInstance> instances_;
   std::map<std::string, double, std::less<>> priorities_;
   std::map<std::string, SimTime, std::less<>> server_protection_;
@@ -164,6 +181,17 @@ class Cluster {
   mutable LandscapeIndex index_;
   mutable uint64_t index_epoch_ = 0;
 };
+
+/// Full-cluster consistency check, used by the chaos/property tests
+/// and available to tools: every starting-or-running instance sits on
+/// an up server, per-server memory accounting stays within capacity,
+/// at most one instance of a service per server, exclusiveness holds
+/// both ways, and no service exceeds maxInstances. With
+/// `enforce_min`, services below minInstances are also reported
+/// (recovery can transiently violate the minimum while a replacement
+/// boots, so steady-state callers opt in).
+Status VerifyClusterInvariants(const Cluster& cluster,
+                               bool enforce_min = false);
 
 }  // namespace autoglobe::infra
 

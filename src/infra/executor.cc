@@ -13,11 +13,37 @@ ActionExecutor::ActionExecutor(Cluster* cluster, sim::Simulator* simulator,
 }
 
 Status ActionExecutor::Execute(const Action& action) {
-  if (failure_injector_) {
-    Status injected = failure_injector_(action);
-    if (!injected.ok()) return Record(action, std::move(injected));
+  for (int attempt = 0;; ++attempt) {
+    Status injected = Inject(action, attempt);
+    if (injected.ok()) {
+      return Record(action, ExecuteValidated(action));
+    }
+    // Only transient faults (host briefly unreachable, action timed
+    // out) are worth retrying; everything else is deterministic.
+    if (injected.code() != StatusCode::kUnavailable ||
+        attempt >= config_.max_retries) {
+      return Record(action, std::move(injected));
+    }
+    retries_counter_.Increment();
+    if (audit_ != nullptr) {
+      audit_->AddExecutorEvent({simulator_->now(), action.ToString(),
+                                StrFormat("retry %d/%d after: %s",
+                                          attempt + 1, config_.max_retries,
+                                          injected.ToString().c_str()),
+                                attempt + 1});
+    }
   }
-  return Record(action, ExecuteValidated(action));
+}
+
+Status ActionExecutor::Inject(const Action& action, int attempt) {
+  if (!failure_injector_) return Status::OK();
+  Status injected = failure_injector_(action);
+  if (!injected.ok() && audit_ != nullptr) {
+    audit_->AddExecutorEvent({simulator_->now(), action.ToString(),
+                              "injected failure: " + injected.ToString(),
+                              attempt});
+  }
+  return injected;
 }
 
 Status ActionExecutor::ExecuteValidated(const Action& action) {
@@ -39,7 +65,7 @@ Status ActionExecutor::ExecuteValidated(const Action& action) {
     case ActionType::kStart:
     case ActionType::kScaleOut: {
       AG_RETURN_IF_ERROR(
-          StartInstanceOn(action.service, action.target_server));
+          StartInstanceOn(action.service, action.target_server).status());
       Protect(action);
       return Status::OK();
     }
@@ -133,18 +159,34 @@ Status ActionExecutor::ExecuteValidated(const Action& action) {
   return Status::Internal("unhandled action type");
 }
 
-Status ActionExecutor::StartInstanceOn(std::string_view service,
-                                       std::string_view target_server) {
+Result<InstanceId> ActionExecutor::StartInstanceOn(
+    std::string_view service, std::string_view target_server) {
   AG_ASSIGN_OR_RETURN(
       InstanceId id,
       cluster_->PlaceInstance(service, target_server, simulator_->now(),
                               InstanceState::kStarting));
   ScheduleRunning(id, config_.start_delay);
-  return Status::OK();
+  return id;
 }
 
-Status ActionExecutor::LaunchInstance(std::string_view service,
-                                      std::string_view target_server) {
+Result<InstanceId> ActionExecutor::LaunchInstance(
+    std::string_view service, std::string_view target_server) {
+  // Recovery launches face the same injected transient faults as
+  // policy actions; bounded retry applies identically.
+  Action probe;
+  probe.type = ActionType::kStart;
+  probe.service = std::string(service);
+  probe.target_server = std::string(target_server);
+  for (int attempt = 0;; ++attempt) {
+    Status injected = Inject(probe, attempt);
+    if (injected.ok()) break;
+    if (injected.code() != StatusCode::kUnavailable ||
+        attempt >= config_.max_retries) {
+      actions_failed_counter_.Increment();
+      return injected;
+    }
+    retries_counter_.Increment();
+  }
   return StartInstanceOn(service, target_server);
 }
 
@@ -156,6 +198,23 @@ Status ActionExecutor::RestartInstance(InstanceId id) {
         "instance %s is %.*s, not failed", instance->Name().c_str(),
         static_cast<int>(InstanceStateName(instance->state).size()),
         InstanceStateName(instance->state).data()));
+  }
+  if (!cluster_->IsServerUp(instance->server)) {
+    actions_failed_counter_.Increment();
+    return Status::Unavailable(StrFormat(
+        "cannot restart %s: server \"%s\" is down",
+        instance->Name().c_str(), instance->server.c_str()));
+  }
+  Action probe;
+  probe.type = ActionType::kStart;
+  probe.service = instance->service;
+  probe.source_server = instance->server;
+  probe.target_server = instance->server;
+  probe.instance = id;
+  Status injected = Inject(probe, 0);
+  if (!injected.ok()) {
+    actions_failed_counter_.Increment();
+    return injected;
   }
   AG_RETURN_IF_ERROR(
       cluster_->SetInstanceState(id, InstanceState::kStarting));
@@ -198,6 +257,7 @@ void ActionExecutor::Protect(const Action& action) {
 Status ActionExecutor::Record(const Action& action, Status status) {
   ActionRecord record{simulator_->now(), action, status};
   log_.push_back(record);
+  if (!status.ok()) actions_failed_counter_.Increment();
   if (trace_ != nullptr) {
     if (status.ok()) {
       trace_->Record(record.at, obs::TraceEventKind::kActionExecuted,

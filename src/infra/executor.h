@@ -7,6 +7,8 @@
 
 #include "common/result.h"
 #include "infra/cluster.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace autoglobe::infra {
@@ -23,6 +25,11 @@ struct ExecutorConfig {
   Duration protection_time = Duration::Minutes(30);
   /// Multiplicative step of the priority actions.
   double priority_step = 1.25;
+  /// Additional attempts after a *transient* (Unavailable) injected
+  /// failure — the fault subsystem's "action times out / host briefly
+  /// unreachable" model. Deterministic failures (constraint or
+  /// validation errors) are never retried: they would fail again.
+  int max_retries = 0;
 };
 
 /// One entry of the executor's action log (the paper's controller
@@ -54,14 +61,18 @@ class ActionExecutor {
 
   /// Restarts a failed instance in place (self-healing path: "Failure
   /// situations like a program crash are remedied ... with a restart").
+  /// Consults the failure injector (as a synthetic start on the same
+  /// host) and refuses when the host is down, so injected transient
+  /// faults cover the recovery path too.
   Status RestartInstance(InstanceId id);
 
   /// Places a new instance with the usual boot delay, bypassing the
   /// service's declared action capabilities. Used for the initial
   /// allocation and for failure remediation (replacing a crashed
-  /// instance is not a controller-policy scale-out).
-  Status LaunchInstance(std::string_view service,
-                        std::string_view target_server);
+  /// instance is not a controller-policy scale-out). Returns the new
+  /// instance's id so recovery can track its boot.
+  Result<InstanceId> LaunchInstance(std::string_view service,
+                                    std::string_view target_server);
 
   void set_failure_injector(FailureInjector injector) {
     failure_injector_ = std::move(injector);
@@ -70,6 +81,15 @@ class ActionExecutor {
   /// recorded as kActionExecuted, rejected ones as kActionFailed, and
   /// instance starting->running transitions as kInstanceLifecycle.
   void set_trace_buffer(obs::TraceBuffer* trace) { trace_ = trace; }
+  /// Decision audit sink (nullptr clears): injector rejections and
+  /// retry attempts are recorded as executor events.
+  void set_audit_log(obs::AuditLog* audit) { audit_ = audit; }
+  /// Counters for failed actions and retry attempts (the handles are
+  /// inert by default, so wiring is optional).
+  void set_metrics(obs::Counter actions_failed, obs::Counter retries) {
+    actions_failed_counter_ = actions_failed;
+    retries_counter_ = retries;
+  }
   void AddListener(Listener listener) {
     listeners_.push_back(std::move(listener));
   }
@@ -79,8 +99,11 @@ class ActionExecutor {
 
  private:
   Status ExecuteValidated(const Action& action);
-  Status StartInstanceOn(std::string_view service,
-                         std::string_view target_server);
+  Result<InstanceId> StartInstanceOn(std::string_view service,
+                                     std::string_view target_server);
+  /// Runs the failure injector for `action`; on rejection records the
+  /// executor event. `attempt` numbers the try (0 = first).
+  Status Inject(const Action& action, int attempt);
   void ScheduleRunning(InstanceId id, Duration delay);
   void Protect(const Action& action);
   Status Record(const Action& action, Status status);
@@ -92,6 +115,9 @@ class ActionExecutor {
   std::vector<Listener> listeners_;
   std::vector<ActionRecord> log_;
   obs::TraceBuffer* trace_ = nullptr;
+  obs::AuditLog* audit_ = nullptr;
+  obs::Counter actions_failed_counter_;
+  obs::Counter retries_counter_;
 };
 
 }  // namespace autoglobe::infra

@@ -15,6 +15,10 @@ std::string_view TriggerKindName(TriggerKind kind) {
       return "serviceOverloaded";
     case TriggerKind::kServiceIdle:
       return "serviceIdle";
+    case TriggerKind::kInstanceFailed:
+      return "instanceFailed";
+    case TriggerKind::kServerFailed:
+      return "serverFailed";
   }
   return "?";
 }
@@ -141,6 +145,88 @@ Status LoadMonitoringSystem::ObserveById(
     }
   }
   return Status::Internal("bad monitoring phase");
+}
+
+Status LoadMonitoringSystem::WatchHeartbeat(TriggerKind failed_kind,
+                                            std::string key,
+                                            std::string subject,
+                                            SimTime now,
+                                            uint64_t instance) {
+  if (failed_kind != TriggerKind::kInstanceFailed &&
+      failed_kind != TriggerKind::kServerFailed) {
+    return Status::InvalidArgument(
+        "watch heartbeats with a failure trigger kind");
+  }
+  auto it = heartbeat_ids_.find(key);
+  if (it != heartbeat_ids_.end()) {
+    HeartbeatState& state = heartbeats_[it->second];
+    if (state.active) {
+      return Status::AlreadyExists(
+          StrFormat("heartbeat \"%s\" already watched", key.c_str()));
+    }
+    state.failed_kind = failed_kind;
+    state.subject = std::move(subject);
+    state.instance = instance;
+    state.last_seen = now;
+    state.active = true;
+    state.reported = false;
+    return Status::OK();
+  }
+  HeartbeatState state;
+  state.failed_kind = failed_kind;
+  state.key = key;
+  state.subject = std::move(subject);
+  state.instance = instance;
+  state.last_seen = now;
+  heartbeat_ids_.emplace(std::move(key), heartbeats_.size());
+  heartbeats_.push_back(std::move(state));
+  return Status::OK();
+}
+
+Status LoadMonitoringSystem::UnwatchHeartbeat(std::string_view key) {
+  auto it = heartbeat_ids_.find(key);
+  if (it == heartbeat_ids_.end() || !heartbeats_[it->second].active) {
+    return Status::NotFound(StrFormat("heartbeat \"%.*s\" not watched",
+                                      static_cast<int>(key.size()),
+                                      key.data()));
+  }
+  heartbeats_[it->second].active = false;
+  return Status::OK();
+}
+
+Status LoadMonitoringSystem::RecordHeartbeat(std::string_view key,
+                                             SimTime now) {
+  auto it = heartbeat_ids_.find(key);
+  if (it == heartbeat_ids_.end() || !heartbeats_[it->second].active) {
+    return Status::NotFound(StrFormat("heartbeat \"%.*s\" not watched",
+                                      static_cast<int>(key.size()),
+                                      key.data()));
+  }
+  HeartbeatState& state = heartbeats_[it->second];
+  state.last_seen = now;
+  state.reported = false;
+  return Status::OK();
+}
+
+void LoadMonitoringSystem::CheckHeartbeats(SimTime now) {
+  Duration deadline = config_.heartbeat_interval *
+                      static_cast<int64_t>(config_.heartbeat_miss_threshold);
+  for (HeartbeatState& state : heartbeats_) {
+    if (!state.active || state.reported) continue;
+    if (now - state.last_seen < deadline) continue;
+    state.reported = true;
+    Trigger trigger{state.failed_kind, state.subject, now, 0.0,
+                    state.instance};
+    Confirm(std::move(trigger));
+  }
+}
+
+size_t LoadMonitoringSystem::active_heartbeat_watches() const {
+  size_t count = 0;
+  for (const HeartbeatState& state : heartbeats_) {
+    if (state.active) ++count;
+  }
+  return count;
 }
 
 void LoadMonitoringSystem::Confirm(Trigger trigger) {

@@ -22,6 +22,12 @@ enum class TriggerKind {
   kServerIdle,
   kServiceOverloaded,
   kServiceIdle,
+  /// Heartbeat failure detection (the self-healing extension): an
+  /// instance or a whole server stopped reporting for the configured
+  /// number of intervals. These triggers bypass fuzzy action
+  /// selection and go straight to recovery.
+  kInstanceFailed,
+  kServerFailed,
 };
 
 std::string_view TriggerKindName(TriggerKind kind);
@@ -34,6 +40,8 @@ struct Trigger {
   /// Arithmetic mean of the load during the watch time — the value
   /// the controller's load variables are initialized with (§4.1).
   double average_load = 0.0;
+  /// For kInstanceFailed: the id of the silent instance.
+  uint64_t instance = 0;
 };
 
 /// Tunables of the detection pipeline (paper §2 / §5.1).
@@ -48,6 +56,11 @@ struct MonitorConfig {
   double idle_threshold_base = 0.125;
   /// "An idle situation is recognized after a watchTime of 20 min."
   Duration idle_watch_time = Duration::Minutes(20);
+  /// Expected spacing of heartbeats (normally the sampling tick).
+  Duration heartbeat_interval = Duration::Minutes(1);
+  /// Consecutive missed heartbeats before a subject is declared
+  /// failed — a single dropped report must not trigger recovery.
+  int heartbeat_miss_threshold = 3;
 };
 
 /// Dense id of a registered monitoring subject: its registration
@@ -98,6 +111,32 @@ class LoadMonitoringSystem {
   Status ObserveById(SimTime now, SubjectId subject, double load,
                      std::optional<double> detection_load = std::nullopt);
 
+  // --- Heartbeat failure detection ------------------------------------
+
+  /// Starts watching a heartbeat source. `failed_kind` must be
+  /// kInstanceFailed or kServerFailed; `key` is the unique watch key
+  /// ("s/<server>" or "i/<id>"), `subject` the human-readable trigger
+  /// subject (server name or "service@server"), `instance` the
+  /// instance id for instance watches. The subject counts as alive at
+  /// `now`. Re-watching a tombstoned key reactivates it in place, so
+  /// iteration order — and with it trigger order — depends only on
+  /// first-registration order, never on churn.
+  Status WatchHeartbeat(TriggerKind failed_kind, std::string key,
+                        std::string subject, SimTime now,
+                        uint64_t instance = 0);
+  /// Stops watching (tombstones the slot; the key may be re-watched).
+  Status UnwatchHeartbeat(std::string_view key);
+  /// Feeds one heartbeat; clears a previous failure report so a
+  /// recovered subject can fail again later.
+  Status RecordHeartbeat(std::string_view key, SimTime now);
+  /// Fires a failure trigger (via the trigger callback) for every
+  /// active watch silent for heartbeat_interval * miss_threshold or
+  /// longer. Each failure is reported once until a fresh heartbeat
+  /// arrives. Iterates watches in first-registration order.
+  void CheckHeartbeats(SimTime now);
+  /// Active (non-tombstoned) heartbeat watches.
+  size_t active_heartbeat_watches() const;
+
   void set_trigger_callback(TriggerCallback callback) {
     callback_ = std::move(callback);
   }
@@ -133,6 +172,18 @@ class LoadMonitoringSystem {
     SimTime watch_started;
   };
 
+  /// One heartbeat source. Slots are never erased, only deactivated
+  /// (`active = false`), so CheckHeartbeats iterates a stable order.
+  struct HeartbeatState {
+    TriggerKind failed_kind;  // kInstanceFailed or kServerFailed
+    std::string key;
+    std::string subject;
+    uint64_t instance = 0;
+    SimTime last_seen;
+    bool active = true;
+    bool reported = false;
+  };
+
   LoadArchive* archive_;
   MonitorConfig config_;
   /// Traces and fires a confirmed trigger.
@@ -141,6 +192,8 @@ class LoadMonitoringSystem {
   /// Dense subject storage + name resolution done once per caller.
   std::vector<SubjectState> subjects_;
   std::map<std::string, SubjectId, std::less<>> subject_ids_;
+  std::vector<HeartbeatState> heartbeats_;
+  std::map<std::string, size_t, std::less<>> heartbeat_ids_;
   TriggerCallback callback_;
   obs::TraceBuffer* trace_ = nullptr;
   int64_t triggers_fired_ = 0;

@@ -15,9 +15,17 @@ void AuditLog::Add(DecisionAudit record) {
   ++total_;
 }
 
+void AuditLog::AddExecutorEvent(ExecutorEvent event) {
+  executor_events_.push_back(std::move(event));
+  while (executor_events_.size() > capacity_) executor_events_.pop_front();
+  ++total_executor_;
+}
+
 void AuditLog::Clear() {
   records_.clear();
+  executor_events_.clear();
   total_ = 0;
+  total_executor_ = 0;
 }
 
 namespace {

@@ -87,6 +87,18 @@ struct DecisionAudit {
   bool skipped_protected = false;
 };
 
+/// One executor-level event that happened outside a controller
+/// decision: a failure-injector rejection or a bounded retry attempt.
+/// These used to live only in the executor's in-memory action log;
+/// recording them here keeps the audit trail complete when actions
+/// fail for infrastructure (not policy) reasons.
+struct ExecutorEvent {
+  SimTime at;
+  std::string action;  // rendered action text
+  std::string detail;  // e.g. "injected failure: ...", "retry 2/3"
+  int attempt = 0;     // 0 = first try, n = nth retry
+};
+
 /// Bounded chronological log of decisions; oldest records are evicted
 /// beyond the capacity. Single-threaded like the simulation it
 /// observes.
@@ -95,16 +107,25 @@ class AuditLog {
   explicit AuditLog(size_t capacity = 256);
 
   void Add(DecisionAudit record);
+  /// Appends an executor-level event (same bounded-eviction policy as
+  /// decisions, tracked separately).
+  void AddExecutorEvent(ExecutorEvent event);
 
   const std::deque<DecisionAudit>& records() const { return records_; }
+  const std::deque<ExecutorEvent>& executor_events() const {
+    return executor_events_;
+  }
   size_t capacity() const { return capacity_; }
   uint64_t total_recorded() const { return total_; }
+  uint64_t total_executor_events() const { return total_executor_; }
   void Clear();
 
  private:
   size_t capacity_;
   std::deque<DecisionAudit> records_;
+  std::deque<ExecutorEvent> executor_events_;
   uint64_t total_ = 0;
+  uint64_t total_executor_ = 0;
 };
 
 /// Renders one decision as the human-readable "explain" report:

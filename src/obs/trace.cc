@@ -25,6 +25,8 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "alert";
     case TraceEventKind::kSlaViolation:
       return "sla_violation";
+    case TraceEventKind::kFault:
+      return "fault";
     case TraceEventKind::kMarker:
       return "marker";
   }
@@ -46,6 +48,8 @@ std::string_view TraceEventCategory(TraceEventKind kind) {
       return "controller";
     case TraceEventKind::kSlaViolation:
       return "sla";
+    case TraceEventKind::kFault:
+      return "faults";
     case TraceEventKind::kMarker:
       return "app";
   }
@@ -186,9 +190,22 @@ Status ExportChromeTrace(const TraceBuffer& buffer,
   std::fprintf(writer.get(),
                "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
                "\"args\": {\"name\": \"autoglobe simulation\"}}");
-  const std::string_view categories[] = {"sim",        "monitor", "executor",
-                                         "controller", "sla",     "app"};
-  for (size_t i = 0; i < std::size(categories); ++i) {
+  // The "faults" track appears only when the run recorded fault
+  // events, so exports of fault-free runs stay byte-identical to the
+  // pre-fault-subsystem format.
+  std::vector<TraceEvent> events = buffer.Events();
+  bool has_faults = false;
+  for (const TraceEvent& event : events) {
+    if (TraceEventCategory(event.kind) == "faults") {
+      has_faults = true;
+      break;
+    }
+  }
+  std::vector<std::string_view> categories = {"sim", "monitor", "executor",
+                                              "controller", "sla"};
+  if (has_faults) categories.push_back("faults");
+  categories.push_back("app");
+  for (size_t i = 0; i < categories.size(); ++i) {
     std::fprintf(writer.get(),
                  ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
                  "\"tid\": %zu, \"args\": {\"name\": \"%.*s\"}}",
@@ -197,12 +214,12 @@ Status ExportChromeTrace(const TraceBuffer& buffer,
   }
   auto track_of = [&categories](TraceEventKind kind) -> size_t {
     std::string_view category = TraceEventCategory(kind);
-    for (size_t i = 0; i < std::size(categories); ++i) {
+    for (size_t i = 0; i < categories.size(); ++i) {
       if (categories[i] == category) return i + 1;
     }
-    return std::size(categories);
+    return categories.size();
   };
-  for (const TraceEvent& event : buffer.Events()) {
+  for (const TraceEvent& event : events) {
     // Simulated seconds -> trace microseconds: one simulated minute
     // reads as 60 ms on the timeline, keeping 80-hour runs scrubable.
     long long ts = static_cast<long long>(event.at.seconds()) * 1000;

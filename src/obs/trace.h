@@ -35,6 +35,10 @@ enum class TraceEventKind : uint8_t {
   kAlert,
   /// SLA entered violation (detail = service).
   kSlaViolation,
+  /// Fault subsystem event: injected crash / server failure /
+  /// dropout, failure detection, or recovery step (name = event
+  /// class, detail = subject + specifics, value = instance id).
+  kFault,
   /// Free-form marker from tools and tests.
   kMarker,
 };

@@ -240,6 +240,56 @@ TEST(RunnerTest, ObservabilityCapturesAWholeRun) {
   EXPECT_NE(report.find("verdict: "), std::string::npos);
 }
 
+TEST(RunnerTest, FaultPlanRunSurvivesMidRunTopologyChurn) {
+  // Regression for the cached-handle hardening: a whole-server failure
+  // removes instances mid-run (their SubjectIds and archive handles
+  // were cached by the monitoring loop), a dropout exercises the
+  // false-positive evacuation, and the run must still finish with a
+  // consistent landscape and a closed-out availability report.
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  RunnerConfig config = MakeScenarioConfig(Scenario::kFullMobility, 1.0);
+  config.duration = Duration::Hours(8);
+  faults::FaultPlan plan;
+  plan.events.push_back({SimTime::FromSeconds(3600),
+                         faults::FaultKind::kInstanceCrash, "CRM",
+                         Duration::Zero()});
+  plan.events.push_back({SimTime::FromSeconds(7200),
+                         faults::FaultKind::kServerFailure, "Blade3",
+                         Duration::Hours(1)});
+  plan.events.push_back({SimTime::FromSeconds(10800),
+                         faults::FaultKind::kMonitorDropout, "Blade5",
+                         Duration::Minutes(8)});
+  config.fault_plan = plan;
+  auto runner = SimulationRunner::Create(landscape, config);
+  ASSERT_TRUE(runner.ok()) << runner.status();
+  ASSERT_TRUE((*runner)->Run().ok());
+
+  EXPECT_TRUE(
+      infra::VerifyClusterInvariants((*runner)->cluster()).ok());
+  ASSERT_NE((*runner)->fault_injector(), nullptr);
+  EXPECT_EQ((*runner)->fault_injector()->stats().servers_failed, 1);
+  faults::AvailabilityReport report = (*runner)->availability_report();
+  EXPECT_GE(report.episodes, 1);
+  EXPECT_EQ(report.episodes,
+            report.recovered + report.abandoned + report.open);
+  // Every injected failure was noticed by heartbeat detection.
+  EXPECT_EQ(report.detected, report.episodes);
+}
+
+TEST(RunnerTest, NoFaultPlanMeansNoFaultMachinery) {
+  // RunnerConfig without a fault plan must not even build the fault
+  // subsystem — the byte-compat guarantee for existing goldens.
+  auto runner =
+      MakeRunner(Scenario::kFullMobility, 1.0, Duration::Hours(1));
+  ASSERT_NE(runner, nullptr);
+  ASSERT_TRUE(runner->Run().ok());
+  EXPECT_EQ(runner->fault_injector(), nullptr);
+  EXPECT_EQ(runner->recovery_manager(), nullptr);
+  faults::AvailabilityReport report = runner->availability_report();
+  EXPECT_EQ(report.episodes, 0);
+  EXPECT_EQ(report.faults_injected, 0);
+}
+
 TEST(RunnerTest, ForecastModeRuns) {
   Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
   RunnerConfig config = MakeScenarioConfig(Scenario::kFullMobility, 1.2);

@@ -1,0 +1,170 @@
+#include "faults/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::faults {
+namespace {
+
+SimTime Sec(int64_t s) { return SimTime::FromSeconds(s); }
+
+TEST(FaultKindTest, NamesRoundTrip) {
+  for (FaultKind kind :
+       {FaultKind::kInstanceCrash, FaultKind::kServerFailure,
+        FaultKind::kActionFailure, FaultKind::kMonitorDropout}) {
+    auto parsed = ParseFaultKind(FaultKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseFaultKind("meteorStrike").ok());
+}
+
+TEST(FaultPlanTest, ValidatesOrderingAndFields) {
+  FaultPlan plan;
+  plan.events.push_back(
+      {Sec(100), FaultKind::kInstanceCrash, "app", Duration::Zero()});
+  plan.events.push_back({Sec(50), FaultKind::kServerFailure, "blade",
+                         Duration::Hours(1)});
+  EXPECT_FALSE(plan.Validate().ok());  // out of order
+  plan.SortByTime();
+  EXPECT_TRUE(plan.Validate().ok());
+
+  FaultPlan missing_subject;
+  missing_subject.events.push_back(
+      {Sec(10), FaultKind::kServerFailure, "", Duration::Zero()});
+  EXPECT_FALSE(missing_subject.Validate().ok());
+
+  FaultPlan zero_window;
+  zero_window.events.push_back(
+      {Sec(10), FaultKind::kActionFailure, "", Duration::Zero()});
+  EXPECT_FALSE(zero_window.Validate().ok());
+
+  FaultPlan anonymous_crash;  // empty subject = any instance: fine
+  anonymous_crash.events.push_back(
+      {Sec(10), FaultKind::kInstanceCrash, "", Duration::Zero()});
+  EXPECT_TRUE(anonymous_crash.Validate().ok());
+}
+
+TEST(FaultPlanTest, XmlRoundTrip) {
+  FaultPlan plan;
+  plan.events.push_back(
+      {Sec(7200), FaultKind::kInstanceCrash, "CRM", Duration::Zero()});
+  plan.events.push_back({Sec(14400), FaultKind::kServerFailure, "Blade3",
+                         Duration::Hours(1)});
+  plan.events.push_back(
+      {Sec(21600), FaultKind::kActionFailure, "", Duration::Minutes(10)});
+  plan.events.push_back({Sec(28800), FaultKind::kMonitorDropout,
+                         "Blade5", Duration::Minutes(8)});
+  ASSERT_TRUE(plan.Validate().ok());
+
+  auto reparsed = FaultPlan::Parse(plan.ToXml());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  ASSERT_EQ(reparsed->events.size(), plan.events.size());
+  for (size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(reparsed->events[i].at, plan.events[i].at) << i;
+    EXPECT_EQ(reparsed->events[i].kind, plan.events[i].kind) << i;
+    EXPECT_EQ(reparsed->events[i].subject, plan.events[i].subject) << i;
+    EXPECT_EQ(reparsed->events[i].duration, plan.events[i].duration) << i;
+  }
+}
+
+TEST(FaultPlanTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(FaultPlan::Parse("<notAPlan/>").ok());
+  EXPECT_FALSE(
+      FaultPlan::Parse("<faultPlan><fault atSeconds=\"10\" "
+                       "kind=\"noSuchKind\"/></faultPlan>")
+          .ok());
+  EXPECT_FALSE(FaultPlan::LoadFile("/nonexistent/plan.xml").ok());
+}
+
+class GenerateTest : public ::testing::Test {
+ protected:
+  std::vector<std::string> servers_ = {"Blade1", "Blade2", "Blade3"};
+  std::vector<std::string> services_ = {"CRM", "ERP"};
+  RandomFaultSpec Spec() {
+    RandomFaultSpec spec;
+    spec.instance_crashes_per_hour = 1.0;
+    spec.server_failures_per_day = 4.0;
+    spec.action_failure_windows_per_day = 2.0;
+    spec.monitor_dropouts_per_day = 2.0;
+    return spec;
+  }
+};
+
+TEST_F(GenerateTest, DeterministicPerSeed) {
+  FaultPlan a = FaultPlan::Generate(Spec(), Duration::Hours(48), 7,
+                                    servers_, services_);
+  FaultPlan b = FaultPlan::Generate(Spec(), Duration::Hours(48), 7,
+                                    servers_, services_);
+  EXPECT_EQ(a.ToXml(), b.ToXml());
+  FaultPlan c = FaultPlan::Generate(Spec(), Duration::Hours(48), 8,
+                                    servers_, services_);
+  EXPECT_NE(a.ToXml(), c.ToXml());
+}
+
+TEST_F(GenerateTest, RespectsRatesSubjectsAndOrdering) {
+  FaultPlan plan = FaultPlan::Generate(Spec(), Duration::Hours(48), 7,
+                                       servers_, services_);
+  EXPECT_TRUE(plan.Validate().ok());
+  EXPECT_FALSE(plan.events.empty());
+  int crashes = 0;
+  for (const FaultEvent& event : plan.events) {
+    EXPECT_LT(event.at, SimTime::Start() + Duration::Hours(48));
+    switch (event.kind) {
+      case FaultKind::kInstanceCrash: {
+        ++crashes;
+        bool known = event.subject == "CRM" || event.subject == "ERP";
+        EXPECT_TRUE(known) << event.subject;
+        break;
+      }
+      case FaultKind::kServerFailure:
+      case FaultKind::kMonitorDropout: {
+        bool known = event.subject == "Blade1" ||
+                     event.subject == "Blade2" ||
+                     event.subject == "Blade3";
+        EXPECT_TRUE(known) << event.subject;
+        break;
+      }
+      case FaultKind::kActionFailure:
+        EXPECT_GT(event.duration, Duration::Zero());
+        break;
+    }
+  }
+  // ~1/h over 48 h: a Poisson(48) draw; [15, 100] is > 5 sigma wide.
+  EXPECT_GE(crashes, 15);
+  EXPECT_LE(crashes, 100);
+
+  // Zero rates => empty plan.
+  FaultPlan empty = FaultPlan::Generate(RandomFaultSpec{},
+                                        Duration::Hours(48), 7, servers_,
+                                        services_);
+  EXPECT_TRUE(empty.events.empty());
+}
+
+TEST_F(GenerateTest, StreamsAreIndependentPerFaultClass) {
+  // Turning one class off must not change the schedule of another:
+  // each class draws from its own forked stream.
+  RandomFaultSpec crashes_only;
+  crashes_only.instance_crashes_per_hour = 1.0;
+  RandomFaultSpec with_servers = crashes_only;
+  with_servers.server_failures_per_day = 4.0;
+
+  FaultPlan a = FaultPlan::Generate(crashes_only, Duration::Hours(48), 7,
+                                    servers_, services_);
+  FaultPlan b = FaultPlan::Generate(with_servers, Duration::Hours(48), 7,
+                                    servers_, services_);
+  std::vector<FaultEvent> crashes_a, crashes_b;
+  for (const FaultEvent& e : a.events) {
+    if (e.kind == FaultKind::kInstanceCrash) crashes_a.push_back(e);
+  }
+  for (const FaultEvent& e : b.events) {
+    if (e.kind == FaultKind::kInstanceCrash) crashes_b.push_back(e);
+  }
+  ASSERT_EQ(crashes_a.size(), crashes_b.size());
+  for (size_t i = 0; i < crashes_a.size(); ++i) {
+    EXPECT_EQ(crashes_a[i].at, crashes_b[i].at) << i;
+    EXPECT_EQ(crashes_a[i].subject, crashes_b[i].subject) << i;
+  }
+}
+
+}  // namespace
+}  // namespace autoglobe::faults

@@ -228,5 +228,111 @@ TEST_F(ExecutorTest, StoppedStartingInstanceDoesNotResurrect) {
   EXPECT_TRUE(cluster_.InstancesOn("mid").empty());
 }
 
+// --- Failure injection: retries, metrics, audit -----------------------
+
+TEST_F(ExecutorTest, TransientInjectedFailuresAreRetriedAndRecorded) {
+  Place("app", "small");
+  ExecutorConfig config;
+  config.max_retries = 2;
+  executor_ = std::make_unique<ActionExecutor>(&cluster_, &simulator_,
+                                               config);
+  obs::MetricsRegistry registry;
+  executor_->set_metrics(registry.AddCounter("failed"),
+                         registry.AddCounter("retries"));
+  obs::AuditLog audit;
+  executor_->set_audit_log(&audit);
+
+  int calls = 0;
+  executor_->set_failure_injector([&calls](const Action&) {
+    return ++calls <= 2 ? Status::Unavailable("blip") : Status::OK();
+  });
+
+  Action action{ActionType::kScaleOut, "app", 0, "", "mid"};
+  EXPECT_TRUE(executor_->Execute(action).ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(registry.AddCounter("retries").value(), 2u);
+  EXPECT_EQ(registry.AddCounter("failed").value(), 0u);
+  // Audit trail: each rejection plus each retry announcement.
+  ASSERT_EQ(audit.executor_events().size(), 4u);
+  EXPECT_NE(audit.executor_events()[0].detail.find("injected failure"),
+            std::string::npos);
+  EXPECT_NE(audit.executor_events()[1].detail.find("retry 1/2"),
+            std::string::npos);
+  EXPECT_EQ(audit.executor_events()[3].attempt, 2);
+}
+
+TEST_F(ExecutorTest, DeterministicInjectedFailureIsNotRetried) {
+  Place("app", "small");
+  ExecutorConfig config;
+  config.max_retries = 5;
+  executor_ = std::make_unique<ActionExecutor>(&cluster_, &simulator_,
+                                               config);
+  obs::MetricsRegistry registry;
+  executor_->set_metrics(registry.AddCounter("failed"),
+                         registry.AddCounter("retries"));
+  obs::AuditLog audit;
+  executor_->set_audit_log(&audit);
+  int calls = 0;
+  executor_->set_failure_injector([&calls](const Action&) {
+    ++calls;
+    return Status::FailedPrecondition("would fail again");
+  });
+
+  Action action{ActionType::kScaleOut, "app", 0, "", "mid"};
+  EXPECT_FALSE(executor_->Execute(action).ok());
+  EXPECT_EQ(calls, 1);  // retrying a deterministic failure is pointless
+  EXPECT_EQ(registry.AddCounter("retries").value(), 0u);
+  EXPECT_EQ(registry.AddCounter("failed").value(), 1u);
+  ASSERT_EQ(audit.executor_events().size(), 1u);
+  EXPECT_EQ(audit.executor_events()[0].attempt, 0);
+}
+
+TEST_F(ExecutorTest, ExhaustedRetryBudgetCountsAsFailure) {
+  Place("app", "small");
+  ExecutorConfig config;
+  config.max_retries = 1;
+  executor_ = std::make_unique<ActionExecutor>(&cluster_, &simulator_,
+                                               config);
+  obs::MetricsRegistry registry;
+  executor_->set_metrics(registry.AddCounter("failed"),
+                         registry.AddCounter("retries"));
+  executor_->set_failure_injector(
+      [](const Action&) { return Status::Unavailable("still down"); });
+
+  Action action{ActionType::kScaleOut, "app", 0, "", "mid"};
+  Status status = executor_->Execute(action);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(registry.AddCounter("retries").value(), 1u);
+  EXPECT_EQ(registry.AddCounter("failed").value(), 1u);
+  // The action log keeps the final verdict too.
+  ASSERT_FALSE(executor_->log().empty());
+  EXPECT_FALSE(executor_->log().back().status.ok());
+  // Nothing was placed.
+  EXPECT_TRUE(cluster_.InstancesOn("mid").empty());
+}
+
+TEST_F(ExecutorTest, LaunchAndRestartConsultTheInjector) {
+  InstanceId id = Place("app", "small");
+  executor_->set_failure_injector(
+      [](const Action&) { return Status::Unavailable("no management"); });
+  EXPECT_FALSE(executor_->LaunchInstance("app", "mid").ok());
+  EXPECT_TRUE(cluster_.InstancesOn("mid").empty());
+  ASSERT_TRUE(cluster_.SetInstanceState(id, InstanceState::kFailed).ok());
+  EXPECT_FALSE(executor_->RestartInstance(id).ok());
+  EXPECT_EQ(cluster_.FindInstance(id).value()->state,
+            InstanceState::kFailed);
+
+  // With the blip gone both paths work again.
+  executor_->set_failure_injector(nullptr);
+  EXPECT_TRUE(executor_->RestartInstance(id).ok());
+  auto launched = executor_->LaunchInstance("app", "mid");
+  ASSERT_TRUE(launched.ok()) << launched.status();
+  simulator_.RunAll();
+  EXPECT_EQ(cluster_.FindInstance(id).value()->state,
+            InstanceState::kRunning);
+  EXPECT_EQ(cluster_.FindInstance(*launched).value()->state,
+            InstanceState::kRunning);
+}
+
 }  // namespace
 }  // namespace autoglobe::infra

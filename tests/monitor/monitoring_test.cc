@@ -199,5 +199,92 @@ INSTANTIATE_TEST_SUITE_P(Band, QuietBandProperty,
                          ::testing::Values(0.13, 0.2, 0.35, 0.5, 0.65,
                                            0.699));
 
+// --- Heartbeat failure detection --------------------------------------
+
+class HeartbeatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lms_ = std::make_unique<LoadMonitoringSystem>(&archive_,
+                                                  MonitorConfig{});
+    lms_->set_trigger_callback(
+        [this](const Trigger& trigger) { triggers_.push_back(trigger); });
+  }
+
+  LoadArchive archive_;
+  std::unique_ptr<LoadMonitoringSystem> lms_;
+  std::vector<Trigger> triggers_;
+};
+
+TEST_F(HeartbeatTest, WatchValidation) {
+  // Only failure kinds make heartbeat watches.
+  EXPECT_FALSE(lms_->WatchHeartbeat(TriggerKind::kServerOverloaded,
+                                    "s/Blade1", "Blade1", Min(0))
+                   .ok());
+  ASSERT_TRUE(lms_->WatchHeartbeat(TriggerKind::kServerFailed, "s/Blade1",
+                                   "Blade1", Min(0))
+                  .ok());
+  // Duplicate active key rejected.
+  EXPECT_FALSE(lms_->WatchHeartbeat(TriggerKind::kServerFailed,
+                                    "s/Blade1", "Blade1", Min(0))
+                   .ok());
+  EXPECT_FALSE(lms_->RecordHeartbeat("s/ghost", Min(0)).ok());
+  EXPECT_FALSE(lms_->UnwatchHeartbeat("s/ghost").ok());
+  EXPECT_EQ(lms_->active_heartbeat_watches(), 1u);
+}
+
+TEST_F(HeartbeatTest, FiresAfterMissedBeatsAndCarriesTheSubject) {
+  // Defaults: 1-minute interval, 3 missed beats.
+  ASSERT_TRUE(lms_->WatchHeartbeat(TriggerKind::kInstanceFailed, "i/7",
+                                   "CRM@Blade1", Min(0), /*instance=*/7)
+                  .ok());
+  ASSERT_TRUE(lms_->RecordHeartbeat("i/7", Min(1)).ok());
+  lms_->CheckHeartbeats(Min(3));  // silent 2 min: below the deadline
+  EXPECT_TRUE(triggers_.empty());
+  lms_->CheckHeartbeats(Min(4));  // silent 3 min: declared failed
+  ASSERT_EQ(triggers_.size(), 1u);
+  EXPECT_EQ(triggers_[0].kind, TriggerKind::kInstanceFailed);
+  EXPECT_EQ(triggers_[0].subject, "CRM@Blade1");
+  EXPECT_EQ(triggers_[0].instance, 7u);
+  EXPECT_EQ(triggers_[0].at, Min(4));
+}
+
+TEST_F(HeartbeatTest, ReportsOnceUntilAFreshBeatArrives) {
+  ASSERT_TRUE(lms_->WatchHeartbeat(TriggerKind::kServerFailed, "s/Blade1",
+                                   "Blade1", Min(0))
+                  .ok());
+  lms_->CheckHeartbeats(Min(10));
+  lms_->CheckHeartbeats(Min(20));
+  EXPECT_EQ(triggers_.size(), 1u);  // no refire while still silent
+  // A fresh heartbeat rearms the watch; a later silence fires again.
+  ASSERT_TRUE(lms_->RecordHeartbeat("s/Blade1", Min(21)).ok());
+  lms_->CheckHeartbeats(Min(22));
+  EXPECT_EQ(triggers_.size(), 1u);
+  lms_->CheckHeartbeats(Min(30));
+  EXPECT_EQ(triggers_.size(), 2u);
+}
+
+TEST_F(HeartbeatTest, UnwatchTombstonesAndRewatchReactivates) {
+  ASSERT_TRUE(lms_->WatchHeartbeat(TriggerKind::kInstanceFailed, "i/7",
+                                   "CRM@Blade1", Min(0), 7)
+                  .ok());
+  ASSERT_TRUE(lms_->UnwatchHeartbeat("i/7").ok());
+  EXPECT_EQ(lms_->active_heartbeat_watches(), 0u);
+  lms_->CheckHeartbeats(Min(60));
+  EXPECT_TRUE(triggers_.empty());  // tombstoned: never fires
+  EXPECT_FALSE(lms_->RecordHeartbeat("i/7", Min(60)).ok());
+
+  // Re-watching the key reactivates the slot with fresh state — alive
+  // as of the re-watch time, new subject attribution.
+  ASSERT_TRUE(lms_->WatchHeartbeat(TriggerKind::kInstanceFailed, "i/7",
+                                   "CRM@Blade2", Min(60), 7)
+                  .ok());
+  EXPECT_EQ(lms_->active_heartbeat_watches(), 1u);
+  lms_->CheckHeartbeats(Min(62));
+  EXPECT_TRUE(triggers_.empty());
+  lms_->CheckHeartbeats(Min(63));
+  ASSERT_EQ(triggers_.size(), 1u);
+  EXPECT_EQ(triggers_[0].subject, "CRM@Blade2");
+}
+
 }  // namespace
 }  // namespace autoglobe::monitor

@@ -29,16 +29,29 @@
 //   autoglobectl design <landscape.xml|paper> [--out designed.xml]
 //       Compute a statically optimized pre-assignment (the §7
 //       landscape-designer tool) and optionally write it back out.
+//   autoglobectl availability [--scenario fm] [--scale 1.0]
+//       [--hours 24] [--seed 42] [--reps 1] [--parallelism 1]
+//       [--fault-plan plan.xml] [--crashes-per-hour 0.5]
+//       [--server-failures-per-day 1] [--dropouts-per-day 0]
+//       Run the fault-injected availability scenario (crash model +
+//       heartbeat detection + self-healing recovery) and print the
+//       MTTR / unavailability / objective-satisfaction scorecard.
+//
+// `run` also accepts --fault-plan <plan.xml> to inject a fault
+// schedule into an ordinary run; the availability report is printed
+// after the summary.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "autoglobe/availability.h"
 #include "autoglobe/capacity.h"
 #include "autoglobe/console.h"
 #include "common/strings.h"
 #include "designer/designer.h"
+#include "faults/plan.h"
 
 using namespace autoglobe;
 
@@ -69,7 +82,12 @@ Args ParseArgs(int argc, char** argv) {
                          key == "hours" || key == "seed" ||
                          key == "step" || key == "out" ||
                          key == "trace-out" || key == "metrics-out" ||
-                         key == "decision";
+                         key == "decision" || key == "fault-plan" ||
+                         key == "reps" || key == "parallelism" ||
+                         key == "crashes-per-hour" ||
+                         key == "server-failures-per-day" ||
+                         key == "dropouts-per-day" ||
+                         key == "action-windows-per-day";
       if (takes_value && i + 1 < argc) {
         args.options[key] = argv[++i];
       } else {
@@ -166,6 +184,11 @@ int CmdRun(const Args& args) {
   config.use_forecast = args.Has("forecast");
   if (args.Has("static")) config.controller_enabled = false;
   if (args.Has("trace-out")) config.observability.enable_tracing = true;
+  if (args.Has("fault-plan")) {
+    auto plan = faults::FaultPlan::LoadFile(args.Get("fault-plan", ""));
+    if (!plan.ok()) return Fail(plan.status());
+    config.fault_plan = std::move(*plan);
+  }
 
   auto runner = SimulationRunner::Create(*landscape, config);
   if (!runner.ok()) return Fail(runner.status());
@@ -209,7 +232,68 @@ int CmdRun(const Args& args) {
       m.max_overload_streak_minutes, static_cast<long long>(m.triggers),
       static_cast<long long>(m.actions_executed),
       static_cast<long long>(m.alerts));
+  if (config.fault_plan.has_value()) {
+    std::printf("\n%s", faults::RenderAvailabilityReport(
+                            (*runner)->availability_report())
+                            .c_str());
+  }
   std::printf("\n%s", Console(runner->get()).Render().c_str());
+  return 0;
+}
+
+int CmdAvailability(const Args& args) {
+  auto scenario = ScenarioArg(args);
+  if (!scenario.ok()) return Fail(scenario.status());
+  auto scale = ParseDouble(args.Get("scale", "1.0"));
+  auto hours = ParseInt(args.Get("hours", "24"));
+  auto seed = ParseInt(args.Get("seed", "42"));
+  auto reps = ParseInt(args.Get("reps", "1"));
+  auto parallelism = ParseInt(args.Get("parallelism", "1"));
+  auto crashes = ParseDouble(args.Get("crashes-per-hour", "0.5"));
+  auto server_failures =
+      ParseDouble(args.Get("server-failures-per-day", "1"));
+  auto dropouts = ParseDouble(args.Get("dropouts-per-day", "0"));
+  auto action_windows =
+      ParseDouble(args.Get("action-windows-per-day", "0"));
+  for (const Status& s :
+       {scale.status(), hours.status(), seed.status(), reps.status(),
+        parallelism.status(), crashes.status(),
+        server_failures.status(), dropouts.status(),
+        action_windows.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+
+  AvailabilityOptions options;
+  options.scenario = *scenario;
+  options.user_scale = *scale;
+  options.duration = Duration::Hours(*hours);
+  options.seed = static_cast<uint64_t>(*seed);
+  options.repetitions = static_cast<int>(*reps);
+  options.parallelism = static_cast<int>(*parallelism);
+  if (args.Has("fault-plan")) {
+    auto plan = faults::FaultPlan::LoadFile(args.Get("fault-plan", ""));
+    if (!plan.ok()) return Fail(plan.status());
+    options.plan = std::move(*plan);
+  } else {
+    options.fault_spec.instance_crashes_per_hour = *crashes;
+    options.fault_spec.server_failures_per_day = *server_failures;
+    options.fault_spec.monitor_dropouts_per_day = *dropouts;
+    options.fault_spec.action_failure_windows_per_day = *action_windows;
+  }
+
+  auto result = RunAvailabilityScenario(options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s", RenderAvailabilityResult(*result).c_str());
+  for (const AvailabilityRun& run : result->runs) {
+    if (!run.invariants_ok) {
+      std::fprintf(stderr,
+                   "error: cluster invariants violated after seed "
+                   "%llu: %s\n",
+                   static_cast<unsigned long long>(run.seed),
+                   run.invariants_error.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -354,7 +438,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: autoglobectl <export|validate|run|explain|"
-                 "capacity|design> ...\n");
+                 "capacity|design|availability> ...\n");
     return 1;
   }
   Args args = ParseArgs(argc, argv);
@@ -365,6 +449,7 @@ int main(int argc, char** argv) {
   if (command == "explain") return CmdExplain(args);
   if (command == "capacity") return CmdCapacity(args);
   if (command == "design") return CmdDesign(args);
+  if (command == "availability") return CmdAvailability(args);
   std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
   return 1;
 }
