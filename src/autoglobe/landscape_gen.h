@@ -1,0 +1,78 @@
+#ifndef AUTOGLOBE_AUTOGLOBE_LANDSCAPE_GEN_H_
+#define AUTOGLOBE_AUTOGLOBE_LANDSCAPE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autoglobe/landscape.h"
+#include "common/result.h"
+
+namespace autoglobe {
+
+/// One homogeneous server pool of a generated landscape. The pool
+/// name doubles as the ServerSpec category, so the landscape index
+/// groups the pool's servers for hierarchical aggregation.
+struct PoolGenSpec {
+  std::string category;
+  int count = 0;
+  double performance_index = 1.0;
+  int num_cpus = 1;
+  double cpu_clock_ghz = 1.0;
+  double cpu_cache_mb = 0.5;
+  double memory_gb = 4.0;
+};
+
+/// Parameters of a generated landscape. Generation is a pure function
+/// of this spec — the same spec (seed included) produces byte-
+/// identical XML — and scales from a handful of servers to tens of
+/// thousands.
+///
+/// The demand model is built for hyperscale benchmarking: the first
+/// `active_services` get a piecewise-linear day profile oscillating
+/// between two in-band activity levels, so their loads change every
+/// tick without ever crossing a trigger threshold; the rest run a
+/// flat profile with zero noise, so their loads are bitwise-constant
+/// and the monitor's dirty tracking can compress them away. Per-
+/// service user counts are back-computed so each *server* peaks near
+/// `target_load` regardless of pool performance index or stacking.
+struct LandscapeGenSpec {
+  uint64_t seed = 1;
+  std::vector<PoolGenSpec> pools;
+  /// Interactive app services, named Svc-00001 ... (zero-padded).
+  int num_services = 0;
+  /// Leading services given the oscillating (always-dirty) profile.
+  int active_services = 0;
+  /// Instances per service (placed on distinct servers of one pool).
+  int instances_per_service = 1;
+  /// Peak server CPU load the demand model aims at. Must sit inside
+  /// the monitor's (idle, overload) band.
+  double target_load = 0.55;
+  /// Per-service peak jitter: each service's target is scaled by a
+  /// seeded uniform draw from [1 - target_jitter, 1].
+  double target_jitter = 0.1;
+  double request_cost = 1.0;
+  double base_load_wu = 0.01;
+  double memory_footprint_gb = 0.5;
+  /// Relative demand noise (0 keeps inactive loads bitwise-constant).
+  double noise_stddev = 0.0;
+};
+
+/// Generates a landscape from the spec: servers per pool, services
+/// assigned to pools round-robin, instances placed on distinct
+/// servers inside the service's pool (memory- and exclusivity-clean,
+/// so the result passes VerifyClusterInvariants), and demand specs
+/// back-computed from the pool's performance index and the expected
+/// instance stacking.
+Result<Landscape> GenerateLandscape(const LandscapeGenSpec& spec);
+
+/// Canonical spec of the scale sweep: `num_servers` across three
+/// pools (small/mid/large blades), two instances per service, one
+/// service per two servers, and a *fixed* number of always-active
+/// services — so activity stays constant while the fleet grows, which
+/// is exactly the regime where O(active) ticks beat O(fleet).
+LandscapeGenSpec MakeScaleSpec(int num_servers, uint64_t seed = 1);
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_AUTOGLOBE_LANDSCAPE_GEN_H_

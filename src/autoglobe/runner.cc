@@ -16,7 +16,7 @@ using monitor::TriggerKind;
 /// forecasts for the proactive-controller ablation.
 class SimulationRunner::View : public controller::LoadView {
  public:
-  View(const SimulationRunner* runner) : runner_(runner) {}
+  View(SimulationRunner* runner) : runner_(runner) {}
 
   double ServerCpuLoad(std::string_view server) const override {
     return SubjectLoad(TriggerKind::kServerOverloaded, server,
@@ -40,6 +40,13 @@ class SimulationRunner::View : public controller::LoadView {
                      double live) const {
     std::string key = LoadMonitoringSystem::ArchiveKey(kind, name);
     SimTime now = runner_->simulator_.now();
+    // Dirty tracking may hold a quiescent subject's recent samples
+    // compressed outside the archive — replay them before reading, so
+    // the watch-time mean is computed over the complete series.
+    auto subject = runner_->monitoring_->SubjectIdOf(name);
+    if (subject.ok()) {
+      AG_CHECK_OK(runner_->monitoring_->MaterializeSubject(*subject));
+    }
     auto mean = runner_->archive_.Average(
         key, runner_->config_.monitor.overload_watch_time, now);
     double current = mean.ok() ? *mean : live;
@@ -53,11 +60,13 @@ class SimulationRunner::View : public controller::LoadView {
     return current;
   }
 
-  const SimulationRunner* runner_;
+  SimulationRunner* runner_;
 };
 
 SimulationRunner::SimulationRunner(RunnerConfig config)
-    : config_(config), failure_rng_(config.seed ^ 0xfa11fa11u) {}
+    : config_(config),
+      archive_(config.archive_retention, config.archive_bucket),
+      failure_rng_(config.seed ^ 0xfa11fa11u) {}
 
 SimulationRunner::~SimulationRunner() = default;
 
@@ -105,6 +114,23 @@ Status SimulationRunner::Init(const Landscape& landscape) {
   demand_->set_distribution(config_.distribution);
   demand_->set_fluctuation_per_minute(config_.fluctuation_per_minute);
   demand_->set_overload_threshold(config_.overload_threshold);
+
+  // Pre-size every archive series for the full retention window and
+  // the whole run's aggregate buckets: steady-state appends never
+  // grow a ring. (A few KB per subject at the default 1-min tick.)
+  if (config_.tick > Duration::Zero()) {
+    archive_.set_capacity_hints(
+        static_cast<size_t>(archive_.raw_retention().seconds() /
+                            config_.tick.seconds()) +
+            2,
+        static_cast<size_t>(config_.duration.seconds() /
+                            archive_.aggregate_bucket().seconds()) +
+            2);
+  }
+  // The proactive ablation reads forecasts (hence the archive) before
+  // every observation — carry-forward compression would serve it
+  // stale series, so it runs with the exhaustive evaluation path.
+  if (config_.use_forecast) config_.monitor.dirty_tracking = false;
 
   monitoring_ = std::make_unique<LoadMonitoringSystem>(&archive_,
                                                        config_.monitor);
@@ -186,6 +212,12 @@ Status SimulationRunner::Init(const Landscape& landscape) {
   controller_ =
       std::make_unique<controller::Controller>(std::move(controller));
   controller_->set_audit_log(audit_.get());
+  // Hierarchical per-pool aggregates: fed every tick from the
+  // smoothed server loads; the controller consults them when its
+  // pool prescreen is enabled. The pool layout is fixed after Init
+  // (the server set never changes mid-run), so one Reset suffices.
+  pool_stats_.Reset(&cluster_.Index());
+  controller_->set_pool_stats(&pool_stats_);
   controller_->set_alert_callback(
       [this](const Trigger& trigger, const std::string& reason) {
         ++metrics_.alerts;
@@ -259,15 +291,23 @@ Status SimulationRunner::Init(const Landscape& landscape) {
     // Heartbeat watches: servers first (stable registration order =
     // sorted names), then the initial instances via the same
     // reconciliation that keeps watches epoch-synced during the run.
+    server_hb_keys_.reserve(server_names_.size());
+    server_hb_ids_.reserve(server_names_.size());
     for (const std::string& server : server_names_) {
       server_hb_keys_.push_back("s/" + server);
       AG_RETURN_IF_ERROR(monitoring_->WatchHeartbeat(
           TriggerKind::kServerFailed, server_hb_keys_.back(), server,
           SimTime::Start()));
+      AG_ASSIGN_OR_RETURN(size_t hb_id,
+                          monitoring_->HeartbeatIdOf(server_hb_keys_.back()));
+      server_hb_ids_.push_back(hb_id);
     }
     ReconcileInstanceWatches(SimTime::Start());
   }
 
+  // The periodic tick re-arms in place; pre-sizing the event heap
+  // keeps occasional action/fault scheduling from regrowing it.
+  simulator_.ReserveEvents(64);
   AG_RETURN_IF_ERROR(
       simulator_.SchedulePeriodic(config_.tick, "tick", [this] { OnTick(); })
           .status());
@@ -328,6 +368,7 @@ void SimulationRunner::OnTick() {
     }
     double smoothed =
         stat.window_sum / static_cast<double>(stat.count);
+    pool_stats_.Update(server_id, smoothed);
     if (smoothed > config_.overload_threshold) {
       metrics_.overload_server_minutes += tick_minutes;
       stat.streak_minutes += tick_minutes;
@@ -505,13 +546,14 @@ void SimulationRunner::ReconcileInstanceWatches(SimTime now) {
   for (auto it = watched_instances_.begin();
        it != watched_instances_.end();) {
     if (current.find(it->first) == current.end()) {
-      AG_CHECK_OK(monitoring_->UnwatchHeartbeat(it->second));
+      AG_CHECK_OK(monitoring_->UnwatchHeartbeat(it->second.key));
       it = watched_instances_.erase(it);
     } else {
       ++it;
     }
   }
-  // Watch newly placed instances.
+  // Watch newly placed instances, caching the dense heartbeat slot
+  // for the per-tick feed.
   for (const auto& [id, instance] : current) {
     if (watched_instances_.find(id) != watched_instances_.end()) continue;
     std::string key =
@@ -519,7 +561,9 @@ void SimulationRunner::ReconcileInstanceWatches(SimTime now) {
     AG_CHECK_OK(monitoring_->WatchHeartbeat(TriggerKind::kInstanceFailed,
                                             key, instance->service, now,
                                             id));
-    watched_instances_[id] = std::move(key);
+    auto hb_id = monitoring_->HeartbeatIdOf(key);
+    AG_CHECK_OK(hb_id.status());
+    watched_instances_[id] = WatchedInstance{std::move(key), *hb_id};
   }
 }
 
@@ -533,19 +577,19 @@ void SimulationRunner::FeedHeartbeats(SimTime now) {
     if (cluster_.IsServerUp(server) &&
         fault_injector_->IsReporting(server, now)) {
       AG_CHECK_OK(
-          monitoring_->RecordHeartbeat(server_hb_keys_[position], now));
+          monitoring_->RecordHeartbeatById(server_hb_ids_[position], now));
     }
   }
   // Instance heartbeats: an instance reports while its process lives
   // (starting or running) and its host's monitoring path is up.
-  for (const auto& [id, key] : watched_instances_) {
+  for (const auto& [id, watch] : watched_instances_) {
     auto instance = cluster_.FindInstance(id);
     if (!instance.ok()) continue;  // removed this very tick
     if ((*instance)->state == infra::InstanceState::kFailed) continue;
     const std::string& server = (*instance)->server;
     if (cluster_.IsServerUp(server) &&
         fault_injector_->IsReporting(server, now)) {
-      AG_CHECK_OK(monitoring_->RecordHeartbeat(key, now));
+      AG_CHECK_OK(monitoring_->RecordHeartbeatById(watch.hb_id, now));
     }
   }
   monitoring_->CheckHeartbeats(now);
@@ -565,13 +609,18 @@ Status SimulationRunner::RunUntil(SimTime end) {
     return Status::FailedPrecondition("runner not initialized");
   }
   simulator_.RunUntil(end);
+  // Flush carry-forward runs so everything downstream of the run —
+  // console views, archive Save, figure benches — sees the complete
+  // series.
+  AG_RETURN_IF_ERROR(monitoring_->MaterializeAll());
   // Fold engine-level metrics.
   metrics_.lost_work_wu = demand_->TotalLostWork();
   metrics_.sla_violation_minutes = slas_.TotalViolationMinutes();
   metrics_.average_cpu_load =
       load_samples_ > 0 ? load_sum_ / static_cast<double>(load_samples_)
                         : 0.0;
-  int64_t server_count = static_cast<int64_t>(cluster_.Servers().size());
+  int64_t server_count =
+      static_cast<int64_t>(cluster_.Index().num_servers());
   double total_minutes =
       static_cast<double>(
           (simulator_.now() - (SimTime::Start() + config_.metrics_warmup))

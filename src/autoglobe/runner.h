@@ -23,6 +23,7 @@
 #include "infra/executor.h"
 #include "monitor/load_archive.h"
 #include "monitor/monitoring.h"
+#include "monitor/pool_stats.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
@@ -45,6 +46,14 @@ struct RunnerConfig {
   monitor::MonitorConfig monitor;
   infra::ExecutorConfig executor;
   controller::ControllerConfig controller;
+
+  /// Load-archive shape. Retention bounds each subject's raw-sample
+  /// ring (retention / tick samples); hyperscale sweeps shrink it so
+  /// ten thousand subjects fit a sane memory budget. The runner
+  /// pre-sizes every series from these at Init, so steady-state
+  /// archive appends never touch the heap.
+  Duration archive_retention = Duration::Hours(48);
+  Duration archive_bucket = Duration::Minutes(15);
 
   /// False disables the whole control loop (the static scenario).
   bool controller_enabled = true;
@@ -160,6 +169,13 @@ class SimulationRunner {
   const workload::DemandEngine& demand() const { return *demand_; }
   monitor::LoadArchive& archive() { return archive_; }
   const monitor::LoadArchive& archive() const { return archive_; }
+  monitor::LoadMonitoringSystem& monitoring() { return *monitoring_; }
+  const monitor::LoadMonitoringSystem& monitoring() const {
+    return *monitoring_;
+  }
+  /// Per-pool load aggregates, fed every tick (drives the
+  /// controller's optional pool prescreen).
+  const monitor::PoolLoadStats& pool_stats() const { return pool_stats_; }
   infra::ActionExecutor& executor() { return *executor_; }
   const infra::ActionExecutor& executor() const { return *executor_; }
   controller::Controller& controller() { return *controller_; }
@@ -231,13 +247,21 @@ class SimulationRunner {
   std::unique_ptr<faults::AvailabilityTracker> availability_;
   std::unique_ptr<faults::FaultInjector> fault_injector_;
   std::unique_ptr<faults::RecoveryManager> recovery_;
-  /// Instance heartbeat watches currently held (id -> monitor key),
-  /// valid for topology epoch watched_epoch_.
-  std::map<infra::InstanceId, std::string> watched_instances_;
+  /// Instance heartbeat watches currently held (id -> monitor key +
+  /// dense heartbeat slot), valid for topology epoch watched_epoch_.
+  struct WatchedInstance {
+    std::string key;
+    size_t hb_id = 0;
+  };
+  std::map<infra::InstanceId, WatchedInstance> watched_instances_;
   uint64_t watched_epoch_ = 0;
-  /// Server heartbeat keys ("s/<name>"), parallel to server_names_.
+  /// Server heartbeat keys ("s/<name>") and their dense heartbeat
+  /// slots, parallel to server_names_. The per-tick feed runs purely
+  /// on the slots.
   std::vector<std::string> server_hb_keys_;
+  std::vector<size_t> server_hb_ids_;
   controller::ReservationBook reservations_;
+  monitor::PoolLoadStats pool_stats_;
   SlaTracker slas_;
   SampleHook sample_hook_;
   RunMetrics metrics_;

@@ -506,74 +506,106 @@ Result<std::vector<ScoredServer>> Controller::RankServersImpl(
     }
   };
   std::vector<ScoredServer> scored;
-  for (const infra::ServerSpec* server : cluster_->Servers()) {
-    if (server->name == source_server) continue;
-    if (cluster_->IsServerProtected(server->name, now)) {
-      reject(server->name, "server is in protection mode");
-      continue;
+  auto consider = [&](const infra::ServerSpec& server) -> Status {
+    if (server.name == source_server) return Status::OK();
+    if (cluster_->IsServerProtected(server.name, now)) {
+      reject(server.name, "server is in protection mode");
+      return Status::OK();
     }
     if (host_filter_) {
-      Status allowed = host_filter_(server->name);
+      Status allowed = host_filter_(server.name);
       if (!allowed.ok()) {
-        reject(server->name, allowed.message());
-        continue;
+        reject(server.name, allowed.message());
+        return Status::OK();
       }
     }
     infra::InstanceId exclude =
         infra::ActionNeedsInstance(action.type) ? action.instance : 0;
     Status can_place =
-        cluster_->CanPlace(action.service, server->name, exclude);
+        cluster_->CanPlace(action.service, server.name, exclude);
     if (!can_place.ok()) {
-      reject(server->name, can_place.message());
-      continue;
+      reject(server.name, can_place.message());
+      return Status::OK();
     }
     if (action.type == ActionType::kScaleUp &&
-        server->performance_index <= source_pi) {
-      reject(server->name,
+        server.performance_index <= source_pi) {
+      reject(server.name,
              StrFormat("performance index %.2f not above source %.2f",
-                       server->performance_index, source_pi));
-      continue;
+                       server.performance_index, source_pi));
+      return Status::OK();
     }
     if (action.type == ActionType::kScaleDown &&
-        server->performance_index >= source_pi) {
-      reject(server->name,
+        server.performance_index >= source_pi) {
+      reject(server.name,
              StrFormat("performance index %.2f not below source %.2f",
-                       server->performance_index, source_pi));
-      continue;
+                       server.performance_index, source_pi));
+      return Status::OK();
     }
     if (reservations_ != nullptr) {
       // Leave reserved memory untouched for the registered task.
       AG_ASSIGN_OR_RETURN(const infra::ServiceSpec* spec,
                           cluster_->FindService(action.service));
       double reserved = reservations_->ReservedMemory(
-          server->name, now, reservation_lookahead_, action.service);
-      double free = server->memory_gb -
-                    cluster_->UsedMemoryGb(server->name) - reserved;
+          server.name, now, reservation_lookahead_, action.service);
+      double free = server.memory_gb -
+                    cluster_->UsedMemoryGb(server.name) - reserved;
       if (spec->memory_footprint_gb > free + 1e-9) {
-        reject(server->name,
+        reject(server.name,
                StrFormat("insufficient unreserved memory (%.1f GB free, "
                          "%.1f GB reserved)",
                          free, reserved));
-        continue;
+        return Status::OK();
       }
     }
     AG_RETURN_IF_ERROR(
-        FillServerSlots(*server, now, action.service, base));
+        FillServerSlots(server, now, action.service, base));
     base.compiled.Evaluate(base.slots.data(), config_.defuzzifier,
                            &base.scratch);
     if (audit != nullptr) {
       audit->evaluations.push_back(
-          MakeInferenceRecord(base, server->name));
+          MakeInferenceRecord(base, server.name));
     }
     double score =
         base.scratch.crisp[static_cast<size_t>(suitability_slot)];
     if (score < config_.min_host_score) {
-      reject(server->name,
+      reject(server.name,
              StrFormat("suitability %.4f below minimum %.4f", score,
                        config_.min_host_score));
-      continue;
+      return Status::OK();
     }
-    scored.push_back(ScoredServer{server->name, score});
+    scored.push_back(ScoredServer{server.name, score});
+    return Status::OK();
+  };
+  // The dense index enumerates servers in sorted-name order — the
+  // same order the string-keyed map scan used — without materializing
+  // a vector of specs per call.
+  const infra::LandscapeIndex& index = cluster_->Index();
+  if (config_.pool_prescreen && pool_stats_ != nullptr &&
+      index.num_pools() > 1) {
+    // Hierarchical selection: lightest pool (lowest mean load) first,
+    // stop at the first pool that yields a candidate. If every pool
+    // comes up empty this degenerates into the full scan.
+    std::vector<int32_t> pools(index.num_pools());
+    for (size_t p = 0; p < pools.size(); ++p) {
+      pools[p] = static_cast<int32_t>(p);
+    }
+    std::sort(pools.begin(), pools.end(), [&](int32_t a, int32_t b) {
+      double ma = pool_stats_->PoolMean(a);
+      double mb = pool_stats_->PoolMean(b);
+      if (ma != mb) return ma < mb;
+      return a < b;
+    });
+    for (int32_t pool : pools) {
+      for (infra::DenseId s : index.ServersInPool(pool)) {
+        AG_RETURN_IF_ERROR(consider(index.Server(s)));
+      }
+      if (!scored.empty()) break;
+    }
+  } else {
+    for (size_t s = 0; s < index.num_servers(); ++s) {
+      AG_RETURN_IF_ERROR(
+          consider(index.Server(static_cast<infra::DenseId>(s))));
+    }
   }
   std::sort(scored.begin(), scored.end(),
             [](const ScoredServer& a, const ScoredServer& b) {

@@ -14,6 +14,7 @@
 #include "controller/reservations.h"
 #include "infra/executor.h"
 #include "monitor/monitoring.h"
+#include "monitor/pool_stats.h"
 #include "obs/audit.h"
 
 namespace autoglobe::controller {
@@ -51,6 +52,14 @@ struct ControllerConfig {
   double min_host_score = 0.15;
   fuzzy::Defuzzifier defuzzifier = fuzzy::Defuzzifier::kLeftmostMax;
   ControllerMode mode = ControllerMode::kAutomatic;
+  /// Hierarchical server selection (needs set_pool_stats): rank the
+  /// landscape's server pools by mean load first and evaluate hosts
+  /// pool by pool, lightest pool first, stopping at the first pool
+  /// that yields a candidate — O(pools + pool-size) instead of
+  /// O(fleet) per trigger. Falls back to scanning every pool when
+  /// none yields a host. Off by default: the exhaustive scan ranks
+  /// *all* feasible hosts, which the paper-landscape goldens pin.
+  bool pool_prescreen = false;
 };
 
 /// An action together with its defuzzified applicability (0..1).
@@ -152,6 +161,14 @@ class Controller {
                         Duration lookahead = Duration::Hours(1)) {
     reservations_ = reservations;
     reservation_lookahead_ = lookahead;
+  }
+
+  /// Installs the per-pool load aggregates driving the pool
+  /// prescreen (nullptr clears; the prescreen also needs
+  /// ControllerConfig::pool_prescreen). The stats must be fed from
+  /// the same landscape the controller ranks over.
+  void set_pool_stats(const monitor::PoolLoadStats* stats) {
+    pool_stats_ = stats;
   }
 
   /// Installs a decision audit trail (nullptr clears): every
@@ -274,6 +291,7 @@ class Controller {
   AlertCallback alert_;
   HostFilter host_filter_;
   obs::AuditLog* audit_ = nullptr;
+  const monitor::PoolLoadStats* pool_stats_ = nullptr;
   const ReservationBook* reservations_ = nullptr;
   Duration reservation_lookahead_ = Duration::Hours(1);
 };

@@ -25,6 +25,7 @@ Status Cluster::AddServer(ServerSpec spec) {
         StrFormat("server \"%s\" already exists", spec.name.c_str()));
   }
   std::string key = spec.name;
+  server_instances_.emplace(key, std::vector<InstanceId>{});
   servers_.emplace(std::move(key), std::move(spec));
   BumpTopology();
   return Status::OK();
@@ -37,9 +38,47 @@ Status Cluster::AddService(ServiceSpec spec) {
         StrFormat("service \"%s\" already exists", spec.name.c_str()));
   }
   std::string key = spec.name;
+  service_instances_.emplace(key, std::vector<InstanceId>{});
   services_.emplace(std::move(key), std::move(spec));
   BumpTopology();
   return Status::OK();
+}
+
+const std::vector<InstanceId>* Cluster::IdsOn(
+    std::string_view server) const {
+  auto it = server_instances_.find(server);
+  return it == server_instances_.end() ? nullptr : &it->second;
+}
+
+const std::vector<InstanceId>* Cluster::IdsOf(
+    std::string_view service) const {
+  auto it = service_instances_.find(service);
+  return it == service_instances_.end() ? nullptr : &it->second;
+}
+
+void Cluster::BookInstance(const ServiceInstance& instance) {
+  auto insert_sorted = [](std::vector<InstanceId>* ids, InstanceId id) {
+    // Ids are allocated monotonically, so this is a push_back except
+    // after moves, which re-book an old id.
+    ids->insert(std::lower_bound(ids->begin(), ids->end(), id), id);
+  };
+  insert_sorted(&server_instances_[instance.server], instance.id);
+  insert_sorted(&service_instances_[instance.service], instance.id);
+}
+
+void Cluster::UnbookInstance(const ServiceInstance& instance) {
+  auto erase_sorted = [](std::vector<InstanceId>* ids, InstanceId id) {
+    auto it = std::lower_bound(ids->begin(), ids->end(), id);
+    if (it != ids->end() && *it == id) ids->erase(it);
+  };
+  auto server_it = server_instances_.find(instance.server);
+  if (server_it != server_instances_.end()) {
+    erase_sorted(&server_it->second, instance.id);
+  }
+  auto service_it = service_instances_.find(instance.service);
+  if (service_it != service_instances_.end()) {
+    erase_sorted(&service_it->second, instance.id);
+  }
 }
 
 Result<const ServerSpec*> Cluster::FindServer(std::string_view name) const {
@@ -122,10 +161,17 @@ Status Cluster::CanPlace(std::string_view service, std::string_view server,
         service_spec->name.c_str(), service_spec->max_instances));
   }
 
+  // Walk only this server's booked instances, in id order — the same
+  // visit order (and therefore the same first-failure precedence and
+  // floating-point memory sum) as the historical full-map scan
+  // restricted to this server.
+  static const std::vector<InstanceId> kNoIds;
+  const std::vector<InstanceId>* hosted = IdsOn(server);
+  if (hosted == nullptr) hosted = &kNoIds;
   double used_memory = 0.0;
-  for (const auto& [id, instance] : instances_) {
+  for (InstanceId id : *hosted) {
     if (id == exclude_instance) continue;
-    if (instance.server != server) continue;
+    const ServiceInstance& instance = instances_.find(id)->second;
     if (instance.service == service) {
       return Status::FailedPrecondition(StrFormat(
           "service \"%s\" already has an instance on server \"%s\"",
@@ -173,7 +219,8 @@ Result<InstanceId> Cluster::PlaceInstance(std::string_view service,
   instance.placed_at = now;
   instance.virtual_ip = NextVirtualIp(service);
   InstanceId id = instance.id;
-  instances_.emplace(id, std::move(instance));
+  auto emplaced = instances_.emplace(id, std::move(instance));
+  BookInstance(emplaced.first->second);
   BumpTopology();
   return id;
 }
@@ -193,6 +240,7 @@ Status Cluster::RemoveInstance(InstanceId id, bool enforce_min) {
           spec->name.c_str(), spec->min_instances));
     }
   }
+  UnbookInstance(it->second);
   instances_.erase(it);
   BumpTopology();
   return Status::OK();
@@ -210,8 +258,10 @@ Status Cluster::MoveInstance(InstanceId id, std::string_view target_server,
       CanPlace(instance->service, target_server, instance->id));
   // Unbind the service IP from the old host's NIC, rebind on the new
   // one (paper §2's service virtualization).
+  UnbookInstance(*instance);
   instance->server = std::string(target_server);
   instance->placed_at = now;
+  BookInstance(*instance);
   BumpTopology();
   return Status::OK();
 }
@@ -243,8 +293,11 @@ Result<ServiceInstance*> Cluster::FindMutableInstance(InstanceId id) {
 std::vector<const ServiceInstance*> Cluster::InstancesOn(
     std::string_view server) const {
   std::vector<const ServiceInstance*> out;
-  for (const auto& [id, instance] : instances_) {
-    if (instance.server == server) out.push_back(&instance);
+  const std::vector<InstanceId>* ids = IdsOn(server);
+  if (ids == nullptr) return out;
+  out.reserve(ids->size());
+  for (InstanceId id : *ids) {
+    out.push_back(&instances_.find(id)->second);
   }
   return out;
 }
@@ -252,19 +305,23 @@ std::vector<const ServiceInstance*> Cluster::InstancesOn(
 std::vector<const ServiceInstance*> Cluster::InstancesOf(
     std::string_view service) const {
   std::vector<const ServiceInstance*> out;
-  for (const auto& [id, instance] : instances_) {
-    if (instance.service == service) out.push_back(&instance);
+  const std::vector<InstanceId>* ids = IdsOf(service);
+  if (ids == nullptr) return out;
+  out.reserve(ids->size());
+  for (InstanceId id : *ids) {
+    out.push_back(&instances_.find(id)->second);
   }
   return out;
 }
 
 int Cluster::ActiveInstanceCount(std::string_view service,
                                  InstanceId exclude_instance) const {
+  const std::vector<InstanceId>* ids = IdsOf(service);
+  if (ids == nullptr) return 0;
   int count = 0;
-  for (const auto& [id, instance] : instances_) {
+  for (InstanceId id : *ids) {
     if (id == exclude_instance) continue;
-    if (instance.service == service &&
-        instance.state != InstanceState::kFailed) {
+    if (instances_.find(id)->second.state != InstanceState::kFailed) {
       ++count;
     }
   }
@@ -272,10 +329,11 @@ int Cluster::ActiveInstanceCount(std::string_view service,
 }
 
 int Cluster::RunningInstanceCount(std::string_view service) const {
+  const std::vector<InstanceId>* ids = IdsOf(service);
+  if (ids == nullptr) return 0;
   int count = 0;
-  for (const auto& [id, instance] : instances_) {
-    if (instance.service == service &&
-        instance.state == InstanceState::kRunning) {
+  for (InstanceId id : *ids) {
+    if (instances_.find(id)->second.state == InstanceState::kRunning) {
       ++count;
     }
   }
@@ -283,9 +341,11 @@ int Cluster::RunningInstanceCount(std::string_view service) const {
 }
 
 double Cluster::UsedMemoryGb(std::string_view server) const {
+  const std::vector<InstanceId>* ids = IdsOn(server);
+  if (ids == nullptr) return 0.0;
   double used = 0.0;
-  for (const auto& [id, instance] : instances_) {
-    if (instance.server != server) continue;
+  for (InstanceId id : *ids) {
+    const ServiceInstance& instance = instances_.find(id)->second;
     auto spec = services_.find(instance.service);
     if (spec != services_.end()) used += spec->second.memory_footprint_gb;
   }

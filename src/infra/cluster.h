@@ -164,8 +164,24 @@ class Cluster {
   std::string NextVirtualIp(std::string_view service);
   void BumpTopology() { ++topology_epoch_; }
 
+  /// Incremental placement books: the instance ids hosted on each
+  /// server / belonging to each service, kept in ascending id order —
+  /// the exact iteration order of the global instance map restricted
+  /// to that entity. CanPlace, the instance counts, and UsedMemoryGb
+  /// walk these short lists instead of scanning every instance in the
+  /// cluster, which turns an O(total-instances) check (an O(N^2)
+  /// landscape build at 10k servers) into O(instances-per-entity).
+  const std::vector<InstanceId>* IdsOn(std::string_view server) const;
+  const std::vector<InstanceId>* IdsOf(std::string_view service) const;
+  void BookInstance(const ServiceInstance& instance);
+  void UnbookInstance(const ServiceInstance& instance);
+
   std::map<std::string, ServerSpec, std::less<>> servers_;
   std::map<std::string, ServiceSpec, std::less<>> services_;
+  std::map<std::string, std::vector<InstanceId>, std::less<>>
+      server_instances_;
+  std::map<std::string, std::vector<InstanceId>, std::less<>>
+      service_instances_;
   /// Servers currently failed (absent = up).
   std::map<std::string, bool, std::less<>> server_down_;
   std::map<InstanceId, ServiceInstance> instances_;

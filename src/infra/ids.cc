@@ -27,10 +27,19 @@ DenseId LandscapeIndex::ServiceIdOf(std::string_view name) const {
 }
 
 void LandscapeIndex::Rebuild(const Cluster& cluster) {
+  // Pre-reserve every array from the cluster's entity counts: a
+  // 10k-server rebuild does one allocation per array, never an
+  // incremental regrowth.
+  size_t n_servers = cluster.servers_.size();
+  size_t n_services = cluster.services_.size();
   server_names_.clear();
   servers_.clear();
   performance_.clear();
   memory_gb_.clear();
+  server_names_.reserve(n_servers);
+  servers_.reserve(n_servers);
+  performance_.reserve(n_servers);
+  memory_gb_.reserve(n_servers);
   for (const auto& [name, spec] : cluster.servers_) {
     server_names_.push_back(name);  // map order == sorted order
     servers_.push_back(&spec);
@@ -41,6 +50,9 @@ void LandscapeIndex::Rebuild(const Cluster& cluster) {
   service_names_.clear();
   services_.clear();
   priorities_.clear();
+  service_names_.reserve(n_services);
+  services_.reserve(n_services);
+  priorities_.reserve(n_services);
   for (const auto& [name, spec] : cluster.services_) {
     service_names_.push_back(name);
     services_.push_back(&spec);
@@ -98,6 +110,37 @@ void LandscapeIndex::Rebuild(const Cluster& cluster) {
             Service(ref.service).memory_footprint_gb;
       }
     }
+  }
+
+  // Pool layout: distinct server categories, sorted; servers bucketed
+  // in dense-id order (another counting sort). Servers without a
+  // category form the "" pool.
+  pool_names_.clear();
+  pool_names_.reserve(servers_.size());
+  for (const ServerSpec* server : servers_) {
+    pool_names_.push_back(server->category);
+  }
+  std::sort(pool_names_.begin(), pool_names_.end());
+  pool_names_.erase(std::unique(pool_names_.begin(), pool_names_.end()),
+                    pool_names_.end());
+  pool_of_server_.assign(num_servers(), 0);
+  pool_offsets_.assign(pool_names_.size() + 1, 0);
+  for (size_t s = 0; s < num_servers(); ++s) {
+    auto it = std::lower_bound(pool_names_.begin(), pool_names_.end(),
+                               servers_[s]->category);
+    pool_of_server_[s] = static_cast<int32_t>(it - pool_names_.begin());
+    ++pool_offsets_[static_cast<size_t>(pool_of_server_[s]) + 1];
+  }
+  for (size_t p = 1; p <= pool_names_.size(); ++p) {
+    pool_offsets_[p] += pool_offsets_[p - 1];
+  }
+  pool_servers_.assign(num_servers(), kNoDenseId);
+  std::vector<int32_t> pool_cursor(pool_offsets_.begin(),
+                                   pool_offsets_.end() - 1);
+  for (size_t s = 0; s < num_servers(); ++s) {
+    size_t pool = static_cast<size_t>(pool_of_server_[s]);
+    pool_servers_[static_cast<size_t>(pool_cursor[pool]++)] =
+        static_cast<DenseId>(s);
   }
 }
 

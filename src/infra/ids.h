@@ -118,6 +118,29 @@ class LandscapeIndex {
     return max_instances_per_server_;
   }
 
+  // --- Pool (server-category) layout ----------------------------------
+  // Servers grouped by ServerSpec::category, pools enumerated in
+  // sorted category-name order. The hierarchical-aggregation layer
+  // (monitor::PoolLoadStats, the controller's pool prescreen) ranks
+  // these pools first and only then scans the servers inside the
+  // chosen pool — O(pools + pool-size) instead of O(fleet).
+  size_t num_pools() const { return pool_names_.size(); }
+  const std::string& PoolName(int32_t pool) const {
+    return pool_names_[static_cast<size_t>(pool)];
+  }
+  /// Pool of a server (always valid for a live DenseId).
+  int32_t PoolOfServer(DenseId server) const {
+    return pool_of_server_[static_cast<size_t>(server)];
+  }
+  /// Servers of a pool, in sorted-name (dense-id) order.
+  std::span<const DenseId> ServersInPool(int32_t pool) const {
+    size_t i = static_cast<size_t>(pool);
+    return std::span<const DenseId>(pool_servers_)
+        .subspan(static_cast<size_t>(pool_offsets_[i]),
+                 static_cast<size_t>(pool_offsets_[i + 1] -
+                                     pool_offsets_[i]));
+  }
+
  private:
   friend class Cluster;
 
@@ -143,6 +166,11 @@ class LandscapeIndex {
   std::vector<int32_t> service_offsets_;
   InstanceId instance_id_bound_ = 0;
   size_t max_instances_per_server_ = 0;
+  // Pool layout: categories sorted by name, servers bucketed CSR-style.
+  std::vector<std::string> pool_names_;  // sorted
+  std::vector<int32_t> pool_of_server_;  // per server dense id
+  std::vector<DenseId> pool_servers_;
+  std::vector<int32_t> pool_offsets_;
 };
 
 }  // namespace autoglobe::infra

@@ -10,25 +10,48 @@ namespace autoglobe::monitor {
 
 namespace {
 
-/// First sample strictly after `t` in a time-ordered series (the
-/// deque's random-access iterators make this a true binary search).
-template <typename It>
-It FirstAfter(It begin, It end, SimTime t) {
-  return std::upper_bound(
-      begin, end, t,
-      [](SimTime lhs, const LoadSample& sample) { return lhs < sample.at; });
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
 }
 
 }  // namespace
 
+size_t LoadArchive::FirstAfterIdx(const Series& series, SimTime t) {
+  size_t lo = 0;
+  size_t hi = series.count;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (series.At(mid).at <= t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 LoadArchive::LoadArchive(Duration raw_retention, Duration aggregate_bucket)
     : raw_retention_(raw_retention), aggregate_bucket_(aggregate_bucket) {}
+
+void LoadArchive::set_capacity_hints(size_t raw_samples,
+                                     size_t aggregate_buckets) {
+  raw_hint_ = raw_samples;
+  aggregated_hint_ = aggregate_buckets;
+}
 
 LoadArchive::Handle LoadArchive::Acquire(std::string_view key) {
   auto it = series_.find(key);
   if (it == series_.end()) {
     it = series_.emplace(std::string(key), Series{}).first;
     it->second.key = it->first;
+    if (raw_hint_ > 0) {
+      it->second.raw.resize(RoundUpPow2(raw_hint_));
+    }
+    if (aggregated_hint_ > 0) {
+      it->second.aggregated.reserve(aggregated_hint_);
+    }
   }
   return Handle(&it->second);
 }
@@ -39,24 +62,41 @@ const LoadArchive::Series* LoadArchive::FindSeries(
   return it == series_.end() ? nullptr : &it->second;
 }
 
+void LoadArchive::EnsureRawCapacity(Series* series) {
+  if (series->count < series->raw.size()) return;
+  size_t capacity = series->raw.empty() ? 16 : series->raw.size() * 2;
+  std::vector<LoadSample> grown(capacity);
+  for (size_t i = 0; i < series->count; ++i) {
+    grown[i] = series->At(i);
+  }
+  series->raw.swap(grown);
+  series->head = 0;
+}
+
 Status LoadArchive::Append(std::string_view key, SimTime at, double value) {
   return Append(Acquire(key), at, value);
 }
 
 Status LoadArchive::Append(Handle handle, SimTime at, double value) {
   Series& series = *handle.series_;
-  if (!series.raw.empty() && at < series.raw.back().at) {
+  if (series.count > 0 && at < series.At(series.count - 1).at) {
     return Status::InvalidArgument(StrFormat(
         "out-of-order sample for \"%s\": %s < %s", series.key.c_str(),
-        at.ToString().c_str(), series.raw.back().at.ToString().c_str()));
+        at.ToString().c_str(),
+        series.At(series.count - 1).at.ToString().c_str()));
   }
   LoadSample sample{at, value};
-  series.raw.push_back(sample);
+  EnsureRawCapacity(&series);
+  series.raw[(series.head + series.count) & (series.raw.size() - 1)] =
+      sample;
+  ++series.count;
   FoldIntoAggregate(&series, sample);
-  // Evict raw samples beyond the retention window.
+  // Evict raw samples beyond the retention window (the ring just
+  // advances its head — no deallocation).
   SimTime horizon = at - raw_retention_;
-  while (!series.raw.empty() && series.raw.front().at < horizon) {
-    series.raw.pop_front();
+  while (series.count > 0 && series.At(0).at < horizon) {
+    series.head = (series.head + 1) & (series.raw.size() - 1);
+    --series.count;
   }
   return Status::OK();
 }
@@ -80,20 +120,20 @@ void LoadArchive::FoldIntoAggregate(Series* series,
 
 Result<double> LoadArchive::Latest(std::string_view key) const {
   const Series* series = FindSeries(key);
-  if (series == nullptr || series->raw.empty()) {
+  if (series == nullptr || series->count == 0) {
     return Status::NotFound(
         StrFormat("no samples for \"%.*s\"", static_cast<int>(key.size()),
                   key.data()));
   }
-  return series->raw.back().value;
+  return series->At(series->count - 1).value;
 }
 
 Result<double> LoadArchive::Latest(Handle handle) const {
-  if (handle.series_->raw.empty()) {
+  if (handle.series_->count == 0) {
     return Status::NotFound(StrFormat("no samples for \"%s\"",
                                       handle.series_->key.c_str()));
   }
-  return handle.series_->raw.back().value;
+  return handle.series_->At(handle.series_->count - 1).value;
 }
 
 Result<double> LoadArchive::Average(std::string_view key, Duration window,
@@ -113,10 +153,10 @@ Result<double> LoadArchive::Average(Handle handle, Duration window,
                                     SimTime now) const {
   const Series& series = *handle.series_;
   SimTime from = now - window;
-  // The raw deque is time-ordered, so the (from, now] window is a
-  // contiguous range found by binary search instead of a linear scan.
-  auto lo = FirstAfter(series.raw.begin(), series.raw.end(), from);
-  auto hi = FirstAfter(lo, series.raw.end(), now);
+  // The ring is time-ordered, so the (from, now] window is a
+  // contiguous logical range found by binary search.
+  size_t lo = FirstAfterIdx(series, from);
+  size_t hi = FirstAfterIdx(series, now);
   if (lo == hi) {
     return Status::NotFound(StrFormat(
         "no samples for \"%s\" in the last %s", series.key.c_str(),
@@ -125,9 +165,9 @@ Result<double> LoadArchive::Average(Handle handle, Duration window,
   // Newest-first accumulation, matching the original reverse scan so
   // the floating-point sum is bit-identical.
   double sum = 0.0;
-  for (auto it = hi; it != lo;) {
-    --it;
-    sum += it->value;
+  for (size_t i = hi; i != lo;) {
+    --i;
+    sum += series.At(i).value;
   }
   return sum / static_cast<double>(hi - lo);
 }
@@ -138,9 +178,10 @@ std::vector<LoadSample> LoadArchive::RawBetween(std::string_view key,
   std::vector<LoadSample> out;
   const Series* series = FindSeries(key);
   if (series == nullptr) return out;
-  auto lo = FirstAfter(series->raw.begin(), series->raw.end(), from);
-  auto hi = FirstAfter(lo, series->raw.end(), to);
-  out.assign(lo, hi);
+  size_t lo = FirstAfterIdx(*series, from);
+  size_t hi = FirstAfterIdx(*series, to);
+  out.reserve(hi - lo);
+  for (size_t i = lo; i < hi; ++i) out.push_back(series->At(i));
   return out;
 }
 

@@ -1,7 +1,7 @@
 #ifndef AUTOGLOBE_MONITOR_LOAD_ARCHIVE_H_
 #define AUTOGLOBE_MONITOR_LOAD_ARCHIVE_H_
 
-#include <deque>
+#include <cstddef>
 #include <map>
 #include <string>
 #include <string_view>
@@ -28,6 +28,13 @@ struct LoadSample {
 /// they are folded into fixed-width aggregate buckets (mean values),
 /// which is what the load-forecasting extension consumes.
 ///
+/// Raw storage is a per-series ring buffer (power-of-two capacity):
+/// the steady-state retention window slides without touching the heap
+/// — a deque would allocate and free blocks while sliding, which
+/// breaks the hyperscale zero-allocation-per-tick contract. Capacity
+/// hints (set_capacity_hints) pre-size new series so even the first
+/// pass through the window allocates nothing per append.
+///
 /// All name-based entry points take `std::string_view` and resolve it
 /// with heterogeneous lookup — no temporary std::string per call. Hot
 /// callers (the monitoring system feeds every subject once per tick)
@@ -41,13 +48,24 @@ class LoadArchive {
  private:
   struct Series {
     std::string key;  // for error messages
-    std::deque<LoadSample> raw;
+    /// Ring storage; size() is the capacity and is always a power of
+    /// two once non-empty. `head` indexes the oldest sample, `count`
+    /// the live samples.
+    std::vector<LoadSample> raw;
+    size_t head = 0;
+    size_t count = 0;
     // Completed aggregate buckets: bucket start time + mean.
     std::vector<LoadSample> aggregated;
     // Accumulator of the bucket currently being filled.
     int64_t open_bucket = -1;  // bucket index, -1 = none
     double open_sum = 0.0;
     int64_t open_count = 0;
+
+    /// Logical index -> sample (0 = oldest). Capacity is a power of
+    /// two, so the wrap is a mask.
+    const LoadSample& At(size_t i) const {
+      return raw[(head + i) & (raw.size() - 1)];
+    }
   };
 
  public:
@@ -66,6 +84,14 @@ class LoadArchive {
 
   /// Resolves (creating if needed) the series for a subject key.
   Handle Acquire(std::string_view key);
+
+  /// Pre-sizes every series created by later Acquire calls:
+  /// `raw_samples` ring slots (rounded up to a power of two) and
+  /// `aggregate_buckets` reserved aggregate entries. Callers that know
+  /// their cadence (the runner: retention/tick raw samples,
+  /// duration/bucket aggregates) set this once at startup so the
+  /// steady state appends allocation-free from the very first tick.
+  void set_capacity_hints(size_t raw_samples, size_t aggregate_buckets);
 
   /// Appends a measurement for a subject key, e.g. "server/Blade3".
   /// Samples must arrive in non-decreasing time order per key.
@@ -105,9 +131,17 @@ class LoadArchive {
   void FoldIntoAggregate(Series* series, const LoadSample& sample);
   const Series* FindSeries(std::string_view key) const;
   std::vector<LoadSample> AggregatedOf(const Series& series) const;
+  /// Grows the ring to hold one more sample (doubling, samples
+  /// re-laid-out in logical order). No-op while capacity suffices.
+  static void EnsureRawCapacity(Series* series);
+  /// Logical index of the first sample strictly after `t` (== count
+  /// when none) — binary search over the time-ordered ring.
+  static size_t FirstAfterIdx(const Series& series, SimTime t);
 
   Duration raw_retention_;
   Duration aggregate_bucket_;
+  size_t raw_hint_ = 0;
+  size_t aggregated_hint_ = 0;
   std::map<std::string, Series, std::less<>> series_;
 };
 

@@ -100,8 +100,37 @@ Status LoadMonitoringSystem::ObserveById(
         StrFormat("unregistered subject id %d", subject));
   }
   SubjectState& state = subjects_[static_cast<size_t>(subject)];
+  // Quiescent fast path: the sample is indistinguishable (within
+  // epsilon) from the carried value, cannot arm a watch (in-band),
+  // and extends the uniform cadence — record it as one more pending
+  // copy and skip evaluation. The in-band test uses the *actual*
+  // load, so arming decisions are exact even with epsilon > 0.
+  if (config_.dirty_tracking && state.phase == Phase::kNormal &&
+      !detection_load.has_value() && state.has_last &&
+      (config_.load_epsilon == 0.0
+           ? load == state.last_value
+           : load - state.last_value <= config_.load_epsilon &&
+                 state.last_value - load <= config_.load_epsilon) &&
+      !(load > config_.overload_threshold) &&
+      !(load < state.idle_threshold) &&
+      (state.pending_count == 0 ||
+       now - state.last_at == state.pending_interval)) {
+    if (state.pending_count == 0) {
+      state.pending_first = now;
+      state.pending_interval = now - state.last_at;
+    }
+    ++state.pending_count;
+    state.last_at = now;
+    ++skips_;
+    return Status::OK();
+  }
+  AG_RETURN_IF_ERROR(MaterializeSubject(subject));
+  ++evaluations_;
   if (!state.series) state.series = archive_->Acquire(state.key);
   AG_RETURN_IF_ERROR(archive_->Append(state.series, now, load));
+  state.last_value = load;
+  state.last_at = now;
+  state.has_last = true;
   if (detection_load.has_value()) load = *detection_load;
 
   switch (state.phase) {
@@ -145,6 +174,36 @@ Status LoadMonitoringSystem::ObserveById(
     }
   }
   return Status::Internal("bad monitoring phase");
+}
+
+Status LoadMonitoringSystem::MaterializeSubject(SubjectId subject) {
+  if (subject < 0 || static_cast<size_t>(subject) >= subjects_.size()) {
+    return Status::NotFound(
+        StrFormat("unregistered subject id %d", subject));
+  }
+  SubjectState& state = subjects_[static_cast<size_t>(subject)];
+  if (state.pending_count == 0) return Status::OK();
+  // Replay the exact Append calls the skipped ticks would have made —
+  // same values, same times, same order — so retention eviction and
+  // aggregate folding land in a bit-identical archive state. (Note a
+  // single bulk insert of count * value would NOT be equivalent: FP
+  // summation inside the aggregate buckets is order-sensitive.)
+  if (!state.series) state.series = archive_->Acquire(state.key);
+  int64_t count = state.pending_count;
+  state.pending_count = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    AG_RETURN_IF_ERROR(archive_->Append(
+        state.series, state.pending_first + state.pending_interval * i,
+        state.last_value));
+  }
+  return Status::OK();
+}
+
+Status LoadMonitoringSystem::MaterializeAll() {
+  for (size_t i = 0; i < subjects_.size(); ++i) {
+    AG_RETURN_IF_ERROR(MaterializeSubject(static_cast<SubjectId>(i)));
+  }
+  return Status::OK();
 }
 
 Status LoadMonitoringSystem::WatchHeartbeat(TriggerKind failed_kind,
@@ -203,6 +262,28 @@ Status LoadMonitoringSystem::RecordHeartbeat(std::string_view key,
                                       key.data()));
   }
   HeartbeatState& state = heartbeats_[it->second];
+  state.last_seen = now;
+  state.reported = false;
+  return Status::OK();
+}
+
+Result<size_t> LoadMonitoringSystem::HeartbeatIdOf(
+    std::string_view key) const {
+  auto it = heartbeat_ids_.find(key);
+  if (it == heartbeat_ids_.end()) {
+    return Status::NotFound(StrFormat("heartbeat \"%.*s\" not watched",
+                                      static_cast<int>(key.size()),
+                                      key.data()));
+  }
+  return it->second;
+}
+
+Status LoadMonitoringSystem::RecordHeartbeatById(size_t id, SimTime now) {
+  if (id >= heartbeats_.size() || !heartbeats_[id].active) {
+    return Status::NotFound(
+        StrFormat("heartbeat slot %zu not watched", id));
+  }
+  HeartbeatState& state = heartbeats_[id];
   state.last_seen = now;
   state.reported = false;
   return Status::OK();

@@ -61,6 +61,20 @@ struct MonitorConfig {
   /// Consecutive missed heartbeats before a subject is declared
   /// failed — a single dropped report must not trigger recovery.
   int heartbeat_miss_threshold = 3;
+  /// Dirty-subject tracking: a quiescent subject — phase kNormal, no
+  /// forecast signal, load within `load_epsilon` of its last archived
+  /// value, in-band (neither above the overload nor below the idle
+  /// threshold), ticks uniformly spaced — is not re-evaluated. The
+  /// run of skipped samples is held as (value, start, interval,
+  /// count) and replayed into the archive verbatim before anything
+  /// reads it, so the archive stays bit-identical at epsilon 0.
+  bool dirty_tracking = true;
+  /// 0 (default) = only bitwise-equal loads may be skipped: every
+  /// observable value is exact. > 0 = loads within epsilon of the
+  /// carried value are also skipped; archived values then approximate
+  /// the true loads by at most epsilon, but trigger *arming* stays
+  /// exact because the in-band test always uses the actual load.
+  double load_epsilon = 0.0;
 };
 
 /// Dense id of a registered monitoring subject: its registration
@@ -111,6 +125,20 @@ class LoadMonitoringSystem {
   Status ObserveById(SimTime now, SubjectId subject, double load,
                      std::optional<double> detection_load = std::nullopt);
 
+  /// Replays a subject's carried-forward (skipped) samples into the
+  /// archive. Anything that reads the subject's series directly —
+  /// console views, forecasts, the controller's load variables — must
+  /// materialize first; ObserveById does it itself before any full
+  /// evaluation. No-op for clean subjects.
+  Status MaterializeSubject(SubjectId subject);
+  /// Materializes every subject (e.g. before saving the archive).
+  Status MaterializeAll();
+
+  /// Full evaluations performed (arming checks + archive appends).
+  int64_t evaluations() const { return evaluations_; }
+  /// Observations compressed away by dirty tracking.
+  int64_t skips() const { return skips_; }
+
   // --- Heartbeat failure detection ------------------------------------
 
   /// Starts watching a heartbeat source. `failed_kind` must be
@@ -129,6 +157,12 @@ class LoadMonitoringSystem {
   /// Feeds one heartbeat; clears a previous failure report so a
   /// recovered subject can fail again later.
   Status RecordHeartbeat(std::string_view key, SimTime now);
+  /// Dense slot of a watched heartbeat key; NotFound if never
+  /// watched. Slots are stable for the system's lifetime, so hot
+  /// feeders resolve once and use RecordHeartbeatById per tick.
+  Result<size_t> HeartbeatIdOf(std::string_view key) const;
+  /// Hot-path twin of RecordHeartbeat (no string lookup).
+  Status RecordHeartbeatById(size_t id, SimTime now);
   /// Fires a failure trigger (via the trigger callback) for every
   /// active watch silent for heartbeat_interval * miss_threshold or
   /// longer. Each failure is reported once until a fresh heartbeat
@@ -170,6 +204,18 @@ class LoadMonitoringSystem {
     Duration overload_watch = Duration::Zero();  // effective watchTime
     Phase phase = Phase::kNormal;
     SimTime watch_started;
+    /// Carry-forward compression (dirty tracking): `last_value` /
+    /// `last_at` describe the newest sample (appended or skipped); a
+    /// run of skipped samples is `pending_count` copies of
+    /// `last_value` at `pending_first + i * pending_interval`.
+    /// `last_value` cannot change while a run is open — a differing
+    /// load forces a full evaluation, which materializes first.
+    double last_value = 0.0;
+    SimTime last_at;
+    bool has_last = false;
+    SimTime pending_first;
+    Duration pending_interval = Duration::Zero();
+    int64_t pending_count = 0;
   };
 
   /// One heartbeat source. Slots are never erased, only deactivated
@@ -197,6 +243,8 @@ class LoadMonitoringSystem {
   TriggerCallback callback_;
   obs::TraceBuffer* trace_ = nullptr;
   int64_t triggers_fired_ = 0;
+  int64_t evaluations_ = 0;
+  int64_t skips_ = 0;
 };
 
 }  // namespace autoglobe::monitor

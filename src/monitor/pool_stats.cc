@@ -1,0 +1,65 @@
+#include "monitor/pool_stats.h"
+
+namespace autoglobe::monitor {
+
+void PoolLoadStats::Reset(const infra::LandscapeIndex* index) {
+  index_ = index;
+  size_t servers = index == nullptr ? 0 : index->num_servers();
+  size_t pools = index == nullptr ? 0 : index->num_pools();
+  server_load_.assign(servers, 0.0);
+  server_seen_.assign(servers, 0);
+  count_.assign(pools, 0);
+  sum_.assign(pools, 0.0);
+  max_.assign(pools, 0.0);
+  max_server_.assign(pools, infra::kNoDenseId);
+}
+
+void PoolLoadStats::Update(infra::DenseId server, double load) {
+  size_t s = static_cast<size_t>(server);
+  size_t pool = static_cast<size_t>(index_->PoolOfServer(server));
+  double previous = server_load_[s];
+  if (server_seen_[s] == 0) {
+    server_seen_[s] = 1;
+    ++count_[pool];
+    sum_[pool] += load;
+  } else {
+    sum_[pool] += load - previous;
+  }
+  server_load_[s] = load;
+  if (max_server_[pool] == server && load < max_[pool]) {
+    // The max holder dropped — defer the rescan until PoolMax.
+    max_server_[pool] = infra::kNoDenseId;
+  } else if (load >= max_[pool]) {
+    // Dominates the recorded max (even a stale one), so this server
+    // is the holder whether or not the pool was marked dirty.
+    max_[pool] = load;
+    max_server_[pool] = server;
+  }
+}
+
+double PoolLoadStats::PoolMean(int32_t pool) const {
+  size_t p = static_cast<size_t>(pool);
+  if (count_[p] == 0) return 0.0;
+  return sum_[p] / static_cast<double>(count_[p]);
+}
+
+double PoolLoadStats::PoolMax(int32_t pool) const {
+  size_t p = static_cast<size_t>(pool);
+  if (max_server_[p] == infra::kNoDenseId && count_[p] > 0) {
+    double best = 0.0;
+    infra::DenseId holder = infra::kNoDenseId;
+    for (infra::DenseId server : index_->ServersInPool(pool)) {
+      size_t s = static_cast<size_t>(server);
+      if (server_seen_[s] == 0) continue;
+      if (holder == infra::kNoDenseId || server_load_[s] > best) {
+        best = server_load_[s];
+        holder = server;
+      }
+    }
+    max_[p] = holder == infra::kNoDenseId ? 0.0 : best;
+    max_server_[p] = holder;
+  }
+  return count_[p] == 0 ? 0.0 : max_[p];
+}
+
+}  // namespace autoglobe::monitor

@@ -1,0 +1,68 @@
+#ifndef AUTOGLOBE_MONITOR_POOL_STATS_H_
+#define AUTOGLOBE_MONITOR_POOL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "infra/ids.h"
+
+namespace autoglobe::monitor {
+
+/// Hierarchical load aggregates over the landscape's server pools
+/// (ServerSpec::category groups, as laid out by LandscapeIndex).
+/// The runner feeds every server's smoothed load once per tick;
+/// per-pool count / sum / max are maintained incrementally, so
+/// reading a pool summary is O(1) and a full pool ranking is
+/// O(pools), not O(fleet). The controller's pool prescreen ranks
+/// pools first and only scans servers inside the chosen pool.
+///
+/// The max is kept lazily: a decrease on the server currently holding
+/// a pool's max merely marks the pool dirty, and the O(pool-size)
+/// rescan is deferred until someone asks for that pool's max. The
+/// incremental sum accumulates floating-point drift relative to a
+/// fresh summation; these aggregates are a ranking heuristic, never
+/// an input to trigger decisions or golden outputs.
+class PoolLoadStats {
+ public:
+  PoolLoadStats() = default;
+
+  /// (Re)binds to a landscape layout; all loads reset to zero. Call
+  /// after every topology epoch change.
+  void Reset(const infra::LandscapeIndex* index);
+
+  /// Feeds one server's current smoothed load.
+  void Update(infra::DenseId server, double load);
+
+  size_t num_pools() const { return count_.size(); }
+  /// Servers of the pool that have reported at least once.
+  int64_t PoolCount(int32_t pool) const {
+    return count_[static_cast<size_t>(pool)];
+  }
+  double PoolSum(int32_t pool) const {
+    return sum_[static_cast<size_t>(pool)];
+  }
+  /// Mean load over reporting servers (0 when none reported).
+  double PoolMean(int32_t pool) const;
+  /// Max load in the pool (0 when none reported). May rescan the
+  /// pool's servers if the previous max holder decreased.
+  double PoolMax(int32_t pool) const;
+
+  /// Last load fed for a server (0 before the first Update).
+  double ServerLoad(infra::DenseId server) const {
+    return server_load_[static_cast<size_t>(server)];
+  }
+
+ private:
+  const infra::LandscapeIndex* index_ = nullptr;
+  std::vector<double> server_load_;
+  std::vector<char> server_seen_;
+  std::vector<int64_t> count_;
+  std::vector<double> sum_;
+  // Lazy max: value + holder, holder kNoDenseId when a rescan is due.
+  mutable std::vector<double> max_;
+  mutable std::vector<infra::DenseId> max_server_;
+};
+
+}  // namespace autoglobe::monitor
+
+#endif  // AUTOGLOBE_MONITOR_POOL_STATS_H_

@@ -43,6 +43,13 @@ EventLabel::EventLabel(const std::string& dynamic)
 EventLabel::EventLabel(std::string_view dynamic)
     : label_(InternLabel(dynamic)) {}
 
+void Simulator::ReserveEvents(size_t expected_events) {
+  state_.reserve(state_.size() + expected_events + 1);
+  // The heap holds only *pending* events, far fewer than the ids ever
+  // allocated; a modest slice of the hint removes early regrowth.
+  heap_.reserve(std::max<size_t>(heap_.capacity(), 64));
+}
+
 EventId Simulator::AllocateId() {
   EventId id = next_id_++;
   if (state_.size() <= id) state_.resize(id + 1, EventState::kDone);

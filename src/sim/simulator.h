@@ -80,6 +80,13 @@ class Simulator {
   /// Number of events still pending.
   size_t pending_events() const { return live_count_; }
 
+  /// Pre-sizes the event heap and the per-id liveness array for a run
+  /// expected to allocate about `expected_events` event ids. Purely a
+  /// capacity hint: large runs (hyperscale landscapes schedule one id
+  /// per executor action) avoid re-growing the liveness array
+  /// mid-run, keeping steady-state ticks allocation-free.
+  void ReserveEvents(size_t expected_events);
+
   /// Dispatches a single event; returns false when the queue is empty.
   bool Step();
 

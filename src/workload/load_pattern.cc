@@ -86,7 +86,15 @@ Result<LoadPattern> LoadPattern::FromHourlyPoints(
           "hourly pattern points must be in [0, 1]");
     }
   }
-  return LoadPattern("hourly", [points = std::move(points)](SimTime t) {
+  // Self-describing name so hourly patterns survive the XML
+  // round-trip (FromName parses "hourly:" back into the points).
+  std::string name = "hourly:";
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) name += ',';
+    name += StrFormat("%g", points[i]);
+  }
+  return LoadPattern(std::move(name),
+                     [points = std::move(points)](SimTime t) {
     double h = t.DayFraction() * 24.0;
     int lo = static_cast<int>(h) % 24;
     int hi = (lo + 1) % 24;
@@ -112,6 +120,20 @@ Result<LoadPattern> LoadPattern::FromName(std::string_view name) {
   if (EqualsIgnoreCase(name, "nightBatch") ||
       EqualsIgnoreCase(name, "night-batch")) {
     return NightBatch();
+  }
+  if (StartsWith(name, "hourly:")) {
+    std::vector<double> points;
+    points.reserve(24);
+    std::string_view rest = name.substr(7);
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view token = rest.substr(0, comma);
+      AG_ASSIGN_OR_RETURN(double value, ParseDouble(token));
+      points.push_back(value);
+      if (comma == std::string_view::npos) break;
+      rest = rest.substr(comma + 1);
+    }
+    return FromHourlyPoints(std::move(points));
   }
   if (StartsWith(name, "flat:")) {
     AG_ASSIGN_OR_RETURN(double level, ParseDouble(name.substr(5)));

@@ -1,0 +1,136 @@
+#include "autoglobe/landscape_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "infra/cluster.h"
+#include "workload/demand.h"
+#include "xmlcfg/xml.h"
+
+namespace autoglobe {
+namespace {
+
+using infra::Cluster;
+
+std::string ToXmlString(const Landscape& landscape) {
+  xml::Document doc;
+  landscape.ToXml(doc.SetRoot("landscape"));
+  return doc.ToString();
+}
+
+TEST(LandscapeGenTest, SameSeedIsByteIdentical) {
+  LandscapeGenSpec spec = MakeScaleSpec(100, /*seed=*/7);
+  auto a = GenerateLandscape(spec);
+  auto b = GenerateLandscape(spec);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(ToXmlString(*a), ToXmlString(*b));
+}
+
+TEST(LandscapeGenTest, DifferentSeedDiffers) {
+  auto a = GenerateLandscape(MakeScaleSpec(100, /*seed=*/7));
+  auto b = GenerateLandscape(MakeScaleSpec(100, /*seed=*/8));
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  // Jitter draws differ, so the demand sections cannot match.
+  EXPECT_NE(ToXmlString(*a), ToXmlString(*b));
+}
+
+TEST(LandscapeGenTest, GeneratedLandscapePassesClusterInvariants) {
+  for (int size : {19, 100, 1000}) {
+    auto landscape = GenerateLandscape(MakeScaleSpec(size));
+    ASSERT_TRUE(landscape.ok()) << landscape.status();
+    Cluster cluster;
+    ASSERT_TRUE(landscape->Build(&cluster, nullptr).ok()) << size;
+    EXPECT_TRUE(
+        infra::VerifyClusterInvariants(cluster, /*enforce_min=*/true).ok())
+        << size;
+    EXPECT_EQ(cluster.Index().num_servers(),
+              static_cast<size_t>(size));
+  }
+}
+
+TEST(LandscapeGenTest, ScaleSpecCoversEveryServer) {
+  // The max-deficit assignment must leave no server empty; an empty
+  // server sits below the idle threshold and spams serverIdle
+  // triggers, ruining steady-state benchmarks.
+  for (int size : {19, 100, 250, 1000}) {
+    auto landscape = GenerateLandscape(MakeScaleSpec(size));
+    ASSERT_TRUE(landscape.ok()) << landscape.status();
+    std::set<std::string> hosts;
+    for (const auto& [service, server] : landscape->initial_allocation) {
+      hosts.insert(server);
+    }
+    EXPECT_EQ(hosts.size(), landscape->servers.size()) << size;
+  }
+}
+
+TEST(LandscapeGenTest, PoolsBecomeIndexPools) {
+  auto landscape = GenerateLandscape(MakeScaleSpec(100));
+  ASSERT_TRUE(landscape.ok()) << landscape.status();
+  Cluster cluster;
+  ASSERT_TRUE(landscape->Build(&cluster, nullptr).ok());
+  const infra::LandscapeIndex& index = cluster.Index();
+  ASSERT_EQ(index.num_pools(), 3u);
+  size_t pooled = 0;
+  for (int32_t pool = 0; pool < 3; ++pool) {
+    pooled += index.ServersInPool(pool).size();
+  }
+  EXPECT_EQ(pooled, 100u);
+}
+
+TEST(LandscapeGenTest, InstancesLandOnDistinctServersOfOnePool) {
+  auto landscape = GenerateLandscape(MakeScaleSpec(100));
+  ASSERT_TRUE(landscape.ok()) << landscape.status();
+  std::map<std::string, std::set<std::string>> servers_of;
+  for (const auto& [service, server] : landscape->initial_allocation) {
+    EXPECT_TRUE(servers_of[service].insert(server).second)
+        << service << " placed twice on " << server;
+  }
+  for (const auto& [service, servers] : servers_of) {
+    EXPECT_EQ(servers.size(), 2u) << service;
+    std::set<std::string> categories;
+    for (const auto& name : servers) {
+      categories.insert(name.substr(0, name.rfind('-')));
+    }
+    EXPECT_EQ(categories.size(), 1u)
+        << service << " spans pools";
+  }
+}
+
+TEST(LandscapeGenTest, XmlRoundTripRebuilds) {
+  auto landscape = GenerateLandscape(MakeScaleSpec(50));
+  ASSERT_TRUE(landscape.ok()) << landscape.status();
+  auto doc = xml::Document::Parse(ToXmlString(*landscape));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto reparsed = Landscape::FromXml(*doc->root());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(ToXmlString(*reparsed), ToXmlString(*landscape));
+  // The hourly day profile survives with its points intact.
+  SimTime probe = SimTime::Start() + Duration::Minutes(90);
+  EXPECT_DOUBLE_EQ(reparsed->demand[0].pattern.Activity(probe),
+                   landscape->demand[0].pattern.Activity(probe));
+}
+
+TEST(LandscapeGenTest, RejectsBadSpecs) {
+  LandscapeGenSpec spec;
+  EXPECT_FALSE(GenerateLandscape(spec).ok());  // no pools
+
+  spec.pools.push_back(PoolGenSpec{"pool-a", 4});
+  spec.num_services = 0;
+  EXPECT_FALSE(GenerateLandscape(spec).ok());  // no services
+
+  spec.num_services = 2;
+  spec.instances_per_service = 8;  // more than the pool has servers
+  EXPECT_FALSE(GenerateLandscape(spec).ok());
+
+  spec.instances_per_service = 2;
+  spec.target_load = 0.9;  // above the overload threshold
+  EXPECT_FALSE(GenerateLandscape(spec).ok());
+}
+
+}  // namespace
+}  // namespace autoglobe

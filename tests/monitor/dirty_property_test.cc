@@ -1,0 +1,121 @@
+// Property tests of the dirty-subject fast path (tentpole of the
+// hyperscale PR): on randomized full-loop runs, skipping quiescent
+// subjects must leave the confirmed-trigger sequence — timestamps,
+// subjects, watch-time averages — exactly as a full per-tick scan
+// produces it, and the comparison itself must be bit-identical
+// whether the runs execute sequentially or on a worker pool.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "autoglobe/landscape.h"
+#include "autoglobe/landscape_gen.h"
+#include "autoglobe/runner.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+
+namespace autoglobe {
+namespace {
+
+// One full closed-loop run; returns the confirmed-trigger sequence
+// (plus the controller's message log) as one comparable string.
+std::string TriggerTrace(const Landscape& landscape, RunnerConfig config,
+                         bool dirty_tracking) {
+  config.monitor.dirty_tracking = dirty_tracking;
+  config.observability.enable_tracing = true;
+  auto runner = SimulationRunner::Create(landscape, config);
+  EXPECT_TRUE(runner.ok()) << runner.status();
+  if (!runner.ok()) return "<create failed>";
+  Status run = (*runner)->Run();
+  EXPECT_TRUE(run.ok()) << run;
+  std::string trace;
+  for (const obs::TraceEvent& event :
+       (*runner)->trace_buffer()->Events()) {
+    if (event.kind != obs::TraceEventKind::kTriggerConfirmed) continue;
+    trace += StrFormat("%s %.*s %s\n", event.at.ToString().c_str(),
+                       static_cast<int>(event.name.size()),
+                       event.name.data(), event.detail.c_str());
+  }
+  trace += "---\n";
+  for (const std::string& message : (*runner)->messages()) {
+    trace += message;
+    trace += '\n';
+  }
+  return trace;
+}
+
+// The paper landscape under its bursty day profile: triggers fire,
+// instances move, thresholds are crossed in both directions.
+TEST(DirtyTrackingProperty, PaperLandscapeTriggerSequenceIsIdentical) {
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  for (uint64_t seed : {7u, 21u, 42u}) {
+    RunnerConfig config;
+    config.duration = Duration::Hours(12);
+    config.seed = seed;
+    std::string dirty = TriggerTrace(landscape, config, true);
+    std::string full = TriggerTrace(landscape, config, false);
+    EXPECT_EQ(dirty, full) << "seed " << seed;
+    EXPECT_NE(dirty.find("serverOverloaded"), std::string::npos)
+        << "seed " << seed
+        << ": the scenario fired no triggers; the property is vacuous";
+  }
+}
+
+// A generated landscape pushed past its design load, with demand
+// noise randomizing every sample: overload and idle triggers both
+// fire while plenty of flat subjects stay skippable.
+TEST(DirtyTrackingProperty, GeneratedLandscapeTriggerSequenceIsIdentical) {
+  LandscapeGenSpec spec = MakeScaleSpec(60, /*seed=*/3);
+  spec.noise_stddev = 0.05;
+  auto landscape = GenerateLandscape(spec);
+  ASSERT_TRUE(landscape.ok()) << landscape.status();
+  RunnerConfig config;
+  config.duration = Duration::Hours(8);
+  config.seed = 11;
+  config.user_scale = 1.4;  // overload the active services
+  config.archive_retention = Duration::Hours(4);
+  std::string dirty = TriggerTrace(*landscape, config, true);
+  std::string full = TriggerTrace(*landscape, config, false);
+  EXPECT_EQ(dirty, full);
+  EXPECT_NE(dirty.find("Overloaded"), std::string::npos)
+      << "no overload trigger fired; the property is vacuous";
+}
+
+// The dirty-vs-full equality holds run-by-run when the runs execute
+// on a 4-worker pool: per-run state (archive, monitor, rng) is fully
+// confined, so parallelism cannot change any sequence.
+TEST(DirtyTrackingProperty, HoldsAtParallelismFour) {
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  const std::vector<uint64_t> seeds = {7, 21, 42, 77};
+
+  auto run_all = [&](size_t threads) {
+    std::vector<std::pair<std::string, std::string>> traces(seeds.size());
+    ThreadPool pool(threads);
+    pool.ParallelFor(seeds.size(), [&](size_t i) {
+      RunnerConfig config;
+      config.duration = Duration::Hours(12);
+      config.seed = seeds[i];
+      traces[i] = {TriggerTrace(landscape, config, true),
+                   TriggerTrace(landscape, config, false)};
+    });
+    return traces;
+  };
+
+  auto sequential = run_all(1);
+  auto parallel = run_all(4);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(sequential[i].first, sequential[i].second)
+        << "seed " << seeds[i];
+    EXPECT_EQ(sequential[i].first, parallel[i].first)
+        << "seed " << seeds[i];
+    EXPECT_EQ(sequential[i].second, parallel[i].second)
+        << "seed " << seeds[i];
+  }
+}
+
+}  // namespace
+}  // namespace autoglobe

@@ -178,6 +178,105 @@ TEST_F(MonitoringTest, CountsFiredTriggers) {
   EXPECT_GE(lms_->triggers_fired(), 1);
 }
 
+TEST_F(MonitoringTest, DirtyTrackingSkipsConstantInBandLoads) {
+  FeedConstant(0, 30, 0.5);
+  // First sample evaluates (no carried value yet); the other 29 are
+  // bitwise-equal, in-band, uniformly spaced — all skipped.
+  EXPECT_EQ(lms_->evaluations(), 1);
+  EXPECT_EQ(lms_->skips(), 29);
+}
+
+TEST_F(MonitoringTest, MaterializeReplaysTheExactRun) {
+  FeedConstant(1, 10, 0.5);
+  auto subject = lms_->SubjectIdOf("Blade1");
+  ASSERT_TRUE(subject.ok());
+  ASSERT_TRUE(lms_->MaterializeSubject(*subject).ok());
+  // RawBetween is from-exclusive, like Average's (now - window, now].
+  auto raw = archive_.RawBetween("server/Blade1", Min(0), Min(10));
+  ASSERT_EQ(raw.size(), 10u);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(raw[i].at, Min(static_cast<int>(i) + 1)) << i;
+    EXPECT_DOUBLE_EQ(raw[i].value, 0.5) << i;
+  }
+  // Idempotent: nothing pending after a materialize.
+  ASSERT_TRUE(lms_->MaterializeAll().ok());
+  EXPECT_EQ(archive_.RawBetween("server/Blade1", Min(0), Min(10)).size(),
+            10u);
+}
+
+TEST_F(MonitoringTest, DifferingValueMaterializesBeforeAppending) {
+  FeedConstant(1, 5, 0.5);
+  Feed(6, {0.6});  // breaks the run: replay 0.5s, then append 0.6
+  auto raw = archive_.RawBetween("server/Blade1", Min(0), Min(6));
+  ASSERT_EQ(raw.size(), 6u);
+  EXPECT_DOUBLE_EQ(raw[4].value, 0.5);
+  EXPECT_DOUBLE_EQ(raw[5].value, 0.6);
+  EXPECT_EQ(lms_->evaluations(), 2);
+  EXPECT_EQ(lms_->skips(), 4);
+}
+
+TEST_F(MonitoringTest, OutOfBandLoadsAreNeverSkipped) {
+  // A constant load above the overload threshold must re-evaluate
+  // every tick — skipping would stall the armed watch.
+  FeedConstant(0, 15, 0.9);
+  EXPECT_EQ(lms_->skips(), 0);
+  EXPECT_EQ(lms_->evaluations(), 15);
+  EXPECT_GE(triggers_.size(), 1u);
+}
+
+TEST_F(MonitoringTest, EpsilonSkipsNearbyValuesButArmingStaysExact) {
+  LoadArchive archive;
+  MonitorConfig config;
+  config.load_epsilon = 0.01;
+  LoadMonitoringSystem lms(&archive, config);
+  ASSERT_TRUE(
+      lms.RegisterSubject(TriggerKind::kServerOverloaded, "s", 1.0).ok());
+  ASSERT_TRUE(lms.Observe(Min(1), "s", 0.5).ok());
+  ASSERT_TRUE(lms.Observe(Min(2), "s", 0.509).ok());  // within epsilon
+  ASSERT_TRUE(lms.Observe(Min(3), "s", 0.492).ok());  // still within
+  ASSERT_TRUE(lms.Observe(Min(4), "s", 0.52).ok());   // breaks the run
+  EXPECT_EQ(lms.skips(), 2);
+  EXPECT_EQ(lms.evaluations(), 2);
+  auto raw = archive.RawBetween("server/s", Min(0), Min(4));
+  ASSERT_EQ(raw.size(), 4u);
+  // Skipped ticks carry the last evaluated value (the documented
+  // epsilon approximation); evaluated ticks store the exact load.
+  EXPECT_DOUBLE_EQ(raw[1].value, 0.5);
+  EXPECT_DOUBLE_EQ(raw[2].value, 0.5);
+  EXPECT_DOUBLE_EQ(raw[3].value, 0.52);
+  // An out-of-band value is evaluated even when inside epsilon of the
+  // carried value: 0.699 -> 0.701 crosses the threshold.
+  ASSERT_TRUE(lms.Observe(Min(5), "s", 0.699).ok());
+  ASSERT_TRUE(lms.Observe(Min(6), "s", 0.701).ok());
+  EXPECT_EQ(lms.evaluations(), 4);
+}
+
+TEST_F(MonitoringTest, DirtyTrackingOffEvaluatesEveryObserve) {
+  LoadArchive archive;
+  MonitorConfig config;
+  config.dirty_tracking = false;
+  LoadMonitoringSystem lms(&archive, config);
+  ASSERT_TRUE(
+      lms.RegisterSubject(TriggerKind::kServerOverloaded, "s", 1.0).ok());
+  for (int m = 1; m <= 20; ++m) {
+    ASSERT_TRUE(lms.Observe(Min(m), "s", 0.5).ok());
+  }
+  EXPECT_EQ(lms.skips(), 0);
+  EXPECT_EQ(lms.evaluations(), 20);
+  EXPECT_EQ(archive.RawBetween("server/s", Min(0), Min(20)).size(), 20u);
+}
+
+TEST_F(MonitoringTest, NonUniformCadenceBreaksTheRun) {
+  FeedConstant(1, 5, 0.5);  // minutes 1..5, interval 1
+  ASSERT_TRUE(lms_->Observe(Min(8), "Blade1", 0.5).ok());  // gap
+  // The 3-minute gap cannot extend a 1-minute-interval run; the
+  // sample evaluates so the archive timeline stays exact.
+  EXPECT_EQ(lms_->evaluations(), 2);
+  auto raw = archive_.RawBetween("server/Blade1", Min(0), Min(8));
+  ASSERT_EQ(raw.size(), 6u);
+  EXPECT_EQ(raw[5].at, Min(8));
+}
+
 // Property sweep: a constant load strictly between the idle and
 // overload thresholds never triggers, for any duration.
 class QuietBandProperty : public ::testing::TestWithParam<double> {};
@@ -284,6 +383,29 @@ TEST_F(HeartbeatTest, UnwatchTombstonesAndRewatchReactivates) {
   lms_->CheckHeartbeats(Min(63));
   ASSERT_EQ(triggers_.size(), 1u);
   EXPECT_EQ(triggers_[0].subject, "CRM@Blade2");
+}
+
+TEST_F(HeartbeatTest, DenseIdPathMatchesTheKeyedPath) {
+  ASSERT_TRUE(lms_->WatchHeartbeat(TriggerKind::kServerFailed, "s/Blade1",
+                                   "Blade1", Min(0))
+                  .ok());
+  EXPECT_FALSE(lms_->HeartbeatIdOf("s/ghost").ok());
+  auto id = lms_->HeartbeatIdOf("s/Blade1");
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(lms_->RecordHeartbeatById(*id + 100, Min(1)).ok());
+  // Beats recorded through the dense id keep the watch quiet exactly
+  // like RecordHeartbeat by key.
+  for (int m = 1; m < 30; ++m) {
+    ASSERT_TRUE(lms_->RecordHeartbeatById(*id, Min(m)).ok());
+    lms_->CheckHeartbeats(Min(m));
+  }
+  EXPECT_TRUE(triggers_.empty());
+  lms_->CheckHeartbeats(Min(33));  // 3 silent minutes: fires
+  ASSERT_EQ(triggers_.size(), 1u);
+  EXPECT_EQ(triggers_[0].subject, "Blade1");
+  // A tombstoned slot rejects dense-id beats too.
+  ASSERT_TRUE(lms_->UnwatchHeartbeat("s/Blade1").ok());
+  EXPECT_FALSE(lms_->RecordHeartbeatById(*id, Min(40)).ok());
 }
 
 }  // namespace
