@@ -6,17 +6,41 @@
 // result as MTTD / MTTR / unavailability / recovery-objective
 // satisfaction.
 //
-// Emits BENCH_faults.json. Every number in it is a simulation result
-// (wall_seconds deliberately 0), so the file is bit-identical across
-// machines and parallelism levels — the CI chaos job diffs it between
-// a sequential and a parallel sweep.
+// Emits BENCH_faults.json. Every per-seed and aggregate number in it
+// is a simulation result (wall_seconds deliberately 0), so those
+// records are bit-identical across machines and parallelism levels;
+// the one perf record (availability/fm/perf) carries the wall-clock
+// throughput and the steady-state allocation audit for this suite.
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 
 #include "autoglobe/availability.h"
 #include "bench_report.h"
 #include "common/logging.h"
 #include "common/strings.h"
+
+// Global allocation counter, same pattern as micro_sim/batch_engine:
+// lets the perf record report allocations per simulated tick across
+// the whole fault suite (fault runs rebuild topology, so unlike the
+// batched static path this is small-but-nonzero by design).
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 using namespace autoglobe;
 using namespace autoglobe::bench;
@@ -32,6 +56,7 @@ int main() {
   options.seed = 42;
   options.repetitions = 4;
   options.parallelism = 0;  // one worker per hardware thread
+  options.reps_per_task = 2;  // batch consecutive reps per worker
   options.fault_spec.instance_crashes_per_hour = 0.5;
   options.fault_spec.server_failures_per_day = 1.0;
   options.fault_spec.server_recovery = Duration::Hours(2);
@@ -40,9 +65,25 @@ int main() {
   options.fault_spec.monitor_dropouts_per_day = 1.0;
   options.fault_spec.monitor_dropout_duration = Duration::Minutes(5);
 
+  const uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  WallTimer timer;
   auto result = RunAvailabilityScenario(options);
+  double wall_seconds = timer.Seconds();
+  const uint64_t suite_allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
   AG_CHECK_OK(result.status());
   std::printf("%s", RenderAvailabilityResult(*result).c_str());
+
+  const double total_ticks =
+      static_cast<double>(options.repetitions) *
+      static_cast<double>(options.duration.seconds() / 60);
+  const double seeds_per_sec =
+      static_cast<double>(options.repetitions) / wall_seconds;
+  std::printf("# wall-clock: %.2f s for %d reps (%.2f seeds/s, "
+              "%.1f allocs/tick)\n",
+              wall_seconds, options.repetitions, seeds_per_sec,
+              static_cast<double>(suite_allocs) / total_ticks);
 
   std::vector<BenchRecord> records;
   for (const AvailabilityRun& run : result->runs) {
@@ -88,6 +129,18 @@ int main() {
   total.extra["objective_satisfaction"] =
       aggregate.objective_satisfaction;
   records.push_back(std::move(total));
+
+  BenchRecord perf;
+  perf.name = "availability/fm/perf";
+  perf.wall_seconds = wall_seconds;
+  perf.items_per_second = seeds_per_sec;
+  perf.extra["seeds_per_sec"] = seeds_per_sec;
+  perf.extra["reps"] = static_cast<double>(options.repetitions);
+  perf.extra["reps_per_task"] =
+      static_cast<double>(options.reps_per_task);
+  perf.extra["allocs_per_tick"] =
+      static_cast<double>(suite_allocs) / total_ticks;
+  records.push_back(std::move(perf));
 
   WriteBenchJson("BENCH_faults.json", records);
   return 0;

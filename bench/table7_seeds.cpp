@@ -5,14 +5,20 @@
 // trajectory; measured capacities may wobble by one 5 % sweep step.
 //
 // All seed x scenario sweeps run concurrently on one worker pool;
-// each sweep itself stays sequential (early exit at the first
-// overloaded step), so no speculative work is wasted.
+// each sweep itself stays sequential at the step level, but
+// static-eligible sweeps additionally fan their steps over a
+// 64-lane BatchRunner (options.batch_lanes), so the static column is
+// measured on the batched engine — bit-identical to the scalar sweep
+// by BatchRunner's parity contract. Emits BENCH_seeds.json.
 
 #include <cstdio>
+#include <vector>
 
 #include "autoglobe/capacity.h"
+#include "bench_report.h"
 #include "bench_util.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 
 using namespace autoglobe;
@@ -22,6 +28,7 @@ int main() {
   const Scenario scenarios[] = {Scenario::kStatic,
                                 Scenario::kConstrainedMobility,
                                 Scenario::kFullMobility};
+  const char* scenario_names[] = {"static", "cm", "fm"};
 
   std::printf("# Table 7 across random seeds (paper: 100 / 115 / 135)\n\n");
 
@@ -32,16 +39,23 @@ int main() {
         CapacityOptions options;
         options.seed = seeds[task / std::size(scenarios)];
         options.parallelism = 1;  // sweeps are the unit of parallelism
+        // Static-eligible sweeps step their scale points in lockstep
+        // lanes; ineligible scenarios silently fall back to scalar.
+        options.batch_lanes = 64;
         auto result =
             FindCapacity(scenarios[task % std::size(scenarios)], options);
         AG_CHECK_OK(result.status());
         return result->max_scale;
       });
   double wall_seconds = timer.Seconds();
+  const size_t num_sweeps = std::size(seeds) * std::size(scenarios);
+  const double seeds_per_sec =
+      static_cast<double>(num_sweeps) / wall_seconds;
 
   std::printf("%-8s %8s %6s %6s   ordering\n", "seed", "static", "CM",
               "FM");
   bool all_ordered = true;
+  std::vector<bench::BenchRecord> records;
   for (size_t s = 0; s < std::size(seeds); ++s) {
     const double* capacity = &results[s * std::size(scenarios)];
     bool ordered = capacity[0] < capacity[1] && capacity[1] < capacity[2];
@@ -50,11 +64,33 @@ int main() {
                 static_cast<unsigned long long>(seeds[s]),
                 capacity[0] * 100, capacity[1] * 100, capacity[2] * 100,
                 ordered ? "holds" : "VIOLATED");
+    for (size_t c = 0; c < std::size(scenarios); ++c) {
+      bench::BenchRecord record;
+      record.name =
+          StrFormat("seeds/%s/seed%llu", scenario_names[c],
+                    static_cast<unsigned long long>(seeds[s]));
+      record.extra["capacity"] = capacity[c];
+      record.extra["ordered"] = ordered ? 1.0 : 0.0;
+      records.push_back(std::move(record));
+    }
   }
-  std::printf("\n# wall-clock: %.2f s for %zu sweeps on %zu worker(s)\n",
-              wall_seconds, std::size(seeds) * std::size(scenarios),
-              pool.thread_count());
+  std::printf("\n# wall-clock: %.2f s for %zu sweeps on %zu worker(s) "
+              "(%.2f sweeps/s)\n",
+              wall_seconds, num_sweeps, pool.thread_count(),
+              seeds_per_sec);
   std::printf("# static < CM < FM across all seeds: %s\n",
               all_ordered ? "HOLDS" : "VIOLATED");
+
+  bench::BenchRecord perf;
+  perf.name = "seeds/perf";
+  perf.wall_seconds = wall_seconds;
+  perf.items_per_second = seeds_per_sec;
+  perf.extra["seeds_per_sec"] = seeds_per_sec;
+  perf.extra["sweeps"] = static_cast<double>(num_sweeps);
+  perf.extra["workers"] = static_cast<double>(pool.thread_count());
+  perf.extra["batch_lanes"] = 64.0;
+  perf.extra["all_ordered"] = all_ordered ? 1.0 : 0.0;
+  records.push_back(std::move(perf));
+  bench::WriteBenchJson("BENCH_seeds.json", records);
   return all_ordered ? 0 : 1;
 }

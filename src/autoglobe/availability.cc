@@ -106,6 +106,18 @@ Result<AvailabilityRun> RunOne(const AvailabilityOptions& options,
   return run;
 }
 
+/// One pool task: repetitions [begin, end) in sequential order.
+Result<std::vector<AvailabilityRun>> RunGroup(
+    const AvailabilityOptions& options, size_t begin, size_t end) {
+  std::vector<AvailabilityRun> runs;
+  runs.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    AG_ASSIGN_OR_RETURN(AvailabilityRun run, RunOne(options, i));
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
 }  // namespace
 
 Result<AvailabilityResult> RunAvailabilityScenario(
@@ -127,15 +139,25 @@ Result<AvailabilityResult> RunAvailabilityScenario(
       result.runs.push_back(std::move(run));
     }
   } else {
-    ThreadPool pool(std::min(workers, repetitions));
+    // Group consecutive reps into one pool task (see
+    // AvailabilityOptions::reps_per_task); rep order inside a group
+    // and across groups is the sequential order, so results stay
+    // bit-identical at any grouping.
+    size_t group = static_cast<size_t>(std::max(1, options.reps_per_task));
+    size_t task_count = (repetitions + group - 1) / group;
+    ThreadPool pool(std::min(workers, task_count));
     auto outcomes = pool.ParallelMap(
-        repetitions,
-        [&](size_t i) -> std::optional<Result<AvailabilityRun>> {
-          return RunOne(options, i);
+        task_count,
+        [&](size_t t)
+            -> std::optional<Result<std::vector<AvailabilityRun>>> {
+          return RunGroup(options, t * group,
+                          std::min(repetitions, (t + 1) * group));
         });
-    for (std::optional<Result<AvailabilityRun>>& outcome : outcomes) {
+    for (auto& outcome : outcomes) {
       AG_RETURN_IF_ERROR(outcome->status());
-      result.runs.push_back(std::move(**outcome));
+      for (AvailabilityRun& run : **outcome) {
+        result.runs.push_back(std::move(run));
+      }
     }
   }
   result.aggregate = AggregateReports(result.runs);

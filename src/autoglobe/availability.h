@@ -29,6 +29,14 @@ struct AvailabilityOptions {
   /// Worker threads (0 = one per hardware thread). Results are
   /// ordered by repetition index — bit-identical at any parallelism.
   int parallelism = 1;
+  /// Repetitions per pool task: consecutive reps are grouped so one
+  /// worker runs a whole batch of them back to back (amortizing pool
+  /// dispatch and keeping each worker's caches warm on the fault
+  /// stack). Fault runs cannot fuse into BatchRunner lanes — the
+  /// injector mutates the topology per rep — so rep-grouping is the
+  /// batching granule here. Grouping never changes any result bit;
+  /// values < 1 behave like 1.
+  int reps_per_task = 1;
 
   /// Explicit schedule; set => used verbatim for every repetition.
   std::optional<faults::FaultPlan> plan;

@@ -1,0 +1,461 @@
+#include "autoglobe/batch_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe {
+
+BatchRunner::BatchRunner(RunnerConfig config, std::vector<BatchLane> lanes)
+    : config_(std::move(config)), lanes_(std::move(lanes)) {}
+
+Status BatchRunner::CheckEligibility(const RunnerConfig& config) {
+  if (config.tick <= Duration::Zero()) {
+    return Status::InvalidArgument("tick must be positive");
+  }
+  if (config.controller_enabled) {
+    return Status::InvalidArgument(
+        "batched runs require controller_enabled=false: controller "
+        "actions mutate the shared topology per lane");
+  }
+  if (config.fault_plan.has_value()) {
+    return Status::InvalidArgument(
+        "batched runs cannot take a fault plan; batch availability "
+        "scenarios at the rep level instead");
+  }
+  if (config.instance_failures_per_hour > 0) {
+    return Status::InvalidArgument(
+        "batched runs cannot inject legacy instance failures");
+  }
+  if (!config.slas.empty()) {
+    return Status::InvalidArgument("batched runs do not track SLAs");
+  }
+  if (config.use_forecast) {
+    return Status::InvalidArgument(
+        "batched runs do not replicate the forecast detection signal");
+  }
+  if (!config.reservations.empty()) {
+    return Status::InvalidArgument(
+        "reservations only matter to the controller; drop them for "
+        "batched runs");
+  }
+  if (config.observability.enable_tracing ||
+      config.observability.enable_audit) {
+    return Status::InvalidArgument(
+        "batched runs have no trace/audit pipeline");
+  }
+  if (config.monitor.load_epsilon != 0.0) {
+    return Status::InvalidArgument(
+        "batched runs replicate the archive only at load_epsilon 0");
+  }
+  if (config.archive_retention < config.monitor.overload_watch_time ||
+      config.archive_retention < config.monitor.idle_watch_time) {
+    return Status::InvalidArgument(
+        "archive retention shorter than a watch window would clip the "
+        "watch-time mean; the batch replica assumes full windows");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BatchRunner>> BatchRunner::Create(
+    const Landscape& landscape, RunnerConfig config,
+    std::vector<BatchLane> lanes) {
+  AG_RETURN_IF_ERROR(CheckEligibility(config));
+  if (lanes.empty()) {
+    return Status::InvalidArgument("a batch needs at least one lane");
+  }
+  std::unique_ptr<BatchRunner> runner(
+      new BatchRunner(std::move(config), std::move(lanes)));
+  AG_RETURN_IF_ERROR(runner->Init(landscape));
+  return runner;
+}
+
+Status BatchRunner::Init(const Landscape& landscape) {
+  const size_t L = lanes_.size();
+  engine_ = std::make_unique<workload::BatchDemandEngine>(&cluster_, L);
+  AG_RETURN_IF_ERROR(landscape.Build(&cluster_, engine_.get()));
+  engine_->set_distribution(config_.distribution);
+  engine_->set_fluctuation_per_minute(config_.fluctuation_per_minute);
+  engine_->set_overload_threshold(config_.overload_threshold);
+
+  tick_sec_ = config_.tick.seconds();
+  idle_watch_sec_ = config_.monitor.idle_watch_time.seconds();
+
+  // Subjects in dense-id layout: sorted server names first, then
+  // sorted service names — the same ranks SimulationRunner's per-tick
+  // loops use, so ObserveReplica reads the engine views by position.
+  struct Registration {
+    std::string name;
+    double idle_divisor = 1.0;
+    Duration overload_watch = Duration::Zero();
+  };
+  std::vector<Registration> servers;
+  for (const infra::ServerSpec* server : cluster_.Servers()) {
+    servers.push_back({server->name, server->performance_index,
+                       config_.monitor.overload_watch_time});
+  }
+  std::sort(servers.begin(), servers.end(),
+            [](const Registration& a, const Registration& b) {
+              return a.name < b.name;
+            });
+  std::vector<Registration> services;
+  for (const infra::ServiceSpec* service : cluster_.Services()) {
+    Duration watch = config_.monitor.overload_watch_time;
+    if (service->watch_time_minutes > 0) {
+      watch = Duration::Minutes(service->watch_time_minutes);
+    }
+    services.push_back({service->name, 1.0, watch});
+  }
+  std::sort(services.begin(), services.end(),
+            [](const Registration& a, const Registration& b) {
+              return a.name < b.name;
+            });
+
+  num_servers_ = servers.size();
+  window_ticks_ = static_cast<size_t>(
+      std::max<int64_t>(1, config_.overload_smoothing.seconds() / tick_sec_));
+  window_.assign(num_servers_ * window_ticks_ * L, 0.0);
+  window_sum_.assign(num_servers_ * L, 0.0);
+  window_head_.assign(num_servers_, 0);
+  window_count_.assign(num_servers_, 0);
+  streak_minutes_.assign(num_servers_ * L, 0.0);
+
+  subjects_.clear();
+  subjects_.reserve(servers.size() + services.size());
+  auto add_subject = [&](const Registration& reg, bool is_server,
+                         infra::DenseId dense_id) -> Status {
+    if (config_.archive_retention < reg.overload_watch) {
+      return Status::InvalidArgument(StrFormat(
+          "archive retention shorter than the watchTime of \"%s\"",
+          reg.name.c_str()));
+    }
+    Subject subject;
+    subject.is_server = is_server;
+    subject.dense_id = dense_id;
+    subject.idle_threshold =
+        config_.monitor.idle_threshold_base / reg.idle_divisor;
+    subject.overload_watch_sec = reg.overload_watch.seconds();
+    subject.cap = static_cast<size_t>(
+                      std::max(subject.overload_watch_sec, idle_watch_sec_) /
+                      tick_sec_) +
+                  2;
+    subject.hist.assign(subject.cap * L, 0.0);
+    subject.phase.assign(L, 0);
+    subject.watch_started.assign(L, 0);
+    subjects_.push_back(std::move(subject));
+    return Status::OK();
+  };
+  for (size_t p = 0; p < servers.size(); ++p) {
+    AG_RETURN_IF_ERROR(add_subject(servers[p], /*is_server=*/true,
+                                   static_cast<infra::DenseId>(p)));
+  }
+  for (size_t q = 0; q < services.size(); ++q) {
+    AG_RETURN_IF_ERROR(add_subject(services[q], /*is_server=*/false,
+                                   static_cast<infra::DenseId>(q)));
+  }
+
+  load_sum_.assign(L, 0.0);
+  load_samples_ = 0;
+  overload_minutes_.assign(L, 0.0);
+  max_streak_.assign(L, 0.0);
+  triggers_.assign(L, 0);
+  metrics_.assign(L, RunMetrics{});
+  service_loads_.assign(L, 0.0);
+  ResetRunState();
+  return Status::OK();
+}
+
+void BatchRunner::ResetRunState() {
+  const size_t L = lanes_.size();
+  for (size_t lane = 0; lane < L; ++lane) {
+    engine_->SetLaneSeed(lane, lanes_[lane].seed);
+    engine_->SetLaneUserScale(lane, lanes_[lane].user_scale);
+  }
+  std::fill(window_.begin(), window_.end(), 0.0);
+  std::fill(window_sum_.begin(), window_sum_.end(), 0.0);
+  std::fill(window_head_.begin(), window_head_.end(), 0);
+  std::fill(window_count_.begin(), window_count_.end(), 0);
+  std::fill(streak_minutes_.begin(), streak_minutes_.end(), 0.0);
+  for (Subject& subject : subjects_) {
+    std::fill(subject.hist.begin(), subject.hist.end(), 0.0);
+    std::fill(subject.phase.begin(), subject.phase.end(), 0);
+    std::fill(subject.watch_started.begin(), subject.watch_started.end(),
+              int64_t{0});
+    subject.watching = 0;
+    subject.homogeneous = true;
+  }
+  std::fill(load_sum_.begin(), load_sum_.end(), 0.0);
+  load_samples_ = 0;
+  std::fill(overload_minutes_.begin(), overload_minutes_.end(), 0.0);
+  std::fill(max_streak_.begin(), max_streak_.end(), 0.0);
+  std::fill(triggers_.begin(), triggers_.end(), int64_t{0});
+  std::fill(metrics_.begin(), metrics_.end(), RunMetrics{});
+}
+
+Status BatchRunner::Rerun(std::vector<BatchLane> lanes) {
+  if (lanes.size() != lanes_.size()) {
+    return Status::InvalidArgument(
+        "a rerun must keep the batch width (the engine's lane count is "
+        "fixed)");
+  }
+  lanes_ = std::move(lanes);
+  engine_->ResetLanes();
+  ResetRunState();
+  return Status::OK();
+}
+
+Status BatchRunner::Run() {
+  const int64_t end_sec = config_.duration.seconds();
+  const int64_t warmup_sec = config_.metrics_warmup.seconds();
+  // The kernel orders same-time events by schedule sequence: the
+  // periodic tick holds seq 0 for its first fire and fresh (≥ 2) seqs
+  // for re-arms, the warmup reset holds seq 1. So a warmup landing on
+  // the first tick runs after it; landing on any later tick, before it.
+  bool warmup_pending = warmup_sec > 0 && warmup_sec <= end_sec;
+  const int64_t k_max = end_sec / tick_sec_;
+  for (int64_t k = 1; k <= k_max; ++k) {
+    const int64_t t_sec = k * tick_sec_;
+    if (warmup_pending &&
+        (warmup_sec < t_sec || (warmup_sec == t_sec && k >= 2))) {
+      ApplyWarmupReset();
+      warmup_pending = false;
+    }
+    TickOnce(k);
+    if (warmup_pending && warmup_sec == t_sec) {
+      ApplyWarmupReset();
+      warmup_pending = false;
+    }
+  }
+  // A warmup between the last tick and the end of the run still fires.
+  if (warmup_pending) ApplyWarmupReset();
+  Fold();
+  return Status::OK();
+}
+
+void BatchRunner::TickOnce(int64_t k) {
+  const size_t L = lanes_.size();
+  const SimTime now = SimTime::FromSeconds(k * tick_sec_);
+  engine_->Tick(now, config_.tick);
+
+  const double tick_minutes = config_.tick.seconds() / 60.0;
+  const double overload_threshold = config_.overload_threshold;
+  for (size_t p = 0; p < num_servers_; ++p) {
+    const size_t head = window_head_[p];
+    const size_t count = window_count_[p];
+    const bool full = count == window_ticks_;
+    const size_t write_slot = full ? head : (head + count) % window_ticks_;
+    const double inv_count = static_cast<double>(full ? count : count + 1);
+    double* sums = &window_sum_[p * L];
+    double* ring = &window_[p * (window_ticks_ * L) + write_slot * L];
+    double* streaks = &streak_minutes_[p * L];
+    Subject& subject = subjects_[p];
+    const double* cpu_row =
+        engine_->ServerCpuRow(static_cast<infra::DenseId>(p));
+    // The per-tick archive sample is the whole lane row at once.
+    std::copy_n(cpu_row, L,
+                subject.hist.data() +
+                    static_cast<size_t>((k - 1) % subject.cap) * L);
+    // Straight-line math first (vectorizes), the branchy watch state
+    // machine in its own pass.
+    if (full) {
+      for (size_t lane = 0; lane < L; ++lane) {
+        const double cpu = cpu_row[lane];
+        load_sum_[lane] += cpu;
+        // Add-then-evict, exactly like SimulationRunner's ring.
+        sums[lane] += cpu;
+        sums[lane] -= ring[lane];
+        ring[lane] = cpu;
+      }
+    } else {
+      for (size_t lane = 0; lane < L; ++lane) {
+        const double cpu = cpu_row[lane];
+        load_sum_[lane] += cpu;
+        sums[lane] += cpu;
+        ring[lane] = cpu;
+      }
+    }
+    for (size_t lane = 0; lane < L; ++lane) {
+      const double smoothed = sums[lane] / inv_count;
+      if (smoothed > overload_threshold) {
+        overload_minutes_[lane] += tick_minutes;
+        streaks[lane] += tick_minutes;
+        max_streak_[lane] = std::max(max_streak_[lane], streaks[lane]);
+      } else {
+        streaks[lane] = 0.0;
+      }
+    }
+    ObserveRowReplica(subject, cpu_row, k);
+    if (full) {
+      window_head_[p] = (head + 1) % window_ticks_;
+    } else {
+      window_count_[p] = count + 1;
+    }
+  }
+  load_samples_ += static_cast<int64_t>(num_servers_);
+  const size_t num_services = subjects_.size() - num_servers_;
+  for (size_t q = 0; q < num_services; ++q) {
+    Subject& subject = subjects_[num_servers_ + q];
+    engine_->ServiceLoadAll(static_cast<infra::DenseId>(q),
+                            service_loads_.data());
+    std::copy_n(service_loads_.data(), L,
+                subject.hist.data() +
+                    static_cast<size_t>((k - 1) % subject.cap) * L);
+    ObserveRowReplica(subject, service_loads_.data(), k);
+  }
+}
+
+void BatchRunner::ObserveRowReplica(Subject& subject, const double* loads,
+                                    int64_t k) {
+  enum : uint8_t { kNormal = 0, kWatchingOverload = 1, kWatchingIdle = 2 };
+  const size_t L = lanes_.size();
+  const double overload = config_.monitor.overload_threshold;
+  const double idle = subject.idle_threshold;
+  const int64_t now_sec = k * tick_sec_;
+  if (subject.homogeneous && subject.watching == 0) {
+    // Every lane is in the Normal phase, where the only possible
+    // action is arming a watch on an out-of-band load — one branchless
+    // scan usually proves the whole row is a no-op.
+    size_t over = 0;
+    size_t under = 0;
+    for (size_t lane = 0; lane < L; ++lane) {
+      over += loads[lane] > overload;
+      under += loads[lane] < idle;
+    }
+    if (over == 0 && under == 0) return;
+    // Lanes usually cross a threshold together (e.g. the whole batch
+    // going idle overnight): arm the full row at once and stay
+    // homogeneous, so the watch countdown costs one check per tick.
+    if (over == L || (over == 0 && under == L)) {
+      std::fill(subject.phase.begin(), subject.phase.end(),
+                over == L ? kWatchingOverload : kWatchingIdle);
+      std::fill(subject.watch_started.begin(),
+                subject.watch_started.end(), now_sec);
+      subject.watching = L;
+      return;
+    }
+    subject.homogeneous = false;
+  } else if (subject.homogeneous) {
+    // Whole row is in the same watch with the same start.
+    const bool watching_overload = subject.phase[0] == kWatchingOverload;
+    const int64_t watch_sec =
+        watching_overload ? subject.overload_watch_sec : idle_watch_sec_;
+    if (now_sec - subject.watch_started[0] < watch_sec) return;
+    std::fill(subject.phase.begin(), subject.phase.end(), kNormal);
+    subject.watching = 0;
+    // Watch-time mean, all lanes at once: the newest-first tick walk
+    // is the outer loop, so each lane still sums the exact scalar
+    // sequence while the adds vectorize across the row.
+    const int64_t cap = static_cast<int64_t>(subject.cap);
+    int64_t j_min = (now_sec - watch_sec) / tick_sec_ + 1;
+    if (j_min < 1) j_min = 1;
+    // service_loads_ doubles as scratch here; `loads` may alias it but
+    // is not read on the expiry path (the verdict uses hist only).
+    double* sum = service_loads_.data();
+    std::fill_n(sum, L, 0.0);
+    for (int64_t j = k; j >= j_min; --j) {
+      const double* hist_row =
+          subject.hist.data() + static_cast<size_t>((j - 1) % cap) * L;
+      for (size_t lane = 0; lane < L; ++lane) sum[lane] += hist_row[lane];
+    }
+    const double count = static_cast<double>(k - j_min + 1);
+    for (size_t lane = 0; lane < L; ++lane) {
+      const double average = sum[lane] / count;
+      const bool fired = watching_overload ? average > overload
+                                           : average < idle;
+      if (fired) ++triggers_[lane];
+    }
+    return;
+  }
+  for (size_t lane = 0; lane < L; ++lane) {
+    ObserveReplica(subject, lane, loads[lane], k);
+  }
+  // Divergent rows re-converge once every lane is back in Normal.
+  if (subject.watching == 0) subject.homogeneous = true;
+}
+
+void BatchRunner::ObserveReplica(Subject& subject, size_t lane, double load,
+                                 int64_t k) {
+  enum : uint8_t { kNormal = 0, kWatchingOverload = 1, kWatchingIdle = 2 };
+  const size_t L = lanes_.size();
+  const int64_t cap = static_cast<int64_t>(subject.cap);
+  // The caller already recorded this tick's sample into subject.hist.
+  const int64_t now_sec = k * tick_sec_;
+  uint8_t& phase = subject.phase[lane];
+  if (phase == kNormal) {
+    // A threshold crossing only *arms* the watch; the trigger decision
+    // waits for the watch-time mean (monitoring.cc, Phase::kNormal).
+    if (load > config_.monitor.overload_threshold) {
+      phase = kWatchingOverload;
+      subject.watch_started[lane] = now_sec;
+      ++subject.watching;
+    } else if (load < subject.idle_threshold) {
+      phase = kWatchingIdle;
+      subject.watch_started[lane] = now_sec;
+      ++subject.watching;
+    }
+    return;
+  }
+  const bool overload = phase == kWatchingOverload;
+  const int64_t watch_sec =
+      overload ? subject.overload_watch_sec : idle_watch_sec_;
+  if (now_sec - subject.watch_started[lane] < watch_sec) return;
+  phase = kNormal;
+  --subject.watching;
+  // LoadArchive::Average over (now - watch, now]: the samples sit on
+  // the uniform tick grid j * tick, j = 1..k, and the archive sums
+  // them newest-first — replicate both the member set and the order so
+  // the mean is bit-identical.
+  int64_t j_min = (now_sec - watch_sec) / tick_sec_ + 1;
+  if (j_min < 1) j_min = 1;
+  double sum = 0.0;
+  for (int64_t j = k; j >= j_min; --j) {
+    sum += subject.hist[static_cast<size_t>((j - 1) % cap) * L + lane];
+  }
+  const double average = sum / static_cast<double>(k - j_min + 1);
+  const bool fired = overload
+                         ? average > config_.monitor.overload_threshold
+                         : average < subject.idle_threshold;
+  if (fired) ++triggers_[lane];
+}
+
+void BatchRunner::ApplyWarmupReset() {
+  // Body of the "metrics-warmup-end" event (runner.cc ArmSchedule):
+  // quality counters restart, trigger counts do not.
+  const size_t L = lanes_.size();
+  for (size_t lane = 0; lane < L; ++lane) {
+    engine_->ResetQualityMetrics(lane);
+  }
+  std::fill(overload_minutes_.begin(), overload_minutes_.end(), 0.0);
+  std::fill(max_streak_.begin(), max_streak_.end(), 0.0);
+  std::fill(streak_minutes_.begin(), streak_minutes_.end(), 0.0);
+  std::fill(load_sum_.begin(), load_sum_.end(), 0.0);
+  load_samples_ = 0;
+}
+
+void BatchRunner::Fold() {
+  // Mirror of SimulationRunner::RunUntil's metric fold, with
+  // simulator_.now() == Start + duration.
+  const double total_minutes =
+      static_cast<double>(config_.duration.seconds() -
+                          config_.metrics_warmup.seconds()) /
+      60.0;
+  const double denom = static_cast<double>(num_servers_) * total_minutes;
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    RunMetrics& m = metrics_[lane];
+    m.overload_server_minutes = overload_minutes_[lane];
+    m.max_overload_streak_minutes = max_streak_[lane];
+    m.triggers = triggers_[lane];
+    m.lost_work_wu = engine_->TotalLostWork(lane);
+    m.sla_violation_minutes = 0.0;
+    m.average_cpu_load =
+        load_samples_ > 0
+            ? load_sum_[lane] / static_cast<double>(load_samples_)
+            : 0.0;
+    m.overload_fraction =
+        denom > 0 ? m.overload_server_minutes / denom : 0.0;
+  }
+}
+
+}  // namespace autoglobe

@@ -1,0 +1,155 @@
+#ifndef AUTOGLOBE_AUTOGLOBE_BATCH_RUNNER_H_
+#define AUTOGLOBE_AUTOGLOBE_BATCH_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autoglobe/landscape.h"
+#include "autoglobe/runner.h"
+#include "common/result.h"
+#include "infra/cluster.h"
+#include "workload/batch_demand.h"
+
+namespace autoglobe {
+
+/// Per-lane run parameters: the only knobs that may differ between
+/// the runs of one batch.
+struct BatchLane {
+  uint64_t seed = 42;
+  double user_scale = 1.0;
+};
+
+/// Steps B independent *runs* of one scenario in lockstep on a single
+/// thread. Where SimulationRunner wires the full control stack around
+/// the event kernel, BatchRunner is a straight time loop over a
+/// BatchDemandEngine plus per-lane replicas of exactly the machinery
+/// that feeds RunMetrics on a control-loop-disabled run: the smoothed
+/// overload verdict (ring-buffer trailing mean per server), the
+/// monitor's watch state machine (trigger *counting* — phase arming,
+/// watch-time means with the archive's newest-first summation), the
+/// metrics-warmup reset (applied at the event order the kernel would
+/// use), and the end-of-run fold.
+///
+/// Bit-identity contract: metrics(lane) equals the RunMetrics of a
+/// SimulationRunner created with the same landscape and config with
+/// `seed`/`user_scale` of that lane — bit for bit, including trigger
+/// counts. A parity suite (tests/autoglobe/batch_runner_test.cc)
+/// enforces this against the real runner.
+///
+/// Eligibility: the shortcut is only valid when the run cannot feed
+/// back into the topology or demand — controller disabled, no fault
+/// plan, no legacy failure injection, no SLAs, no forecast, no
+/// tracing/audit. CheckEligibility returns InvalidArgument otherwise;
+/// ineligible configs must use SimulationRunner (availability
+/// scenarios batch at the rep level instead, see availability.h).
+///
+/// Steady state allocates nothing: every per-lane array is sized at
+/// Create, and Rerun re-arms them in place for the next batch.
+class BatchRunner {
+ public:
+  static Result<std::unique_ptr<BatchRunner>> Create(
+      const Landscape& landscape, RunnerConfig config,
+      std::vector<BatchLane> lanes);
+
+  /// InvalidArgument when `config` needs machinery the batch path
+  /// does not replicate (controller, faults, SLAs, forecast, tracing).
+  static Status CheckEligibility(const RunnerConfig& config);
+
+  /// Runs all lanes over the configured duration.
+  Status Run();
+
+  /// Re-arms every lane for another batch (new seeds / scales, same
+  /// landscape and config) without reconstructing anything. `lanes`
+  /// must have the same size as the original batch.
+  Status Rerun(std::vector<BatchLane> lanes);
+
+  size_t lanes() const { return lanes_.size(); }
+  const BatchLane& lane(size_t lane) const { return lanes_[lane]; }
+  /// The run metrics of one lane (valid after Run).
+  const RunMetrics& metrics(size_t lane) const { return metrics_[lane]; }
+
+  workload::BatchDemandEngine& demand() { return *engine_; }
+  const workload::BatchDemandEngine& demand() const { return *engine_; }
+  infra::Cluster& cluster() { return cluster_; }
+
+ private:
+  /// One monitoring subject (server or service) with per-lane
+  /// detection state. Mirrors LoadMonitoringSystem's SubjectState for
+  /// the trigger-*counting* subset.
+  struct Subject {
+    bool is_server = false;
+    infra::DenseId dense_id = 0;
+    double idle_threshold = 0.125;
+    int64_t overload_watch_sec = 0;
+    /// History ring of the last `cap` observations, lane-strided
+    /// (`hist[slot * lanes + lane]`): the watch-time mean recomputes
+    /// exactly like LoadArchive::Average (newest-first sum).
+    size_t cap = 0;
+    std::vector<double> hist;
+    std::vector<uint8_t> phase;          // per lane (Phase enum)
+    std::vector<int64_t> watch_started;  // per lane, seconds
+    /// Lanes currently in a watch phase. While 0, the whole row can
+    /// be dismissed with one in-band scan (see ObserveRowReplica).
+    size_t watching = 0;
+    /// True while every lane is in the same phase with the same watch
+    /// start (lanes usually arm and expire in lockstep — e.g. every
+    /// lane going idle overnight). Lets the whole row run the watch
+    /// state machine once instead of per lane.
+    bool homogeneous = true;
+  };
+
+  BatchRunner(RunnerConfig config, std::vector<BatchLane> lanes);
+
+  Status Init(const Landscape& landscape);
+  void ResetRunState();
+  void TickOnce(int64_t k);
+  /// Observes one tick's whole lane row for a subject, with a fast
+  /// dismissal when no lane is watching and every load is in band.
+  void ObserveRowReplica(Subject& subject, const double* loads,
+                         int64_t k);
+  void ObserveReplica(Subject& subject, size_t lane, double load,
+                      int64_t k);
+  void ApplyWarmupReset();
+  void Fold();
+
+  RunnerConfig config_;
+  std::vector<BatchLane> lanes_;
+  infra::Cluster cluster_;
+  std::unique_ptr<workload::BatchDemandEngine> engine_;
+
+  int64_t tick_sec_ = 60;
+  int64_t idle_watch_sec_ = 0;
+
+  // Smoothed-overload state. head/count advance identically in every
+  // lane (same tick cadence), so they are per server; the sums and
+  // ring values are per [server][lane].
+  size_t window_ticks_ = 1;
+  size_t num_servers_ = 0;
+  std::vector<double> window_;      // [server][slot][lane]
+  std::vector<double> window_sum_;  // [server][lane]
+  std::vector<size_t> window_head_;
+  std::vector<size_t> window_count_;
+  std::vector<double> streak_minutes_;  // [server][lane]
+
+  std::vector<Subject> subjects_;  // servers (sorted) then services
+
+  std::vector<double> load_sum_;  // per lane
+  /// Sample count is lane-invariant (every lane samples every server
+  /// on every tick), so one shared counter stands in for the scalar
+  /// runner's per-run count.
+  int64_t load_samples_ = 0;
+  // Hot per-lane quality accumulators, kept as contiguous arrays (the
+  // inner loops touch them per server per lane); folded into metrics_
+  // at the end of a run.
+  std::vector<double> overload_minutes_;  // per lane
+  std::vector<double> max_streak_;        // per lane
+  std::vector<int64_t> triggers_;         // per lane
+  std::vector<RunMetrics> metrics_;       // per lane
+  std::vector<double> service_loads_;     // per-tick scratch, per lane
+};
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_AUTOGLOBE_BATCH_RUNNER_H_

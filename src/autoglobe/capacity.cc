@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 
+#include "autoglobe/batch_runner.h"
 #include "common/thread_pool.h"
 
 namespace autoglobe {
@@ -149,6 +150,65 @@ Result<CapacityResult> Assemble(
   return result;
 }
 
+/// The sweep config of one scenario at the options' duration/warmup
+/// (the per-step knobs — scale and seed — are the batch lanes).
+RunnerConfig SweepConfig(Scenario scenario, const CapacityOptions& options) {
+  RunnerConfig config = MakeScenarioConfig(scenario, options.start_scale,
+                                           options.seed);
+  config.duration = options.run_duration;
+  config.metrics_warmup = options.warmup;
+  return config;
+}
+
+bool UseBatchedSweep(Scenario scenario, const CapacityOptions& options) {
+  return options.batch_lanes > 1 &&
+         BatchRunner::CheckEligibility(SweepConfig(scenario, options)).ok();
+}
+
+/// The batched sweep: chunks of up to batch_lanes steps run in
+/// lockstep in one reused BatchRunner. Sequential semantics are kept —
+/// steps after the first failure are dropped, and chunks past it are
+/// never run (the batch is the speculation granule).
+Result<CapacityResult> FindCapacityBatched(
+    Scenario scenario, const CapacityOptions& options,
+    const std::vector<double>& scales) {
+  Landscape landscape = MakePaperLandscape(scenario);
+  RunnerConfig config = SweepConfig(scenario, options);
+  CapacityResult result;
+  result.scenario = scenario;
+  const size_t width = std::min(options.batch_lanes, scales.size());
+  std::unique_ptr<BatchRunner> batch;
+  for (size_t base = 0; base < scales.size(); base += width) {
+    std::vector<BatchLane> lanes(width);
+    for (size_t lane = 0; lane < width; ++lane) {
+      // The tail chunk pads with repeats of the last step (the lane
+      // count is fixed for the runner's lifetime); padded lanes are
+      // simply not read out.
+      size_t index = std::min(base + lane, scales.size() - 1);
+      lanes[lane] = BatchLane{StepSeed(options, index), scales[index]};
+    }
+    if (batch == nullptr) {
+      AG_ASSIGN_OR_RETURN(
+          batch, BatchRunner::Create(landscape, config, std::move(lanes)));
+    } else {
+      AG_RETURN_IF_ERROR(batch->Rerun(std::move(lanes)));
+    }
+    AG_RETURN_IF_ERROR(batch->Run());
+    for (size_t lane = 0; lane < width && base + lane < scales.size();
+         ++lane) {
+      CapacityStep step;
+      step.scale = scales[base + lane];
+      step.metrics = batch->metrics(lane);
+      step.passed = Passes(step.metrics, options.criteria);
+      bool passed = step.passed;
+      result.steps.push_back(std::move(step));
+      if (!passed) return result;  // "until the system becomes overloaded"
+      result.max_scale = scales[base + lane];
+    }
+  }
+  return result;
+}
+
 Result<CapacityResult> FindCapacitySequential(
     Scenario scenario, const CapacityOptions& options,
     const std::vector<double>& scales) {
@@ -170,6 +230,9 @@ Result<CapacityResult> FindCapacitySequential(
 Result<CapacityResult> FindCapacity(Scenario scenario,
                                     const CapacityOptions& options) {
   std::vector<double> scales = SweepScales(options);
+  if (UseBatchedSweep(scenario, options)) {
+    return FindCapacityBatched(scenario, options, scales);
+  }
   size_t workers = ResolveWorkers(options);
   if (workers <= 1 || scales.size() <= 1) {
     // Sequential keeps the early exit: steps past the first failure
@@ -197,12 +260,25 @@ Result<std::vector<CapacityResult>> FindCapacityAll(
 
   if (workers <= 1) {
     for (Scenario scenario : scenarios) {
-      AG_ASSIGN_OR_RETURN(
-          CapacityResult result,
-          FindCapacitySequential(scenario, options, scales));
+      AG_ASSIGN_OR_RETURN(CapacityResult result,
+                          UseBatchedSweep(scenario, options)
+                              ? FindCapacityBatched(scenario, options, scales)
+                              : FindCapacitySequential(scenario, options,
+                                                       scales));
       results.push_back(std::move(result));
     }
     return results;
+  }
+
+  // Batch-eligible scenarios (static) run batched on the calling
+  // thread first — one BatchRunner sweeps all their steps faster than
+  // the speculative fan-out would, and leaving them out of the task
+  // list keeps the pool for the controller-enabled scenarios.
+  std::vector<std::optional<CapacityResult>> batched(std::size(scenarios));
+  for (size_t s = 0; s < std::size(scenarios); ++s) {
+    if (!UseBatchedSweep(scenarios[s], options)) continue;
+    AG_ASSIGN_OR_RETURN(batched[s],
+                        FindCapacityBatched(scenarios[s], options, scales));
   }
 
   // Flatten every (scenario, step) pair into one task list so the
@@ -217,22 +293,30 @@ Result<std::vector<CapacityResult>> FindCapacityAll(
   std::vector<Task> tasks;
   tasks.reserve(std::size(scenarios) * scales.size());
   for (size_t i = 0; i < scales.size(); ++i) {
-    for (size_t s = 0; s < std::size(scenarios); ++s) tasks.push_back({s, i});
+    for (size_t s = 0; s < std::size(scenarios); ++s) {
+      if (!batched[s].has_value()) tasks.push_back({s, i});
+    }
   }
   std::vector<std::vector<std::optional<Result<CapacityStep>>>> outcomes(
       std::size(scenarios));
   for (auto& per_scenario : outcomes) per_scenario.resize(scales.size());
   std::vector<FailureBound> bounds(std::size(scenarios));
 
-  ThreadPool pool(std::min(workers, tasks.size()));
-  pool.ParallelFor(tasks.size(), [&](size_t t) {
-    const Task& task = tasks[t];
-    outcomes[task.scenario][task.step] =
-        RunStepSpeculative(scenarios[task.scenario], scales, task.step,
-                           options, &bounds[task.scenario]);
-  });
+  if (!tasks.empty()) {
+    ThreadPool pool(std::min(workers, tasks.size()));
+    pool.ParallelFor(tasks.size(), [&](size_t t) {
+      const Task& task = tasks[t];
+      outcomes[task.scenario][task.step] =
+          RunStepSpeculative(scenarios[task.scenario], scales, task.step,
+                             options, &bounds[task.scenario]);
+    });
+  }
 
   for (size_t s = 0; s < std::size(scenarios); ++s) {
+    if (batched[s].has_value()) {
+      results.push_back(std::move(*batched[s]));
+      continue;
+    }
     AG_ASSIGN_OR_RETURN(CapacityResult result,
                         Assemble(scenarios[s], std::move(outcomes[s])));
     results.push_back(std::move(result));

@@ -68,6 +68,15 @@ struct CapacityOptions {
   /// truncates afterwards — same result, less wall-clock. 0 = one
   /// worker per hardware thread.
   int parallelism = 1;
+  /// Batched sweep execution: when > 1 and the scenario's config is
+  /// static-eligible (BatchRunner::CheckEligibility — in practice the
+  /// static scenario, whose controller is off), up to `batch_lanes`
+  /// sweep steps run in lockstep inside one BatchRunner instead of one
+  /// SimulationRunner each, re-armed in place between chunks. Step
+  /// metrics and the sweep verdict are bit-identical to the scalar
+  /// sweep; only the per-step `observed` registry snapshot stays empty
+  /// (the batch path has no metrics registry). 0 or 1 = off.
+  size_t batch_lanes = 0;
   AcceptanceCriteria criteria;
 };
 

@@ -44,9 +44,11 @@ struct Landscape {
 
   /// Materializes servers, services, and the initial allocation into
   /// a cluster, and registers demand specs and subsystems with the
-  /// engine (either pointer may be null to skip that part).
+  /// demand model (either pointer may be null to skip that part).
+  /// Any DemandModelSink works — the scalar DemandEngine or the
+  /// batched multi-run engine.
   Status Build(infra::Cluster* cluster,
-               workload::DemandEngine* engine) const;
+               workload::DemandModelSink* engine) const;
 
   /// Serializes to / parses from the XML description language.
   void ToXml(xml::Element* out) const;

@@ -305,6 +305,13 @@ Status SimulationRunner::Init(const Landscape& landscape) {
     ReconcileInstanceWatches(SimTime::Start());
   }
 
+  AG_RETURN_IF_ERROR(ArmSchedule());
+  initialized_ = true;
+  init_epoch_ = cluster_.topology_epoch();
+  return Status::OK();
+}
+
+Status SimulationRunner::ArmSchedule() {
   // The periodic tick re-arms in place; pre-sizing the event heap
   // keeps occasional action/fault scheduling from regrowing it.
   simulator_.ReserveEvents(64);
@@ -327,8 +334,54 @@ Status SimulationRunner::Init(const Landscape& landscape) {
                            })
             .status());
   }
-  initialized_ = true;
   return Status::OK();
+}
+
+Status SimulationRunner::ResetForRerun(uint64_t seed, double user_scale) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("runner not initialized");
+  }
+  if (config_.fault_plan.has_value()) {
+    return Status::FailedPrecondition(
+        "fault-plan runs cannot be re-armed: the plan schedules "
+        "simulator events at Init");
+  }
+  if (cluster_.topology_epoch() != init_epoch_) {
+    return Status::FailedPrecondition(
+        "topology changed since Init; a rerun requires the initial "
+        "allocation");
+  }
+  if (metrics_.actions_executed > 0 || metrics_.actions_failed > 0) {
+    return Status::FailedPrecondition(
+        "the executor ran actions; create a fresh runner instead");
+  }
+
+  config_.seed = seed;
+  config_.user_scale = user_scale;
+
+  simulator_.Reset();
+  demand_->ResetRunState(Rng(seed));
+  demand_->set_user_scale(user_scale);
+  failure_rng_ = Rng(seed ^ 0xfa11fa11u);
+  archive_.ClearSamples();
+  monitoring_->ResetObservations();
+  pool_stats_.Reset(&cluster_.Index());
+  for (ServerStat& stat : server_stats_) {
+    stat.streak_minutes = 0.0;
+    stat.window_sum = 0.0;
+    std::fill(stat.window.begin(), stat.window.end(), 0.0);
+    stat.head = 0;
+    stat.count = 0;
+  }
+  load_sum_ = 0.0;
+  load_samples_ = 0;
+  metrics_ = RunMetrics{};
+  messages_.clear();
+  slas_ = SlaTracker();
+  for (const SlaSpec& sla : config_.slas) {
+    AG_RETURN_IF_ERROR(slas_.AddSla(sla));
+  }
+  return ArmSchedule();
 }
 
 void SimulationRunner::OnTick() {

@@ -158,6 +158,21 @@ class SimulationRunner {
   /// repeatedly).
   Status RunUntil(SimTime end);
 
+  /// Re-arms the runner for another run with a new seed / user scale
+  /// without reconstructing anything — the event heap, archive rings,
+  /// monitor subjects, and demand-engine data plane all keep their
+  /// storage, so repetition sweeps (capacity steps, seed batteries)
+  /// skip the whole Create cost per rep. After the reset, a run is
+  /// bit-identical to a freshly created runner with the same config.
+  ///
+  /// Only valid while the topology still matches Init (no executor
+  /// actions, no structural changes) and without a fault plan (the
+  /// plan arms simulator events at Init); FailedPrecondition
+  /// otherwise. The always-on metrics registry keeps accumulating
+  /// across reruns — snapshot-diff it per rep if per-run counters are
+  /// needed.
+  Status ResetForRerun(uint64_t seed, double user_scale);
+
   void set_sample_hook(SampleHook hook) { sample_hook_ = std::move(hook); }
 
   const RunMetrics& metrics() const { return metrics_; }
@@ -214,6 +229,11 @@ class SimulationRunner {
   explicit SimulationRunner(RunnerConfig config);
 
   Status Init(const Landscape& landscape);
+  /// Schedules the periodic tick and the warmup-end reset. Shared by
+  /// Init and ResetForRerun so both arm the exact same event ids and
+  /// sequence numbers — the dispatch order of a rerun is identical to
+  /// a fresh runner's.
+  Status ArmSchedule();
   void OnTick();
   /// `key` is the subject's archive key, prebuilt at Init.
   std::optional<double> DetectionLoad(const std::string& key,
@@ -318,6 +338,9 @@ class SimulationRunner {
   double load_sum_ = 0.0;
   int64_t load_samples_ = 0;
   bool initialized_ = false;
+  /// Topology epoch recorded at Init; ResetForRerun refuses when the
+  /// cluster has structurally changed since.
+  uint64_t init_epoch_ = 0;
 };
 
 }  // namespace autoglobe

@@ -14,29 +14,11 @@ uint64_t SplitMix64(uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(sm);
-}
-
-uint64_t Rng::Next() {
-  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::NextDouble() {
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
 }
 
 double Rng::Uniform(double lo, double hi) {
@@ -78,19 +60,26 @@ double Rng::Exponential(double mean) {
   return -mean * std::log(u);
 }
 
-double Rng::Normal(double mean, double stddev) {
-  if (have_cached_normal_) {
-    have_cached_normal_ = false;
-    return mean + stddev * cached_normal_;
-  }
+double Rng::NormalSlow(double mean, double stddev) {
   double u1 = NextDouble();
   double u2 = NextDouble();
   if (u1 <= 0.0) u1 = 0x1.0p-53;
   double r = std::sqrt(-2.0 * std::log(u1));
   double theta = 2.0 * M_PI * u2;
-  cached_normal_ = r * std::sin(theta);
+  double sin_theta;
+  double cos_theta;
+#ifdef __GLIBC__
+  // glibc's sincos returns exactly the separate sin/cos values (they
+  // share kernels), so this keeps every historical stream bit-stable
+  // while paying for one argument reduction instead of two.
+  sincos(theta, &sin_theta, &cos_theta);
+#else
+  sin_theta = std::sin(theta);
+  cos_theta = std::cos(theta);
+#endif
+  cached_normal_ = r * sin_theta;
   have_cached_normal_ = true;
-  return mean + stddev * r * std::cos(theta);
+  return mean + stddev * r * cos_theta;
 }
 
 Rng Rng::Fork() { return Rng(Next()); }

@@ -13,11 +13,24 @@ class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-  /// Uniform 64-bit value.
-  uint64_t Next();
+  /// Uniform 64-bit value. Inline: the batched engine draws millions
+  /// of variates per run, so the generator core must not cost a call.
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double Uniform(double lo, double hi);
@@ -37,12 +50,25 @@ class Rng {
   double Exponential(double mean);
 
   /// Normal variate via Box–Muller.
-  double Normal(double mean, double stddev);
+  double Normal(double mean, double stddev) {
+    if (have_cached_normal_) {
+      have_cached_normal_ = false;
+      return mean + stddev * cached_normal_;
+    }
+    return NormalSlow(mean, stddev);
+  }
 
   /// Derives an independent child generator (for per-entity streams).
   Rng Fork();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Box–Muller pair generation (the no-cached-value half of Normal).
+  double NormalSlow(double mean, double stddev);
+
   uint64_t state_[4];
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;

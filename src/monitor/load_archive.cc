@@ -210,6 +210,17 @@ std::vector<std::string> LoadArchive::Keys() const {
   return keys;
 }
 
+void LoadArchive::ClearSamples() {
+  for (auto& [key, series] : series_) {
+    series.head = 0;
+    series.count = 0;
+    series.aggregated.clear();  // capacity kept
+    series.open_bucket = -1;
+    series.open_sum = 0.0;
+    series.open_count = 0;
+  }
+}
+
 Status LoadArchive::Save(const std::string& path) const {
   std::ofstream out(path);
   if (!out) {

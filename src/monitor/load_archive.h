@@ -119,6 +119,12 @@ class LoadArchive {
   /// All known subject keys.
   std::vector<std::string> Keys() const;
 
+  /// Drops every sample (raw rings, aggregates, open buckets) while
+  /// keeping the series themselves and their ring capacity, so
+  /// previously issued Handles stay valid and a rerun appends
+  /// allocation-free from the first tick.
+  void ClearSamples();
+
   /// Serializes the aggregated view ("persistent aggregated view of
   /// historic load data") to / from a simple text format.
   Status Save(const std::string& path) const;

@@ -134,6 +134,13 @@ class LoadMonitoringSystem {
   /// Materializes every subject (e.g. before saving the archive).
   Status MaterializeAll();
 
+  /// Rewinds every subject's detection state machine and heartbeat
+  /// watch to its just-registered state and zeroes the trigger /
+  /// evaluation counters. Registrations, archive handles, and watch
+  /// slots are kept, so a rerun observes allocation-free. Pair with
+  /// LoadArchive::ClearSamples — the archive itself is not touched.
+  void ResetObservations();
+
   /// Full evaluations performed (arming checks + archive appends).
   int64_t evaluations() const { return evaluations_; }
   /// Observations compressed away by dirty tracking.

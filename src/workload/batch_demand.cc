@@ -1,0 +1,1026 @@
+#include "workload/batch_demand.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe::workload {
+
+using infra::InstanceId;
+using infra::InstanceRef;
+using infra::InstanceState;
+using infra::LandscapeIndex;
+
+BatchDemandEngine::BatchDemandEngine(infra::Cluster* cluster, size_t lanes)
+    : cluster_(cluster), lanes_(lanes) {
+  AG_CHECK(cluster_ != nullptr);
+  AG_CHECK(lanes_ >= 1 && lanes_ <= 1024);
+  rng_.reserve(lanes_);
+  for (size_t lane = 0; lane < lanes_; ++lane) {
+    rng_.emplace_back(static_cast<uint64_t>(lane));
+  }
+  user_scale_.assign(lanes_, 1.0);
+  lost_work_wu_.assign(lanes_, 0.0);
+  overload_minutes_.assign(lanes_, 0.0);
+}
+
+int32_t BatchDemandEngine::SpecSlotOf(std::string_view service) const {
+  auto it = std::lower_bound(
+      specs_.begin(), specs_.end(), service,
+      [](const ServiceDemandSpec& spec, std::string_view name) {
+        return spec.service < name;
+      });
+  if (it == specs_.end() || it->service != service) return -1;
+  return static_cast<int32_t>(it - specs_.begin());
+}
+
+Status BatchDemandEngine::AddService(ServiceDemandSpec spec) {
+  AG_RETURN_IF_ERROR(cluster_->FindService(spec.service).status());
+  if (SpecSlotOf(spec.service) >= 0) {
+    return Status::AlreadyExists(StrFormat(
+        "demand spec for \"%s\" already registered", spec.service.c_str()));
+  }
+  if (spec.base_users < 0 || spec.request_cost < 0 ||
+      spec.base_load_wu < 0 || spec.batch_load_wu < 0 ||
+      spec.noise_stddev < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "demand spec for \"%s\" has negative parameters",
+        spec.service.c_str()));
+  }
+  auto it = std::lower_bound(
+      specs_.begin(), specs_.end(), spec.service,
+      [](const ServiceDemandSpec& existing, const std::string& name) {
+        return existing.service < name;
+      });
+  size_t slot = static_cast<size_t>(it - specs_.begin());
+  specs_.insert(it, std::move(spec));
+  queue_wu_.insert(queue_wu_.begin() +
+                       static_cast<ptrdiff_t>(slot * lanes_),
+                   lanes_, 0.0);
+  plane_dirty_ = true;
+  return Status::OK();
+}
+
+Status BatchDemandEngine::AddSubsystem(SubsystemSpec spec) {
+  for (const std::string& app : spec.app_services) {
+    if (SpecSlotOf(app) < 0) {
+      return Status::NotFound(StrFormat(
+          "subsystem \"%s\": unknown app service \"%s\"",
+          spec.name.c_str(), app.c_str()));
+    }
+  }
+  if (!spec.central_instance.empty() &&
+      SpecSlotOf(spec.central_instance) < 0) {
+    return Status::NotFound(StrFormat(
+        "subsystem \"%s\": unknown central instance \"%s\"",
+        spec.name.c_str(), spec.central_instance.c_str()));
+  }
+  if (!spec.database.empty() && SpecSlotOf(spec.database) < 0) {
+    return Status::NotFound(StrFormat(
+        "subsystem \"%s\": unknown database \"%s\"", spec.name.c_str(),
+        spec.database.c_str()));
+  }
+  subsystems_.push_back(std::move(spec));
+  plane_dirty_ = true;
+  return Status::OK();
+}
+
+void BatchDemandEngine::SetLaneSeed(size_t lane, uint64_t seed) {
+  AG_CHECK(lane < lanes_);
+  rng_[lane] = Rng(seed);
+}
+
+void BatchDemandEngine::SetLaneUserScale(size_t lane, double scale) {
+  AG_CHECK(lane < lanes_);
+  user_scale_[lane] = scale;
+}
+
+Status BatchDemandEngine::SetLaneInstanceState(size_t lane, InstanceId id,
+                                               InstanceState state) {
+  if (lane >= lanes_) return Status::InvalidArgument("bad lane");
+  EnsureDataPlane();
+  size_t i = static_cast<size_t>(id);
+  if (i >= tracked_.size() || !tracked_[i]) {
+    return Status::NotFound(StrFormat(
+        "no instance %llu", static_cast<unsigned long long>(id)));
+  }
+  uint8_t& slot = override_[i * lanes_ + lane];
+  if (slot == kNoOverride) ++override_count_;
+  slot = static_cast<uint8_t>(state);
+  return Status::OK();
+}
+
+Status BatchDemandEngine::ClearLaneInstanceState(size_t lane,
+                                                 InstanceId id) {
+  if (lane >= lanes_) return Status::InvalidArgument("bad lane");
+  size_t i = static_cast<size_t>(id);
+  if (i >= tracked_.size()) {
+    return Status::NotFound(StrFormat(
+        "no instance %llu", static_cast<unsigned long long>(id)));
+  }
+  uint8_t& slot = override_[i * lanes_ + lane];
+  if (slot != kNoOverride) --override_count_;
+  slot = kNoOverride;
+  return Status::OK();
+}
+
+void BatchDemandEngine::ResetLanes() {
+  std::fill(users_.begin(), users_.end(), 0.0);
+  std::fill(backlog_wu_.begin(), backlog_wu_.end(), 0.0);
+  std::fill(demand_wu_.begin(), demand_wu_.end(), 0.0);
+  std::fill(served_wu_.begin(), served_wu_.end(), 0.0);
+  std::fill(inst_load_.begin(), inst_load_.end(), 0.0);
+  std::fill(server_cpu_.begin(), server_cpu_.end(), 0.0);
+  std::fill(server_mem_.begin(), server_mem_.end(), 0.0);
+  std::fill(queue_wu_.begin(), queue_wu_.end(), 0.0);
+  std::fill(override_.begin(), override_.end(), kNoOverride);
+  override_count_ = 0;
+  std::fill(lost_work_wu_.begin(), lost_work_wu_.end(), 0.0);
+  std::fill(overload_minutes_.begin(), overload_minutes_.end(), 0.0);
+}
+
+const LandscapeIndex& BatchDemandEngine::EnsureDataPlane() {
+  const LandscapeIndex& index = cluster_->Index();
+  if (!plane_dirty_ && plane_epoch_ == cluster_->topology_epoch()) {
+    return index;
+  }
+
+  spec_service_id_.assign(specs_.size(), infra::kNoDenseId);
+  spec_of_service_.assign(index.num_services(), -1);
+  for (size_t slot = 0; slot < specs_.size(); ++slot) {
+    infra::DenseId sid = index.ServiceIdOf(specs_[slot].service);
+    spec_service_id_[slot] = sid;
+    if (sid >= 0) {
+      spec_of_service_[static_cast<size_t>(sid)] =
+          static_cast<int32_t>(slot);
+    }
+  }
+
+  edges_.clear();
+  edges_.reserve(subsystems_.size());
+  for (const SubsystemSpec& subsystem : subsystems_) {
+    SubsystemEdges edge;
+    edge.app_specs.reserve(subsystem.app_services.size());
+    for (const std::string& app : subsystem.app_services) {
+      edge.app_specs.push_back(SpecSlotOf(app));
+    }
+    if (!subsystem.central_instance.empty()) {
+      edge.ci_spec = SpecSlotOf(subsystem.central_instance);
+    }
+    if (!subsystem.database.empty()) {
+      edge.db_spec = SpecSlotOf(subsystem.database);
+    }
+    edge.ci_factor = subsystem.ci_factor;
+    edge.db_factor = subsystem.db_factor;
+    edges_.push_back(std::move(edge));
+  }
+
+  // Per-instance SoA state, lane-strided by raw InstanceId. Growth
+  // keeps existing values; ids are never reused.
+  size_t bound = static_cast<size_t>(index.instance_id_bound());
+  if (tracked_.size() < bound) {
+    users_.resize(bound * lanes_, 0.0);
+    backlog_wu_.resize(bound * lanes_, 0.0);
+    demand_wu_.resize(bound * lanes_, 0.0);
+    served_wu_.resize(bound * lanes_, 0.0);
+    inst_load_.resize(bound * lanes_, 0.0);
+    state_.resize(bound * lanes_, 0);
+    override_.resize(bound * lanes_, kNoOverride);
+    tracked_.resize(bound, 0);
+  }
+  // Untrack removed instances: zero every lane's state for the id,
+  // mirroring the scalar engine's reconciliation semantics.
+  std::vector<uint8_t> live(tracked_.size(), 0);
+  for (const InstanceRef& ref : index.Instances()) {
+    live[static_cast<size_t>(ref.id)] = 1;
+  }
+  for (size_t id = 0; id < tracked_.size(); ++id) {
+    if (tracked_[id] && !live[id]) {
+      size_t row = id * lanes_;
+      for (size_t lane = 0; lane < lanes_; ++lane) {
+        users_[row + lane] = 0.0;
+        backlog_wu_[row + lane] = 0.0;
+        demand_wu_[row + lane] = 0.0;
+        served_wu_[row + lane] = 0.0;
+        inst_load_[row + lane] = 0.0;
+        if (override_[row + lane] != kNoOverride) --override_count_;
+        override_[row + lane] = kNoOverride;
+      }
+    }
+    tracked_[id] = live[id];
+  }
+
+  // Per-server lane-strided loads; carry last-tick values over to the
+  // (possibly shifted) dense layout by name.
+  {
+    std::vector<std::string> names;
+    names.reserve(index.num_servers());
+    for (size_t s = 0; s < index.num_servers(); ++s) {
+      names.push_back(index.ServerName(static_cast<infra::DenseId>(s)));
+    }
+    std::vector<double> cpu(names.size() * lanes_, 0.0);
+    std::vector<double> mem(names.size() * lanes_, 0.0);
+    for (size_t s = 0; s < names.size(); ++s) {
+      auto it = std::lower_bound(server_names_.begin(),
+                                 server_names_.end(), names[s]);
+      if (it != server_names_.end() && *it == names[s]) {
+        size_t old_slot =
+            static_cast<size_t>(it - server_names_.begin());
+        for (size_t lane = 0; lane < lanes_; ++lane) {
+          cpu[s * lanes_ + lane] = server_cpu_[old_slot * lanes_ + lane];
+          mem[s * lanes_ + lane] = server_mem_[old_slot * lanes_ + lane];
+        }
+      }
+    }
+    server_names_ = std::move(names);
+    server_cpu_ = std::move(cpu);
+    server_mem_ = std::move(mem);
+    num_servers_ = server_names_.size();
+  }
+
+  scratch_.app_work.assign(specs_.size() * lanes_, 0.0);
+  scratch_.shared_unserved.assign(specs_.size() * lanes_, 0.0);
+  scratch_.serve.assign(tracked_.size() * lanes_, 0.0);
+  scratch_.usable_cap.assign(lanes_, 0.0);
+  scratch_.weight_total.assign(lanes_, 0.0);
+  scratch_.current_total.assign(lanes_, 0.0);
+  scratch_.total_demand.assign(lanes_, 0.0);
+  scratch_.any_usable.assign(lanes_, 0);
+  scratch_.best_score.assign(lanes_, 0.0);
+  scratch_.best_id.assign(lanes_, 0);
+  scratch_.moved.assign(lanes_, 0.0);
+  scratch_.amount.assign(lanes_, 0.0);
+  scratch_.mode.assign(lanes_, 0);
+  scratch_.unsatisfied.reserve(index.max_instances_per_server());
+  scratch_.still_unsatisfied.reserve(index.max_instances_per_server());
+
+  plane_epoch_ = cluster_->topology_epoch();
+  plane_dirty_ = false;
+  return index;
+}
+
+void BatchDemandEngine::GatherStates(const LandscapeIndex& index) {
+  if (override_count_ == 0) {
+    // No lane diverges: broadcast the shared cluster state per row.
+    for (const InstanceRef& ref : index.Instances()) {
+      std::fill_n(state_.data() + static_cast<size_t>(ref.id) * lanes_,
+                  lanes_, static_cast<uint8_t>(ref.instance->state));
+    }
+    return;
+  }
+  for (const InstanceRef& ref : index.Instances()) {
+    size_t row = static_cast<size_t>(ref.id) * lanes_;
+    uint8_t base = static_cast<uint8_t>(ref.instance->state);
+    for (size_t lane = 0; lane < lanes_; ++lane) {
+      uint8_t over = override_[row + lane];
+      state_[row + lane] = over == kNoOverride ? base : over;
+    }
+  }
+}
+
+InstanceId BatchDemandEngine::LeastLoadedInstance(
+    const LandscapeIndex& index,
+    std::span<const InstanceRef> instances, size_t lane) const {
+  InstanceId best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const InstanceRef& ref : instances) {
+    if (state_[static_cast<size_t>(ref.id) * lanes_ + lane] !=
+        static_cast<uint8_t>(InstanceState::kRunning)) {
+      continue;
+    }
+    double host_load = ServerCpuLoad(lane, ref.server);
+    double users = users_[static_cast<size_t>(ref.id) * lanes_ + lane];
+    double capacity = index.ServerPerformance(ref.server);
+    double score = host_load + 0.001 * users / (capacity *
+                                                kUsersPerPerformanceUnit);
+    if (score < best_score) {
+      best_score = score;
+      best = ref.id;
+    }
+  }
+  return best;
+}
+
+void BatchDemandEngine::SyncUsersSpecLane(const LandscapeIndex& index,
+                                          size_t slot, size_t lane) {
+  const uint8_t kFailed = static_cast<uint8_t>(InstanceState::kFailed);
+  const ServiceDemandSpec& spec = specs_[slot];
+  std::span<const InstanceRef> instances =
+      index.InstancesOfService(spec_service_id_[slot]);
+  double target_total = spec.base_users * user_scale_[lane];
+
+  double current_total = 0.0;
+  for (const InstanceRef& ref : instances) {
+    size_t i = static_cast<size_t>(ref.id) * lanes_ + lane;
+    if (state_[i] == kFailed && users_[i] > 0) {
+      InstanceId refuge = LeastLoadedInstance(index, instances, lane);
+      if (refuge != 0 && refuge != ref.id) {
+        users_[static_cast<size_t>(refuge) * lanes_ + lane] += users_[i];
+        users_[i] = 0.0;
+      }
+    }
+    current_total += users_[i];
+  }
+  double diff = target_total - current_total;
+  if (diff > 1e-9) {
+    double weight_total = 0.0;
+    for (const InstanceRef& ref : instances) {
+      if (state_[static_cast<size_t>(ref.id) * lanes_ + lane] ==
+          kFailed) {
+        continue;
+      }
+      weight_total += index.ServerPerformance(ref.server);
+    }
+    if (weight_total > 0) {
+      for (const InstanceRef& ref : instances) {
+        size_t i = static_cast<size_t>(ref.id) * lanes_ + lane;
+        if (state_[i] == kFailed) continue;
+        users_[i] +=
+            diff * index.ServerPerformance(ref.server) / weight_total;
+      }
+    } else {
+      users_[static_cast<size_t>(instances.front().id) * lanes_ +
+             lane] += diff;
+    }
+  } else if (diff < -1e-9 && current_total > 0) {
+    double keep = target_total / current_total;
+    for (const InstanceRef& ref : instances) {
+      users_[static_cast<size_t>(ref.id) * lanes_ + lane] *= keep;
+    }
+  }
+}
+
+void BatchDemandEngine::SyncUsersAll(const LandscapeIndex& index) {
+  const size_t L = lanes_;
+  const uint8_t kFailed = static_cast<uint8_t>(InstanceState::kFailed);
+  // Sync modes per lane: nothing to do, top up, or scale down.
+  enum : uint8_t { kNone = 0, kAdd = 1, kScale = 2, kSlow = 3 };
+  for (size_t slot = 0; slot < specs_.size(); ++slot) {
+    const ServiceDemandSpec& spec = specs_[slot];
+    infra::DenseId sid = spec_service_id_[slot];
+    if (sid < 0) continue;
+    std::span<const InstanceRef> instances = index.InstancesOfService(sid);
+    if (instances.empty()) continue;
+    if (spec.base_users <= 0) continue;
+
+    // No override anywhere => every lane sees the shared cluster state
+    // => one state byte stands for a whole row.
+    const bool uniform = override_count_ == 0;
+
+    if (distribution_ == UserDistribution::kDynamicRedistribution) {
+      uint8_t* usable = scratch_.any_usable.data();
+      double* wt = scratch_.weight_total.data();
+      if (uniform) {
+        bool any = false;
+        double weight_total = 0.0;
+        for (const InstanceRef& ref : instances) {
+          if (state_[static_cast<size_t>(ref.id) * L] != kFailed) {
+            any = true;
+            weight_total += index.ServerPerformance(ref.server);
+          }
+        }
+        if (!any || weight_total <= 0) continue;
+        for (const InstanceRef& ref : instances) {
+          std::fill_n(users_.data() + static_cast<size_t>(ref.id) * L, L,
+                      0.0);
+        }
+        for (const InstanceRef& ref : instances) {
+          size_t row = static_cast<size_t>(ref.id) * L;
+          if (state_[row] == kFailed) continue;
+          double perf = index.ServerPerformance(ref.server);
+          for (size_t lane = 0; lane < L; ++lane) {
+            users_[row + lane] =
+                spec.base_users * user_scale_[lane] * perf / weight_total;
+          }
+        }
+        continue;
+      }
+      std::fill_n(usable, L, uint8_t{0});
+      std::fill_n(wt, L, 0.0);
+      for (const InstanceRef& ref : instances) {
+        size_t row = static_cast<size_t>(ref.id) * L;
+        double perf = index.ServerPerformance(ref.server);
+        for (size_t lane = 0; lane < L; ++lane) {
+          if (state_[row + lane] != kFailed) {
+            usable[lane] = 1;
+            wt[lane] += perf;
+          }
+        }
+      }
+      // Lanes without a usable instance keep their stale attachment —
+      // exactly the scalar `continue`.
+      for (size_t lane = 0; lane < L; ++lane) {
+        if (wt[lane] <= 0) usable[lane] = 0;
+      }
+      for (const InstanceRef& ref : instances) {
+        size_t row = static_cast<size_t>(ref.id) * L;
+        for (size_t lane = 0; lane < L; ++lane) {
+          if (usable[lane]) users_[row + lane] = 0.0;
+        }
+      }
+      for (const InstanceRef& ref : instances) {
+        size_t row = static_cast<size_t>(ref.id) * L;
+        double perf = index.ServerPerformance(ref.server);
+        for (size_t lane = 0; lane < L; ++lane) {
+          if (usable[lane] && state_[row + lane] != kFailed) {
+            users_[row + lane] =
+                spec.base_users * user_scale_[lane] * perf / wt[lane];
+          }
+        }
+      }
+      continue;
+    }
+
+    // Sticky sessions. Detection pass (read-only): per-lane attached
+    // total, and a slow flag for the order-sensitive path — a failed
+    // instance still holding users, whose refuge hand-off interleaves
+    // with the total.
+    double* current = scratch_.current_total.data();
+    uint8_t* mode = scratch_.mode.data();
+    std::fill_n(current, L, 0.0);
+    std::fill_n(mode, L, kNone);
+    for (const InstanceRef& ref : instances) {
+      size_t row = static_cast<size_t>(ref.id) * L;
+      if (uniform && state_[row] != kFailed) {
+        for (size_t lane = 0; lane < L; ++lane) {
+          current[lane] += users_[row + lane];
+        }
+        continue;
+      }
+      for (size_t lane = 0; lane < L; ++lane) {
+        if (state_[row + lane] == kFailed && users_[row + lane] > 0) {
+          mode[lane] = kSlow;
+        }
+        current[lane] += users_[row + lane];
+      }
+    }
+
+    double* amount = scratch_.amount.data();
+    double* wt = scratch_.weight_total.data();
+    bool any_add = false;
+    bool any_apply = false;
+    for (size_t lane = 0; lane < L; ++lane) {
+      if (mode[lane] == kSlow) {
+        SyncUsersSpecLane(index, slot, lane);
+        mode[lane] = kNone;
+        continue;
+      }
+      double target_total = spec.base_users * user_scale_[lane];
+      double diff = target_total - current[lane];
+      if (diff > 1e-9) {
+        mode[lane] = kAdd;
+        amount[lane] = diff;
+        any_add = true;
+        any_apply = true;
+      } else if (diff < -1e-9 && current[lane] > 0) {
+        mode[lane] = kScale;
+        amount[lane] = target_total / current[lane];
+        any_apply = true;
+      }
+    }
+    // Steady state: every lane already holds its target attachment.
+    if (!any_apply) continue;
+    if (any_add) {
+      // No lane on the fast path has a failed instance with users; a
+      // failed-but-empty instance still changes the weight sum, so the
+      // per-lane weights stay state-masked.
+      if (uniform) {
+        double weight_total = 0.0;
+        for (const InstanceRef& ref : instances) {
+          if (state_[static_cast<size_t>(ref.id) * L] != kFailed) {
+            weight_total += index.ServerPerformance(ref.server);
+          }
+        }
+        std::fill_n(wt, L, weight_total);
+      } else {
+        std::fill_n(wt, L, 0.0);
+        for (const InstanceRef& ref : instances) {
+          size_t row = static_cast<size_t>(ref.id) * L;
+          double perf = index.ServerPerformance(ref.server);
+          for (size_t lane = 0; lane < L; ++lane) {
+            if (state_[row + lane] != kFailed) wt[lane] += perf;
+          }
+        }
+      }
+    }
+    for (const InstanceRef& ref : instances) {
+      size_t row = static_cast<size_t>(ref.id) * L;
+      double perf = index.ServerPerformance(ref.server);
+      const bool row_failed = uniform && state_[row] == kFailed;
+      for (size_t lane = 0; lane < L; ++lane) {
+        if (mode[lane] == kAdd) {
+          if (wt[lane] > 0) {
+            if (!row_failed && state_[row + lane] != kFailed) {
+              users_[row + lane] += amount[lane] * perf / wt[lane];
+            }
+          } else if (ref.id == instances.front().id) {
+            users_[row + lane] += amount[lane];
+          }
+        } else if (mode[lane] == kScale) {
+          users_[row + lane] *= amount[lane];
+        }
+      }
+    }
+  }
+}
+
+void BatchDemandEngine::ApplyFluctuationAll(const LandscapeIndex& index,
+                                            double dt_minutes) {
+  const size_t L = lanes_;
+  const uint8_t kRunning = static_cast<uint8_t>(InstanceState::kRunning);
+  double fraction = std::min(1.0, fluctuation_per_minute_ * dt_minutes);
+  for (size_t slot = 0; slot < specs_.size(); ++slot) {
+    const ServiceDemandSpec& spec = specs_[slot];
+    if (spec.base_users <= 0) continue;
+    infra::DenseId sid = spec_service_id_[slot];
+    if (sid < 0) continue;
+    std::span<const InstanceRef> instances = index.InstancesOfService(sid);
+    if (instances.size() < 2) continue;
+    // Per-lane refuge: LeastLoadedInstance restructured lane-inner —
+    // same instance order and strict-less comparison per lane.
+    double* best_score = scratch_.best_score.data();
+    uint64_t* best_id = scratch_.best_id.data();
+    std::fill_n(best_score, L, std::numeric_limits<double>::infinity());
+    std::fill_n(best_id, L, uint64_t{0});
+    const bool uniform = override_count_ == 0;
+    for (const InstanceRef& ref : instances) {
+      size_t row = static_cast<size_t>(ref.id) * L;
+      double denom = index.ServerPerformance(ref.server) *
+                     kUsersPerPerformanceUnit;
+      const double* cpu_row =
+          server_cpu_.data() + static_cast<size_t>(ref.server) * L;
+      if (uniform) {
+        // All lanes share the cluster state: one check for the row.
+        if (state_[row] != kRunning) continue;
+        // Two passes: the division vectorizes cleanly on its own, the
+        // argmin update stays branchy but division-free.
+        double* score = scratch_.amount.data();
+        for (size_t lane = 0; lane < L; ++lane) {
+          score[lane] = cpu_row[lane] + 0.001 * users_[row + lane] / denom;
+        }
+        for (size_t lane = 0; lane < L; ++lane) {
+          if (score[lane] < best_score[lane]) {
+            best_score[lane] = score[lane];
+            best_id[lane] = static_cast<uint64_t>(ref.id);
+          }
+        }
+        continue;
+      }
+      for (size_t lane = 0; lane < L; ++lane) {
+        if (state_[row + lane] != kRunning) continue;
+        double score =
+            cpu_row[lane] + 0.001 * users_[row + lane] / denom;
+        if (score < best_score[lane]) {
+          best_score[lane] = score;
+          best_id[lane] = static_cast<uint64_t>(ref.id);
+        }
+      }
+    }
+    double* moved = scratch_.moved.data();
+    std::fill_n(moved, L, 0.0);
+    for (const InstanceRef& ref : instances) {
+      size_t row = static_cast<size_t>(ref.id) * L;
+      uint64_t id = static_cast<uint64_t>(ref.id);
+      for (size_t lane = 0; lane < L; ++lane) {
+        if (best_id[lane] == 0 || best_id[lane] == id) continue;
+        double leave = users_[row + lane] * fraction;
+        users_[row + lane] -= leave;
+        moved[lane] += leave;
+      }
+    }
+    for (size_t lane = 0; lane < L; ++lane) {
+      if (best_id[lane] != 0) {
+        users_[static_cast<size_t>(best_id[lane]) * L + lane] +=
+            moved[lane];
+      }
+    }
+  }
+}
+
+void BatchDemandEngine::Tick(SimTime now, Duration dt) {
+  const size_t L = lanes_;
+  const uint8_t kRunning = static_cast<uint8_t>(InstanceState::kRunning);
+  const uint8_t kFailed = static_cast<uint8_t>(InstanceState::kFailed);
+  double dt_minutes = std::max(1e-9, dt.seconds() / 60.0);
+  const LandscapeIndex& index = EnsureDataPlane();
+  GatherStates(index);
+  // User attachment and fluctuation run lane-inner like everything
+  // else; each lane still sees the scalar engine's exact arithmetic
+  // and iteration order, and the one order-sensitive path (failed
+  // instances holding users) drops to a per-lane scalar fallback.
+  SyncUsersAll(index);
+  if (distribution_ == UserDistribution::kStickySessions &&
+      fluctuation_per_minute_ > 0) {
+    ApplyFluctuationAll(index, dt_minutes);
+  }
+
+  // --- Fresh demand per instance (wu per minute) -----------------------
+  // Lane-innermost from here on: the loop structure (spec spans,
+  // activity, spec lookups) is computed once per entity and amortized
+  // over the whole batch. With no per-lane state overrides anywhere
+  // (`uniform`), every state check collapses to one byte per row and
+  // the inner loops become straight-line arithmetic.
+  const bool uniform = override_count_ == 0;
+  std::fill(scratch_.app_work.begin(), scratch_.app_work.end(), 0.0);
+  for (size_t slot = 0; slot < specs_.size(); ++slot) {
+    const ServiceDemandSpec& spec = specs_[slot];
+    infra::DenseId sid = spec_service_id_[slot];
+    if (sid < 0) continue;
+    std::span<const InstanceRef> instances = index.InstancesOfService(sid);
+    if (instances.empty()) continue;
+    double activity = spec.pattern.Activity(now);
+    double* usable = scratch_.usable_cap.data();
+    if (uniform) {
+      double total = 0.0;
+      for (const InstanceRef& ref : instances) {
+        if (state_[static_cast<size_t>(ref.id) * L] != kFailed) {
+          total += index.ServerPerformance(ref.server);
+        }
+      }
+      std::fill_n(usable, L, total);
+    } else {
+      std::fill_n(usable, L, 0.0);
+      for (const InstanceRef& ref : instances) {
+        size_t row = static_cast<size_t>(ref.id) * L;
+        double perf = index.ServerPerformance(ref.server);
+        for (size_t lane = 0; lane < L; ++lane) {
+          if (state_[row + lane] != kFailed) usable[lane] += perf;
+        }
+      }
+    }
+    double* service_work = scratch_.app_work.data() + slot * L;
+    // Spec-level branches (batch vs interactive, noisy or not) are
+    // hoisted out of the lane loop: non-noisy specs become straight
+    // vector arithmetic, and only noisy specs pay the per-lane RNG
+    // call (whose draw sites must match the scalar engine exactly).
+    const bool noisy = spec.noise_stddev > 0;
+    const double* queue_row = queue_wu_.data() + slot * L;
+    for (const InstanceRef& ref : instances) {
+      size_t row = static_cast<size_t>(ref.id) * L;
+      double perf = index.ServerPerformance(ref.server);
+      // One state byte per row when uniform; per-lane otherwise.
+      const bool row_ok = !uniform || state_[row] != kFailed;
+      double* fresh_all = scratch_.moved.data();
+      if (spec.batch) {
+        for (size_t lane = 0; lane < L; ++lane) {
+          bool ok = row_ok && (uniform || state_[row + lane] != kFailed);
+          fresh_all[lane] =
+              usable[lane] > 0 && ok
+                  ? spec.batch_load_wu * activity * user_scale_[lane] *
+                        perf / usable[lane]
+                  : 0.0;
+        }
+      } else if (spec.base_users > 0) {
+        for (size_t lane = 0; lane < L; ++lane) {
+          fresh_all[lane] = users_[row + lane] * activity *
+                            spec.request_cost / kUsersPerPerformanceUnit;
+        }
+      } else {
+        std::fill_n(fresh_all, L, 0.0);
+      }
+      if (noisy) {
+        for (size_t lane = 0; lane < L; ++lane) {
+          if (fresh_all[lane] > 0) {
+            fresh_all[lane] *=
+                std::max(0.0, rng_[lane].Normal(1.0, spec.noise_stddev));
+          }
+        }
+      }
+      if (spec.shared_queue) {
+        for (size_t lane = 0; lane < L; ++lane) {
+          bool ok = row_ok && (uniform || state_[row + lane] != kFailed);
+          double queued = backlog_wu_[row + lane];
+          if (usable[lane] > 0 && ok && queue_row[lane] > 0) {
+            queued = queue_row[lane] * perf / usable[lane];
+          }
+          demand_wu_[row + lane] =
+              spec.base_load_wu + fresh_all[lane] + queued;
+          service_work[lane] += fresh_all[lane];
+        }
+      } else {
+        for (size_t lane = 0; lane < L; ++lane) {
+          demand_wu_[row + lane] = spec.base_load_wu + fresh_all[lane] +
+                                   backlog_wu_[row + lane];
+          service_work[lane] += fresh_all[lane];
+        }
+      }
+    }
+  }
+
+  // --- Propagate through central instances and databases ----------------
+  for (const SubsystemEdges& edge : edges_) {
+    double* work = scratch_.weight_total.data();  // per-lane tier work
+    std::fill_n(work, L, 0.0);
+    for (int32_t app_slot : edge.app_specs) {
+      if (app_slot < 0) continue;
+      const double* app = scratch_.app_work.data() +
+                          static_cast<size_t>(app_slot) * L;
+      for (size_t lane = 0; lane < L; ++lane) work[lane] += app[lane];
+    }
+    auto distribute = [&](int32_t spec_slot, double factor) {
+      if (spec_slot < 0) return;
+      infra::DenseId sid =
+          spec_service_id_[static_cast<size_t>(spec_slot)];
+      if (sid < 0) {
+        for (size_t lane = 0; lane < L; ++lane) {
+          double w = factor * work[lane];
+          if (w > 0) lost_work_wu_[lane] += w * dt_minutes;
+        }
+        return;
+      }
+      std::span<const InstanceRef> instances =
+          index.InstancesOfService(sid);
+      double* usable = scratch_.usable_cap.data();
+      if (uniform) {
+        double total = 0.0;
+        for (const InstanceRef& ref : instances) {
+          if (state_[static_cast<size_t>(ref.id) * L] != kFailed) {
+            total += index.ServerPerformance(ref.server);
+          }
+        }
+        std::fill_n(usable, L, total);
+      } else {
+        std::fill_n(usable, L, 0.0);
+        for (const InstanceRef& ref : instances) {
+          size_t row = static_cast<size_t>(ref.id) * L;
+          double perf = index.ServerPerformance(ref.server);
+          for (size_t lane = 0; lane < L; ++lane) {
+            if (state_[row + lane] != kFailed) usable[lane] += perf;
+          }
+        }
+      }
+      for (size_t lane = 0; lane < L; ++lane) {
+        double w = factor * work[lane];
+        if (w > 0 && usable[lane] <= 0) {
+          lost_work_wu_[lane] += w * dt_minutes;
+        }
+      }
+      for (const InstanceRef& ref : instances) {
+        size_t row = static_cast<size_t>(ref.id) * L;
+        double perf = index.ServerPerformance(ref.server);
+        if (uniform && state_[row] == kFailed) continue;
+        for (size_t lane = 0; lane < L; ++lane) {
+          double w = factor * work[lane];
+          if (w > 0 && usable[lane] > 0 &&
+              (uniform || state_[row + lane] != kFailed)) {
+            demand_wu_[row + lane] += w * perf / usable[lane];
+          }
+        }
+      }
+    };
+    distribute(edge.ci_spec, edge.ci_factor);
+    distribute(edge.db_spec, edge.db_factor);
+  }
+
+  // --- Proportional-share CPU model per server --------------------------
+  std::fill(scratch_.shared_unserved.begin(),
+            scratch_.shared_unserved.end(), 0.0);
+  for (size_t s = 0; s < index.num_servers(); ++s) {
+    infra::DenseId server_id = static_cast<infra::DenseId>(s);
+    std::span<const InstanceRef> instances =
+        index.InstancesOnServer(server_id);
+    double capacity = index.ServerPerformance(server_id);
+    double* total_demand = scratch_.total_demand.data();
+    std::fill_n(total_demand, L, 0.0);
+    for (const InstanceRef& ref : instances) {
+      size_t row = static_cast<size_t>(ref.id) * L;
+      if (uniform) {
+        std::fill_n(scratch_.serve.data() + row, L, 0.0);
+        if (state_[row] == kRunning) {
+          for (size_t lane = 0; lane < L; ++lane) {
+            total_demand[lane] += demand_wu_[row + lane];
+          }
+        }
+        continue;
+      }
+      for (size_t lane = 0; lane < L; ++lane) {
+        scratch_.serve[row + lane] = 0.0;
+        if (state_[row + lane] == kRunning) {
+          total_demand[lane] += demand_wu_[row + lane];
+        }
+      }
+    }
+
+    double mem = std::min(1.0, index.ServerUsedMemoryGb(server_id) /
+                                   index.ServerMemoryGb(server_id));
+    for (size_t lane = 0; lane < L; ++lane) {
+      double cpu = capacity > 0 ? total_demand[lane] / capacity : 1.0;
+      server_cpu_[s * L + lane] = std::min(1.0, cpu);
+      server_mem_[s * L + lane] = mem;
+    }
+
+    // Fits: serve everything (lane-masked). Overloaded lanes keep
+    // serve at 0 here and water-fill below.
+    for (const InstanceRef& ref : instances) {
+      size_t row = static_cast<size_t>(ref.id) * L;
+      if (uniform && state_[row] != kRunning) continue;
+      for (size_t lane = 0; lane < L; ++lane) {
+        if (total_demand[lane] <= capacity &&
+            (uniform || state_[row + lane] == kRunning)) {
+          scratch_.serve[row + lane] = demand_wu_[row + lane];
+        }
+      }
+    }
+    for (size_t lane = 0; lane < L; ++lane) {
+      if (total_demand[lane] <= capacity) continue;
+      // Priority-weighted water-filling, 3 rounds — the scalar
+      // algorithm verbatim on this lane's strided state.
+      double remaining = capacity;
+      scratch_.unsatisfied.clear();
+      for (size_t pos = 0; pos < instances.size(); ++pos) {
+        size_t i = static_cast<size_t>(instances[pos].id) * L + lane;
+        if (state_[i] == kRunning) {
+          scratch_.unsatisfied.push_back(static_cast<uint32_t>(pos));
+        }
+      }
+      for (int round = 0; round < 3 && remaining > 1e-12 &&
+                          !scratch_.unsatisfied.empty();
+           ++round) {
+        double total_weight = 0.0;
+        for (uint32_t pos : scratch_.unsatisfied) {
+          const InstanceRef& ref = instances[pos];
+          total_weight +=
+              index.ServicePriority(ref.service) *
+              std::max(1e-9,
+                       demand_wu_[static_cast<size_t>(ref.id) * L + lane]);
+        }
+        if (total_weight <= 0) break;
+        scratch_.still_unsatisfied.clear();
+        double granted_total = 0.0;
+        for (uint32_t pos : scratch_.unsatisfied) {
+          const InstanceRef& ref = instances[pos];
+          size_t i = static_cast<size_t>(ref.id) * L + lane;
+          double weight = index.ServicePriority(ref.service) *
+                          std::max(1e-9, demand_wu_[i]);
+          double grant = remaining * weight / total_weight;
+          double need = demand_wu_[i] - scratch_.serve[i];
+          double take = std::min(grant, need);
+          scratch_.serve[i] += take;
+          granted_total += take;
+          if (scratch_.serve[i] + 1e-12 < demand_wu_[i]) {
+            scratch_.still_unsatisfied.push_back(pos);
+          }
+        }
+        remaining -= granted_total;
+        scratch_.unsatisfied.swap(scratch_.still_unsatisfied);
+      }
+    }
+
+    // Update per-instance load and backlog.
+    for (const InstanceRef& ref : instances) {
+      size_t row = static_cast<size_t>(ref.id) * L;
+      int32_t slot =
+          ref.service >= 0
+              ? spec_of_service_[static_cast<size_t>(ref.service)]
+              : -1;
+      double base_load = slot >= 0 ? specs_[slot].base_load_wu : 0.0;
+      bool shared = slot >= 0 && specs_[slot].shared_queue;
+      double cap = slot >= 0 ? specs_[slot].backlog_cap_wu : 2.0;
+      double* shared_sink =
+          shared ? scratch_.shared_unserved.data() +
+                       static_cast<size_t>(slot) * L
+                 : nullptr;
+      // Spec-level facts (shared queue, base load) hold for the whole
+      // row, so the lane loops below stay branch-light.
+      const bool has_spec = slot >= 0;
+      if (shared) {
+        for (size_t lane = 0; lane < L; ++lane) {
+          size_t i = row + lane;
+          inst_load_[i] =
+              capacity > 0 ? std::min(1.0, demand_wu_[i] / capacity)
+                           : 1.0;
+          double got = scratch_.serve[i];
+          served_wu_[i] = got;
+          double unserved = std::max(0.0, demand_wu_[i] - got);
+          unserved = std::max(0.0, unserved - base_load);
+          backlog_wu_[i] = 0.0;
+          shared_sink[lane] += unserved * dt_minutes;
+        }
+        continue;
+      }
+      for (size_t lane = 0; lane < L; ++lane) {
+        size_t i = row + lane;
+        inst_load_[i] =
+            capacity > 0 ? std::min(1.0, demand_wu_[i] / capacity) : 1.0;
+        double got = scratch_.serve[i];
+        served_wu_[i] = got;
+        double unserved = std::max(0.0, demand_wu_[i] - got);
+        if (has_spec) {
+          unserved = std::max(0.0, unserved - base_load);
+        }
+        double new_backlog = unserved * dt_minutes;
+        if (new_backlog > cap) {
+          lost_work_wu_[lane] += new_backlog - cap;
+          new_backlog = cap;
+        }
+        backlog_wu_[i] = new_backlog;
+      }
+    }
+
+    for (size_t lane = 0; lane < L; ++lane) {
+      if (server_cpu_[s * L + lane] > overload_threshold_) {
+        overload_minutes_[lane] += dt_minutes;
+      }
+    }
+  }
+
+  // Commit shared queues (cap per service; overflow is lost work).
+  for (size_t slot = 0; slot < specs_.size(); ++slot) {
+    double cap = specs_[slot].backlog_cap_wu;
+    const double* collected =
+        scratch_.shared_unserved.data() + slot * L;
+    double* queue = queue_wu_.data() + slot * L;
+    for (size_t lane = 0; lane < L; ++lane) {
+      double queued = collected[lane];
+      if (queued > cap) {
+        lost_work_wu_[lane] += queued - cap;
+        queued = cap;
+      }
+      queue[lane] = queued > 0 ? queued : 0.0;
+    }
+  }
+}
+
+double BatchDemandEngine::ServiceLoad(size_t lane,
+                                      infra::DenseId service) const {
+  const LandscapeIndex& index = cluster_->Index();
+  if (service < 0 ||
+      static_cast<size_t>(service) >= index.num_services()) {
+    return 0.0;
+  }
+  std::span<const InstanceRef> instances =
+      index.InstancesOfService(service);
+  if (instances.empty()) return 0.0;
+  double total = 0.0;
+  int count = 0;
+  for (const InstanceRef& ref : instances) {
+    size_t id = static_cast<size_t>(ref.id);
+    if (id >= tracked_.size() || !tracked_[id]) continue;
+    total += inst_load_[id * lanes_ + lane];
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+void BatchDemandEngine::ServiceLoadAll(infra::DenseId service,
+                                       double* out) const {
+  const size_t L = lanes_;
+  std::fill_n(out, L, 0.0);
+  const LandscapeIndex& index = cluster_->Index();
+  if (service < 0 ||
+      static_cast<size_t>(service) >= index.num_services()) {
+    return;
+  }
+  std::span<const InstanceRef> instances =
+      index.InstancesOfService(service);
+  size_t count = 0;
+  for (const InstanceRef& ref : instances) {
+    size_t id = static_cast<size_t>(ref.id);
+    if (id >= tracked_.size() || !tracked_[id]) continue;
+    const double* loads = inst_load_.data() + id * L;
+    for (size_t lane = 0; lane < L; ++lane) out[lane] += loads[lane];
+    ++count;
+  }
+  if (count == 0) {
+    std::fill_n(out, L, 0.0);
+    return;
+  }
+  double inv_count = static_cast<double>(count);
+  for (size_t lane = 0; lane < L; ++lane) out[lane] /= inv_count;
+}
+
+double BatchDemandEngine::ServiceSatisfaction(
+    size_t lane, infra::DenseId service) const {
+  const LandscapeIndex& index = cluster_->Index();
+  if (service < 0 ||
+      static_cast<size_t>(service) >= index.num_services()) {
+    return 1.0;
+  }
+  double requested = 0.0;
+  double served = 0.0;
+  for (const InstanceRef& ref : index.InstancesOfService(service)) {
+    size_t id = static_cast<size_t>(ref.id);
+    if (id >= tracked_.size() || !tracked_[id]) continue;
+    size_t i = id * lanes_ + lane;
+    requested += demand_wu_[i];
+    served += std::min(served_wu_[i], demand_wu_[i]);
+  }
+  if (requested <= 1e-12) return 1.0;
+  return std::clamp(served / requested, 0.0, 1.0);
+}
+
+double BatchDemandEngine::TotalBacklog(size_t lane) const {
+  double total = 0.0;
+  for (size_t id = 0; id < tracked_.size(); ++id) {
+    if (tracked_[id]) total += backlog_wu_[id * lanes_ + lane];
+  }
+  for (size_t slot = 0; slot < specs_.size(); ++slot) {
+    total += queue_wu_[slot * lanes_ + lane];
+  }
+  return total;
+}
+
+}  // namespace autoglobe::workload

@@ -86,6 +86,20 @@ Status DemandEngine::AddSubsystem(SubsystemSpec spec) {
   return Status::OK();
 }
 
+void DemandEngine::ResetRunState(Rng rng) {
+  rng_ = rng;
+  std::fill(users_.begin(), users_.end(), 0.0);
+  std::fill(backlog_wu_.begin(), backlog_wu_.end(), 0.0);
+  std::fill(demand_wu_.begin(), demand_wu_.end(), 0.0);
+  std::fill(served_wu_.begin(), served_wu_.end(), 0.0);
+  std::fill(inst_load_.begin(), inst_load_.end(), 0.0);
+  std::fill(server_cpu_.begin(), server_cpu_.end(), 0.0);
+  std::fill(server_mem_.begin(), server_mem_.end(), 0.0);
+  std::fill(queue_wu_.begin(), queue_wu_.end(), 0.0);
+  lost_work_wu_ = 0.0;
+  overload_minutes_ = 0.0;
+}
+
 const LandscapeIndex& DemandEngine::EnsureDataPlane() {
   const LandscapeIndex& index = cluster_->Index();
   if (!plane_dirty_ && plane_epoch_ == cluster_->topology_epoch()) {

@@ -70,6 +70,20 @@ struct SubsystemSpec {
   double db_factor = 0.25;       // DB wu per app wu
 };
 
+/// Registration surface of a demand model. Landscape::Build feeds
+/// service demand specs and subsystem wiring through this interface,
+/// so the scalar DemandEngine and the batched multi-run engine
+/// (workload/batch_demand.h) are interchangeable at setup time.
+class DemandModelSink {
+ public:
+  virtual ~DemandModelSink() = default;
+  /// Registers the demand model of a service (which must exist in the
+  /// cluster).
+  virtual Status AddService(ServiceDemandSpec spec) = 0;
+  /// Registers a subsystem; all referenced services must be known.
+  virtual Status AddSubsystem(SubsystemSpec spec) = 0;
+};
+
 /// How users attach to service instances (the key difference between
 /// the CM and FM scenarios, §5.1).
 enum class UserDistribution {
@@ -102,7 +116,7 @@ struct ServerLoad {
 /// next Tick; results are bit-identical to the string-keyed engine
 /// because every loop preserves its iteration order (services in
 /// name order, instances in InstanceId order, servers in name order).
-class DemandEngine {
+class DemandEngine : public DemandModelSink {
  public:
   DemandEngine(infra::Cluster* cluster, Rng rng);
 
@@ -111,9 +125,17 @@ class DemandEngine {
 
   /// Registers the demand model of a service (which must exist in the
   /// cluster).
-  Status AddService(ServiceDemandSpec spec);
+  Status AddService(ServiceDemandSpec spec) override;
   /// Registers a subsystem; all referenced services must be known.
-  Status AddSubsystem(SubsystemSpec spec);
+  Status AddSubsystem(SubsystemSpec spec) override;
+
+  /// Rewinds the engine to its just-built state — zero users,
+  /// backlogs, queues, loads, and quality metrics, with a fresh RNG —
+  /// while keeping the registered specs and the synced data plane.
+  /// After a reset on an unchanged topology, a run is bit-identical
+  /// to one on a newly constructed engine (see
+  /// SimulationRunner::ResetForRerun).
+  void ResetRunState(Rng rng);
 
   /// Global user multiplier (the evaluation's +5 % sweep knob).
   void set_user_scale(double scale) { user_scale_ = scale; }

@@ -169,6 +169,51 @@ TEST(CapacityTest, ParallelSweepMatchesSequentialBitIdentically) {
   }
 }
 
+// The batched static sweep rides BatchRunner lanes; its steps and
+// verdict must be bit-identical to the scalar sweep at any lane
+// width (including widths that leave a padded tail chunk).
+TEST(CapacityTest, BatchedStaticSweepMatchesScalarBitIdentically) {
+  CapacityOptions scalar_options = ShortSweepOptions();
+  auto scalar = FindCapacity(Scenario::kStatic, scalar_options);
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+
+  for (size_t lanes : {2u, 3u, 64u}) {
+    CapacityOptions batched_options = ShortSweepOptions();
+    batched_options.batch_lanes = lanes;
+    auto batched = FindCapacity(Scenario::kStatic, batched_options);
+    ASSERT_TRUE(batched.ok()) << batched.status();
+    SCOPED_TRACE(::testing::Message() << "batch_lanes " << lanes);
+    ExpectSameResult(*scalar, *batched);
+  }
+
+  // Controller-enabled scenarios are not batch-eligible; the option
+  // must fall through to the scalar path, not fail.
+  CapacityOptions cm_options = ShortSweepOptions();
+  cm_options.batch_lanes = 64;
+  auto cm = FindCapacity(Scenario::kConstrainedMobility, cm_options);
+  ASSERT_TRUE(cm.ok()) << cm.status();
+  cm_options.batch_lanes = 0;
+  auto cm_scalar = FindCapacity(Scenario::kConstrainedMobility, cm_options);
+  ASSERT_TRUE(cm_scalar.ok()) << cm_scalar.status();
+  ExpectSameResult(*cm_scalar, *cm);
+}
+
+TEST(CapacityTest, FindCapacityAllBatchedMatchesScalar) {
+  CapacityOptions options = ShortSweepOptions();
+  options.run_duration = Duration::Hours(6);
+  options.parallelism = 4;
+  auto scalar = FindCapacityAll(options);
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+  options.batch_lanes = 8;
+  auto batched = FindCapacityAll(options);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  ASSERT_EQ(batched->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE(::testing::Message() << "scenario " << i);
+    ExpectSameResult((*scalar)[i], (*batched)[i]);
+  }
+}
+
 TEST(CapacityTest, FindCapacityAllMatchesPerScenarioSweeps) {
   CapacityOptions options = ShortSweepOptions();
   options.run_duration = Duration::Hours(6);

@@ -1,0 +1,406 @@
+#include "workload/batch_demand.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "autoglobe/landscape.h"
+#include "workload/demand.h"
+
+namespace autoglobe::workload {
+namespace {
+
+using infra::Cluster;
+using infra::InstanceId;
+using infra::InstanceRef;
+using infra::InstanceState;
+using infra::ServerSpec;
+using infra::ServiceSpec;
+
+ServerSpec MakeServer(const std::string& name, double pi) {
+  ServerSpec spec;
+  spec.name = name;
+  spec.performance_index = pi;
+  spec.memory_gb = 32;
+  return spec;
+}
+
+ServiceSpec MakeService(const std::string& name) {
+  ServiceSpec spec;
+  spec.name = name;
+  spec.memory_footprint_gb = 1;
+  spec.min_instances = 0;
+  spec.max_instances = 16;
+  return spec;
+}
+
+// A small three-tier landscape with every demand feature the engine
+// models: interactive noise, a shared-queue batch tier, and CI/DB
+// propagation.
+struct SmallWorld {
+  Cluster cluster;
+
+  void Populate() {
+    ASSERT_TRUE(cluster.AddServer(MakeServer("s1", 1)).ok());
+    ASSERT_TRUE(cluster.AddServer(MakeServer("s2", 2)).ok());
+    ASSERT_TRUE(cluster.AddServer(MakeServer("s3", 1)).ok());
+    ASSERT_TRUE(cluster.AddService(MakeService("app")).ok());
+    ASSERT_TRUE(cluster.AddService(MakeService("ci")).ok());
+    ASSERT_TRUE(cluster.AddService(MakeService("db")).ok());
+  }
+
+  // Same placement sequence => same InstanceIds on every SmallWorld.
+  std::vector<InstanceId> PlaceInitial() {
+    std::vector<InstanceId> ids;
+    for (auto [service, server] :
+         {std::pair{"app", "s1"}, {"app", "s2"}, {"ci", "s2"},
+          {"db", "s3"}}) {
+      auto id = cluster.PlaceInstance(service, server, SimTime::Start());
+      EXPECT_TRUE(id.ok()) << id.status();
+      ids.push_back(id.value_or(0));
+    }
+    return ids;
+  }
+
+  static void Register(DemandModelSink* sink) {
+    ServiceDemandSpec app;
+    app.service = "app";
+    app.pattern = LoadPattern::Flat(0.8);
+    app.base_users = 400;
+    app.request_cost = 1.0;
+    app.noise_stddev = 0.05;
+    ASSERT_TRUE(sink->AddService(app).ok());
+
+    ServiceDemandSpec ci;
+    ci.service = "ci";
+    ci.pattern = LoadPattern::Flat(1.0);
+    ci.noise_stddev = 0.0;
+    ASSERT_TRUE(sink->AddService(ci).ok());
+
+    ServiceDemandSpec db;
+    db.service = "db";
+    db.pattern = LoadPattern::Flat(1.0);
+    db.batch = true;
+    db.batch_load_wu = 0.6;
+    db.noise_stddev = 0.03;
+    db.shared_queue = true;
+    db.backlog_cap_wu = 20.0;
+    ASSERT_TRUE(sink->AddService(db).ok());
+
+    SubsystemSpec subsystem;
+    subsystem.name = "ERP";
+    subsystem.app_services = {"app"};
+    subsystem.central_instance = "ci";
+    subsystem.database = "db";
+    ASSERT_TRUE(sink->AddSubsystem(subsystem).ok());
+  }
+};
+
+struct LaneSetup {
+  uint64_t seed;
+  double scale;
+};
+
+// Every view of lane `lane` must be bit-identical to the scalar
+// engine's. EXPECT_EQ on doubles is an exact bit comparison here —
+// that is the contract, not a tolerance.
+void ExpectLaneMatchesScalar(const BatchDemandEngine& batch, size_t lane,
+                             const DemandEngine& scalar,
+                             const Cluster& cluster) {
+  const infra::LandscapeIndex& index = cluster.Index();
+  for (size_t s = 0; s < index.num_servers(); ++s) {
+    infra::DenseId sid = static_cast<infra::DenseId>(s);
+    EXPECT_EQ(batch.ServerCpuLoad(lane, sid), scalar.ServerCpuLoadById(sid))
+        << "cpu of server " << index.ServerName(sid) << " lane " << lane;
+    EXPECT_EQ(batch.ServerMemLoad(lane, sid), scalar.ServerMemLoadById(sid))
+        << "mem of server " << index.ServerName(sid) << " lane " << lane;
+  }
+  for (const InstanceRef& ref : index.Instances()) {
+    EXPECT_EQ(batch.InstanceUsers(lane, ref.id),
+              scalar.InstanceUsers(ref.id))
+        << "users of instance " << ref.id << " lane " << lane;
+    EXPECT_EQ(batch.InstanceLoad(lane, ref.id), scalar.InstanceLoad(ref.id))
+        << "load of instance " << ref.id << " lane " << lane;
+  }
+  for (size_t v = 0; v < index.num_services(); ++v) {
+    infra::DenseId sid = static_cast<infra::DenseId>(v);
+    EXPECT_EQ(batch.ServiceLoad(lane, sid), scalar.ServiceLoadById(sid))
+        << "service load of " << index.ServiceName(sid) << " lane " << lane;
+    EXPECT_EQ(batch.ServiceSatisfaction(lane, sid),
+              scalar.ServiceSatisfactionById(sid))
+        << "satisfaction of " << index.ServiceName(sid) << " lane " << lane;
+  }
+  EXPECT_EQ(batch.TotalBacklog(lane), scalar.TotalBacklog())
+      << "backlog lane " << lane;
+  EXPECT_EQ(batch.TotalLostWork(lane), scalar.TotalLostWork())
+      << "lost work lane " << lane;
+  EXPECT_EQ(batch.OverloadMinutes(lane), scalar.OverloadMinutes())
+      << "overload minutes lane " << lane;
+}
+
+// --- Paper landscape, both distribution modes, three seeds -------------
+
+class PaperParityTest : public ::testing::TestWithParam<UserDistribution> {};
+
+TEST_P(PaperParityTest, LanesMatchScalarPerSeedAndScale) {
+  const std::vector<LaneSetup> lanes = {
+      {42, 1.00}, {7, 1.05}, {2026, 1.40}};
+
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  Cluster cluster;
+  ASSERT_TRUE(landscape.Build(&cluster, nullptr).ok());
+
+  BatchDemandEngine batch(&cluster, lanes.size());
+  ASSERT_TRUE(landscape.Build(nullptr, &batch).ok());
+  batch.set_distribution(GetParam());
+  std::vector<std::unique_ptr<DemandEngine>> scalars;
+  for (size_t k = 0; k < lanes.size(); ++k) {
+    batch.SetLaneSeed(k, lanes[k].seed);
+    batch.SetLaneUserScale(k, lanes[k].scale);
+    auto scalar =
+        std::make_unique<DemandEngine>(&cluster, Rng(lanes[k].seed));
+    ASSERT_TRUE(landscape.Build(nullptr, scalar.get()).ok());
+    scalar->set_user_scale(lanes[k].scale);
+    scalar->set_distribution(GetParam());
+    scalars.push_back(std::move(scalar));
+  }
+
+  for (int t = 1; t <= 240; ++t) {
+    SimTime now = SimTime::Start() + Duration::Minutes(t);
+    batch.Tick(now);
+    for (auto& scalar : scalars) scalar->Tick(now);
+    if (t % 60 == 0 || t == 1) {
+      for (size_t k = 0; k < lanes.size(); ++k) {
+        ExpectLaneMatchesScalar(batch, k, *scalars[k], cluster);
+      }
+    }
+  }
+  for (size_t k = 0; k < lanes.size(); ++k) {
+    ExpectLaneMatchesScalar(batch, k, *scalars[k], cluster);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, PaperParityTest,
+                         ::testing::Values(
+                             UserDistribution::kStickySessions,
+                             UserDistribution::kDynamicRedistribution),
+                         [](const auto& info) {
+                           return info.param ==
+                                          UserDistribution::kStickySessions
+                                      ? "Sticky"
+                                      : "Dynamic";
+                         });
+
+// --- Mid-run topology changes (shared across lanes) --------------------
+
+TEST(BatchDemandTest, MidRunTopologyChangesStayInLockstep) {
+  SmallWorld world;
+  world.Populate();
+  std::vector<InstanceId> ids = world.PlaceInitial();
+
+  const std::vector<LaneSetup> lanes = {{42, 1.0}, {7, 1.3}};
+  BatchDemandEngine batch(&world.cluster, lanes.size());
+  SmallWorld::Register(&batch);
+  std::vector<std::unique_ptr<DemandEngine>> scalars;
+  for (size_t k = 0; k < lanes.size(); ++k) {
+    batch.SetLaneSeed(k, lanes[k].seed);
+    batch.SetLaneUserScale(k, lanes[k].scale);
+    auto scalar =
+        std::make_unique<DemandEngine>(&world.cluster, Rng(lanes[k].seed));
+    SmallWorld::Register(scalar.get());
+    scalar->set_user_scale(lanes[k].scale);
+    scalars.push_back(std::move(scalar));
+  }
+
+  auto tick_all = [&](int from, int to) {
+    for (int t = from; t <= to; ++t) {
+      SimTime now = SimTime::Start() + Duration::Minutes(t);
+      batch.Tick(now);
+      for (auto& scalar : scalars) scalar->Tick(now);
+    }
+    for (size_t k = 0; k < lanes.size(); ++k) {
+      ExpectLaneMatchesScalar(batch, k, *scalars[k], world.cluster);
+    }
+  };
+
+  tick_all(1, 30);
+
+  // Start a new app instance (kStarting: base load only)...
+  auto started = world.cluster.PlaceInstance(
+      "app", "s3", SimTime::Start() + Duration::Minutes(30),
+      InstanceState::kStarting);
+  ASSERT_TRUE(started.ok());
+  tick_all(31, 40);
+
+  // ...promote it to running...
+  ASSERT_TRUE(world.cluster
+                  .SetInstanceState(started.value_or(0),
+                                    InstanceState::kRunning)
+                  .ok());
+  tick_all(41, 60);
+
+  // ...and remove one of the original instances.
+  ASSERT_TRUE(world.cluster.RemoveInstance(ids[0]).ok());
+  tick_all(61, 90);
+}
+
+// --- Per-lane fault masking --------------------------------------------
+
+TEST(BatchDemandTest, LaneFaultMaskDivergesOnlyThatLane) {
+  // World A hosts the batch engine and the healthy scalar twin; world
+  // B is an identical landscape whose instance actually fails, as the
+  // scalar twin of the masked lane. Identical placement sequences give
+  // identical InstanceIds.
+  SmallWorld world_a;
+  world_a.Populate();
+  std::vector<InstanceId> ids_a = world_a.PlaceInitial();
+  SmallWorld world_b;
+  world_b.Populate();
+  std::vector<InstanceId> ids_b = world_b.PlaceInitial();
+  ASSERT_EQ(ids_a, ids_b);
+
+  BatchDemandEngine batch(&world_a.cluster, 2);
+  SmallWorld::Register(&batch);
+  batch.SetLaneSeed(0, 42);
+  batch.SetLaneSeed(1, 42);
+
+  DemandEngine healthy(&world_a.cluster, Rng(42));
+  SmallWorld::Register(&healthy);
+  DemandEngine faulty(&world_b.cluster, Rng(42));
+  SmallWorld::Register(&faulty);
+
+  auto tick_all = [&](int from, int to) {
+    for (int t = from; t <= to; ++t) {
+      SimTime now = SimTime::Start() + Duration::Minutes(t);
+      batch.Tick(now);
+      healthy.Tick(now);
+      faulty.Tick(now);
+    }
+  };
+
+  tick_all(1, 30);
+  ExpectLaneMatchesScalar(batch, 0, healthy, world_a.cluster);
+  ExpectLaneMatchesScalar(batch, 1, faulty, world_b.cluster);
+
+  // Fail the first app instance in lane 1 only; world B mirrors it.
+  ASSERT_TRUE(
+      batch.SetLaneInstanceState(1, ids_a[0], InstanceState::kFailed)
+          .ok());
+  ASSERT_TRUE(world_b.cluster
+                  .SetInstanceState(ids_b[0], InstanceState::kFailed)
+                  .ok());
+  tick_all(31, 60);
+  ExpectLaneMatchesScalar(batch, 0, healthy, world_a.cluster);
+  ExpectLaneMatchesScalar(batch, 1, faulty, world_b.cluster);
+  // Lane 1 genuinely diverged from lane 0.
+  EXPECT_NE(batch.InstanceUsers(1, ids_a[0]),
+            batch.InstanceUsers(0, ids_a[0]));
+
+  // Recover.
+  ASSERT_TRUE(batch.ClearLaneInstanceState(1, ids_a[0]).ok());
+  ASSERT_TRUE(world_b.cluster
+                  .SetInstanceState(ids_b[0], InstanceState::kRunning)
+                  .ok());
+  tick_all(61, 90);
+  ExpectLaneMatchesScalar(batch, 0, healthy, world_a.cluster);
+  ExpectLaneMatchesScalar(batch, 1, faulty, world_b.cluster);
+}
+
+// --- Batch size never changes a lane's output --------------------------
+
+TEST(BatchDemandTest, BatchSizeInvariance) {
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  Cluster cluster;
+  ASSERT_TRUE(landscape.Build(&cluster, nullptr).ok());
+
+  auto run = [&](size_t lanes_count) {
+    auto batch = std::make_unique<BatchDemandEngine>(&cluster, lanes_count);
+    EXPECT_TRUE(landscape.Build(nullptr, batch.get()).ok());
+    for (size_t k = 0; k < lanes_count; ++k) {
+      batch->SetLaneSeed(k, 42 + k * 17);
+      batch->SetLaneUserScale(k, 1.0 + 0.05 * static_cast<double>(k % 9));
+    }
+    for (int t = 1; t <= 120; ++t) {
+      batch->Tick(SimTime::Start() + Duration::Minutes(t));
+    }
+    return batch;
+  };
+
+  auto b1 = run(1);
+  auto b8 = run(8);
+  auto b64 = run(64);
+
+  const infra::LandscapeIndex& index = cluster.Index();
+  auto expect_lane_equal = [&](const BatchDemandEngine& a, size_t la,
+                               const BatchDemandEngine& b, size_t lb) {
+    for (size_t s = 0; s < index.num_servers(); ++s) {
+      infra::DenseId sid = static_cast<infra::DenseId>(s);
+      EXPECT_EQ(a.ServerCpuLoad(la, sid), b.ServerCpuLoad(lb, sid));
+    }
+    for (const InstanceRef& ref : index.Instances()) {
+      EXPECT_EQ(a.InstanceUsers(la, ref.id), b.InstanceUsers(lb, ref.id));
+      EXPECT_EQ(a.InstanceLoad(la, ref.id), b.InstanceLoad(lb, ref.id));
+    }
+    EXPECT_EQ(a.TotalBacklog(la), b.TotalBacklog(lb));
+    EXPECT_EQ(a.TotalLostWork(la), b.TotalLostWork(lb));
+    EXPECT_EQ(a.OverloadMinutes(la), b.OverloadMinutes(lb));
+  };
+
+  expect_lane_equal(*b1, 0, *b64, 0);
+  for (size_t k = 0; k < 8; ++k) expect_lane_equal(*b8, k, *b64, k);
+}
+
+// --- ResetLanes re-arms the engine bit-identically ---------------------
+
+TEST(BatchDemandTest, ResetLanesReproducesFreshRun) {
+  SmallWorld world;
+  world.Populate();
+  world.PlaceInitial();
+
+  BatchDemandEngine batch(&world.cluster, 2);
+  SmallWorld::Register(&batch);
+
+  auto arm = [&]() {
+    batch.SetLaneSeed(0, 42);
+    batch.SetLaneSeed(1, 7);
+    batch.SetLaneUserScale(0, 1.0);
+    batch.SetLaneUserScale(1, 1.2);
+  };
+  auto run = [&]() {
+    for (int t = 1; t <= 90; ++t) {
+      batch.Tick(SimTime::Start() + Duration::Minutes(t));
+    }
+  };
+
+  arm();
+  run();
+  std::vector<double> first;
+  const infra::LandscapeIndex& index = world.cluster.Index();
+  for (size_t lane = 0; lane < 2; ++lane) {
+    for (const InstanceRef& ref : index.Instances()) {
+      first.push_back(batch.InstanceUsers(lane, ref.id));
+      first.push_back(batch.InstanceLoad(lane, ref.id));
+    }
+    first.push_back(batch.TotalBacklog(lane));
+    first.push_back(batch.TotalLostWork(lane));
+    first.push_back(batch.OverloadMinutes(lane));
+  }
+
+  batch.ResetLanes();
+  arm();
+  run();
+  size_t i = 0;
+  for (size_t lane = 0; lane < 2; ++lane) {
+    for (const InstanceRef& ref : index.Instances()) {
+      EXPECT_EQ(first[i++], batch.InstanceUsers(lane, ref.id));
+      EXPECT_EQ(first[i++], batch.InstanceLoad(lane, ref.id));
+    }
+    EXPECT_EQ(first[i++], batch.TotalBacklog(lane));
+    EXPECT_EQ(first[i++], batch.TotalLostWork(lane));
+    EXPECT_EQ(first[i++], batch.OverloadMinutes(lane));
+  }
+}
+
+}  // namespace
+}  // namespace autoglobe::workload
