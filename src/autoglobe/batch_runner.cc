@@ -20,6 +20,11 @@ Status BatchRunner::CheckEligibility(const RunnerConfig& config) {
         "batched runs require controller_enabled=false: controller "
         "actions mutate the shared topology per lane");
   }
+  if (config.strategy.kind != strategy::StrategyKind::kStaticFuzzy) {
+    return Status::InvalidArgument(
+        "batched runs only support the static strategy; adaptive "
+        "strategies keep per-run learned state");
+  }
   if (config.fault_plan.has_value()) {
     return Status::InvalidArgument(
         "batched runs cannot take a fault plan; batch availability "

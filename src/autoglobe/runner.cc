@@ -94,6 +94,11 @@ Status SimulationRunner::Init(const Landscape& landscape) {
   recoveries_counter_ = registry_.AddCounter("recoveries_total");
   recovery_abandoned_counter_ =
       registry_.AddCounter("recovery_abandoned_total");
+  oscillations_counter_ = registry_.AddCounter("oscillations");
+  strategy_reward_updates_counter_ =
+      registry_.AddCounter("strategy_reward_updates");
+  strategy_weight_updates_counter_ =
+      registry_.AddCounter("strategy_weight_updates");
   server_cpu_load_ = registry_.AddHistogram(
       "server_cpu_load",
       {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
@@ -193,6 +198,7 @@ Status SimulationRunner::Init(const Landscape& landscape) {
     if (record.status.ok()) {
       ++metrics_.actions_executed;
       actions_executed_counter_.Increment();
+      TrackOscillation(record);
       messages_.push_back(StrFormat("%s  EXEC %s",
                                     record.at.ToString().c_str(),
                                     record.action.ToString().c_str()));
@@ -237,6 +243,28 @@ Status SimulationRunner::Init(const Landscape& landscape) {
             std::string(monitor::TriggerKindName(trigger.kind)).c_str(),
             trigger.subject.c_str(), reason.c_str()));
       });
+
+  // The decide-per-trigger strategy. Always constructed — the default
+  // static-fuzzy one is a pass-through wrapper around controller_, so
+  // default runs stay bit-identical to the pre-strategy engine. The
+  // penalty closure is the learner's reward signal: cumulative
+  // SLA-violation minutes plus overload minutes plus a small per-
+  // action cost (discourages thrash; reversals also show up in the
+  // oscillation metric).
+  strategy::StrategyEnv strategy_env;
+  strategy_env.controller = controller_.get();
+  strategy_env.cluster = &cluster_;
+  strategy_env.executor = executor_.get();
+  strategy_env.view = view_.get();
+  strategy_env.seed = config_.seed;
+  strategy_env.penalty = [this] {
+    return slas_.TotalViolationMinutes() + metrics_.overload_server_minutes +
+           0.1 * static_cast<double>(metrics_.actions_executed +
+                                     metrics_.actions_failed);
+  };
+  AG_ASSIGN_OR_RETURN(strategy_,
+                      strategy::MakeStrategy(config_.strategy,
+                                             strategy_env));
 
   for (const SlaSpec& sla : config_.slas) {
     AG_RETURN_IF_ERROR(cluster_.FindService(sla.service).status());
@@ -346,6 +374,11 @@ Status SimulationRunner::ResetForRerun(uint64_t seed, double user_scale) {
         "fault-plan runs cannot be re-armed: the plan schedules "
         "simulator events at Init");
   }
+  if (config_.strategy.kind != strategy::StrategyKind::kStaticFuzzy) {
+    return Status::FailedPrecondition(
+        "adaptive strategies carry learned state across runs; create a "
+        "fresh runner instead of re-arming");
+  }
   if (cluster_.topology_epoch() != init_epoch_) {
     return Status::FailedPrecondition(
         "topology changed since Init; a rerun requires the initial "
@@ -377,6 +410,9 @@ Status SimulationRunner::ResetForRerun(uint64_t seed, double user_scale) {
   load_samples_ = 0;
   metrics_ = RunMetrics{};
   messages_.clear();
+  action_history_.clear();
+  folded_reward_updates_ = 0;
+  folded_weight_updates_ = 0;
   slas_ = SlaTracker();
   for (const SlaSpec& sla : config_.slas) {
     AG_RETURN_IF_ERROR(slas_.AddSla(sla));
@@ -473,7 +509,7 @@ void SimulationRunner::OnTick() {
                       demand_->ServiceLoad(sla.service)};
       ++metrics_.triggers;
       triggers_counter_.Increment();
-      auto outcome = controller_->HandleTrigger(trigger, /*urgent=*/true);
+      auto outcome = strategy_->HandleTrigger(trigger, /*urgent=*/true);
       if (!outcome.ok()) {
         messages_.push_back(StrFormat(
             "%s  ERROR handling SLA escalation: %s",
@@ -517,7 +553,7 @@ void SimulationRunner::OnTrigger(const Trigger& trigger) {
     return;
   }
   if (!config_.controller_enabled) return;
-  auto outcome = controller_->HandleTrigger(trigger);
+  auto outcome = strategy_->HandleTrigger(trigger, /*urgent=*/false);
   if (!outcome.ok()) {
     messages_.push_back(StrFormat("%s  ERROR handling trigger: %s",
                                   trigger.at.ToString().c_str(),
@@ -682,7 +718,85 @@ Status SimulationRunner::RunUntil(SimTime end) {
   double denom = static_cast<double>(server_count) * total_minutes;
   metrics_.overload_fraction =
       denom > 0 ? metrics_.overload_server_minutes / denom : 0.0;
+  FoldStrategyTelemetry();
   return Status::OK();
+}
+
+void SimulationRunner::TrackOscillation(const infra::ActionRecord& record) {
+  using infra::ActionType;
+  const infra::Action& action = record.action;
+  ActionHistory& history = action_history_[action.service];
+  auto within_window = [&](SimTime then) {
+    return record.at - then <= config_.oscillation_window;
+  };
+  auto bump = [&] {
+    ++metrics_.oscillations;
+    oscillations_counter_.Increment();
+  };
+  switch (action.type) {
+    case ActionType::kScaleOut:
+    case ActionType::kScaleIn: {
+      ActionType opposite = action.type == ActionType::kScaleOut
+                                ? ActionType::kScaleIn
+                                : ActionType::kScaleOut;
+      if (history.last_scale == opposite &&
+          within_window(history.last_scale_at)) {
+        bump();
+      }
+      history.last_scale = action.type;
+      history.last_scale_at = record.at;
+      break;
+    }
+    case ActionType::kIncreasePriority:
+    case ActionType::kReducePriority: {
+      ActionType opposite = action.type == ActionType::kIncreasePriority
+                                ? ActionType::kReducePriority
+                                : ActionType::kIncreasePriority;
+      if (history.last_priority == opposite &&
+          within_window(history.last_priority_at)) {
+        bump();
+      }
+      history.last_priority = action.type;
+      history.last_priority_at = record.at;
+      break;
+    }
+    case ActionType::kMove: {
+      // A move that returns an instance of this service to the host a
+      // previous move took it from is a ping-pong.
+      if (!history.last_move_source.empty() &&
+          action.target_server == history.last_move_source &&
+          action.source_server == history.last_move_target &&
+          within_window(history.last_move_at)) {
+        bump();
+      }
+      history.last_move_source = action.source_server;
+      history.last_move_target = action.target_server;
+      history.last_move_at = record.at;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void SimulationRunner::FoldStrategyTelemetry() {
+  if (strategy_ == nullptr) return;
+  int64_t reward = strategy_->reward_updates();
+  int64_t weight = strategy_->weight_updates();
+  int64_t reward_delta = reward - folded_reward_updates_;
+  int64_t weight_delta = weight - folded_weight_updates_;
+  if (reward_delta > 0) {
+    strategy_reward_updates_counter_.Increment(
+        static_cast<uint64_t>(reward_delta));
+  }
+  if (weight_delta > 0) {
+    strategy_weight_updates_counter_.Increment(
+        static_cast<uint64_t>(weight_delta));
+  }
+  folded_reward_updates_ = reward;
+  folded_weight_updates_ = weight;
+  metrics_.strategy_reward_updates = reward;
+  metrics_.strategy_weight_updates = weight;
 }
 
 }  // namespace autoglobe

@@ -29,6 +29,7 @@
 #include "obs/observability.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "strategy/strategy.h"
 #include "workload/demand.h"
 
 namespace autoglobe {
@@ -112,6 +113,17 @@ struct RunnerConfig {
   /// off by default; the metrics registry is always on — its disabled
   /// cost is a handful of relaxed atomic adds per tick).
   obs::ObservabilityConfig observability;
+
+  /// Which decide-per-trigger policy drives the control loop. The
+  /// default (static fuzzy) is the paper's controller, bit-identical
+  /// to the pre-strategy engine; see src/strategy for the
+  /// proportional baseline and the fuzzy Q-learner.
+  strategy::StrategyConfig strategy;
+  /// Window for the oscillation metric: a scale/priority reversal or
+  /// a move back to the previous host within this window counts as
+  /// one oscillation (the instability §4's protection mode exists to
+  /// prevent).
+  Duration oscillation_window = Duration::Minutes(60);
 };
 
 /// Aggregate quality metrics of a run.
@@ -134,6 +146,13 @@ struct RunMetrics {
   int64_t failures_remedied = 0;
   /// Cumulative minutes any SLA spent in violation (QoS extension).
   double sla_violation_minutes = 0.0;
+  /// Action reversals within the oscillation window: scale-out after
+  /// scale-in (or vice versa), a priority raise after a cut (or vice
+  /// versa), or a move back to the previous host — per service.
+  int64_t oscillations = 0;
+  /// Learner telemetry (0 unless the fuzzy Q-learning strategy ran).
+  int64_t strategy_reward_updates = 0;
+  int64_t strategy_weight_updates = 0;
 };
 
 /// Wires the full AutoGlobe stack — cluster, demand engine, load
@@ -194,6 +213,12 @@ class SimulationRunner {
   infra::ActionExecutor& executor() { return *executor_; }
   const infra::ActionExecutor& executor() const { return *executor_; }
   controller::Controller& controller() { return *controller_; }
+  /// The strategy driving the control loop (always constructed; the
+  /// default wraps the fuzzy controller unchanged).
+  strategy::ControllerStrategy& strategy() { return *strategy_; }
+  const strategy::ControllerStrategy& strategy() const {
+    return *strategy_;
+  }
   sim::Simulator& simulator() { return simulator_; }
   const sim::Simulator& simulator() const { return simulator_; }
 
@@ -239,6 +264,12 @@ class SimulationRunner {
   std::optional<double> DetectionLoad(const std::string& key,
                                       double live) const;
   void OnTrigger(const monitor::Trigger& trigger);
+  /// Oscillation detection on every successfully executed action (see
+  /// RunnerConfig::oscillation_window).
+  void TrackOscillation(const infra::ActionRecord& record);
+  /// Folds strategy telemetry (reward/weight-update counts) into
+  /// RunMetrics and the registry counters; idempotent per delta.
+  void FoldStrategyTelemetry();
   void InjectFailures();
   /// Heartbeat-watch reconciliation against the topology epoch: new
   /// instances get a watch, removed instances are unwatched, so the
@@ -262,6 +293,7 @@ class SimulationRunner {
   std::unique_ptr<View> view_;
   std::unique_ptr<forecast::LoadForecaster> forecaster_;
   std::unique_ptr<controller::Controller> controller_;
+  std::unique_ptr<strategy::ControllerStrategy> strategy_;
   Rng failure_rng_;
   /// Fault subsystem (all nullptr when config_.fault_plan is unset).
   std::unique_ptr<faults::AvailabilityTracker> availability_;
@@ -304,7 +336,27 @@ class SimulationRunner {
   obs::Counter executor_retries_counter_;
   obs::Counter recoveries_counter_;
   obs::Counter recovery_abandoned_counter_;
+  obs::Counter oscillations_counter_;
+  obs::Counter strategy_reward_updates_counter_;
+  obs::Counter strategy_weight_updates_counter_;
   obs::Histogram server_cpu_load_;
+  /// Telemetry already folded into the counters above (RunUntil may
+  /// be called repeatedly).
+  int64_t folded_reward_updates_ = 0;
+  int64_t folded_weight_updates_ = 0;
+  /// Oscillation detection state: per service, the last executed
+  /// scale direction, priority direction, and move (source -> target)
+  /// with their times.
+  struct ActionHistory {
+    infra::ActionType last_scale = infra::ActionType::kMove;  // none
+    SimTime last_scale_at;
+    infra::ActionType last_priority = infra::ActionType::kMove;
+    SimTime last_priority_at;
+    std::string last_move_source;
+    std::string last_move_target;
+    SimTime last_move_at;
+  };
+  std::map<std::string, ActionHistory> action_history_;
 
   /// Per-server hot-path state for the smoothed overload verdict:
   /// overload streak plus a trailing-window ring buffer of load

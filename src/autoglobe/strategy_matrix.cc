@@ -1,0 +1,272 @@
+#include "autoglobe/strategy_matrix.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "autoglobe/batch_runner.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace autoglobe {
+namespace {
+
+struct CellSpec {
+  strategy::StrategyKind strategy = strategy::StrategyKind::kStaticFuzzy;
+  Scenario scenario = Scenario::kStatic;
+  bool faulted = false;
+  uint64_t seed = 42;
+};
+
+/// Cell order is the spec enumeration order (strategy-major), never
+/// completion order — the fan-out writes each result into its index
+/// slot, so the matrix is bit-identical at any parallelism.
+std::vector<CellSpec> EnumerateCells(const StrategyMatrixOptions& options) {
+  std::vector<CellSpec> specs;
+  for (strategy::StrategyKind kind : options.strategies) {
+    for (Scenario scenario : options.scenarios) {
+      for (bool faulted : {false, true}) {
+        if (faulted && !options.fault_plan.has_value()) continue;
+        for (uint64_t seed : options.seeds) {
+          specs.push_back(CellSpec{kind, scenario, faulted, seed});
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+Result<StrategyMatrixCell> RunScalarCell(const StrategyMatrixOptions& options,
+                                         const CellSpec& spec) {
+  Landscape landscape = MakePaperLandscape(spec.scenario);
+  RunnerConfig config = MakeStrategyCellConfig(
+      options, spec.strategy, spec.scenario, spec.faulted, spec.seed);
+  AG_ASSIGN_OR_RETURN(std::unique_ptr<SimulationRunner> runner,
+                      SimulationRunner::Create(landscape, config));
+  AG_RETURN_IF_ERROR(runner->Run());
+  StrategyMatrixCell cell;
+  cell.strategy = spec.strategy;
+  cell.scenario = spec.scenario;
+  cell.faulted = spec.faulted;
+  cell.seed = spec.seed;
+  cell.metrics = runner->metrics();
+  for (const SlaStatus* status : runner->slas().Report()) {
+    cell.sla_violation_episodes += status->violation_episodes;
+  }
+  if (spec.faulted) {
+    faults::AvailabilityReport report = runner->availability_report();
+    cell.mttr_minutes_mean = report.mttr_minutes_mean;
+    cell.mttd_minutes_mean = report.mttd_minutes_mean;
+    cell.availability = report.objective_satisfaction;
+  }
+  return cell;
+}
+
+/// Runs one batch-eligible seed group (identical config up to the
+/// seed) in lockstep lanes, chunked to `batch_lanes` per BatchRunner
+/// pass. The final chunk pads with repeats of its last seed — Rerun
+/// requires a constant lane count — and drops the padding lanes.
+Status RunBatchedGroup(const StrategyMatrixOptions& options,
+                       const std::vector<CellSpec>& specs,
+                       const std::vector<size_t>& slots,
+                       std::vector<StrategyMatrixCell>* cells) {
+  const CellSpec& head = specs[slots.front()];
+  Landscape landscape = MakePaperLandscape(head.scenario);
+  RunnerConfig config = MakeStrategyCellConfig(
+      options, head.strategy, head.scenario, head.faulted, head.seed);
+  size_t lane_count = std::min(options.batch_lanes, slots.size());
+  std::unique_ptr<BatchRunner> batch;
+  for (size_t base = 0; base < slots.size(); base += lane_count) {
+    std::vector<BatchLane> lanes(lane_count);
+    for (size_t lane = 0; lane < lane_count; ++lane) {
+      size_t index = std::min(base + lane, slots.size() - 1);
+      lanes[lane] = BatchLane{specs[slots[index]].seed, options.user_scale};
+    }
+    if (batch == nullptr) {
+      AG_ASSIGN_OR_RETURN(
+          batch, BatchRunner::Create(landscape, config, std::move(lanes)));
+    } else {
+      AG_RETURN_IF_ERROR(batch->Rerun(std::move(lanes)));
+    }
+    AG_RETURN_IF_ERROR(batch->Run());
+    for (size_t lane = 0; lane < lane_count && base + lane < slots.size();
+         ++lane) {
+      const CellSpec& spec = specs[slots[base + lane]];
+      StrategyMatrixCell& cell = (*cells)[slots[base + lane]];
+      cell.strategy = spec.strategy;
+      cell.scenario = spec.scenario;
+      cell.faulted = spec.faulted;
+      cell.seed = spec.seed;
+      cell.batched = true;
+      cell.metrics = batch->metrics(lane);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<StrategyMatrixRow> SummarizeRows(
+    const std::vector<StrategyMatrixCell>& cells) {
+  std::vector<StrategyMatrixRow> rows;
+  for (const StrategyMatrixCell& cell : cells) {
+    if (rows.empty() || rows.back().strategy != cell.strategy ||
+        rows.back().scenario != cell.scenario ||
+        rows.back().faulted != cell.faulted) {
+      StrategyMatrixRow row;
+      row.strategy = cell.strategy;
+      row.scenario = cell.scenario;
+      row.faulted = cell.faulted;
+      row.availability = 0.0;
+      rows.push_back(row);
+    }
+    StrategyMatrixRow& row = rows.back();
+    ++row.seeds;
+    row.sla_violation_minutes += cell.metrics.sla_violation_minutes;
+    row.sla_violation_episodes +=
+        static_cast<double>(cell.sla_violation_episodes);
+    row.overload_server_minutes += cell.metrics.overload_server_minutes;
+    row.max_overload_streak_minutes +=
+        cell.metrics.max_overload_streak_minutes;
+    row.oscillations += static_cast<double>(cell.metrics.oscillations);
+    row.actions_executed += static_cast<double>(cell.metrics.actions_executed);
+    row.average_cpu_load += cell.metrics.average_cpu_load;
+    row.lost_work_wu += cell.metrics.lost_work_wu;
+    row.mttr_minutes_mean += cell.mttr_minutes_mean;
+    row.availability += cell.availability;
+  }
+  for (StrategyMatrixRow& row : rows) {
+    double n = static_cast<double>(std::max(row.seeds, 1));
+    row.sla_violation_minutes /= n;
+    row.sla_violation_episodes /= n;
+    row.overload_server_minutes /= n;
+    row.max_overload_streak_minutes /= n;
+    row.oscillations /= n;
+    row.actions_executed /= n;
+    row.average_cpu_load /= n;
+    row.lost_work_wu /= n;
+    row.mttr_minutes_mean /= n;
+    row.availability /= n;
+  }
+  return rows;
+}
+
+}  // namespace
+
+RunnerConfig MakeStrategyCellConfig(const StrategyMatrixOptions& options,
+                                    strategy::StrategyKind kind,
+                                    Scenario scenario, bool faulted,
+                                    uint64_t seed) {
+  RunnerConfig config = MakeScenarioConfig(scenario, options.user_scale, seed);
+  config.duration = options.run_duration;
+  config.metrics_warmup = options.warmup;
+  config.strategy.kind = kind;
+  config.strategy.proportional = options.proportional;
+  config.strategy.qlearn = options.qlearn;
+  if (config.controller_enabled) {
+    // SLAs only make sense where a controller can react to them; the
+    // static scenario stays SLA-free, which also keeps its
+    // static-strategy column batch-eligible.
+    Landscape landscape = MakePaperLandscape(scenario);
+    for (const infra::ServiceSpec& service : landscape.services) {
+      SlaSpec sla;
+      sla.service = service.name;
+      sla.min_satisfaction = options.sla_min_satisfaction;
+      sla.window = options.sla_window;
+      config.slas.push_back(sla);
+    }
+  }
+  if (faulted && options.fault_plan.has_value()) {
+    config.fault_plan = *options.fault_plan;
+  }
+  return config;
+}
+
+Result<StrategyMatrixResult> RunStrategyMatrix(
+    const StrategyMatrixOptions& options) {
+  if (options.strategies.empty() || options.scenarios.empty() ||
+      options.seeds.empty()) {
+    return Status::InvalidArgument(
+        "strategy matrix needs at least one strategy, scenario, and seed");
+  }
+  StrategyMatrixResult result;
+  result.options = options;
+  std::vector<CellSpec> specs = EnumerateCells(options);
+  result.cells.assign(specs.size(), StrategyMatrixCell{});
+
+  // Partition: batch-eligible seed groups run in lockstep lanes, the
+  // rest fan out one SimulationRunner per cell.
+  std::map<std::tuple<int, int, bool>, std::vector<size_t>> batch_groups;
+  std::vector<size_t> scalar_slots;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const CellSpec& spec = specs[i];
+    RunnerConfig config = MakeStrategyCellConfig(
+        options, spec.strategy, spec.scenario, spec.faulted, spec.seed);
+    if (options.batch_lanes > 1 &&
+        BatchRunner::CheckEligibility(config).ok()) {
+      batch_groups[{static_cast<int>(spec.strategy),
+                    static_cast<int>(spec.scenario), spec.faulted}]
+          .push_back(i);
+    } else {
+      scalar_slots.push_back(i);
+    }
+  }
+
+  // One task per scalar cell plus one per batch group; every task
+  // writes only its own slots.
+  std::vector<std::function<Status()>> tasks;
+  for (size_t slot : scalar_slots) {
+    tasks.push_back([&options, &specs, &result, slot]() -> Status {
+      AG_ASSIGN_OR_RETURN(result.cells[slot],
+                          RunScalarCell(options, specs[slot]));
+      return Status::OK();
+    });
+  }
+  for (const auto& [key, slots] : batch_groups) {
+    const std::vector<size_t>& group = slots;
+    tasks.push_back([&options, &specs, &result, &group]() -> Status {
+      return RunBatchedGroup(options, specs, group, &result.cells);
+    });
+  }
+
+  size_t workers = options.parallelism == 0
+                       ? ThreadPool::DefaultThreadCount()
+                       : static_cast<size_t>(std::max(1, options.parallelism));
+  std::vector<Status> statuses(tasks.size(), Status::OK());
+  if (workers <= 1 || tasks.size() <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) statuses[i] = tasks[i]();
+  } else {
+    ThreadPool pool(std::min(workers, tasks.size()));
+    pool.ParallelFor(tasks.size(),
+                     [&](size_t i) { statuses[i] = tasks[i](); });
+  }
+  for (const Status& status : statuses) {
+    AG_RETURN_IF_ERROR(status);
+  }
+  result.rows = SummarizeRows(result.cells);
+  return result;
+}
+
+std::string RenderStrategyMatrix(const StrategyMatrixResult& result) {
+  std::string out;
+  out += StrFormat(
+      "%-22s %-12s %-7s %5s %10s %9s %11s %8s %7s %8s %8s %7s\n",
+      "strategy", "scenario", "faults", "seeds", "slaViolMin", "slaEpis",
+      "overloadMin", "streak", "oscill", "actions", "avgLoad", "mttr");
+  for (const StrategyMatrixRow& row : result.rows) {
+    out += StrFormat(
+        "%-22s %-12s %-7s %5d %10.1f %9.1f %11.1f %8.1f %7.1f "
+        "%8.1f %8.3f %7.1f\n",
+        std::string(strategy::StrategyKindName(row.strategy)).c_str(),
+        std::string(ScenarioName(row.scenario)).c_str(),
+        row.faulted ? "plan" : "none", row.seeds, row.sla_violation_minutes,
+        row.sla_violation_episodes, row.overload_server_minutes,
+        row.max_overload_streak_minutes, row.oscillations,
+        row.actions_executed, row.average_cpu_load, row.mttr_minutes_mean);
+  }
+  return out;
+}
+
+}  // namespace autoglobe

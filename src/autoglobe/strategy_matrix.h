@@ -1,0 +1,123 @@
+#ifndef AUTOGLOBE_AUTOGLOBE_STRATEGY_MATRIX_H_
+#define AUTOGLOBE_AUTOGLOBE_STRATEGY_MATRIX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autoglobe/capacity.h"
+#include "autoglobe/runner.h"
+#include "faults/plan.h"
+#include "strategy/strategy.h"
+
+namespace autoglobe {
+
+/// The head-to-head controller harness: every
+/// (strategy x scenario x fault-plan x seed) combination runs as an
+/// independent cell, so "does the learner beat the paper's static
+/// rule base" becomes one table instead of an anecdote.
+struct StrategyMatrixOptions {
+  /// Contestants; default all three.
+  std::vector<strategy::StrategyKind> strategies = {
+      strategy::StrategyKind::kStaticFuzzy,
+      strategy::StrategyKind::kProportionalThreshold,
+      strategy::StrategyKind::kFuzzyQLearning,
+  };
+  /// Paper scenarios; in the static scenario the control loop is off,
+  /// so all strategies are inert there — it is the common no-control
+  /// baseline row.
+  std::vector<Scenario> scenarios = {
+      Scenario::kStatic,
+      Scenario::kConstrainedMobility,
+      Scenario::kFullMobility,
+  };
+  /// Replication seeds (>= 3 for the headline table).
+  std::vector<uint64_t> seeds = {42, 43, 44};
+  double user_scale = 1.25;
+  Duration run_duration = Duration::Hours(24);
+  Duration warmup = Duration::Hours(4);
+  /// When set, every (strategy, scenario, seed) additionally runs a
+  /// faulted variant with this plan injected, and those cells report
+  /// MTTD/MTTR from the self-healing pipeline.
+  std::optional<faults::FaultPlan> fault_plan;
+  /// Per-service SLA attached to every controller-enabled cell; the
+  /// violation minutes/episodes are the harness's headline metric and
+  /// the learner's reward signal.
+  double sla_min_satisfaction = 0.97;
+  Duration sla_window = Duration::Minutes(30);
+  /// Worker threads for the cell fan-out (0 = hardware threads). Cell
+  /// seeds derive from the cell spec alone, so results are
+  /// bit-identical at any parallelism.
+  int parallelism = 0;
+  /// Lockstep lanes for the batch-eligible cells (the static-scenario
+  /// static-strategy unfaulted column: controller off, no SLAs, no
+  /// faults). 0 or 1 = run those scalar too.
+  size_t batch_lanes = 8;
+  strategy::ProportionalConfig proportional;
+  strategy::QLearnConfig qlearn;
+};
+
+/// One finished cell.
+struct StrategyMatrixCell {
+  strategy::StrategyKind strategy = strategy::StrategyKind::kStaticFuzzy;
+  Scenario scenario = Scenario::kStatic;
+  bool faulted = false;
+  uint64_t seed = 42;
+  /// True when the cell ran on the lockstep batch path.
+  bool batched = false;
+  RunMetrics metrics;
+  int64_t sla_violation_episodes = 0;
+  /// Fault-cell availability numbers (0 when the cell has no plan).
+  double mttr_minutes_mean = 0.0;
+  double mttd_minutes_mean = 0.0;
+  double availability = 1.0;
+};
+
+/// Seed-mean aggregate of one (strategy, scenario, faulted) group —
+/// one row of the rendered table.
+struct StrategyMatrixRow {
+  strategy::StrategyKind strategy = strategy::StrategyKind::kStaticFuzzy;
+  Scenario scenario = Scenario::kStatic;
+  bool faulted = false;
+  int seeds = 0;
+  double sla_violation_minutes = 0.0;
+  double sla_violation_episodes = 0.0;
+  double overload_server_minutes = 0.0;
+  double max_overload_streak_minutes = 0.0;
+  double oscillations = 0.0;
+  double actions_executed = 0.0;
+  double average_cpu_load = 0.0;
+  double lost_work_wu = 0.0;
+  double mttr_minutes_mean = 0.0;
+  double availability = 1.0;
+};
+
+struct StrategyMatrixResult {
+  StrategyMatrixOptions options;
+  std::vector<StrategyMatrixCell> cells;
+  /// One row per (strategy, scenario, faulted) group, in the
+  /// deterministic cell order (strategy-major, then scenario, then
+  /// faulted).
+  std::vector<StrategyMatrixRow> rows;
+};
+
+/// The cell's full RunnerConfig (strategy block, SLAs, fault plan);
+/// exposed so tests can assert batch eligibility per cell.
+RunnerConfig MakeStrategyCellConfig(const StrategyMatrixOptions& options,
+                                    strategy::StrategyKind kind,
+                                    Scenario scenario, bool faulted,
+                                    uint64_t seed);
+
+/// Runs the whole matrix, fanning cells over a worker pool and
+/// folding batch-eligible cells into lockstep lanes. Deterministic:
+/// the result is bit-identical at any parallelism / lane count.
+Result<StrategyMatrixResult> RunStrategyMatrix(
+    const StrategyMatrixOptions& options);
+
+/// Human-readable table of the seed-mean rows.
+std::string RenderStrategyMatrix(const StrategyMatrixResult& result);
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_AUTOGLOBE_STRATEGY_MATRIX_H_

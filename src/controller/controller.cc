@@ -100,13 +100,18 @@ Result<Controller::CompiledBase> Controller::CompileBase(
   for (uint32_t src : base.compiled.source_indices()) {
     base.rule_texts.push_back(rb.rules()[src].ToString());
   }
-  base.slots.resize(names.size());
-  base.scratch = base.compiled.MakeScratch();
+  ResetEvalBuffers(&base);
   return base;
 }
 
-obs::InferenceRecord Controller::MakeInferenceRecord(const CompiledBase& base,
-                                                     std::string subject) {
+void Controller::ResetEvalBuffers(CompiledBase* base) {
+  base->slots.assign(base->compiled.inputs().size(), 0.0);
+  base->scratch = base->compiled.MakeScratch();
+}
+
+obs::InferenceRecord Controller::MakeInferenceRecord(
+    const CompiledBase& base, std::string subject,
+    const double* weight_override) {
   obs::InferenceRecord record;
   record.rule_base = base.compiled.name();
   record.subject = std::move(subject);
@@ -117,8 +122,11 @@ obs::InferenceRecord Controller::MakeInferenceRecord(const CompiledBase& base,
   }
   record.rules.reserve(base.rule_texts.size());
   for (size_t r = 0; r < base.rule_texts.size(); ++r) {
-    record.rules.push_back(
-        obs::RuleActivation{base.rule_texts[r], base.scratch.truth[r]});
+    double weight = weight_override != nullptr
+                        ? weight_override[r]
+                        : base.compiled.rule_weight(r);
+    record.rules.push_back(obs::RuleActivation{
+        base.rule_texts[r], base.scratch.truth[r], weight});
   }
   const auto& output_names = base.compiled.output_names();
   record.outputs.reserve(output_names.size());
@@ -156,9 +164,68 @@ Status Controller::SetActionRuleBase(TriggerKind kind, fuzzy::RuleBase rb) {
     return Status::InvalidArgument("rule base has no rules");
   }
   AG_ASSIGN_OR_RETURN(CompiledBase compiled, CompileBase(rb));
+  // Recompiling invalidates every cached artifact derived from the
+  // old base: eval buffers are rebuilt by CompileBase (through
+  // ResetEvalBuffers), and any weight override sized for the old rule
+  // layout is dropped here.
+  InvalidateActionDerivedState(kind);
   compiled_action_bases_.insert_or_assign(kind, std::move(compiled));
   action_bases_.insert_or_assign(kind, std::move(rb));
   return Status::OK();
+}
+
+Status Controller::SetActionWeightOverride(TriggerKind kind,
+                                           std::vector<double> weights) {
+  auto it = compiled_action_bases_.find(kind);
+  if (it == compiled_action_bases_.end()) {
+    return Status::FailedPrecondition(StrFormat(
+        "no rule base installed for trigger %.*s",
+        static_cast<int>(monitor::TriggerKindName(kind).size()),
+        monitor::TriggerKindName(kind).data()));
+  }
+  if (weights.size() != it->second.compiled.num_rules()) {
+    return Status::InvalidArgument(StrFormat(
+        "weight override has %zu entries, rule base has %zu rules",
+        weights.size(), it->second.compiled.num_rules()));
+  }
+  action_weight_overrides_.insert_or_assign(kind, std::move(weights));
+  return Status::OK();
+}
+
+const std::vector<double>* Controller::ActionWeightOverride(
+    TriggerKind kind) const {
+  auto it = action_weight_overrides_.find(kind);
+  return it == action_weight_overrides_.end() ? nullptr : &it->second;
+}
+
+Result<size_t> Controller::ActionRuleCount(TriggerKind kind) const {
+  auto it = compiled_action_bases_.find(kind);
+  if (it == compiled_action_bases_.end()) {
+    return Status::NotFound("no rule base installed for trigger kind");
+  }
+  return it->second.compiled.num_rules();
+}
+
+Result<std::vector<double>> Controller::ActionRuleWeights(
+    TriggerKind kind) const {
+  auto it = compiled_action_bases_.find(kind);
+  if (it == compiled_action_bases_.end()) {
+    return Status::NotFound("no rule base installed for trigger kind");
+  }
+  std::vector<double> weights(it->second.compiled.num_rules());
+  for (size_t r = 0; r < weights.size(); ++r) {
+    weights[r] = it->second.compiled.rule_weight(r);
+  }
+  return weights;
+}
+
+Result<std::vector<std::string>> Controller::ActionRuleTexts(
+    TriggerKind kind) const {
+  auto it = compiled_action_bases_.find(kind);
+  if (it == compiled_action_bases_.end()) {
+    return Status::NotFound("no rule base installed for trigger kind");
+  }
+  return it->second.rule_texts;
 }
 
 Status Controller::SetServiceActionRuleBase(std::string service,
@@ -314,11 +381,27 @@ Status Controller::CollectActionsForInstance(
   AG_ASSIGN_OR_RETURN(const infra::ServiceSpec* spec,
                       cluster_->FindService(instance.service));
   AG_RETURN_IF_ERROR(FillActionSlots(instance, *base));
+  // Overrides bind to the generic base for this kind; a
+  // service-specific base keeps its authored weights (its rule layout
+  // is its own). The size check is belt-and-braces — recompilation
+  // already drops stale overrides.
+  const double* weights = nullptr;
+  if (!action_weight_overrides_.empty()) {
+    auto generic = compiled_action_bases_.find(kind);
+    if (generic != compiled_action_bases_.end() &&
+        base == &generic->second) {
+      auto it = action_weight_overrides_.find(kind);
+      if (it != action_weight_overrides_.end() &&
+          it->second.size() == base->compiled.num_rules()) {
+        weights = it->second.data();
+      }
+    }
+  }
   base->compiled.Evaluate(base->slots.data(), config_.defuzzifier,
-                          &base->scratch);
+                          &base->scratch, weights);
   if (audit != nullptr) {
     audit->action_inference.push_back(
-        MakeInferenceRecord(*base, instance.Name()));
+        MakeInferenceRecord(*base, instance.Name(), weights));
   }
   const auto& output_names = base->compiled.output_names();
   for (int slot : base->ordered_outputs) {
@@ -635,6 +718,7 @@ Result<ControllerOutcome> Controller::HandleTrigger(const Trigger& trigger,
     audit.subject = trigger.subject;
     audit.average_load = trigger.average_load;
     audit.urgent = urgent;
+    audit.strategy = strategy_label_;
   }
   auto finish = [&](std::string verdict) {
     if (!auditing) return;

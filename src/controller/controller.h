@@ -117,6 +117,33 @@ class Controller {
                                   fuzzy::RuleBase rb);
   Status SetServerRuleBase(infra::ActionType action, fuzzy::RuleBase rb);
 
+  // --- Consequent-weight overrides (adaptive strategies) ----------------
+  /// Replaces the authored consequent weights of the *generic* action
+  /// base for `kind` with `weights` (one per compiled rule, compiled
+  /// rule order — see ActionRuleWeights for the layout). The compiled
+  /// base itself stays untouched; the override rides along each
+  /// Evaluate call, so clearing it restores bit-identical static
+  /// behaviour. Service-specific bases are never overridden (their
+  /// rule layout differs). Errors on a size mismatch.
+  Status SetActionWeightOverride(monitor::TriggerKind kind,
+                                 std::vector<double> weights);
+  /// Drops every installed override (back to authored weights).
+  void ClearActionWeightOverrides() { action_weight_overrides_.clear(); }
+  /// The active override for `kind`, or nullptr when none installed.
+  const std::vector<double>* ActionWeightOverride(
+      monitor::TriggerKind kind) const;
+
+  /// Number of compiled rules in the generic action base for `kind`.
+  Result<size_t> ActionRuleCount(monitor::TriggerKind kind) const;
+  /// Authored consequent weights of that base, compiled rule order —
+  /// the identity starting point for a learner's weight table.
+  Result<std::vector<double>> ActionRuleWeights(
+      monitor::TriggerKind kind) const;
+  /// Rendered rule text per compiled rule of that base (parallel to
+  /// ActionRuleWeights), for explain output and saved weight tables.
+  Result<std::vector<std::string>> ActionRuleTexts(
+      monitor::TriggerKind kind) const;
+
   // --- Main entry point -------------------------------------------------
   /// Runs the complete Figure 6 flow for a confirmed trigger. With
   /// `urgent`, the subject's own protection window is overridden —
@@ -179,6 +206,14 @@ class Controller {
   void set_audit_log(obs::AuditLog* log) { audit_ = log; }
   const obs::AuditLog* audit_log() const { return audit_; }
 
+  /// Name of the strategy driving this controller, stamped into every
+  /// decision audit record (empty = no stamp, the pre-strategy
+  /// rendering).
+  void set_strategy_label(std::string label) {
+    strategy_label_ = std::move(label);
+  }
+  const std::string& strategy_label() const { return strategy_label_; }
+
   void set_config(const ControllerConfig& config) { config_ = config; }
   const ControllerConfig& config() const { return config_; }
   void set_approval_callback(ApprovalCallback cb) {
@@ -229,6 +264,19 @@ class Controller {
   /// controller measurement catalogue.
   static Result<CompiledBase> CompileBase(const fuzzy::RuleBase& rb);
 
+  /// THE single place that (re)builds a compiled base's cached
+  /// evaluation state — input slot buffer and Scratch sizing. Every
+  /// compile and recompile funnels through here so a swapped rule
+  /// base can never run against stale buffer sizes.
+  static void ResetEvalBuffers(CompiledBase* base);
+
+  /// Drops cached per-kind derived state (the weight override) that a
+  /// freshly installed rule base invalidates — its compiled rule
+  /// count/order may differ from what the override was sized for.
+  void InvalidateActionDerivedState(monitor::TriggerKind kind) {
+    action_weight_overrides_.erase(kind);
+  }
+
   /// Fills the compiled layout's input slots for (instance, host) —
   /// the Table 1 measurements — computing only what the rules read.
   Status FillActionSlots(const infra::ServiceInstance& instance,
@@ -258,8 +306,11 @@ class Controller {
 
   /// Copies the just-evaluated state of `base` (inputs, per-rule
   /// activation degrees, crisp outputs) into an InferenceRecord.
-  static obs::InferenceRecord MakeInferenceRecord(const CompiledBase& base,
-                                                  std::string subject);
+  /// `weight_override` (nullable) is the per-rule weight vector the
+  /// evaluation actually used, recorded alongside each activation.
+  static obs::InferenceRecord MakeInferenceRecord(
+      const CompiledBase& base, std::string subject,
+      const double* weight_override = nullptr);
 
   /// Re-verifies an action just before execution (§4.1: the selected
   /// action "is verified once more"). `urgent` waives the protection
@@ -287,10 +338,16 @@ class Controller {
            ServiceKindLess>
       compiled_service_action_bases_;
   std::map<infra::ActionType, CompiledBase> compiled_server_bases_;
+  /// Per-kind consequent-weight override, sized for the generic
+  /// compiled action base of that kind; invalidated whenever the base
+  /// is recompiled.
+  std::map<monitor::TriggerKind, std::vector<double>>
+      action_weight_overrides_;
   ApprovalCallback approval_;
   AlertCallback alert_;
   HostFilter host_filter_;
   obs::AuditLog* audit_ = nullptr;
+  std::string strategy_label_;
   const monitor::PoolLoadStats* pool_stats_ = nullptr;
   const ReservationBook* reservations_ = nullptr;
   Duration reservation_lookahead_ = Duration::Hours(1);

@@ -180,7 +180,8 @@ CompiledRuleBase::Scratch CompiledRuleBase::MakeScratch() const {
 }
 
 void CompiledRuleBase::Evaluate(const double* input_slots, Defuzzifier method,
-                                Scratch* scratch) const {
+                                Scratch* scratch,
+                                const double* weight_override) const {
   // Fuzzification clamp, once per input slot (the interpreted engine
   // clamps per atom; same value, fewer branches).
   for (size_t i = 0; i < input_ranges_.size(); ++i) {
@@ -230,7 +231,9 @@ void CompiledRuleBase::Evaluate(const double* input_slots, Defuzzifier method,
           break;
       }
     }
-    scratch->truth[r] = sp[-1] * rule.weight;
+    scratch->truth[r] =
+        sp[-1] * (weight_override != nullptr ? weight_override[r]
+                                             : rule.weight);
   }
 
   // Union aggregation + analytic defuzzification per output slot.

@@ -100,6 +100,9 @@ class CompiledRuleBase {
     auto it = output_index_.find(name);
     return it == output_index_.end() ? -1 : it->second;
   }
+  /// Authored consequent weight of compiled rule `r` (the rule's
+  /// source weight; 1.0 unless the rule language set one).
+  double rule_weight(size_t r) const { return rules_[r].weight; }
   double output_lo(int slot) const { return outputs_[slot].lo; }
   double output_hi(int slot) const { return outputs_[slot].hi; }
 
@@ -111,8 +114,16 @@ class CompiledRuleBase {
   /// defuzzification. Writes one crisp value per output slot into
   /// scratch->crisp. Allocation-free once scratch is warm; safe to
   /// call concurrently with distinct scratches.
+  ///
+  /// `weight_override` (optional, num_rules() entries in compiled
+  /// rule order) replaces each rule's authored consequent weight for
+  /// this evaluation only — the adaptive-controller hook: a learner
+  /// owns the weight table and the compiled base stays immutable and
+  /// shareable. nullptr (the default) uses the authored weights and
+  /// is bit-identical to the pre-hook kernel.
   void Evaluate(const double* input_slots, Defuzzifier method,
-                Scratch* scratch) const;
+                Scratch* scratch,
+                const double* weight_override = nullptr) const;
 
   /// Convenience wrapper for tests and tools (allocates): gathers
   /// named inputs, evaluates, and returns one output's crisp value.

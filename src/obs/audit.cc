@@ -55,8 +55,14 @@ void AppendInference(const InferenceRecord& record, std::string* out) {
                     record.rules.size());
   for (const RuleActivation* rule : rules) {
     if (rule->activation <= 0.0) break;
-    *out += StrFormat("      [%.4f] %s\n", rule->activation,
-                      rule->rule.c_str());
+    if (rule->weight == 1.0) {
+      *out += StrFormat("      [%.4f] %s\n", rule->activation,
+                        rule->rule.c_str());
+    } else {
+      *out += StrFormat("      [%.4f] %s (weight %.4f)\n",
+                        rule->activation, rule->rule.c_str(),
+                        rule->weight);
+    }
   }
   *out += "    outputs:";
   for (const NamedValue& output : record.outputs) {
@@ -73,6 +79,9 @@ std::string RenderExplain(const DecisionAudit& audit) {
       audit.at.ToString().c_str(), audit.trigger_kind.c_str(),
       audit.subject.c_str(), audit.average_load,
       audit.urgent ? " [urgent]" : "");
+  if (!audit.strategy.empty()) {
+    out += StrFormat("strategy: %s\n", audit.strategy.c_str());
+  }
   if (audit.skipped_protected) {
     out += StrFormat("verdict: %s\n", audit.verdict.c_str());
     return out;

@@ -30,6 +30,10 @@ struct NamedValue {
 struct RuleActivation {
   std::string rule;  // rendered rule text
   double activation = 0.0;
+  /// Consequent weight applied to this rule for this evaluation — the
+  /// authored rule weight, or the learner's current override when an
+  /// adaptive strategy is driving the controller.
+  double weight = 1.0;
 };
 
 /// One complete rule-base evaluation: the subject it ran for, the
@@ -68,6 +72,10 @@ struct DecisionAudit {
   std::string subject;
   double average_load = 0.0;
   bool urgent = false;
+  /// Name of the controller strategy that made this decision
+  /// ("static-fuzzy", "proportional-threshold", "fuzzy-qlearning");
+  /// empty when the controller runs outside a strategy wrapper.
+  std::string strategy;
 
   /// Action rule-base evaluations, one per considered instance.
   std::vector<InferenceRecord> action_inference;

@@ -1,0 +1,50 @@
+#ifndef AUTOGLOBE_STRATEGY_PROPORTIONAL_H_
+#define AUTOGLOBE_STRATEGY_PROPORTIONAL_H_
+
+#include "strategy/strategy.h"
+
+namespace autoglobe::strategy {
+
+/// (b): the classical auto-scaling baseline every fuzzy controller
+/// must beat (Venkatarama & Sekaran): a hysteresis band around a
+/// target per-instance load, with proportional fleet sizing —
+/// desired = ceil(n * load / target) — capped per decision. No fuzzy
+/// inference: host selection is least-loaded-feasible, instance
+/// selection for scale-in is least-loaded. Server overloads move the
+/// hottest instance off the host; idle servers are left alone (no
+/// consolidation — the band's job is SLA safety, not packing).
+///
+/// Deterministic: candidate hosts and instances are enumerated in
+/// sorted-name order and ties break lexicographically; the strategy
+/// draws no random numbers.
+class ProportionalThresholdStrategy : public ControllerStrategy {
+ public:
+  ProportionalThresholdStrategy(ProportionalConfig config,
+                                const StrategyEnv& env)
+      : config_(config), env_(env) {}
+
+  StrategyKind kind() const override {
+    return StrategyKind::kProportionalThreshold;
+  }
+
+  Result<controller::ControllerOutcome> HandleTrigger(
+      const monitor::Trigger& trigger, bool urgent) override;
+
+ private:
+  /// Least-loaded feasible host for a new instance of `service`
+  /// (placeable, not protected, not `exclude`); empty when none.
+  std::string PickHost(const std::string& service, SimTime now,
+                       std::string_view exclude) const;
+
+  Result<controller::ControllerOutcome> HandleService(
+      const monitor::Trigger& trigger);
+  Result<controller::ControllerOutcome> HandleServer(
+      const monitor::Trigger& trigger);
+
+  ProportionalConfig config_;
+  StrategyEnv env_;
+};
+
+}  // namespace autoglobe::strategy
+
+#endif  // AUTOGLOBE_STRATEGY_PROPORTIONAL_H_

@@ -1,0 +1,283 @@
+#include "strategy/qlearn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace autoglobe::strategy {
+
+using controller::ControllerOutcome;
+using monitor::Trigger;
+using monitor::TriggerKind;
+
+namespace {
+
+/// Smoothing of the per-kind average-reward baseline (see KindTable).
+constexpr double kBaselineBeta = 0.1;
+
+constexpr TriggerKind kPolicyKinds[] = {
+    TriggerKind::kServerOverloaded,
+    TriggerKind::kServerIdle,
+    TriggerKind::kServiceOverloaded,
+    TriggerKind::kServiceIdle,
+};
+
+Result<TriggerKind> ParsePolicyKind(std::string_view name) {
+  for (TriggerKind kind : kPolicyKinds) {
+    if (monitor::TriggerKindName(kind) == name) return kind;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown trigger kind \"%.*s\" in weight table",
+      static_cast<int>(name.size()), name.data()));
+}
+
+}  // namespace
+
+FuzzyQLearningStrategy::FuzzyQLearningStrategy(QLearnConfig config,
+                                               const StrategyEnv& env)
+    : config_(config),
+      env_(env),
+      // Mix the run seed with the strategy seed so two learners in
+      // one sweep (different run seeds) explore independently while
+      // staying reproducible.
+      rng_(env.seed * 0x9e3779b97f4a7c15ULL ^ config.seed),
+      epsilon_(config.epsilon) {}
+
+Result<std::unique_ptr<FuzzyQLearningStrategy>>
+FuzzyQLearningStrategy::Create(const QLearnConfig& config,
+                               const StrategyEnv& env) {
+  if (env.controller == nullptr) {
+    return Status::InvalidArgument("qlearn strategy needs a controller");
+  }
+  std::unique_ptr<FuzzyQLearningStrategy> strategy(
+      new FuzzyQLearningStrategy(config, env));
+  for (TriggerKind kind : kPolicyKinds) {
+    auto weights = env.controller->ActionRuleWeights(kind);
+    if (!weights.ok()) continue;  // no base installed for this kind
+    KindTable table;
+    table.kind = kind;
+    table.weights = std::move(*weights);
+    AG_ASSIGN_OR_RETURN(table.rule_texts,
+                        env.controller->ActionRuleTexts(kind));
+    table.q.assign(table.weights.size(), {0.0, 0.0, 0.0});
+    table.last_arm.assign(table.weights.size(), 1);
+    table.last_eligibility.assign(table.weights.size(), 0.0);
+    strategy->tables_.push_back(std::move(table));
+  }
+  if (strategy->tables_.empty()) {
+    return Status::FailedPrecondition(
+        "controller has no action rule bases to adapt");
+  }
+  // Credit assignment reads activation degrees from the decision
+  // audit trail; when the runner configured none, the learner
+  // installs its own (small — only the latest record is read).
+  if (env.controller->audit_log() == nullptr) {
+    strategy->own_audit_ = std::make_unique<obs::AuditLog>(4);
+    env.controller->set_audit_log(strategy->own_audit_.get());
+  }
+  return strategy;
+}
+
+FuzzyQLearningStrategy::KindTable* FuzzyQLearningStrategy::TableFor(
+    TriggerKind kind) {
+  for (KindTable& table : tables_) {
+    if (table.kind == kind) return &table;
+  }
+  return nullptr;
+}
+
+std::vector<double> FuzzyQLearningStrategy::WeightsFor(
+    TriggerKind kind) const {
+  for (const KindTable& table : tables_) {
+    if (table.kind == kind) return table.weights;
+  }
+  return {};
+}
+
+void FuzzyQLearningStrategy::CaptureEligibility(KindTable* table) {
+  std::fill(table->last_eligibility.begin(),
+            table->last_eligibility.end(), 0.0);
+  const obs::AuditLog* log = own_audit_ != nullptr
+                                 ? own_audit_.get()
+                                 : env_.controller->audit_log();
+  bool captured = false;
+  if (log != nullptr && !log->records().empty()) {
+    const obs::DecisionAudit& record = log->records().back();
+    for (const obs::InferenceRecord& inference : record.action_inference) {
+      // Only evaluations of the adapted (generic) base — a
+      // service-specific base has its own rule layout.
+      if (inference.rules.size() != table->weights.size()) continue;
+      for (size_t r = 0; r < inference.rules.size(); ++r) {
+        double activation =
+            std::clamp(inference.rules[r].activation, 0.0, 1.0);
+        table->last_eligibility[r] =
+            std::max(table->last_eligibility[r], activation);
+        captured = true;
+      }
+    }
+  }
+  if (!captured) {
+    // Nothing usable recorded (e.g. every instance was protected):
+    // uniform credit keeps the update defined without biasing arms.
+    std::fill(table->last_eligibility.begin(),
+              table->last_eligibility.end(), 1.0);
+  }
+}
+
+Result<ControllerOutcome> FuzzyQLearningStrategy::HandleTrigger(
+    const Trigger& trigger, bool urgent) {
+  KindTable* table = TableFor(trigger.kind);
+  if (table == nullptr) {
+    // Not a kind we adapt (service-specific bases, or an exotic
+    // trigger) — plain fuzzy control.
+    return env_.controller->HandleTrigger(trigger, urgent);
+  }
+
+  // 1. Settle the previous decision of this kind against the penalty
+  //    growth it presided over.
+  double penalty_now = Penalty();
+  if (table->pending) {
+    double delta = penalty_now - table->penalty_before;
+    double reward;
+    if (table->settled == 0) {
+      // The first delta only seeds the baseline; there is no "usual"
+      // to compare against yet.
+      reward = 0.0;
+      table->avg_delta = delta;
+    } else {
+      reward = table->avg_delta - delta;
+      table->avg_delta += kBaselineBeta * (delta - table->avg_delta);
+    }
+    ++table->settled;
+    for (size_t r = 0; r < table->weights.size(); ++r) {
+      double eligibility = table->last_eligibility[r];
+      if (eligibility <= 0.0) continue;
+      double& value = table->q[r][table->last_arm[r]];
+      value += config_.learning_rate * eligibility * (reward - value);
+    }
+    ++reward_updates_;
+    table->pending = false;
+  }
+
+  // 2. Epsilon-greedy arm per rule; greedy ties prefer "hold" so an
+  //    untrained table reproduces the authored weights.
+  for (size_t r = 0; r < table->weights.size(); ++r) {
+    uint8_t arm = 1;
+    if (epsilon_ > 0.0 && rng_.NextDouble() < epsilon_) {
+      arm = static_cast<uint8_t>(rng_.UniformInt(0, 2));
+    } else {
+      const std::array<double, 3>& q = table->q[r];
+      if (q[0] > q[1] && q[0] >= q[2]) {
+        arm = 0;
+      } else if (q[2] > q[1] && q[2] > q[0]) {
+        arm = 2;
+      }
+    }
+    table->last_arm[r] = arm;
+    if (arm != 1) {
+      double delta = arm == 2 ? config_.step : -config_.step;
+      table->weights[r] =
+          std::clamp(table->weights[r] + delta, config_.min_weight,
+                     config_.max_weight);
+      ++weight_updates_;
+    }
+  }
+  epsilon_ = std::max(config_.epsilon_min, epsilon_ * config_.epsilon_decay);
+  AG_RETURN_IF_ERROR(env_.controller->SetActionWeightOverride(
+      trigger.kind, table->weights));
+
+  // 3. The fuzzy controller decides and acts under the new weights.
+  Result<ControllerOutcome> outcome =
+      env_.controller->HandleTrigger(trigger, urgent);
+  if (!outcome.ok()) return outcome;
+
+  CaptureEligibility(table);
+  table->penalty_before = penalty_now;
+  table->pending = true;
+  return outcome;
+}
+
+Status FuzzyQLearningStrategy::SaveWeights(const std::string& path) const {
+  xml::Document doc;
+  xml::Element* root = doc.SetRoot("strategyWeights");
+  root->SetAttribute("strategy", std::string(name()));
+  root->SetAttribute("epsilon", StrFormat("%.17g", epsilon_));
+  for (const KindTable& table : tables_) {
+    xml::Element* base = root->AddChild("base");
+    base->SetAttribute(
+        "trigger", std::string(monitor::TriggerKindName(table.kind)));
+    base->SetAttribute("avgDelta", StrFormat("%.17g", table.avg_delta));
+    base->SetAttribute("settled", StrFormat("%lld",
+                                            static_cast<long long>(
+                                                table.settled)));
+    for (size_t r = 0; r < table.weights.size(); ++r) {
+      xml::Element* rule = base->AddChild("rule");
+      rule->SetAttribute("index", StrFormat("%zu", r));
+      rule->SetAttribute("weight",
+                         StrFormat("%.17g", table.weights[r]));
+      rule->SetAttribute("qDown", StrFormat("%.17g", table.q[r][0]));
+      rule->SetAttribute("qHold", StrFormat("%.17g", table.q[r][1]));
+      rule->SetAttribute("qUp", StrFormat("%.17g", table.q[r][2]));
+      rule->SetAttribute("text", table.rule_texts[r]);
+    }
+  }
+  return doc.SaveFile(path);
+}
+
+Status FuzzyQLearningStrategy::LoadWeights(const std::string& path) {
+  AG_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::LoadFile(path));
+  const xml::Element* root = doc.root();
+  if (root == nullptr || root->name() != "strategyWeights") {
+    return Status::InvalidArgument(
+        "weight table file has no <strategyWeights> root");
+  }
+  AG_ASSIGN_OR_RETURN(double epsilon,
+                      root->DoubleAttributeOr("epsilon", epsilon_));
+  for (const xml::Element* base : root->FindChildren("base")) {
+    AG_ASSIGN_OR_RETURN(std::string trigger,
+                        base->StringAttribute("trigger"));
+    AG_ASSIGN_OR_RETURN(TriggerKind kind, ParsePolicyKind(trigger));
+    KindTable* table = TableFor(kind);
+    if (table == nullptr) {
+      return Status::FailedPrecondition(StrFormat(
+          "weight table covers trigger %s, but the controller has no "
+          "rule base for it",
+          trigger.c_str()));
+    }
+    std::vector<const xml::Element*> rules = base->FindChildren("rule");
+    if (rules.size() != table->weights.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "weight table for %s has %zu rules, rule base has %zu",
+          trigger.c_str(), rules.size(), table->weights.size()));
+    }
+    for (const xml::Element* rule : rules) {
+      AG_ASSIGN_OR_RETURN(long long index, rule->IntAttribute("index"));
+      if (index < 0 ||
+          static_cast<size_t>(index) >= table->weights.size()) {
+        return Status::InvalidArgument(
+            StrFormat("rule index %lld out of range", index));
+      }
+      size_t r = static_cast<size_t>(index);
+      AG_ASSIGN_OR_RETURN(table->weights[r],
+                          rule->DoubleAttribute("weight"));
+      AG_ASSIGN_OR_RETURN(table->q[r][0], rule->DoubleAttribute("qDown"));
+      AG_ASSIGN_OR_RETURN(table->q[r][1], rule->DoubleAttribute("qHold"));
+      AG_ASSIGN_OR_RETURN(table->q[r][2], rule->DoubleAttribute("qUp"));
+    }
+    AG_ASSIGN_OR_RETURN(table->avg_delta,
+                        base->DoubleAttributeOr("avgDelta", 0.0));
+    AG_ASSIGN_OR_RETURN(long long settled,
+                        base->IntAttributeOr("settled", 0));
+    table->settled = settled;
+    // A loaded table discards any pending decision: its reward
+    // belongs to the run that trained it.
+    table->pending = false;
+    AG_RETURN_IF_ERROR(env_.controller->SetActionWeightOverride(
+        kind, table->weights));
+  }
+  epsilon_ = epsilon;
+  return Status::OK();
+}
+
+}  // namespace autoglobe::strategy

@@ -1,0 +1,108 @@
+#ifndef AUTOGLOBE_STRATEGY_QLEARN_H_
+#define AUTOGLOBE_STRATEGY_QLEARN_H_
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/audit.h"
+#include "strategy/strategy.h"
+
+namespace autoglobe::strategy {
+
+/// (c): fuzzy Q-learning in the style of Arabnejad et al. — the rule
+/// bases stay the paper's, but each rule's consequent weight becomes
+/// a learned parameter. Per trigger kind the learner keeps, for every
+/// compiled rule, a weight and a 3-arm action-value row (nudge the
+/// weight down / hold / nudge up). Each decision:
+///
+///   1. Settle the previous decision of this kind: the reward is the
+///      negated growth of the runner's cumulative penalty signal
+///      (SLA-violation minutes + overload minutes + action cost)
+///      since that decision; every rule is credited in proportion to
+///      its activation degree at decision time (read back from the
+///      compiled kernel's Scratch via the decision audit trail).
+///   2. Pick an arm per rule, epsilon-greedy, apply the perturbation,
+///      and install the weight vector as the controller's
+///      consequent-weight override.
+///   3. Delegate to the fuzzy controller (verification, server
+///      selection, and the Figure 6 fallback flow are unchanged).
+///
+/// Exploration runs off one Rng seeded from (run seed, config seed),
+/// so a run is bit-identical at any harness parallelism. SaveWeights
+/// persists weights, Q-rows, and epsilon as XML (%.17g — the
+/// round-trip is exact).
+class FuzzyQLearningStrategy : public ControllerStrategy {
+ public:
+  static Result<std::unique_ptr<FuzzyQLearningStrategy>> Create(
+      const QLearnConfig& config, const StrategyEnv& env);
+
+  StrategyKind kind() const override {
+    return StrategyKind::kFuzzyQLearning;
+  }
+
+  Result<controller::ControllerOutcome> HandleTrigger(
+      const monitor::Trigger& trigger, bool urgent) override;
+
+  int64_t reward_updates() const override { return reward_updates_; }
+  int64_t weight_updates() const override { return weight_updates_; }
+
+  Status SaveWeights(const std::string& path) const override;
+  Status LoadWeights(const std::string& path) override;
+
+  double epsilon() const { return epsilon_; }
+  /// Current weight vector for one trigger kind (compiled rule
+  /// order), or empty when the kind has no learned table.
+  std::vector<double> WeightsFor(monitor::TriggerKind kind) const;
+
+ private:
+  FuzzyQLearningStrategy(QLearnConfig config, const StrategyEnv& env);
+
+  /// Per-rule learned state of one trigger kind's generic rule base.
+  struct KindTable {
+    monitor::TriggerKind kind;
+    std::vector<std::string> rule_texts;  // compiled rule order
+    std::vector<double> weights;
+    /// Action values per rule: arm 0 = weight down, 1 = hold, 2 = up.
+    std::vector<std::array<double, 3>> q;
+    /// Pending decision awaiting its reward.
+    bool pending = false;
+    double penalty_before = 0.0;
+    std::vector<uint8_t> last_arm;
+    std::vector<double> last_eligibility;
+    /// Average-reward baseline: exponential mean of the penalty growth
+    /// between consecutive decisions of this kind. The penalty signal
+    /// only ever accumulates, so a raw -delta reward punishes every
+    /// arm — including "hold" — and greedy selection drifts towards
+    /// untried arms. Rewarding (baseline - delta) instead makes
+    /// business-as-usual reward zero: only doing worse than usual is
+    /// punished, only doing better is reinforced.
+    double avg_delta = 0.0;
+    int64_t settled = 0;
+  };
+
+  KindTable* TableFor(monitor::TriggerKind kind);
+  double Penalty() const {
+    return env_.penalty ? env_.penalty() : 0.0;
+  }
+  /// Reads the per-rule activation degrees of the decision just made
+  /// from the audit trail into `table->last_eligibility` (max over
+  /// the decision's inference records; uniform 1.0 fallback when the
+  /// audit recorded nothing usable).
+  void CaptureEligibility(KindTable* table);
+
+  QLearnConfig config_;
+  StrategyEnv env_;
+  Rng rng_;
+  double epsilon_;
+  std::vector<KindTable> tables_;
+  /// Installed on the controller when the runner configured no audit
+  /// log — the learner needs the activation degrees either way.
+  std::unique_ptr<obs::AuditLog> own_audit_;
+  int64_t reward_updates_ = 0;
+  int64_t weight_updates_ = 0;
+};
+
+}  // namespace autoglobe::strategy
+
+#endif  // AUTOGLOBE_STRATEGY_QLEARN_H_

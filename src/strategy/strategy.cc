@@ -1,0 +1,204 @@
+#include "strategy/strategy.h"
+
+#include "common/strings.h"
+#include "strategy/proportional.h"
+#include "strategy/qlearn.h"
+
+namespace autoglobe::strategy {
+
+std::string_view StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kStaticFuzzy:
+      return "static-fuzzy";
+    case StrategyKind::kProportionalThreshold:
+      return "proportional-threshold";
+    case StrategyKind::kFuzzyQLearning:
+      return "fuzzy-qlearning";
+  }
+  return "unknown";
+}
+
+Result<StrategyKind> ParseStrategyKind(std::string_view name) {
+  if (name == "static-fuzzy" || name == "static") {
+    return StrategyKind::kStaticFuzzy;
+  }
+  if (name == "proportional-threshold" || name == "proportional") {
+    return StrategyKind::kProportionalThreshold;
+  }
+  if (name == "fuzzy-qlearning" || name == "qlearn") {
+    return StrategyKind::kFuzzyQLearning;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown strategy \"%.*s\" (want static-fuzzy, "
+      "proportional-threshold, or fuzzy-qlearning)",
+      static_cast<int>(name.size()), name.data()));
+}
+
+Result<StrategyConfig> StrategyConfigFromXml(const xml::Element& root) {
+  if (root.name() != "strategy") {
+    return Status::InvalidArgument(StrFormat(
+        "expected <strategy>, got <%s>", root.name().c_str()));
+  }
+  StrategyConfig config;
+  AG_ASSIGN_OR_RETURN(
+      config.kind,
+      ParseStrategyKind(root.AttributeOr("kind", "static-fuzzy")));
+  config.load_weights_path =
+      std::string(root.AttributeOr("loadWeights", ""));
+  config.save_weights_path =
+      std::string(root.AttributeOr("saveWeights", ""));
+  if (const xml::Element* p = root.FindChild("proportional")) {
+    AG_ASSIGN_OR_RETURN(
+        config.proportional.target_load,
+        p->DoubleAttributeOr("targetLoad", config.proportional.target_load));
+    AG_ASSIGN_OR_RETURN(
+        config.proportional.high_water,
+        p->DoubleAttributeOr("highWater", config.proportional.high_water));
+    AG_ASSIGN_OR_RETURN(
+        config.proportional.low_water,
+        p->DoubleAttributeOr("lowWater", config.proportional.low_water));
+    AG_ASSIGN_OR_RETURN(long long step,
+                        p->IntAttributeOr("maxStep",
+                                          config.proportional.max_step));
+    config.proportional.max_step = static_cast<int>(step);
+  }
+  if (const xml::Element* q = root.FindChild("qlearn")) {
+    AG_ASSIGN_OR_RETURN(
+        config.qlearn.learning_rate,
+        q->DoubleAttributeOr("learningRate", config.qlearn.learning_rate));
+    AG_ASSIGN_OR_RETURN(
+        config.qlearn.epsilon,
+        q->DoubleAttributeOr("epsilon", config.qlearn.epsilon));
+    AG_ASSIGN_OR_RETURN(
+        config.qlearn.epsilon_decay,
+        q->DoubleAttributeOr("epsilonDecay", config.qlearn.epsilon_decay));
+    AG_ASSIGN_OR_RETURN(
+        config.qlearn.epsilon_min,
+        q->DoubleAttributeOr("epsilonMin", config.qlearn.epsilon_min));
+    AG_ASSIGN_OR_RETURN(config.qlearn.step,
+                        q->DoubleAttributeOr("step", config.qlearn.step));
+    AG_ASSIGN_OR_RETURN(
+        config.qlearn.min_weight,
+        q->DoubleAttributeOr("minWeight", config.qlearn.min_weight));
+    AG_ASSIGN_OR_RETURN(
+        config.qlearn.max_weight,
+        q->DoubleAttributeOr("maxWeight", config.qlearn.max_weight));
+    AG_ASSIGN_OR_RETURN(
+        long long seed,
+        q->IntAttributeOr("seed",
+                          static_cast<long long>(config.qlearn.seed)));
+    config.qlearn.seed = static_cast<uint64_t>(seed);
+  }
+  return config;
+}
+
+void StrategyConfigToXml(const StrategyConfig& config, xml::Element* out) {
+  out->SetAttribute("kind", std::string(StrategyKindName(config.kind)));
+  if (!config.load_weights_path.empty()) {
+    out->SetAttribute("loadWeights", config.load_weights_path);
+  }
+  if (!config.save_weights_path.empty()) {
+    out->SetAttribute("saveWeights", config.save_weights_path);
+  }
+  xml::Element* p = out->AddChild("proportional");
+  p->SetAttribute("targetLoad",
+                  StrFormat("%.17g", config.proportional.target_load));
+  p->SetAttribute("highWater",
+                  StrFormat("%.17g", config.proportional.high_water));
+  p->SetAttribute("lowWater",
+                  StrFormat("%.17g", config.proportional.low_water));
+  p->SetAttribute("maxStep",
+                  StrFormat("%d", config.proportional.max_step));
+  xml::Element* q = out->AddChild("qlearn");
+  q->SetAttribute("learningRate",
+                  StrFormat("%.17g", config.qlearn.learning_rate));
+  q->SetAttribute("epsilon", StrFormat("%.17g", config.qlearn.epsilon));
+  q->SetAttribute("epsilonDecay",
+                  StrFormat("%.17g", config.qlearn.epsilon_decay));
+  q->SetAttribute("epsilonMin",
+                  StrFormat("%.17g", config.qlearn.epsilon_min));
+  q->SetAttribute("step", StrFormat("%.17g", config.qlearn.step));
+  q->SetAttribute("minWeight",
+                  StrFormat("%.17g", config.qlearn.min_weight));
+  q->SetAttribute("maxWeight",
+                  StrFormat("%.17g", config.qlearn.max_weight));
+  q->SetAttribute("seed",
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(
+                                config.qlearn.seed)));
+}
+
+Status ControllerStrategy::SaveWeights(const std::string& path) const {
+  (void)path;
+  return Status::FailedPrecondition(StrFormat(
+      "strategy %.*s has no learned weights",
+      static_cast<int>(name().size()), name().data()));
+}
+
+Status ControllerStrategy::LoadWeights(const std::string& path) {
+  (void)path;
+  return Status::FailedPrecondition(StrFormat(
+      "strategy %.*s has no learned weights",
+      static_cast<int>(name().size()), name().data()));
+}
+
+namespace {
+
+/// (a): the paper's controller, untouched. The wrapper adds one
+/// virtual call — every rule base, verification step and audit path
+/// is the existing Controller's, so runs selecting this strategy stay
+/// bit-identical to the pre-strategy engine.
+class StaticFuzzyStrategy : public ControllerStrategy {
+ public:
+  explicit StaticFuzzyStrategy(controller::Controller* controller)
+      : controller_(controller) {}
+
+  StrategyKind kind() const override { return StrategyKind::kStaticFuzzy; }
+
+  Result<controller::ControllerOutcome> HandleTrigger(
+      const monitor::Trigger& trigger, bool urgent) override {
+    return controller_->HandleTrigger(trigger, urgent);
+  }
+
+ private:
+  controller::Controller* controller_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ControllerStrategy>> MakeStrategy(
+    const StrategyConfig& config, const StrategyEnv& env) {
+  if (env.controller == nullptr) {
+    return Status::InvalidArgument("strategy env needs a controller");
+  }
+  env.controller->set_strategy_label(
+      std::string(StrategyKindName(config.kind)));
+  std::unique_ptr<ControllerStrategy> strategy;
+  switch (config.kind) {
+    case StrategyKind::kStaticFuzzy:
+      strategy = std::make_unique<StaticFuzzyStrategy>(env.controller);
+      break;
+    case StrategyKind::kProportionalThreshold: {
+      if (env.cluster == nullptr || env.executor == nullptr ||
+          env.view == nullptr) {
+        return Status::InvalidArgument(
+            "proportional strategy needs cluster, executor, and view");
+      }
+      strategy = std::make_unique<ProportionalThresholdStrategy>(
+          config.proportional, env);
+      break;
+    }
+    case StrategyKind::kFuzzyQLearning: {
+      AG_ASSIGN_OR_RETURN(
+          auto learner, FuzzyQLearningStrategy::Create(config.qlearn, env));
+      strategy = std::move(learner);
+      break;
+    }
+  }
+  if (!config.load_weights_path.empty()) {
+    AG_RETURN_IF_ERROR(strategy->LoadWeights(config.load_weights_path));
+  }
+  return strategy;
+}
+
+}  // namespace autoglobe::strategy

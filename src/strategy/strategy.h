@@ -1,0 +1,147 @@
+#ifndef AUTOGLOBE_STRATEGY_STRATEGY_H_
+#define AUTOGLOBE_STRATEGY_STRATEGY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "controller/controller.h"
+#include "infra/cluster.h"
+#include "infra/executor.h"
+#include "monitor/monitoring.h"
+#include "xmlcfg/xml.h"
+
+namespace autoglobe::strategy {
+
+/// The pluggable decide-per-trigger policies. The paper's fuzzy
+/// controller (§4) becomes one strategy among several so the
+/// head-to-head harness can measure it against a classical
+/// proportional/threshold baseline and an online learner that adapts
+/// the fuzzy consequent weights from an SLA/overload reward signal.
+enum class StrategyKind {
+  /// Today's fuzzy controller, unchanged — bit-identical goldens.
+  kStaticFuzzy,
+  /// Hysteresis band + proportional scale-out/in (the
+  /// Venkatarama-style auto-scaling baseline).
+  kProportionalThreshold,
+  /// Fuzzy Q-learning: epsilon-greedy consequent-weight perturbation
+  /// with activation-degree credit assignment (Arabnejad et al.).
+  kFuzzyQLearning,
+};
+
+std::string_view StrategyKindName(StrategyKind kind);
+Result<StrategyKind> ParseStrategyKind(std::string_view name);
+
+/// Tunables of the proportional/threshold baseline.
+struct ProportionalConfig {
+  /// Desired steady-state load per instance; the proportional rule
+  /// sizes the fleet to ceil(n * load / target).
+  double target_load = 0.55;
+  /// Scale out only above this load (upper hysteresis bound).
+  double high_water = 0.70;
+  /// Scale in only below this load (lower hysteresis bound).
+  double low_water = 0.20;
+  /// Max instances added/removed per decision.
+  int max_step = 2;
+};
+
+/// Tunables of the fuzzy Q-learner. All randomness flows through one
+/// seeded Rng, so a run is bit-identical given (run seed, this seed).
+struct QLearnConfig {
+  double learning_rate = 0.20;
+  /// Initial exploration probability, decayed multiplicatively per
+  /// decision down to `epsilon_min`. A decay of 0 turns the policy
+  /// greedy (and rng-free) after the first decision. Exploration is
+  /// deliberately conservative: every explored perturbation is acted
+  /// on live, so its cost is real SLA minutes, not simulator time.
+  double epsilon = 0.05;
+  double epsilon_decay = 0.99;
+  double epsilon_min = 0.005;
+  /// Consequent-weight perturbation per chosen arm (down/stay/up).
+  double step = 0.10;
+  double min_weight = 0.05;
+  double max_weight = 2.00;
+  /// Mixed with the run seed to derive the exploration stream.
+  uint64_t seed = 1;
+};
+
+/// One strategy selection with its per-kind tunables and optional
+/// learned-weight persistence, carried inside RunnerConfig.
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::kStaticFuzzy;
+  ProportionalConfig proportional;
+  QLearnConfig qlearn;
+  /// Learned weight table loaded before the run / saved by the CLI
+  /// after it (fuzzy Q-learning only; empty = off).
+  std::string load_weights_path;
+  std::string save_weights_path;
+};
+
+/// XML round-trip of the strategy block:
+///   <strategy kind="fuzzy-qlearning" loadWeights="w.xml">
+///     <proportional targetLoad="0.55" highWater="0.7" lowWater="0.2"
+///                   maxStep="2"/>
+///     <qlearn learningRate="0.2" epsilon="0.2" epsilonDecay="0.995"
+///             epsilonMin="0.01" step="0.15" minWeight="0.05"
+///             maxWeight="2" seed="1"/>
+///   </strategy>
+Result<StrategyConfig> StrategyConfigFromXml(const xml::Element& root);
+void StrategyConfigToXml(const StrategyConfig& config, xml::Element* out);
+
+/// What the simulation runner lends a strategy: the fuzzy controller
+/// (always constructed — it carries the rule bases, verification and
+/// audit plumbing all strategies reuse), direct cluster/executor
+/// access for the non-fuzzy baseline, the load view, and a cumulative
+/// penalty signal (SLA-violation minutes + overload minutes + action
+/// cost) whose growth rate the learner turns into rewards.
+struct StrategyEnv {
+  controller::Controller* controller = nullptr;
+  infra::Cluster* cluster = nullptr;
+  infra::ActionExecutor* executor = nullptr;
+  const controller::LoadView* view = nullptr;
+  /// Monotone non-decreasing; sampled before and after each decision
+  /// window. Null = the learner sees a flat signal (no learning).
+  std::function<double()> penalty;
+  uint64_t seed = 0;
+};
+
+/// The decide-per-trigger step, abstracted. One instance per runner,
+/// called from the runner's single simulation thread only; fan-out
+/// across runs happens at the harness level (one strategy per
+/// runner), so implementations need no locking.
+class ControllerStrategy {
+ public:
+  virtual ~ControllerStrategy() = default;
+
+  virtual StrategyKind kind() const = 0;
+  std::string_view name() const { return StrategyKindName(kind()); }
+
+  /// Handles one confirmed trigger (the runner routes failure
+  /// triggers to recovery before this is reached). `urgent` carries
+  /// the SLA-escalation protection override.
+  virtual Result<controller::ControllerOutcome> HandleTrigger(
+      const monitor::Trigger& trigger, bool urgent) = 0;
+
+  /// Learner telemetry (0 for non-learning strategies).
+  virtual int64_t reward_updates() const { return 0; }
+  virtual int64_t weight_updates() const { return 0; }
+
+  /// Learned-state persistence; FailedPrecondition for strategies
+  /// without learned state.
+  virtual Status SaveWeights(const std::string& path) const;
+  virtual Status LoadWeights(const std::string& path);
+};
+
+/// Builds the configured strategy, stamps its name into the
+/// controller's audit records, and (for the learner) loads the weight
+/// table named by `config.load_weights_path`. `env.controller` must
+/// outlive the strategy.
+Result<std::unique_ptr<ControllerStrategy>> MakeStrategy(
+    const StrategyConfig& config, const StrategyEnv& env);
+
+}  // namespace autoglobe::strategy
+
+#endif  // AUTOGLOBE_STRATEGY_STRATEGY_H_

@@ -1,0 +1,140 @@
+#include "autoglobe/strategy_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "autoglobe/batch_runner.h"
+
+namespace autoglobe {
+namespace {
+
+StrategyMatrixOptions SmallMatrix() {
+  StrategyMatrixOptions options;
+  options.user_scale = 1.2;
+  options.run_duration = Duration::Hours(6);
+  options.warmup = Duration::Hours(1);
+  options.seeds = {42, 43};
+  options.strategies = {strategy::StrategyKind::kStaticFuzzy,
+                        strategy::StrategyKind::kFuzzyQLearning};
+  options.scenarios = {Scenario::kStatic,
+                       Scenario::kConstrainedMobility};
+  return options;
+}
+
+bool CellsIdentical(const StrategyMatrixCell& a,
+                    const StrategyMatrixCell& b) {
+  return a.strategy == b.strategy && a.scenario == b.scenario &&
+         a.faulted == b.faulted && a.seed == b.seed &&
+         a.metrics.triggers == b.metrics.triggers &&
+         a.metrics.actions_executed == b.metrics.actions_executed &&
+         a.metrics.overload_server_minutes ==
+             b.metrics.overload_server_minutes &&
+         a.metrics.sla_violation_minutes ==
+             b.metrics.sla_violation_minutes &&
+         a.metrics.average_cpu_load == b.metrics.average_cpu_load &&
+         a.metrics.oscillations == b.metrics.oscillations &&
+         a.sla_violation_episodes == b.sla_violation_episodes;
+}
+
+TEST(StrategyMatrixTest, ResultIsBitIdenticalAtAnyParallelism) {
+  StrategyMatrixOptions sequential = SmallMatrix();
+  sequential.parallelism = 1;
+  StrategyMatrixOptions parallel = SmallMatrix();
+  parallel.parallelism = 4;
+
+  auto a = RunStrategyMatrix(sequential);
+  auto b = RunStrategyMatrix(parallel);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a->cells.size(), b->cells.size());
+  for (size_t i = 0; i < a->cells.size(); ++i) {
+    EXPECT_TRUE(CellsIdentical(a->cells[i], b->cells[i])) << "cell " << i;
+  }
+  EXPECT_EQ(RenderStrategyMatrix(*a), RenderStrategyMatrix(*b));
+}
+
+TEST(StrategyMatrixTest, BatchLanesMatchScalarCells) {
+  StrategyMatrixOptions batched = SmallMatrix();
+  batched.batch_lanes = 2;
+  StrategyMatrixOptions scalar = SmallMatrix();
+  scalar.batch_lanes = 0;
+
+  auto a = RunStrategyMatrix(batched);
+  auto b = RunStrategyMatrix(scalar);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a->cells.size(), b->cells.size());
+  bool any_batched = false;
+  for (size_t i = 0; i < a->cells.size(); ++i) {
+    any_batched = any_batched || a->cells[i].batched;
+    EXPECT_FALSE(b->cells[i].batched);
+    EXPECT_TRUE(CellsIdentical(a->cells[i], b->cells[i])) << "cell " << i;
+  }
+  // The static-scenario static-strategy column is the eligible one.
+  EXPECT_TRUE(any_batched);
+}
+
+TEST(StrategyMatrixTest, OnlyStaticUnfaultedStaticScenarioIsBatchEligible) {
+  StrategyMatrixOptions options = SmallMatrix();
+  EXPECT_TRUE(BatchRunner::CheckEligibility(
+                  MakeStrategyCellConfig(options,
+                                         strategy::StrategyKind::kStaticFuzzy,
+                                         Scenario::kStatic, false, 42))
+                  .ok());
+  EXPECT_FALSE(
+      BatchRunner::CheckEligibility(
+          MakeStrategyCellConfig(options,
+                                 strategy::StrategyKind::kFuzzyQLearning,
+                                 Scenario::kStatic, false, 42))
+          .ok());
+  EXPECT_FALSE(BatchRunner::CheckEligibility(
+                   MakeStrategyCellConfig(
+                       options, strategy::StrategyKind::kStaticFuzzy,
+                       Scenario::kConstrainedMobility, false, 42))
+                   .ok());
+}
+
+TEST(StrategyMatrixTest, FaultCellsCarryAvailabilityNumbers) {
+  StrategyMatrixOptions options = SmallMatrix();
+  options.strategies = {strategy::StrategyKind::kStaticFuzzy};
+  options.scenarios = {Scenario::kConstrainedMobility};
+  options.seeds = {42};
+  options.run_duration = Duration::Hours(4);
+  faults::FaultPlan plan;
+  plan.events.push_back(faults::FaultEvent{
+      SimTime::Start() + Duration::Hours(2), faults::FaultKind::kInstanceCrash,
+      "FI", Duration::Zero()});
+  options.fault_plan = plan;
+
+  auto result = RunStrategyMatrix(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->cells.size(), 2u);  // unfaulted + faulted
+  EXPECT_FALSE(result->cells[0].faulted);
+  EXPECT_EQ(result->cells[0].mttr_minutes_mean, 0.0);
+  EXPECT_TRUE(result->cells[1].faulted);
+  EXPECT_GT(result->cells[1].availability, 0.0);
+  EXPECT_LE(result->cells[1].availability, 1.0);
+  EXPECT_GT(result->cells[1].mttr_minutes_mean, 0.0);
+}
+
+TEST(StrategyMatrixTest, RowsAggregateSeedMeans) {
+  StrategyMatrixOptions options = SmallMatrix();
+  auto result = RunStrategyMatrix(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 2 strategies x 2 scenarios, no faults = 4 rows of 2 seeds.
+  ASSERT_EQ(result->rows.size(), 4u);
+  for (const StrategyMatrixRow& row : result->rows) {
+    EXPECT_EQ(row.seeds, 2);
+  }
+  std::string rendered = RenderStrategyMatrix(*result);
+  EXPECT_NE(rendered.find("static-fuzzy"), std::string::npos);
+  EXPECT_NE(rendered.find("fuzzy-qlearning"), std::string::npos);
+}
+
+TEST(StrategyMatrixTest, RejectsEmptyAxes) {
+  StrategyMatrixOptions options = SmallMatrix();
+  options.seeds.clear();
+  EXPECT_FALSE(RunStrategyMatrix(options).ok());
+}
+
+}  // namespace
+}  // namespace autoglobe

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fuzzy/compiled.h"
+#include "fuzzy/inference.h"
+
+namespace autoglobe::fuzzy {
+namespace {
+
+RuleBase WeightedBase() {
+  RuleBase rb("weighted");
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::StandardLoad("cpuLoad")).ok());
+  EXPECT_TRUE(rb.AddVariable(LinguisticVariable::RampOutput("scaleOut")).ok());
+  EXPECT_TRUE(rb.AddRulesFromText(
+                    "IF cpuLoad IS high THEN scaleOut IS applicable "
+                    "WITH 0.8\n"
+                    "IF cpuLoad IS low THEN scaleOut IS applicable "
+                    "WITH 0.3")
+                  .ok());
+  return rb;
+}
+
+TEST(WeightOverrideTest, NullOverrideIsBitIdenticalToAuthoredWeights) {
+  RuleBase rb = WeightedBase();
+  auto compiled = CompiledRuleBase::Compile(rb);
+  ASSERT_TRUE(compiled.ok());
+  CompiledRuleBase::Scratch a = compiled->MakeScratch();
+  CompiledRuleBase::Scratch b = compiled->MakeScratch();
+  std::vector<double> authored = {compiled->rule_weight(0),
+                                  compiled->rule_weight(1)};
+  for (double load : {0.05, 0.35, 0.62, 0.88, 0.99}) {
+    compiled->Evaluate(&load, Defuzzifier::kCentroid, &a);
+    compiled->Evaluate(&load, Defuzzifier::kCentroid, &b, authored.data());
+    ASSERT_EQ(a.crisp.size(), b.crisp.size());
+    for (size_t i = 0; i < a.crisp.size(); ++i) {
+      EXPECT_EQ(a.crisp[i], b.crisp[i]) << "load " << load;
+    }
+    for (size_t r = 0; r < a.truth.size(); ++r) {
+      EXPECT_EQ(a.truth[r], b.truth[r]) << "load " << load;
+    }
+  }
+}
+
+TEST(WeightOverrideTest, OverrideScalesRuleTruthWithoutRecompiling) {
+  RuleBase rb = WeightedBase();
+  auto compiled = CompiledRuleBase::Compile(rb);
+  ASSERT_TRUE(compiled.ok());
+  CompiledRuleBase::Scratch scratch = compiled->MakeScratch();
+  double load = 0.9;  // "high" fires strongly, "low" not at all
+
+  compiled->Evaluate(&load, Defuzzifier::kCentroid, &scratch);
+  double baseline_truth = scratch.truth[0];
+  ASSERT_GT(baseline_truth, 0.0);
+
+  // Doubling rule 0's weight doubles its activation-weighted truth.
+  std::vector<double> doubled = {1.6, 0.3};
+  compiled->Evaluate(&load, Defuzzifier::kCentroid, &scratch,
+                     doubled.data());
+  EXPECT_DOUBLE_EQ(scratch.truth[0], baseline_truth * 2.0);
+
+  // Zeroing it silences the rule entirely.
+  std::vector<double> silenced = {0.0, 0.3};
+  compiled->Evaluate(&load, Defuzzifier::kCentroid, &scratch,
+                     silenced.data());
+  EXPECT_EQ(scratch.truth[0], 0.0);
+}
+
+TEST(WeightOverrideTest, RuleWeightAccessorExposesAuthoredWeights) {
+  RuleBase rb = WeightedBase();
+  auto compiled = CompiledRuleBase::Compile(rb);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_DOUBLE_EQ(compiled->rule_weight(0), 0.8);
+  EXPECT_DOUBLE_EQ(compiled->rule_weight(1), 0.3);
+}
+
+}  // namespace
+}  // namespace autoglobe::fuzzy

@@ -29,6 +29,12 @@
 //   autoglobectl design <landscape.xml|paper> [--out designed.xml]
 //       Compute a statically optimized pre-assignment (the §7
 //       landscape-designer tool) and optionally write it back out.
+//   autoglobectl strategies [--scale 1.25] [--hours 24] [--seeds 3]
+//       [--parallelism 0] [--fault-plan plan.xml] [--out bench.txt]
+//       Run the controller head-to-head matrix — static fuzzy vs
+//       proportional threshold vs fuzzy Q-learning, across the paper
+//       scenarios (and a fault battery when given) — and print the
+//       seed-mean comparison table.
 //   autoglobectl availability [--scenario fm] [--scale 1.0]
 //       [--hours 24] [--seed 42] [--reps 1] [--parallelism 1]
 //       [--fault-plan plan.xml] [--crashes-per-hour 0.5]
@@ -38,9 +44,14 @@
 //       MTTR / unavailability / objective-satisfaction scorecard.
 //
 // `run` also accepts --fault-plan <plan.xml> to inject a fault
-// schedule into an ordinary run; the availability report is printed
-// after the summary.
+// schedule into an ordinary run (the availability report is printed
+// after the summary), plus the strategy knobs: --strategy
+// <static|proportional|qlearn> picks the decide-per-trigger policy,
+// --strategy-config <strategy.xml> loads a full <strategy> block,
+// and --load-weights / --save-weights round-trip the fuzzy
+// Q-learner's learned weight table.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -49,9 +60,11 @@
 #include "autoglobe/availability.h"
 #include "autoglobe/capacity.h"
 #include "autoglobe/console.h"
+#include "autoglobe/strategy_matrix.h"
 #include "common/strings.h"
 #include "designer/designer.h"
 #include "faults/plan.h"
+#include "strategy/strategy.h"
 
 using namespace autoglobe;
 
@@ -87,7 +100,10 @@ Args ParseArgs(int argc, char** argv) {
                          key == "crashes-per-hour" ||
                          key == "server-failures-per-day" ||
                          key == "dropouts-per-day" ||
-                         key == "action-windows-per-day";
+                         key == "action-windows-per-day" ||
+                         key == "strategy" || key == "strategy-config" ||
+                         key == "load-weights" || key == "save-weights" ||
+                         key == "seeds";
       if (takes_value && i + 1 < argc) {
         args.options[key] = argv[++i];
       } else {
@@ -189,10 +205,37 @@ int CmdRun(const Args& args) {
     if (!plan.ok()) return Fail(plan.status());
     config.fault_plan = std::move(*plan);
   }
+  if (args.Has("strategy-config")) {
+    auto doc = xml::Document::LoadFile(args.Get("strategy-config", ""));
+    if (!doc.ok()) return Fail(doc.status());
+    auto strategy_config = strategy::StrategyConfigFromXml(*doc->root());
+    if (!strategy_config.ok()) return Fail(strategy_config.status());
+    config.strategy = *strategy_config;
+  }
+  if (args.Has("strategy")) {
+    auto kind = strategy::ParseStrategyKind(args.Get("strategy", ""));
+    if (!kind.ok()) return Fail(kind.status());
+    config.strategy.kind = *kind;
+  }
+  if (args.Has("load-weights")) {
+    config.strategy.load_weights_path = args.Get("load-weights", "");
+  }
+  if (args.Has("save-weights")) {
+    config.strategy.save_weights_path = args.Get("save-weights", "");
+  }
 
   auto runner = SimulationRunner::Create(*landscape, config);
   if (!runner.ok()) return Fail(runner.status());
   if (Status s = (*runner)->Run(); !s.ok()) return Fail(s);
+
+  if (!config.strategy.save_weights_path.empty()) {
+    if (Status s = (*runner)->strategy().SaveWeights(
+            config.strategy.save_weights_path);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s\n", config.strategy.save_weights_path.c_str());
+  }
 
   if (args.Has("trace-out")) {
     const std::string path = args.Get("trace-out", "");
@@ -219,15 +262,20 @@ int CmdRun(const Args& args) {
     std::printf("\n");
   }
   const RunMetrics& m = (*runner)->metrics();
+  std::string mode =
+      config.controller_enabled
+          ? (config.use_forecast ? "proactive controller" : "controller")
+          : "no controller";
+  if (config.controller_enabled &&
+      config.strategy.kind != strategy::StrategyKind::kStaticFuzzy) {
+    mode = std::string(strategy::StrategyKindName(config.strategy.kind));
+  }
   std::printf(
       "ran %lld h at %.0f%% users (%s, %s): avg load %.1f%%, overload "
       "%.0f server-min (max streak %.0f min), %lld triggers, %lld "
       "actions, %lld alerts\n",
       static_cast<long long>(*hours), *scale * 100,
-      std::string(ScenarioName(*scenario)).c_str(),
-      config.controller_enabled
-          ? (config.use_forecast ? "proactive controller" : "controller")
-          : "no controller",
+      std::string(ScenarioName(*scenario)).c_str(), mode.c_str(),
       m.average_cpu_load * 100, m.overload_server_minutes,
       m.max_overload_streak_minutes, static_cast<long long>(m.triggers),
       static_cast<long long>(m.actions_executed),
@@ -398,6 +446,47 @@ int CmdCapacity(const Args& args) {
   return 0;
 }
 
+int CmdStrategies(const Args& args) {
+  auto scale = ParseDouble(args.Get("scale", "1.25"));
+  auto hours = ParseInt(args.Get("hours", "24"));
+  auto seeds = ParseInt(args.Get("seeds", "3"));
+  auto parallelism = ParseInt(args.Get("parallelism", "0"));
+  for (const Status& s : {scale.status(), hours.status(), seeds.status(),
+                          parallelism.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+  StrategyMatrixOptions options;
+  options.user_scale = *scale;
+  options.run_duration = Duration::Hours(*hours);
+  options.warmup = Duration::Hours(std::max<long long>(1, *hours / 6));
+  options.parallelism = static_cast<int>(*parallelism);
+  options.seeds.clear();
+  for (long long i = 0; i < std::max<long long>(1, *seeds); ++i) {
+    options.seeds.push_back(42 + static_cast<uint64_t>(i));
+  }
+  if (args.Has("fault-plan")) {
+    auto plan = faults::FaultPlan::LoadFile(args.Get("fault-plan", ""));
+    if (!plan.ok()) return Fail(plan.status());
+    options.fault_plan = std::move(*plan);
+  }
+
+  auto result = RunStrategyMatrix(options);
+  if (!result.ok()) return Fail(result.status());
+  std::string table = RenderStrategyMatrix(*result);
+  std::printf("%s", table.c_str());
+  if (args.Has("out")) {
+    const std::string path = args.Get("out", "");
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      return Fail(Status::NotFound("cannot write " + path));
+    }
+    std::fputs(table.c_str(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int CmdDesign(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
@@ -438,7 +527,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: autoglobectl <export|validate|run|explain|"
-                 "capacity|design|availability> ...\n");
+                 "capacity|design|availability|strategies> ...\n");
     return 1;
   }
   Args args = ParseArgs(argc, argv);
@@ -450,6 +539,7 @@ int main(int argc, char** argv) {
   if (command == "capacity") return CmdCapacity(args);
   if (command == "design") return CmdDesign(args);
   if (command == "availability") return CmdAvailability(args);
+  if (command == "strategies") return CmdStrategies(args);
   std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
   return 1;
 }
