@@ -10,8 +10,15 @@
 //
 // Every batched lane is checked bit-identical to its scalar run
 // before any timing is reported — a fast wrong number is worthless.
-// Emits BENCH_batch.json; CI gates allocs_per_tick == 0 on the
-// batched steady state and batched >= 4x scalar_fresh seeds/sec.
+//
+// The same three-way comparison then repeats under rng=philox (the
+// counter-based draw plane of DESIGN.md §16, SIMD noise kernels on
+// the batched path): scalar_fresh_philox vs batched_philox, again
+// with all 64 lanes parity-checked against scalar philox runs.
+//
+// Emits BENCH_batch.json; CI gates allocs_per_tick == 0 on both
+// batched steady states, batched >= 4x scalar_fresh seeds/sec on the
+// legacy row, and batched_philox >= 8x scalar_fresh_philox.
 
 #include <atomic>
 #include <cstdio>
@@ -22,6 +29,7 @@
 #include "autoglobe/batch_runner.h"
 #include "autoglobe/capacity.h"
 #include "bench_report.h"
+#include "common/cpu_features.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -172,6 +180,56 @@ int main() {
     }
   }
 
+  // --- philox plane: scalar_fresh vs batched ----------------------------
+  RunnerConfig philox_config = config;
+  philox_config.rng_kind = RngKind::kPhilox;
+
+  std::vector<RunMetrics> philox_scalar_metrics(kLanes);
+  double philox_fresh_seconds = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    WallTimer philox_timer;
+    for (size_t i = 0; i < kLanes; ++i) {
+      Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+      RunnerConfig run_config = philox_config;
+      run_config.seed = lanes[i].seed;
+      run_config.user_scale = lanes[i].user_scale;
+      auto runner = SimulationRunner::Create(landscape, run_config);
+      AG_CHECK_OK(runner.status());
+      AG_CHECK_OK((*runner)->Run());
+      philox_scalar_metrics[i] = (*runner)->metrics();
+    }
+    double s = philox_timer.Seconds();
+    if (rep == 0 || s < philox_fresh_seconds) philox_fresh_seconds = s;
+  }
+
+  auto philox_batch = BatchRunner::Create(
+      MakePaperLandscape(Scenario::kStatic), philox_config, lanes);
+  AG_CHECK_OK(philox_batch.status());
+  AG_CHECK_OK((*philox_batch)->Run());
+  for (size_t i = 0; i < kLanes; ++i) {
+    AG_CHECK(SameMetrics((*philox_batch)->metrics(i),
+                         philox_scalar_metrics[i]));
+  }
+  double philox_warm_seconds = 0.0;
+  double philox_allocs_per_tick = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    AG_CHECK_OK((*philox_batch)->Rerun(BenchLanes()));
+    uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+    WallTimer warm_timer;
+    AG_CHECK_OK((*philox_batch)->Run());
+    double s = warm_timer.Seconds();
+    uint64_t allocs =
+        g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+    double per_tick =
+        static_cast<double>(allocs) / static_cast<double>(ticks_per_run);
+    if (per_tick > philox_allocs_per_tick) philox_allocs_per_tick = per_tick;
+    if (rep == 0 || s < philox_warm_seconds) philox_warm_seconds = s;
+    for (size_t i = 0; i < kLanes; ++i) {
+      AG_CHECK(SameMetrics((*philox_batch)->metrics(i),
+                           philox_scalar_metrics[i]));
+    }
+  }
+
   double fresh_rate = static_cast<double>(kLanes) / fresh_seconds;
   double rerun_rate = static_cast<double>(kLanes) / rerun_seconds;
   double batch_rate = static_cast<double>(kLanes) / warm_seconds;
@@ -181,12 +239,25 @@ int main() {
               rerun_rate);
   std::printf("batched x%-3zu : %6.2f s  (%7.2f seeds/s, cold %.2f s)\n",
               kLanes, warm_seconds, batch_rate, batch_seconds);
-  std::printf("\n# parity: all %zu lanes bit-identical to scalar runs\n",
+  double philox_fresh_rate =
+      static_cast<double>(kLanes) / philox_fresh_seconds;
+  double philox_batch_rate =
+      static_cast<double>(kLanes) / philox_warm_seconds;
+  std::printf("philox fresh : %6.2f s  (%7.2f seeds/s)\n",
+              philox_fresh_seconds, philox_fresh_rate);
+  std::printf("philox x%-3zu  : %6.2f s  (%7.2f seeds/s)\n", kLanes,
+              philox_warm_seconds, philox_batch_rate);
+  std::printf("\n# parity: all %zu lanes bit-identical to scalar runs "
+              "(both rng planes)\n",
               kLanes);
   std::printf("# speedup: %.1fx vs fresh, %.1fx vs rerun; "
               "allocs/batched-tick: %.3f\n",
               batch_rate / fresh_rate, batch_rate / rerun_rate,
               allocs_per_tick);
+  std::printf("# philox speedup: %.1fx vs philox fresh; "
+              "allocs/batched-tick: %.3f (%s kernels)\n",
+              philox_batch_rate / philox_fresh_rate, philox_allocs_per_tick,
+              std::string(SimdLevelName(ActiveSimdLevel())).c_str());
 
   std::vector<BenchRecord> records;
   BenchRecord fresh;
@@ -213,6 +284,25 @@ int main() {
   batched.extra["speedup_vs_rerun"] = batch_rate / rerun_rate;
   batched.extra["parity_checked_lanes"] = static_cast<double>(kLanes);
   records.push_back(std::move(batched));
+  BenchRecord philox_fresh;
+  philox_fresh.name = "batch/static24h/scalar_fresh_philox";
+  philox_fresh.wall_seconds = philox_fresh_seconds;
+  philox_fresh.items_per_second = philox_fresh_rate;
+  philox_fresh.extra["seeds"] = static_cast<double>(kLanes);
+  philox_fresh.extra["ticks_per_run"] = static_cast<double>(ticks_per_run);
+  records.push_back(std::move(philox_fresh));
+  BenchRecord philox_batched;
+  philox_batched.name = "batch/static24h/batched_philox";
+  philox_batched.wall_seconds = philox_warm_seconds;
+  philox_batched.items_per_second = philox_batch_rate;
+  philox_batched.extra["lanes"] = static_cast<double>(kLanes);
+  philox_batched.extra["allocs_per_tick"] = philox_allocs_per_tick;
+  philox_batched.extra["speedup_vs_fresh"] =
+      philox_batch_rate / philox_fresh_rate;
+  philox_batched.extra["parity_checked_lanes"] = static_cast<double>(kLanes);
+  philox_batched.extra["avx2"] =
+      ActiveSimdLevel() == SimdLevel::kAvx2 ? 1.0 : 0.0;
+  records.push_back(std::move(philox_batched));
   WriteBenchJson("BENCH_batch.json", records);
   return 0;
 }

@@ -1,0 +1,175 @@
+// Microbenchmarks of the two draw disciplines: legacy xoshiro256**
+// versus counter-based Philox4x32-10, scalar and 64-lane batched.
+// These are the raw draws/sec numbers behind the batched engine's
+// philox speedup (docs/batching.md) — the batched rows show what the
+// SIMD lane kernels recover from Philox's higher per-draw cost.
+//
+// Also reports the fastmath-vs-libm accuracy of the pinned sincos
+// kernel (max ulp over the Box–Muller domain) as a record, so a
+// fastmath regression shows up in the perf trajectory, not just in
+// the unit tests. Records land in BENCH_rng.json — a separate
+// document from micro_sim's BENCH_micro.json so the two binaries can
+// run from the same directory without clobbering each other.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "benchmark_json.h"
+#include "common/fastmath.h"
+#include "common/philox.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace autoglobe;
+
+void BM_XoshiroUniformScalar(benchmark::State& state) {
+  Rng rng(42);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += rng.NextDouble();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XoshiroUniformScalar);
+
+void BM_XoshiroNormalScalar(benchmark::State& state) {
+  Rng rng(42);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += rng.Normal(0.0, 1.0);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XoshiroNormalScalar);
+
+void BM_PhiloxUniformScalar(benchmark::State& state) {
+  PhiloxRng rng(42);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += rng.NextDouble();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhiloxUniformScalar);
+
+void BM_PhiloxNormalScalar(benchmark::State& state) {
+  PhiloxRng rng(42);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += rng.NormalUnit();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhiloxNormalScalar);
+
+// 64 lanes drawn through the dispatch-selected row kernels (AVX2
+// where the CPU has it): items are individual draws, so the ratio to
+// the scalar philox row is the SIMD recovery factor.
+constexpr size_t kLanes = 64;
+constexpr size_t kDrawsPerIter = 16;
+
+void BM_PhiloxUniformBatch64(benchmark::State& state) {
+  PhiloxLanes lanes;
+  lanes.Resize(kLanes);
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    lanes.SeedLane(lane, 42 + lane);
+  }
+  std::vector<double> out(kLanes * kDrawsPerIter);
+  for (auto _ : state) {
+    FillUniform(lanes, kDrawsPerIter, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kLanes * kDrawsPerIter));
+}
+BENCHMARK(BM_PhiloxUniformBatch64);
+
+void BM_PhiloxNormalBatch64(benchmark::State& state) {
+  PhiloxLanes lanes;
+  lanes.Resize(kLanes);
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    lanes.SeedLane(lane, 42 + lane);
+  }
+  std::vector<double> out(kLanes * kDrawsPerIter);
+  for (auto _ : state) {
+    FillNormal(lanes, kDrawsPerIter, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kLanes * kDrawsPerIter));
+}
+BENCHMARK(BM_PhiloxNormalBatch64);
+
+// Ulp distance via the ordered-integer mapping of IEEE doubles (the
+// standard monotone bijection), so values straddling zero still get
+// a meaningful distance.
+int64_t OrderedBits(double x) {
+  uint64_t u = fastmath_detail::BitsOf(x);
+  const int64_t s = static_cast<int64_t>(u);
+  return s < 0 ? static_cast<int64_t>(0x8000000000000000ull - u) : s;
+}
+
+uint64_t UlpDistance(double a, double b) {
+  const int64_t oa = OrderedBits(a);
+  const int64_t ob = OrderedBits(b);
+  return static_cast<uint64_t>(oa > ob ? oa - ob : ob - oa);
+}
+
+/// Sweeps the Box–Muller angle domain [0, 2*pi) and reports the worst
+/// sin/cos deviation of the pinned fastmath kernel from this
+/// machine's libm. This is a *report*, not a gate: libm is allowed to
+/// drift between platforms (that is why fastmath exists); the record
+/// tracks how far apart the two are on the machine that produced it.
+bench::BenchRecord SinCosUlpRecord() {
+  constexpr int kSamples = 1 << 20;
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  uint64_t max_ulp_sin = 0;
+  uint64_t max_ulp_cos = 0;
+  bench::WallTimer timer;
+  for (int i = 0; i < kSamples; ++i) {
+    // Offset by half a step so theta stays inside [0, 2*pi).
+    const double theta =
+        (static_cast<double>(i) + 0.5) * (kTwoPi / kSamples);
+    double fast_sin;
+    double fast_cos;
+    FastSinCos(theta, &fast_sin, &fast_cos);
+    const uint64_t ds = UlpDistance(fast_sin, std::sin(theta));
+    const uint64_t dc = UlpDistance(fast_cos, std::cos(theta));
+    if (ds > max_ulp_sin) max_ulp_sin = ds;
+    if (dc > max_ulp_cos) max_ulp_cos = dc;
+  }
+  bench::BenchRecord record;
+  record.name = "rng/fastmath_sincos_vs_libm";
+  record.wall_seconds = timer.Seconds();
+  record.items_per_second =
+      static_cast<double>(kSamples) / record.wall_seconds;
+  record.extra["max_ulp_sin"] = static_cast<double>(max_ulp_sin);
+  record.extra["max_ulp_cos"] = static_cast<double>(max_ulp_cos);
+  record.extra["samples"] = static_cast<double>(kSamples);
+  std::printf("fastmath sincos vs libm over [0, 2pi): max ulp sin=%llu "
+              "cos=%llu (%d samples)\n",
+              static_cast<unsigned long long>(max_ulp_sin),
+              static_cast<unsigned long long>(max_ulp_cos), kSamples);
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  autoglobe::bench::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::vector<autoglobe::bench::BenchRecord> records = reporter.records();
+  records.push_back(SinCosUlpRecord());
+  autoglobe::bench::WriteBenchJson("BENCH_rng.json", records);
+  return 0;
+}

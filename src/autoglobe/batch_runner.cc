@@ -9,7 +9,9 @@
 namespace autoglobe {
 
 BatchRunner::BatchRunner(RunnerConfig config, std::vector<BatchLane> lanes)
-    : config_(std::move(config)), lanes_(std::move(lanes)) {}
+    : config_(std::move(config)),
+      lanes_(std::move(lanes)),
+      kernels_(&GetLaneKernels()) {}
 
 Status BatchRunner::CheckEligibility(const RunnerConfig& config) {
   if (config.tick <= Duration::Zero()) {
@@ -81,6 +83,7 @@ Status BatchRunner::Init(const Landscape& landscape) {
   const size_t L = lanes_.size();
   engine_ = std::make_unique<workload::BatchDemandEngine>(&cluster_, L);
   AG_RETURN_IF_ERROR(landscape.Build(&cluster_, engine_.get()));
+  engine_->set_rng_kind(config_.rng_kind);
   engine_->set_distribution(config_.distribution);
   engine_->set_fluctuation_per_minute(config_.fluctuation_per_minute);
   engine_->set_overload_threshold(config_.overload_threshold);
@@ -149,6 +152,7 @@ Status BatchRunner::Init(const Landscape& landscape) {
     subject.hist.assign(subject.cap * L, 0.0);
     subject.phase.assign(L, 0);
     subject.watch_started.assign(L, 0);
+    subject.normal_mask.assign((L + 63) / 64, ~uint64_t{0});
     subjects_.push_back(std::move(subject));
     return Status::OK();
   };
@@ -168,6 +172,8 @@ Status BatchRunner::Init(const Landscape& landscape) {
   triggers_.assign(L, 0);
   metrics_.assign(L, RunMetrics{});
   service_loads_.assign(L, 0.0);
+  watch_sum_.assign(L, 0.0);
+  expiring_.assign(L, 0);
   ResetRunState();
   return Status::OK();
 }
@@ -190,6 +196,10 @@ void BatchRunner::ResetRunState() {
               int64_t{0});
     subject.watching = 0;
     subject.homogeneous = true;
+    subject.next_expiry = Subject::kNoExpiry;
+    subject.hist_slot = 0;
+    std::fill(subject.normal_mask.begin(), subject.normal_mask.end(),
+              ~uint64_t{0});
   }
   std::fill(load_sum_.begin(), load_sum_.end(), 0.0);
   load_samples_ = 0;
@@ -259,39 +269,22 @@ void BatchRunner::TickOnce(int64_t k) {
     const double* cpu_row =
         engine_->ServerCpuRow(static_cast<infra::DenseId>(p));
     // The per-tick archive sample is the whole lane row at once.
-    std::copy_n(cpu_row, L,
-                subject.hist.data() +
-                    static_cast<size_t>((k - 1) % subject.cap) * L);
-    // Straight-line math first (vectorizes), the branchy watch state
-    // machine in its own pass.
+    std::copy_n(cpu_row, L, subject.hist.data() + subject.hist_slot * L);
+    // Straight-line math first (the smoothing-ring and streak row
+    // kernels, AVX2 where available), the branchy watch state machine
+    // in its own pass. Add-then-evict, exactly like
+    // SimulationRunner's ring.
     if (full) {
-      for (size_t lane = 0; lane < L; ++lane) {
-        const double cpu = cpu_row[lane];
-        load_sum_[lane] += cpu;
-        // Add-then-evict, exactly like SimulationRunner's ring.
-        sums[lane] += cpu;
-        sums[lane] -= ring[lane];
-        ring[lane] = cpu;
-      }
+      kernels_->smooth_full_row(load_sum_.data(), sums, ring, cpu_row, L);
     } else {
-      for (size_t lane = 0; lane < L; ++lane) {
-        const double cpu = cpu_row[lane];
-        load_sum_[lane] += cpu;
-        sums[lane] += cpu;
-        ring[lane] = cpu;
-      }
+      kernels_->smooth_fill_row(load_sum_.data(), sums, ring, cpu_row, L);
     }
-    for (size_t lane = 0; lane < L; ++lane) {
-      const double smoothed = sums[lane] / inv_count;
-      if (smoothed > overload_threshold) {
-        overload_minutes_[lane] += tick_minutes;
-        streaks[lane] += tick_minutes;
-        max_streak_[lane] = std::max(max_streak_[lane], streaks[lane]);
-      } else {
-        streaks[lane] = 0.0;
-      }
-    }
+    kernels_->streak_row(overload_minutes_.data(), streaks,
+                         max_streak_.data(), sums, inv_count,
+                         overload_threshold, tick_minutes, L);
     ObserveRowReplica(subject, cpu_row, k);
+    subject.hist_slot =
+        subject.hist_slot + 1 == subject.cap ? 0 : subject.hist_slot + 1;
     if (full) {
       window_head_[p] = (head + 1) % window_ticks_;
     } else {
@@ -302,12 +295,13 @@ void BatchRunner::TickOnce(int64_t k) {
   const size_t num_services = subjects_.size() - num_servers_;
   for (size_t q = 0; q < num_services; ++q) {
     Subject& subject = subjects_[num_servers_ + q];
-    engine_->ServiceLoadAll(static_cast<infra::DenseId>(q),
-                            service_loads_.data());
-    std::copy_n(service_loads_.data(), L,
-                subject.hist.data() +
-                    static_cast<size_t>((k - 1) % subject.cap) * L);
-    ObserveRowReplica(subject, service_loads_.data(), k);
+    // The service row is computed straight into its archive slot and
+    // observed from there — no bounce through a scratch row.
+    double* hist_row = subject.hist.data() + subject.hist_slot * L;
+    engine_->ServiceLoadAll(static_cast<infra::DenseId>(q), hist_row);
+    ObserveRowReplica(subject, hist_row, k);
+    subject.hist_slot =
+        subject.hist_slot + 1 == subject.cap ? 0 : subject.hist_slot + 1;
   }
 }
 
@@ -324,9 +318,13 @@ void BatchRunner::ObserveRowReplica(Subject& subject, const double* loads,
     // scan usually proves the whole row is a no-op.
     size_t over = 0;
     size_t under = 0;
-    for (size_t lane = 0; lane < L; ++lane) {
-      over += loads[lane] > overload;
-      under += loads[lane] < idle;
+    for (size_t base = 0; base < L; base += 64) {
+      uint64_t over_mask = 0;
+      uint64_t under_mask = 0;
+      kernels_->band_mask_row(&over_mask, &under_mask, loads + base,
+                              overload, idle, std::min<size_t>(64, L - base));
+      over += static_cast<size_t>(__builtin_popcountll(over_mask));
+      under += static_cast<size_t>(__builtin_popcountll(under_mask));
     }
     if (over == 0 && under == 0) return;
     // Lanes usually cross a threshold together (e.g. the whole batch
@@ -337,7 +335,15 @@ void BatchRunner::ObserveRowReplica(Subject& subject, const double* loads,
                 over == L ? kWatchingOverload : kWatchingIdle);
       std::fill(subject.watch_started.begin(),
                 subject.watch_started.end(), now_sec);
+      std::fill(subject.normal_mask.begin(), subject.normal_mask.end(),
+                uint64_t{0});
+      if ((L & 63) != 0) {
+        subject.normal_mask.back() = ~uint64_t{0} << (L & 63);
+      }
       subject.watching = L;
+      subject.next_expiry =
+          now_sec +
+          (over == L ? subject.overload_watch_sec : idle_watch_sec_);
       return;
     }
     subject.homogeneous = false;
@@ -348,22 +354,21 @@ void BatchRunner::ObserveRowReplica(Subject& subject, const double* loads,
         watching_overload ? subject.overload_watch_sec : idle_watch_sec_;
     if (now_sec - subject.watch_started[0] < watch_sec) return;
     std::fill(subject.phase.begin(), subject.phase.end(), kNormal);
+    std::fill(subject.normal_mask.begin(), subject.normal_mask.end(),
+              ~uint64_t{0});
     subject.watching = 0;
+    subject.next_expiry = Subject::kNoExpiry;
     // Watch-time mean, all lanes at once: the newest-first tick walk
     // is the outer loop, so each lane still sums the exact scalar
     // sequence while the adds vectorize across the row.
-    const int64_t cap = static_cast<int64_t>(subject.cap);
     int64_t j_min = (now_sec - watch_sec) / tick_sec_ + 1;
     if (j_min < 1) j_min = 1;
     // service_loads_ doubles as scratch here; `loads` may alias it but
     // is not read on the expiry path (the verdict uses hist only).
     double* sum = service_loads_.data();
-    std::fill_n(sum, L, 0.0);
-    for (int64_t j = k; j >= j_min; --j) {
-      const double* hist_row =
-          subject.hist.data() + static_cast<size_t>((j - 1) % cap) * L;
-      for (size_t lane = 0; lane < L; ++lane) sum[lane] += hist_row[lane];
-    }
+    kernels_->window_sum_rows(sum, subject.hist.data(), subject.cap,
+                              static_cast<size_t>(k - j_min + 1),
+                              subject.hist_slot, L);
     const double count = static_cast<double>(k - j_min + 1);
     for (size_t lane = 0; lane < L; ++lane) {
       const double average = sum[lane] / count;
@@ -373,56 +378,124 @@ void BatchRunner::ObserveRowReplica(Subject& subject, const double* loads,
     }
     return;
   }
-  for (size_t lane = 0; lane < L; ++lane) {
-    ObserveReplica(subject, lane, loads[lane], k);
+  // Divergent row, columnar: the lanes are independent, so the scalar
+  // monitor's per-lane state machine (monitoring.cc) splits into an
+  // arm pass and an expiry pass. Arming first is safe — a lane armed
+  // this tick cannot also expire this tick (watch times are
+  // positive), and an expiring lane returns to Normal without
+  // re-arming until the next tick, exactly like the scalar monitor.
+  uint8_t* phase = subject.phase.data();
+  int64_t* started = subject.watch_started.data();
+  // A threshold crossing only *arms* the watch; the trigger decision
+  // waits for the watch-time mean (monitoring.cc, Phase::kNormal).
+  // Only a lane that is both out of band AND still Normal can arm —
+  // masking with normal_mask skips the (typically many) lanes whose
+  // loads are out of band because they are already mid-watch.
+  uint64_t* normal = subject.normal_mask.data();
+  for (size_t base = 0, w = 0; base < L; base += 64, ++w) {
+    uint64_t over_mask = 0;
+    uint64_t under_mask = 0;
+    kernels_->band_mask_row(&over_mask, &under_mask, loads + base,
+                            overload, idle, std::min<size_t>(64, L - base));
+    uint64_t out = (over_mask | under_mask) & normal[w];
+    while (out != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(out));
+      out &= out - 1;
+      normal[w] &= ~(uint64_t{1} << bit);
+      const size_t lane = base + bit;
+      if ((over_mask >> bit) & 1) {
+        phase[lane] = kWatchingOverload;
+        started[lane] = now_sec;
+        ++subject.watching;
+        subject.next_expiry = std::min(
+            subject.next_expiry, now_sec + subject.overload_watch_sec);
+      } else {
+        phase[lane] = kWatchingIdle;
+        started[lane] = now_sec;
+        ++subject.watching;
+        subject.next_expiry =
+            std::min(subject.next_expiry, now_sec + idle_watch_sec_);
+      }
+    }
+  }
+  if (now_sec >= subject.next_expiry) {
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool watching_overload = pass == 0;
+      const uint8_t kind =
+          watching_overload ? kWatchingOverload : kWatchingIdle;
+      const int64_t watch_sec =
+          watching_overload ? subject.overload_watch_sec : idle_watch_sec_;
+      uint32_t* expiring = expiring_.data();
+      size_t n_exp = 0;
+      for (size_t base = 0, w = 0; base < L; base += 64, ++w) {
+        uint64_t watch = ~normal[w];
+        while (watch != 0) {
+          const unsigned bit = static_cast<unsigned>(__builtin_ctzll(watch));
+          watch &= watch - 1;
+          const size_t lane = base + bit;
+          if (phase[lane] == kind && now_sec - started[lane] >= watch_sec) {
+            expiring[n_exp++] = static_cast<uint32_t>(lane);
+          }
+        }
+      }
+      if (n_exp == 0) continue;
+      // LoadArchive::Average over (now - watch, now]: the samples sit
+      // on the uniform tick grid j * tick, j = 1..k, summed
+      // newest-first. Every lane of this kind expiring now shares the
+      // same window — j_min depends on the watch length, not the arm
+      // time — so when several expire together one row-major walk
+      // sums them all at once: each lane still adds its exact scalar
+      // sequence while the adds vectorize across the row. For a few
+      // stragglers the lane-strided walk is cheaper.
+      int64_t j_min = (now_sec - watch_sec) / tick_sec_ + 1;
+      if (j_min < 1) j_min = 1;
+      const size_t rows = static_cast<size_t>(k - j_min + 1);
+      const size_t newest_slot = subject.hist_slot;
+      double* sum = watch_sum_.data();
+      if (n_exp >= 2) {
+        kernels_->window_sum_rows(sum, subject.hist.data(), subject.cap,
+                                  rows, newest_slot, L);
+      } else {
+        const size_t lane = expiring[0];
+        double s = 0.0;
+        size_t slot = newest_slot;
+        for (size_t r = 0; r < rows; ++r) {
+          s += subject.hist[slot * L + lane];
+          slot = slot == 0 ? subject.cap - 1 : slot - 1;
+        }
+        sum[lane] = s;
+      }
+      const double count = static_cast<double>(k - j_min + 1);
+      const double threshold = watching_overload ? overload : idle;
+      for (size_t e = 0; e < n_exp; ++e) {
+        const size_t lane = expiring[e];
+        phase[lane] = kNormal;
+        normal[lane >> 6] |= uint64_t{1} << (lane & 63);
+        --subject.watching;
+        const double average = sum[lane] / count;
+        const bool fired = watching_overload ? average > threshold
+                                             : average < threshold;
+        if (fired) ++triggers_[lane];
+      }
+    }
+    // Re-derive the earliest remaining deadline from the survivors.
+    int64_t next = Subject::kNoExpiry;
+    for (size_t base = 0, w = 0; base < L; base += 64, ++w) {
+      uint64_t watch = ~normal[w];
+      while (watch != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(watch));
+        watch &= watch - 1;
+        const size_t lane = base + bit;
+        const int64_t watch_sec = phase[lane] == kWatchingOverload
+                                      ? subject.overload_watch_sec
+                                      : idle_watch_sec_;
+        next = std::min(next, started[lane] + watch_sec);
+      }
+    }
+    subject.next_expiry = next;
   }
   // Divergent rows re-converge once every lane is back in Normal.
   if (subject.watching == 0) subject.homogeneous = true;
-}
-
-void BatchRunner::ObserveReplica(Subject& subject, size_t lane, double load,
-                                 int64_t k) {
-  enum : uint8_t { kNormal = 0, kWatchingOverload = 1, kWatchingIdle = 2 };
-  const size_t L = lanes_.size();
-  const int64_t cap = static_cast<int64_t>(subject.cap);
-  // The caller already recorded this tick's sample into subject.hist.
-  const int64_t now_sec = k * tick_sec_;
-  uint8_t& phase = subject.phase[lane];
-  if (phase == kNormal) {
-    // A threshold crossing only *arms* the watch; the trigger decision
-    // waits for the watch-time mean (monitoring.cc, Phase::kNormal).
-    if (load > config_.monitor.overload_threshold) {
-      phase = kWatchingOverload;
-      subject.watch_started[lane] = now_sec;
-      ++subject.watching;
-    } else if (load < subject.idle_threshold) {
-      phase = kWatchingIdle;
-      subject.watch_started[lane] = now_sec;
-      ++subject.watching;
-    }
-    return;
-  }
-  const bool overload = phase == kWatchingOverload;
-  const int64_t watch_sec =
-      overload ? subject.overload_watch_sec : idle_watch_sec_;
-  if (now_sec - subject.watch_started[lane] < watch_sec) return;
-  phase = kNormal;
-  --subject.watching;
-  // LoadArchive::Average over (now - watch, now]: the samples sit on
-  // the uniform tick grid j * tick, j = 1..k, and the archive sums
-  // them newest-first — replicate both the member set and the order so
-  // the mean is bit-identical.
-  int64_t j_min = (now_sec - watch_sec) / tick_sec_ + 1;
-  if (j_min < 1) j_min = 1;
-  double sum = 0.0;
-  for (int64_t j = k; j >= j_min; --j) {
-    sum += subject.hist[static_cast<size_t>((j - 1) % cap) * L + lane];
-  }
-  const double average = sum / static_cast<double>(k - j_min + 1);
-  const bool fired = overload
-                         ? average > config_.monitor.overload_threshold
-                         : average < subject.idle_threshold;
-  if (fired) ++triggers_[lane];
 }
 
 void BatchRunner::ApplyWarmupReset() {

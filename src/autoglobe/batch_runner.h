@@ -2,6 +2,7 @@
 #define AUTOGLOBE_AUTOGLOBE_BATCH_RUNNER_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,12 +88,28 @@ class BatchRunner {
     /// (`hist[slot * lanes + lane]`): the watch-time mean recomputes
     /// exactly like LoadArchive::Average (newest-first sum).
     size_t cap = 0;
+    /// Ring slot holding the current tick's row — advanced with
+    /// wraparound after the tick's observation, standing in for
+    /// (k - 1) % cap without the per-tick integer division.
+    size_t hist_slot = 0;
     std::vector<double> hist;
     std::vector<uint8_t> phase;          // per lane (Phase enum)
     std::vector<int64_t> watch_started;  // per lane, seconds
+    /// Bit l of word l/64 is set iff phase[l] == Normal; bits past the
+    /// lane count stay set. Lets the arm pass visit only the lanes
+    /// that can actually arm (out-of-band AND Normal) and the expiry
+    /// passes visit only the watching lanes (~normal_mask).
+    std::vector<uint64_t> normal_mask;
     /// Lanes currently in a watch phase. While 0, the whole row can
     /// be dismissed with one in-band scan (see ObserveRowReplica).
     size_t watching = 0;
+    /// Earliest second any watching lane's window can close
+    /// (kNoExpiry while none is watching). Divergent rows compare
+    /// against this once per tick instead of re-checking every lane's
+    /// countdown.
+    static constexpr int64_t kNoExpiry =
+        std::numeric_limits<int64_t>::max();
+    int64_t next_expiry = kNoExpiry;
     /// True while every lane is in the same phase with the same watch
     /// start (lanes usually arm and expire in lockstep — e.g. every
     /// lane going idle overnight). Lets the whole row run the watch
@@ -109,8 +126,6 @@ class BatchRunner {
   /// dismissal when no lane is watching and every load is in band.
   void ObserveRowReplica(Subject& subject, const double* loads,
                          int64_t k);
-  void ObserveReplica(Subject& subject, size_t lane, double load,
-                      int64_t k);
   void ApplyWarmupReset();
   void Fold();
 
@@ -118,6 +133,8 @@ class BatchRunner {
   std::vector<BatchLane> lanes_;
   infra::Cluster cluster_;
   std::unique_ptr<workload::BatchDemandEngine> engine_;
+  /// Active row-kernel tier for the smoothing/streak rows.
+  const LaneKernels* kernels_;
 
   int64_t tick_sec_ = 60;
   int64_t idle_watch_sec_ = 0;
@@ -148,6 +165,8 @@ class BatchRunner {
   std::vector<int64_t> triggers_;         // per lane
   std::vector<RunMetrics> metrics_;       // per lane
   std::vector<double> service_loads_;     // per-tick scratch, per lane
+  std::vector<double> watch_sum_;         // expiry-walk scratch, per lane
+  std::vector<uint32_t> expiring_;        // expiring-lane index scratch
 };
 
 }  // namespace autoglobe

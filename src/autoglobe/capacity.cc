@@ -79,6 +79,7 @@ Result<CapacityStep> RunStep(Scenario scenario, double scale,
   RunnerConfig config = MakeScenarioConfig(scenario, scale, seed);
   config.duration = options.run_duration;
   config.metrics_warmup = options.warmup;
+  config.rng_kind = options.rng_kind;
   AG_ASSIGN_OR_RETURN(std::unique_ptr<SimulationRunner> runner,
                       SimulationRunner::Create(landscape, config));
   AG_RETURN_IF_ERROR(runner->Run());
@@ -157,6 +158,7 @@ RunnerConfig SweepConfig(Scenario scenario, const CapacityOptions& options) {
                                            options.seed);
   config.duration = options.run_duration;
   config.metrics_warmup = options.warmup;
+  config.rng_kind = options.rng_kind;
   return config;
 }
 

@@ -63,6 +63,10 @@ struct CapacityOptions {
   /// a step depends only on its index, never on execution order, so
   /// sweep results are bit-identical at any parallelism.
   uint64_t seed_stride = 0;
+  /// Draw discipline for every step (see RunnerConfig::rng_kind).
+  /// kPhilox makes each step's noise a pure function of (seed, draw
+  /// index) and unlocks the SIMD draw kernels on the batched path.
+  RngKind rng_kind = RngKind::kXoshiro;
   /// Worker threads for the sweep. 1 = sequential (steps stop at the
   /// first failure); N > 1 runs steps speculatively on N workers and
   /// truncates afterwards — same result, less wall-clock. 0 = one

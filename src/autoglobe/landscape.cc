@@ -77,6 +77,11 @@ void Landscape::ToXml(xml::Element* out) const {
     service.ToXml(services_el->AddChild("service"));
   }
   xml::Element* workload_el = out->AddChild("workload");
+  if (rng_kind != RngKind::kXoshiro) {
+    // Only non-default disciplines are serialized, so legacy exports
+    // stay byte-identical.
+    workload_el->SetAttribute("rng", std::string(RngKindName(rng_kind)));
+  }
   for (const ServiceDemandSpec& spec : demand) {
     xml::Element* demand_el = workload_el->AddChild("demand");
     demand_el->SetAttribute("service", spec.service);
@@ -125,6 +130,13 @@ Result<Landscape> Landscape::FromXml(const xml::Element& element) {
     landscape.services.push_back(std::move(spec));
   }
   if (const xml::Element* workload_el = element.FindChild("workload")) {
+    std::string_view rng = workload_el->AttributeOr("rng", "xoshiro");
+    if (!ParseRngKind(rng, &landscape.rng_kind)) {
+      return Status::InvalidArgument(
+          StrFormat("workload: unknown rng discipline '%s' "
+                    "(expected 'xoshiro' or 'philox')",
+                    std::string(rng).c_str()));
+    }
     for (const xml::Element* demand_el :
          workload_el->FindChildren("demand")) {
       ServiceDemandSpec spec;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng_kind.h"
 #include "infra/cluster.h"
 #include "workload/demand.h"
 #include "xmlcfg/xml.h"
@@ -39,6 +40,11 @@ struct Landscape {
   std::vector<infra::ServiceSpec> services;
   std::vector<workload::ServiceDemandSpec> demand;
   std::vector<workload::SubsystemSpec> subsystems;
+  /// Draw discipline of the workload's noise streams (DESIGN.md §16).
+  /// Serialized as the `rng` attribute of the `<workload>` element;
+  /// absent means the legacy xoshiro stream, so existing landscape
+  /// files keep their golden traces.
+  RngKind rng_kind = RngKind::kXoshiro;
   /// (service, server) pairs placed at simulation start.
   std::vector<std::pair<std::string, std::string>> initial_allocation;
 

@@ -114,6 +114,7 @@ Status SimulationRunner::Init(const Landscape& landscape) {
 
   demand_ = std::make_unique<workload::DemandEngine>(&cluster_,
                                                      Rng(config_.seed));
+  demand_->SeedRng(config_.seed, config_.rng_kind);
   AG_RETURN_IF_ERROR(landscape.Build(&cluster_, demand_.get()));
   demand_->set_user_scale(config_.user_scale);
   demand_->set_distribution(config_.distribution);
@@ -393,7 +394,7 @@ Status SimulationRunner::ResetForRerun(uint64_t seed, double user_scale) {
   config_.user_scale = user_scale;
 
   simulator_.Reset();
-  demand_->ResetRunState(Rng(seed));
+  demand_->ResetRunState(seed, config_.rng_kind);
   demand_->set_user_scale(user_scale);
   failure_rng_ = Rng(seed ^ 0xfa11fa11u);
   archive_.ClearSamples();

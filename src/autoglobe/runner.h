@@ -13,6 +13,7 @@
 #include "autoglobe/sla.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/rng_kind.h"
 #include "controller/controller.h"
 #include "faults/availability.h"
 #include "faults/injector.h"
@@ -43,6 +44,13 @@ struct RunnerConfig {
   Duration duration = Duration::Hours(80);
   double user_scale = 1.0;
   uint64_t seed = 42;
+  /// Which draw discipline produces workload noise. kXoshiro is the
+  /// legacy sequential stream (all pinned goldens); kPhilox is the
+  /// counter-based stream whose draws are a pure function of
+  /// (seed, draw index) — order-independent, O(1) skip-ahead, and
+  /// bit-identical between scalar, batched, and SIMD evaluation
+  /// (DESIGN.md §16).
+  RngKind rng_kind = RngKind::kXoshiro;
 
   monitor::MonitorConfig monitor;
   infra::ExecutorConfig executor;

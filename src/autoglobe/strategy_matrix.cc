@@ -162,6 +162,7 @@ RunnerConfig MakeStrategyCellConfig(const StrategyMatrixOptions& options,
   RunnerConfig config = MakeScenarioConfig(scenario, options.user_scale, seed);
   config.duration = options.run_duration;
   config.metrics_warmup = options.warmup;
+  config.rng_kind = options.rng_kind;
   config.strategy.kind = kind;
   config.strategy.proportional = options.proportional;
   config.strategy.qlearn = options.qlearn;

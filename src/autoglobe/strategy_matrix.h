@@ -34,6 +34,8 @@ struct StrategyMatrixOptions {
   };
   /// Replication seeds (>= 3 for the headline table).
   std::vector<uint64_t> seeds = {42, 43, 44};
+  /// Draw discipline for every cell (see RunnerConfig::rng_kind).
+  RngKind rng_kind = RngKind::kXoshiro;
   double user_scale = 1.25;
   Duration run_duration = Duration::Hours(24);
   Duration warmup = Duration::Hours(4);

@@ -1,0 +1,25 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace autoglobe {
+
+SimdLevel DetectSimdLevel() {
+  const char* force = std::getenv("AUTOGLOBE_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      std::strcmp(force, "0") != 0) {
+    return SimdLevel::kScalar;
+  }
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+}  // namespace autoglobe

@@ -1,0 +1,40 @@
+#ifndef AUTOGLOBE_COMMON_CPU_FEATURES_H_
+#define AUTOGLOBE_COMMON_CPU_FEATURES_H_
+
+#include <string_view>
+
+namespace autoglobe {
+
+/// The SIMD tiers the lane kernels are built for. kScalar is always
+/// available and bit-identical to kAvx2 by construction (same source,
+/// no FMA, no reassociation — DESIGN.md §16), so dropping tiers is a
+/// throughput decision, never a correctness one.
+enum class SimdLevel {
+  kScalar,
+  kAvx2,
+};
+
+inline constexpr std::string_view SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+/// What this process may use right now: hardware AVX2 support, unless
+/// the AUTOGLOBE_FORCE_SCALAR environment variable is set non-empty
+/// and not "0" (the CI forced-scalar leg). Re-reads the environment
+/// on every call so tests can exercise the override; production code
+/// uses the cached ActiveSimdLevel.
+SimdLevel DetectSimdLevel();
+
+/// DetectSimdLevel resolved once per process (first call wins). All
+/// kernel dispatch goes through this so a run never mixes tiers.
+SimdLevel ActiveSimdLevel();
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_COMMON_CPU_FEATURES_H_

@@ -1,0 +1,155 @@
+#ifndef AUTOGLOBE_COMMON_FASTMATH_H_
+#define AUTOGLOBE_COMMON_FASTMATH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace autoglobe {
+
+/// Deterministic portable elementary functions for the philox draw
+/// discipline.
+///
+/// glibc's log/sin/cos change their last-ulp behaviour between
+/// versions (and differ from other libcs entirely), which would make
+/// golden traces of philox-mode normals libc-dependent. These kernels
+/// are fixed double-precision polynomial evaluations (the classic
+/// fdlibm reductions) with a pinned operation order, so the same bits
+/// come out on every platform — and the identical sequence of adds and
+/// multiplies can be evaluated 4-wide by the AVX2 lane kernels
+/// (`lane_kernels_avx2.cc` mirrors every step with packed-double
+/// intrinsics; no FMA, no reassociation, see DESIGN.md §16).
+///
+/// Domain contract: these are draw kernels, not a libm replacement.
+/// FastLog expects a finite x in (0, 1] (Box–Muller feeds it uniforms
+/// bounded away from zero); FastSinCos expects theta in [0, 2*pi).
+/// Accuracy within those domains is <= 2 ulp against a long-double
+/// reference (tests/common/fastmath_test.cc).
+
+namespace fastmath_detail {
+
+inline uint64_t BitsOf(double x) {
+  uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+inline double DoubleOf(uint64_t u) {
+  double x;
+  std::memcpy(&x, &u, sizeof(x));
+  return x;
+}
+
+}  // namespace fastmath_detail
+
+/// Natural log of x for finite x in (0, 1] — fdlibm's e_log reduction:
+/// x = 2^k * (1+f) with f in [sqrt(2)/2 - 1, sqrt(2) - 1), then a
+/// polynomial in s = f/(2+f).
+inline double FastLog(double x) {
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  constexpr double kLg1 = 6.666666666666735130e-01;
+  constexpr double kLg2 = 3.999999999940941908e-01;
+  constexpr double kLg3 = 2.857142874366239149e-01;
+  constexpr double kLg4 = 2.222219843214978396e-01;
+  constexpr double kLg5 = 1.818357216161805012e-01;
+  constexpr double kLg6 = 1.531383769920937332e-01;
+  constexpr double kLg7 = 1.479819860511658591e-01;
+
+  uint64_t bits = fastmath_detail::BitsOf(x);
+  int32_t hx = static_cast<int32_t>(bits >> 32);
+  int32_t k = (hx >> 20) - 1023;
+  hx &= 0x000fffff;
+  int32_t i = (hx + 0x95f64) & 0x100000;
+  // Normalized x in [sqrt(2)/2, sqrt(2)).
+  uint64_t norm = (static_cast<uint64_t>(hx | (i ^ 0x3ff00000)) << 32) |
+                  (bits & 0xffffffffull);
+  x = fastmath_detail::DoubleOf(norm);
+  k += (i >> 20);
+  double dk = static_cast<double>(k);
+
+  double f = x - 1.0;
+  double s = f / (2.0 + f);
+  double z = s * s;
+  double w = z * z;
+  double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+  double t2 = z * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+  double r = t2 + t1;
+  double hfsq = 0.5 * f * f;
+  return dk * kLn2Hi - ((hfsq - (s * (hfsq + r) + dk * kLn2Lo)) - f);
+}
+
+/// sin and cos of theta for theta in [0, 2*pi) — a floor-based
+/// Cody–Waite reduction to [-pi/4, pi/4] plus fdlibm's k_sin/k_cos
+/// kernels. Both quadrant kernels are always computed and the result
+/// selected, so a 4-wide blend in the AVX2 mirror is bit-equal to the
+/// scalar switch.
+inline void FastSinCos(double theta, double* sin_out, double* cos_out) {
+  constexpr double kInvPio2 = 6.36619772367581382433e-01;
+  constexpr double kPio2_1 = 1.57079632673412561417e+00;
+  constexpr double kPio2_2 = 6.07710050630396597660e-11;
+  constexpr double kPio2_2t = 2.02226624879595063154e-21;
+  constexpr double kS1 = -1.66666666666666324348e-01;
+  constexpr double kS2 = 8.33333333332248946124e-03;
+  constexpr double kS3 = -1.98412698298579493134e-04;
+  constexpr double kS4 = 2.75573137070700676789e-06;
+  constexpr double kS5 = -2.50507602534068634195e-08;
+  constexpr double kS6 = 1.58969099521155010221e-10;
+  constexpr double kC1 = 4.16666666666666019037e-02;
+  constexpr double kC2 = -1.38888888888741095749e-03;
+  constexpr double kC3 = 2.48015872894767294178e-05;
+  constexpr double kC4 = -2.75573143513906633035e-07;
+  constexpr double kC5 = 2.08757232129817482790e-09;
+  constexpr double kC6 = -1.13596475577881948265e-11;
+
+  // floor(x + 0.5), not nearbyint: floor has one IEEE-pinned result
+  // regardless of the rounding mode, and _mm256_floor_pd matches it.
+  double fn = theta * kInvPio2 + 0.5;
+  fn = __builtin_floor(fn);
+  int n = static_cast<int>(fn);
+  // Three-constant Cody–Waite reduction, applied unconditionally
+  // (fdlibm only falls back to it on cancellation, but a data-driven
+  // branch would break the scalar/SIMD lockstep): ~116 bits of pi/2
+  // keep even the near-zero cosine at pi/2 inside the 2-ulp bound.
+  double t1 = theta - fn * kPio2_1;
+  double w = fn * kPio2_2;
+  double r = t1 - w;
+  w = fn * kPio2_2t - ((t1 - r) - w);
+  double x = r - w;
+  double y = (r - x) - w;
+
+  // k_sin(x, y): sin over the reduced argument with correction term.
+  double z = x * x;
+  double zz = z * z;
+  double rs = kS2 + z * (kS3 + z * kS4) + z * zz * (kS5 + z * kS6);
+  double v = z * x;
+  double ks = x - ((z * (0.5 * y - v * rs) - y) - v * kS1);
+
+  // k_cos(x, y).
+  double rc = z * (kC1 + z * (kC2 + z * kC3)) + zz * zz * (kC4 + z * (kC5 + z * kC6));
+  double hz = 0.5 * z;
+  double ww = 1.0 - hz;
+  double kc = ww + (((1.0 - ww) - hz) + (z * rc - x * y));
+
+  switch (n & 3) {
+    case 0:
+      *sin_out = ks;
+      *cos_out = kc;
+      break;
+    case 1:
+      *sin_out = kc;
+      *cos_out = -ks;
+      break;
+    case 2:
+      *sin_out = -ks;
+      *cos_out = -kc;
+      break;
+    default:
+      *sin_out = -kc;
+      *cos_out = ks;
+      break;
+  }
+}
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_COMMON_FASTMATH_H_

@@ -1,0 +1,47 @@
+#ifndef AUTOGLOBE_COMMON_RNG_KIND_H_
+#define AUTOGLOBE_COMMON_RNG_KIND_H_
+
+#include <string_view>
+
+namespace autoglobe {
+
+/// Which draw discipline a run uses.
+///
+/// kXoshiro is the legacy sequential stream (xoshiro256** + libm
+/// Box–Muller); it stays the default so every golden pinned before the
+/// philox plane existed remains byte-identical. kPhilox is the
+/// counter-based discipline: every draw is a pure function of
+/// (seed, draw index), normals go through the portable fastmath
+/// kernels, and scalar / SIMD / batched code paths produce the same
+/// bits by construction (DESIGN.md §16).
+enum class RngKind {
+  kXoshiro,
+  kPhilox,
+};
+
+inline constexpr std::string_view RngKindName(RngKind kind) {
+  switch (kind) {
+    case RngKind::kXoshiro:
+      return "xoshiro";
+    case RngKind::kPhilox:
+      return "philox";
+  }
+  return "xoshiro";
+}
+
+/// Parses "xoshiro" / "philox"; returns false on any other input.
+inline bool ParseRngKind(std::string_view name, RngKind* out) {
+  if (name == "xoshiro") {
+    *out = RngKind::kXoshiro;
+    return true;
+  }
+  if (name == "philox") {
+    *out = RngKind::kPhilox;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_COMMON_RNG_KIND_H_

@@ -15,12 +15,14 @@ using infra::InstanceState;
 using infra::LandscapeIndex;
 
 BatchDemandEngine::BatchDemandEngine(infra::Cluster* cluster, size_t lanes)
-    : cluster_(cluster), lanes_(lanes) {
+    : cluster_(cluster), lanes_(lanes), kernels_(&GetLaneKernels()) {
   AG_CHECK(cluster_ != nullptr);
   AG_CHECK(lanes_ >= 1 && lanes_ <= 1024);
   rng_.reserve(lanes_);
+  philox_.Resize(lanes_);
   for (size_t lane = 0; lane < lanes_; ++lane) {
     rng_.emplace_back(static_cast<uint64_t>(lane));
+    philox_.SeedLane(lane, static_cast<uint64_t>(lane));
   }
   user_scale_.assign(lanes_, 1.0);
   lost_work_wu_.assign(lanes_, 0.0);
@@ -91,6 +93,7 @@ Status BatchDemandEngine::AddSubsystem(SubsystemSpec spec) {
 void BatchDemandEngine::SetLaneSeed(size_t lane, uint64_t seed) {
   AG_CHECK(lane < lanes_);
   rng_[lane] = Rng(seed);
+  philox_.SeedLane(lane, seed);
 }
 
 void BatchDemandEngine::SetLaneUserScale(size_t lane, double scale) {
@@ -445,9 +448,7 @@ void BatchDemandEngine::SyncUsersAll(const LandscapeIndex& index) {
     for (const InstanceRef& ref : instances) {
       size_t row = static_cast<size_t>(ref.id) * L;
       if (uniform && state_[row] != kFailed) {
-        for (size_t lane = 0; lane < L; ++lane) {
-          current[lane] += users_[row + lane];
-        }
+        kernels_->add_row(current, users_.data() + row, L);
         continue;
       }
       for (size_t lane = 0; lane < L; ++lane) {
@@ -555,18 +556,9 @@ void BatchDemandEngine::ApplyFluctuationAll(const LandscapeIndex& index,
       if (uniform) {
         // All lanes share the cluster state: one check for the row.
         if (state_[row] != kRunning) continue;
-        // Two passes: the division vectorizes cleanly on its own, the
-        // argmin update stays branchy but division-free.
-        double* score = scratch_.amount.data();
-        for (size_t lane = 0; lane < L; ++lane) {
-          score[lane] = cpu_row[lane] + 0.001 * users_[row + lane] / denom;
-        }
-        for (size_t lane = 0; lane < L; ++lane) {
-          if (score[lane] < best_score[lane]) {
-            best_score[lane] = score[lane];
-            best_id[lane] = static_cast<uint64_t>(ref.id);
-          }
-        }
+        kernels_->least_loaded_row(best_score, best_id, cpu_row,
+                                   users_.data() + row, denom,
+                                   static_cast<uint64_t>(ref.id), L);
         continue;
       }
       for (size_t lane = 0; lane < L; ++lane) {
@@ -583,13 +575,9 @@ void BatchDemandEngine::ApplyFluctuationAll(const LandscapeIndex& index,
     std::fill_n(moved, L, 0.0);
     for (const InstanceRef& ref : instances) {
       size_t row = static_cast<size_t>(ref.id) * L;
-      uint64_t id = static_cast<uint64_t>(ref.id);
-      for (size_t lane = 0; lane < L; ++lane) {
-        if (best_id[lane] == 0 || best_id[lane] == id) continue;
-        double leave = users_[row + lane] * fraction;
-        users_[row + lane] -= leave;
-        moved[lane] += leave;
-      }
+      kernels_->fluct_move_row(users_.data() + row, moved, best_id,
+                               static_cast<uint64_t>(ref.id), fraction,
+                               L);
     }
     for (size_t lane = 0; lane < L; ++lane) {
       if (best_id[lane] != 0) {
@@ -665,47 +653,75 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
       const bool row_ok = !uniform || state_[row] != kFailed;
       double* fresh_all = scratch_.moved.data();
       if (spec.batch) {
-        for (size_t lane = 0; lane < L; ++lane) {
-          bool ok = row_ok && (uniform || state_[row + lane] != kFailed);
-          fresh_all[lane] =
-              usable[lane] > 0 && ok
-                  ? spec.batch_load_wu * activity * user_scale_[lane] *
-                        perf / usable[lane]
-                  : 0.0;
+        if (uniform) {
+          if (row_ok) {
+            kernels_->fresh_batch_row(fresh_all, usable,
+                                      user_scale_.data(),
+                                      spec.batch_load_wu * activity, perf,
+                                      L);
+          } else {
+            std::fill_n(fresh_all, L, 0.0);
+          }
+        } else {
+          for (size_t lane = 0; lane < L; ++lane) {
+            bool ok = state_[row + lane] != kFailed;
+            fresh_all[lane] =
+                usable[lane] > 0 && ok
+                    ? spec.batch_load_wu * activity * user_scale_[lane] *
+                          perf / usable[lane]
+                    : 0.0;
+          }
         }
       } else if (spec.base_users > 0) {
-        for (size_t lane = 0; lane < L; ++lane) {
-          fresh_all[lane] = users_[row + lane] * activity *
-                            spec.request_cost / kUsersPerPerformanceUnit;
-        }
+        kernels_->fresh_users_row(fresh_all, users_.data() + row,
+                                  activity, spec.request_cost,
+                                  kUsersPerPerformanceUnit, L);
       } else {
         std::fill_n(fresh_all, L, 0.0);
       }
       if (noisy) {
-        for (size_t lane = 0; lane < L; ++lane) {
-          if (fresh_all[lane] > 0) {
-            fresh_all[lane] *=
-                std::max(0.0, rng_[lane].Normal(1.0, spec.noise_stddev));
+        if (rng_kind_ == RngKind::kPhilox) {
+          // Lanes with fresh == 0 draw nothing, exactly like the
+          // conditional scalar draw site — counters never shear.
+          kernels_->philox_noise_row(MakePhiloxLaneView(philox_),
+                                     fresh_all, spec.noise_stddev, L);
+        } else {
+          for (size_t lane = 0; lane < L; ++lane) {
+            if (fresh_all[lane] > 0) {
+              fresh_all[lane] *= std::max(
+                  0.0, rng_[lane].Normal(1.0, spec.noise_stddev));
+            }
           }
         }
       }
       if (spec.shared_queue) {
-        for (size_t lane = 0; lane < L; ++lane) {
-          bool ok = row_ok && (uniform || state_[row + lane] != kFailed);
-          double queued = backlog_wu_[row + lane];
-          if (usable[lane] > 0 && ok && queue_row[lane] > 0) {
-            queued = queue_row[lane] * perf / usable[lane];
+        if (uniform && row_ok) {
+          kernels_->demand_shared_row(
+              demand_wu_.data() + row, service_work, fresh_all,
+              backlog_wu_.data() + row, queue_row, usable,
+              spec.base_load_wu, perf, L);
+        } else if (uniform) {
+          // Row failed in every lane: the shared queue never feeds it.
+          kernels_->demand_plain_row(demand_wu_.data() + row,
+                                     service_work, fresh_all,
+                                     backlog_wu_.data() + row,
+                                     spec.base_load_wu, L);
+        } else {
+          for (size_t lane = 0; lane < L; ++lane) {
+            bool ok = state_[row + lane] != kFailed;
+            double queued = backlog_wu_[row + lane];
+            if (usable[lane] > 0 && ok && queue_row[lane] > 0) {
+              queued = queue_row[lane] * perf / usable[lane];
+            }
+            demand_wu_[row + lane] =
+                spec.base_load_wu + fresh_all[lane] + queued;
+            service_work[lane] += fresh_all[lane];
           }
-          demand_wu_[row + lane] =
-              spec.base_load_wu + fresh_all[lane] + queued;
-          service_work[lane] += fresh_all[lane];
         }
       } else {
-        for (size_t lane = 0; lane < L; ++lane) {
-          demand_wu_[row + lane] = spec.base_load_wu + fresh_all[lane] +
-                                   backlog_wu_[row + lane];
-          service_work[lane] += fresh_all[lane];
-        }
+        kernels_->demand_plain_row(demand_wu_.data() + row, service_work,
+                                   fresh_all, backlog_wu_.data() + row,
+                                   spec.base_load_wu, L);
       }
     }
   }
@@ -718,7 +734,7 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
       if (app_slot < 0) continue;
       const double* app = scratch_.app_work.data() +
                           static_cast<size_t>(app_slot) * L;
-      for (size_t lane = 0; lane < L; ++lane) work[lane] += app[lane];
+      kernels_->add_row(work, app, L);
     }
     auto distribute = [&](int32_t spec_slot, double factor) {
       if (spec_slot < 0) return;
@@ -762,10 +778,15 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
         size_t row = static_cast<size_t>(ref.id) * L;
         double perf = index.ServerPerformance(ref.server);
         if (uniform && state_[row] == kFailed) continue;
+        if (uniform) {
+          kernels_->distribute_row(demand_wu_.data() + row, work, usable,
+                                   factor, perf, L);
+          continue;
+        }
         for (size_t lane = 0; lane < L; ++lane) {
           double w = factor * work[lane];
           if (w > 0 && usable[lane] > 0 &&
-              (uniform || state_[row + lane] != kFailed)) {
+              state_[row + lane] != kFailed) {
             demand_wu_[row + lane] += w * perf / usable[lane];
           }
         }
@@ -790,9 +811,7 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
       if (uniform) {
         std::fill_n(scratch_.serve.data() + row, L, 0.0);
         if (state_[row] == kRunning) {
-          for (size_t lane = 0; lane < L; ++lane) {
-            total_demand[lane] += demand_wu_[row + lane];
-          }
+          kernels_->add_row(total_demand, demand_wu_.data() + row, L);
         }
         continue;
       }
@@ -806,10 +825,15 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
 
     double mem = std::min(1.0, index.ServerUsedMemoryGb(server_id) /
                                    index.ServerMemoryGb(server_id));
-    for (size_t lane = 0; lane < L; ++lane) {
-      double cpu = capacity > 0 ? total_demand[lane] / capacity : 1.0;
-      server_cpu_[s * L + lane] = std::min(1.0, cpu);
-      server_mem_[s * L + lane] = mem;
+    if (capacity > 0) {
+      kernels_->cpu_mem_row(server_cpu_.data() + s * L,
+                            server_mem_.data() + s * L, total_demand,
+                            capacity, mem, L);
+    } else {
+      for (size_t lane = 0; lane < L; ++lane) {
+        server_cpu_[s * L + lane] = 1.0;
+        server_mem_[s * L + lane] = mem;
+      }
     }
 
     // Fits: serve everything (lane-masked). Overloaded lanes keep
@@ -817,9 +841,14 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
     for (const InstanceRef& ref : instances) {
       size_t row = static_cast<size_t>(ref.id) * L;
       if (uniform && state_[row] != kRunning) continue;
+      if (uniform) {
+        kernels_->serve_fit_row(scratch_.serve.data() + row, total_demand,
+                                demand_wu_.data() + row, capacity, L);
+        continue;
+      }
       for (size_t lane = 0; lane < L; ++lane) {
         if (total_demand[lane] <= capacity &&
-            (uniform || state_[row + lane] == kRunning)) {
+            state_[row + lane] == kRunning) {
           scratch_.serve[row + lane] = demand_wu_[row + lane];
         }
       }
@@ -887,11 +916,17 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
       // row, so the lane loops below stay branch-light.
       const bool has_spec = slot >= 0;
       if (shared) {
+        if (capacity > 0) {
+          kernels_->shared_backlog_row(
+              inst_load_.data() + row, served_wu_.data() + row,
+              backlog_wu_.data() + row, shared_sink,
+              demand_wu_.data() + row, scratch_.serve.data() + row,
+              capacity, base_load, dt_minutes, L);
+          continue;
+        }
         for (size_t lane = 0; lane < L; ++lane) {
           size_t i = row + lane;
-          inst_load_[i] =
-              capacity > 0 ? std::min(1.0, demand_wu_[i] / capacity)
-                           : 1.0;
+          inst_load_[i] = 1.0;
           double got = scratch_.serve[i];
           served_wu_[i] = got;
           double unserved = std::max(0.0, demand_wu_[i] - got);
@@ -901,10 +936,23 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
         }
         continue;
       }
+      if (capacity > 0) {
+        // base_load is 0 for spec-less instances; the kernel's
+        // unconditional base-load clamp is exact there (see
+        // lane_kernels.h).
+        kernels_->backlog_row(inst_load_.data() + row,
+                              served_wu_.data() + row,
+                              backlog_wu_.data() + row,
+                              lost_work_wu_.data(),
+                              demand_wu_.data() + row,
+                              scratch_.serve.data() + row, capacity,
+                              has_spec ? base_load : 0.0, cap,
+                              dt_minutes, L);
+        continue;
+      }
       for (size_t lane = 0; lane < L; ++lane) {
         size_t i = row + lane;
-        inst_load_[i] =
-            capacity > 0 ? std::min(1.0, demand_wu_[i] / capacity) : 1.0;
+        inst_load_[i] = 1.0;
         double got = scratch_.serve[i];
         served_wu_[i] = got;
         double unserved = std::max(0.0, demand_wu_[i] - got);
@@ -920,11 +968,9 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
       }
     }
 
-    for (size_t lane = 0; lane < L; ++lane) {
-      if (server_cpu_[s * L + lane] > overload_threshold_) {
-        overload_minutes_[lane] += dt_minutes;
-      }
-    }
+    kernels_->overload_row(overload_minutes_.data(),
+                           server_cpu_.data() + s * L,
+                           overload_threshold_, dt_minutes, L);
   }
 
   // Commit shared queues (cap per service; overflow is lost work).
@@ -933,14 +979,8 @@ void BatchDemandEngine::Tick(SimTime now, Duration dt) {
     const double* collected =
         scratch_.shared_unserved.data() + slot * L;
     double* queue = queue_wu_.data() + slot * L;
-    for (size_t lane = 0; lane < L; ++lane) {
-      double queued = collected[lane];
-      if (queued > cap) {
-        lost_work_wu_[lane] += queued - cap;
-        queued = cap;
-      }
-      queue[lane] = queued > 0 ? queued : 0.0;
-    }
+    kernels_->queue_commit_row(queue, lost_work_wu_.data(), collected,
+                               cap, L);
   }
 }
 
@@ -980,8 +1020,7 @@ void BatchDemandEngine::ServiceLoadAll(infra::DenseId service,
   for (const InstanceRef& ref : instances) {
     size_t id = static_cast<size_t>(ref.id);
     if (id >= tracked_.size() || !tracked_[id]) continue;
-    const double* loads = inst_load_.data() + id * L;
-    for (size_t lane = 0; lane < L; ++lane) out[lane] += loads[lane];
+    kernels_->add_row(out, inst_load_.data() + id * L, L);
     ++count;
   }
   if (count == 0) {

@@ -6,8 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "common/lane_kernels.h"
+#include "common/philox.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/rng_kind.h"
 #include "common/sim_time.h"
 #include "infra/cluster.h"
 #include "infra/ids.h"
@@ -58,8 +61,18 @@ class BatchDemandEngine : public DemandModelSink {
   size_t lanes() const { return lanes_; }
 
   /// Re-seeds a lane's RNG stream (matches a scalar engine built with
-  /// `Rng(seed)`).
+  /// `Rng(seed)` — or, in philox mode, `PhiloxRng(seed)`). Both
+  /// disciplines are re-seeded so set_rng_kind can be called in
+  /// either order.
   void SetLaneSeed(size_t lane, uint64_t seed);
+  /// Selects the draw discipline for every lane (default kXoshiro,
+  /// the legacy sequential streams). In kPhilox mode noise draws run
+  /// through the lane-strided counter-based streams — evaluated 4
+  /// lanes at a time by the AVX2 row kernels where available, and
+  /// bit-identical to a scalar DemandEngine in philox mode lane by
+  /// lane (DESIGN.md §16).
+  void set_rng_kind(RngKind kind) { rng_kind_ = kind; }
+  RngKind rng_kind() const { return rng_kind_; }
   /// Per-lane user multiplier (the capacity sweep's +5 % knob — lanes
   /// of one batch typically differ only in scale or seed).
   void SetLaneUserScale(size_t lane, double scale);
@@ -175,7 +188,12 @@ class BatchDemandEngine : public DemandModelSink {
 
   infra::Cluster* cluster_;
   const size_t lanes_;
-  std::vector<Rng> rng_;  // one stream per lane
+  std::vector<Rng> rng_;  // one legacy stream per lane
+  PhiloxLanes philox_;    // lane-strided counter-based streams
+  RngKind rng_kind_ = RngKind::kXoshiro;
+  /// Active row-kernel tier (scalar or AVX2), resolved once at
+  /// construction; all uniform-row hot loops dispatch through it.
+  const LaneKernels* kernels_;
 
   // Registered demand specs, sorted by service name (shared).
   std::vector<ServiceDemandSpec> specs_;

@@ -86,6 +86,18 @@ Status DemandEngine::AddSubsystem(SubsystemSpec spec) {
   return Status::OK();
 }
 
+void DemandEngine::SeedRng(uint64_t seed, RngKind kind) {
+  rng_ = Rng(seed);
+  philox_.Reseed(seed);
+  rng_kind_ = kind;
+}
+
+void DemandEngine::ResetRunState(uint64_t seed, RngKind kind) {
+  ResetRunState(Rng(seed));
+  philox_.Reseed(seed);
+  rng_kind_ = kind;
+}
+
 void DemandEngine::ResetRunState(Rng rng) {
   rng_ = rng;
   std::fill(users_.begin(), users_.end(), 0.0);
@@ -373,7 +385,14 @@ void DemandEngine::Tick(SimTime now, Duration dt) {
                 kUsersPerPerformanceUnit;
       }
       if (fresh > 0 && spec.noise_stddev > 0) {
-        fresh *= std::max(0.0, rng_.Normal(1.0, spec.noise_stddev));
+        if (rng_kind_ == RngKind::kPhilox) {
+          // Same expression as the batched philox_noise_row kernel —
+          // scalar and batched philox runs are bit-identical.
+          fresh *= std::max(
+              0.0, 1.0 + spec.noise_stddev * philox_.NormalUnit());
+        } else {
+          fresh *= std::max(0.0, rng_.Normal(1.0, spec.noise_stddev));
+        }
       }
       double queued = backlog_wu_[id];
       if (spec.shared_queue && usable_capacity > 0 &&

@@ -6,8 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "common/philox.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/rng_kind.h"
 #include "common/sim_time.h"
 #include "infra/cluster.h"
 #include "infra/ids.h"
@@ -137,6 +139,16 @@ class DemandEngine : public DemandModelSink {
   /// SimulationRunner::ResetForRerun).
   void ResetRunState(Rng rng);
 
+  /// ResetRunState variant that also selects the draw discipline:
+  /// both generators are re-seeded from `seed` and subsequent noise
+  /// draws flow through `kind` (see RunnerConfig::rng_kind).
+  void ResetRunState(uint64_t seed, RngKind kind);
+
+  /// Selects the draw discipline and re-seeds both generators without
+  /// touching run state (call before the first Tick).
+  void SeedRng(uint64_t seed, RngKind kind);
+  RngKind rng_kind() const { return rng_kind_; }
+
   /// Global user multiplier (the evaluation's +5 % sweep knob).
   void set_user_scale(double scale) { user_scale_ = scale; }
   double user_scale() const { return user_scale_; }
@@ -256,6 +268,8 @@ class DemandEngine : public DemandModelSink {
 
   infra::Cluster* cluster_;
   Rng rng_;
+  PhiloxRng philox_;
+  RngKind rng_kind_ = RngKind::kXoshiro;
 
   // Registered demand specs, sorted by service name (slot == rank).
   std::vector<ServiceDemandSpec> specs_;

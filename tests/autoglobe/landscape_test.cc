@@ -202,5 +202,45 @@ TEST(LandscapeTest, FromXmlRejectsMissingSections) {
   EXPECT_FALSE(Landscape::FromXml(*doc->root()).ok());
 }
 
+TEST(LandscapeTest, RngDisciplineRoundTripsThroughXml) {
+  // Default (xoshiro) serializes without an rng attribute so legacy
+  // exports stay byte-identical, and parses back as xoshiro.
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  EXPECT_EQ(landscape.rng_kind, RngKind::kXoshiro);
+  xml::Document doc;
+  landscape.ToXml(doc.SetRoot("landscape"));
+  EXPECT_EQ(doc.ToString().find("rng"), std::string::npos);
+  auto reparsed = Landscape::FromXml(*doc.root());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->rng_kind, RngKind::kXoshiro);
+
+  // Philox round-trips through the workload element's rng attribute.
+  landscape.rng_kind = RngKind::kPhilox;
+  xml::Document philox_doc;
+  landscape.ToXml(philox_doc.SetRoot("landscape"));
+  EXPECT_NE(philox_doc.ToString().find("rng=\"philox\""),
+            std::string::npos);
+  auto philox_parsed = xml::Document::Parse(philox_doc.ToString());
+  ASSERT_TRUE(philox_parsed.ok()) << philox_parsed.status();
+  auto philox = Landscape::FromXml(*philox_parsed->root());
+  ASSERT_TRUE(philox.ok()) << philox.status();
+  EXPECT_EQ(philox->rng_kind, RngKind::kPhilox);
+}
+
+TEST(LandscapeTest, FromXmlRejectsUnknownRngDiscipline) {
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  xml::Document doc;
+  landscape.ToXml(doc.SetRoot("landscape"));
+  std::string xml = doc.ToString();
+  size_t pos = xml.find("<workload>");
+  ASSERT_NE(pos, std::string::npos);
+  xml.replace(pos, 10, "<workload rng=\"mersenne\">");
+  auto parsed = xml::Document::Parse(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto result = Landscape::FromXml(*parsed->root());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("mersenne"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace autoglobe

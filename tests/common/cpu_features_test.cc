@@ -1,0 +1,72 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace autoglobe {
+namespace {
+
+// Saves and restores AUTOGLOBE_FORCE_SCALAR around each test so the
+// suite does not leak state into other tests in the binary.
+class CpuFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("AUTOGLOBE_FORCE_SCALAR");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    unsetenv("AUTOGLOBE_FORCE_SCALAR");
+  }
+
+  void TearDown() override {
+    if (had_prev_) {
+      setenv("AUTOGLOBE_FORCE_SCALAR", prev_.c_str(), 1);
+    } else {
+      unsetenv("AUTOGLOBE_FORCE_SCALAR");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST_F(CpuFeaturesTest, ForceScalarEnvOverridesDetection) {
+  setenv("AUTOGLOBE_FORCE_SCALAR", "1", 1);
+  EXPECT_EQ(DetectSimdLevel(), SimdLevel::kScalar);
+}
+
+TEST_F(CpuFeaturesTest, ForceScalarZeroMeansNoOverride) {
+  setenv("AUTOGLOBE_FORCE_SCALAR", "0", 1);
+  SimdLevel forced_off = DetectSimdLevel();
+  unsetenv("AUTOGLOBE_FORCE_SCALAR");
+  EXPECT_EQ(forced_off, DetectSimdLevel());
+}
+
+TEST_F(CpuFeaturesTest, ForceScalarEmptyMeansNoOverride) {
+  setenv("AUTOGLOBE_FORCE_SCALAR", "", 1);
+  SimdLevel empty = DetectSimdLevel();
+  unsetenv("AUTOGLOBE_FORCE_SCALAR");
+  EXPECT_EQ(empty, DetectSimdLevel());
+}
+
+TEST_F(CpuFeaturesTest, DetectionIsStable) {
+  EXPECT_EQ(DetectSimdLevel(), DetectSimdLevel());
+}
+
+TEST_F(CpuFeaturesTest, ActiveLevelIsCachedAndValid) {
+  SimdLevel level = ActiveSimdLevel();
+  EXPECT_TRUE(level == SimdLevel::kScalar || level == SimdLevel::kAvx2);
+  // Cached: repeated calls agree even if the env changes afterwards.
+  setenv("AUTOGLOBE_FORCE_SCALAR", "1", 1);
+  EXPECT_EQ(ActiveSimdLevel(), level);
+}
+
+TEST_F(CpuFeaturesTest, LevelNames) {
+  EXPECT_EQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_EQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace autoglobe

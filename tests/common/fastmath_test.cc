@@ -1,0 +1,119 @@
+#include "common/fastmath.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace autoglobe {
+namespace {
+
+// Distance in ulps between a double result and a long-double reference,
+// measured in units of the double's own spacing around the reference.
+double UlpError(double got, long double ref) {
+  if (static_cast<long double>(got) == ref) return 0.0;
+  double ref_d = static_cast<double>(ref);
+  double spacing = std::nextafter(std::fabs(ref_d),
+                                  std::numeric_limits<double>::infinity()) -
+                   std::fabs(ref_d);
+  if (spacing <= 0.0) spacing = std::numeric_limits<double>::denorm_min();
+  return std::fabs(static_cast<double>(static_cast<long double>(got) - ref)) /
+         spacing;
+}
+
+TEST(FastLogTest, MatchesLongDoubleReferenceOnUnitInterval) {
+  Rng rng(101);
+  double worst = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    double x = rng.NextDouble();
+    if (x <= 0.0) continue;
+    double got = FastLog(x);
+    long double ref = logl(static_cast<long double>(x));
+    double err = UlpError(got, ref);
+    worst = std::max(worst, err);
+    ASSERT_LE(err, 2.0) << "x = " << x;
+  }
+  EXPECT_LE(worst, 2.0);
+}
+
+TEST(FastLogTest, EdgeProbes) {
+  // Smallest uniform Box-Muller can feed it, exact halves, and values
+  // straddling the sqrt(2)/2 normalization split.
+  const double probes[] = {0x1.0p-53, 0.5,
+                           0x1.6a09e667f3bccp-1,  // just below sqrt(2)/2
+                           0x1.6a09e667f3bcdp-1,  // nearest sqrt(2)/2
+                           0x1.fffffffffffffp-1,  // largest < 1
+                           1.0, 0.25, 0.75};
+  for (double x : probes) {
+    double got = FastLog(x);
+    long double ref = logl(static_cast<long double>(x));
+    EXPECT_LE(UlpError(got, ref), 2.0) << "x = " << x;
+  }
+  EXPECT_EQ(FastLog(1.0), 0.0);
+}
+
+TEST(FastSinCosTest, MatchesLongDoubleReferenceOnTwoPi) {
+  constexpr double kTwoPi = 6.28318530717958647692528676655900577;
+  Rng rng(202);
+  double worst_sin = 0.0;
+  double worst_cos = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    double theta = rng.NextDouble() * kTwoPi;
+    double s, c;
+    FastSinCos(theta, &s, &c);
+    long double rs = sinl(static_cast<long double>(theta));
+    long double rc = cosl(static_cast<long double>(theta));
+    double es = UlpError(s, rs);
+    double ec = UlpError(c, rc);
+    worst_sin = std::max(worst_sin, es);
+    worst_cos = std::max(worst_cos, ec);
+    ASSERT_LE(es, 2.0) << "theta = " << theta;
+    ASSERT_LE(ec, 2.0) << "theta = " << theta;
+  }
+  EXPECT_LE(worst_sin, 2.0);
+  EXPECT_LE(worst_cos, 2.0);
+}
+
+TEST(FastSinCosTest, EdgeProbes) {
+  // Quadrant boundaries are the hard cases: near pi/2 the cosine is
+  // ~2^-54, so any reduction error is magnified enormously in ulps.
+  const double probes[] = {
+      0.0,
+      0x1.921fb54442d18p+0,  // nearest double to pi/2
+      0x1.921fb54442d19p+0,
+      0x1.921fb54442d18p+1,  // nearest double to pi
+      0x1.2d97c7f3321d2p+2,  // nearest double to 3*pi/2
+      0x1.921fb54442d17p+2,  // just below 2*pi
+      1e-9, 0.785398163397448279,  // ~pi/4 (reduction split)
+      0.785398163397448390,
+  };
+  for (double theta : probes) {
+    double s, c;
+    FastSinCos(theta, &s, &c);
+    EXPECT_LE(UlpError(s, sinl(static_cast<long double>(theta))), 2.0)
+        << "theta = " << theta;
+    EXPECT_LE(UlpError(c, cosl(static_cast<long double>(theta))), 2.0)
+        << "theta = " << theta;
+  }
+  double s0, c0;
+  FastSinCos(0.0, &s0, &c0);
+  EXPECT_EQ(s0, 0.0);
+  EXPECT_EQ(c0, 1.0);
+}
+
+TEST(FastSinCosTest, PythagoreanIdentityHolds) {
+  constexpr double kTwoPi = 6.28318530717958647692528676655900577;
+  Rng rng(303);
+  for (int i = 0; i < 10000; ++i) {
+    double theta = rng.NextDouble() * kTwoPi;
+    double s, c;
+    FastSinCos(theta, &s, &c);
+    EXPECT_NEAR(s * s + c * c, 1.0, 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace autoglobe

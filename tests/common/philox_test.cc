@@ -1,0 +1,353 @@
+#include "common/philox.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/lane_kernels.h"
+#include "common/rng.h"
+
+namespace autoglobe {
+namespace {
+
+// --- Known-answer tests (Random123 kat_vectors, philox4x32 10) -------
+
+TEST(PhiloxBlockTest, KnownAnswerZero) {
+  philox_detail::Block b =
+      philox_detail::Philox4x32_10(0, 0, 0, 0, 0, 0);
+  EXPECT_EQ(b.x[0], 0x6627e8d5u);
+  EXPECT_EQ(b.x[1], 0xe169c58du);
+  EXPECT_EQ(b.x[2], 0xbc57ac4cu);
+  EXPECT_EQ(b.x[3], 0x9b00dbd8u);
+}
+
+TEST(PhiloxBlockTest, KnownAnswerAllOnes) {
+  philox_detail::Block b = philox_detail::Philox4x32_10(
+      0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu,
+      0xffffffffu);
+  EXPECT_EQ(b.x[0], 0x408f276du);
+  EXPECT_EQ(b.x[1], 0x41c83b0eu);
+  EXPECT_EQ(b.x[2], 0xa20bc7c6u);
+  EXPECT_EQ(b.x[3], 0x6d5451fdu);
+}
+
+TEST(PhiloxBlockTest, KnownAnswerPiDigits) {
+  philox_detail::Block b = philox_detail::Philox4x32_10(
+      0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u, 0xa4093822u,
+      0x299f31d0u);
+  EXPECT_EQ(b.x[0], 0xd16cfe09u);
+  EXPECT_EQ(b.x[1], 0x94fdccebu);
+  EXPECT_EQ(b.x[2], 0x5001e420u);
+  EXPECT_EQ(b.x[3], 0x24126ea1u);
+}
+
+// --- Stream discipline -----------------------------------------------
+
+TEST(PhiloxRngTest, ReseedReproducesStream) {
+  PhiloxRng a(42);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 32; ++i) first.push_back(a.Uniform64());
+  a.Reseed(42);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.Uniform64(), first[i]);
+}
+
+TEST(PhiloxRngTest, SeedsDecorrelate) {
+  PhiloxRng a(1);
+  PhiloxRng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Uniform64() == b.Uniform64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(PhiloxRngTest, NextDoubleInUnitInterval) {
+  PhiloxRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(PhiloxRngTest, SkipAheadEqualsSequentialUniforms) {
+  PhiloxRng seq(123);
+  std::vector<uint64_t> draws;
+  for (int i = 0; i < 100; ++i) draws.push_back(seq.Uniform64());
+  for (uint64_t skip : {1u, 2u, 3u, 17u, 64u, 99u}) {
+    PhiloxRng jumped(123);
+    jumped.SkipAhead(skip);
+    EXPECT_EQ(jumped.counter(), skip);
+    for (uint64_t i = skip; i < 100; ++i) {
+      EXPECT_EQ(jumped.Uniform64(), draws[i]) << "skip=" << skip;
+    }
+  }
+}
+
+TEST(PhiloxRngTest, SkipAheadEqualsSequentialNormals) {
+  PhiloxRng seq(99);
+  std::vector<double> draws;
+  for (int i = 0; i < 100; ++i) draws.push_back(seq.NormalUnit());
+  for (uint64_t skip : {1u, 2u, 5u, 50u, 97u}) {
+    PhiloxRng jumped(99);
+    jumped.SkipAhead(skip);
+    for (uint64_t i = skip; i < 100; ++i) {
+      // Bit equality, not tolerance: the draw is a pure function of
+      // (seed, index) whether it was reached by stepping or jumping.
+      EXPECT_EQ(jumped.NormalUnit(), draws[i]) << "skip=" << skip;
+    }
+  }
+}
+
+TEST(PhiloxRngTest, MixedDrawsAreOrderIndexed) {
+  // A uniform wedged between two normals consumes exactly one event;
+  // the normal after it is the one a pure normal stream would have
+  // produced at that index (odd sibling of the same block).
+  PhiloxRng pure(5);
+  double n0 = pure.NormalUnit();
+  double n1 = pure.NormalUnit();
+  double n2 = pure.NormalUnit();
+
+  PhiloxRng mixed(5);
+  EXPECT_EQ(mixed.NormalUnit(), n0);
+  mixed.Uniform64();  // consumes event 1
+  EXPECT_EQ(mixed.NormalUnit(), n2);
+
+  PhiloxRng jumped(5);
+  jumped.SkipAhead(1);
+  EXPECT_EQ(jumped.NormalUnit(), n1);
+}
+
+TEST(PhiloxRngTest, NormalsHaveUnitMoments) {
+  PhiloxRng rng(2026);
+  const int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double z = rng.NormalUnit();
+    sum += z;
+    sum_sq += z * z;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+// --- UniformInt (Lemire rejection) -----------------------------------
+
+TEST(PhiloxRngTest, UniformIntCoversInclusiveRange) {
+  PhiloxRng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == -3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(PhiloxRngTest, UniformIntDegenerateRange) {
+  PhiloxRng rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+/// Chi-square goodness of fit over the fault-victim-style range. With
+/// 19 buckets (df = 18) the 99.9th percentile is 42.31; Lemire
+/// rejection is exactly uniform, so failures indicate a broken
+/// reduction, not statistical bad luck at this seed.
+TEST(PhiloxRngTest, UniformIntChiSquare) {
+  PhiloxRng rng(31337);
+  constexpr int kBuckets = 19;
+  constexpr int kDraws = 190000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformInt(0, kBuckets - 1)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int count : counts) {
+    double d = count - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 42.31) << "philox UniformInt distribution skewed";
+}
+
+// --- SoA lanes & kernel-tier parity ----------------------------------
+
+TEST(PhiloxLanesTest, FillUniformMatchesScalarStreams) {
+  for (size_t lanes : {1u, 4u, 5u, 8u, 64u}) {
+    PhiloxLanes soa;
+    soa.Resize(lanes);
+    std::vector<PhiloxRng> scalar;
+    for (size_t i = 0; i < lanes; ++i) {
+      soa.SeedLane(i, 1000 + 17 * i);
+      scalar.emplace_back(1000 + 17 * i);
+    }
+    const size_t kDraws = 33;
+    std::vector<double> out(kDraws * lanes);
+    FillUniform(soa, kDraws, out.data());
+    for (size_t d = 0; d < kDraws; ++d) {
+      for (size_t i = 0; i < lanes; ++i) {
+        EXPECT_EQ(out[d * lanes + i], scalar[i].NextDouble())
+            << "lanes=" << lanes << " draw=" << d << " lane=" << i;
+      }
+    }
+  }
+}
+
+TEST(PhiloxLanesTest, FillNormalMatchesScalarStreams) {
+  for (size_t lanes : {1u, 4u, 5u, 8u, 64u}) {
+    PhiloxLanes soa;
+    soa.Resize(lanes);
+    std::vector<PhiloxRng> scalar;
+    for (size_t i = 0; i < lanes; ++i) {
+      soa.SeedLane(i, 2000 + 31 * i);
+      scalar.emplace_back(2000 + 31 * i);
+    }
+    const size_t kDraws = 33;  // odd: ends mid-block
+    std::vector<double> out(kDraws * lanes);
+    FillNormal(soa, kDraws, out.data());
+    for (size_t d = 0; d < kDraws; ++d) {
+      for (size_t i = 0; i < lanes; ++i) {
+        EXPECT_EQ(out[d * lanes + i], scalar[i].NormalUnit())
+            << "lanes=" << lanes << " draw=" << d << " lane=" << i;
+      }
+    }
+  }
+}
+
+class KernelTierParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    avx2_ = GetLaneKernelsAvx2();
+    if (avx2_ == nullptr) {
+      GTEST_SKIP() << "AVX2 tier unavailable on this host/build";
+    }
+  }
+  const LaneKernels* avx2_ = nullptr;
+};
+
+TEST_F(KernelTierParityTest, NormalEventRowsBitIdentical) {
+  const size_t kLanes = 64;
+  PhiloxLanes a;
+  PhiloxLanes b;
+  a.Resize(kLanes);
+  b.Resize(kLanes);
+  for (size_t i = 0; i < kLanes; ++i) {
+    a.SeedLane(i, 7 * i + 1);
+    b.SeedLane(i, 7 * i + 1);
+  }
+  // Desynchronize counters so even, odd, and mixed groups all occur.
+  for (size_t i = 0; i < kLanes; i += 3) {
+    a.ctr[i] = i;
+    b.ctr[i] = i;
+  }
+  std::vector<double> out_a(kLanes);
+  std::vector<double> out_b(kLanes);
+  for (int step = 0; step < 9; ++step) {
+    GetLaneKernelsScalar().philox_normal_event_row(MakePhiloxLaneView(a),
+                                                   out_a.data(), kLanes);
+    avx2_->philox_normal_event_row(MakePhiloxLaneView(b), out_b.data(),
+                                   kLanes);
+    for (size_t i = 0; i < kLanes; ++i) {
+      EXPECT_EQ(out_a[i], out_b[i]) << "step=" << step << " lane=" << i;
+      EXPECT_EQ(a.ctr[i], b.ctr[i]);
+    }
+  }
+}
+
+TEST_F(KernelTierParityTest, UniformEventRowsBitIdentical) {
+  const size_t kLanes = 13;  // forces a remainder group
+  PhiloxLanes a;
+  PhiloxLanes b;
+  a.Resize(kLanes);
+  b.Resize(kLanes);
+  for (size_t i = 0; i < kLanes; ++i) {
+    a.SeedLane(i, 100 + i);
+    b.SeedLane(i, 100 + i);
+  }
+  a.ctr[5] = 1;
+  b.ctr[5] = 1;
+  std::vector<double> out_a(kLanes);
+  std::vector<double> out_b(kLanes);
+  for (int step = 0; step < 7; ++step) {
+    GetLaneKernelsScalar().philox_uniform_event_row(
+        MakePhiloxLaneView(a), out_a.data(), kLanes);
+    avx2_->philox_uniform_event_row(MakePhiloxLaneView(b), out_b.data(),
+                                    kLanes);
+    for (size_t i = 0; i < kLanes; ++i) {
+      EXPECT_EQ(out_a[i], out_b[i]) << "step=" << step << " lane=" << i;
+    }
+  }
+}
+
+TEST_F(KernelTierParityTest, NoiseRowsBitIdenticalWithInactiveLanes) {
+  const size_t kLanes = 64;
+  PhiloxLanes a;
+  PhiloxLanes b;
+  a.Resize(kLanes);
+  b.Resize(kLanes);
+  for (size_t i = 0; i < kLanes; ++i) {
+    a.SeedLane(i, 55 + 3 * i);
+    b.SeedLane(i, 55 + 3 * i);
+  }
+  Rng pattern(4242);
+  std::vector<double> fresh_a(kLanes);
+  std::vector<double> fresh_b(kLanes);
+  for (int step = 0; step < 12; ++step) {
+    for (size_t i = 0; i < kLanes; ++i) {
+      // Mostly-active rows with occasional zeros: exercises the
+      // full-vector paths and the conditional-draw fallback.
+      fresh_a[i] = pattern.Bernoulli(0.9) ? 1.0 + pattern.NextDouble()
+                                          : 0.0;
+      fresh_b[i] = fresh_a[i];
+    }
+    GetLaneKernelsScalar().philox_noise_row(MakePhiloxLaneView(a),
+                                            fresh_a.data(), 0.05, kLanes);
+    avx2_->philox_noise_row(MakePhiloxLaneView(b), fresh_b.data(), 0.05,
+                            kLanes);
+    for (size_t i = 0; i < kLanes; ++i) {
+      EXPECT_EQ(fresh_a[i], fresh_b[i]) << "step=" << step << " lane=" << i;
+      EXPECT_EQ(a.ctr[i], b.ctr[i]) << "step=" << step << " lane=" << i;
+    }
+  }
+}
+
+TEST_F(KernelTierParityTest, NoiseRowMatchesScalarPhiloxRng) {
+  // The noise kernel against the scalar engine's draw-site expression.
+  const size_t kLanes = 8;
+  PhiloxLanes soa;
+  soa.Resize(kLanes);
+  std::vector<PhiloxRng> scalar;
+  for (size_t i = 0; i < kLanes; ++i) {
+    soa.SeedLane(i, 900 + i);
+    scalar.emplace_back(900 + i);
+  }
+  const double kStddev = 0.02;
+  std::vector<double> fresh(kLanes);
+  for (int step = 0; step < 40; ++step) {
+    for (size_t i = 0; i < kLanes; ++i) {
+      fresh[i] = (step + i) % 11 == 0 ? 0.0 : 0.5 + 0.01 * step + i;
+    }
+    std::vector<double> expected = fresh;
+    for (size_t i = 0; i < kLanes; ++i) {
+      if (expected[i] > 0) {
+        expected[i] *=
+            std::max(0.0, 1.0 + kStddev * scalar[i].NormalUnit());
+      }
+    }
+    GetLaneKernels().philox_noise_row(MakePhiloxLaneView(soa),
+                                      fresh.data(), kStddev, kLanes);
+    for (size_t i = 0; i < kLanes; ++i) {
+      EXPECT_EQ(fresh[i], expected[i]) << "step=" << step << " lane=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autoglobe

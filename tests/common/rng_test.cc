@@ -101,6 +101,36 @@ TEST(RngTest, NormalMomentsMatch) {
   EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
 }
 
+// The legacy UniformInt uses modulo reduction, which is biased by
+// ~range/2^64 per bucket. For the simulator's ranges (tens to
+// thousands) that bias is below 2^-50 — far under what any test could
+// detect — and changing the reduction would change how many Next()
+// calls some draws consume, perturbing every pinned golden trace. So
+// the modulo path stays, and this chi-square test is the regression
+// guard that its distribution is (and remains) uniform at simulator
+// scale. The unbiased Lemire reduction lives in PhiloxRng::UniformInt
+// for the philox draw discipline (see philox_test.cc).
+TEST(RngTest, UniformIntChiSquareIsUniform) {
+  constexpr int kBuckets = 19;
+  constexpr int kDraws = 190000;
+  constexpr double kExpected = static_cast<double>(kDraws) / kBuckets;
+  Rng rng(7127);
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    int64_t v = rng.UniformInt(0, kBuckets - 1);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kBuckets);
+    ++counts[v];
+  }
+  double chi2 = 0.0;
+  for (int count : counts) {
+    double d = count - kExpected;
+    chi2 += d * d / kExpected;
+  }
+  // 99.9th percentile of chi-square with 18 degrees of freedom.
+  EXPECT_LT(chi2, 42.31);
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng parent(31);
   Rng child = parent.Fork();

@@ -402,5 +402,181 @@ TEST(BatchDemandTest, ResetLanesReproducesFreshRun) {
   }
 }
 
+// --- Philox draw discipline: scalar <-> batched bit-parity -------------
+
+// 64 batched philox lanes against 64 scalar philox engines, both
+// distribution modes. This is the tentpole contract: in philox mode
+// every noise draw is a pure function of (seed, draw index), so the
+// batched engine — including its AVX2 4-lane block kernels — must
+// reproduce each scalar run bit for bit.
+class PhiloxParityTest : public ::testing::TestWithParam<UserDistribution> {
+};
+
+TEST_P(PhiloxParityTest, SixtyFourLanesMatchScalarRuns) {
+  constexpr size_t kLanes = 64;
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  Cluster cluster;
+  ASSERT_TRUE(landscape.Build(&cluster, nullptr).ok());
+
+  BatchDemandEngine batch(&cluster, kLanes);
+  ASSERT_TRUE(landscape.Build(nullptr, &batch).ok());
+  batch.set_rng_kind(RngKind::kPhilox);
+  batch.set_distribution(GetParam());
+  std::vector<std::unique_ptr<DemandEngine>> scalars;
+  for (size_t k = 0; k < kLanes; ++k) {
+    uint64_t seed = 1000 + k * 977;
+    double scale = 1.0 + 0.05 * static_cast<double>(k % 5);
+    batch.SetLaneSeed(k, seed);
+    batch.SetLaneUserScale(k, scale);
+    auto scalar = std::make_unique<DemandEngine>(&cluster, Rng(seed));
+    ASSERT_TRUE(landscape.Build(nullptr, scalar.get()).ok());
+    scalar->SeedRng(seed, RngKind::kPhilox);
+    scalar->set_user_scale(scale);
+    scalar->set_distribution(GetParam());
+    scalars.push_back(std::move(scalar));
+  }
+
+  for (int t = 1; t <= 180; ++t) {
+    SimTime now = SimTime::Start() + Duration::Minutes(t);
+    batch.Tick(now);
+    for (auto& scalar : scalars) scalar->Tick(now);
+    if (t == 1 || t == 90) {
+      for (size_t k = 0; k < kLanes; k += 13) {
+        ExpectLaneMatchesScalar(batch, k, *scalars[k], cluster);
+      }
+    }
+  }
+  for (size_t k = 0; k < kLanes; ++k) {
+    ExpectLaneMatchesScalar(batch, k, *scalars[k], cluster);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, PhiloxParityTest,
+                         ::testing::Values(
+                             UserDistribution::kStickySessions,
+                             UserDistribution::kDynamicRedistribution),
+                         [](const auto& info) {
+                           return info.param ==
+                                          UserDistribution::kStickySessions
+                                      ? "Sticky"
+                                      : "Dynamic";
+                         });
+
+// Philox batch-size invariance: the same 64 (seed, scale) streams give
+// the same bits whether stepped as 64x1, 8x8, or 1x64 lanes. The
+// legacy discipline has this property because lanes never share
+// state; philox additionally exercises the mixed even/odd counter
+// paths of the SIMD kernels at every lane width.
+TEST(BatchDemandTest, PhiloxBatchSizeInvariance) {
+  Landscape landscape = MakePaperLandscape(Scenario::kStatic);
+  Cluster cluster;
+  ASSERT_TRUE(landscape.Build(&cluster, nullptr).ok());
+
+  auto run = [&](size_t lanes_count) {
+    auto batch = std::make_unique<BatchDemandEngine>(&cluster, lanes_count);
+    EXPECT_TRUE(landscape.Build(nullptr, batch.get()).ok());
+    batch->set_rng_kind(RngKind::kPhilox);
+    for (size_t k = 0; k < lanes_count; ++k) {
+      batch->SetLaneSeed(k, 42 + k * 17);
+      batch->SetLaneUserScale(k, 1.0 + 0.05 * static_cast<double>(k % 9));
+    }
+    for (int t = 1; t <= 120; ++t) {
+      batch->Tick(SimTime::Start() + Duration::Minutes(t));
+    }
+    return batch;
+  };
+
+  auto b1 = run(1);
+  auto b8 = run(8);
+  auto b64 = run(64);
+
+  const infra::LandscapeIndex& index = cluster.Index();
+  auto expect_lane_equal = [&](const BatchDemandEngine& a, size_t la,
+                               const BatchDemandEngine& b, size_t lb) {
+    for (size_t s = 0; s < index.num_servers(); ++s) {
+      infra::DenseId sid = static_cast<infra::DenseId>(s);
+      EXPECT_EQ(a.ServerCpuLoad(la, sid), b.ServerCpuLoad(lb, sid));
+    }
+    for (const InstanceRef& ref : index.Instances()) {
+      EXPECT_EQ(a.InstanceUsers(la, ref.id), b.InstanceUsers(lb, ref.id));
+      EXPECT_EQ(a.InstanceLoad(la, ref.id), b.InstanceLoad(lb, ref.id));
+    }
+    EXPECT_EQ(a.TotalBacklog(la), b.TotalBacklog(lb));
+    EXPECT_EQ(a.TotalLostWork(la), b.TotalLostWork(lb));
+    EXPECT_EQ(a.OverloadMinutes(la), b.OverloadMinutes(lb));
+  };
+
+  expect_lane_equal(*b1, 0, *b64, 0);
+  for (size_t k = 0; k < 8; ++k) expect_lane_equal(*b8, k, *b64, k);
+}
+
+// Per-lane fault masks zero some lanes' fresh demand, so those lanes
+// must skip their philox draws exactly like a scalar engine whose
+// instance failed — counters may not shear across lanes.
+TEST(BatchDemandTest, PhiloxLaneFaultMaskDivergesOnlyThatLane) {
+  SmallWorld world_batch;
+  world_batch.Populate();
+  std::vector<InstanceId> ids = world_batch.PlaceInitial();
+  SmallWorld world_a;
+  world_a.Populate();
+  world_a.PlaceInitial();
+  SmallWorld world_b;
+  world_b.Populate();
+  world_b.PlaceInitial();
+
+  BatchDemandEngine batch(&world_batch.cluster, 2);
+  SmallWorld::Register(&batch);
+  batch.set_rng_kind(RngKind::kPhilox);
+  batch.SetLaneSeed(0, 5);
+  batch.SetLaneSeed(1, 5);
+
+  DemandEngine healthy(&world_a.cluster, Rng(5));
+  SmallWorld::Register(&healthy);
+  healthy.SeedRng(5, RngKind::kPhilox);
+  DemandEngine faulty(&world_b.cluster, Rng(5));
+  SmallWorld::Register(&faulty);
+  faulty.SeedRng(5, RngKind::kPhilox);
+
+  for (int t = 1; t <= 30; ++t) {
+    SimTime now = SimTime::Start() + Duration::Minutes(t);
+    batch.Tick(now);
+    healthy.Tick(now);
+    faulty.Tick(now);
+  }
+
+  // Fail the first app instance in lane 1 only (mirrored by a real
+  // state change in faulty's own cluster).
+  ASSERT_TRUE(batch
+                  .SetLaneInstanceState(1, ids[0],
+                                        InstanceState::kFailed)
+                  .ok());
+  ASSERT_TRUE(
+      world_b.cluster.SetInstanceState(ids[0], InstanceState::kFailed)
+          .ok());
+
+  for (int t = 31; t <= 60; ++t) {
+    SimTime now = SimTime::Start() + Duration::Minutes(t);
+    batch.Tick(now);
+    healthy.Tick(now);
+    faulty.Tick(now);
+  }
+  ExpectLaneMatchesScalar(batch, 0, healthy, world_a.cluster);
+  ExpectLaneMatchesScalar(batch, 1, faulty, world_b.cluster);
+
+  // Recover and reconverge the masked lane.
+  ASSERT_TRUE(batch.ClearLaneInstanceState(1, ids[0]).ok());
+  ASSERT_TRUE(
+      world_b.cluster.SetInstanceState(ids[0], InstanceState::kRunning)
+          .ok());
+  for (int t = 61; t <= 90; ++t) {
+    SimTime now = SimTime::Start() + Duration::Minutes(t);
+    batch.Tick(now);
+    healthy.Tick(now);
+    faulty.Tick(now);
+  }
+  ExpectLaneMatchesScalar(batch, 0, healthy, world_a.cluster);
+  ExpectLaneMatchesScalar(batch, 1, faulty, world_b.cluster);
+}
+
 }  // namespace
 }  // namespace autoglobe::workload

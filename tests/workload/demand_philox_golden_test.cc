@@ -1,0 +1,127 @@
+// Pinned traces of the philox draw discipline: replays the same
+// short paper-landscape run as demand_golden_test.cc (both
+// user-distribution modes, with a CRM instance started, promoted,
+// and removed mid-run) under RngKind::kPhilox and checks every
+// per-tick ServerCpuLoad / ServiceLoad / ServiceSatisfaction value
+// bit for bit. Philox draws are pure functions of (seed, draw index)
+// evaluated through the pinned fastmath kernels, so these bits are
+// platform-invariant — a mismatch means the draw-event indexing, the
+// fastmath polynomials, or a SIMD kernel drifted from the contract
+// (DESIGN.md §16), not that libm changed underneath us.
+//
+// Regenerate (only after an *intentional* discipline change) by
+// running workload_test with AUTOGLOBE_REGEN_GOLDEN=1 and
+// --gtest_filter='DemandPhiloxGoldenTest.*', and pasting the printed
+// arrays into demand_philox_golden_data.inc.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autoglobe/landscape.h"
+#include "common/rng_kind.h"
+#include "infra/cluster.h"
+#include "workload/demand.h"
+
+namespace autoglobe {
+namespace {
+
+#include "demand_philox_golden_data.inc"
+
+constexpr int kTicks = 48;
+constexpr size_t kServers = 19;
+constexpr size_t kServices = 12;
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+void RunAgainstGolden(workload::UserDistribution mode,
+                      const uint64_t (&golden)[kTicks][43],
+                      const char* regen_name) {
+  const bool regen = std::getenv("AUTOGLOBE_REGEN_GOLDEN") != nullptr;
+  infra::Cluster cluster;
+  workload::DemandEngine engine(&cluster, Rng(1234));
+  Landscape landscape = MakePaperLandscape(Scenario::kFullMobility);
+  ASSERT_TRUE(landscape.Build(&cluster, &engine).ok());
+  engine.SeedRng(1234, RngKind::kPhilox);
+  engine.set_user_scale(1.1);
+  engine.set_distribution(mode);
+
+  std::vector<std::string> servers;
+  for (const infra::ServerSpec* s : cluster.Servers())
+    servers.push_back(s->name);
+  std::vector<std::string> services;
+  for (const infra::ServiceSpec* s : cluster.Services())
+    services.push_back(s->name);
+  ASSERT_EQ(servers.size(), kServers);
+  ASSERT_EQ(services.size(), kServices);
+
+  if (regen) std::printf("inline constexpr uint64_t %s[48][43] = {\n", regen_name);
+  infra::InstanceId extra = 0;
+  for (int minute = 1; minute <= kTicks; ++minute) {
+    // The same mid-run topology changes as the legacy golden test: a
+    // CRM instance starts (kStarting) at minute 12, is promoted to
+    // kRunning at minute 20, and removed at minute 36 — so the trace
+    // also pins how philox draw indices stay aligned across data-plane
+    // resyncs.
+    if (minute == 12) {
+      auto id = cluster.PlaceInstance(
+          "CRM", "Blade9", SimTime::Start() + Duration::Minutes(12),
+          infra::InstanceState::kStarting);
+      ASSERT_TRUE(id.ok());
+      extra = *id;
+    } else if (minute == 20) {
+      ASSERT_TRUE(
+          cluster.SetInstanceState(extra, infra::InstanceState::kRunning)
+              .ok());
+    } else if (minute == 36) {
+      ASSERT_TRUE(
+          cluster.RemoveInstance(extra, /*enforce_min=*/false).ok());
+    }
+    engine.Tick(SimTime::Start() + Duration::Minutes(minute));
+
+    uint64_t row[43];
+    for (size_t s = 0; s < servers.size(); ++s) {
+      row[s] = Bits(engine.ServerCpuLoad(servers[s]));
+    }
+    for (size_t s = 0; s < services.size(); ++s) {
+      row[kServers + 2 * s] = Bits(engine.ServiceLoad(services[s]));
+      row[kServers + 2 * s + 1] =
+          Bits(engine.ServiceSatisfaction(services[s]));
+    }
+    if (regen) {
+      std::printf("    {");
+      for (size_t i = 0; i < 43; ++i) {
+        std::printf("0x%016llxull,", static_cast<unsigned long long>(row[i]));
+        if (i % 4 == 3 && i + 1 < 43) std::printf("\n     ");
+      }
+      std::printf("},\n");
+      continue;
+    }
+    for (size_t i = 0; i < 43; ++i) {
+      EXPECT_EQ(row[i], golden[minute - 1][i])
+          << "minute " << minute << " column " << i;
+    }
+  }
+  if (regen) std::printf("};\n");
+}
+
+TEST(DemandPhiloxGoldenTest, StickySessionsTraceIsBitIdentical) {
+  RunAgainstGolden(workload::UserDistribution::kStickySessions,
+                   kPhiloxGoldenSticky, "kPhiloxGoldenSticky");
+}
+
+TEST(DemandPhiloxGoldenTest, DynamicRedistributionTraceIsBitIdentical) {
+  RunAgainstGolden(workload::UserDistribution::kDynamicRedistribution,
+                   kPhiloxGoldenDynamic, "kPhiloxGoldenDynamic");
+}
+
+}  // namespace
+}  // namespace autoglobe

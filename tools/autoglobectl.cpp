@@ -43,6 +43,11 @@
 //       heartbeat detection + self-healing recovery) and print the
 //       MTTR / unavailability / objective-satisfaction scorecard.
 //
+// `run`, `explain`, `capacity`, and `strategies` accept --rng
+// <xoshiro|philox> to pick the draw discipline (DESIGN.md §16); the
+// flag overrides a landscape file's `rng` attribute, and the default
+// stays the legacy xoshiro stream.
+//
 // `run` also accepts --fault-plan <plan.xml> to inject a fault
 // schedule into an ordinary run (the availability report is printed
 // after the summary), plus the strategy knobs: --strategy
@@ -103,7 +108,7 @@ Args ParseArgs(int argc, char** argv) {
                          key == "action-windows-per-day" ||
                          key == "strategy" || key == "strategy-config" ||
                          key == "load-weights" || key == "save-weights" ||
-                         key == "seeds";
+                         key == "seeds" || key == "rng";
       if (takes_value && i + 1 < argc) {
         args.options[key] = argv[++i];
       } else {
@@ -126,6 +131,23 @@ Result<Landscape> LoadLandscape(const std::string& source,
   if (source == "paper") return MakePaperLandscape(scenario);
   AG_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::LoadFile(source));
   return Landscape::FromXml(*doc.root());
+}
+
+// Draw discipline of a command: an explicit --rng flag wins, else the
+// landscape's serialized discipline (pass nullptr for commands that
+// have no landscape), else the legacy xoshiro default.
+Result<RngKind> RngArg(const Args& args, const Landscape* landscape) {
+  if (args.Has("rng")) {
+    RngKind kind;
+    const std::string value = args.Get("rng", "");
+    if (!ParseRngKind(value, &kind)) {
+      return Status::InvalidArgument("unknown --rng value '" + value +
+                                     "' (expected 'xoshiro' or 'philox')");
+    }
+    return kind;
+  }
+  if (landscape != nullptr) return landscape->rng_kind;
+  return RngKind::kXoshiro;
 }
 
 Result<Scenario> ScenarioArg(const Args& args) {
@@ -197,6 +219,9 @@ int CmdRun(const Args& args) {
   RunnerConfig config = MakeScenarioConfig(
       *scenario, *scale, static_cast<uint64_t>(*seed));
   config.duration = Duration::Hours(*hours);
+  auto rng = RngArg(args, &*landscape);
+  if (!rng.ok()) return Fail(rng.status());
+  config.rng_kind = *rng;
   config.use_forecast = args.Has("forecast");
   if (args.Has("static")) config.controller_enabled = false;
   if (args.Has("trace-out")) config.observability.enable_tracing = true;
@@ -367,6 +392,9 @@ int CmdExplain(const Args& args) {
   RunnerConfig config = MakeScenarioConfig(
       *scenario, *scale, static_cast<uint64_t>(*seed));
   config.duration = Duration::Hours(*hours);
+  auto rng = RngArg(args, &*landscape);
+  if (!rng.ok()) return Fail(rng.status());
+  config.rng_kind = *rng;
   config.observability.enable_audit = true;
   // Interactive forensics wants the whole run, not the default
   // bounded window.
@@ -423,12 +451,16 @@ int CmdCapacity(const Args& args) {
   CapacityOptions options;
   options.step = *step;
   options.run_duration = Duration::Hours(*hours);
+  auto rng = RngArg(args, &*landscape);
+  if (!rng.ok()) return Fail(rng.status());
+  options.rng_kind = *rng;
   double max_scale = 0.0;
   for (double scale = options.start_scale;
        scale <= options.max_scale + 1e-9; scale += options.step) {
     RunnerConfig config = MakeScenarioConfig(*scenario, scale);
     config.duration = options.run_duration;
     config.metrics_warmup = options.warmup;
+    config.rng_kind = options.rng_kind;
     auto runner = SimulationRunner::Create(*landscape, config);
     if (!runner.ok()) return Fail(runner.status());
     if (Status s = (*runner)->Run(); !s.ok()) return Fail(s);
@@ -460,6 +492,9 @@ int CmdStrategies(const Args& args) {
   options.run_duration = Duration::Hours(*hours);
   options.warmup = Duration::Hours(std::max<long long>(1, *hours / 6));
   options.parallelism = static_cast<int>(*parallelism);
+  auto rng = RngArg(args, nullptr);
+  if (!rng.ok()) return Fail(rng.status());
+  options.rng_kind = *rng;
   options.seeds.clear();
   for (long long i = 0; i < std::max<long long>(1, *seeds); ++i) {
     options.seeds.push_back(42 + static_cast<uint64_t>(i));
