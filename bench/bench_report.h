@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/fileio.h"
+#include "common/strings.h"
+
 namespace autoglobe::bench {
 
 /// The one BENCH_*.json schema shared by every harness — the
@@ -43,26 +46,27 @@ struct BenchRecord {
 /// BENCH_capacity.json next to the binary.
 inline void WriteBenchJson(const std::string& path,
                            const std::vector<BenchRecord>& records) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(file, "{\n  \"records\": [\n");
+  std::string json = "{\n  \"records\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& record = records[i];
-    std::fprintf(file,
-                 "    {\"name\": \"%s\", \"wall_seconds\": %.9f, "
-                 "\"items_per_second\": %.3f",
-                 record.name.c_str(), record.wall_seconds,
-                 record.items_per_second);
+    json += StrFormat(
+        "    {\"name\": \"%s\", \"wall_seconds\": %.9f, "
+        "\"items_per_second\": %.3f",
+        record.name.c_str(), record.wall_seconds,
+        record.items_per_second);
     for (const auto& [key, value] : record.extra) {
-      std::fprintf(file, ", \"%s\": %.6f", key.c_str(), value);
+      json += StrFormat(", \"%s\": %.6f", key.c_str(), value);
     }
-    std::fprintf(file, "}%s\n", i + 1 < records.size() ? "," : "");
+    json += StrFormat("}%s\n", i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(file, "  ]\n}\n");
-  std::fclose(file);
+  json += "  ]\n}\n";
+  // Durable write: CI diffs these across PRs; a crashed harness must
+  // not leave a half-written report that parses as a regression.
+  if (Status s = AtomicWriteFile(path, json); !s.ok()) {
+    std::fprintf(stderr, "WARNING: cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return;
+  }
   std::printf("# wrote %s (%zu records)\n", path.c_str(), records.size());
 }
 

@@ -1,6 +1,7 @@
 #include "autoglobe/runner.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -66,7 +67,8 @@ class SimulationRunner::View : public controller::LoadView {
 SimulationRunner::SimulationRunner(RunnerConfig config)
     : config_(config),
       archive_(config.archive_retention, config.archive_bucket),
-      failure_rng_(config.seed ^ 0xfa11fa11u) {}
+      failure_rng_(config.seed ^ 0xfa11fa11u),
+      degraded_(config.degraded) {}
 
 SimulationRunner::~SimulationRunner() = default;
 
@@ -99,6 +101,10 @@ Status SimulationRunner::Init(const Landscape& landscape) {
       registry_.AddCounter("strategy_reward_updates");
   strategy_weight_updates_counter_ =
       registry_.AddCounter("strategy_weight_updates");
+  degraded_entries_counter_ = registry_.AddCounter("degraded_mode_entries");
+  degraded_ticks_counter_ = registry_.AddCounter("degraded_mode_ticks");
+  degraded_suppressed_counter_ =
+      registry_.AddCounter("degraded_mode_suppressed_triggers");
   server_cpu_load_ = registry_.AddHistogram(
       "server_cpu_load",
       {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
@@ -344,26 +350,33 @@ Status SimulationRunner::ArmSchedule() {
   // The periodic tick re-arms in place; pre-sizing the event heap
   // keeps occasional action/fault scheduling from regrowing it.
   simulator_.ReserveEvents(64);
-  AG_RETURN_IF_ERROR(
-      simulator_.SchedulePeriodic(config_.tick, "tick", [this] { OnTick(); })
-          .status());
+  sim::EventDesc tick_desc;
+  tick_desc.kind = "runner.tick";
+  AG_RETURN_IF_ERROR(simulator_
+                         .SchedulePeriodic(config_.tick, "tick", tick_desc,
+                                           [this] { OnTick(); })
+                         .status());
   if (config_.metrics_warmup > Duration::Zero()) {
+    sim::EventDesc warmup_desc;
+    warmup_desc.kind = "runner.warmup_end";
     AG_RETURN_IF_ERROR(
         simulator_
             .ScheduleAfter(config_.metrics_warmup, "metrics-warmup-end",
-                           [this] {
-                             demand_->ResetQualityMetrics();
-                             metrics_.overload_server_minutes = 0.0;
-                             metrics_.max_overload_streak_minutes = 0.0;
-                             for (ServerStat& stat : server_stats_) {
-                               stat.streak_minutes = 0.0;
-                             }
-                             load_sum_ = 0.0;
-                             load_samples_ = 0;
-                           })
+                           warmup_desc, [this] { OnWarmupEnd(); })
             .status());
   }
   return Status::OK();
+}
+
+void SimulationRunner::OnWarmupEnd() {
+  demand_->ResetQualityMetrics();
+  metrics_.overload_server_minutes = 0.0;
+  metrics_.max_overload_streak_minutes = 0.0;
+  for (ServerStat& stat : server_stats_) {
+    stat.streak_minutes = 0.0;
+  }
+  load_sum_ = 0.0;
+  load_samples_ = 0;
 }
 
 Status SimulationRunner::ResetForRerun(uint64_t seed, double user_scale) {
@@ -409,6 +422,7 @@ Status SimulationRunner::ResetForRerun(uint64_t seed, double user_scale) {
   }
   load_sum_ = 0.0;
   load_samples_ = 0;
+  degraded_ = controller::DegradedModeController(config_.degraded);
   metrics_ = RunMetrics{};
   messages_.clear();
   action_history_.clear();
@@ -423,6 +437,13 @@ Status SimulationRunner::ResetForRerun(uint64_t seed, double user_scale) {
 
 void SimulationRunner::OnTick() {
   SimTime now = simulator_.now();
+  // Wall-clock tick deadline (degraded mode): sampled only when the
+  // deadline is configured — it reads the host's real clock, so runs
+  // with it enabled are not deterministic.
+  std::chrono::steady_clock::time_point tick_started{};
+  if (config_.degraded.enabled && config_.degraded.tick_deadline_ms > 0.0) {
+    tick_started = std::chrono::steady_clock::now();
+  }
   if (config_.instance_failures_per_hour > 0) InjectFailures();
 
   demand_->Tick(now, config_.tick);
@@ -482,6 +503,53 @@ void SimulationRunner::OnTick() {
   // Heartbeats + failure detection (fault subsystem only). Fed after
   // the load observes so detections fire on a fully updated picture.
   if (fault_injector_ != nullptr) FeedHeartbeats(now);
+
+  // Degraded-mode watchdog: when the control plane itself is unwell —
+  // a monitor-dropout storm blinds detection, or this tick overran its
+  // wall-clock deadline — flip to the urgent-only posture before any
+  // more decisions are made. SLA escalations (below) and failure
+  // recovery stay live either way.
+  if (config_.degraded.enabled) {
+    int silent_servers = 0;
+    if (fault_injector_ != nullptr) {
+      for (const std::string& server : server_names_) {
+        if (cluster_.IsServerUp(server) &&
+            !fault_injector_->IsReporting(server, now)) {
+          ++silent_servers;
+        }
+      }
+    }
+    double tick_wall_ms = 0.0;
+    if (config_.degraded.tick_deadline_ms > 0.0) {
+      tick_wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - tick_started)
+                         .count();
+    }
+    bool was_degraded = degraded_.degraded();
+    int change = degraded_.ObserveTick(silent_servers, tick_wall_ms);
+    if (was_degraded || change > 0) degraded_ticks_counter_.Increment();
+    if (change != 0) {
+      const char* verb = change > 0 ? "ENTER" : "EXIT";
+      if (change > 0) degraded_entries_counter_.Increment();
+      messages_.push_back(StrFormat(
+          "%s  %s degraded mode (%d silent server(s), tick %.1f ms)",
+          now.ToString().c_str(), verb, silent_servers, tick_wall_ms));
+      if (audit_ != nullptr) {
+        obs::DecisionAudit record;
+        record.at = now;
+        record.trigger_kind = "degraded-mode";
+        record.subject = "control-plane";
+        record.strategy = "watchdog";
+        record.verdict = StrFormat(
+            "%s degraded mode: %d silent server(s), tick %.1f ms "
+            "(storm threshold %d, deadline %.1f ms)",
+            change > 0 ? "entered" : "exited", silent_servers,
+            tick_wall_ms, config_.degraded.dropout_storm_threshold,
+            config_.degraded.tick_deadline_ms);
+        audit_->Add(std::move(record));
+      }
+    }
+  }
 
   // SLA monitoring and enforcement (QoS extension, §7).
   for (const SlaSpec& sla : config_.slas) {
@@ -554,6 +622,20 @@ void SimulationRunner::OnTrigger(const Trigger& trigger) {
     return;
   }
   if (!config_.controller_enabled) return;
+  // Urgent-only posture: speculative rebalancing (overload/idle load
+  // triggers) is frozen while degraded. Failure triggers never reach
+  // this point, and SLA escalations call the strategy with urgent=true
+  // directly — both stay live.
+  if (degraded_.ShouldSuppress(/*urgent=*/false)) {
+    degraded_.NoteSuppressed();
+    degraded_suppressed_counter_.Increment();
+    messages_.push_back(StrFormat(
+        "%s  SUPPRESS %s(%s): degraded mode, urgent-only posture",
+        trigger.at.ToString().c_str(),
+        std::string(monitor::TriggerKindName(trigger.kind)).c_str(),
+        trigger.subject.c_str()));
+    return;
+  }
   auto outcome = strategy_->HandleTrigger(trigger, /*urgent=*/false);
   if (!outcome.ok()) {
     messages_.push_back(StrFormat("%s  ERROR handling trigger: %s",

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/rng_kind.h"
 #include "controller/controller.h"
+#include "controller/degraded.h"
 #include "faults/availability.h"
 #include "faults/injector.h"
 #include "faults/plan.h"
@@ -121,6 +122,13 @@ struct RunnerConfig {
   /// off by default; the metrics registry is always on — its disabled
   /// cost is a handful of relaxed atomic adds per tick).
   obs::ObservabilityConfig observability;
+
+  /// Degraded-mode watchdog (off by default): when monitor-dropout
+  /// storms blind detection or ticks overrun their wall-clock
+  /// deadline, the controller drops to an urgent-only posture — SLA
+  /// escalations and failure recovery still run, speculative
+  /// rebalancing is frozen until a hysteresis window of healthy ticks.
+  controller::DegradedModeConfig degraded;
 
   /// Which decide-per-trigger policy drives the control loop. The
   /// default (static fuzzy) is the paper's controller, bit-identical
@@ -258,6 +266,39 @@ class SimulationRunner {
   /// report when the fault subsystem is off).
   faults::AvailabilityReport availability_report() const;
 
+  /// Degraded-mode watchdog (inert unless RunnerConfig::degraded is
+  /// enabled).
+  const controller::DegradedModeController& degraded_mode() const {
+    return degraded_;
+  }
+
+  // --- Checkpoint/restore (src/autoglobe/runner_persist.cc) -----------
+  //
+  // The runner's complete live state as named, independently
+  // checksummable sections. A runner restored from the sections of a
+  // checkpoint at tick T and run to the end is bit-identical to an
+  // uninterrupted run — including RNG draws, pending simulator events,
+  // learner state, and fault/recovery bookkeeping. The section payloads
+  // are raw bytes; framing, checksums, and rotation live in src/persist.
+
+  /// Appends every state section as (name, payload) pairs. Fails
+  /// (FailedPrecondition) if a pending simulator event carries no
+  /// re-arm descriptor — every schedule site in this codebase attaches
+  /// one, so this only fires for foreign callbacks.
+  Status SaveStateSections(
+      std::vector<std::pair<std::string, std::string>>* sections) const;
+  /// Restores from sections produced by SaveStateSections on a runner
+  /// Create()d from the *same* landscape and config. Everything Init
+  /// set up is overwritten; pending events are re-armed from their
+  /// descriptors.
+  Status RestoreStateSections(
+      const std::vector<std::pair<std::string, std::string>>& sections);
+  /// Fingerprint of the identity-defining configuration (landscape
+  /// names, seed, rng plane, strategy kind, fault-plan presence) — a
+  /// snapshot taken under one fingerprint refuses to restore under
+  /// another.
+  uint64_t StateFingerprint() const;
+
  private:
   explicit SimulationRunner(RunnerConfig config);
 
@@ -268,6 +309,13 @@ class SimulationRunner {
   /// a fresh runner's.
   Status ArmSchedule();
   void OnTick();
+  /// Warmup-end reset (one-shot event): discards quality metrics
+  /// accumulated during the controller's cold start.
+  void OnWarmupEnd();
+  /// Rebuilds pending-event callbacks from their re-arm descriptors
+  /// during RestoreStateSections.
+  Result<sim::Simulator::Callback> RebuildCallback(
+      const sim::EventDesc& desc);
   /// `key` is the subject's archive key, prebuilt at Init.
   std::optional<double> DetectionLoad(const std::string& key,
                                       double live) const;
@@ -322,6 +370,8 @@ class SimulationRunner {
   std::vector<size_t> server_hb_ids_;
   controller::ReservationBook reservations_;
   monitor::PoolLoadStats pool_stats_;
+  /// Urgent-only posture watchdog (inert when not enabled).
+  controller::DegradedModeController degraded_;
   SlaTracker slas_;
   SampleHook sample_hook_;
   RunMetrics metrics_;
@@ -347,6 +397,9 @@ class SimulationRunner {
   obs::Counter oscillations_counter_;
   obs::Counter strategy_reward_updates_counter_;
   obs::Counter strategy_weight_updates_counter_;
+  obs::Counter degraded_entries_counter_;
+  obs::Counter degraded_ticks_counter_;
+  obs::Counter degraded_suppressed_counter_;
   obs::Histogram server_cpu_load_;
   /// Telemetry already folded into the counters above (RunUntil may
   /// be called repeatedly).

@@ -1,0 +1,502 @@
+// Checkpoint/restore for SimulationRunner: the runner's complete live
+// state as named sections of raw bytes. Each subsystem serializes
+// itself (SaveState/RestoreState in its own translation unit); this
+// file owns the section layout, the runner-level state (metrics,
+// histories, per-server rings, degraded-mode posture), and the
+// callback factory that re-arms pending simulator events from their
+// descriptors. Framing, checksums, and generation rotation live one
+// layer up, in src/persist.
+
+#include <utility>
+
+#include "autoglobe/runner.h"
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace autoglobe {
+
+namespace {
+
+/// Bumped when any section's encoding changes shape. The snapshot
+/// container has its own format version; this one guards the runner's
+/// section layout specifically.
+constexpr uint64_t kSectionLayoutVersion = 1;
+
+void WriteRngState(ByteWriter* w, const Rng::State& state) {
+  for (uint64_t word : state.words) w->U64(word);
+  w->U8(state.have_cached_normal ? 1 : 0);
+  w->F64(state.cached_normal);
+}
+
+Status ReadRngState(ByteReader* r, Rng::State* state) {
+  for (uint64_t& word : state->words) {
+    AG_ASSIGN_OR_RETURN(word, r->U64());
+  }
+  AG_ASSIGN_OR_RETURN(uint8_t cached, r->U8());
+  state->have_cached_normal = cached != 0;
+  AG_ASSIGN_OR_RETURN(state->cached_normal, r->F64());
+  return Status::OK();
+}
+
+void WriteMetricsSnapshot(ByteWriter* w, const obs::MetricsSnapshot& snap) {
+  w->U32(static_cast<uint32_t>(snap.counters.size()));
+  for (const auto& [name, value] : snap.counters) {
+    w->Str(name);
+    w->U64(value);
+  }
+  w->U32(static_cast<uint32_t>(snap.gauges.size()));
+  for (const auto& [name, value] : snap.gauges) {
+    w->Str(name);
+    w->F64(value);
+  }
+  w->U32(static_cast<uint32_t>(snap.histograms.size()));
+  for (const obs::HistogramSnapshot& histogram : snap.histograms) {
+    w->Str(histogram.name);
+    w->U32(static_cast<uint32_t>(histogram.bounds.size()));
+    for (double bound : histogram.bounds) w->F64(bound);
+    w->U32(static_cast<uint32_t>(histogram.counts.size()));
+    for (uint64_t count : histogram.counts) w->U64(count);
+    w->U64(histogram.count);
+    w->F64(histogram.sum);
+  }
+}
+
+Status ReadMetricsSnapshot(ByteReader* r, obs::MetricsSnapshot* snap) {
+  AG_ASSIGN_OR_RETURN(uint32_t counter_count, r->U32());
+  snap->counters.reserve(counter_count);
+  for (uint32_t i = 0; i < counter_count; ++i) {
+    AG_ASSIGN_OR_RETURN(std::string name, r->Str());
+    AG_ASSIGN_OR_RETURN(uint64_t value, r->U64());
+    snap->counters.emplace_back(std::move(name), value);
+  }
+  AG_ASSIGN_OR_RETURN(uint32_t gauge_count, r->U32());
+  snap->gauges.reserve(gauge_count);
+  for (uint32_t i = 0; i < gauge_count; ++i) {
+    AG_ASSIGN_OR_RETURN(std::string name, r->Str());
+    AG_ASSIGN_OR_RETURN(double value, r->F64());
+    snap->gauges.emplace_back(std::move(name), value);
+  }
+  AG_ASSIGN_OR_RETURN(uint32_t histogram_count, r->U32());
+  snap->histograms.reserve(histogram_count);
+  for (uint32_t i = 0; i < histogram_count; ++i) {
+    obs::HistogramSnapshot histogram;
+    AG_ASSIGN_OR_RETURN(histogram.name, r->Str());
+    AG_ASSIGN_OR_RETURN(uint32_t bound_count, r->U32());
+    histogram.bounds.resize(bound_count);
+    for (double& bound : histogram.bounds) {
+      AG_ASSIGN_OR_RETURN(bound, r->F64());
+    }
+    AG_ASSIGN_OR_RETURN(uint32_t bucket_count, r->U32());
+    histogram.counts.resize(bucket_count);
+    for (uint64_t& count : histogram.counts) {
+      AG_ASSIGN_OR_RETURN(count, r->U64());
+    }
+    AG_ASSIGN_OR_RETURN(histogram.count, r->U64());
+    AG_ASSIGN_OR_RETURN(histogram.sum, r->F64());
+    snap->histograms.push_back(std::move(histogram));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t SimulationRunner::StateFingerprint() const {
+  // Identity of a snapshot: landscape names and the config axes that
+  // change what the serialized state *means*. A snapshot taken under
+  // one fingerprint refuses to restore under another.
+  ByteWriter w;
+  w.Str("autoglobe-runner");
+  w.U64(kSectionLayoutVersion);
+  w.U32(static_cast<uint32_t>(server_names_.size()));
+  for (const std::string& server : server_names_) w.Str(server);
+  w.U32(static_cast<uint32_t>(service_names_.size()));
+  for (const std::string& service : service_names_) w.Str(service);
+  w.U64(config_.seed);
+  w.U8(static_cast<uint8_t>(config_.rng_kind));
+  w.U8(static_cast<uint8_t>(config_.strategy.kind));
+  w.U8(config_.fault_plan.has_value() ? 1 : 0);
+  w.I64(config_.tick.seconds());
+  w.U32(static_cast<uint32_t>(config_.slas.size()));
+  return Fnv1a64(w.data());
+}
+
+Status SimulationRunner::SaveStateSections(
+    std::vector<std::pair<std::string, std::string>>* sections) const {
+  if (!initialized_) {
+    return Status::FailedPrecondition("runner not initialized");
+  }
+  auto add = [sections](const char* name, ByteWriter* w) {
+    sections->emplace_back(name, w->Take());
+  };
+
+  {
+    ByteWriter w;
+    AG_RETURN_IF_ERROR(simulator_.SaveState(&w));
+    add("sim", &w);
+  }
+  {
+    ByteWriter w;
+    cluster_.SaveState(&w);
+    add("cluster", &w);
+  }
+  {
+    ByteWriter w;
+    demand_->SaveState(&w);
+    add("demand", &w);
+  }
+  {
+    ByteWriter w;
+    archive_.SaveState(&w);
+    add("archive", &w);
+  }
+  {
+    ByteWriter w;
+    monitoring_->SaveState(&w);
+    add("monitor", &w);
+  }
+  {
+    ByteWriter w;
+    pool_stats_.SaveState(&w);
+    add("pool_stats", &w);
+  }
+  {
+    ByteWriter w;
+    executor_->SaveState(&w);
+    add("executor", &w);
+  }
+  {
+    ByteWriter w;
+    slas_.SaveState(&w);
+    add("sla", &w);
+  }
+  {
+    ByteWriter w;
+    strategy_->SaveState(&w);
+    add("strategy", &w);
+  }
+  if (config_.fault_plan.has_value()) {
+    ByteWriter w;
+    fault_injector_->SaveState(&w);
+    recovery_->SaveState(&w);
+    availability_->SaveState(&w);
+    add("faults", &w);
+  }
+  {
+    ByteWriter w;
+    // RunMetrics, declaration order.
+    w.F64(metrics_.overload_server_minutes);
+    w.F64(metrics_.max_overload_streak_minutes);
+    w.F64(metrics_.overload_fraction);
+    w.F64(metrics_.lost_work_wu);
+    w.F64(metrics_.average_cpu_load);
+    w.I64(metrics_.triggers);
+    w.I64(metrics_.actions_executed);
+    w.I64(metrics_.actions_failed);
+    w.I64(metrics_.alerts);
+    w.I64(metrics_.failures_injected);
+    w.I64(metrics_.failures_remedied);
+    w.F64(metrics_.sla_violation_minutes);
+    w.I64(metrics_.oscillations);
+    w.I64(metrics_.strategy_reward_updates);
+    w.I64(metrics_.strategy_weight_updates);
+    // Message log (the console view must survive a restore).
+    w.U32(static_cast<uint32_t>(messages_.size()));
+    for (const std::string& message : messages_) w.Str(message);
+    // Oscillation-detection history.
+    w.U32(static_cast<uint32_t>(action_history_.size()));
+    for (const auto& [service, history] : action_history_) {
+      w.Str(service);
+      w.U8(static_cast<uint8_t>(history.last_scale));
+      w.I64(history.last_scale_at.seconds());
+      w.U8(static_cast<uint8_t>(history.last_priority));
+      w.I64(history.last_priority_at.seconds());
+      w.Str(history.last_move_source);
+      w.Str(history.last_move_target);
+      w.I64(history.last_move_at.seconds());
+    }
+    // Per-server smoothing rings (stored in physical ring order; head
+    // and count reproduce the exact eviction sequence).
+    w.U32(static_cast<uint32_t>(server_stats_.size()));
+    w.U64(window_ticks_);
+    for (const ServerStat& stat : server_stats_) {
+      w.F64(stat.streak_minutes);
+      w.F64(stat.window_sum);
+      w.U64(stat.head);
+      w.U64(stat.count);
+      for (double sample : stat.window) w.F64(sample);
+    }
+    w.F64(load_sum_);
+    w.I64(load_samples_);
+    WriteRngState(&w, failure_rng_.SaveState());
+    w.I64(folded_reward_updates_);
+    w.I64(folded_weight_updates_);
+    // Heartbeat watches: ids + keys; the dense heartbeat slots are
+    // re-resolved against the restored monitor.
+    w.U64(watched_epoch_);
+    w.U32(static_cast<uint32_t>(watched_instances_.size()));
+    for (const auto& [id, watch] : watched_instances_) {
+      w.U64(static_cast<uint64_t>(id));
+      w.Str(watch.key);
+    }
+    degraded_.SaveState(&w);
+    add("runner", &w);
+  }
+  {
+    ByteWriter w;
+    WriteMetricsSnapshot(&w, registry_.Snapshot());
+    add("metrics", &w);
+  }
+  return Status::OK();
+}
+
+Result<sim::Simulator::Callback> SimulationRunner::RebuildCallback(
+    const sim::EventDesc& desc) {
+  if (desc.kind == "runner.tick") {
+    return sim::Simulator::Callback([this] { OnTick(); });
+  }
+  if (desc.kind == "runner.warmup_end") {
+    return sim::Simulator::Callback([this] { OnWarmupEnd(); });
+  }
+  if (desc.kind == "executor.running") {
+    return executor_->MakeRunningCallback(
+        static_cast<infra::InstanceId>(desc.a));
+  }
+  if (desc.kind == "injector.fault" || desc.kind == "injector.repair") {
+    if (fault_injector_ == nullptr) {
+      return Status::ParseError(
+          "snapshot carries fault-injector events but the fault "
+          "subsystem is off (fault plan mismatch)");
+    }
+    if (desc.kind == "injector.repair") {
+      return fault_injector_->MakeRepairCallback(std::string(desc.str));
+    }
+    faults::FaultEvent event;
+    event.at = simulator_.now();  // unused by Execute; armed for clarity
+    event.kind = static_cast<faults::FaultKind>(desc.x);
+    event.subject = std::string(desc.str);
+    event.duration = desc.dur;
+    return fault_injector_->MakeFaultCallback(std::move(event));
+  }
+  if (desc.kind == "recovery.backoff" || desc.kind == "recovery.watchdog") {
+    if (recovery_ == nullptr) {
+      return Status::ParseError(
+          "snapshot carries recovery events but the fault subsystem "
+          "is off (fault plan mismatch)");
+    }
+    if (desc.kind == "recovery.backoff") {
+      return recovery_->MakeBackoffCallback(
+          desc.a, static_cast<infra::InstanceId>(desc.b));
+    }
+    return recovery_->MakeWatchdogCallback(
+        desc.a, static_cast<infra::InstanceId>(desc.b));
+  }
+  return Status::ParseError(StrFormat(
+      "unknown event descriptor kind \"%s\"",
+      std::string(desc.kind).c_str()));
+}
+
+Status SimulationRunner::RestoreStateSections(
+    const std::vector<std::pair<std::string, std::string>>& sections) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("runner not initialized");
+  }
+  auto find = [&sections](
+                  std::string_view name) -> Result<std::string_view> {
+    for (const auto& [section_name, payload] : sections) {
+      if (section_name == name) return std::string_view(payload);
+    }
+    return Status::ParseError(
+        StrFormat("snapshot is missing section \"%s\"",
+                  std::string(name).c_str()));
+  };
+  bool has_faults_section = false;
+  for (const auto& [section_name, payload] : sections) {
+    if (section_name == "faults") has_faults_section = true;
+  }
+  if (has_faults_section != config_.fault_plan.has_value()) {
+    return Status::ParseError(
+        has_faults_section
+            ? "snapshot has a faults section but this config has no "
+              "fault plan"
+            : "config has a fault plan but the snapshot has no faults "
+              "section");
+  }
+
+  // Order matters: topology before anything that references it, the
+  // archive before the monitor (subjects hold series handles), the
+  // monitor before the heartbeat-slot re-resolution below, and the
+  // simulator last — its callback factory needs every subsystem
+  // already restored.
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("cluster"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(cluster_.RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("demand"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(demand_->RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("archive"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(archive_.RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("monitor"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(monitoring_->RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("pool_stats"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(pool_stats_.RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("executor"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(executor_->RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("sla"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(slas_.RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("strategy"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(strategy_->RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  if (config_.fault_plan.has_value()) {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("faults"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(fault_injector_->RestoreState(&r));
+    AG_RETURN_IF_ERROR(recovery_->RestoreState(&r));
+    AG_RETURN_IF_ERROR(availability_->RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("runner"));
+    ByteReader r(payload);
+    AG_ASSIGN_OR_RETURN(metrics_.overload_server_minutes, r.F64());
+    AG_ASSIGN_OR_RETURN(metrics_.max_overload_streak_minutes, r.F64());
+    AG_ASSIGN_OR_RETURN(metrics_.overload_fraction, r.F64());
+    AG_ASSIGN_OR_RETURN(metrics_.lost_work_wu, r.F64());
+    AG_ASSIGN_OR_RETURN(metrics_.average_cpu_load, r.F64());
+    AG_ASSIGN_OR_RETURN(metrics_.triggers, r.I64());
+    AG_ASSIGN_OR_RETURN(metrics_.actions_executed, r.I64());
+    AG_ASSIGN_OR_RETURN(metrics_.actions_failed, r.I64());
+    AG_ASSIGN_OR_RETURN(metrics_.alerts, r.I64());
+    AG_ASSIGN_OR_RETURN(metrics_.failures_injected, r.I64());
+    AG_ASSIGN_OR_RETURN(metrics_.failures_remedied, r.I64());
+    AG_ASSIGN_OR_RETURN(metrics_.sla_violation_minutes, r.F64());
+    AG_ASSIGN_OR_RETURN(metrics_.oscillations, r.I64());
+    AG_ASSIGN_OR_RETURN(metrics_.strategy_reward_updates, r.I64());
+    AG_ASSIGN_OR_RETURN(metrics_.strategy_weight_updates, r.I64());
+    AG_ASSIGN_OR_RETURN(uint32_t message_count, r.U32());
+    messages_.clear();
+    messages_.reserve(message_count);
+    for (uint32_t i = 0; i < message_count; ++i) {
+      AG_ASSIGN_OR_RETURN(std::string message, r.Str());
+      messages_.push_back(std::move(message));
+    }
+    AG_ASSIGN_OR_RETURN(uint32_t history_count, r.U32());
+    action_history_.clear();
+    for (uint32_t i = 0; i < history_count; ++i) {
+      AG_ASSIGN_OR_RETURN(std::string service, r.Str());
+      ActionHistory history;
+      AG_ASSIGN_OR_RETURN(uint8_t last_scale, r.U8());
+      history.last_scale = static_cast<infra::ActionType>(last_scale);
+      AG_ASSIGN_OR_RETURN(int64_t scale_at, r.I64());
+      history.last_scale_at = SimTime::FromSeconds(scale_at);
+      AG_ASSIGN_OR_RETURN(uint8_t last_priority, r.U8());
+      history.last_priority = static_cast<infra::ActionType>(last_priority);
+      AG_ASSIGN_OR_RETURN(int64_t priority_at, r.I64());
+      history.last_priority_at = SimTime::FromSeconds(priority_at);
+      AG_ASSIGN_OR_RETURN(history.last_move_source, r.Str());
+      AG_ASSIGN_OR_RETURN(history.last_move_target, r.Str());
+      AG_ASSIGN_OR_RETURN(int64_t move_at, r.I64());
+      history.last_move_at = SimTime::FromSeconds(move_at);
+      action_history_.emplace(std::move(service), std::move(history));
+    }
+    AG_ASSIGN_OR_RETURN(uint32_t stat_count, r.U32());
+    AG_ASSIGN_OR_RETURN(uint64_t snapshot_window_ticks, r.U64());
+    if (stat_count != server_stats_.size() ||
+        snapshot_window_ticks != window_ticks_) {
+      return Status::ParseError(StrFormat(
+          "server-stat layout mismatch: snapshot has %u servers / "
+          "window %llu, runner has %zu / %zu",
+          stat_count,
+          static_cast<unsigned long long>(snapshot_window_ticks),
+          server_stats_.size(), window_ticks_));
+    }
+    for (ServerStat& stat : server_stats_) {
+      AG_ASSIGN_OR_RETURN(stat.streak_minutes, r.F64());
+      AG_ASSIGN_OR_RETURN(stat.window_sum, r.F64());
+      AG_ASSIGN_OR_RETURN(uint64_t head, r.U64());
+      stat.head = static_cast<size_t>(head);
+      AG_ASSIGN_OR_RETURN(uint64_t count, r.U64());
+      stat.count = static_cast<size_t>(count);
+      for (double& sample : stat.window) {
+        AG_ASSIGN_OR_RETURN(sample, r.F64());
+      }
+    }
+    AG_ASSIGN_OR_RETURN(load_sum_, r.F64());
+    AG_ASSIGN_OR_RETURN(load_samples_, r.I64());
+    Rng::State rng_state;
+    AG_RETURN_IF_ERROR(ReadRngState(&r, &rng_state));
+    failure_rng_.RestoreState(rng_state);
+    AG_ASSIGN_OR_RETURN(folded_reward_updates_, r.I64());
+    AG_ASSIGN_OR_RETURN(folded_weight_updates_, r.I64());
+    AG_ASSIGN_OR_RETURN(watched_epoch_, r.U64());
+    AG_ASSIGN_OR_RETURN(uint32_t watch_count, r.U32());
+    watched_instances_.clear();
+    for (uint32_t i = 0; i < watch_count; ++i) {
+      AG_ASSIGN_OR_RETURN(uint64_t id, r.U64());
+      AG_ASSIGN_OR_RETURN(std::string key, r.Str());
+      // Heartbeat slots were rebuilt by the monitor restore above;
+      // re-resolve rather than trusting stale dense ids.
+      AG_ASSIGN_OR_RETURN(size_t hb_id, monitoring_->HeartbeatIdOf(key));
+      watched_instances_[static_cast<infra::InstanceId>(id)] =
+          WatchedInstance{std::move(key), hb_id};
+    }
+    AG_RETURN_IF_ERROR(degraded_.RestoreState(&r));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  // Server heartbeat slots: same re-resolution (keys are config-
+  // derived and already populated by Init when the fault plan is set).
+  for (size_t position = 0; position < server_hb_keys_.size(); ++position) {
+    AG_ASSIGN_OR_RETURN(
+        size_t hb_id, monitoring_->HeartbeatIdOf(server_hb_keys_[position]));
+    server_hb_ids_[position] = hb_id;
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("metrics"));
+    ByteReader r(payload);
+    obs::MetricsSnapshot snapshot;
+    AG_RETURN_IF_ERROR(ReadMetricsSnapshot(&r, &snapshot));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+    AG_RETURN_IF_ERROR(registry_.Restore(snapshot));
+  }
+  {
+    AG_ASSIGN_OR_RETURN(std::string_view payload, find("sim"));
+    ByteReader r(payload);
+    AG_RETURN_IF_ERROR(simulator_.RestoreState(
+        &r, [this](const sim::EventDesc& desc) {
+          return RebuildCallback(desc);
+        }));
+    AG_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  return Status::OK();
+}
+
+}  // namespace autoglobe

@@ -99,4 +99,59 @@ double SlaTracker::TotalViolationMinutes() const {
   return total;
 }
 
+void SlaTracker::SaveState(ByteWriter* w) const {
+  w->U64(slas_.size());
+  for (const auto& [service, state] : slas_) {
+    w->Str(service);
+    w->F64(state.status.current_satisfaction);
+    w->U8(state.status.in_violation ? 1 : 0);
+    w->F64(state.status.violation_minutes);
+    w->I64(state.status.violation_episodes);
+    w->U64(state.samples.size());
+    for (const auto& [at, value] : state.samples) {
+      w->I64(at.seconds());
+      w->F64(value);
+    }
+    w->F64(state.sample_sum);
+  }
+}
+
+Status SlaTracker::RestoreState(ByteReader* r) {
+  uint64_t sla_count = 0;
+  AG_ASSIGN_OR_RETURN(sla_count, r->U64());
+  if (sla_count != slas_.size()) {
+    return Status::ParseError(StrFormat(
+        "snapshot has %llu SLAs, configuration has %zu",
+        static_cast<unsigned long long>(sla_count), slas_.size()));
+  }
+  for (uint64_t i = 0; i < sla_count; ++i) {
+    std::string service;
+    AG_ASSIGN_OR_RETURN(service, r->Str());
+    auto it = slas_.find(service);
+    if (it == slas_.end()) {
+      return Status::ParseError(StrFormat(
+          "snapshot SLA for \"%s\" is not configured", service.c_str()));
+    }
+    State& state = it->second;
+    AG_ASSIGN_OR_RETURN(state.status.current_satisfaction, r->F64());
+    uint8_t violating = 0;
+    AG_ASSIGN_OR_RETURN(violating, r->U8());
+    state.status.in_violation = violating != 0;
+    AG_ASSIGN_OR_RETURN(state.status.violation_minutes, r->F64());
+    AG_ASSIGN_OR_RETURN(state.status.violation_episodes, r->I64());
+    uint64_t sample_count = 0;
+    AG_ASSIGN_OR_RETURN(sample_count, r->U64());
+    state.samples.clear();
+    for (uint64_t j = 0; j < sample_count; ++j) {
+      int64_t seconds = 0;
+      double value = 0.0;
+      AG_ASSIGN_OR_RETURN(seconds, r->I64());
+      AG_ASSIGN_OR_RETURN(value, r->F64());
+      state.samples.emplace_back(SimTime::FromSeconds(seconds), value);
+    }
+    AG_ASSIGN_OR_RETURN(state.sample_sum, r->F64());
+  }
+  return Status::OK();
+}
+
 }  // namespace autoglobe

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 
@@ -59,6 +60,13 @@ class SlaTracker {
 
   /// Total violation minutes across all SLAs.
   double TotalViolationMinutes() const;
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Serializes per-SLA rolling windows, satisfaction, and violation
+  /// accounting. Specs are rebuilt from the configuration; snapshot
+  /// entries must match an already-added SLA.
+  void SaveState(ByteWriter* w) const;
+  Status RestoreState(ByteReader* r);
 
  private:
   struct State {

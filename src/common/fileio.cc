@@ -1,0 +1,146 @@
+#include "common/fileio.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace autoglobe {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::IoError(
+      StrFormat("%s %s: %s", op, path.c_str(), strerror(errno)));
+}
+
+/// fsync on a directory fd makes the rename itself durable. Some
+/// filesystems refuse to fsync a directory; that is not a torn-file
+/// risk, so those errors are ignored.
+void SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  std::string dir = ParentDir(path);
+  std::string tmp =
+      StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+
+  const char* cursor = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    ssize_t wrote = ::write(fd, cursor, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      Status status = ErrnoStatus("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    cursor += wrote;
+    left -= static_cast<size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    Status status = ErrnoStatus("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    Status status = ErrnoStatus("close", tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = ErrnoStatus("rename", path);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  SyncDir(dir);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      Status status = ErrnoStatus("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (got == 0) break;
+    out.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status MakeDirectories(const std::string& path) {
+  if (path.empty()) return Status::OK();
+  std::string partial;
+  size_t start = 0;
+  if (path[0] == '/') partial = "/";
+  while (start < path.size()) {
+    size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    if (slash > start) {
+      partial.append(path, start, slash - start);
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return ErrnoStatus("mkdir", partial);
+      }
+      partial.push_back('/');
+    }
+    start = slash + 1;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir", path);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace autoglobe

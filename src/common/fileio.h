@@ -1,0 +1,39 @@
+#ifndef AUTOGLOBE_COMMON_FILEIO_H_
+#define AUTOGLOBE_COMMON_FILEIO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace autoglobe {
+
+/// Durably replaces the file at `path` with `contents`: the bytes are
+/// written to a temporary sibling, fsynced, renamed over the target,
+/// and the parent directory is fsynced. A crash or ENOSPC at any
+/// point leaves either the complete old file or the complete new file
+/// — never a torn one. Every writer that persists state a later run
+/// depends on (snapshots, weight tables, bench reports, exports) must
+/// go through here.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Reads the whole file into a string. IoError with the errno message
+/// when the file cannot be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Creates `path` and any missing parents (mkdir -p). OK when the
+/// directory already exists.
+Status MakeDirectories(const std::string& path);
+
+/// Names of the entries in directory `path` (excluding "." / ".."),
+/// sorted so callers iterate deterministically.
+Result<std::vector<std::string>> ListDirectory(const std::string& path);
+
+/// Removes a single file. OK when it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace autoglobe
+
+#endif  // AUTOGLOBE_COMMON_FILEIO_H_

@@ -106,6 +106,30 @@ class PhiloxRng {
 
   uint64_t counter() const { return counter_; }
 
+  /// Full stream state for checkpoint/restore. The key words are
+  /// included (not just the counter) so a restored stream never
+  /// depends on re-deriving the key from a seed.
+  struct State {
+    uint32_t key0;
+    uint32_t key1;
+    uint64_t counter;
+    uint64_t cache_block;
+    double cache;
+    bool cache_valid;
+  };
+  State SaveState() const {
+    return State{key0_, key1_, counter_, cache_block_, cache_,
+                 cache_valid_};
+  }
+  void RestoreState(const State& s) {
+    key0_ = s.key0;
+    key1_ = s.key1;
+    counter_ = s.counter;
+    cache_block_ = s.cache_block;
+    cache_ = s.cache;
+    cache_valid_ = s.cache_valid;
+  }
+
  private:
   uint32_t key0_ = 0;
   uint32_t key1_ = 0;

@@ -61,6 +61,24 @@ class Rng {
   /// Derives an independent child generator (for per-entity streams).
   Rng Fork();
 
+  /// Full generator state for checkpoint/restore: the xoshiro words
+  /// plus the Box–Muller cache (a restored stream must resume mid-pair
+  /// bit-identically).
+  struct State {
+    uint64_t words[4];
+    bool have_cached_normal;
+    double cached_normal;
+  };
+  State SaveState() const {
+    return State{{state_[0], state_[1], state_[2], state_[3]},
+                 have_cached_normal_, cached_normal_};
+  }
+  void RestoreState(const State& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    have_cached_normal_ = s.have_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,55 @@
+#include "controller/degraded.h"
+
+namespace autoglobe::controller {
+
+DegradedModeController::DegradedModeController(DegradedModeConfig config)
+    : config_(config) {}
+
+int DegradedModeController::ObserveTick(int silent_servers,
+                                        double tick_wall_ms) {
+  if (!config_.enabled) return 0;
+  bool storm = config_.dropout_storm_threshold > 0 &&
+               silent_servers >= config_.dropout_storm_threshold;
+  bool overrun = config_.tick_deadline_ms > 0.0 &&
+                 tick_wall_ms > config_.tick_deadline_ms;
+  bool unhealthy = storm || overrun;
+  if (degraded_) ++degraded_ticks_;
+  if (unhealthy) {
+    healthy_streak_ = 0;
+    if (!degraded_) {
+      degraded_ = true;
+      ++entries_;
+      ++degraded_ticks_;  // the entering tick counts as degraded
+      return +1;
+    }
+    return 0;
+  }
+  if (!degraded_) return 0;
+  if (++healthy_streak_ >= config_.exit_healthy_ticks) {
+    degraded_ = false;
+    healthy_streak_ = 0;
+    return -1;
+  }
+  return 0;
+}
+
+void DegradedModeController::SaveState(ByteWriter* w) const {
+  w->U8(degraded_ ? 1 : 0);
+  w->I64(healthy_streak_);
+  w->I64(entries_);
+  w->I64(degraded_ticks_);
+  w->I64(suppressed_triggers_);
+}
+
+Status DegradedModeController::RestoreState(ByteReader* r) {
+  AG_ASSIGN_OR_RETURN(uint8_t degraded, r->U8());
+  degraded_ = degraded != 0;
+  AG_ASSIGN_OR_RETURN(int64_t streak, r->I64());
+  healthy_streak_ = static_cast<int>(streak);
+  AG_ASSIGN_OR_RETURN(entries_, r->I64());
+  AG_ASSIGN_OR_RETURN(degraded_ticks_, r->I64());
+  AG_ASSIGN_OR_RETURN(suppressed_triggers_, r->I64());
+  return Status::OK();
+}
+
+}  // namespace autoglobe::controller

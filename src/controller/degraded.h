@@ -1,0 +1,79 @@
+#ifndef AUTOGLOBE_CONTROLLER_DEGRADED_H_
+#define AUTOGLOBE_CONTROLLER_DEGRADED_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/sim_time.h"
+
+namespace autoglobe::controller {
+
+/// Knobs of the degraded-mode watchdog. Disabled by default — a run
+/// without it is byte-identical to a build without this file.
+struct DegradedModeConfig {
+  bool enabled = false;
+  /// Monitor-dropout storm: at least this many servers that are up
+  /// but silent in one tick flips the controller to the urgent-only
+  /// posture. 0 disables the storm signal.
+  int dropout_storm_threshold = 3;
+  /// Consecutive healthy ticks required before leaving degraded mode
+  /// (hysteresis — a single clean tick inside a flapping storm must
+  /// not resume speculative rebalancing).
+  int exit_healthy_ticks = 5;
+  /// Wall-clock budget per control tick in milliseconds; an overrun
+  /// counts as an unhealthy tick. 0 (default) disables the deadline —
+  /// it reads the host's real clock, so runs with it enabled are NOT
+  /// deterministic and it must stay off for golden scenarios.
+  double tick_deadline_ms = 0.0;
+};
+
+/// The degraded-mode watchdog: when the control plane itself is in
+/// trouble (a monitor-dropout storm blinds detection, or ticks blow
+/// their wall-clock deadline), the controller drops to an urgent-only
+/// posture — SLA escalations and failure recovery still run, but
+/// speculative rebalancing (overload/idle triggers) is frozen until
+/// the landscape has been healthy for a hysteresis window. The idea
+/// mirrors the paper's own escalation ladder (Figure 6): when the
+/// autonomic loop cannot trust its inputs, it narrows its mandate
+/// instead of acting on garbage.
+class DegradedModeController {
+ public:
+  explicit DegradedModeController(DegradedModeConfig config = {});
+
+  /// Feeds one tick's health signals: servers that are up but silent
+  /// this tick, and the wall-clock milliseconds the previous tick
+  /// took (pass 0 when the deadline is disabled). Returns +1 when
+  /// this tick *entered* degraded mode, -1 when it left, 0 otherwise.
+  int ObserveTick(int silent_servers, double tick_wall_ms);
+
+  /// True while the controller is in the urgent-only posture.
+  bool degraded() const { return degraded_; }
+  /// True when a trigger with the given urgency should be suppressed
+  /// (degraded and not urgent). Callers count the suppression via
+  /// NoteSuppressed so the audit trail and metrics line up.
+  bool ShouldSuppress(bool urgent) const { return degraded_ && !urgent; }
+  void NoteSuppressed() { ++suppressed_triggers_; }
+
+  int64_t entries() const { return entries_; }
+  int64_t degraded_ticks() const { return degraded_ticks_; }
+  int64_t suppressed_triggers() const { return suppressed_triggers_; }
+
+  const DegradedModeConfig& config() const { return config_; }
+
+  // --- Checkpoint/restore ----------------------------------------------
+  void SaveState(ByteWriter* w) const;
+  Status RestoreState(ByteReader* r);
+
+ private:
+  DegradedModeConfig config_;
+  bool degraded_ = false;
+  int healthy_streak_ = 0;
+  int64_t entries_ = 0;
+  int64_t degraded_ticks_ = 0;
+  int64_t suppressed_triggers_ = 0;
+};
+
+}  // namespace autoglobe::controller
+
+#endif  // AUTOGLOBE_CONTROLLER_DEGRADED_H_

@@ -122,6 +122,70 @@ AvailabilityReport AvailabilityTracker::Report(SimTime end) const {
   return report;
 }
 
+void AvailabilityTracker::SaveState(ByteWriter* w) const {
+  auto write_episode = [w](const Episode& episode) {
+    w->Str(episode.service);
+    w->I64(episode.down_at.seconds());
+    w->I64(episode.detected_at.seconds());
+    w->I64(episode.closed_at.seconds());
+    w->U8(episode.detected ? 1 : 0);
+    w->U8(episode.recovered ? 1 : 0);
+    w->U8(episode.abandoned ? 1 : 0);
+  };
+  w->U64(open_.size());
+  for (const auto& [token, episode] : open_) {
+    w->U64(token);
+    write_episode(episode);
+  }
+  w->U64(closed_.size());
+  for (const Episode& episode : closed_) write_episode(episode);
+  for (int64_t count : injected_by_kind_) w->I64(count);
+}
+
+Status AvailabilityTracker::RestoreState(ByteReader* r) {
+  auto read_episode = [r](Episode* episode) -> Status {
+    AG_ASSIGN_OR_RETURN(episode->service, r->Str());
+    int64_t seconds = 0;
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    episode->down_at = SimTime::FromSeconds(seconds);
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    episode->detected_at = SimTime::FromSeconds(seconds);
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    episode->closed_at = SimTime::FromSeconds(seconds);
+    uint8_t flag = 0;
+    AG_ASSIGN_OR_RETURN(flag, r->U8());
+    episode->detected = flag != 0;
+    AG_ASSIGN_OR_RETURN(flag, r->U8());
+    episode->recovered = flag != 0;
+    AG_ASSIGN_OR_RETURN(flag, r->U8());
+    episode->abandoned = flag != 0;
+    return Status::OK();
+  };
+  uint64_t open_count = 0;
+  AG_ASSIGN_OR_RETURN(open_count, r->U64());
+  open_.clear();
+  for (uint64_t i = 0; i < open_count; ++i) {
+    uint64_t token = 0;
+    AG_ASSIGN_OR_RETURN(token, r->U64());
+    Episode episode;
+    AG_RETURN_IF_ERROR(read_episode(&episode));
+    open_.emplace(token, std::move(episode));
+  }
+  uint64_t closed_count = 0;
+  AG_ASSIGN_OR_RETURN(closed_count, r->U64());
+  closed_.clear();
+  closed_.reserve(closed_count);
+  for (uint64_t i = 0; i < closed_count; ++i) {
+    Episode episode;
+    AG_RETURN_IF_ERROR(read_episode(&episode));
+    closed_.push_back(std::move(episode));
+  }
+  for (int64_t& count : injected_by_kind_) {
+    AG_ASSIGN_OR_RETURN(count, r->I64());
+  }
+  return Status::OK();
+}
+
 std::string RenderAvailabilityReport(const AvailabilityReport& report) {
   std::string out;
   out += StrFormat(

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
+#include "common/result.h"
 #include "common/sim_time.h"
 #include "faults/plan.h"
 
@@ -76,6 +78,12 @@ class AvailabilityTracker {
   AvailabilityReport Report(SimTime end) const;
 
   const AvailabilityConfig& config() const { return config_; }
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Serializes open and closed episodes plus the per-kind injection
+  /// counters (the complete tracker state).
+  void SaveState(ByteWriter* w) const;
+  Status RestoreState(ByteReader* r);
 
  private:
   struct Episode {

@@ -27,12 +27,20 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
         !event.subject.empty()) {
       AG_RETURN_IF_ERROR(cluster_->FindService(event.subject).status());
     }
-    FaultEvent copy = event;
-    AG_RETURN_IF_ERROR(
-        simulator_
-            ->ScheduleAt(event.at, "fault",
-                         [this, copy] { Execute(copy); })
-            .status());
+    // The re-arm descriptor carries the whole FaultEvent (kind in x,
+    // subject in str, duration in dur) so a snapshot restore can
+    // rebuild the callback without re-reading the plan.
+    sim::EventDesc desc;
+    desc.kind = "injector.fault";
+    if (!event.subject.empty()) {
+      desc.str = sim::EventLabel(event.subject).view();
+    }
+    desc.x = static_cast<int64_t>(event.kind);
+    desc.dur = event.duration;
+    AG_RETURN_IF_ERROR(simulator_
+                           ->ScheduleAt(event.at, "fault", desc,
+                                        MakeFaultCallback(event))
+                           .status());
   }
   return Status::OK();
 }
@@ -161,10 +169,12 @@ void FaultInjector::FailServer(const FaultEvent& event) {
                   event.duration > Duration::Zero() ? "" : ", permanent"),
         crashed);
   if (event.duration > Duration::Zero()) {
-    std::string name = server;
+    sim::EventDesc desc;
+    desc.kind = "injector.repair";
+    desc.str = sim::EventLabel(server).view();
     AG_CHECK_OK(simulator_
-                    ->ScheduleAfter(event.duration, "fault-repair",
-                                    [this, name] { RepairServer(name); })
+                    ->ScheduleAfter(event.duration, "fault-repair", desc,
+                                    MakeRepairCallback(server))
                     .status());
   }
 }
@@ -177,6 +187,66 @@ void FaultInjector::RepairServer(const std::string& server) {
   // the empty host to the placement pool, it does not resurrect
   // processes. Recovery (or the legacy remedy path) deals with them.
   Trace("server-repair", StrFormat("%s back up", server.c_str()));
+}
+
+sim::Simulator::Callback FaultInjector::MakeFaultCallback(
+    FaultEvent event) {
+  return [this, event = std::move(event)] { Execute(event); };
+}
+
+sim::Simulator::Callback FaultInjector::MakeRepairCallback(
+    std::string server) {
+  return [this, server = std::move(server)] { RepairServer(server); };
+}
+
+void FaultInjector::SaveState(ByteWriter* w) const {
+  Rng::State rng = victim_rng_.SaveState();
+  for (uint64_t word : rng.words) w->U64(word);
+  w->U8(rng.have_cached_normal ? 1 : 0);
+  w->F64(rng.cached_normal);
+  w->I64(action_fail_until_.seconds());
+  w->U64(dropout_until_.size());
+  for (const auto& [server, until] : dropout_until_) {
+    w->Str(server);
+    w->I64(until.seconds());
+  }
+  w->I64(stats_.instances_crashed);
+  w->I64(stats_.servers_failed);
+  w->I64(stats_.servers_repaired);
+  w->I64(stats_.action_windows_opened);
+  w->I64(stats_.dropouts_opened);
+  w->I64(stats_.fizzled);
+}
+
+Status FaultInjector::RestoreState(ByteReader* r) {
+  Rng::State rng;
+  for (uint64_t& word : rng.words) {
+    AG_ASSIGN_OR_RETURN(word, r->U64());
+  }
+  uint8_t have_cached = 0;
+  AG_ASSIGN_OR_RETURN(have_cached, r->U8());
+  rng.have_cached_normal = have_cached != 0;
+  AG_ASSIGN_OR_RETURN(rng.cached_normal, r->F64());
+  victim_rng_.RestoreState(rng);
+  int64_t seconds = 0;
+  AG_ASSIGN_OR_RETURN(seconds, r->I64());
+  action_fail_until_ = SimTime::FromSeconds(seconds);
+  uint64_t dropouts = 0;
+  AG_ASSIGN_OR_RETURN(dropouts, r->U64());
+  dropout_until_.clear();
+  for (uint64_t i = 0; i < dropouts; ++i) {
+    std::string server;
+    AG_ASSIGN_OR_RETURN(server, r->Str());
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    dropout_until_[std::move(server)] = SimTime::FromSeconds(seconds);
+  }
+  AG_ASSIGN_OR_RETURN(stats_.instances_crashed, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.servers_failed, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.servers_repaired, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.action_windows_opened, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.dropouts_opened, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.fizzled, r->I64());
+  return Status::OK();
 }
 
 void FaultInjector::Trace(std::string_view name, std::string detail,

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "faults/availability.h"
@@ -66,6 +67,20 @@ class FaultInjector {
   }
 
   const InjectorStats& stats() const { return stats_; }
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Serializes the victim RNG stream, the open failure windows, and
+  /// the stats. Pending fault/repair events live in the simulator's
+  /// heap and are rebuilt there via the callback builders below.
+  void SaveState(ByteWriter* w) const;
+  Status RestoreState(ByteReader* r);
+
+  /// Rebuilds the callback of a scheduled "fault" event (desc kind
+  /// "injector.fault") for the snapshot restore path.
+  sim::Simulator::Callback MakeFaultCallback(FaultEvent event);
+  /// Rebuilds the callback of a scheduled "fault-repair" event (desc
+  /// kind "injector.repair").
+  sim::Simulator::Callback MakeRepairCallback(std::string server);
 
  private:
   void Execute(const FaultEvent& event);

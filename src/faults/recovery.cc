@@ -121,12 +121,13 @@ void RecoveryManager::AttemptRestart(uint64_t token,
   // Capped exponential backoff before the next in-place attempt.
   Duration wait = episode.backoff;
   episode.backoff = std::min(config_.max_backoff, episode.backoff * 2);
+  sim::EventDesc desc;
+  desc.kind = "recovery.backoff";
+  desc.a = token;
+  desc.b = static_cast<uint64_t>(id);
   AG_CHECK_OK(simulator_
-                  ->ScheduleAfter(wait, "recovery-backoff",
-                                  [this, token, id] {
-                                    AttemptRestart(token, id,
-                                                   simulator_->now());
-                                  })
+                  ->ScheduleAfter(wait, "recovery-backoff", desc,
+                                  MakeBackoffCallback(token, id))
                   .status());
 }
 
@@ -135,29 +136,41 @@ void RecoveryManager::WatchBoot(uint64_t token, infra::InstanceId id) {
   // now + start_delay; FIFO ordering at equal timestamps guarantees
   // that flip runs before this watchdog, so at watchdog time the
   // instance is either serving or something went wrong in between.
-  AG_CHECK_OK(
-      simulator_
-          ->ScheduleAfter(
-              executor_->config().start_delay, "recovery-watchdog",
-              [this, token, id] {
-                SimTime now = simulator_->now();
-                auto instance = cluster_->FindInstance(id);
-                if (instance.ok() && (*instance)->state ==
-                                         infra::InstanceState::kRunning) {
-                  Recovered(token, id, now);
-                  return;
-                }
-                // Crashed again (or was removed) before serving: the
-                // episode continues.
-                Episode& episode = episodes_[token];
-                if (episode.restart_attempts >=
-                    config_.max_restart_attempts) {
-                  Relocate(token, id, now);
-                } else {
-                  AttemptRestart(token, id, now);
-                }
-              })
-          .status());
+  sim::EventDesc desc;
+  desc.kind = "recovery.watchdog";
+  desc.a = token;
+  desc.b = static_cast<uint64_t>(id);
+  AG_CHECK_OK(simulator_
+                  ->ScheduleAfter(executor_->config().start_delay,
+                                  "recovery-watchdog", desc,
+                                  MakeWatchdogCallback(token, id))
+                  .status());
+}
+
+sim::Simulator::Callback RecoveryManager::MakeBackoffCallback(
+    uint64_t token, infra::InstanceId id) {
+  return [this, token, id] { AttemptRestart(token, id, simulator_->now()); };
+}
+
+sim::Simulator::Callback RecoveryManager::MakeWatchdogCallback(
+    uint64_t token, infra::InstanceId id) {
+  return [this, token, id] {
+    SimTime now = simulator_->now();
+    auto instance = cluster_->FindInstance(id);
+    if (instance.ok() &&
+        (*instance)->state == infra::InstanceState::kRunning) {
+      Recovered(token, id, now);
+      return;
+    }
+    // Crashed again (or was removed) before serving: the episode
+    // continues.
+    Episode& episode = episodes_[token];
+    if (episode.restart_attempts >= config_.max_restart_attempts) {
+      Relocate(token, id, now);
+    } else {
+      AttemptRestart(token, id, now);
+    }
+  };
 }
 
 void RecoveryManager::Relocate(uint64_t token, infra::InstanceId id,
@@ -272,6 +285,71 @@ void RecoveryManager::NotePlacementFailure(const std::string& server,
           StrFormat("%s until %s", server.c_str(),
                     record.blacklisted_until.ToString().c_str()));
   }
+}
+
+void RecoveryManager::SaveState(ByteWriter* w) const {
+  w->U64(episodes_.size());
+  for (const auto& [token, episode] : episodes_) {
+    w->U64(token);
+    w->Str(episode.service);
+    w->I64(episode.restart_attempts);
+    w->I64(episode.backoff.seconds());
+  }
+  w->U64(hosts_.size());
+  for (const auto& [server, record] : hosts_) {
+    w->Str(server);
+    w->I64(record.failures);
+    w->I64(record.blacklisted_until.seconds());
+  }
+  w->I64(stats_.restarts_attempted);
+  w->I64(stats_.restarts_succeeded);
+  w->I64(stats_.relocations);
+  w->I64(stats_.evacuations);
+  w->I64(stats_.recovered);
+  w->I64(stats_.abandoned);
+  w->I64(stats_.blacklist_entries);
+}
+
+Status RecoveryManager::RestoreState(ByteReader* r) {
+  uint64_t episode_count = 0;
+  AG_ASSIGN_OR_RETURN(episode_count, r->U64());
+  episodes_.clear();
+  for (uint64_t i = 0; i < episode_count; ++i) {
+    uint64_t token = 0;
+    AG_ASSIGN_OR_RETURN(token, r->U64());
+    Episode episode;
+    AG_ASSIGN_OR_RETURN(episode.service, r->Str());
+    int64_t attempts = 0;
+    AG_ASSIGN_OR_RETURN(attempts, r->I64());
+    episode.restart_attempts = static_cast<int>(attempts);
+    int64_t seconds = 0;
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    episode.backoff = Duration::Seconds(seconds);
+    episodes_.emplace(token, std::move(episode));
+  }
+  uint64_t host_count = 0;
+  AG_ASSIGN_OR_RETURN(host_count, r->U64());
+  hosts_.clear();
+  for (uint64_t i = 0; i < host_count; ++i) {
+    std::string server;
+    AG_ASSIGN_OR_RETURN(server, r->Str());
+    HostRecord record;
+    int64_t failures = 0;
+    AG_ASSIGN_OR_RETURN(failures, r->I64());
+    record.failures = static_cast<int>(failures);
+    int64_t seconds = 0;
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    record.blacklisted_until = SimTime::FromSeconds(seconds);
+    hosts_.emplace(std::move(server), record);
+  }
+  AG_ASSIGN_OR_RETURN(stats_.restarts_attempted, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.restarts_succeeded, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.relocations, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.evacuations, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.recovered, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.abandoned, r->I64());
+  AG_ASSIGN_OR_RETURN(stats_.blacklist_entries, r->I64());
+  return Status::OK();
 }
 
 void RecoveryManager::Trace(SimTime at, std::string_view name,

@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "controller/controller.h"
 #include "faults/availability.h"
@@ -91,6 +92,22 @@ class RecoveryManager {
   const RecoveryConfig& config() const { return config_; }
   /// Hosts currently blacklisted (sorted), for reports and tests.
   std::vector<std::string> BlacklistedHosts(SimTime now) const;
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Serializes open episodes, host placement-failure records, and the
+  /// stats. Pending backoff timers and boot watchdogs live in the
+  /// simulator's heap and are rebuilt there via the callback builders.
+  void SaveState(ByteWriter* w) const;
+  Status RestoreState(ByteReader* r);
+
+  /// Rebuilds the callback of a scheduled "recovery-backoff" event
+  /// (desc kind "recovery.backoff", a = token, b = instance id).
+  sim::Simulator::Callback MakeBackoffCallback(uint64_t token,
+                                               infra::InstanceId id);
+  /// Rebuilds the callback of a scheduled "recovery-watchdog" event
+  /// (desc kind "recovery.watchdog", a = token, b = instance id).
+  sim::Simulator::Callback MakeWatchdogCallback(uint64_t token,
+                                                infra::InstanceId id);
 
  private:
   /// Per-episode recovery state, keyed by the token (the originally

@@ -417,6 +417,112 @@ std::string Cluster::NextVirtualIp(std::string_view service) {
   return StrFormat("10.42.%d.%d", suffix / 250, suffix % 250 + 1);
 }
 
+void Cluster::SaveState(ByteWriter* w) const {
+  w->U64(server_down_.size());
+  for (const auto& [name, down] : server_down_) {
+    w->Str(name);
+    w->U8(down ? 1 : 0);
+  }
+  w->U64(instances_.size());
+  for (const auto& [id, instance] : instances_) {
+    w->U64(id);
+    w->Str(instance.service);
+    w->Str(instance.server);
+    w->U8(static_cast<uint8_t>(instance.state));
+    w->I64(instance.placed_at.seconds());
+    w->Str(instance.virtual_ip);
+  }
+  w->U64(priorities_.size());
+  for (const auto& [name, priority] : priorities_) {
+    w->Str(name);
+    w->F64(priority);
+  }
+  w->U64(server_protection_.size());
+  for (const auto& [name, until] : server_protection_) {
+    w->Str(name);
+    w->I64(until.seconds());
+  }
+  w->U64(service_protection_.size());
+  for (const auto& [name, until] : service_protection_) {
+    w->Str(name);
+    w->I64(until.seconds());
+  }
+  w->U64(next_instance_id_);
+  w->I64(next_ip_suffix_);
+  w->U64(topology_epoch_);
+}
+
+Status Cluster::RestoreState(ByteReader* r) {
+  server_down_.clear();
+  AG_ASSIGN_OR_RETURN(uint64_t down_count, r->U64());
+  for (uint64_t i = 0; i < down_count; ++i) {
+    AG_ASSIGN_OR_RETURN(std::string name, r->Str());
+    AG_ASSIGN_OR_RETURN(uint8_t down, r->U8());
+    AG_RETURN_IF_ERROR(FindServer(name).status());
+    server_down_[std::move(name)] = down != 0;
+  }
+  instances_.clear();
+  for (auto& [name, ids] : server_instances_) ids.clear();
+  for (auto& [name, ids] : service_instances_) ids.clear();
+  AG_ASSIGN_OR_RETURN(uint64_t instance_count, r->U64());
+  for (uint64_t i = 0; i < instance_count; ++i) {
+    ServiceInstance instance;
+    AG_ASSIGN_OR_RETURN(instance.id, r->U64());
+    AG_ASSIGN_OR_RETURN(instance.service, r->Str());
+    AG_ASSIGN_OR_RETURN(instance.server, r->Str());
+    AG_ASSIGN_OR_RETURN(uint8_t state, r->U8());
+    AG_ASSIGN_OR_RETURN(int64_t placed_s, r->I64());
+    AG_ASSIGN_OR_RETURN(instance.virtual_ip, r->Str());
+    if (state > static_cast<uint8_t>(InstanceState::kFailed)) {
+      return Status::ParseError(
+          StrFormat("invalid instance state %d", state));
+    }
+    instance.state = static_cast<InstanceState>(state);
+    instance.placed_at = SimTime::FromSeconds(placed_s);
+    AG_RETURN_IF_ERROR(FindService(instance.service).status());
+    AG_RETURN_IF_ERROR(FindServer(instance.server).status());
+    InstanceId id = instance.id;
+    auto emplaced = instances_.emplace(id, std::move(instance));
+    if (!emplaced.second) {
+      return Status::ParseError(StrFormat(
+          "duplicate instance id %llu in snapshot",
+          static_cast<unsigned long long>(id)));
+    }
+    BookInstance(emplaced.first->second);
+  }
+  priorities_.clear();
+  AG_ASSIGN_OR_RETURN(uint64_t priority_count, r->U64());
+  for (uint64_t i = 0; i < priority_count; ++i) {
+    AG_ASSIGN_OR_RETURN(std::string name, r->Str());
+    AG_ASSIGN_OR_RETURN(double priority, r->F64());
+    priorities_[std::move(name)] = priority;
+  }
+  server_protection_.clear();
+  AG_ASSIGN_OR_RETURN(uint64_t sp_count, r->U64());
+  for (uint64_t i = 0; i < sp_count; ++i) {
+    AG_ASSIGN_OR_RETURN(std::string name, r->Str());
+    AG_ASSIGN_OR_RETURN(int64_t until_s, r->I64());
+    server_protection_.emplace(std::move(name),
+                               SimTime::FromSeconds(until_s));
+  }
+  service_protection_.clear();
+  AG_ASSIGN_OR_RETURN(uint64_t svc_count, r->U64());
+  for (uint64_t i = 0; i < svc_count; ++i) {
+    AG_ASSIGN_OR_RETURN(std::string name, r->Str());
+    AG_ASSIGN_OR_RETURN(int64_t until_s, r->I64());
+    service_protection_.emplace(std::move(name),
+                                SimTime::FromSeconds(until_s));
+  }
+  AG_ASSIGN_OR_RETURN(next_instance_id_, r->U64());
+  AG_ASSIGN_OR_RETURN(int64_t ip_suffix, r->I64());
+  next_ip_suffix_ = static_cast<int>(ip_suffix);
+  AG_ASSIGN_OR_RETURN(topology_epoch_, r->U64());
+  // Epochs start at 1, so 0 can never match: the dense index rebuilds
+  // on the next access.
+  index_epoch_ = 0;
+  return Status::OK();
+}
+
 Status VerifyClusterInvariants(const Cluster& cluster, bool enforce_min) {
   for (const ServerSpec* server : cluster.Servers()) {
     double used = 0.0;

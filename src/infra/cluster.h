@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "infra/action.h"
@@ -156,6 +157,19 @@ class Cluster {
   void ProtectService(std::string_view service, SimTime until);
   bool IsServerProtected(std::string_view server, SimTime now) const;
   bool IsServiceProtected(std::string_view service, SimTime now) const;
+
+  // --- Checkpoint/restore ---------------------------------------------
+  /// Serializes the mutable run state: instance allocation, server
+  /// health, priorities, protection windows, the id counters and the
+  /// topology epoch. The static topology (server/service specs) is
+  /// NOT included — a restore rebuilds it from the same landscape
+  /// configuration; the snapshot's landscape fingerprint guards
+  /// against restoring onto a different one.
+  void SaveState(ByteWriter* w) const;
+  /// Restores a SaveState image over a cluster that already holds the
+  /// same topology. The placement books are rebuilt and the dense
+  /// index is invalidated (rebuilt lazily on next access).
+  Status RestoreState(ByteReader* r);
 
  private:
   friend class LandscapeIndex;

@@ -222,25 +222,77 @@ Status ActionExecutor::RestartInstance(InstanceId id) {
   return Status::OK();
 }
 
+sim::Simulator::Callback ActionExecutor::MakeRunningCallback(
+    InstanceId id) const {
+  return [cluster = cluster_, simulator = simulator_, trace = trace_, id] {
+    // The instance may have been stopped in the meantime; that is
+    // fine — the state change simply no longer applies.
+    auto found = cluster->FindInstance(id);
+    if (found.ok() && (*found)->state == InstanceState::kStarting) {
+      AG_CHECK_OK(cluster->SetInstanceState(id, InstanceState::kRunning));
+      if (trace != nullptr) {
+        trace->Record(simulator->now(),
+                      obs::TraceEventKind::kInstanceLifecycle,
+                      "instance-running", (*found)->Name(),
+                      static_cast<int64_t>(id));
+      }
+    }
+  };
+}
+
 void ActionExecutor::ScheduleRunning(InstanceId id, Duration delay) {
+  sim::EventDesc desc;
+  desc.kind = "executor.running";
+  desc.a = id;
   auto scheduled = simulator_->ScheduleAfter(
-      delay, StrFormat("instance-%llu-running",
-                       static_cast<unsigned long long>(id)),
-      [cluster = cluster_, simulator = simulator_, trace = trace_, id] {
-        // The instance may have been stopped in the meantime; that is
-        // fine — the state change simply no longer applies.
-        auto found = cluster->FindInstance(id);
-        if (found.ok() && (*found)->state == InstanceState::kStarting) {
-          AG_CHECK_OK(cluster->SetInstanceState(id, InstanceState::kRunning));
-          if (trace != nullptr) {
-            trace->Record(simulator->now(),
-                          obs::TraceEventKind::kInstanceLifecycle,
-                          "instance-running", (*found)->Name(),
-                          static_cast<int64_t>(id));
-          }
-        }
-      });
+      delay,
+      StrFormat("instance-%llu-running",
+                static_cast<unsigned long long>(id)),
+      desc, MakeRunningCallback(id));
   AG_CHECK_OK(scheduled.status());
+}
+
+void ActionExecutor::SaveState(ByteWriter* w) const {
+  w->U64(log_.size());
+  for (const ActionRecord& record : log_) {
+    w->I64(record.at.seconds());
+    w->U8(static_cast<uint8_t>(record.action.type));
+    w->Str(record.action.service);
+    w->U64(record.action.instance);
+    w->Str(record.action.source_server);
+    w->Str(record.action.target_server);
+    w->U8(static_cast<uint8_t>(record.status.code()));
+    w->Str(record.status.message());
+  }
+}
+
+Status ActionExecutor::RestoreState(ByteReader* r) {
+  log_.clear();
+  AG_ASSIGN_OR_RETURN(uint64_t count, r->U64());
+  log_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ActionRecord record;
+    AG_ASSIGN_OR_RETURN(int64_t at_s, r->I64());
+    AG_ASSIGN_OR_RETURN(uint8_t type, r->U8());
+    AG_ASSIGN_OR_RETURN(record.action.service, r->Str());
+    AG_ASSIGN_OR_RETURN(record.action.instance, r->U64());
+    AG_ASSIGN_OR_RETURN(record.action.source_server, r->Str());
+    AG_ASSIGN_OR_RETURN(record.action.target_server, r->Str());
+    AG_ASSIGN_OR_RETURN(uint8_t code, r->U8());
+    AG_ASSIGN_OR_RETURN(std::string message, r->Str());
+    if (type > static_cast<uint8_t>(ActionType::kReducePriority)) {
+      return Status::ParseError(StrFormat("invalid action type %d", type));
+    }
+    if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+      return Status::ParseError(StrFormat("invalid status code %d", code));
+    }
+    record.at = SimTime::FromSeconds(at_s);
+    record.action.type = static_cast<ActionType>(type);
+    record.status = Status(static_cast<StatusCode>(code),
+                           std::move(message));
+    log_.push_back(std::move(record));
+  }
+  return Status::OK();
 }
 
 void ActionExecutor::Protect(const Action& action) {

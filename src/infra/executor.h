@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "infra/cluster.h"
 #include "obs/audit.h"
@@ -96,6 +97,18 @@ class ActionExecutor {
 
   const std::vector<ActionRecord>& log() const { return log_; }
   const ExecutorConfig& config() const { return config_; }
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Serializes the action log (the executor's only cross-tick state;
+  /// pending starting->running flips live in the simulator's event
+  /// heap and are restored there).
+  void SaveState(ByteWriter* w) const;
+  Status RestoreState(ByteReader* r);
+
+  /// Rebuilds the starting->running flip callback for instance `id` —
+  /// the body of the event ScheduleRunning arms. Used by the snapshot
+  /// restore path to re-create pending boot completions.
+  sim::Simulator::Callback MakeRunningCallback(InstanceId id) const;
 
  private:
   Status ExecuteValidated(const Action& action);

@@ -270,4 +270,72 @@ Result<LoadArchive> LoadArchive::Load(const std::string& path) {
   return archive;
 }
 
+void LoadArchive::SaveState(ByteWriter* w) const {
+  w->U64(series_.size());
+  for (const auto& [key, series] : series_) {
+    w->Str(key);
+    w->U64(series.count);
+    for (size_t i = 0; i < series.count; ++i) {
+      const LoadSample& sample = series.At(i);
+      w->I64(sample.at.seconds());
+      w->F64(sample.value);
+    }
+    w->U64(series.aggregated.size());
+    for (const LoadSample& sample : series.aggregated) {
+      w->I64(sample.at.seconds());
+      w->F64(sample.value);
+    }
+    w->I64(series.open_bucket);
+    w->F64(series.open_sum);
+    w->I64(series.open_count);
+  }
+}
+
+Status LoadArchive::RestoreState(ByteReader* r) {
+  // Series not present in the snapshot keep their identity (Handles
+  // stay valid) but lose their samples: in the snapshotted run they
+  // had never been acquired yet.
+  ClearSamples();
+  uint64_t series_count = 0;
+  AG_ASSIGN_OR_RETURN(series_count, r->U64());
+  for (uint64_t s = 0; s < series_count; ++s) {
+    std::string key;
+    AG_ASSIGN_OR_RETURN(key, r->Str());
+    Handle handle = Acquire(key);
+    Series& series = *handle.series_;
+    uint64_t raw_count = 0;
+    AG_ASSIGN_OR_RETURN(raw_count, r->U64());
+    size_t capacity = series.raw.size();
+    if (capacity < raw_count) capacity = RoundUpPow2(raw_count);
+    if (capacity != series.raw.size()) {
+      series.raw.assign(capacity, LoadSample{});
+    }
+    series.head = 0;
+    series.count = raw_count;
+    for (uint64_t i = 0; i < raw_count; ++i) {
+      int64_t at_s = 0;
+      double value = 0.0;
+      AG_ASSIGN_OR_RETURN(at_s, r->I64());
+      AG_ASSIGN_OR_RETURN(value, r->F64());
+      series.raw[i] = LoadSample{SimTime::FromSeconds(at_s), value};
+    }
+    uint64_t aggregated_count = 0;
+    AG_ASSIGN_OR_RETURN(aggregated_count, r->U64());
+    series.aggregated.clear();
+    series.aggregated.reserve(aggregated_count);
+    for (uint64_t i = 0; i < aggregated_count; ++i) {
+      int64_t at_s = 0;
+      double value = 0.0;
+      AG_ASSIGN_OR_RETURN(at_s, r->I64());
+      AG_ASSIGN_OR_RETURN(value, r->F64());
+      series.aggregated.push_back(
+          LoadSample{SimTime::FromSeconds(at_s), value});
+    }
+    AG_ASSIGN_OR_RETURN(series.open_bucket, r->I64());
+    AG_ASSIGN_OR_RETURN(series.open_sum, r->F64());
+    AG_ASSIGN_OR_RETURN(series.open_count, r->I64());
+  }
+  return Status::OK();
+}
+
 }  // namespace autoglobe::monitor

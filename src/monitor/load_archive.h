@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 
@@ -129,6 +130,16 @@ class LoadArchive {
   /// historic load data") to / from a simple text format.
   Status Save(const std::string& path) const;
   static Result<LoadArchive> Load(const std::string& path);
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Full binary serialization for snapshots: raw rings (in logical
+  /// order), aggregate buckets and open-bucket accumulators of every
+  /// series — unlike Save/Load, which keeps only the aggregated view.
+  void SaveState(ByteWriter* w) const;
+  /// Restores a SaveState image. Existing series are reused (issued
+  /// Handles stay valid); ring capacity is re-derived from the sample
+  /// counts and capacity hints — capacity never affects values.
+  Status RestoreState(ByteReader* r);
 
   Duration raw_retention() const { return raw_retention_; }
   Duration aggregate_bucket() const { return aggregate_bucket_; }

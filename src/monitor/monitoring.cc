@@ -330,6 +330,113 @@ size_t LoadMonitoringSystem::active_heartbeat_watches() const {
   return count;
 }
 
+void LoadMonitoringSystem::SaveState(ByteWriter* w) const {
+  w->U64(subjects_.size());
+  for (const SubjectState& subject : subjects_) {
+    w->Str(subject.name);
+    w->U8(static_cast<uint8_t>(subject.phase));
+    w->I64(subject.watch_started.seconds());
+    w->F64(subject.last_value);
+    w->I64(subject.last_at.seconds());
+    w->U8(subject.has_last ? 1 : 0);
+    w->I64(subject.pending_first.seconds());
+    w->I64(subject.pending_interval.seconds());
+    w->I64(subject.pending_count);
+  }
+  w->U64(heartbeats_.size());
+  for (const HeartbeatState& state : heartbeats_) {
+    w->U8(static_cast<uint8_t>(state.failed_kind));
+    w->Str(state.key);
+    w->Str(state.subject);
+    w->U64(state.instance);
+    w->I64(state.last_seen.seconds());
+    w->U8(state.active ? 1 : 0);
+    w->U8(state.reported ? 1 : 0);
+  }
+  w->I64(triggers_fired_);
+  w->I64(evaluations_);
+  w->I64(skips_);
+}
+
+Status LoadMonitoringSystem::RestoreState(ByteReader* r) {
+  uint64_t subject_count = 0;
+  AG_ASSIGN_OR_RETURN(subject_count, r->U64());
+  if (subject_count != subjects_.size()) {
+    return Status::ParseError(StrFormat(
+        "snapshot has %llu monitoring subjects, landscape has %zu",
+        static_cast<unsigned long long>(subject_count), subjects_.size()));
+  }
+  for (uint64_t i = 0; i < subject_count; ++i) {
+    std::string name;
+    AG_ASSIGN_OR_RETURN(name, r->Str());
+    auto it = subject_ids_.find(name);
+    if (it == subject_ids_.end()) {
+      return Status::ParseError(StrFormat(
+          "snapshot subject \"%s\" is not registered", name.c_str()));
+    }
+    SubjectState& subject = subjects_[static_cast<size_t>(it->second)];
+    uint8_t phase = 0;
+    AG_ASSIGN_OR_RETURN(phase, r->U8());
+    if (phase > static_cast<uint8_t>(Phase::kWatchingIdle)) {
+      return Status::ParseError(
+          StrFormat("bad monitoring phase %u", unsigned{phase}));
+    }
+    subject.phase = static_cast<Phase>(phase);
+    int64_t seconds = 0;
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    subject.watch_started = SimTime::FromSeconds(seconds);
+    AG_ASSIGN_OR_RETURN(subject.last_value, r->F64());
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    subject.last_at = SimTime::FromSeconds(seconds);
+    uint8_t has_last = 0;
+    AG_ASSIGN_OR_RETURN(has_last, r->U8());
+    subject.has_last = has_last != 0;
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    subject.pending_first = SimTime::FromSeconds(seconds);
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    subject.pending_interval = Duration::Seconds(seconds);
+    AG_ASSIGN_OR_RETURN(subject.pending_count, r->I64());
+  }
+  uint64_t heartbeat_count = 0;
+  AG_ASSIGN_OR_RETURN(heartbeat_count, r->U64());
+  std::vector<HeartbeatState> heartbeats;
+  std::map<std::string, size_t, std::less<>> heartbeat_ids;
+  heartbeats.reserve(heartbeat_count);
+  for (uint64_t i = 0; i < heartbeat_count; ++i) {
+    HeartbeatState state;
+    uint8_t kind = 0;
+    AG_ASSIGN_OR_RETURN(kind, r->U8());
+    if (kind != static_cast<uint8_t>(TriggerKind::kInstanceFailed) &&
+        kind != static_cast<uint8_t>(TriggerKind::kServerFailed)) {
+      return Status::ParseError(
+          StrFormat("bad heartbeat trigger kind %u", unsigned{kind}));
+    }
+    state.failed_kind = static_cast<TriggerKind>(kind);
+    AG_ASSIGN_OR_RETURN(state.key, r->Str());
+    AG_ASSIGN_OR_RETURN(state.subject, r->Str());
+    AG_ASSIGN_OR_RETURN(state.instance, r->U64());
+    int64_t seconds = 0;
+    AG_ASSIGN_OR_RETURN(seconds, r->I64());
+    state.last_seen = SimTime::FromSeconds(seconds);
+    uint8_t flag = 0;
+    AG_ASSIGN_OR_RETURN(flag, r->U8());
+    state.active = flag != 0;
+    AG_ASSIGN_OR_RETURN(flag, r->U8());
+    state.reported = flag != 0;
+    if (!heartbeat_ids.emplace(state.key, heartbeats.size()).second) {
+      return Status::ParseError(StrFormat(
+          "duplicate heartbeat key \"%s\"", state.key.c_str()));
+    }
+    heartbeats.push_back(std::move(state));
+  }
+  heartbeats_ = std::move(heartbeats);
+  heartbeat_ids_ = std::move(heartbeat_ids);
+  AG_ASSIGN_OR_RETURN(triggers_fired_, r->I64());
+  AG_ASSIGN_OR_RETURN(evaluations_, r->I64());
+  AG_ASSIGN_OR_RETURN(skips_, r->I64());
+  return Status::OK();
+}
+
 void LoadMonitoringSystem::Confirm(Trigger trigger) {
   ++triggers_fired_;
   if (trace_ != nullptr) {

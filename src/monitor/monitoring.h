@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "monitor/load_archive.h"
@@ -195,6 +196,20 @@ class LoadMonitoringSystem {
 
   /// Number of confirmed triggers fired so far.
   int64_t triggers_fired() const { return triggers_fired_; }
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Serializes the dynamic per-subject detection state (phase, watch
+  /// window, carry-forward run), the complete heartbeat table
+  /// (including tombstoned slots, so restored slot ids keep the
+  /// first-registration iteration order), and the counters. Static
+  /// registration data (thresholds, watch times) is rebuilt from the
+  /// configuration and only validated here.
+  void SaveState(ByteWriter* w) const;
+  /// Restores onto an identically-registered system: every snapshot
+  /// subject must already be registered (same landscape). Heartbeat
+  /// slots are rebuilt wholesale — callers caching HeartbeatIdOf
+  /// results must re-resolve them afterwards.
+  Status RestoreState(ByteReader* r);
 
  private:
   enum class Phase { kNormal, kWatchingOverload, kWatchingIdle };

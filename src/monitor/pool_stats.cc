@@ -1,5 +1,7 @@
 #include "monitor/pool_stats.h"
 
+#include "common/strings.h"
+
 namespace autoglobe::monitor {
 
 void PoolLoadStats::Reset(const infra::LandscapeIndex* index) {
@@ -60,6 +62,57 @@ double PoolLoadStats::PoolMax(int32_t pool) const {
     max_server_[p] = holder;
   }
   return count_[p] == 0 ? 0.0 : max_[p];
+}
+
+void PoolLoadStats::SaveState(ByteWriter* w) const {
+  w->U64(server_load_.size());
+  for (double load : server_load_) w->F64(load);
+  for (char seen : server_seen_) w->U8(static_cast<uint8_t>(seen));
+  w->U64(count_.size());
+  for (int64_t count : count_) w->I64(count);
+  for (double sum : sum_) w->F64(sum);
+  for (double max : max_) w->F64(max);
+  for (infra::DenseId server : max_server_) w->I64(server);
+}
+
+Status PoolLoadStats::RestoreState(ByteReader* r) {
+  uint64_t servers = 0;
+  AG_ASSIGN_OR_RETURN(servers, r->U64());
+  if (servers != server_load_.size()) {
+    return Status::ParseError(StrFormat(
+        "snapshot pool stats cover %llu servers, layout has %zu",
+        static_cast<unsigned long long>(servers), server_load_.size()));
+  }
+  for (double& load : server_load_) {
+    AG_ASSIGN_OR_RETURN(load, r->F64());
+  }
+  for (char& seen : server_seen_) {
+    uint8_t flag = 0;
+    AG_ASSIGN_OR_RETURN(flag, r->U8());
+    seen = static_cast<char>(flag);
+  }
+  uint64_t pools = 0;
+  AG_ASSIGN_OR_RETURN(pools, r->U64());
+  if (pools != count_.size()) {
+    return Status::ParseError(StrFormat(
+        "snapshot pool stats cover %llu pools, layout has %zu",
+        static_cast<unsigned long long>(pools), count_.size()));
+  }
+  for (int64_t& count : count_) {
+    AG_ASSIGN_OR_RETURN(count, r->I64());
+  }
+  for (double& sum : sum_) {
+    AG_ASSIGN_OR_RETURN(sum, r->F64());
+  }
+  for (double& max : max_) {
+    AG_ASSIGN_OR_RETURN(max, r->F64());
+  }
+  for (infra::DenseId& server : max_server_) {
+    int64_t value = 0;
+    AG_ASSIGN_OR_RETURN(value, r->I64());
+    server = static_cast<infra::DenseId>(value);
+  }
+  return Status::OK();
 }
 
 }  // namespace autoglobe::monitor

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/bytes.h"
+#include "common/result.h"
 #include "infra/ids.h"
 
 namespace autoglobe::monitor {
@@ -51,6 +53,16 @@ class PoolLoadStats {
   double ServerLoad(infra::DenseId server) const {
     return server_load_[static_cast<size_t>(server)];
   }
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Serializes loads, seen flags, and the incremental aggregates —
+  /// the incremental sum carries floating-point drift relative to a
+  /// fresh summation, so rebuilding from loads alone would not be
+  /// bit-identical to the uninterrupted run.
+  void SaveState(ByteWriter* w) const;
+  /// Restores onto a stats object already Reset() against the same
+  /// landscape layout (sizes are validated).
+  Status RestoreState(ByteReader* r);
 
  private:
   const infra::LandscapeIndex* index_ = nullptr;

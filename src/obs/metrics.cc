@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 
+#include "common/fileio.h"
 #include "common/strings.h"
 
 namespace autoglobe::obs {
@@ -129,18 +130,9 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 Status MetricsSnapshot::WriteJson(const std::string& path) const {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    return Status::Internal(
-        StrFormat("cannot open \"%s\" for writing", path.c_str()));
-  }
-  std::string json = ToJson();
-  size_t written = std::fwrite(json.data(), 1, json.size(), file);
-  std::fclose(file);
-  if (written != json.size()) {
-    return Status::Internal(StrFormat("short write to \"%s\"", path.c_str()));
-  }
-  return Status::OK();
+  // Durable write: dashboards polling the file never see a torn JSON
+  // document, even if the exporter dies mid-write.
+  return AtomicWriteFile(path, ToJson());
 }
 
 Counter MetricsRegistry::AddCounter(const std::string& name) {
@@ -213,6 +205,55 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snapshot.histograms.push_back(std::move(histogram));
   }
   return snapshot;
+}
+
+Status MetricsRegistry::Restore(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    AddCounter(name);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    AddGauge(name);
+  }
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    AddHistogram(histogram.name, histogram.bounds);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : snapshot.counters) {
+    for (CounterSlot& slot : counters_) {
+      if (slot.name == name) {
+        slot.value.store(value, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    for (GaugeSlot& slot : gauges_) {
+      if (slot.name == name) {
+        slot.value.store(value, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    for (Histogram::Slot& slot : histograms_) {
+      if (slot.name != histogram.name) continue;
+      if (slot.bounds != histogram.bounds ||
+          histogram.counts.size() != slot.bounds.size() + 1) {
+        return Status::ParseError(StrFormat(
+            "histogram \"%s\": snapshot buckets do not match the "
+            "registered bounds",
+            histogram.name.c_str()));
+      }
+      for (size_t i = 0; i < histogram.counts.size(); ++i) {
+        slot.buckets[i].store(histogram.counts[i],
+                              std::memory_order_relaxed);
+      }
+      slot.count.store(histogram.count, std::memory_order_relaxed);
+      slot.sum.store(histogram.sum, std::memory_order_relaxed);
+      break;
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace autoglobe::obs

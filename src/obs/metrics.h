@@ -135,6 +135,12 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Sets every metric named in `snapshot` to its absolute snapshot
+  /// value, registering missing slots (histograms with the snapshot's
+  /// bounds). Existing handles stay valid; a restored histogram whose
+  /// registered bounds disagree with the snapshot is an error.
+  Status Restore(const MetricsSnapshot& snapshot);
+
  private:
   struct CounterSlot {
     std::string name;

@@ -1,0 +1,88 @@
+#include "persist/crash_plan.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace autoglobe::persist {
+
+Status CrashPlan::Validate() const {
+  SimTime previous = SimTime::Start();
+  for (size_t i = 0; i < crash_at.size(); ++i) {
+    if (crash_at[i] < SimTime::Start()) {
+      return Status::InvalidArgument(
+          StrFormat("crash %zu: negative time", i));
+    }
+    if (i > 0 && crash_at[i] < previous) {
+      return Status::InvalidArgument(StrFormat(
+          "crash %zu at %s precedes its predecessor (call SortByTime)",
+          i, crash_at[i].ToString().c_str()));
+    }
+    previous = crash_at[i];
+  }
+  return Status::OK();
+}
+
+void CrashPlan::SortByTime() {
+  std::stable_sort(crash_at.begin(), crash_at.end());
+}
+
+Result<CrashPlan> CrashPlan::FromXml(const xml::Element& root) {
+  if (root.name() != "crashPlan") {
+    return Status::ParseError(StrFormat(
+        "expected <crashPlan>, got <%s>", root.name().c_str()));
+  }
+  CrashPlan plan;
+  for (const xml::Element* child : root.FindChildren("crash")) {
+    AG_ASSIGN_OR_RETURN(long long at, child->IntAttribute("atSeconds"));
+    plan.crash_at.push_back(
+        SimTime::FromSeconds(static_cast<int64_t>(at)));
+  }
+  plan.SortByTime();
+  AG_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+Result<CrashPlan> CrashPlan::Parse(std::string_view text) {
+  AG_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(text));
+  if (doc.root() == nullptr) {
+    return Status::ParseError("empty crash-plan document");
+  }
+  return FromXml(*doc.root());
+}
+
+Result<CrashPlan> CrashPlan::LoadFile(const std::string& path) {
+  AG_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::LoadFile(path));
+  if (doc.root() == nullptr) {
+    return Status::ParseError("empty crash-plan document");
+  }
+  return FromXml(*doc.root());
+}
+
+std::string CrashPlan::ToXml() const {
+  xml::Document doc;
+  xml::Element* root = doc.SetRoot("crashPlan");
+  for (SimTime at : crash_at) {
+    xml::Element* child = root->AddChild("crash");
+    child->SetAttribute(
+        "atSeconds",
+        StrFormat("%lld", static_cast<long long>(at.seconds())));
+  }
+  return doc.ToString();
+}
+
+CrashPlan CrashPlan::Generate(int count, Duration horizon, uint64_t seed) {
+  CrashPlan plan;
+  Rng rng(seed ^ 0xc7a5ac7a5ULL);
+  for (int i = 0; i < count; ++i) {
+    int64_t at = 1 + static_cast<int64_t>(
+                         rng.NextDouble() *
+                         static_cast<double>(horizon.seconds() - 1));
+    plan.crash_at.push_back(SimTime::FromSeconds(at));
+  }
+  plan.SortByTime();
+  return plan;
+}
+
+}  // namespace autoglobe::persist

@@ -1,0 +1,43 @@
+#ifndef AUTOGLOBE_PERSIST_CRASH_PLAN_H_
+#define AUTOGLOBE_PERSIST_CRASH_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "xmlcfg/xml.h"
+
+namespace autoglobe::persist {
+
+/// A deterministic, serializable schedule of process kills for the
+/// crash-injection harness: at each listed simulated time the run is
+/// checkpointed, torn down, and restored from the checkpoint before
+/// continuing — the moral equivalent of SIGKILL at that tick. The
+/// plan is data only (mirroring faults::FaultPlan), so a chaos run
+/// with a given plan and seed is exactly reproducible.
+struct CrashPlan {
+  std::vector<SimTime> crash_at;  // ascending
+
+  /// Ascending, non-negative times.
+  Status Validate() const;
+  void SortByTime();
+
+  /// XML round-trip:
+  ///   <crashPlan>
+  ///     <crash atSeconds="7200"/>
+  ///   </crashPlan>
+  static Result<CrashPlan> FromXml(const xml::Element& root);
+  static Result<CrashPlan> Parse(std::string_view text);
+  static Result<CrashPlan> LoadFile(const std::string& path);
+  std::string ToXml() const;
+
+  /// Draws `count` kill points uniformly over (0, horizon), sorted.
+  /// Same count + horizon + seed => same plan, always.
+  static CrashPlan Generate(int count, Duration horizon, uint64_t seed);
+};
+
+}  // namespace autoglobe::persist
+
+#endif  // AUTOGLOBE_PERSIST_CRASH_PLAN_H_

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -17,6 +18,24 @@ namespace autoglobe::sim {
 
 /// Identifier of a scheduled event; usable for cancellation.
 using EventId = uint64_t;
+
+/// Serializable re-arm descriptor of a pending event. Callbacks are
+/// closures and cannot be persisted; a subsystem whose events must
+/// survive a checkpoint attaches a descriptor at schedule time and
+/// supplies a factory that rebuilds the callback from it at restore
+/// time (Simulator::RestoreState). `kind` selects the factory branch;
+/// the remaining fields carry the closure's captures. Both string
+/// fields must view storage that outlives the event — string literals
+/// or strings interned through EventLabel — so copying an event stays
+/// allocation-free on the re-arm path.
+struct EventDesc {
+  std::string_view kind;  ///< factory dispatch key; empty = transient
+  std::string_view str;   ///< captured name (server/service), if any
+  uint64_t a = 0;         ///< captured id/token, if any
+  uint64_t b = 0;         ///< second captured id, if any
+  int64_t x = 0;          ///< small captured enum/int, if any
+  Duration dur = Duration::Zero();  ///< captured duration, if any
+};
 
 /// Cheap event label. The overwhelmingly common case — a string
 /// literal like "tick" — is stored as a borrowed pointer: no heap
@@ -61,17 +80,25 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `callback` at absolute time `at` (>= now). Events in
-  /// the past are rejected.
+  /// the past are rejected. The descriptor overloads make the event
+  /// snapshot-safe (see EventDesc); descriptor-less events cannot be
+  /// pending when SaveState runs.
   Result<EventId> ScheduleAt(SimTime at, EventLabel label,
+                             Callback callback);
+  Result<EventId> ScheduleAt(SimTime at, EventLabel label, EventDesc desc,
                              Callback callback);
   /// Schedules `callback` after `delay` (>= 0).
   Result<EventId> ScheduleAfter(Duration delay, EventLabel label,
                                 Callback callback);
+  Result<EventId> ScheduleAfter(Duration delay, EventLabel label,
+                                EventDesc desc, Callback callback);
 
   /// Schedules `callback` every `period`, first firing at
   /// `now + period`. Returns a handle that cancels the whole series.
   Result<EventId> SchedulePeriodic(Duration period, EventLabel label,
                                    Callback callback);
+  Result<EventId> SchedulePeriodic(Duration period, EventLabel label,
+                                   EventDesc desc, Callback callback);
 
   /// Cancels a pending event (or periodic series). NotFound when the
   /// event already fired or never existed.
@@ -115,6 +142,24 @@ class Simulator {
   /// Total number of events dispatched so far.
   uint64_t dispatched_events() const { return dispatched_; }
 
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Rebuilds an event callback from its descriptor at restore time.
+  using CallbackFactory = std::function<Result<Callback>(const EventDesc&)>;
+
+  /// Serializes the clock, the id/sequence counters, the per-id
+  /// liveness array and every pending event's (at, seq, id, label,
+  /// period, descriptor) into `w`. Lazily-cancelled queue entries are
+  /// dropped (their liveness byte already says kCancelled). Errors if
+  /// a pending event carries no descriptor — its callback could not
+  /// be rebuilt, so the snapshot would be unable to resume.
+  Status SaveState(ByteWriter* w) const;
+
+  /// Restores a SaveState image: the pending-event heap is rebuilt
+  /// with identical (at, seq, id) triples, so the restored run
+  /// dispatches events in exactly the original order. `factory` maps
+  /// each descriptor back to a callback; its errors propagate.
+  Status RestoreState(ByteReader* r, const CallbackFactory& factory);
+
  private:
   // Liveness is a flat per-id byte array instead of hash sets: ids are
   // dense (monotonically allocated from 1), so state lookup is one
@@ -135,6 +180,8 @@ class Simulator {
     std::shared_ptr<Callback> series;
     // Period of a periodic series; zero for one-shot events.
     Duration period = Duration::Zero();
+    /// Snapshot descriptor; trivially copyable (interned views).
+    EventDesc desc;
   };
 
   struct EventOrder {

@@ -280,4 +280,95 @@ Status FuzzyQLearningStrategy::LoadWeights(const std::string& path) {
   return Status::OK();
 }
 
+void FuzzyQLearningStrategy::SaveState(ByteWriter* w) const {
+  Rng::State rng = rng_.SaveState();
+  for (uint64_t word : rng.words) w->U64(word);
+  w->U8(rng.have_cached_normal ? 1 : 0);
+  w->F64(rng.cached_normal);
+  w->F64(epsilon_);
+  w->I64(reward_updates_);
+  w->I64(weight_updates_);
+  w->U64(tables_.size());
+  for (const KindTable& table : tables_) {
+    w->U8(static_cast<uint8_t>(table.kind));
+    w->U64(table.weights.size());
+    for (double weight : table.weights) w->F64(weight);
+    for (const std::array<double, 3>& row : table.q) {
+      w->F64(row[0]);
+      w->F64(row[1]);
+      w->F64(row[2]);
+    }
+    w->U8(table.pending ? 1 : 0);
+    w->F64(table.penalty_before);
+    for (uint8_t arm : table.last_arm) w->U8(arm);
+    for (double eligibility : table.last_eligibility) w->F64(eligibility);
+    w->F64(table.avg_delta);
+    w->I64(table.settled);
+  }
+}
+
+Status FuzzyQLearningStrategy::RestoreState(ByteReader* r) {
+  Rng::State rng;
+  for (uint64_t& word : rng.words) {
+    AG_ASSIGN_OR_RETURN(word, r->U64());
+  }
+  uint8_t have_cached = 0;
+  AG_ASSIGN_OR_RETURN(have_cached, r->U8());
+  rng.have_cached_normal = have_cached != 0;
+  AG_ASSIGN_OR_RETURN(rng.cached_normal, r->F64());
+  rng_.RestoreState(rng);
+  AG_ASSIGN_OR_RETURN(epsilon_, r->F64());
+  AG_ASSIGN_OR_RETURN(reward_updates_, r->I64());
+  AG_ASSIGN_OR_RETURN(weight_updates_, r->I64());
+  uint64_t table_count = 0;
+  AG_ASSIGN_OR_RETURN(table_count, r->U64());
+  if (table_count != tables_.size()) {
+    return Status::ParseError(StrFormat(
+        "snapshot has %llu learner tables, controller has %zu",
+        static_cast<unsigned long long>(table_count), tables_.size()));
+  }
+  for (KindTable& table : tables_) {
+    uint8_t kind = 0;
+    AG_ASSIGN_OR_RETURN(kind, r->U8());
+    if (kind != static_cast<uint8_t>(table.kind)) {
+      return Status::ParseError(StrFormat(
+          "snapshot learner table order mismatch (%u vs %u)",
+          unsigned{kind}, static_cast<unsigned>(table.kind)));
+    }
+    uint64_t rules = 0;
+    AG_ASSIGN_OR_RETURN(rules, r->U64());
+    if (rules != table.weights.size()) {
+      return Status::ParseError(StrFormat(
+          "snapshot learner table for %.*s has %llu rules, rule base "
+          "has %zu",
+          static_cast<int>(monitor::TriggerKindName(table.kind).size()),
+          monitor::TriggerKindName(table.kind).data(),
+          static_cast<unsigned long long>(rules), table.weights.size()));
+    }
+    for (double& weight : table.weights) {
+      AG_ASSIGN_OR_RETURN(weight, r->F64());
+    }
+    for (std::array<double, 3>& row : table.q) {
+      AG_ASSIGN_OR_RETURN(row[0], r->F64());
+      AG_ASSIGN_OR_RETURN(row[1], r->F64());
+      AG_ASSIGN_OR_RETURN(row[2], r->F64());
+    }
+    uint8_t pending = 0;
+    AG_ASSIGN_OR_RETURN(pending, r->U8());
+    table.pending = pending != 0;
+    AG_ASSIGN_OR_RETURN(table.penalty_before, r->F64());
+    for (uint8_t& arm : table.last_arm) {
+      AG_ASSIGN_OR_RETURN(arm, r->U8());
+    }
+    for (double& eligibility : table.last_eligibility) {
+      AG_ASSIGN_OR_RETURN(eligibility, r->F64());
+    }
+    AG_ASSIGN_OR_RETURN(table.avg_delta, r->F64());
+    AG_ASSIGN_OR_RETURN(table.settled, r->I64());
+    AG_RETURN_IF_ERROR(env_.controller->SetActionWeightOverride(
+        table.kind, table.weights));
+  }
+  return Status::OK();
+}
+
 }  // namespace autoglobe::strategy

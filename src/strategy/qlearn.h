@@ -50,6 +50,12 @@ class FuzzyQLearningStrategy : public ControllerStrategy {
   Status SaveWeights(const std::string& path) const override;
   Status LoadWeights(const std::string& path) override;
 
+  /// Unlike SaveWeights (portable learned state), this captures the
+  /// exact mid-run picture: exploration RNG, pending decisions and
+  /// their eligibility traces, reward baselines, and counters.
+  void SaveState(ByteWriter* w) const override;
+  Status RestoreState(ByteReader* r) override;
+
   double epsilon() const { return epsilon_; }
   /// Current weight vector for one trigger kind (compiled rule
   /// order), or empty when the kind has no learned table.

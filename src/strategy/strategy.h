@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "controller/controller.h"
 #include "infra/cluster.h"
@@ -133,6 +134,17 @@ class ControllerStrategy {
   /// without learned state.
   virtual Status SaveWeights(const std::string& path) const;
   virtual Status LoadWeights(const std::string& path);
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Serializes all cross-trigger state (exploration RNG, pending
+  /// decisions, learned tables). Stateless strategies write nothing.
+  virtual void SaveState(ByteWriter* w) const { (void)w; }
+  /// Restores a SaveState image, reinstalling any controller-side
+  /// overrides the state implies. Default matches the empty SaveState.
+  virtual Status RestoreState(ByteReader* r) {
+    (void)r;
+    return Status::OK();
+  }
 };
 
 /// Builds the configured strategy, stamps its name into the

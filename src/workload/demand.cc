@@ -649,4 +649,104 @@ double DemandEngine::TotalBacklog() const {
   return total;
 }
 
+namespace {
+
+void WriteDoubles(ByteWriter* w, const std::vector<double>& values) {
+  w->U64(values.size());
+  for (double v : values) w->F64(v);
+}
+
+Status ReadDoubles(ByteReader* r, std::vector<double>* values) {
+  uint64_t count;
+  AG_ASSIGN_OR_RETURN(count, r->U64());
+  values->assign(count, 0.0);
+  for (uint64_t i = 0; i < count; ++i) {
+    AG_ASSIGN_OR_RETURN((*values)[i], r->F64());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void DemandEngine::SaveState(ByteWriter* w) const {
+  Rng::State rng = rng_.SaveState();
+  for (uint64_t word : rng.words) w->U64(word);
+  w->U8(rng.have_cached_normal ? 1 : 0);
+  w->F64(rng.cached_normal);
+  PhiloxRng::State philox = philox_.SaveState();
+  w->U32(philox.key0);
+  w->U32(philox.key1);
+  w->U64(philox.counter);
+  w->U64(philox.cache_block);
+  w->F64(philox.cache);
+  w->U8(philox.cache_valid ? 1 : 0);
+  w->U8(static_cast<uint8_t>(rng_kind_));
+
+  WriteDoubles(w, users_);
+  WriteDoubles(w, backlog_wu_);
+  WriteDoubles(w, demand_wu_);
+  WriteDoubles(w, served_wu_);
+  WriteDoubles(w, inst_load_);
+  w->U64(tracked_.size());
+  w->Raw(tracked_.data(), tracked_.size());
+
+  w->U64(server_names_.size());
+  for (const std::string& name : server_names_) w->Str(name);
+  WriteDoubles(w, server_cpu_);
+  WriteDoubles(w, server_mem_);
+  WriteDoubles(w, queue_wu_);
+  w->F64(lost_work_wu_);
+  w->F64(overload_minutes_);
+}
+
+Status DemandEngine::RestoreState(ByteReader* r) {
+  Rng::State rng;
+  for (uint64_t& word : rng.words) {
+    AG_ASSIGN_OR_RETURN(word, r->U64());
+  }
+  AG_ASSIGN_OR_RETURN(uint8_t have_normal, r->U8());
+  rng.have_cached_normal = have_normal != 0;
+  AG_ASSIGN_OR_RETURN(rng.cached_normal, r->F64());
+  rng_.RestoreState(rng);
+  PhiloxRng::State philox;
+  AG_ASSIGN_OR_RETURN(philox.key0, r->U32());
+  AG_ASSIGN_OR_RETURN(philox.key1, r->U32());
+  AG_ASSIGN_OR_RETURN(philox.counter, r->U64());
+  AG_ASSIGN_OR_RETURN(philox.cache_block, r->U64());
+  AG_ASSIGN_OR_RETURN(philox.cache, r->F64());
+  AG_ASSIGN_OR_RETURN(uint8_t cache_valid, r->U8());
+  philox.cache_valid = cache_valid != 0;
+  philox_.RestoreState(philox);
+  AG_ASSIGN_OR_RETURN(uint8_t kind, r->U8());
+  rng_kind_ = static_cast<RngKind>(kind);
+
+  AG_RETURN_IF_ERROR(ReadDoubles(r, &users_));
+  AG_RETURN_IF_ERROR(ReadDoubles(r, &backlog_wu_));
+  AG_RETURN_IF_ERROR(ReadDoubles(r, &demand_wu_));
+  AG_RETURN_IF_ERROR(ReadDoubles(r, &served_wu_));
+  AG_RETURN_IF_ERROR(ReadDoubles(r, &inst_load_));
+  AG_ASSIGN_OR_RETURN(uint64_t tracked_count, r->U64());
+  tracked_.assign(tracked_count, 0);
+  AG_RETURN_IF_ERROR(r->Raw(tracked_.data(), tracked_count));
+
+  AG_ASSIGN_OR_RETURN(uint64_t name_count, r->U64());
+  server_names_.clear();
+  server_names_.reserve(name_count);
+  for (uint64_t i = 0; i < name_count; ++i) {
+    AG_ASSIGN_OR_RETURN(std::string name, r->Str());
+    server_names_.push_back(std::move(name));
+  }
+  AG_RETURN_IF_ERROR(ReadDoubles(r, &server_cpu_));
+  AG_RETURN_IF_ERROR(ReadDoubles(r, &server_mem_));
+  AG_RETURN_IF_ERROR(ReadDoubles(r, &queue_wu_));
+  AG_ASSIGN_OR_RETURN(lost_work_wu_, r->F64());
+  AG_ASSIGN_OR_RETURN(overload_minutes_, r->F64());
+
+  // The dense plane re-syncs against the restored cluster on the next
+  // Tick; the sync carries per-instance state by id and per-server
+  // state by name, so forcing it is value-preserving.
+  plane_dirty_ = true;
+  return Status::OK();
+}
+
 }  // namespace autoglobe::workload

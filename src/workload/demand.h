@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/philox.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -226,6 +227,16 @@ class DemandEngine : public DemandModelSink {
   void set_overload_threshold(double threshold) {
     overload_threshold_ = threshold;
   }
+
+  // --- Checkpoint/restore ----------------------------------------------
+  /// Serializes the run state: both RNG streams, the per-instance SoA
+  /// arrays, last-tick server loads, shared queues and the quality
+  /// counters. Registered specs and config knobs are not included —
+  /// they are rebuilt from the same landscape configuration.
+  void SaveState(ByteWriter* w) const;
+  /// Restores a SaveState image; the dense data plane re-syncs on the
+  /// next Tick (value-carrying, so the continuation is bit-identical).
+  Status RestoreState(ByteReader* r);
 
  private:
   /// Subsystem propagation lowered to registered-spec slots: summing

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fileio.h"
 #include "common/strings.h"
 
 namespace autoglobe::xml {
@@ -435,12 +436,9 @@ std::string Document::ToString() const {
 }
 
 Status Document::SaveFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IoError(StrFormat("cannot write \"%s\"", path.c_str()));
-  }
-  out << ToString();
-  return Status::OK();
+  // Durable write: a crash mid-save must never leave a torn config or
+  // weight file behind.
+  return AtomicWriteFile(path, ToString());
 }
 
 std::string Escape(std::string_view raw) {

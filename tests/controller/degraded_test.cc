@@ -1,0 +1,103 @@
+#include "controller/degraded.h"
+
+#include <gtest/gtest.h>
+
+namespace autoglobe::controller {
+namespace {
+
+DegradedModeConfig Config(int storm = 3, int exit_ticks = 5,
+                          double deadline_ms = 0.0) {
+  DegradedModeConfig config;
+  config.enabled = true;
+  config.dropout_storm_threshold = storm;
+  config.exit_healthy_ticks = exit_ticks;
+  config.tick_deadline_ms = deadline_ms;
+  return config;
+}
+
+TEST(DegradedModeTest, DisabledNeverEnters) {
+  DegradedModeController watchdog;  // default config: disabled
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(watchdog.ObserveTick(/*silent_servers=*/100,
+                                   /*tick_wall_ms=*/1e9),
+              0);
+  }
+  EXPECT_FALSE(watchdog.degraded());
+  EXPECT_EQ(watchdog.entries(), 0);
+}
+
+TEST(DegradedModeTest, DropoutStormEntersAndHysteresisExits) {
+  DegradedModeController watchdog(Config(3, 5));
+  EXPECT_EQ(watchdog.ObserveTick(2, 0.0), 0);  // below threshold
+  EXPECT_FALSE(watchdog.degraded());
+  EXPECT_EQ(watchdog.ObserveTick(3, 0.0), +1);  // storm
+  EXPECT_TRUE(watchdog.degraded());
+  EXPECT_EQ(watchdog.entries(), 1);
+  // Four healthy ticks: still degraded (hysteresis window is 5).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(watchdog.ObserveTick(0, 0.0), 0) << i;
+    EXPECT_TRUE(watchdog.degraded()) << i;
+  }
+  // A relapse resets the healthy streak.
+  EXPECT_EQ(watchdog.ObserveTick(5, 0.0), 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(watchdog.ObserveTick(0, 0.0), 0) << i;
+  }
+  EXPECT_TRUE(watchdog.degraded());
+  EXPECT_EQ(watchdog.ObserveTick(0, 0.0), -1);  // fifth healthy tick
+  EXPECT_FALSE(watchdog.degraded());
+  EXPECT_EQ(watchdog.entries(), 1);
+  EXPECT_GT(watchdog.degraded_ticks(), 0);
+}
+
+TEST(DegradedModeTest, TickDeadlineOverrunEnters) {
+  DegradedModeController watchdog(Config(0, 2, /*deadline_ms=*/10.0));
+  EXPECT_EQ(watchdog.ObserveTick(0, 9.9), 0);
+  EXPECT_EQ(watchdog.ObserveTick(0, 10.1), +1);
+  EXPECT_TRUE(watchdog.degraded());
+  EXPECT_EQ(watchdog.ObserveTick(0, 1.0), 0);
+  EXPECT_EQ(watchdog.ObserveTick(0, 1.0), -1);
+  EXPECT_FALSE(watchdog.degraded());
+}
+
+TEST(DegradedModeTest, SuppressionIsUrgencyAware) {
+  DegradedModeController watchdog(Config(1, 3));
+  EXPECT_FALSE(watchdog.ShouldSuppress(/*urgent=*/false));  // healthy
+  watchdog.ObserveTick(1, 0.0);
+  ASSERT_TRUE(watchdog.degraded());
+  EXPECT_TRUE(watchdog.ShouldSuppress(/*urgent=*/false));
+  EXPECT_FALSE(watchdog.ShouldSuppress(/*urgent=*/true));
+  watchdog.NoteSuppressed();
+  watchdog.NoteSuppressed();
+  EXPECT_EQ(watchdog.suppressed_triggers(), 2);
+}
+
+TEST(DegradedModeTest, StateRoundTrips) {
+  DegradedModeController watchdog(Config(2, 4));
+  watchdog.ObserveTick(2, 0.0);
+  watchdog.ObserveTick(0, 0.0);
+  watchdog.NoteSuppressed();
+  ByteWriter w;
+  watchdog.SaveState(&w);
+
+  DegradedModeController restored(Config(2, 4));
+  ByteReader r(w.data());
+  ASSERT_TRUE(restored.RestoreState(&r).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.degraded(), watchdog.degraded());
+  EXPECT_EQ(restored.entries(), watchdog.entries());
+  EXPECT_EQ(restored.degraded_ticks(), watchdog.degraded_ticks());
+  EXPECT_EQ(restored.suppressed_triggers(), watchdog.suppressed_triggers());
+  // The healthy streak is part of the state: both must exit on the
+  // same future tick.
+  for (int i = 0; i < 4; ++i) {
+    int a = watchdog.ObserveTick(0, 0.0);
+    int b = restored.ObserveTick(0, 0.0);
+    EXPECT_EQ(a, b) << i;
+  }
+  EXPECT_FALSE(watchdog.degraded());
+  EXPECT_FALSE(restored.degraded());
+}
+
+}  // namespace
+}  // namespace autoglobe::controller

@@ -1,0 +1,201 @@
+// Corruption battery for the snapshot container and the checkpoint
+// store: truncated, bit-flipped, wrong-version, and wrong-landscape
+// images are all rejected with a descriptive Status, and the store
+// falls back to the previous generation when the newest is damaged.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "autoglobe/capacity.h"
+#include "autoglobe/landscape.h"
+#include "common/fileio.h"
+#include "persist/checkpoint_store.h"
+#include "persist/runner_checkpoint.h"
+#include "persist/snapshot.h"
+
+namespace autoglobe {
+namespace {
+
+using persist::CheckpointStore;
+using persist::DecodeSnapshot;
+using persist::EncodeSnapshot;
+using persist::SnapshotData;
+
+// Fresh per-test scratch directory: wiped on entry so reruns in the
+// same temp root never see a previous run's generations.
+std::string TempDir(const char* name) {
+  std::string dir = ::testing::TempDir() + "ag_persist_" + name;
+  auto entries = ListDirectory(dir);
+  if (entries.ok()) {
+    for (const std::string& entry : *entries) {
+      EXPECT_TRUE(RemoveFileIfExists(dir + "/" + entry).ok());
+    }
+  }
+  return dir;
+}
+
+using Sections = std::vector<std::pair<std::string, std::string>>;
+
+Sections SampleSections() {
+  return {{"alpha", "first section payload"},
+          {"beta", std::string("\x00\x01\x02 binary \xff", 12)},
+          {"gamma", ""}};
+}
+
+TEST(SnapshotTest, RoundTrips) {
+  Sections sections = SampleSections();
+  std::string image = EncodeSnapshot(0xfeedf00d, sections);
+  auto decoded = DecodeSnapshot(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->fingerprint, 0xfeedf00dull);
+  EXPECT_EQ(decoded->sections, sections);
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  std::string image = EncodeSnapshot(1, SampleSections());
+  // Every proper prefix must be rejected — a torn write never parses.
+  for (size_t cut : {image.size() - 1, image.size() / 2, size_t{5}}) {
+    auto decoded = DecodeSnapshot(std::string_view(image).substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(SnapshotTest, RejectsEveryBitFlip) {
+  Sections sections = {{"alpha", "payload-a"}, {"beta", "payload-b"}};
+  std::string image = EncodeSnapshot(2, sections);
+  // Flip one bit per byte position; a single-bit error anywhere in
+  // the file must surface as a checksum or parse failure.
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string corrupt = image;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x10);
+    auto decoded = DecodeSnapshot(corrupt);
+    EXPECT_FALSE(decoded.ok()) << "bit flip at byte " << i << " parsed";
+  }
+}
+
+TEST(SnapshotTest, RejectsWrongVersion) {
+  std::string image = EncodeSnapshot(3, SampleSections());
+  // The version u32 sits right after the 8-byte magic. Bump it and
+  // re-seal the trailer so only the version check can fire.
+  std::string corrupt = image;
+  corrupt[8] = static_cast<char>(corrupt[8] + 1);
+  std::string body = corrupt.substr(0, corrupt.size() - 8);
+  uint64_t checksum = Fnv1a64(body);
+  for (int i = 0; i < 8; ++i) {
+    corrupt[body.size() + static_cast<size_t>(i)] =
+        static_cast<char>((checksum >> (8 * i)) & 0xff);
+  }
+  auto decoded = DecodeSnapshot(corrupt);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("version"), std::string::npos)
+      << decoded.status();
+}
+
+TEST(SnapshotTest, FileRoundTripAndFingerprintCheck) {
+  std::string dir = TempDir("file");
+  ASSERT_TRUE(MakeDirectories(dir).ok());
+  std::string path = dir + "/one.agsnap";
+  ASSERT_TRUE(
+      persist::WriteSnapshotFile(path, 0xabc, SampleSections()).ok());
+  auto ok = persist::ReadSnapshotFile(path, 0xabc);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  auto mismatched = persist::ReadSnapshotFile(path, 0xdef);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_NE(mismatched.status().ToString().find("fingerprint"),
+            std::string::npos)
+      << mismatched.status();
+}
+
+TEST(SnapshotTest, WrongLandscapeRefusesToRestore) {
+  // A snapshot of the full-mobility run must not restore into a
+  // static-scenario runner: the fingerprints differ (strategy aside,
+  // the landscapes share names — the config axes still diverge).
+  Landscape full = MakePaperLandscape(Scenario::kFullMobility);
+  RunnerConfig full_config =
+      MakeScenarioConfig(Scenario::kFullMobility, 1.0, 42);
+  full_config.duration = Duration::Hours(1);
+  auto runner = SimulationRunner::Create(full, full_config);
+  ASSERT_TRUE(runner.ok()) << runner.status();
+  ASSERT_TRUE((*runner)->RunUntil(SimTime::Start() + Duration::Minutes(30))
+                  .ok());
+  Sections sections;
+  ASSERT_TRUE((*runner)->SaveStateSections(&sections).ok());
+  SnapshotData snapshot;
+  snapshot.fingerprint = (*runner)->StateFingerprint();
+  snapshot.sections = sections;
+
+  Landscape other = MakePaperLandscape(Scenario::kStatic);
+  RunnerConfig other_config =
+      MakeScenarioConfig(Scenario::kStatic, 1.0, 43);
+  other_config.duration = Duration::Hours(1);
+  auto restored = persist::RestoreRunner(other, other_config, snapshot);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().ToString().find("fingerprint"),
+            std::string::npos)
+      << restored.status();
+}
+
+TEST(CheckpointStoreTest, RotationKeepsNewestGenerations) {
+  std::string dir = TempDir("rotate");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok()) << store.status();
+  for (uint64_t i = 1; i <= 5; ++i) {
+    Sections sections = {{"n", std::string(1, static_cast<char>('0' + i))}};
+    ASSERT_TRUE(store->Write(7, sections).ok());
+  }
+  auto generations = store->ListGenerations();
+  ASSERT_TRUE(generations.ok());
+  ASSERT_EQ(generations->size(), 3u);
+  EXPECT_EQ((*generations)[0], "checkpoint-000003.agsnap");
+  EXPECT_EQ((*generations)[2], "checkpoint-000005.agsnap");
+  auto loaded = store->LoadLatest(7);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->data.sections[0].second, "5");
+  EXPECT_TRUE(loaded->skipped.empty());
+}
+
+TEST(CheckpointStoreTest, CorruptNewestFallsBackToPrevious) {
+  std::string dir = TempDir("fallback");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE(store->Write(7, {{"n", "good"}}).ok());
+  auto second = store->Write(7, {{"n", "newest"}});
+  ASSERT_TRUE(second.ok());
+  // Damage the newest generation: truncate it mid-file.
+  auto bytes = ReadFileToString(*second);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      AtomicWriteFile(*second, bytes->substr(0, bytes->size() / 2)).ok());
+
+  auto loaded = store->LoadLatest(7);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->data.sections[0].second, "good");
+  ASSERT_EQ(loaded->skipped.size(), 1u);
+  EXPECT_NE(loaded->skipped[0].find("checkpoint-000002"),
+            std::string::npos);
+}
+
+TEST(CheckpointStoreTest, AllCorruptReportsEveryCandidate) {
+  std::string dir = TempDir("hopeless");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE(store->Write(7, {{"n", "one"}}).ok());
+  ASSERT_TRUE(store->Write(7, {{"n", "two"}}).ok());
+  auto generations = store->ListGenerations();
+  ASSERT_TRUE(generations.ok());
+  for (const std::string& name : *generations) {
+    ASSERT_TRUE(AtomicWriteFile(dir + "/" + name, "garbage").ok());
+  }
+  auto loaded = store->LoadLatest(7);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("checkpoint-000001"),
+            std::string::npos)
+      << loaded.status();
+  EXPECT_NE(loaded.status().ToString().find("checkpoint-000002"),
+            std::string::npos)
+      << loaded.status();
+}
+
+}  // namespace
+}  // namespace autoglobe

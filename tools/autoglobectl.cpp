@@ -55,8 +55,26 @@
 // --strategy-config <strategy.xml> loads a full <strategy> block,
 // and --load-weights / --save-weights round-trip the fuzzy
 // Q-learner's learned weight table.
+//
+// Crash safety (DESIGN.md §17):
+//   autoglobectl run ... --checkpoint-every <sim-minutes>
+//       --checkpoint-dir <dir> [--checkpoint-keep 3]
+//       Periodically serialize the full runner state into a
+//       checksummed, generation-rotated snapshot under <dir>. On
+//       SIGTERM/SIGINT the run stops at the next chunk boundary,
+//       writes one final checkpoint, and exits cleanly.
+//   autoglobectl run ... --restore-from <dir>
+//       Resume from the newest loadable generation in <dir>
+//       (corrupted generations are skipped with a warning) and run to
+//       the configured end. The landscape/config must match the
+//       snapshot's fingerprint.
+//   autoglobectl checkpoint <dir>
+//       Inspect a checkpoint directory: every generation is decoded
+//       and verified, and its fingerprint, size, and sections are
+//       printed. Exits nonzero if no generation is loadable.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -66,9 +84,12 @@
 #include "autoglobe/capacity.h"
 #include "autoglobe/console.h"
 #include "autoglobe/strategy_matrix.h"
+#include "common/fileio.h"
 #include "common/strings.h"
 #include "designer/designer.h"
 #include "faults/plan.h"
+#include "persist/checkpoint_store.h"
+#include "persist/runner_checkpoint.h"
 #include "strategy/strategy.h"
 
 using namespace autoglobe;
@@ -78,6 +99,9 @@ namespace {
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;
+  /// Flag-syntax problems found while parsing (missing values); the
+  /// command dispatcher refuses to run when any are present.
+  std::vector<std::string> errors;
   bool Has(const std::string& flag) const {
     return options.count(flag) > 0;
   }
@@ -108,12 +132,23 @@ Args ParseArgs(int argc, char** argv) {
                          key == "action-windows-per-day" ||
                          key == "strategy" || key == "strategy-config" ||
                          key == "load-weights" || key == "save-weights" ||
-                         key == "seeds" || key == "rng";
-      if (takes_value && i + 1 < argc) {
-        args.options[key] = argv[++i];
-      } else {
+                         key == "seeds" || key == "rng" ||
+                         key == "checkpoint-every" ||
+                         key == "checkpoint-dir" ||
+                         key == "checkpoint-keep" ||
+                         key == "restore-from";
+      if (!takes_value) {
         args.options[key] = "true";
+        continue;
       }
+      // A valued flag must be followed by an actual value. Quietly
+      // recording "true" here used to send the loaders chasing a file
+      // literally named "true" — surface the real mistake instead.
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        args.errors.push_back("flag --" + key + " requires a value");
+        continue;
+      }
+      args.options[key] = argv[++i];
     } else {
       args.positional.push_back(arg);
     }
@@ -125,6 +160,11 @@ int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
+
+// SIGTERM/SIGINT request a clean stop: the checkpointing run loop
+// finishes its current chunk, writes one final checkpoint, and exits.
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
 
 Result<Landscape> LoadLandscape(const std::string& source,
                                 Scenario scenario) {
@@ -249,9 +289,71 @@ int CmdRun(const Args& args) {
     config.strategy.save_weights_path = args.Get("save-weights", "");
   }
 
+  auto checkpoint_every = ParseInt(args.Get("checkpoint-every", "0"));
+  auto checkpoint_keep = ParseInt(args.Get("checkpoint-keep", "3"));
+  if (!checkpoint_every.ok()) return Fail(checkpoint_every.status());
+  if (!checkpoint_keep.ok()) return Fail(checkpoint_keep.status());
+  const std::string checkpoint_dir = args.Get("checkpoint-dir", "");
+  if (args.Has("checkpoint-every")) {
+    if (*checkpoint_every <= 0) {
+      return Fail(Status::InvalidArgument(
+          "--checkpoint-every wants a positive sim-minute interval"));
+    }
+    if (checkpoint_dir.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--checkpoint-every requires --checkpoint-dir <dir>"));
+    }
+  }
+
   auto runner = SimulationRunner::Create(*landscape, config);
   if (!runner.ok()) return Fail(runner.status());
-  if (Status s = (*runner)->Run(); !s.ok()) return Fail(s);
+
+  if (args.Has("restore-from")) {
+    auto store = persist::CheckpointStore::Open(
+        args.Get("restore-from", ""), static_cast<int>(*checkpoint_keep));
+    if (!store.ok()) return Fail(store.status());
+    auto loaded = store->LoadLatest((*runner)->StateFingerprint());
+    if (!loaded.ok()) return Fail(loaded.status());
+    for (const std::string& skip : loaded->skipped) {
+      std::fprintf(stderr, "warning: skipped %s\n", skip.c_str());
+    }
+    auto restored = persist::RestoreRunner(*landscape, config, loaded->data);
+    if (!restored.ok()) return Fail(restored.status());
+    *runner = std::move(*restored);
+    std::printf("restored from %s (sim time %lld s)\n",
+                loaded->path.c_str(),
+                static_cast<long long>(
+                    (*runner)->simulator().now().seconds()));
+  }
+
+  const SimTime run_end = SimTime::Start() + config.duration;
+  if (args.Has("checkpoint-every")) {
+    auto store = persist::CheckpointStore::Open(
+        checkpoint_dir, static_cast<int>(*checkpoint_keep));
+    if (!store.ok()) return Fail(store.status());
+    std::signal(SIGTERM, HandleStopSignal);
+    std::signal(SIGINT, HandleStopSignal);
+    const Duration chunk = Duration::Minutes(*checkpoint_every);
+    while ((*runner)->simulator().now() < run_end) {
+      SimTime next = (*runner)->simulator().now() + chunk;
+      if (run_end < next) next = run_end;
+      if (Status s = (*runner)->RunUntil(next); !s.ok()) return Fail(s);
+      auto written = persist::CheckpointRunner(**runner, &*store);
+      if (!written.ok()) return Fail(written.status());
+      if (g_stop_requested) {
+        std::printf(
+            "stop signal received: wrote final checkpoint %s at sim "
+            "time %lld s — resume with --restore-from %s\n",
+            written->c_str(),
+            static_cast<long long>(
+                (*runner)->simulator().now().seconds()),
+            checkpoint_dir.c_str());
+        return 0;
+      }
+    }
+  } else if (Status s = (*runner)->RunUntil(run_end); !s.ok()) {
+    return Fail(s);
+  }
 
   if (!config.strategy.save_weights_path.empty()) {
     if (Status s = (*runner)->strategy().SaveWeights(
@@ -511,15 +613,57 @@ int CmdStrategies(const Args& args) {
   std::printf("%s", table.c_str());
   if (args.Has("out")) {
     const std::string path = args.Get("out", "");
-    std::FILE* file = std::fopen(path.c_str(), "w");
-    if (file == nullptr) {
-      return Fail(Status::NotFound("cannot write " + path));
-    }
-    std::fputs(table.c_str(), file);
-    std::fclose(file);
+    if (Status s = AtomicWriteFile(path, table); !s.ok()) return Fail(s);
     std::printf("wrote %s\n", path.c_str());
   }
   return 0;
+}
+
+int CmdCheckpoint(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: autoglobectl checkpoint <dir>\n");
+    return 1;
+  }
+  const std::string& dir = args.positional[0];
+  auto store = persist::CheckpointStore::Open(dir, /*keep=*/1 << 20);
+  if (!store.ok()) return Fail(store.status());
+  auto generations = store->ListGenerations();
+  if (!generations.ok()) return Fail(generations.status());
+  if (generations->empty()) {
+    std::fprintf(stderr, "error: no checkpoints under %s\n", dir.c_str());
+    return 1;
+  }
+  size_t loadable = 0;
+  for (const std::string& name : *generations) {
+    const std::string path = dir + "/" + name;
+    auto bytes = ReadFileToString(path);
+    if (!bytes.ok()) {
+      std::printf("%s: unreadable: %s\n", name.c_str(),
+                  bytes.status().ToString().c_str());
+      continue;
+    }
+    auto snapshot = persist::DecodeSnapshot(*bytes);
+    if (!snapshot.ok()) {
+      std::printf("%s: CORRUPT: %s\n", name.c_str(),
+                  snapshot.status().ToString().c_str());
+      continue;
+    }
+    ++loadable;
+    std::printf("%s: OK, %zu bytes, fingerprint %016llx, %zu sections\n",
+                name.c_str(), bytes->size(),
+                static_cast<unsigned long long>(snapshot->fingerprint),
+                snapshot->sections.size());
+    // Sim time lives in the "sim" section header written first by the
+    // runner; decoding it fully is a restore concern, so just list
+    // section names and sizes here.
+    for (const auto& [section, payload] : snapshot->sections) {
+      std::printf("    %-10s %8zu bytes\n", section.c_str(),
+                  payload.size());
+    }
+  }
+  std::printf("%zu of %zu generation(s) loadable\n", loadable,
+              generations->size());
+  return loadable > 0 ? 0 : 1;
 }
 
 int CmdDesign(const Args& args) {
@@ -562,10 +706,17 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: autoglobectl <export|validate|run|explain|"
-                 "capacity|design|availability|strategies> ...\n");
+                 "capacity|design|availability|strategies|checkpoint> "
+                 "...\n");
     return 1;
   }
   Args args = ParseArgs(argc, argv);
+  if (!args.errors.empty()) {
+    for (const std::string& error : args.errors) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+    }
+    return 1;
+  }
   std::string command = argv[1];
   if (command == "export") return CmdExport(args);
   if (command == "validate") return CmdValidate(args);
@@ -575,6 +726,7 @@ int main(int argc, char** argv) {
   if (command == "design") return CmdDesign(args);
   if (command == "availability") return CmdAvailability(args);
   if (command == "strategies") return CmdStrategies(args);
+  if (command == "checkpoint") return CmdCheckpoint(args);
   std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
   return 1;
 }
